@@ -1,0 +1,70 @@
+//! Error type for attack-pipeline failures.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors surfaced by the reasoning attack.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum AttackError {
+    /// The dump has fewer than two value hypervectors, so endpoints
+    /// cannot be identified.
+    TooFewValues {
+        /// Number of value rows found.
+        found: usize,
+    },
+    /// Two features resolved to the same candidate hypervector.
+    AmbiguousAssignment {
+        /// The feature whose best candidate was already taken.
+        feature: usize,
+        /// The contested dump row.
+        row: usize,
+    },
+    /// No candidate remained for a feature (all consumed earlier).
+    NoCandidateLeft {
+        /// The starved feature index.
+        feature: usize,
+    },
+    /// Oracle and dump disagree on a dimension.
+    ShapeMismatch {
+        /// Description of the disagreement.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for AttackError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttackError::TooFewValues { found } => {
+                write!(f, "need at least 2 value hypervectors, found {found}")
+            }
+            AttackError::AmbiguousAssignment { feature, row } => {
+                write!(f, "feature {feature} resolved to already-claimed row {row}")
+            }
+            AttackError::NoCandidateLeft { feature } => {
+                write!(f, "no unassigned candidate left for feature {feature}")
+            }
+            AttackError::ShapeMismatch { what } => write!(f, "shape mismatch: {what}"),
+        }
+    }
+}
+
+impl Error for AttackError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        let e = AttackError::AmbiguousAssignment { feature: 3, row: 7 };
+        assert!(e.to_string().contains("feature 3"));
+        assert!(e.to_string().contains("row 7"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<AttackError>();
+    }
+}

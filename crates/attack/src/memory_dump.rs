@@ -1,0 +1,140 @@
+//! What the attacker reads out of non-secured memory.
+//!
+//! In the paper's threat model the hypervectors themselves live in
+//! ordinary memory; only the index mapping is secret. A
+//! [`StandardDump`] is therefore the victim's feature and value
+//! hypervectors in a random, unknown order. For HDLock the public
+//! surface is the base pool plus the value hypervectors
+//! ([`HdlockDump`]); Sec. 4.2 additionally grants the attacker the full
+//! value *mapping* (a strengthening, since values are unprotected by
+//! design).
+
+use hdc_model::RecordEncoder;
+use hdlock::{BasePool, LockedEncoder};
+use hypervec::{HvRng, ItemMemory, LevelHvs};
+
+/// The attacker's view of a standard HDC model's memory: unindexed
+/// (shuffled) feature and value hypervectors.
+#[derive(Debug, Clone)]
+pub struct StandardDump {
+    /// The `N` feature hypervectors in unknown order.
+    pub feature_pool: ItemMemory,
+    /// The `M` value hypervectors in unknown order.
+    pub value_pool: ItemMemory,
+}
+
+/// The hidden permutations behind a [`StandardDump`] — available to
+/// tests and experiment harnesses for verifying recovered mappings,
+/// never to attack code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DumpGroundTruth {
+    /// `feature_perm[row] = original feature index` for the shuffled
+    /// feature pool.
+    pub feature_perm: Vec<usize>,
+    /// `value_perm[row] = original level` for the shuffled value pool.
+    pub value_perm: Vec<usize>,
+}
+
+impl StandardDump {
+    /// Dumps a victim encoder's memory with fresh random shuffles,
+    /// returning the attacker view and the (test-only) ground truth.
+    #[must_use]
+    pub fn from_encoder(encoder: &RecordEncoder, rng: &mut HvRng) -> (Self, DumpGroundTruth) {
+        let (feature_pool, feature_perm) = encoder.features().shuffled(rng);
+        let value_mem = ItemMemory::from_rows(encoder.values().levels().to_vec())
+            .expect("level family is non-empty and consistent");
+        let (value_pool, value_perm) = value_mem.shuffled(rng);
+        (
+            StandardDump { feature_pool, value_pool },
+            DumpGroundTruth { feature_perm, value_perm },
+        )
+    }
+
+    /// Number of feature hypervectors `N`.
+    #[must_use]
+    pub fn n_features(&self) -> usize {
+        self.feature_pool.len()
+    }
+
+    /// Number of value hypervectors `M`.
+    #[must_use]
+    pub fn m_levels(&self) -> usize {
+        self.value_pool.len()
+    }
+
+    /// Hypervector dimensionality `D`.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.feature_pool.dim()
+    }
+}
+
+/// The attacker's view of an HDLock-protected model: the public base
+/// pool and the value hypervectors **with** their mapping (the paper's
+/// strong Sec. 4.2 assumption).
+#[derive(Debug, Clone)]
+pub struct HdlockDump {
+    /// The public pool of `P` base hypervectors.
+    pub base_pool: BasePool,
+    /// The value hypervectors in level order (mapping known).
+    pub values: LevelHvs,
+}
+
+impl HdlockDump {
+    /// Dumps the public surface of a locked encoder.
+    #[must_use]
+    pub fn from_encoder(encoder: &LockedEncoder) -> Self {
+        HdlockDump { base_pool: encoder.pool().clone(), values: encoder.values().clone() }
+    }
+
+    /// Pool size `P`.
+    #[must_use]
+    pub fn pool_size(&self) -> usize {
+        self.base_pool.len()
+    }
+
+    /// Hypervector dimensionality `D`.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.base_pool.dim()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdlock::LockConfig;
+
+    #[test]
+    fn standard_dump_shuffles_consistently() {
+        let mut rng = HvRng::from_seed(1);
+        let enc = RecordEncoder::generate(&mut rng, 10, 4, 512).unwrap();
+        let (dump, truth) = StandardDump::from_encoder(&enc, &mut rng);
+        assert_eq!(dump.n_features(), 10);
+        assert_eq!(dump.m_levels(), 4);
+        for (row, &orig) in truth.feature_perm.iter().enumerate() {
+            assert_eq!(
+                dump.feature_pool.get(row).unwrap(),
+                enc.features().get(orig).unwrap(),
+                "feature row {row}"
+            );
+        }
+        for (row, &orig) in truth.value_perm.iter().enumerate() {
+            assert_eq!(dump.value_pool.get(row).unwrap(), enc.values().level(orig));
+        }
+    }
+
+    #[test]
+    fn hdlock_dump_exposes_only_public_parts() {
+        let mut rng = HvRng::from_seed(2);
+        let cfg = LockConfig { n_features: 8, m_levels: 4, dim: 256, pool_size: 16, n_layers: 2 };
+        let enc = LockedEncoder::generate(&mut rng, &cfg).unwrap();
+        let dump = HdlockDump::from_encoder(&enc);
+        assert_eq!(dump.pool_size(), 16);
+        assert_eq!(dump.dim(), 256);
+        // The dump type carries no key; this is enforced by construction,
+        // and the vault's Debug never leaks material either.
+        let dbg = format!("{:?}", enc.vault());
+        assert!(!dbg.contains("rotation"));
+    }
+}

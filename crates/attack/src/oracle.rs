@@ -1,0 +1,156 @@
+//! The attacker's query interface to a victim encoding module.
+//!
+//! The paper's threat model (Sec. 3.1) lets the adversary "craft his/her
+//! own inputs and observe the encoding outputs". [`EncodingOracle`]
+//! models exactly that channel; [`CountingOracle`] wraps any encoder and
+//! audits how many queries an attack consumed.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use hdc_model::Encoder;
+use hypervec::{BinaryHv, IntHv};
+
+/// Chosen-input access to a victim encoder's outputs.
+pub trait EncodingOracle {
+    /// Number of input features `N` (public: input width is observable).
+    fn n_features(&self) -> usize;
+
+    /// Number of value levels `M` (public: quantizer range is observable).
+    fn m_levels(&self) -> usize;
+
+    /// Hypervector dimensionality `D`.
+    fn dim(&self) -> usize;
+
+    /// Observes the binary encoding of a chosen input (binary models).
+    fn query_binary(&self, levels: &[u16]) -> BinaryHv;
+
+    /// Observes the non-binarized encoding of a chosen input
+    /// (non-binary models).
+    fn query_int(&self, levels: &[u16]) -> IntHv;
+}
+
+/// Wraps an [`Encoder`] as an oracle, counting queries.
+///
+/// # Examples
+///
+/// ```
+/// use hdc_attack::{CountingOracle, EncodingOracle};
+/// use hdc_model::RecordEncoder;
+/// use hypervec::HvRng;
+///
+/// let mut rng = HvRng::from_seed(0);
+/// let enc = RecordEncoder::generate(&mut rng, 8, 4, 512)?;
+/// let oracle = CountingOracle::new(&enc);
+/// let _ = oracle.query_binary(&vec![0u16; 8]);
+/// assert_eq!(oracle.queries(), 1);
+/// # Ok::<(), hypervec::HvError>(())
+/// ```
+#[derive(Debug)]
+pub struct CountingOracle<'a, E> {
+    encoder: &'a E,
+    queries: AtomicU64,
+}
+
+impl<'a, E: Encoder> CountingOracle<'a, E> {
+    /// Wraps a victim encoder.
+    #[must_use]
+    pub fn new(encoder: &'a E) -> Self {
+        CountingOracle { encoder, queries: AtomicU64::new(0) }
+    }
+
+    /// Total queries observed so far.
+    #[must_use]
+    pub fn queries(&self) -> u64 {
+        self.queries.load(Ordering::Relaxed)
+    }
+}
+
+impl<E: Encoder> EncodingOracle for CountingOracle<'_, E> {
+    fn n_features(&self) -> usize {
+        self.encoder.n_features()
+    }
+
+    fn m_levels(&self) -> usize {
+        self.encoder.m_levels()
+    }
+
+    fn dim(&self) -> usize {
+        self.encoder.dim()
+    }
+
+    fn query_binary(&self, levels: &[u16]) -> BinaryHv {
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        self.encoder.encode_binary(levels)
+    }
+
+    fn query_int(&self, levels: &[u16]) -> IntHv {
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        self.encoder.encode_int(levels)
+    }
+}
+
+/// Builds the adversarial probe input of paper Eq. 7: every feature at
+/// the minimum level except `hot_feature` at the maximum.
+///
+/// # Panics
+///
+/// Panics if `hot_feature >= n_features` or `m_levels == 0`.
+#[must_use]
+pub fn probe_row(n_features: usize, m_levels: usize, hot_feature: usize) -> Vec<u16> {
+    assert!(hot_feature < n_features, "hot feature out of range");
+    assert!(m_levels > 0, "need at least one level");
+    let mut row = vec![0u16; n_features];
+    row[hot_feature] = (m_levels - 1) as u16;
+    row
+}
+
+/// Builds the all-minimum probe input of paper Eq. 5.
+#[must_use]
+pub fn all_min_row(n_features: usize) -> Vec<u16> {
+    vec![0u16; n_features]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdc_model::RecordEncoder;
+    use hypervec::HvRng;
+
+    #[test]
+    fn counting_oracle_counts_both_kinds() {
+        let mut rng = HvRng::from_seed(1);
+        let enc = RecordEncoder::generate(&mut rng, 6, 4, 256).unwrap();
+        let oracle = CountingOracle::new(&enc);
+        let row = all_min_row(6);
+        let _ = oracle.query_binary(&row);
+        let _ = oracle.query_int(&row);
+        let _ = oracle.query_binary(&row);
+        assert_eq!(oracle.queries(), 3);
+        assert_eq!(oracle.n_features(), 6);
+        assert_eq!(oracle.m_levels(), 4);
+        assert_eq!(oracle.dim(), 256);
+    }
+
+    #[test]
+    fn oracle_matches_encoder_exactly() {
+        let mut rng = HvRng::from_seed(2);
+        let enc = RecordEncoder::generate(&mut rng, 6, 4, 256).unwrap();
+        let oracle = CountingOracle::new(&enc);
+        let row = probe_row(6, 4, 2);
+        assert_eq!(oracle.query_binary(&row), enc.encode_binary(&row));
+        assert_eq!(oracle.query_int(&row), enc.encode_int(&row));
+    }
+
+    #[test]
+    fn probe_rows_have_expected_shape() {
+        let row = probe_row(5, 8, 3);
+        assert_eq!(row, vec![0, 0, 0, 7, 0]);
+        assert_eq!(all_min_row(3), vec![0, 0, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "hot feature out of range")]
+    fn probe_row_bounds_checked() {
+        let _ = probe_row(4, 8, 4);
+    }
+}

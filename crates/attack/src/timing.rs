@@ -1,0 +1,59 @@
+//! Attack bookkeeping: guesses, oracle queries, wall time.
+
+use std::time::Duration;
+
+/// Cost accounting for one attack run — the quantities Table 1 and
+/// Sec. 4.2 of the paper report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AttackStats {
+    /// Candidate hypotheses evaluated (the paper's "guesses"/"tries").
+    pub guesses: u64,
+    /// Chosen-input encodings observed from the victim.
+    pub oracle_queries: u64,
+    /// Wall-clock time spent reasoning.
+    pub elapsed: Duration,
+}
+
+impl AttackStats {
+    /// Merges the costs of two attack phases.
+    #[must_use]
+    pub fn combined(self, other: AttackStats) -> AttackStats {
+        AttackStats {
+            guesses: self.guesses + other.guesses,
+            oracle_queries: self.oracle_queries + other.oracle_queries,
+            elapsed: self.elapsed + other.elapsed,
+        }
+    }
+}
+
+impl std::fmt::Display for AttackStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} guesses, {} oracle queries, {:.2}s",
+            self.guesses,
+            self.oracle_queries,
+            self.elapsed.as_secs_f64()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn combined_adds_fields() {
+        let a = AttackStats { guesses: 10, oracle_queries: 2, elapsed: Duration::from_secs(1) };
+        let b = AttackStats { guesses: 5, oracle_queries: 1, elapsed: Duration::from_secs(2) };
+        let c = a.combined(b);
+        assert_eq!(c.guesses, 15);
+        assert_eq!(c.oracle_queries, 3);
+        assert_eq!(c.elapsed, Duration::from_secs(3));
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!AttackStats::default().to_string().is_empty());
+    }
+}

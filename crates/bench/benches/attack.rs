@@ -1,0 +1,85 @@
+//! Attack-cost benchmarks: the per-guess primitives whose counts the
+//! complexity analysis multiplies (Table 1 reasoning time ≈ guesses ×
+//! per-guess cost), plus a full small-scale extraction.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use hdc_attack::{
+    extract_features, extract_values, probe_row, CountingOracle, EncodingOracle,
+    FeatureAttackContext, FeatureExtractOptions, LockProbe, StandardDump,
+};
+use hdc_model::{ModelKind, RecordEncoder};
+use hdlock::{BasePool, EncodingKey, FeatureKey, LayerKey, LockConfig, LockedEncoder};
+use hypervec::{HvRng, LevelHvs};
+
+fn bench_candidate_distance(c: &mut Criterion) {
+    let mut rng = HvRng::from_seed(1);
+    let enc = RecordEncoder::generate(&mut rng, 784, 16, 10_000).expect("encoder");
+    let (dump, _) = StandardDump::from_encoder(&enc, &mut rng);
+    let oracle = CountingOracle::new(&enc);
+    let values = extract_values(&oracle, &dump, ModelKind::Binary).expect("values");
+    let ctx = FeatureAttackContext::new(&dump, &values).expect("context");
+    let h = oracle.query_binary(&probe_row(784, 16, 0));
+    c.bench_function("attack_guess_standard_mnist_shape", |bench| {
+        let mut r = 0usize;
+        bench.iter(|| {
+            r = (r + 1) % 784;
+            black_box(ctx.candidate_distance_binary(&dump, black_box(&h), r))
+        });
+    });
+}
+
+fn bench_lock_guess(c: &mut Criterion) {
+    let cfg =
+        LockConfig { n_features: 784, m_levels: 16, dim: 10_000, pool_size: 784, n_layers: 2 };
+    let mut rng = HvRng::from_seed(2);
+    let pool = BasePool::generate(&mut rng, cfg.dim, cfg.pool_size);
+    let values = LevelHvs::generate(&mut rng, cfg.dim, cfg.m_levels).expect("levels");
+    let key =
+        EncodingKey::random(&mut rng, cfg.n_features, 2, cfg.pool_size, cfg.dim).expect("key");
+    let enc = LockedEncoder::from_parts(pool.clone(), values.clone(), key).expect("encoder");
+    let oracle = CountingOracle::new(&enc);
+    let probe = LockProbe::capture(&oracle, &values, 0, ModelKind::Binary).expect("probe");
+    c.bench_function("attack_guess_hdlock_l2", |bench| {
+        let mut k = 0usize;
+        bench.iter(|| {
+            k = (k + 1) % 10_000;
+            let guess = FeatureKey::new(vec![
+                LayerKey { base_index: k % 784, rotation: k },
+                LayerKey { base_index: (k * 7) % 784, rotation: (k * 13) % 10_000 },
+            ]);
+            black_box(probe.score(&pool, &guess).expect("valid guess"))
+        });
+    });
+}
+
+fn bench_full_extraction_small(c: &mut Criterion) {
+    c.bench_function("full_extraction_n64", |bench| {
+        bench.iter(|| {
+            let mut rng = HvRng::from_seed(3);
+            let enc = RecordEncoder::generate(&mut rng, 64, 8, 4096).expect("encoder");
+            let (dump, _) = StandardDump::from_encoder(&enc, &mut rng);
+            let oracle = CountingOracle::new(&enc);
+            let values = extract_values(&oracle, &dump, ModelKind::Binary).expect("values");
+            let features = extract_features(
+                &oracle,
+                &dump,
+                &values,
+                ModelKind::Binary,
+                FeatureExtractOptions::default(),
+            )
+            .expect("features");
+            black_box(features.assignment)
+        });
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default().sample_size(10)
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_candidate_distance, bench_lock_guess, bench_full_extraction_small
+}
+criterion_main!(benches);

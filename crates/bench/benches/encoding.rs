@@ -1,0 +1,63 @@
+//! Software encode-latency benchmark: standard encoder vs HDLock at
+//! `L ∈ {1, 2, 3, 5}` and both derivation modes.
+//!
+//! Corroborates the Fig. 9 trend in software: cached derivation makes
+//! locking free at inference time, on-the-fly derivation pays per
+//! sample and grows with `L`.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use hdc_model::{Encoder, RecordEncoder};
+use hdlock::{DeriveMode, LockConfig, LockedEncoder};
+use hypervec::HvRng;
+
+const N: usize = 784;
+const M: usize = 16;
+const D: usize = 10_000;
+
+fn row() -> Vec<u16> {
+    (0..N).map(|i| (i % M) as u16).collect()
+}
+
+fn bench_standard(c: &mut Criterion) {
+    let mut rng = HvRng::from_seed(1);
+    let enc = RecordEncoder::generate(&mut rng, N, M, D).expect("encoder");
+    let r = row();
+    c.bench_function("encode_standard_mnist_shape", |bench| {
+        bench.iter(|| black_box(enc.encode_binary(black_box(&r))));
+    });
+}
+
+fn bench_locked(c: &mut Criterion) {
+    let r = row();
+    let mut group = c.benchmark_group("encode_locked_mnist_shape");
+    for layers in [1usize, 2, 3, 5] {
+        let mut rng = HvRng::from_seed(layers as u64);
+        let cfg = LockConfig {
+            n_features: N,
+            m_levels: M,
+            dim: D,
+            pool_size: N,
+            n_layers: layers,
+        };
+        let mut enc = LockedEncoder::generate(&mut rng, &cfg).expect("encoder");
+        group.bench_with_input(BenchmarkId::new("cached", layers), &layers, |bench, _| {
+            bench.iter(|| black_box(enc.encode_binary(black_box(&r))));
+        });
+        enc.set_mode(DeriveMode::OnTheFly);
+        group.bench_with_input(BenchmarkId::new("on_the_fly", layers), &layers, |bench, _| {
+            bench.iter(|| black_box(enc.encode_binary(black_box(&r))));
+        });
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default().sample_size(10)
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_standard, bench_locked
+}
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! Fig. 5 — HDLock security validation on the **binary** HDC model.
+//!
+//! Paper setup: MNIST encoder under HDLock with `N = P = 784`,
+//! `D = 10 000`, `L = 2`. The adversary (worst case) already knows
+//! three of the four key parameters of feature 1 —
+//! `{k_{1,1}, index(B_{1,1}), k_{1,2}, index(B_{1,2})}` — and sweeps the
+//! last one, scoring each guess with the Eq. 13 criterion (Hamming
+//! distance on the differing index set `I`). The correct value scores
+//! ≈ 0 only because everything else is right: any single wrong
+//! parameter makes the derived mapping useless.
+
+use hdc_model::ModelKind;
+use hdlock_bench::lockfig::run_lock_validation;
+use hdlock_bench::RunOptions;
+
+fn main() {
+    let opts = RunOptions::from_args(RunOptions::default());
+    run_lock_validation(&opts, ModelKind::Binary, "Fig. 5", "Hamming distance on I");
+}

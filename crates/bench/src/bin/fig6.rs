@@ -1,0 +1,15 @@
+//! Fig. 6 — HDLock security validation on the **non-binary** HDC model.
+//!
+//! Same four-panel sweep as Fig. 5, but the oracle exposes the integer
+//! encoding and guesses are scored by cosine similarity on the
+//! differing index set (reported here as `1 − cosine`, so 0.0 is the
+//! paper's "cosine value exactly 1 with 100 % confidence").
+
+use hdc_model::ModelKind;
+use hdlock_bench::lockfig::run_lock_validation;
+use hdlock_bench::RunOptions;
+
+fn main() {
+    let opts = RunOptions::from_args(RunOptions::default());
+    run_lock_validation(&opts, ModelKind::NonBinary, "Fig. 6", "1 − cosine on I");
+}

@@ -1,0 +1,197 @@
+//! Reasoning-complexity calculators (paper Sec. 4.2 & Fig. 7).
+//!
+//! The divide-and-conquer attack needs `O(N²)` guesses against a
+//! standard encoder and `O(N · (D·P)^L)` against HDLock. These counts
+//! overflow `u64` quickly (MNIST at `L = 5` is ~10⁴⁰), so
+//! [`GuessCount`] carries the exact value when it fits in `u128` and a
+//! base-10 logarithm always.
+
+use serde::{Deserialize, Serialize};
+
+/// A (possibly astronomically large) number of attack guesses.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GuessCount {
+    log10: f64,
+    exact: Option<u128>,
+}
+
+impl GuessCount {
+    /// Wraps an exact count.
+    #[must_use]
+    pub fn from_exact(count: u128) -> Self {
+        GuessCount { log10: (count.max(1) as f64).log10(), exact: Some(count) }
+    }
+
+    /// A product `Π terms` computed in log space, keeping exactness
+    /// while it fits.
+    #[must_use]
+    pub fn product(terms: &[u128]) -> Self {
+        let mut log10 = 0.0f64;
+        let mut exact: Option<u128> = Some(1);
+        for &t in terms {
+            log10 += (t.max(1) as f64).log10();
+            exact = exact.and_then(|e| e.checked_mul(t));
+        }
+        GuessCount { log10, exact }
+    }
+
+    /// Base-10 logarithm of the count.
+    #[must_use]
+    pub fn log10(&self) -> f64 {
+        self.log10
+    }
+
+    /// The exact count when it fits in `u128`.
+    #[must_use]
+    pub fn exact(&self) -> Option<u128> {
+        self.exact
+    }
+
+    /// The count as `f64` (may be `inf` beyond ~1e308).
+    #[must_use]
+    pub fn approx(&self) -> f64 {
+        10f64.powf(self.log10)
+    }
+}
+
+impl std::fmt::Display for GuessCount {
+    /// Scientific notation matching the paper's style, e.g. `4.81e16`.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let exp = self.log10.floor();
+        let mantissa = 10f64.powf(self.log10 - exp);
+        write!(f, "{mantissa:.2}e{}", exp as i64)
+    }
+}
+
+/// Guesses to reason the full feature mapping of a **standard** HDC
+/// encoder with the divide-and-conquer attack: `N²` (paper Sec. 3.2).
+#[must_use]
+pub fn standard_reasoning_guesses(n_features: usize) -> GuessCount {
+    GuessCount::product(&[n_features as u128, n_features as u128])
+}
+
+/// Guesses to reason **one** HDLock feature key: `(D·P)^L`
+/// (paper Sec. 4.2).
+#[must_use]
+pub fn hdlock_per_feature_guesses(dim: usize, pool_size: usize, n_layers: usize) -> GuessCount {
+    let mut terms = Vec::with_capacity(2 * n_layers);
+    for _ in 0..n_layers {
+        terms.push(dim as u128);
+        terms.push(pool_size as u128);
+    }
+    GuessCount::product(&terms)
+}
+
+/// Guesses to reason the full HDLock mapping: `N · (D·P)^L` (the
+/// complexity the paper reports as `O(N·(DP)^L)`).
+#[must_use]
+pub fn hdlock_reasoning_guesses(
+    n_features: usize,
+    dim: usize,
+    pool_size: usize,
+    n_layers: usize,
+) -> GuessCount {
+    let per = hdlock_per_feature_guesses(dim, pool_size, n_layers);
+    match per.exact() {
+        Some(e) => match e.checked_mul(n_features as u128) {
+            Some(total) => GuessCount::from_exact(total),
+            None => GuessCount {
+                log10: per.log10() + (n_features.max(1) as f64).log10(),
+                exact: None,
+            },
+        },
+        None => GuessCount {
+            log10: per.log10() + (n_features.max(1) as f64).log10(),
+            exact: None,
+        },
+    }
+}
+
+/// Security amplification of HDLock over the standard model — the
+/// paper's headline "10 orders of magnitude" at `L = 2` for MNIST.
+#[must_use]
+pub fn amplification_log10(
+    n_features: usize,
+    dim: usize,
+    pool_size: usize,
+    n_layers: usize,
+) -> f64 {
+    hdlock_reasoning_guesses(n_features, dim, pool_size, n_layers).log10()
+        - standard_reasoning_guesses(n_features).log10()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const N: usize = 784;
+    const D: usize = 10_000;
+
+    #[test]
+    fn mnist_standard_matches_paper() {
+        // Paper: 6.15e5 guesses for the normal MNIST model.
+        let g = standard_reasoning_guesses(N);
+        assert_eq!(g.exact(), Some(614_656));
+        assert_eq!(g.to_string(), "6.15e5");
+    }
+
+    #[test]
+    fn mnist_one_layer_matches_paper() {
+        // Paper: 6.15e9 for the one-layer key.
+        let g = hdlock_reasoning_guesses(N, D, N, 1);
+        assert_eq!(g.exact(), Some(784u128 * 10_000 * 784));
+        assert_eq!(g.to_string(), "6.15e9");
+    }
+
+    #[test]
+    fn mnist_two_layer_matches_paper() {
+        // Paper: 4.81e16 tries for the two-layer key.
+        let g = hdlock_reasoning_guesses(N, D, N, 2);
+        assert_eq!(g.to_string(), "4.82e16");
+        let exact = g.exact().unwrap();
+        assert!((4.8e16..4.9e16).contains(&(exact as f64)));
+    }
+
+    #[test]
+    fn amplification_is_ten_orders_for_l2() {
+        // Paper: 7.82e10× improvement, i.e. ~10.9 orders of magnitude.
+        let amp = amplification_log10(N, D, N, 2);
+        assert!((amp - 10.89).abs() < 0.02, "amplification {amp}");
+    }
+
+    #[test]
+    fn growth_is_exponential_in_layers() {
+        let l1 = hdlock_reasoning_guesses(N, D, 700, 1).log10();
+        let l2 = hdlock_reasoning_guesses(N, D, 700, 2).log10();
+        let l3 = hdlock_reasoning_guesses(N, D, 700, 3).log10();
+        // constant log-increment per layer ⇒ exponential growth
+        assert!(((l2 - l1) - (l3 - l2)).abs() < 1e-9);
+        assert!(l2 - l1 > 6.0);
+    }
+
+    #[test]
+    fn monotone_in_every_parameter() {
+        let base = hdlock_reasoning_guesses(N, D, 300, 2).log10();
+        assert!(hdlock_reasoning_guesses(N + 1, D, 300, 2).log10() > base);
+        assert!(hdlock_reasoning_guesses(N, D + 1000, 300, 2).log10() > base);
+        assert!(hdlock_reasoning_guesses(N, D, 301, 2).log10() > base);
+        assert!(hdlock_reasoning_guesses(N, D, 300, 3).log10() > base);
+    }
+
+    #[test]
+    fn huge_counts_lose_exactness_gracefully() {
+        // L = 5 still fits u128 (~2.3e37); L = 6 does not (~1.8e44).
+        let l5 = hdlock_reasoning_guesses(N, D, N, 5);
+        assert!(l5.exact().is_some());
+        let l6 = hdlock_reasoning_guesses(N, D, N, 6);
+        assert!(l6.exact().is_none());
+        assert!(l6.log10() > 43.0);
+        assert!(!l6.to_string().is_empty());
+    }
+
+    #[test]
+    fn display_formats_scientific() {
+        assert_eq!(GuessCount::from_exact(1000).to_string(), "1.00e3");
+        assert_eq!(GuessCount::from_exact(1).to_string(), "1.00e0");
+    }
+}

@@ -1,0 +1,81 @@
+//! Error type for HDLock configuration and key handling.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors from HDLock key and encoder construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum LockError {
+    /// A structural parameter was invalid (zero where positive needed,
+    /// out-of-range index, …).
+    InvalidParameter {
+        /// Human-readable description of the violated requirement.
+        what: &'static str,
+    },
+    /// A key referenced a base index or rotation outside the pool/dim.
+    KeyOutOfRange {
+        /// Which feature's key is invalid.
+        feature: usize,
+        /// The offending base index.
+        base_index: usize,
+        /// The offending rotation.
+        rotation: usize,
+    },
+    /// The base pool is too small for the requested construction.
+    PoolTooSmall {
+        /// Available pool size.
+        pool_size: usize,
+        /// Required minimum (e.g. `n_features` for the L = 0 baseline).
+        n_features: usize,
+    },
+    /// Pool, values and key disagree on dimensionality.
+    DimensionMismatch {
+        /// Expected dimension.
+        expected: usize,
+        /// Found dimension.
+        found: usize,
+    },
+    /// The key vault has been consumed/poisoned and can no longer serve
+    /// reads.
+    VaultSealed,
+}
+
+impl fmt::Display for LockError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LockError::InvalidParameter { what } => write!(f, "invalid parameter: {what}"),
+            LockError::KeyOutOfRange { feature, base_index, rotation } => write!(
+                f,
+                "key for feature {feature} out of range (base_index {base_index}, rotation {rotation})"
+            ),
+            LockError::PoolTooSmall { pool_size, n_features } => {
+                write!(f, "base pool of {pool_size} cannot serve {n_features} features at L = 0")
+            }
+            LockError::DimensionMismatch { expected, found } => {
+                write!(f, "dimension mismatch: expected {expected}, found {found}")
+            }
+            LockError::VaultSealed => write!(f, "key vault is sealed and cannot serve reads"),
+        }
+    }
+}
+
+impl Error for LockError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = LockError::PoolTooSmall { pool_size: 3, n_features: 10 };
+        assert!(e.to_string().contains("pool of 3"));
+        assert!(LockError::VaultSealed.to_string().contains("sealed"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<LockError>();
+    }
+}

@@ -1,0 +1,287 @@
+//! The HDLock key: which base hypervectors, with which rotations, build
+//! each feature hypervector.
+//!
+//! A feature hypervector under HDLock is
+//! `FeaHV_i = Π_{l=1}^{L} ρ^{k_{i,l}}(B_{i,l})` (paper Eq. 9). The key
+//! therefore stores, for each of the `N` features, `L` pairs of
+//! (base-pool index, rotation amount). This is exactly the `N × L`
+//! mapping information the paper keeps in tamper-proof memory.
+
+use hypervec::HvRng;
+use serde::{Deserialize, Serialize};
+
+use crate::error::LockError;
+
+/// One layer of a feature's key: which base hypervector and how far to
+/// rotate it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct LayerKey {
+    /// Index into the public base-hypervector pool (`0..P`).
+    pub base_index: usize,
+    /// Circular rotation amount (`0..D`).
+    pub rotation: usize,
+}
+
+/// The full key for one feature: `L` layer keys whose permuted bases are
+/// multiplied together.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct FeatureKey {
+    layers: Vec<LayerKey>,
+}
+
+impl FeatureKey {
+    /// Wraps explicit layer keys.
+    #[must_use]
+    pub fn new(layers: Vec<LayerKey>) -> Self {
+        FeatureKey { layers }
+    }
+
+    /// The layer keys in order.
+    #[must_use]
+    pub fn layers(&self) -> &[LayerKey] {
+        &self.layers
+    }
+
+    /// Number of layers `L`.
+    #[must_use]
+    pub fn n_layers(&self) -> usize {
+        self.layers.len()
+    }
+}
+
+/// The complete encoding key: one [`FeatureKey`] per feature.
+#[derive(Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EncodingKey {
+    features: Vec<FeatureKey>,
+    pool_size: usize,
+    dim: usize,
+}
+
+impl EncodingKey {
+    /// Samples a uniformly random key for `n_features` features with
+    /// `n_layers` layers, a pool of `pool_size` bases and dimension
+    /// `dim`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LockError::InvalidParameter`] if any of the sizes is
+    /// zero (`n_layers == 0` is allowed and means "identity mapping",
+    /// the unprotected baseline of Fig. 8 — feature `i` uses base `i`
+    /// directly, which requires `pool_size ≥ n_features`).
+    pub fn random(
+        rng: &mut HvRng,
+        n_features: usize,
+        n_layers: usize,
+        pool_size: usize,
+        dim: usize,
+    ) -> Result<Self, LockError> {
+        if n_features == 0 || pool_size == 0 || dim == 0 {
+            return Err(LockError::InvalidParameter {
+                what: "n_features, pool_size and dim must all be positive",
+            });
+        }
+        if n_layers == 0 && pool_size < n_features {
+            return Err(LockError::PoolTooSmall { pool_size, n_features });
+        }
+        let features = (0..n_features)
+            .map(|i| {
+                if n_layers == 0 {
+                    FeatureKey::new(vec![LayerKey { base_index: i, rotation: 0 }])
+                } else {
+                    FeatureKey::new(
+                        (0..n_layers)
+                            .map(|_| LayerKey {
+                                base_index: rng.index(pool_size),
+                                rotation: rng.index(dim),
+                            })
+                            .collect(),
+                    )
+                }
+            })
+            .collect();
+        Ok(EncodingKey { features, pool_size, dim })
+    }
+
+    /// Builds a key from explicit per-feature keys, validating ranges.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LockError::KeyOutOfRange`] if any base index ≥
+    /// `pool_size` or rotation ≥ `dim`, and
+    /// [`LockError::InvalidParameter`] for empty inputs.
+    pub fn from_feature_keys(
+        features: Vec<FeatureKey>,
+        pool_size: usize,
+        dim: usize,
+    ) -> Result<Self, LockError> {
+        if features.is_empty() || pool_size == 0 || dim == 0 {
+            return Err(LockError::InvalidParameter {
+                what: "features, pool_size and dim must all be non-empty/positive",
+            });
+        }
+        for (i, fk) in features.iter().enumerate() {
+            for lk in fk.layers() {
+                if lk.base_index >= pool_size || lk.rotation >= dim {
+                    return Err(LockError::KeyOutOfRange {
+                        feature: i,
+                        base_index: lk.base_index,
+                        rotation: lk.rotation,
+                    });
+                }
+            }
+        }
+        Ok(EncodingKey { features, pool_size, dim })
+    }
+
+    /// Number of features `N`.
+    #[must_use]
+    pub fn n_features(&self) -> usize {
+        self.features.len()
+    }
+
+    /// Layers per feature `L` (the maximum across features; keys built
+    /// by [`EncodingKey::random`] are uniform).
+    #[must_use]
+    pub fn n_layers(&self) -> usize {
+        self.features.iter().map(FeatureKey::n_layers).max().unwrap_or(0)
+    }
+
+    /// Pool size `P` this key indexes into.
+    #[must_use]
+    pub fn pool_size(&self) -> usize {
+        self.pool_size
+    }
+
+    /// Dimensionality `D` the rotations are taken modulo.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The key for feature `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.n_features()`.
+    #[must_use]
+    pub fn feature(&self, i: usize) -> &FeatureKey {
+        &self.features[i]
+    }
+
+    /// Replaces the key of one feature (used by attack experiments to
+    /// plant known-wrong guesses).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LockError::KeyOutOfRange`] on invalid indices.
+    pub fn set_feature(&mut self, i: usize, key: FeatureKey) -> Result<(), LockError> {
+        for lk in key.layers() {
+            if lk.base_index >= self.pool_size || lk.rotation >= self.dim {
+                return Err(LockError::KeyOutOfRange {
+                    feature: i,
+                    base_index: lk.base_index,
+                    rotation: lk.rotation,
+                });
+            }
+        }
+        if i >= self.features.len() {
+            return Err(LockError::InvalidParameter { what: "feature index out of range" });
+        }
+        self.features[i] = key;
+        Ok(())
+    }
+}
+
+/// The `Debug` form never prints key material — only shape metadata —
+/// so a key cannot leak through logging.
+impl std::fmt::Debug for EncodingKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "EncodingKey(N={}, L={}, P={}, D={}, material=<redacted>)",
+            self.n_features(),
+            self.n_layers(),
+            self.pool_size,
+            self.dim
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_key_has_requested_shape() {
+        let mut rng = HvRng::from_seed(1);
+        let key = EncodingKey::random(&mut rng, 10, 2, 50, 1000).unwrap();
+        assert_eq!(key.n_features(), 10);
+        assert_eq!(key.n_layers(), 2);
+        assert_eq!(key.pool_size(), 50);
+        for i in 0..10 {
+            for lk in key.feature(i).layers() {
+                assert!(lk.base_index < 50);
+                assert!(lk.rotation < 1000);
+            }
+        }
+    }
+
+    #[test]
+    fn zero_layers_is_identity_mapping() {
+        let mut rng = HvRng::from_seed(2);
+        let key = EncodingKey::random(&mut rng, 5, 0, 5, 100).unwrap();
+        for i in 0..5 {
+            let layers = key.feature(i).layers();
+            assert_eq!(layers.len(), 1);
+            assert_eq!(layers[0], LayerKey { base_index: i, rotation: 0 });
+        }
+    }
+
+    #[test]
+    fn zero_layers_requires_big_pool() {
+        let mut rng = HvRng::from_seed(3);
+        assert!(matches!(
+            EncodingKey::random(&mut rng, 10, 0, 5, 100),
+            Err(LockError::PoolTooSmall { .. })
+        ));
+    }
+
+    #[test]
+    fn from_feature_keys_validates_ranges() {
+        let bad = vec![FeatureKey::new(vec![LayerKey { base_index: 9, rotation: 0 }])];
+        assert!(matches!(
+            EncodingKey::from_feature_keys(bad, 5, 100),
+            Err(LockError::KeyOutOfRange { .. })
+        ));
+        let good = vec![FeatureKey::new(vec![LayerKey { base_index: 4, rotation: 99 }])];
+        assert!(EncodingKey::from_feature_keys(good, 5, 100).is_ok());
+    }
+
+    #[test]
+    fn debug_redacts_material() {
+        let mut rng = HvRng::from_seed(4);
+        let key = EncodingKey::random(&mut rng, 3, 2, 10, 100).unwrap();
+        let dbg = format!("{key:?}");
+        assert!(dbg.contains("redacted"));
+        assert!(!dbg.contains("base_index"));
+    }
+
+    #[test]
+    fn set_feature_replaces_and_validates() {
+        let mut rng = HvRng::from_seed(5);
+        let mut key = EncodingKey::random(&mut rng, 3, 2, 10, 100).unwrap();
+        let fk = FeatureKey::new(vec![LayerKey { base_index: 1, rotation: 2 }]);
+        key.set_feature(0, fk.clone()).unwrap();
+        assert_eq!(key.feature(0), &fk);
+        assert!(key
+            .set_feature(0, FeatureKey::new(vec![LayerKey { base_index: 99, rotation: 0 }]))
+            .is_err());
+    }
+
+    #[test]
+    fn keys_are_deterministic_per_seed() {
+        let a = EncodingKey::random(&mut HvRng::from_seed(6), 4, 2, 8, 64).unwrap();
+        let b = EncodingKey::random(&mut HvRng::from_seed(6), 4, 2, 8, 64).unwrap();
+        assert_eq!(a, b);
+    }
+}

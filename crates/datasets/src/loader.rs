@@ -1,0 +1,152 @@
+//! Plain-text dataset loading.
+//!
+//! Accepts the common "CSV, label last" layout so the synthetic
+//! benchmarks can be swapped for the real datasets without touching any
+//! other code: each line is `f1,f2,…,fN,label`. Blank lines and lines
+//! starting with `#` are ignored.
+
+use std::io::BufRead;
+use std::path::Path;
+
+use crate::error::DataError;
+use crate::schema::{Dataset, Sample};
+
+/// Parses a dataset from CSV text (`f1,…,fN,label` per line).
+///
+/// # Errors
+///
+/// Returns [`DataError::Parse`] with a 1-based line number on malformed
+/// input, and the usual construction errors for inconsistent rows.
+///
+/// # Examples
+///
+/// ```
+/// use hdc_datasets::load_csv_str;
+///
+/// let ds = load_csv_str("demo", "0.5,1.0,0\n0.25,0.75,1\n", 2)?;
+/// assert_eq!(ds.len(), 2);
+/// assert_eq!(ds.samples()[1].label, 1);
+/// # Ok::<(), hdc_datasets::DataError>(())
+/// ```
+pub fn load_csv_str(name: &str, text: &str, n_classes: usize) -> Result<Dataset, DataError> {
+    let mut samples = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut fields: Vec<&str> = line.split(',').map(str::trim).collect();
+        let label_field = fields.pop().ok_or(DataError::Parse {
+            line: line_no,
+            message: "empty line after trim".into(),
+        })?;
+        let label: usize = label_field.parse().map_err(|_| DataError::Parse {
+            line: line_no,
+            message: format!("invalid label '{label_field}'"),
+        })?;
+        if fields.is_empty() {
+            return Err(DataError::Parse { line: line_no, message: "no feature columns".into() });
+        }
+        let mut features = Vec::with_capacity(fields.len());
+        for f in fields {
+            let v: f32 = f.parse().map_err(|_| DataError::Parse {
+                line: line_no,
+                message: format!("invalid feature value '{f}'"),
+            })?;
+            features.push(v);
+        }
+        samples.push(Sample { features, label });
+    }
+    Dataset::new(name, n_classes, samples)
+}
+
+/// Loads a dataset from a CSV file on disk.
+///
+/// # Errors
+///
+/// Returns [`DataError::Parse`] (line 0) when the file cannot be read,
+/// otherwise behaves like [`load_csv_str`].
+pub fn load_csv_file(
+    name: &str,
+    path: impl AsRef<Path>,
+    n_classes: usize,
+) -> Result<Dataset, DataError> {
+    let file = std::fs::File::open(path.as_ref()).map_err(|e| DataError::Parse {
+        line: 0,
+        message: format!("cannot open {}: {e}", path.as_ref().display()),
+    })?;
+    let mut text = String::new();
+    for line in std::io::BufReader::new(file).lines() {
+        let line = line.map_err(|e| DataError::Parse {
+            line: 0,
+            message: format!("read error: {e}"),
+        })?;
+        text.push_str(&line);
+        text.push('\n');
+    }
+    load_csv_str(name, &text, n_classes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_simple_csv() {
+        let ds = load_csv_str("t", "1.0,2.0,0\n3.0,4.0,1\n", 2).unwrap();
+        assert_eq!(ds.len(), 2);
+        assert_eq!(ds.n_features(), 2);
+        assert_eq!(ds.samples()[0].features, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn skips_comments_and_blanks() {
+        let ds = load_csv_str("t", "# header\n\n1.0,0\n", 1).unwrap();
+        assert_eq!(ds.len(), 1);
+    }
+
+    #[test]
+    fn reports_bad_label_with_line() {
+        let err = load_csv_str("t", "1.0,0\n1.0,xyz\n", 2).unwrap_err();
+        assert_eq!(
+            err,
+            DataError::Parse { line: 2, message: "invalid label 'xyz'".into() }
+        );
+    }
+
+    #[test]
+    fn reports_bad_feature_with_line() {
+        let err = load_csv_str("t", "oops,0\n", 1).unwrap_err();
+        assert!(matches!(err, DataError::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn rejects_label_only_lines() {
+        let err = load_csv_str("t", "0\n", 1).unwrap_err();
+        assert!(matches!(err, DataError::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn whitespace_tolerant() {
+        let ds = load_csv_str("t", " 1.0 , 2.0 , 1 \n", 2).unwrap();
+        assert_eq!(ds.samples()[0].label, 1);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("hdc_datasets_loader_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("toy.csv");
+        std::fs::write(&path, "0.1,0.9,0\n0.8,0.2,1\n").unwrap();
+        let ds = load_csv_file("toy", &path, 2).unwrap();
+        assert_eq!(ds.len(), 2);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_errors() {
+        let err = load_csv_file("x", "/nonexistent/definitely/missing.csv", 2).unwrap_err();
+        assert!(matches!(err, DataError::Parse { line: 0, .. }));
+    }
+}

@@ -1,0 +1,203 @@
+//! Min–max quantization of continuous features into `M` discrete levels.
+//!
+//! HDC record-based encoding needs each feature value mapped to one of
+//! `M` level hypervectors. Following the paper (Sec. 2, Encoding), the
+//! value range is taken per-feature across the *training* set and split
+//! into `M` equal bins.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::DataError;
+use crate::schema::{Dataset, QuantizedDataset};
+
+/// A fitted min–max discretizer mapping `f32` features to levels
+/// `0..m_levels`.
+///
+/// # Examples
+///
+/// ```
+/// use hdc_datasets::{Dataset, Discretizer, Sample};
+///
+/// let ds = Dataset::new("t", 2, vec![
+///     Sample { features: vec![0.0], label: 0 },
+///     Sample { features: vec![1.0], label: 1 },
+/// ])?;
+/// let disc = Discretizer::fit(&ds, 4)?;
+/// assert_eq!(disc.discretize_value(0, 0.0), 0);
+/// assert_eq!(disc.discretize_value(0, 1.0), 3);
+/// # Ok::<(), hdc_datasets::DataError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Discretizer {
+    mins: Vec<f32>,
+    maxs: Vec<f32>,
+    m_levels: usize,
+}
+
+impl Discretizer {
+    /// Fits per-feature minima/maxima on `dataset` for `m_levels` bins.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::TooFewLevels`] if `m_levels < 2`.
+    pub fn fit(dataset: &Dataset, m_levels: usize) -> Result<Self, DataError> {
+        if m_levels < 2 {
+            return Err(DataError::TooFewLevels { requested: m_levels });
+        }
+        let n = dataset.n_features();
+        let mut mins = vec![f32::INFINITY; n];
+        let mut maxs = vec![f32::NEG_INFINITY; n];
+        for s in dataset {
+            for (j, &v) in s.features.iter().enumerate() {
+                mins[j] = mins[j].min(v);
+                maxs[j] = maxs[j].max(v);
+            }
+        }
+        Ok(Discretizer { mins, maxs, m_levels })
+    }
+
+    /// Number of levels `M`.
+    #[must_use]
+    pub fn m_levels(&self) -> usize {
+        self.m_levels
+    }
+
+    /// Number of features this discretizer was fitted on.
+    #[must_use]
+    pub fn n_features(&self) -> usize {
+        self.mins.len()
+    }
+
+    /// Quantizes one value of feature `j`; values outside the fitted
+    /// range clamp to the boundary levels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j >= self.n_features()`.
+    #[must_use]
+    pub fn discretize_value(&self, j: usize, v: f32) -> u16 {
+        let (lo, hi) = (self.mins[j], self.maxs[j]);
+        if hi <= lo {
+            return 0; // constant feature: single level
+        }
+        let t = ((v - lo) / (hi - lo)).clamp(0.0, 1.0);
+        let level = (t * self.m_levels as f32) as usize;
+        level.min(self.m_levels - 1) as u16
+    }
+
+    /// Quantizes a full feature vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features.len() != self.n_features()`.
+    #[must_use]
+    pub fn discretize_row(&self, features: &[f32]) -> Vec<u16> {
+        assert_eq!(features.len(), self.n_features(), "feature width mismatch");
+        features
+            .iter()
+            .enumerate()
+            .map(|(j, &v)| self.discretize_value(j, v))
+            .collect()
+    }
+
+    /// Quantizes a whole dataset into a [`QuantizedDataset`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates construction errors (these indicate an internal bug;
+    /// the discretizer always emits in-range levels).
+    pub fn discretize(&self, dataset: &Dataset) -> Result<QuantizedDataset, DataError> {
+        let rows: Vec<Vec<u16>> =
+            dataset.iter().map(|s| self.discretize_row(&s.features)).collect();
+        let labels: Vec<usize> = dataset.iter().map(|s| s.label).collect();
+        QuantizedDataset::new(dataset.name(), dataset.n_classes(), self.m_levels, rows, labels)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Sample;
+
+    fn toy() -> Dataset {
+        Dataset::new(
+            "toy",
+            2,
+            vec![
+                Sample { features: vec![0.0, -5.0], label: 0 },
+                Sample { features: vec![10.0, 5.0], label: 1 },
+                Sample { features: vec![5.0, 0.0], label: 0 },
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn fit_finds_min_max() {
+        let d = Discretizer::fit(&toy(), 4).unwrap();
+        assert_eq!(d.discretize_value(0, 0.0), 0);
+        assert_eq!(d.discretize_value(0, 10.0), 3);
+        assert_eq!(d.discretize_value(1, -5.0), 0);
+        assert_eq!(d.discretize_value(1, 5.0), 3);
+    }
+
+    #[test]
+    fn midpoints_hit_middle_levels() {
+        let d = Discretizer::fit(&toy(), 4).unwrap();
+        assert_eq!(d.discretize_value(0, 2.6), 1);
+        assert_eq!(d.discretize_value(0, 5.1), 2);
+    }
+
+    #[test]
+    fn out_of_range_clamps() {
+        let d = Discretizer::fit(&toy(), 8).unwrap();
+        assert_eq!(d.discretize_value(0, -100.0), 0);
+        assert_eq!(d.discretize_value(0, 100.0), 7);
+    }
+
+    #[test]
+    fn constant_feature_maps_to_zero() {
+        let ds = Dataset::new(
+            "c",
+            1,
+            vec![
+                Sample { features: vec![3.0], label: 0 },
+                Sample { features: vec![3.0], label: 0 },
+            ],
+        )
+        .unwrap();
+        let d = Discretizer::fit(&ds, 4).unwrap();
+        assert_eq!(d.discretize_value(0, 3.0), 0);
+    }
+
+    #[test]
+    fn rejects_single_level() {
+        assert!(matches!(
+            Discretizer::fit(&toy(), 1),
+            Err(DataError::TooFewLevels { requested: 1 })
+        ));
+    }
+
+    #[test]
+    fn discretize_dataset_preserves_shape() {
+        let ds = toy();
+        let d = Discretizer::fit(&ds, 16).unwrap();
+        let q = d.discretize(&ds).unwrap();
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.n_features(), 2);
+        assert_eq!(q.m_levels(), 16);
+        assert_eq!(q.label(2), 0);
+    }
+
+    #[test]
+    fn levels_are_monotone_in_value() {
+        let d = Discretizer::fit(&toy(), 10).unwrap();
+        let mut prev = 0;
+        for step in 0..=100 {
+            let v = step as f32 * 0.1;
+            let lv = d.discretize_value(0, v);
+            assert!(lv >= prev, "level decreased at v={v}");
+            prev = lv;
+        }
+    }
+}

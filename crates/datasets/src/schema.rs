@@ -1,0 +1,317 @@
+//! Core dataset containers.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::DataError;
+
+/// One labelled sample: a dense feature vector plus a class label.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Sample {
+    /// Raw (continuous) feature values.
+    pub features: Vec<f32>,
+    /// Class label in `0..n_classes`.
+    pub label: usize,
+}
+
+/// A labelled dataset of fixed-width samples.
+///
+/// # Examples
+///
+/// ```
+/// use hdc_datasets::{Dataset, Sample};
+///
+/// let ds = Dataset::new(
+///     "toy",
+///     2,
+///     vec![
+///         Sample { features: vec![0.0, 1.0], label: 0 },
+///         Sample { features: vec![1.0, 0.0], label: 1 },
+///     ],
+/// )?;
+/// assert_eq!(ds.len(), 2);
+/// assert_eq!(ds.n_features(), 2);
+/// # Ok::<(), hdc_datasets::DataError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dataset {
+    name: String,
+    n_classes: usize,
+    n_features: usize,
+    samples: Vec<Sample>,
+}
+
+impl Dataset {
+    /// Builds a dataset, validating that every sample has the same width
+    /// and labels fall inside `0..n_classes`.
+    ///
+    /// # Errors
+    ///
+    /// [`DataError::Empty`] when `samples` is empty;
+    /// [`DataError::InconsistentWidth`] when widths differ;
+    /// [`DataError::LabelOutOfRange`] when a label ≥ `n_classes`.
+    pub fn new(
+        name: impl Into<String>,
+        n_classes: usize,
+        samples: Vec<Sample>,
+    ) -> Result<Self, DataError> {
+        let first = samples.first().ok_or(DataError::Empty)?;
+        let n_features = first.features.len();
+        if n_features == 0 {
+            return Err(DataError::Empty);
+        }
+        for (i, s) in samples.iter().enumerate() {
+            if s.features.len() != n_features {
+                return Err(DataError::InconsistentWidth {
+                    index: i,
+                    expected: n_features,
+                    found: s.features.len(),
+                });
+            }
+            if s.label >= n_classes {
+                return Err(DataError::LabelOutOfRange { index: i, label: s.label, n_classes });
+            }
+        }
+        Ok(Dataset { name: name.into(), n_classes, n_features, samples })
+    }
+
+    /// Human-readable dataset name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of samples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the dataset holds no samples (never true after `new`).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Feature-vector width `N`.
+    #[must_use]
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    /// Number of classes `C`.
+    #[must_use]
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    /// All samples in order.
+    #[must_use]
+    pub fn samples(&self) -> &[Sample] {
+        &self.samples
+    }
+
+    /// Iterator over samples.
+    pub fn iter(&self) -> std::slice::Iter<'_, Sample> {
+        self.samples.iter()
+    }
+
+    /// Per-class sample counts.
+    #[must_use]
+    pub fn class_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.n_classes];
+        for s in &self.samples {
+            counts[s.label] += 1;
+        }
+        counts
+    }
+}
+
+impl<'a> IntoIterator for &'a Dataset {
+    type Item = &'a Sample;
+    type IntoIter = std::slice::Iter<'a, Sample>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.samples.iter()
+    }
+}
+
+/// A dataset already discretized to `M` value levels — the direct input
+/// format of an HDC encoder.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QuantizedDataset {
+    name: String,
+    n_classes: usize,
+    n_features: usize,
+    m_levels: usize,
+    rows: Vec<Vec<u16>>,
+    labels: Vec<usize>,
+}
+
+impl QuantizedDataset {
+    /// Builds a quantized dataset.
+    ///
+    /// # Errors
+    ///
+    /// Mirrors [`Dataset::new`], plus [`DataError::LevelOutOfRange`] when
+    /// any value ≥ `m_levels`.
+    pub fn new(
+        name: impl Into<String>,
+        n_classes: usize,
+        m_levels: usize,
+        rows: Vec<Vec<u16>>,
+        labels: Vec<usize>,
+    ) -> Result<Self, DataError> {
+        let first = rows.first().ok_or(DataError::Empty)?;
+        let n_features = first.len();
+        if n_features == 0 || rows.len() != labels.len() {
+            return Err(DataError::Empty);
+        }
+        for (i, row) in rows.iter().enumerate() {
+            if row.len() != n_features {
+                return Err(DataError::InconsistentWidth {
+                    index: i,
+                    expected: n_features,
+                    found: row.len(),
+                });
+            }
+            if let Some(&bad) = row.iter().find(|&&v| usize::from(v) >= m_levels) {
+                return Err(DataError::LevelOutOfRange { index: i, level: usize::from(bad), m_levels });
+            }
+            if labels[i] >= n_classes {
+                return Err(DataError::LabelOutOfRange { index: i, label: labels[i], n_classes });
+            }
+        }
+        Ok(QuantizedDataset {
+            name: name.into(),
+            n_classes,
+            n_features,
+            m_levels,
+            rows,
+            labels,
+        })
+    }
+
+    /// Dataset name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of samples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether there are no samples (never true after `new`).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Feature count `N`.
+    #[must_use]
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    /// Class count `C`.
+    #[must_use]
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    /// Number of discrete value levels `M`.
+    #[must_use]
+    pub fn m_levels(&self) -> usize {
+        self.m_levels
+    }
+
+    /// Level row for sample `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    #[must_use]
+    pub fn row(&self, i: usize) -> &[u16] {
+        &self.rows[i]
+    }
+
+    /// Label for sample `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    #[must_use]
+    pub fn label(&self, i: usize) -> usize {
+        self.labels[i]
+    }
+
+    /// Iterator over `(levels, label)` pairs.
+    pub fn iter(&self) -> impl ExactSizeIterator<Item = (&[u16], usize)> + '_ {
+        self.rows.iter().map(Vec::as_slice).zip(self.labels.iter().copied())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(features: Vec<f32>, label: usize) -> Sample {
+        Sample { features, label }
+    }
+
+    #[test]
+    fn new_validates_width() {
+        let err = Dataset::new(
+            "bad",
+            2,
+            vec![sample(vec![0.0, 1.0], 0), sample(vec![0.0], 1)],
+        )
+        .unwrap_err();
+        assert!(matches!(err, DataError::InconsistentWidth { index: 1, .. }));
+    }
+
+    #[test]
+    fn new_validates_labels() {
+        let err = Dataset::new("bad", 2, vec![sample(vec![0.0], 5)]).unwrap_err();
+        assert!(matches!(err, DataError::LabelOutOfRange { label: 5, .. }));
+    }
+
+    #[test]
+    fn new_rejects_empty() {
+        assert!(matches!(Dataset::new("e", 2, vec![]).unwrap_err(), DataError::Empty));
+    }
+
+    #[test]
+    fn class_counts_sum_to_len() {
+        let ds = Dataset::new(
+            "t",
+            3,
+            vec![
+                sample(vec![0.0], 0),
+                sample(vec![1.0], 2),
+                sample(vec![2.0], 2),
+            ],
+        )
+        .unwrap();
+        assert_eq!(ds.class_counts(), vec![1, 0, 2]);
+    }
+
+    #[test]
+    fn quantized_validates_levels() {
+        let err =
+            QuantizedDataset::new("q", 2, 4, vec![vec![0, 4]], vec![0]).unwrap_err();
+        assert!(matches!(err, DataError::LevelOutOfRange { level: 4, .. }));
+    }
+
+    #[test]
+    fn quantized_roundtrip() {
+        let q = QuantizedDataset::new("q", 2, 4, vec![vec![0, 3], vec![1, 2]], vec![0, 1])
+            .unwrap();
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.row(1), &[1, 2]);
+        assert_eq!(q.label(1), 1);
+        assert_eq!(q.iter().count(), 2);
+    }
+}

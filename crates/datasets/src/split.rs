@@ -1,0 +1,133 @@
+//! Stratified train/test splitting.
+
+use hypervec::HvRng;
+
+use crate::error::DataError;
+use crate::schema::{Dataset, Sample};
+
+/// Splits `dataset` into `(train, test)` with approximately
+/// `test_fraction` of each class's samples in the test split
+/// (stratified, shuffled).
+///
+/// # Errors
+///
+/// Returns [`DataError::BadSplit`] if the fraction is outside `(0, 1)`
+/// or either side would be empty.
+///
+/// # Examples
+///
+/// ```
+/// use hdc_datasets::{stratified_split, Dataset, Sample};
+/// use hypervec::HvRng;
+///
+/// let samples: Vec<Sample> = (0..20)
+///     .map(|i| Sample { features: vec![i as f32], label: i % 2 })
+///     .collect();
+/// let ds = Dataset::new("t", 2, samples)?;
+/// let (train, test) = stratified_split(&ds, 0.2, &mut HvRng::from_seed(0))?;
+/// assert_eq!(train.len(), 16);
+/// assert_eq!(test.len(), 4);
+/// # Ok::<(), hdc_datasets::DataError>(())
+/// ```
+pub fn stratified_split(
+    dataset: &Dataset,
+    test_fraction: f64,
+    rng: &mut HvRng,
+) -> Result<(Dataset, Dataset), DataError> {
+    if !(0.0..1.0).contains(&test_fraction) || test_fraction == 0.0 {
+        return Err(DataError::BadSplit { test_fraction });
+    }
+    let mut by_class: Vec<Vec<&Sample>> = vec![Vec::new(); dataset.n_classes()];
+    for s in dataset {
+        by_class[s.label].push(s);
+    }
+    let mut train = Vec::new();
+    let mut test = Vec::new();
+    for class_samples in &mut by_class {
+        if class_samples.is_empty() {
+            continue;
+        }
+        // Shuffle within the class for an unbiased draw.
+        let order = rng.shuffled_indices(class_samples.len());
+        let n_test = ((class_samples.len() as f64) * test_fraction).round() as usize;
+        let n_test = n_test.min(class_samples.len().saturating_sub(1));
+        for (rank, &idx) in order.iter().enumerate() {
+            if rank < n_test {
+                test.push(class_samples[idx].clone());
+            } else {
+                train.push(class_samples[idx].clone());
+            }
+        }
+    }
+    if train.is_empty() || test.is_empty() {
+        return Err(DataError::BadSplit { test_fraction });
+    }
+    let train = Dataset::new(format!("{}-train", dataset.name()), dataset.n_classes(), train)?;
+    let test = Dataset::new(format!("{}-test", dataset.name()), dataset.n_classes(), test)?;
+    Ok((train, test))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy(n: usize, classes: usize) -> Dataset {
+        let samples: Vec<Sample> = (0..n)
+            .map(|i| Sample { features: vec![i as f32], label: i % classes })
+            .collect();
+        Dataset::new("toy", classes, samples).unwrap()
+    }
+
+    #[test]
+    fn split_sizes_add_up() {
+        let ds = toy(100, 4);
+        let (train, test) = stratified_split(&ds, 0.2, &mut HvRng::from_seed(1)).unwrap();
+        assert_eq!(train.len() + test.len(), 100);
+        assert_eq!(test.len(), 20);
+    }
+
+    #[test]
+    fn split_is_stratified() {
+        let ds = toy(100, 4);
+        let (_, test) = stratified_split(&ds, 0.2, &mut HvRng::from_seed(2)).unwrap();
+        assert_eq!(test.class_counts(), vec![5, 5, 5, 5]);
+    }
+
+    #[test]
+    fn no_sample_is_duplicated_or_lost() {
+        let ds = toy(60, 3);
+        let (train, test) = stratified_split(&ds, 0.3, &mut HvRng::from_seed(3)).unwrap();
+        let mut seen: Vec<f32> = train
+            .iter()
+            .chain(test.iter())
+            .map(|s| s.features[0])
+            .collect();
+        seen.sort_by(f32::total_cmp);
+        let expected: Vec<f32> = (0..60).map(|i| i as f32).collect();
+        assert_eq!(seen, expected);
+    }
+
+    #[test]
+    fn rejects_degenerate_fractions() {
+        let ds = toy(10, 2);
+        for frac in [0.0, 1.0, 1.5, -0.1] {
+            assert!(
+                matches!(
+                    stratified_split(&ds, frac, &mut HvRng::from_seed(0)),
+                    Err(DataError::BadSplit { .. })
+                ),
+                "fraction {frac} should be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn tiny_classes_keep_a_training_sample() {
+        // 2 samples per class with a huge test fraction: each class must
+        // still retain one training sample.
+        let ds = toy(4, 2);
+        let (train, test) = stratified_split(&ds, 0.9, &mut HvRng::from_seed(4)).unwrap();
+        assert_eq!(train.len(), 2);
+        assert_eq!(test.len(), 2);
+    }
+}

@@ -1,0 +1,114 @@
+//! Descriptive statistics over datasets.
+
+use serde::{Deserialize, Serialize};
+
+use crate::schema::Dataset;
+
+/// Per-feature summary statistics of a dataset.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FeatureStats {
+    mins: Vec<f32>,
+    maxs: Vec<f32>,
+    means: Vec<f64>,
+    stds: Vec<f64>,
+}
+
+impl FeatureStats {
+    /// Computes min/max/mean/std for every feature of `dataset`.
+    #[must_use]
+    pub fn compute(dataset: &Dataset) -> Self {
+        let n = dataset.n_features();
+        let count = dataset.len() as f64;
+        let mut mins = vec![f32::INFINITY; n];
+        let mut maxs = vec![f32::NEG_INFINITY; n];
+        let mut sums = vec![0.0f64; n];
+        let mut sq_sums = vec![0.0f64; n];
+        for s in dataset {
+            for (j, &v) in s.features.iter().enumerate() {
+                mins[j] = mins[j].min(v);
+                maxs[j] = maxs[j].max(v);
+                sums[j] += f64::from(v);
+                sq_sums[j] += f64::from(v) * f64::from(v);
+            }
+        }
+        let means: Vec<f64> = sums.iter().map(|s| s / count).collect();
+        let stds: Vec<f64> = sq_sums
+            .iter()
+            .zip(&means)
+            .map(|(sq, m)| (sq / count - m * m).max(0.0).sqrt())
+            .collect();
+        FeatureStats { mins, maxs, means, stds }
+    }
+
+    /// Minimum of feature `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is out of range.
+    #[must_use]
+    pub fn min(&self, j: usize) -> f32 {
+        self.mins[j]
+    }
+
+    /// Maximum of feature `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is out of range.
+    #[must_use]
+    pub fn max(&self, j: usize) -> f32 {
+        self.maxs[j]
+    }
+
+    /// Mean of feature `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is out of range.
+    #[must_use]
+    pub fn mean(&self, j: usize) -> f64 {
+        self.means[j]
+    }
+
+    /// Standard deviation of feature `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is out of range.
+    #[must_use]
+    pub fn std(&self, j: usize) -> f64 {
+        self.stds[j]
+    }
+
+    /// Number of features described.
+    #[must_use]
+    pub fn n_features(&self) -> usize {
+        self.mins.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Sample;
+
+    #[test]
+    fn stats_of_known_data() {
+        let ds = Dataset::new(
+            "s",
+            1,
+            vec![
+                Sample { features: vec![1.0, 10.0], label: 0 },
+                Sample { features: vec![3.0, 10.0], label: 0 },
+            ],
+        )
+        .unwrap();
+        let st = FeatureStats::compute(&ds);
+        assert_eq!(st.n_features(), 2);
+        assert_eq!(st.min(0), 1.0);
+        assert_eq!(st.max(0), 3.0);
+        assert!((st.mean(0) - 2.0).abs() < 1e-9);
+        assert!((st.std(0) - 1.0).abs() < 1e-9);
+        assert_eq!(st.std(1), 0.0);
+    }
+}

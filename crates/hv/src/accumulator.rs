@@ -1,0 +1,256 @@
+//! Bundling accumulator for majority-vote superposition.
+//!
+//! HDC *bundles* a set of bipolar hypervectors by elementwise addition
+//! followed by `sign(·)`. A [`BundleAccumulator`] keeps the per-dimension
+//! counters so vectors can be added **and removed** incrementally, which
+//! is what class hypervector training and QuantHD-style retraining do.
+
+use serde::{Deserialize, Serialize};
+
+use crate::binary::BinaryHv;
+use crate::dense::IntHv;
+use crate::rng::HvRng;
+
+/// Incremental bundler over bipolar hypervectors.
+///
+/// # Examples
+///
+/// ```
+/// use hypervec::{BinaryHv, BundleAccumulator, HvRng};
+///
+/// let mut rng = HvRng::from_seed(9);
+/// let a = rng.binary_hv(1000);
+/// let mut acc = BundleAccumulator::new(1000);
+/// acc.add(&a);
+/// acc.add(&a);
+/// acc.add(&rng.binary_hv(1000));
+/// // the majority follows the repeated vector
+/// assert!(acc.majority_ties_positive().hamming(&a) < 100);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BundleAccumulator {
+    sums: IntHv,
+    count: usize,
+}
+
+impl BundleAccumulator {
+    /// Creates an empty accumulator of dimension `dim`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim == 0`.
+    #[must_use]
+    pub fn new(dim: usize) -> Self {
+        BundleAccumulator { sums: IntHv::zeros(dim), count: 0 }
+    }
+
+    /// Dimensionality.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.sums.dim()
+    }
+
+    /// Number of vectors added minus vectors removed.
+    #[must_use]
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Adds a hypervector to the bundle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions differ.
+    pub fn add(&mut self, hv: &BinaryHv) {
+        self.sums.add_binary(hv);
+        self.count += 1;
+    }
+
+    /// Removes a previously-added hypervector from the bundle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions differ or the accumulator is empty.
+    pub fn remove(&mut self, hv: &BinaryHv) {
+        assert!(self.count > 0, "cannot remove from an empty bundle");
+        self.sums.sub_binary(hv);
+        self.count -= 1;
+    }
+
+    /// Adds a non-binary (integer) encoding into the bundle, as non-binary
+    /// class training does (paper Eq. 4).
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions differ.
+    pub fn add_int(&mut self, hv: &IntHv) {
+        self.sums.add_assign_int(hv);
+        self.count += 1;
+    }
+
+    /// Subtracts a non-binary encoding from the bundle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions differ or the accumulator is empty.
+    pub fn remove_int(&mut self, hv: &IntHv) {
+        assert!(self.count > 0, "cannot remove from an empty bundle");
+        self.sums.sub_assign_int(hv);
+        self.count -= 1;
+    }
+
+    /// Borrows the raw per-dimension sums.
+    #[must_use]
+    pub fn sums(&self) -> &IntHv {
+        &self.sums
+    }
+
+    /// Adds `weight × hv` to the sums **without** changing the bundle
+    /// count — the retraining update of QuantHD-style HDC training
+    /// (misclassified samples nudge two class accumulators).
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions differ.
+    pub fn adjust_binary(&mut self, hv: &BinaryHv, weight: i32) {
+        self.sums.add_binary_scaled(hv, weight);
+    }
+
+    /// Adds `weight × hv` (integer hypervector) to the sums without
+    /// changing the bundle count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions differ.
+    pub fn adjust_int(&mut self, hv: &IntHv, weight: i32) {
+        let scaled = IntHv::from_fn(hv.dim(), |i| hv.get(i) * weight);
+        self.sums.add_assign_int(&scaled);
+    }
+
+    /// Majority vote with random `sign(0)` tie-break.
+    #[must_use]
+    pub fn majority_with(&self, rng: &mut HvRng) -> BinaryHv {
+        self.sums.sign_with(rng)
+    }
+
+    /// Majority vote mapping ties to +1 (deterministic ablation).
+    #[must_use]
+    pub fn majority_ties_positive(&self) -> BinaryHv {
+        self.sums.sign_ties_positive()
+    }
+}
+
+impl Extend<BinaryHv> for BundleAccumulator {
+    fn extend<T: IntoIterator<Item = BinaryHv>>(&mut self, iter: T) {
+        for hv in iter {
+            self.add(&hv);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_majority_is_all_ties() {
+        let acc = BundleAccumulator::new(32);
+        assert_eq!(acc.count(), 0);
+        assert_eq!(acc.majority_ties_positive(), BinaryHv::ones(32));
+    }
+
+    #[test]
+    fn single_vector_majority_is_itself() {
+        let mut rng = HvRng::from_seed(1);
+        let hv = rng.binary_hv(500);
+        let mut acc = BundleAccumulator::new(500);
+        acc.add(&hv);
+        assert_eq!(acc.majority_ties_positive(), hv);
+        assert_eq!(acc.majority_with(&mut rng), hv);
+    }
+
+    #[test]
+    fn add_remove_roundtrip() {
+        let mut rng = HvRng::from_seed(2);
+        let a = rng.binary_hv(100);
+        let b = rng.binary_hv(100);
+        let mut acc = BundleAccumulator::new(100);
+        acc.add(&a);
+        acc.add(&b);
+        acc.remove(&b);
+        assert_eq!(acc.count(), 1);
+        assert_eq!(acc.majority_ties_positive(), a);
+    }
+
+    #[test]
+    fn majority_of_three_is_elementwise() {
+        let mut rng = HvRng::from_seed(3);
+        let vs: Vec<BinaryHv> = (0..3).map(|_| rng.binary_hv(200)).collect();
+        let mut acc = BundleAccumulator::new(200);
+        for v in &vs {
+            acc.add(v);
+        }
+        let maj = acc.majority_ties_positive();
+        for i in 0..200 {
+            let s: i32 = vs.iter().map(|v| i32::from(v.polarity(i))).sum();
+            assert_eq!(i32::from(maj.polarity(i)), s.signum(), "dim {i}");
+        }
+    }
+
+    #[test]
+    fn odd_count_has_no_ties() {
+        let mut rng = HvRng::from_seed(4);
+        let mut acc = BundleAccumulator::new(1000);
+        for _ in 0..7 {
+            acc.add(&rng.binary_hv(1000));
+        }
+        assert_eq!(acc.sums().count_zeros(), 0);
+        // thus both tie-break policies agree
+        assert_eq!(acc.majority_ties_positive(), acc.majority_with(&mut rng));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty bundle")]
+    fn remove_from_empty_panics() {
+        let mut acc = BundleAccumulator::new(8);
+        let hv = BinaryHv::ones(8);
+        acc.remove(&hv);
+    }
+
+    #[test]
+    fn extend_adds_all() {
+        let mut rng = HvRng::from_seed(5);
+        let vs: Vec<BinaryHv> = (0..5).map(|_| rng.binary_hv(64)).collect();
+        let mut acc = BundleAccumulator::new(64);
+        acc.extend(vs);
+        assert_eq!(acc.count(), 5);
+    }
+
+    #[test]
+    fn adjust_changes_sums_not_count() {
+        let mut rng = HvRng::from_seed(7);
+        let hv = rng.binary_hv(64);
+        let mut acc = BundleAccumulator::new(64);
+        acc.add(&hv);
+        acc.adjust_binary(&hv, 3);
+        assert_eq!(acc.count(), 1);
+        for i in 0..64 {
+            assert_eq!(acc.sums().get(i), 4 * i32::from(hv.polarity(i)));
+        }
+        acc.adjust_int(&hv.to_int(), -4);
+        assert_eq!(acc.sums(), &IntHv::zeros(64));
+    }
+
+    #[test]
+    fn int_accumulation_matches_binary() {
+        let mut rng = HvRng::from_seed(6);
+        let hv = rng.binary_hv(128);
+        let mut a = BundleAccumulator::new(128);
+        let mut b = BundleAccumulator::new(128);
+        a.add(&hv);
+        b.add_int(&hv.to_int());
+        assert_eq!(a, b);
+        b.remove_int(&hv.to_int());
+        assert_eq!(b.count(), 0);
+    }
+}

@@ -1,0 +1,470 @@
+//! Low-level bit storage backing [`BinaryHv`](crate::BinaryHv).
+//!
+//! A [`BitWords`] is a fixed-length sequence of bits packed into `u64`
+//! words. It supports the primitive operations hyperdimensional computing
+//! needs to be fast: word-wise XOR, popcount, and circular rotation of an
+//! arbitrary (not necessarily word-aligned) bit length.
+
+use serde::{Deserialize, Serialize};
+
+/// Fixed-length packed bit vector.
+///
+/// Bits beyond `len` in the last word are always kept zero; every method
+/// preserves that invariant so popcounts never see garbage. The
+/// invariant also survives deserialization: untrusted input is
+/// re-validated and re-masked.
+///
+/// # Examples
+///
+/// ```
+/// use hypervec::bitvec::BitWords;
+///
+/// let mut b = BitWords::zeros(130);
+/// b.set(0, true);
+/// b.set(129, true);
+/// assert_eq!(b.count_ones(), 2);
+/// assert!(b.get(129));
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[serde(try_from = "RawBitWords", into = "RawBitWords")]
+pub struct BitWords {
+    words: Vec<u64>,
+    len: usize,
+}
+
+/// Wire format of [`BitWords`]; converted through validation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct RawBitWords {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl From<BitWords> for RawBitWords {
+    fn from(b: BitWords) -> Self {
+        RawBitWords { words: b.words, len: b.len }
+    }
+}
+
+impl TryFrom<RawBitWords> for BitWords {
+    type Error = String;
+
+    fn try_from(raw: RawBitWords) -> Result<Self, Self::Error> {
+        if raw.len == 0 {
+            return Err("bit vector length must be positive".into());
+        }
+        if raw.words.len() != raw.len.div_ceil(64) {
+            return Err(format!(
+                "bit vector of {} bits needs {} words, got {}",
+                raw.len,
+                raw.len.div_ceil(64),
+                raw.words.len()
+            ));
+        }
+        let mut out = BitWords { words: raw.words, len: raw.len };
+        out.mask_tail();
+        Ok(out)
+    }
+}
+
+impl BitWords {
+    /// Creates an all-zero bit vector of `len` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len == 0`; zero-dimensional hypervectors are meaningless.
+    #[must_use]
+    pub fn zeros(len: usize) -> Self {
+        assert!(len > 0, "bit vector length must be positive");
+        BitWords {
+            words: vec![0u64; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// Creates a bit vector whose `i`-th bit is `f(i)`.
+    #[must_use]
+    pub fn from_fn(len: usize, mut f: impl FnMut(usize) -> bool) -> Self {
+        let mut out = Self::zeros(len);
+        for i in 0..len {
+            if f(i) {
+                out.set(i, true);
+            }
+        }
+        out
+    }
+
+    /// Creates a bit vector from raw words, masking any excess bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words` is shorter than `len.div_ceil(64)` or `len == 0`.
+    #[must_use]
+    pub fn from_words(mut words: Vec<u64>, len: usize) -> Self {
+        assert!(len > 0, "bit vector length must be positive");
+        let need = len.div_ceil(64);
+        assert!(
+            words.len() >= need,
+            "need {need} words for {len} bits, got {}",
+            words.len()
+        );
+        words.truncate(need);
+        let mut out = BitWords { words, len };
+        out.mask_tail();
+        out
+    }
+
+    /// Number of bits.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Always `false`: the constructor rejects zero-length vectors.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Borrows the packed words (tail bits are zero).
+    #[must_use]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Reads bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    #[inline]
+    #[must_use]
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit index {i} out of range for {} bits", self.len);
+        (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Writes bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    #[inline]
+    pub fn set(&mut self, i: usize, value: bool) {
+        assert!(i < self.len, "bit index {i} out of range for {} bits", self.len);
+        let mask = 1u64 << (i % 64);
+        if value {
+            self.words[i / 64] |= mask;
+        } else {
+            self.words[i / 64] &= !mask;
+        }
+    }
+
+    /// Flips bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    #[inline]
+    pub fn flip(&mut self, i: usize) {
+        assert!(i < self.len, "bit index {i} out of range for {} bits", self.len);
+        self.words[i / 64] ^= 1u64 << (i % 64);
+    }
+
+    /// Number of set bits.
+    #[must_use]
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// XORs `other` into `self` in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ.
+    pub fn xor_assign(&mut self, other: &Self) {
+        assert_eq!(self.len, other.len, "length mismatch in xor");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a ^= b;
+        }
+    }
+
+    /// Returns `self XOR other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ.
+    #[must_use]
+    pub fn xor(&self, other: &Self) -> Self {
+        let mut out = self.clone();
+        out.xor_assign(other);
+        out
+    }
+
+    /// Number of positions where `self` and `other` differ, without
+    /// allocating an intermediate vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ.
+    #[must_use]
+    pub fn count_diff(&self, other: &Self) -> usize {
+        assert_eq!(self.len, other.len, "length mismatch in count_diff");
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a ^ b).count_ones() as usize)
+            .sum()
+    }
+
+    /// Inverts every bit in place.
+    pub fn negate(&mut self) {
+        for w in &mut self.words {
+            *w = !*w;
+        }
+        self.mask_tail();
+    }
+
+    /// Extracts 64 consecutive bits starting at bit `start`, wrapping
+    /// around the end of the vector (circular read).
+    ///
+    /// Bit `j` of the result is bit `(start + j) mod len` of `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start >= self.len()`.
+    #[must_use]
+    pub fn extract64(&self, start: usize) -> u64 {
+        assert!(start < self.len, "start {start} out of range");
+        let mut out = 0u64;
+        let mut filled = 0usize;
+        let mut pos = start;
+        while filled < 64 {
+            let avail_to_wrap = self.len - pos;
+            let word = pos / 64;
+            let bit = pos % 64;
+            let avail_in_word = 64 - bit;
+            let take = avail_in_word.min(avail_to_wrap).min(64 - filled);
+            let mask = if take == 64 { u64::MAX } else { (1u64 << take) - 1 };
+            let chunk = (self.words[word] >> bit) & mask;
+            out |= chunk << filled;
+            filled += take;
+            pos += take;
+            if pos == self.len {
+                pos = 0;
+            }
+        }
+        out
+    }
+
+    /// Returns the circular left rotation by `k` bits: bit `i` of the
+    /// result is bit `(i + k) mod len` of `self`.
+    ///
+    /// This matches the HDC permutation `ρ_k(HV) = {HV[k..D-1], HV[0..k-1]}`.
+    #[must_use]
+    pub fn rotated(&self, k: usize) -> Self {
+        let k = k % self.len;
+        if k == 0 {
+            return self.clone();
+        }
+        let mut out = Self::zeros(self.len);
+        for wi in 0..out.words.len() {
+            let start = (wi * 64 + k) % self.len;
+            out.words[wi] = self.extract64(start);
+        }
+        out.mask_tail();
+        out
+    }
+
+    /// Zeroes the bits beyond `len` in the last word.
+    fn mask_tail(&mut self) {
+        let rem = self.len % 64;
+        if rem != 0 {
+            let last = self.words.len() - 1;
+            self.words[last] &= (1u64 << rem) - 1;
+        }
+    }
+
+    /// Iterator over all bits, in index order.
+    pub fn iter(&self) -> Iter<'_> {
+        Iter { bits: self, next: 0 }
+    }
+}
+
+impl std::fmt::Debug for BitWords {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let head: String = (0..self.len.min(16))
+            .map(|i| if self.get(i) { '1' } else { '0' })
+            .collect();
+        let ellipsis = if self.len > 16 { "…" } else { "" };
+        write!(f, "BitWords({} bits: {head}{ellipsis})", self.len)
+    }
+}
+
+/// Iterator over the bits of a [`BitWords`], produced by [`BitWords::iter`].
+#[derive(Debug)]
+pub struct Iter<'a> {
+    bits: &'a BitWords,
+    next: usize,
+}
+
+impl Iterator for Iter<'_> {
+    type Item = bool;
+
+    fn next(&mut self) -> Option<bool> {
+        if self.next >= self.bits.len() {
+            return None;
+        }
+        let v = self.bits.get(self.next);
+        self.next += 1;
+        Some(v)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = self.bits.len() - self.next;
+        (rem, Some(rem))
+    }
+}
+
+impl ExactSizeIterator for Iter<'_> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_has_no_ones() {
+        let b = BitWords::zeros(1000);
+        assert_eq!(b.count_ones(), 0);
+        assert_eq!(b.len(), 1000);
+    }
+
+    #[test]
+    #[should_panic(expected = "length must be positive")]
+    fn zero_length_rejected() {
+        let _ = BitWords::zeros(0);
+    }
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut b = BitWords::zeros(130);
+        for i in [0, 1, 63, 64, 65, 127, 128, 129] {
+            b.set(i, true);
+            assert!(b.get(i), "bit {i}");
+        }
+        assert_eq!(b.count_ones(), 8);
+        b.set(64, false);
+        assert!(!b.get(64));
+        assert_eq!(b.count_ones(), 7);
+    }
+
+    #[test]
+    fn flip_toggles() {
+        let mut b = BitWords::zeros(70);
+        b.flip(69);
+        assert!(b.get(69));
+        b.flip(69);
+        assert!(!b.get(69));
+    }
+
+    #[test]
+    fn from_fn_matches_get() {
+        let b = BitWords::from_fn(200, |i| i % 3 == 0);
+        for i in 0..200 {
+            assert_eq!(b.get(i), i % 3 == 0, "bit {i}");
+        }
+    }
+
+    #[test]
+    fn from_words_masks_tail() {
+        let b = BitWords::from_words(vec![u64::MAX, u64::MAX], 70);
+        assert_eq!(b.count_ones(), 70);
+    }
+
+    #[test]
+    fn xor_is_elementwise() {
+        let a = BitWords::from_fn(100, |i| i % 2 == 0);
+        let b = BitWords::from_fn(100, |i| i % 4 == 0);
+        let c = a.xor(&b);
+        for i in 0..100 {
+            assert_eq!(c.get(i), (i % 2 == 0) != (i % 4 == 0), "bit {i}");
+        }
+    }
+
+    #[test]
+    fn count_diff_equals_xor_popcount() {
+        let a = BitWords::from_fn(333, |i| (i * 7) % 5 < 2);
+        let b = BitWords::from_fn(333, |i| (i * 3) % 7 < 3);
+        assert_eq!(a.count_diff(&b), a.xor(&b).count_ones());
+    }
+
+    #[test]
+    fn negate_flips_all_within_len() {
+        let mut b = BitWords::from_fn(70, |i| i < 10);
+        b.negate();
+        assert_eq!(b.count_ones(), 60);
+        assert!(!b.get(0));
+        assert!(b.get(69));
+    }
+
+    #[test]
+    fn extract64_straddles_words() {
+        let b = BitWords::from_fn(256, |i| i % 2 == 0);
+        // Starting at bit 1 the alternating pattern reads as 0101…, i.e.
+        // even result bits land on odd source bits (zeros).
+        assert_eq!(b.extract64(1), 0xAAAA_AAAA_AAAA_AAAA);
+        assert_eq!(b.extract64(2), 0x5555_5555_5555_5555);
+    }
+
+    #[test]
+    fn extract64_matches_naive() {
+        let b = BitWords::from_fn(100, |i| (i * 13 + 5) % 7 < 3);
+        for start in 0..100 {
+            let w = b.extract64(start);
+            for j in 0..64 {
+                let expect = b.get((start + j) % 100);
+                assert_eq!((w >> j) & 1 == 1, expect, "start {start} bit {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn rotate_matches_naive_all_shifts() {
+        let d = 130;
+        let b = BitWords::from_fn(d, |i| (i * 17 + 3) % 11 < 5);
+        for k in 0..d {
+            let r = b.rotated(k);
+            for i in 0..d {
+                assert_eq!(r.get(i), b.get((i + k) % d), "k={k} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn rotate_by_len_is_identity() {
+        let b = BitWords::from_fn(97, |i| i % 2 == 1);
+        assert_eq!(b.rotated(97), b);
+        assert_eq!(b.rotated(0), b);
+    }
+
+    #[test]
+    fn rotate_composes() {
+        let b = BitWords::from_fn(200, |i| (i * 31) % 13 < 6);
+        assert_eq!(b.rotated(30).rotated(50), b.rotated(80));
+    }
+
+    #[test]
+    fn iter_yields_all_bits() {
+        let b = BitWords::from_fn(77, |i| i % 5 == 0);
+        let collected: Vec<bool> = b.iter().collect();
+        assert_eq!(collected.len(), 77);
+        for (i, v) in collected.iter().enumerate() {
+            assert_eq!(*v, i % 5 == 0);
+        }
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        let b = BitWords::zeros(8);
+        assert!(!format!("{b:?}").is_empty());
+    }
+}

@@ -1,0 +1,436 @@
+//! Integer (non-binary) hypervectors.
+//!
+//! An [`IntHv`] holds one `i32` per dimension. It is the carrier for
+//! *non-binary* HDC encodings (paper Eq. 2), for class accumulators
+//! during training (Eq. 4), and for intermediate attack quantities such
+//! as `ValHV_1 − ValHV_M` (Eq. 13).
+
+use serde::{Deserialize, Serialize};
+
+use crate::binary::BinaryHv;
+use crate::rng::HvRng;
+
+/// An integer hypervector in `Z^D`.
+///
+/// # Examples
+///
+/// ```
+/// use hypervec::{BinaryHv, IntHv};
+///
+/// let a = BinaryHv::ones(8);
+/// let mut acc = IntHv::zeros(8);
+/// acc.add_binary(&a);
+/// acc.add_binary(&a);
+/// assert_eq!(acc.get(0), 2);
+/// let signed = acc.sign_ties_positive();
+/// assert_eq!(signed, a);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct IntHv {
+    values: Vec<i32>,
+}
+
+impl IntHv {
+    /// The all-zero integer hypervector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim == 0`.
+    #[must_use]
+    pub fn zeros(dim: usize) -> Self {
+        assert!(dim > 0, "hypervector dimension must be positive");
+        IntHv { values: vec![0; dim] }
+    }
+
+    /// Builds a hypervector whose `i`-th entry is `f(i)`.
+    #[must_use]
+    pub fn from_fn(dim: usize, f: impl FnMut(usize) -> i32) -> Self {
+        assert!(dim > 0, "hypervector dimension must be positive");
+        IntHv { values: (0..dim).map(f).collect() }
+    }
+
+    /// Takes ownership of a value vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is empty.
+    #[must_use]
+    pub fn from_values(values: Vec<i32>) -> Self {
+        assert!(!values.is_empty(), "hypervector dimension must be positive");
+        IntHv { values }
+    }
+
+    /// Dimensionality `D`.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.values.len()
+    }
+
+    /// The value at dimension `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.dim()`.
+    #[inline]
+    #[must_use]
+    pub fn get(&self, i: usize) -> i32 {
+        self.values[i]
+    }
+
+    /// Borrows all values.
+    #[must_use]
+    pub fn values(&self) -> &[i32] {
+        &self.values
+    }
+
+    /// Adds a bipolar hypervector (entries ±1) into this accumulator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions differ.
+    pub fn add_binary(&mut self, hv: &BinaryHv) {
+        self.add_binary_scaled(hv, 1);
+    }
+
+    /// Subtracts a bipolar hypervector from this accumulator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions differ.
+    pub fn sub_binary(&mut self, hv: &BinaryHv) {
+        self.add_binary_scaled(hv, -1);
+    }
+
+    /// Adds `weight × hv` (used by retraining with a learning rate).
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions differ.
+    pub fn add_binary_scaled(&mut self, hv: &BinaryHv, weight: i32) {
+        assert_eq!(self.dim(), hv.dim(), "dimension mismatch in accumulate");
+        let words = hv.bits().words();
+        for (chunk_idx, chunk) in self.values.chunks_mut(64).enumerate() {
+            let word = words[chunk_idx];
+            for (bit, v) in chunk.iter_mut().enumerate() {
+                // set bit ⇔ −1
+                let sign = 1 - 2 * ((word >> bit) & 1) as i32;
+                *v += weight * sign;
+            }
+        }
+    }
+
+    /// Adds the elementwise product `a × b` of two bipolar hypervectors
+    /// into this accumulator without materializing the bound vector.
+    ///
+    /// This is the hot loop of record-based encoding
+    /// (`Σ ValHV_{f_i} × FeaHV_i`, paper Eq. 2): one XOR per word plus an
+    /// unpack, instead of an allocation per feature.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions differ.
+    pub fn add_bound_pair(&mut self, a: &BinaryHv, b: &BinaryHv) {
+        assert_eq!(self.dim(), a.dim(), "dimension mismatch in accumulate");
+        assert_eq!(self.dim(), b.dim(), "dimension mismatch in accumulate");
+        let wa = a.bits().words();
+        let wb = b.bits().words();
+        for (chunk_idx, chunk) in self.values.chunks_mut(64).enumerate() {
+            let word = wa[chunk_idx] ^ wb[chunk_idx];
+            for (bit, v) in chunk.iter_mut().enumerate() {
+                let sign = 1 - 2 * ((word >> bit) & 1) as i32;
+                *v += sign;
+            }
+        }
+    }
+
+    /// Elementwise sum.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions differ.
+    pub fn add_assign_int(&mut self, other: &IntHv) {
+        assert_eq!(self.dim(), other.dim(), "dimension mismatch in add");
+        for (a, b) in self.values.iter_mut().zip(&other.values) {
+            *a += b;
+        }
+    }
+
+    /// Elementwise difference.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions differ.
+    pub fn sub_assign_int(&mut self, other: &IntHv) {
+        assert_eq!(self.dim(), other.dim(), "dimension mismatch in sub");
+        for (a, b) in self.values.iter_mut().zip(&other.values) {
+            *a -= b;
+        }
+    }
+
+    /// Elementwise product with a bipolar vector: flips the sign of each
+    /// dimension where `hv` is −1. This is the `ValHV × FeaHV` binding of
+    /// the non-binary encoder.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions differ.
+    #[must_use]
+    pub fn bind_binary(&self, hv: &BinaryHv) -> IntHv {
+        assert_eq!(self.dim(), hv.dim(), "dimension mismatch in bind");
+        IntHv::from_fn(self.dim(), |i| self.values[i] * i32::from(hv.polarity(i)))
+    }
+
+    /// Dot product.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions differ.
+    #[must_use]
+    pub fn dot(&self, other: &IntHv) -> i64 {
+        assert_eq!(self.dim(), other.dim(), "dimension mismatch in dot");
+        self.values
+            .iter()
+            .zip(&other.values)
+            .map(|(&a, &b)| i64::from(a) * i64::from(b))
+            .sum()
+    }
+
+    /// Euclidean norm.
+    #[must_use]
+    pub fn norm(&self) -> f64 {
+        (self.dot(self) as f64).sqrt()
+    }
+
+    /// Cosine similarity in `[−1, 1]`; the paper's non-binary similarity
+    /// metric. Returns 0.0 if either vector is all-zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions differ.
+    #[must_use]
+    pub fn cosine(&self, other: &IntHv) -> f64 {
+        let denom = self.norm() * other.norm();
+        if denom == 0.0 {
+            0.0
+        } else {
+            self.dot(other) as f64 / denom
+        }
+    }
+
+    /// Binarizes with `sign(·)`, breaking `sign(0)` ties with a seeded
+    /// coin flip exactly as the paper prescribes (Eq. 3).
+    #[must_use]
+    pub fn sign_with(&self, rng: &mut HvRng) -> BinaryHv {
+        BinaryHv::from_fn(self.dim(), |i| match self.values[i].signum() {
+            1 => false,
+            -1 => true,
+            _ => rng.coin(),
+        })
+    }
+
+    /// Binarizes with `sign(·)`, mapping zeros to +1 deterministically.
+    ///
+    /// This variant exists as an ablation of the random tie-break; for
+    /// odd accumulation counts the two are identical because a sum of an
+    /// odd number of ±1 terms can never be zero.
+    #[must_use]
+    pub fn sign_ties_positive(&self) -> BinaryHv {
+        BinaryHv::from_fn(self.dim(), |i| self.values[i] < 0)
+    }
+
+    /// Number of dimensions holding exactly zero (potential ties).
+    #[must_use]
+    pub fn count_zeros(&self) -> usize {
+        self.values.iter().filter(|&&v| v == 0).count()
+    }
+
+    /// Indices where `self` and `other` differ — the index set `I` the
+    /// HDLock attack evaluates its criterion on (paper Sec. 4.2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions differ.
+    #[must_use]
+    pub fn differing_indices(&self, other: &IntHv) -> Vec<usize> {
+        assert_eq!(self.dim(), other.dim(), "dimension mismatch in differing_indices");
+        (0..self.dim()).filter(|&i| self.values[i] != other.values[i]).collect()
+    }
+}
+
+impl std::ops::Add for &IntHv {
+    type Output = IntHv;
+
+    fn add(self, rhs: &IntHv) -> IntHv {
+        let mut out = self.clone();
+        out.add_assign_int(rhs);
+        out
+    }
+}
+
+impl std::ops::Sub for &IntHv {
+    type Output = IntHv;
+
+    fn sub(self, rhs: &IntHv) -> IntHv {
+        let mut out = self.clone();
+        out.sub_assign_int(rhs);
+        out
+    }
+}
+
+impl std::ops::Neg for &IntHv {
+    type Output = IntHv;
+
+    fn neg(self) -> IntHv {
+        IntHv::from_fn(self.dim(), |i| -self.values[i])
+    }
+}
+
+impl std::fmt::Debug for IntHv {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let head: Vec<i32> = self.values.iter().take(8).copied().collect();
+        let ellipsis = if self.dim() > 8 { ", …" } else { "" };
+        write!(f, "IntHv(D={}: {head:?}{ellipsis})", self.dim())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::HvRng;
+
+    #[test]
+    fn zeros_is_zero() {
+        let z = IntHv::zeros(10);
+        assert_eq!(z.values(), &[0; 10]);
+        assert_eq!(z.count_zeros(), 10);
+    }
+
+    #[test]
+    fn add_binary_matches_polarities() {
+        let mut rng = HvRng::from_seed(1);
+        let hv = rng.binary_hv(200);
+        let mut acc = IntHv::zeros(200);
+        acc.add_binary(&hv);
+        for i in 0..200 {
+            assert_eq!(acc.get(i), i32::from(hv.polarity(i)), "dim {i}");
+        }
+    }
+
+    #[test]
+    fn add_then_sub_cancels() {
+        let mut rng = HvRng::from_seed(2);
+        let hv = rng.binary_hv(333);
+        let mut acc = IntHv::zeros(333);
+        acc.add_binary(&hv);
+        acc.sub_binary(&hv);
+        assert_eq!(acc, IntHv::zeros(333));
+    }
+
+    #[test]
+    fn scaled_accumulate() {
+        let mut rng = HvRng::from_seed(3);
+        let hv = rng.binary_hv(64);
+        let mut acc = IntHv::zeros(64);
+        acc.add_binary_scaled(&hv, 5);
+        for i in 0..64 {
+            assert_eq!(acc.get(i), 5 * i32::from(hv.polarity(i)));
+        }
+    }
+
+    #[test]
+    fn bind_binary_flips_signs() {
+        let v = IntHv::from_fn(100, |i| i as i32);
+        let mut rng = HvRng::from_seed(4);
+        let hv = rng.binary_hv(100);
+        let bound = v.bind_binary(&hv);
+        for i in 0..100 {
+            assert_eq!(bound.get(i), v.get(i) * i32::from(hv.polarity(i)));
+        }
+        // binding twice restores the original
+        assert_eq!(bound.bind_binary(&hv), v);
+    }
+
+    #[test]
+    fn add_bound_pair_matches_explicit_bind() {
+        let mut rng = HvRng::from_seed(21);
+        let a = rng.binary_hv(300);
+        let b = rng.binary_hv(300);
+        let mut fused = IntHv::zeros(300);
+        fused.add_bound_pair(&a, &b);
+        let mut explicit = IntHv::zeros(300);
+        explicit.add_binary(&a.bind(&b));
+        assert_eq!(fused, explicit);
+    }
+
+    #[test]
+    fn sign_of_positive_matches() {
+        let v = IntHv::from_fn(50, |i| if i % 2 == 0 { 3 } else { -7 });
+        let s = v.sign_ties_positive();
+        for i in 0..50 {
+            assert_eq!(i32::from(s.polarity(i)), if i % 2 == 0 { 1 } else { -1 });
+        }
+    }
+
+    #[test]
+    fn sign_random_ties_only_touch_zeros() {
+        let v = IntHv::from_fn(100, |i| (i as i32 % 3) - 1); // −1, 0, 1 pattern
+        let mut rng = HvRng::from_seed(5);
+        let s = v.sign_with(&mut rng);
+        for i in 0..100 {
+            match v.get(i).signum() {
+                1 => assert_eq!(s.polarity(i), 1),
+                -1 => assert_eq!(s.polarity(i), -1),
+                _ => {} // free
+            }
+        }
+    }
+
+    #[test]
+    fn cosine_of_self_is_one() {
+        let v = IntHv::from_fn(128, |i| (i as i32 % 5) - 2);
+        assert!((v.cosine(&v) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cosine_of_opposite_is_minus_one() {
+        let v = IntHv::from_fn(128, |i| (i as i32 % 7) - 3);
+        let n = -&v;
+        assert!((v.cosine(&n) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cosine_zero_vector_is_zero() {
+        let z = IntHv::zeros(16);
+        let v = IntHv::from_fn(16, |i| i as i32 + 1);
+        assert_eq!(z.cosine(&v), 0.0);
+    }
+
+    #[test]
+    fn differing_indices_found() {
+        let a = IntHv::from_fn(10, |i| i as i32);
+        let mut b = a.clone();
+        b.add_assign_int(&IntHv::from_fn(10, |i| i32::from(i == 3 || i == 7)));
+        assert_eq!(a.differing_indices(&b), vec![3, 7]);
+    }
+
+    #[test]
+    fn add_sub_operators() {
+        let a = IntHv::from_fn(8, |i| i as i32);
+        let b = IntHv::from_fn(8, |_| 2);
+        assert_eq!((&a + &b).get(3), 5);
+        assert_eq!((&a - &b).get(3), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn dot_mismatch_panics() {
+        let a = IntHv::zeros(4);
+        let b = IntHv::zeros(5);
+        let _ = a.dot(&b);
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        assert!(!format!("{:?}", IntHv::zeros(3)).is_empty());
+    }
+}

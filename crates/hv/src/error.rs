@@ -1,0 +1,82 @@
+//! Error type shared by fallible `hypervec` constructors and queries.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by `hypervec` operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum HvError {
+    /// Two hypervectors had different dimensionalities.
+    DimensionMismatch {
+        /// Dimension expected by the operation.
+        expected: usize,
+        /// Dimension actually supplied.
+        found: usize,
+    },
+    /// A level-hypervector family needs at least two levels.
+    TooFewLevels {
+        /// Number of levels requested.
+        requested: usize,
+    },
+    /// The requested dimensionality cannot host the requested structure
+    /// (e.g. more levels than half the dimension).
+    DimensionTooSmall {
+        /// Dimension supplied.
+        dim: usize,
+        /// Minimum dimension required.
+        required: usize,
+    },
+    /// An operation that needs at least one element got none.
+    EmptyInput,
+    /// An index was outside the valid range.
+    IndexOutOfRange {
+        /// Offending index.
+        index: usize,
+        /// Number of valid entries.
+        len: usize,
+    },
+}
+
+impl fmt::Display for HvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HvError::DimensionMismatch { expected, found } => {
+                write!(f, "dimension mismatch: expected {expected}, found {found}")
+            }
+            HvError::TooFewLevels { requested } => {
+                write!(f, "level family needs at least 2 levels, requested {requested}")
+            }
+            HvError::DimensionTooSmall { dim, required } => {
+                write!(f, "dimension {dim} too small, need at least {required}")
+            }
+            HvError::EmptyInput => write!(f, "operation requires at least one element"),
+            HvError::IndexOutOfRange { index, len } => {
+                write!(f, "index {index} out of range for length {len}")
+            }
+        }
+    }
+}
+
+impl Error for HvError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = HvError::DimensionMismatch { expected: 10, found: 4 };
+        assert_eq!(e.to_string(), "dimension mismatch: expected 10, found 4");
+        let e = HvError::TooFewLevels { requested: 1 };
+        assert!(e.to_string().contains("at least 2"));
+        let e = HvError::EmptyInput;
+        assert!(!e.to_string().is_empty());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<HvError>();
+    }
+}

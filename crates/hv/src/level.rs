@@ -1,0 +1,234 @@
+//! Correlated value ("level") hypervectors.
+//!
+//! Feature *values* are discretized into `M` levels and each level gets a
+//! hypervector. Unlike feature hypervectors (mutually orthogonal), level
+//! hypervectors are **linearly correlated**: the normalized Hamming
+//! distance between level `a` and level `b` is `0.5 · |a−b| / (M−1)`
+//! (paper Eq. 1b), so only the first and last level are orthogonal.
+//!
+//! The family is built by progressive flipping: starting from a random
+//! `ValHV_1`, each next level flips a fresh batch of ≈ `D/(2(M−1))`
+//! positions that were never flipped before, chosen from a random
+//! permutation of the dimensions.
+
+use serde::{Deserialize, Serialize};
+
+use crate::binary::BinaryHv;
+use crate::error::HvError;
+use crate::rng::HvRng;
+
+/// A family of `M` linearly-correlated level hypervectors.
+///
+/// # Examples
+///
+/// ```
+/// use hypervec::{HvRng, LevelHvs};
+///
+/// let mut rng = HvRng::from_seed(0);
+/// let levels = LevelHvs::generate(&mut rng, 10_000, 16)?;
+/// // endpoints are (exactly) D/2 apart: orthogonal
+/// assert_eq!(levels.level(0).hamming(levels.level(15)), 5_000);
+/// # Ok::<(), hypervec::HvError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(try_from = "Vec<BinaryHv>", into = "Vec<BinaryHv>")]
+pub struct LevelHvs {
+    levels: Vec<BinaryHv>,
+}
+
+impl From<LevelHvs> for Vec<BinaryHv> {
+    fn from(l: LevelHvs) -> Self {
+        l.levels
+    }
+}
+
+impl TryFrom<Vec<BinaryHv>> for LevelHvs {
+    type Error = HvError;
+
+    /// Deserialization path: re-runs [`LevelHvs::from_levels`]
+    /// validation so malformed snapshots are rejected.
+    fn try_from(levels: Vec<BinaryHv>) -> Result<Self, Self::Error> {
+        LevelHvs::from_levels(levels)
+    }
+}
+
+impl LevelHvs {
+    /// Generates a family of `m` levels in dimension `dim`.
+    ///
+    /// Exactly `dim / 2` distinct positions are flipped across the whole
+    /// ladder (split as evenly as possible between the `m − 1` steps), so
+    /// `Hamm(ValHV_1, ValHV_M) = dim/2` holds exactly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HvError::TooFewLevels`] if `m < 2` and
+    /// [`HvError::DimensionTooSmall`] if `dim / 2 < m − 1` (not enough
+    /// positions for every step to flip at least one bit).
+    pub fn generate(rng: &mut HvRng, dim: usize, m: usize) -> Result<Self, HvError> {
+        if m < 2 {
+            return Err(HvError::TooFewLevels { requested: m });
+        }
+        if dim / 2 < m - 1 {
+            return Err(HvError::DimensionTooSmall { dim, required: 2 * (m - 1) });
+        }
+        let base = rng.binary_hv(dim);
+        let order = rng.shuffled_indices(dim);
+        let total_flips = dim / 2;
+        let steps = m - 1;
+        let mut levels = Vec::with_capacity(m);
+        levels.push(base);
+        let mut flipped = 0usize;
+        for s in 0..steps {
+            // Distribute total_flips across steps as evenly as possible.
+            let target = (total_flips * (s + 1)) / steps;
+            let mut next = levels[s].clone();
+            while flipped < target {
+                next.flip(order[flipped]);
+                flipped += 1;
+            }
+            levels.push(next);
+        }
+        Ok(LevelHvs { levels })
+    }
+
+    /// Number of levels `M`.
+    #[must_use]
+    pub fn m(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Dimensionality of each level hypervector.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.levels[0].dim()
+    }
+
+    /// The hypervector for level `i` (0-based).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.m()`.
+    #[must_use]
+    pub fn level(&self, i: usize) -> &BinaryHv {
+        &self.levels[i]
+    }
+
+    /// All level hypervectors in order.
+    #[must_use]
+    pub fn levels(&self) -> &[BinaryHv] {
+        &self.levels
+    }
+
+    /// The Hamming distance Eq. 1b predicts between levels `a` and `b`.
+    #[must_use]
+    pub fn expected_hamming(&self, a: usize, b: usize) -> usize {
+        let steps = self.m() - 1;
+        let total = self.dim() / 2;
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        (total * hi) / steps - (total * lo) / steps
+    }
+
+    /// Rebuilds a `LevelHvs` from raw hypervectors (e.g. recovered by an
+    /// attack), validating dimensions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HvError::TooFewLevels`] for fewer than two vectors and
+    /// [`HvError::DimensionMismatch`] if dimensions disagree.
+    pub fn from_levels(levels: Vec<BinaryHv>) -> Result<Self, HvError> {
+        if levels.len() < 2 {
+            return Err(HvError::TooFewLevels { requested: levels.len() });
+        }
+        let dim = levels[0].dim();
+        for hv in &levels {
+            if hv.dim() != dim {
+                return Err(HvError::DimensionMismatch { expected: dim, found: hv.dim() });
+            }
+        }
+        Ok(LevelHvs { levels })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distances_are_linear_exact() {
+        let mut rng = HvRng::from_seed(42);
+        let fam = LevelHvs::generate(&mut rng, 10_000, 11).unwrap();
+        for a in 0..11 {
+            for b in 0..11 {
+                let d = fam.level(a).hamming(fam.level(b));
+                assert_eq!(d, fam.expected_hamming(a, b), "levels {a},{b}");
+            }
+        }
+        // endpoint orthogonality
+        assert_eq!(fam.level(0).hamming(fam.level(10)), 5_000);
+    }
+
+    #[test]
+    fn distances_linear_with_uneven_division() {
+        // 1000/2 = 500 flips across 7 steps — not divisible.
+        let mut rng = HvRng::from_seed(43);
+        let fam = LevelHvs::generate(&mut rng, 1000, 8).unwrap();
+        let d_total = fam.level(0).hamming(fam.level(7));
+        assert_eq!(d_total, 500);
+        // monotone along the ladder
+        for i in 0..7 {
+            assert!(fam.level(0).hamming(fam.level(i)) <= fam.level(0).hamming(fam.level(i + 1)));
+        }
+    }
+
+    #[test]
+    fn consecutive_levels_are_close() {
+        let mut rng = HvRng::from_seed(44);
+        let fam = LevelHvs::generate(&mut rng, 10_000, 21).unwrap();
+        for i in 0..20 {
+            let d = fam.level(i).normalized_hamming(fam.level(i + 1));
+            assert!(d < 0.03, "consecutive levels {i} distance {d}");
+        }
+    }
+
+    #[test]
+    fn two_levels_are_orthogonal_endpoints() {
+        let mut rng = HvRng::from_seed(45);
+        let fam = LevelHvs::generate(&mut rng, 2048, 2).unwrap();
+        assert_eq!(fam.level(0).hamming(fam.level(1)), 1024);
+    }
+
+    #[test]
+    fn rejects_single_level() {
+        let mut rng = HvRng::from_seed(46);
+        assert_eq!(
+            LevelHvs::generate(&mut rng, 100, 1).unwrap_err(),
+            HvError::TooFewLevels { requested: 1 }
+        );
+    }
+
+    #[test]
+    fn rejects_tiny_dimension() {
+        let mut rng = HvRng::from_seed(47);
+        assert!(matches!(
+            LevelHvs::generate(&mut rng, 8, 100),
+            Err(HvError::DimensionTooSmall { .. })
+        ));
+    }
+
+    #[test]
+    fn from_levels_validates() {
+        let mut rng = HvRng::from_seed(48);
+        let a = rng.binary_hv(64);
+        let b = rng.binary_hv(64);
+        let c = rng.binary_hv(65);
+        assert!(LevelHvs::from_levels(vec![a.clone(), b.clone()]).is_ok());
+        assert!(matches!(
+            LevelHvs::from_levels(vec![a.clone()]),
+            Err(HvError::TooFewLevels { .. })
+        ));
+        assert!(matches!(
+            LevelHvs::from_levels(vec![a, b, c]),
+            Err(HvError::DimensionMismatch { .. })
+        ));
+    }
+}

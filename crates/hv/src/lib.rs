@@ -1,0 +1,65 @@
+//! # hypervec — hyperdimensional vector math substrate
+//!
+//! Bit-packed bipolar hypervectors and the Multiplication–Addition–
+//! Permutation (MAP) operator set used by hyperdimensional computing
+//! (HDC), built for the HDLock (DAC'22) reproduction.
+//!
+//! ## The representation
+//!
+//! A [`BinaryHv`] lives in `{+1, −1}^D` and is stored one bit per
+//! dimension (set bit ⇔ −1), so:
+//!
+//! * **Multiplication** (binding) is a word-wise XOR,
+//! * **Addition** (bundling) accumulates into an [`IntHv`] / a
+//!   [`BundleAccumulator`] and binarizes with `sign(·)`,
+//! * **Permutation** is a circular rotation `ρ_k` computed on packed
+//!   words ([`BinaryHv::rotated`]), with general permutations available
+//!   through [`Permutation`].
+//!
+//! [`LevelHvs`] builds the linearly-correlated *value* hypervectors of
+//! record-based encoding (paper Eq. 1b), [`ItemMemory`] stores feature
+//! hypervectors with associative lookup, and [`Similarity`] selects the
+//! Hamming/cosine comparison used by binary/non-binary models.
+//!
+//! ## Example
+//!
+//! ```
+//! use hypervec::{HvRng, LevelHvs, Similarity};
+//!
+//! let mut rng = HvRng::from_seed(2022);
+//! let features = rng.orthogonal_pool(10_000, 4);
+//! let values = LevelHvs::generate(&mut rng, 10_000, 8)?;
+//!
+//! // record-based encoding of a 4-feature sample, all features at level 0
+//! let mut acc = hypervec::BundleAccumulator::new(10_000);
+//! for fea in &features {
+//!     acc.add(&fea.bind(values.level(0)));
+//! }
+//! let encoded = acc.majority_with(&mut rng);
+//! assert_eq!(encoded.dim(), 10_000);
+//! # Ok::<(), hypervec::HvError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod accumulator;
+pub mod binary;
+pub mod bitvec;
+pub mod dense;
+pub mod error;
+pub mod itemmem;
+pub mod level;
+pub mod perm;
+pub mod rng;
+pub mod sim;
+
+pub use accumulator::BundleAccumulator;
+pub use binary::BinaryHv;
+pub use dense::IntHv;
+pub use error::HvError;
+pub use itemmem::ItemMemory;
+pub use level::LevelHvs;
+pub use perm::Permutation;
+pub use rng::HvRng;
+pub use sim::{argmax, argmin, Similarity};

@@ -1,0 +1,198 @@
+//! General permutations of hypervector dimensions.
+//!
+//! The HDC permutation operator `ρ` is usually a circular rotation (which
+//! [`crate::BinaryHv::rotated`] implements directly on packed words), but
+//! HDLock's design space also admits arbitrary dimension permutations.
+//! [`Permutation`] is the table-based general form with the group
+//! operations needed to reason about composed keys.
+
+use serde::{Deserialize, Serialize};
+
+use crate::binary::BinaryHv;
+use crate::error::HvError;
+use crate::rng::HvRng;
+
+/// A bijection on `{0, …, D−1}` applied to hypervector dimensions.
+///
+/// Applying a permutation `π` produces `out[i] = in[π(i)]`; with
+/// `Permutation::rotation(d, k)` this matches `ρ_k` (`out[i] = in[(i+k) % d]`).
+///
+/// # Examples
+///
+/// ```
+/// use hypervec::{HvRng, Permutation};
+///
+/// let mut rng = HvRng::from_seed(3);
+/// let hv = rng.binary_hv(256);
+/// let rot = Permutation::rotation(256, 17);
+/// assert_eq!(rot.apply(&hv), hv.rotated(17));
+/// assert_eq!(rot.inverse().apply(&rot.apply(&hv)), hv);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Permutation {
+    /// `table[i]` is the source index for destination `i`.
+    table: Vec<usize>,
+}
+
+impl Permutation {
+    /// The identity permutation on `dim` dimensions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim == 0`.
+    #[must_use]
+    pub fn identity(dim: usize) -> Self {
+        assert!(dim > 0, "permutation dimension must be positive");
+        Permutation { table: (0..dim).collect() }
+    }
+
+    /// The circular left rotation by `k`: `out[i] = in[(i + k) mod dim]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim == 0`.
+    #[must_use]
+    pub fn rotation(dim: usize, k: usize) -> Self {
+        assert!(dim > 0, "permutation dimension must be positive");
+        Permutation { table: (0..dim).map(|i| (i + k) % dim).collect() }
+    }
+
+    /// A uniformly random permutation.
+    #[must_use]
+    pub fn random(rng: &mut HvRng, dim: usize) -> Self {
+        Permutation { table: rng.shuffled_indices(dim) }
+    }
+
+    /// Validates and wraps an explicit source-index table.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HvError::EmptyInput`] for an empty table, or
+    /// [`HvError::IndexOutOfRange`] if the table is not a bijection on
+    /// `0..len`.
+    pub fn from_table(table: Vec<usize>) -> Result<Self, HvError> {
+        if table.is_empty() {
+            return Err(HvError::EmptyInput);
+        }
+        let n = table.len();
+        let mut seen = vec![false; n];
+        for &t in &table {
+            if t >= n || seen[t] {
+                return Err(HvError::IndexOutOfRange { index: t, len: n });
+            }
+            seen[t] = true;
+        }
+        Ok(Permutation { table })
+    }
+
+    /// Number of dimensions.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Applies the permutation to a hypervector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hv.dim() != self.dim()`.
+    #[must_use]
+    pub fn apply(&self, hv: &BinaryHv) -> BinaryHv {
+        assert_eq!(hv.dim(), self.dim(), "dimension mismatch in permutation");
+        BinaryHv::from_fn(self.dim(), |i| hv.polarity(self.table[i]) < 0)
+    }
+
+    /// The inverse permutation.
+    #[must_use]
+    pub fn inverse(&self) -> Self {
+        let mut inv = vec![0usize; self.table.len()];
+        for (dst, &src) in self.table.iter().enumerate() {
+            inv[src] = dst;
+        }
+        Permutation { table: inv }
+    }
+
+    /// Composition `self ∘ other`: applying the result equals applying
+    /// `other` first, then `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions differ.
+    #[must_use]
+    pub fn compose(&self, other: &Self) -> Self {
+        assert_eq!(self.dim(), other.dim(), "dimension mismatch in composition");
+        Permutation { table: self.table.iter().map(|&i| other.table[i]).collect() }
+    }
+
+    /// Source index feeding destination `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.dim()`.
+    #[must_use]
+    pub fn source_of(&self, i: usize) -> usize {
+        self.table[i]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_is_noop() {
+        let mut rng = HvRng::from_seed(1);
+        let hv = rng.binary_hv(100);
+        assert_eq!(Permutation::identity(100).apply(&hv), hv);
+    }
+
+    #[test]
+    fn rotation_matches_packed_rotate() {
+        let mut rng = HvRng::from_seed(2);
+        let hv = rng.binary_hv(130);
+        for k in [0, 1, 63, 64, 65, 129] {
+            assert_eq!(Permutation::rotation(130, k).apply(&hv), hv.rotated(k), "k={k}");
+        }
+    }
+
+    #[test]
+    fn inverse_undoes_apply() {
+        let mut rng = HvRng::from_seed(3);
+        let p = Permutation::random(&mut rng, 200);
+        let hv = rng.binary_hv(200);
+        assert_eq!(p.inverse().apply(&p.apply(&hv)), hv);
+    }
+
+    #[test]
+    fn compose_order() {
+        let mut rng = HvRng::from_seed(4);
+        let p = Permutation::random(&mut rng, 64);
+        let q = Permutation::random(&mut rng, 64);
+        let hv = rng.binary_hv(64);
+        // compose(p, q) applies q then p
+        assert_eq!(p.compose(&q).apply(&hv), p.apply(&q.apply(&hv)));
+    }
+
+    #[test]
+    fn rotations_form_a_group() {
+        let a = Permutation::rotation(97, 30);
+        let b = Permutation::rotation(97, 80);
+        assert_eq!(a.compose(&b), Permutation::rotation(97, 110 % 97));
+        assert_eq!(a.inverse(), Permutation::rotation(97, 97 - 30));
+    }
+
+    #[test]
+    fn from_table_rejects_non_bijections() {
+        assert!(Permutation::from_table(vec![]).is_err());
+        assert!(Permutation::from_table(vec![0, 0]).is_err());
+        assert!(Permutation::from_table(vec![0, 2]).is_err());
+        assert!(Permutation::from_table(vec![1, 0, 2]).is_ok());
+    }
+
+    #[test]
+    fn source_of_reports_table() {
+        let p = Permutation::rotation(10, 3);
+        assert_eq!(p.source_of(0), 3);
+        assert_eq!(p.source_of(9), 2);
+    }
+}

@@ -1,0 +1,133 @@
+//! Similarity metrics shared by inference and attacks.
+//!
+//! Binary HDC compares hypervectors by Hamming distance; non-binary HDC
+//! by cosine similarity (paper Sec. 2, Inference). [`Similarity`] lets
+//! callers select the metric at runtime while keeping one code path.
+
+use crate::binary::BinaryHv;
+use crate::dense::IntHv;
+use crate::error::HvError;
+
+/// Which similarity metric a comparison should use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Similarity {
+    /// Normalized Hamming distance converted to a similarity
+    /// (`1 − 2·hamming/D`, equal to bipolar cosine). Used by binary HDC.
+    #[default]
+    Hamming,
+    /// Cosine of the angle between integer hypervectors. Used by
+    /// non-binary HDC.
+    Cosine,
+}
+
+impl Similarity {
+    /// Similarity between two bipolar hypervectors, in `[−1, 1]`
+    /// (higher is more similar for both metrics).
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions differ.
+    #[must_use]
+    pub fn binary(&self, a: &BinaryHv, b: &BinaryHv) -> f64 {
+        match self {
+            Similarity::Hamming | Similarity::Cosine => a.cosine(b),
+        }
+    }
+
+    /// Similarity between two integer hypervectors.
+    ///
+    /// For [`Similarity::Hamming`] the vectors are compared through their
+    /// signs (ties counted as +1); for [`Similarity::Cosine`] the full
+    /// magnitudes are used.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions differ.
+    #[must_use]
+    pub fn int(&self, a: &IntHv, b: &IntHv) -> f64 {
+        match self {
+            Similarity::Hamming => a.sign_ties_positive().cosine(&b.sign_ties_positive()),
+            Similarity::Cosine => a.cosine(b),
+        }
+    }
+}
+
+/// Index of the maximum value in `scores`, lowest index on ties.
+///
+/// # Errors
+///
+/// Returns [`HvError::EmptyInput`] on an empty slice.
+pub fn argmax(scores: &[f64]) -> Result<usize, HvError> {
+    if scores.is_empty() {
+        return Err(HvError::EmptyInput);
+    }
+    let mut best = 0usize;
+    for (i, &s) in scores.iter().enumerate().skip(1) {
+        if s > scores[best] {
+            best = i;
+        }
+    }
+    Ok(best)
+}
+
+/// Index of the minimum value in `scores`, lowest index on ties.
+///
+/// # Errors
+///
+/// Returns [`HvError::EmptyInput`] on an empty slice.
+pub fn argmin(scores: &[f64]) -> Result<usize, HvError> {
+    if scores.is_empty() {
+        return Err(HvError::EmptyInput);
+    }
+    let mut best = 0usize;
+    for (i, &s) in scores.iter().enumerate().skip(1) {
+        if s < scores[best] {
+            best = i;
+        }
+    }
+    Ok(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::HvRng;
+
+    #[test]
+    fn binary_similarity_is_cosine() {
+        let mut rng = HvRng::from_seed(1);
+        let a = rng.binary_hv(1000);
+        let b = rng.binary_hv(1000);
+        let s = Similarity::Hamming.binary(&a, &b);
+        assert!((s - a.cosine(&b)).abs() < 1e-12);
+        assert!((Similarity::Hamming.binary(&a, &a) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn int_cosine_uses_magnitudes() {
+        let a = IntHv::from_values(vec![3, 0, 4]);
+        let b = IntHv::from_values(vec![3, 0, 4]);
+        assert!((Similarity::Cosine.int(&a, &b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn int_hamming_uses_signs_only() {
+        let a = IntHv::from_values(vec![100, -1, 2, -50]);
+        let b = IntHv::from_values(vec![1, -100, 50, -2]);
+        assert!((Similarity::Hamming.int(&a, &b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn argmax_and_argmin() {
+        let v = [0.1, 0.9, 0.9, -3.0];
+        assert_eq!(argmax(&v).unwrap(), 1);
+        assert_eq!(argmin(&v).unwrap(), 3);
+        assert!(argmax(&[]).is_err());
+        assert!(argmin(&[]).is_err());
+    }
+
+    #[test]
+    fn default_is_hamming() {
+        assert_eq!(Similarity::default(), Similarity::Hamming);
+    }
+}

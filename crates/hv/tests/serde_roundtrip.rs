@@ -1,0 +1,101 @@
+//! Serialization round-trips and validated-deserialization tests.
+//!
+//! Deserialization is an attack surface in this codebase's own threat
+//! model (model files are the IP being protected), so every container
+//! must re-validate its invariants when loaded.
+
+use hypervec::bitvec::BitWords;
+use hypervec::{HvRng, IntHv, ItemMemory, LevelHvs};
+
+fn json_roundtrip<T>(value: &T) -> T
+where
+    T: serde::Serialize + serde::de::DeserializeOwned,
+{
+    serde_json::from_str(&serde_json::to_string(value).expect("serialize"))
+        .expect("deserialize")
+}
+
+#[test]
+fn binary_hv_roundtrips() {
+    let mut rng = HvRng::from_seed(1);
+    let hv = rng.binary_hv(1000);
+    assert_eq!(json_roundtrip(&hv), hv);
+}
+
+#[test]
+fn int_hv_roundtrips() {
+    let v = IntHv::from_fn(100, |i| i as i32 - 50);
+    assert_eq!(json_roundtrip(&v), v);
+}
+
+#[test]
+fn item_memory_roundtrips() {
+    let mut rng = HvRng::from_seed(2);
+    let mem = ItemMemory::random(&mut rng, 256, 8);
+    assert_eq!(json_roundtrip(&mem), mem);
+}
+
+#[test]
+fn level_family_roundtrips() {
+    let mut rng = HvRng::from_seed(3);
+    let fam = LevelHvs::generate(&mut rng, 1024, 8).unwrap();
+    assert_eq!(json_roundtrip(&fam), fam);
+}
+
+#[test]
+fn bitwords_rejects_wrong_word_count() {
+    // 130 bits need 3 words; hand it 2.
+    let malformed = r#"{"words":[0,0],"len":130}"#;
+    assert!(serde_json::from_str::<BitWords>(malformed).is_err());
+}
+
+#[test]
+fn bitwords_rejects_zero_length() {
+    let malformed = r#"{"words":[],"len":0}"#;
+    assert!(serde_json::from_str::<BitWords>(malformed).is_err());
+}
+
+#[test]
+fn bitwords_masks_tail_garbage() {
+    // 65 bits in 2 words, second word full of garbage beyond bit 0.
+    let sneaky = format!(r#"{{"words":[0,{}],"len":65}}"#, u64::MAX);
+    let parsed: BitWords = serde_json::from_str(&sneaky).expect("valid shape");
+    // Only bit 64 (the single valid bit in word 1) may survive.
+    assert_eq!(parsed.count_ones(), 1);
+}
+
+#[test]
+fn level_family_rejects_single_level() {
+    let mut rng = HvRng::from_seed(4);
+    let fam = LevelHvs::generate(&mut rng, 128, 4).unwrap();
+    let mut v: serde_json::Value =
+        serde_json::from_str(&serde_json::to_string(&fam).unwrap()).unwrap();
+    let arr = v.as_array().unwrap()[..1].to_vec();
+    v = serde_json::Value::Array(arr);
+    assert!(serde_json::from_str::<LevelHvs>(&v.to_string()).is_err());
+}
+
+#[test]
+fn item_memory_rejects_mixed_dimensions() {
+    let mut rng = HvRng::from_seed(5);
+    let a = rng.binary_hv(64);
+    let b = rng.binary_hv(128);
+    let rows = serde_json::to_string(&vec![a, b]).unwrap();
+    assert!(serde_json::from_str::<ItemMemory>(&rows).is_err());
+}
+
+#[test]
+fn item_memory_rejects_empty() {
+    assert!(serde_json::from_str::<ItemMemory>("[]").is_err());
+}
+
+#[test]
+fn roundtrip_preserves_behaviour_not_just_bytes() {
+    let mut rng = HvRng::from_seed(6);
+    let a = rng.binary_hv(777);
+    let b = rng.binary_hv(777);
+    let (ra, rb) = (json_roundtrip(&a), json_roundtrip(&b));
+    assert_eq!(ra.hamming(&rb), a.hamming(&b));
+    assert_eq!(ra.bind(&rb), a.bind(&b));
+    assert_eq!(ra.rotated(100), a.rotated(100));
+}

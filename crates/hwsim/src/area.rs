@@ -1,0 +1,113 @@
+//! First-order FPGA resource estimate for the encoding datapath.
+//!
+//! A deliberately coarse model — LUT/FF/BRAM counts scale linearly with
+//! the configured datapath widths — good for *comparing* configurations
+//! (e.g. what the wider bind array of the HDLock datapath costs), not
+//! for signing off floorplans. Constants follow the usual UltraScale+
+//! rules of thumb: one 6-LUT per 2 XOR bits, one LUT + one FF per adder
+//! bit, 36 kb per BRAM tile.
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::HwConfig;
+
+/// Estimated FPGA resources for one encoding datapath.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AreaEstimate {
+    /// Look-up tables.
+    pub luts: u64,
+    /// Flip-flops.
+    pub ffs: u64,
+    /// 36 kb block RAMs.
+    pub brams: u64,
+}
+
+impl AreaEstimate {
+    /// Merges two estimates (e.g. datapath + memory subsystem).
+    #[must_use]
+    pub fn plus(self, other: AreaEstimate) -> AreaEstimate {
+        AreaEstimate {
+            luts: self.luts + other.luts,
+            ffs: self.ffs + other.ffs,
+            brams: self.brams + other.brams,
+        }
+    }
+}
+
+/// Accumulator counter width needed for `n_features` bundled ±1 terms.
+fn counter_bits(n_features: usize) -> u64 {
+    (usize::BITS - n_features.leading_zeros()) as u64 + 1
+}
+
+/// Estimates the datapath resources for a configuration serving
+/// `n_features`-wide inputs with `pool_size` stored hypervectors.
+///
+/// # Panics
+///
+/// Panics on an invalid configuration.
+#[must_use]
+pub fn estimate_area(config: &HwConfig, n_features: usize, pool_size: usize) -> AreaEstimate {
+    config.validate().expect("invalid hardware configuration");
+    // Bind array: XOR of two W-bit operands ≈ W/2 LUTs, plus a W-bit
+    // pipeline register.
+    let bind_luts = (config.bind_width as u64).div_ceil(2);
+    let bind_ffs = config.bind_width as u64;
+    // Accumulate array: per lane an adder over counter_bits plus its
+    // register; one lane per accumulate-path bit.
+    let cb = counter_bits(n_features);
+    let acc_luts = config.acc_width as u64 * cb;
+    let acc_ffs = config.acc_width as u64 * cb;
+    // Sign unit: one comparator bit per lane.
+    let sign_luts = config.acc_width as u64;
+    // Hypervector memory: pool + value levels, D bits each.
+    let hv_bits = (pool_size as u64) * (config.dim as u64);
+    let brams = hv_bits.div_ceil(36 * 1024);
+    AreaEstimate {
+        luts: bind_luts + acc_luts + sign_luts,
+        ffs: bind_ffs + acc_ffs,
+        brams,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wider_bind_costs_more_luts() {
+        let base = HwConfig::zynq_default();
+        let mut narrow = base;
+        narrow.bind_width = 512;
+        let a = estimate_area(&base, 784, 784);
+        let b = estimate_area(&narrow, 784, 784);
+        assert!(a.luts > b.luts);
+        assert_eq!(a.brams, b.brams, "memory does not depend on datapath width");
+    }
+
+    #[test]
+    fn bram_count_tracks_pool() {
+        let cfg = HwConfig::zynq_default();
+        let small = estimate_area(&cfg, 784, 100);
+        let large = estimate_area(&cfg, 784, 800);
+        assert!(large.brams > small.brams);
+        // 800 × 10000 bits / 36 kb ≈ 218 tiles
+        assert!((200..=240).contains(&large.brams), "brams = {}", large.brams);
+    }
+
+    #[test]
+    fn counter_width_grows_with_features() {
+        assert_eq!(counter_bits(1), 2);
+        assert!(counter_bits(784) >= 11);
+        let cfg = HwConfig::zynq_default();
+        let few = estimate_area(&cfg, 75, 100);
+        let many = estimate_area(&cfg, 784, 100);
+        assert!(many.luts > few.luts);
+    }
+
+    #[test]
+    fn plus_adds_fields() {
+        let a = AreaEstimate { luts: 1, ffs: 2, brams: 3 };
+        let b = AreaEstimate { luts: 10, ffs: 20, brams: 30 };
+        assert_eq!(a.plus(b), AreaEstimate { luts: 11, ffs: 22, brams: 33 });
+    }
+}

@@ -1,0 +1,104 @@
+//! Batched (streaming) encoding throughput.
+//!
+//! Inference workloads encode samples back to back; the datapath keeps
+//! its resources busy across sample boundaries (the next sample's
+//! fetches start while the previous sample drains). This module
+//! measures steady-state throughput, complementing the single-sample
+//! latency of [`crate::simulate_encode`].
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::HwConfig;
+use crate::encode_sim::Datapath;
+
+/// Result of streaming `samples` encodings through the datapath.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BatchReport {
+    /// Samples encoded.
+    pub samples: usize,
+    /// Cycle at which the last sample's sign pass completed (plus
+    /// pipeline fill).
+    pub total_cycles: u64,
+    /// Steady-state cycles per sample (`total / samples`).
+    pub cycles_per_sample: f64,
+    /// Accumulate-array utilization across the batch.
+    pub acc_utilization: f64,
+}
+
+/// Streams `samples` back-to-back encodings through one datapath.
+///
+/// # Panics
+///
+/// Panics on invalid configuration, `n_features == 0` or
+/// `samples == 0`.
+#[must_use]
+pub fn simulate_batch(
+    config: &HwConfig,
+    n_features: usize,
+    n_layers: usize,
+    samples: usize,
+) -> BatchReport {
+    config.validate().expect("invalid hardware configuration");
+    assert!(n_features > 0, "need at least one feature");
+    assert!(samples > 0, "need at least one sample");
+    let mut dp = Datapath::new(config);
+    let mut last_end = 0u64;
+    for _ in 0..samples {
+        last_end = dp.schedule_sample(config, n_features, n_layers);
+    }
+    let total_cycles = last_end + config.pipeline_fill;
+    BatchReport {
+        samples,
+        total_cycles,
+        cycles_per_sample: total_cycles as f64 / samples as f64,
+        acc_utilization: dp.acc.busy_cycles() as f64 / total_cycles as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simulate_encode;
+
+    #[test]
+    fn batching_amortizes_fill() {
+        let cfg = HwConfig::zynq_default();
+        let single = simulate_encode(&cfg, 200, 2).total_cycles;
+        let batch = simulate_batch(&cfg, 200, 2, 20);
+        assert!(
+            batch.cycles_per_sample < single as f64,
+            "batched per-sample cost {} must beat single-sample latency {single}",
+            batch.cycles_per_sample
+        );
+    }
+
+    #[test]
+    fn throughput_is_linear_in_samples() {
+        let cfg = HwConfig::zynq_default();
+        let b10 = simulate_batch(&cfg, 100, 2, 10);
+        let b100 = simulate_batch(&cfg, 100, 2, 100);
+        // steady-state: per-sample cost converges
+        let ratio = b100.cycles_per_sample / b10.cycles_per_sample;
+        assert!(ratio < 1.05, "per-sample cost should not grow: {ratio}");
+    }
+
+    #[test]
+    fn relative_overhead_holds_in_steady_state() {
+        // The Fig. 9 relative overhead is a *latency* statement; check
+        // it also holds for throughput.
+        let cfg = HwConfig::zynq_default();
+        let l1 = simulate_batch(&cfg, 784, 1, 50).cycles_per_sample;
+        let l2 = simulate_batch(&cfg, 784, 2, 50).cycles_per_sample;
+        let r = l2 / l1;
+        assert!((r - 1.21).abs() < 0.05, "steady-state L=2 relative cost {r}");
+    }
+
+    #[test]
+    fn utilization_improves_with_batching() {
+        let cfg = HwConfig::zynq_default();
+        let single = simulate_encode(&cfg, 100, 1);
+        let batch = simulate_batch(&cfg, 100, 1, 50);
+        assert!(batch.acc_utilization >= single.acc_utilization() - 1e-9);
+        assert!(batch.acc_utilization <= 1.0);
+    }
+}

@@ -1,0 +1,75 @@
+//! Relative encoding-time series (paper Fig. 9).
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::HwConfig;
+use crate::encode_sim::simulate_encode;
+
+/// One benchmark's relative encoding times across key layers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RelativeTimeSeries {
+    /// Benchmark label.
+    pub name: String,
+    /// Feature count simulated.
+    pub n_features: usize,
+    /// `(L, relative time)` pairs; relative to the `L = 1` baseline,
+    /// exactly as the paper normalizes Fig. 9.
+    pub points: Vec<(usize, f64)>,
+}
+
+/// Simulates the Fig. 9 sweep for one benchmark: relative encoding time
+/// (clock cycles, normalized to `L = 1`) for `L ∈ layers`.
+///
+/// # Panics
+///
+/// Panics on an invalid configuration or `n_features == 0`.
+#[must_use]
+pub fn relative_encoding_times(
+    config: &HwConfig,
+    name: &str,
+    n_features: usize,
+    layers: &[usize],
+) -> RelativeTimeSeries {
+    let baseline = simulate_encode(config, n_features, 1).total_cycles as f64;
+    let points = layers
+        .iter()
+        .map(|&l| (l, simulate_encode(config, n_features, l).total_cycles as f64 / baseline))
+        .collect();
+    RelativeTimeSeries { name: name.to_owned(), n_features, points }
+}
+
+/// Converts a cycle count to microseconds at `freq_mhz`.
+#[must_use]
+pub fn cycles_to_micros(cycles: u64, freq_mhz: f64) -> f64 {
+    cycles as f64 / freq_mhz
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_is_normalized_to_l1() {
+        let cfg = HwConfig::zynq_default();
+        let s = relative_encoding_times(&cfg, "mnist", 784, &[1, 2, 3, 4, 5]);
+        assert_eq!(s.points.len(), 5);
+        assert!((s.points[0].1 - 1.0).abs() < 1e-12);
+        // monotone increase
+        for w in s.points.windows(2) {
+            assert!(w[1].1 > w[0].1);
+        }
+    }
+
+    #[test]
+    fn l2_overhead_matches_paper() {
+        let cfg = HwConfig::zynq_default();
+        let s = relative_encoding_times(&cfg, "mnist", 784, &[1, 2]);
+        let r2 = s.points[1].1;
+        assert!((r2 - 1.21).abs() < 0.05, "L=2 relative time {r2}");
+    }
+
+    #[test]
+    fn cycle_conversion() {
+        assert!((cycles_to_micros(1000, 100.0) - 10.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,134 @@
+//! Similarity-search (associative memory) unit: the inference half of
+//! the pipeline.
+//!
+//! After encoding, a query hypervector is compared against `C` class
+//! hypervectors — popcount trees for binary models. Together with
+//! [`crate::simulate_encode`] this gives end-to-end inference latency
+//! and shows why the paper measures only the encoding stage: the search
+//! stage is independent of `L`, so HDLock's relative overhead on full
+//! inference is *smaller* than its encoding overhead.
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::HwConfig;
+use crate::encode_sim::simulate_encode;
+use crate::resources::FuncUnit;
+
+/// Cycle-level result of one similarity search.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SearchReport {
+    /// Total cycles for comparing one query against all classes.
+    pub total_cycles: u64,
+    /// Number of class hypervectors compared.
+    pub n_classes: usize,
+    /// Comparator lanes used.
+    pub lanes: usize,
+}
+
+/// Simulates Hamming-distance search of one query against `n_classes`
+/// stored class hypervectors.
+///
+/// The unit streams the query once; `lanes` class rows are compared in
+/// parallel per pass (each lane holds a popcount tree of the accumulate
+/// width), plus a log-depth argmin at the end.
+///
+/// # Panics
+///
+/// Panics on invalid configuration, `n_classes == 0` or `lanes == 0`.
+#[must_use]
+pub fn simulate_search(
+    config: &HwConfig,
+    n_classes: usize,
+    lanes: usize,
+) -> SearchReport {
+    config.validate().expect("invalid hardware configuration");
+    assert!(n_classes > 0, "need at least one class");
+    assert!(lanes > 0, "need at least one comparator lane");
+    let beats = config.acc_beats();
+    let mut unit = FuncUnit::new("search");
+    let passes = n_classes.div_ceil(lanes) as u64;
+    let (_, end) = unit.reserve(config.mem_latency, passes * beats);
+    // Argmin reduction over n_classes distances: log2 depth.
+    let argmin_depth = (usize::BITS - (n_classes - 1).leading_zeros()) as u64;
+    SearchReport { total_cycles: end + argmin_depth, n_classes, lanes }
+}
+
+/// End-to-end single-query inference latency: encode then search.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InferenceReport {
+    /// Encoding cycles.
+    pub encode_cycles: u64,
+    /// Search cycles.
+    pub search_cycles: u64,
+    /// Total cycles.
+    pub total_cycles: u64,
+}
+
+/// Simulates full inference of one sample: encoding with an `n_layers`
+/// HDLock key followed by class search.
+///
+/// # Panics
+///
+/// Same conditions as the two stage simulators.
+#[must_use]
+pub fn simulate_inference(
+    config: &HwConfig,
+    n_features: usize,
+    n_layers: usize,
+    n_classes: usize,
+    search_lanes: usize,
+) -> InferenceReport {
+    let encode = simulate_encode(config, n_features, n_layers);
+    let search = simulate_search(config, n_classes, search_lanes);
+    InferenceReport {
+        encode_cycles: encode.total_cycles,
+        search_cycles: search.total_cycles,
+        total_cycles: encode.total_cycles + search.total_cycles,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn search_scales_with_classes_over_lanes() {
+        let cfg = HwConfig::zynq_default();
+        let c10 = simulate_search(&cfg, 10, 2).total_cycles;
+        let c26 = simulate_search(&cfg, 26, 2).total_cycles;
+        assert!(c26 > c10);
+        // doubling lanes roughly halves passes
+        let wide = simulate_search(&cfg, 26, 4).total_cycles;
+        assert!(wide < c26);
+    }
+
+    #[test]
+    fn search_is_independent_of_key_layers() {
+        // The whole point: HDLock never touches the search stage.
+        let cfg = HwConfig::zynq_default();
+        let s = simulate_search(&cfg, 10, 2);
+        let i1 = simulate_inference(&cfg, 784, 1, 10, 2);
+        let i5 = simulate_inference(&cfg, 784, 5, 10, 2);
+        assert_eq!(i1.search_cycles, s.total_cycles);
+        assert_eq!(i1.search_cycles, i5.search_cycles);
+        assert!(i5.encode_cycles > i1.encode_cycles);
+    }
+
+    #[test]
+    fn end_to_end_overhead_is_below_encoding_overhead() {
+        let cfg = HwConfig::zynq_default();
+        let i1 = simulate_inference(&cfg, 784, 1, 10, 2);
+        let i2 = simulate_inference(&cfg, 784, 2, 10, 2);
+        let encode_overhead = i2.encode_cycles as f64 / i1.encode_cycles as f64;
+        let total_overhead = i2.total_cycles as f64 / i1.total_cycles as f64;
+        assert!(total_overhead < encode_overhead);
+        assert!(total_overhead > 1.0);
+    }
+
+    #[test]
+    fn single_class_is_one_pass() {
+        let cfg = HwConfig::zynq_default();
+        let r = simulate_search(&cfg, 1, 4);
+        assert_eq!(r.total_cycles, cfg.mem_latency + cfg.acc_beats());
+    }
+}

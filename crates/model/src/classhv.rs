@@ -1,0 +1,146 @@
+//! Class hypervector storage.
+
+use hypervec::{BinaryHv, BundleAccumulator, IntHv};
+use serde::{Deserialize, Serialize};
+
+use crate::config::ModelKind;
+
+/// The trained state of an HDC classifier: one integer accumulator per
+/// class (paper Eq. 4) plus, for binary models, the binarized snapshot
+/// used at inference time.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClassMemory {
+    kind: ModelKind,
+    accs: Vec<BundleAccumulator>,
+    bins: Vec<BinaryHv>,
+}
+
+impl ClassMemory {
+    /// Creates an empty class memory for `n_classes` classes of
+    /// dimension `dim`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_classes == 0` or `dim == 0`.
+    #[must_use]
+    pub fn new(kind: ModelKind, n_classes: usize, dim: usize) -> Self {
+        assert!(n_classes > 0, "need at least one class");
+        ClassMemory {
+            kind,
+            accs: (0..n_classes).map(|_| BundleAccumulator::new(dim)).collect(),
+            bins: (0..n_classes).map(|_| BinaryHv::ones(dim)).collect(),
+        }
+    }
+
+    /// Model kind this memory serves.
+    #[must_use]
+    pub fn kind(&self) -> ModelKind {
+        self.kind
+    }
+
+    /// Number of classes `C`.
+    #[must_use]
+    pub fn n_classes(&self) -> usize {
+        self.accs.len()
+    }
+
+    /// Hypervector dimensionality `D`.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.accs[0].dim()
+    }
+
+    /// Mutable access to the accumulator of class `j` (training only).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is out of range.
+    pub fn acc_mut(&mut self, j: usize) -> &mut BundleAccumulator {
+        &mut self.accs[j]
+    }
+
+    /// The integer class hypervector of class `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is out of range.
+    #[must_use]
+    pub fn class_int(&self, j: usize) -> &IntHv {
+        self.accs[j].sums()
+    }
+
+    /// The binarized class hypervector of class `j` (refresh with
+    /// [`ClassMemory::rebinarize`] after training updates).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is out of range.
+    #[must_use]
+    pub fn class_binary(&self, j: usize) -> &BinaryHv {
+        &self.bins[j]
+    }
+
+    /// Recomputes every binarized snapshot from the accumulators.
+    pub fn rebinarize(&mut self) {
+        for (bin, acc) in self.bins.iter_mut().zip(&self.accs) {
+            *bin = acc.sums().sign_ties_positive();
+        }
+    }
+
+    /// Recomputes the binarized snapshot of a single class.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is out of range.
+    pub fn rebinarize_class(&mut self, j: usize) {
+        self.bins[j] = self.accs[j].sums().sign_ties_positive();
+    }
+
+    /// Number of training samples currently bundled into class `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is out of range.
+    #[must_use]
+    pub fn count(&self, j: usize) -> usize {
+        self.accs[j].count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hypervec::HvRng;
+
+    #[test]
+    fn starts_empty() {
+        let cm = ClassMemory::new(ModelKind::Binary, 3, 64);
+        assert_eq!(cm.n_classes(), 3);
+        assert_eq!(cm.dim(), 64);
+        assert_eq!(cm.count(0), 0);
+    }
+
+    #[test]
+    fn accumulate_and_rebinarize() {
+        let mut rng = HvRng::from_seed(1);
+        let hv = rng.binary_hv(128);
+        let mut cm = ClassMemory::new(ModelKind::Binary, 2, 128);
+        cm.acc_mut(0).add(&hv);
+        cm.rebinarize();
+        assert_eq!(cm.class_binary(0), &hv);
+        assert_eq!(cm.count(0), 1);
+        assert_eq!(cm.count(1), 0);
+    }
+
+    #[test]
+    fn class_int_tracks_sums() {
+        let mut rng = HvRng::from_seed(2);
+        let a = rng.binary_hv(64);
+        let mut cm = ClassMemory::new(ModelKind::NonBinary, 1, 64);
+        cm.acc_mut(0).add(&a);
+        cm.acc_mut(0).add(&a);
+        for i in 0..64 {
+            assert_eq!(cm.class_int(0).get(i), 2 * i32::from(a.polarity(i)));
+        }
+    }
+}

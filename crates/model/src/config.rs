@@ -1,0 +1,112 @@
+//! Model hyperparameters.
+
+use serde::{Deserialize, Serialize};
+
+/// Whether a model keeps full integer class hypervectors (non-binary) or
+/// binarized ones (binary). Binary models compare by Hamming distance,
+/// non-binary by cosine (paper Sec. 2, Inference).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum ModelKind {
+    /// Binarized class hypervectors + Hamming-distance inference.
+    #[default]
+    Binary,
+    /// Integer class hypervectors + cosine inference.
+    NonBinary,
+}
+
+impl std::fmt::Display for ModelKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            ModelKind::Binary => "binary",
+            ModelKind::NonBinary => "non-binary",
+        })
+    }
+}
+
+/// Hyperparameters of an HDC classifier.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HdcConfig {
+    /// Hypervector dimensionality `D` (the paper uses 10 000).
+    pub dim: usize,
+    /// Number of quantized value levels `M`.
+    pub m_levels: usize,
+    /// Binary or non-binary model.
+    pub kind: ModelKind,
+    /// Retraining epochs after the initial single pass (QuantHD-style).
+    pub epochs: usize,
+    /// Retraining update weight ("learning rate" in the paper's terms;
+    /// integer because class accumulators are integer counters).
+    pub learning_rate: i32,
+    /// Seed for every stochastic choice (hypervector generation,
+    /// tie-breaks).
+    pub seed: u64,
+}
+
+impl HdcConfig {
+    /// Paper-default configuration: `D = 10 000`, `M = 16`, binary,
+    /// two retraining epochs with unit learning rate.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        HdcConfig {
+            dim: 10_000,
+            m_levels: 16,
+            kind: ModelKind::Binary,
+            epochs: 2,
+            learning_rate: 1,
+            seed: 2022,
+        }
+    }
+
+    /// Returns a copy with a different dimensionality.
+    #[must_use]
+    pub fn with_dim(mut self, dim: usize) -> Self {
+        self.dim = dim;
+        self
+    }
+
+    /// Returns a copy with a different model kind.
+    #[must_use]
+    pub fn with_kind(mut self, kind: ModelKind) -> Self {
+        self.kind = kind;
+        self
+    }
+
+    /// Returns a copy with a different seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+impl Default for HdcConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_matches_paper() {
+        let c = HdcConfig::paper_default();
+        assert_eq!(c.dim, 10_000);
+        assert_eq!(c.kind, ModelKind::Binary);
+    }
+
+    #[test]
+    fn builders_update_fields() {
+        let c = HdcConfig::paper_default().with_dim(2048).with_kind(ModelKind::NonBinary).with_seed(7);
+        assert_eq!(c.dim, 2048);
+        assert_eq!(c.kind, ModelKind::NonBinary);
+        assert_eq!(c.seed, 7);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(ModelKind::Binary.to_string(), "binary");
+        assert_eq!(ModelKind::NonBinary.to_string(), "non-binary");
+    }
+}

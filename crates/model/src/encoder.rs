@@ -1,0 +1,248 @@
+//! The encoding module: feature vectors → hypervectors.
+//!
+//! [`Encoder`] abstracts the encoding so the standard [`RecordEncoder`]
+//! (paper Eq. 2/3) and HDLock's locked encoder (Eq. 10) are
+//! interchangeable everywhere — training, inference, and the attack
+//! oracle.
+
+use hypervec::{BinaryHv, HvError, HvRng, IntHv, ItemMemory, LevelHvs};
+
+/// An HDC encoding module mapping a quantized feature row (level indices
+/// `0..m_levels` per feature) to a hypervector.
+///
+/// Implementations must be deterministic: the same input row always
+/// produces the same output. (`sign(0)` ties in the binary output are
+/// broken towards +1; see `DESIGN.md` §4.2 — for odd feature counts no
+/// tie can occur, and the attack experiments hold under either policy.)
+pub trait Encoder {
+    /// Number of input features `N`.
+    fn n_features(&self) -> usize;
+
+    /// Number of value levels `M`.
+    fn m_levels(&self) -> usize;
+
+    /// Hypervector dimensionality `D`.
+    fn dim(&self) -> usize;
+
+    /// Non-binary encoding `H_nb = Σ ValHV_{f_i} × FeaHV_i` (Eq. 2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `levels.len() != self.n_features()` or any level is out
+    /// of range.
+    fn encode_int(&self, levels: &[u16]) -> IntHv;
+
+    /// Binary encoding `H_b = sign(H_nb)` (Eq. 3).
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Encoder::encode_int`].
+    fn encode_binary(&self, levels: &[u16]) -> BinaryHv {
+        self.encode_int(levels).sign_ties_positive()
+    }
+
+    /// The effective feature hypervector for feature `i` — the vector
+    /// that multiplies `ValHV_{f_i}` in the encoding sum. For the
+    /// standard encoder this is a stored row; for HDLock it is derived
+    /// from the key (Eq. 9).
+    fn feature_hv(&self, i: usize) -> BinaryHv;
+
+    /// The value hypervector for level `v`.
+    fn value_hv(&self, v: usize) -> BinaryHv;
+}
+
+/// The standard record-based encoder: `N` orthogonal feature
+/// hypervectors and `M` linearly-correlated value hypervectors.
+///
+/// # Examples
+///
+/// ```
+/// use hdc_model::{Encoder, RecordEncoder};
+/// use hypervec::HvRng;
+///
+/// let mut rng = HvRng::from_seed(1);
+/// let enc = RecordEncoder::generate(&mut rng, 16, 4, 2048)?;
+/// let row = vec![0u16; 16];
+/// let h = enc.encode_binary(&row);
+/// assert_eq!(h.dim(), 2048);
+/// # Ok::<(), hypervec::HvError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct RecordEncoder {
+    features: ItemMemory,
+    values: LevelHvs,
+}
+
+impl RecordEncoder {
+    /// Generates fresh random feature and value hypervectors.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`HvError`] from level-hypervector generation.
+    pub fn generate(
+        rng: &mut HvRng,
+        n_features: usize,
+        m_levels: usize,
+        dim: usize,
+    ) -> Result<Self, HvError> {
+        let features = ItemMemory::random(rng, dim, n_features);
+        let values = LevelHvs::generate(rng, dim, m_levels)?;
+        Ok(RecordEncoder { features, values })
+    }
+
+    /// Builds an encoder from existing memories (e.g. hypervectors
+    /// recovered by an attack).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HvError::DimensionMismatch`] if the two memories
+    /// disagree on dimensionality or the feature memory is empty.
+    pub fn from_parts(features: ItemMemory, values: LevelHvs) -> Result<Self, HvError> {
+        if features.is_empty() {
+            return Err(HvError::EmptyInput);
+        }
+        if features.dim() != values.dim() {
+            return Err(HvError::DimensionMismatch {
+                expected: features.dim(),
+                found: values.dim(),
+            });
+        }
+        Ok(RecordEncoder { features, values })
+    }
+
+    /// The feature item memory.
+    #[must_use]
+    pub fn features(&self) -> &ItemMemory {
+        &self.features
+    }
+
+    /// The value (level) hypervectors.
+    #[must_use]
+    pub fn values(&self) -> &LevelHvs {
+        &self.values
+    }
+
+    fn check_row(&self, levels: &[u16]) {
+        assert_eq!(
+            levels.len(),
+            self.n_features(),
+            "row has {} levels, encoder expects {}",
+            levels.len(),
+            self.n_features()
+        );
+    }
+}
+
+impl Encoder for RecordEncoder {
+    fn n_features(&self) -> usize {
+        self.features.len()
+    }
+
+    fn m_levels(&self) -> usize {
+        self.values.m()
+    }
+
+    fn dim(&self) -> usize {
+        self.features.dim()
+    }
+
+    fn encode_int(&self, levels: &[u16]) -> IntHv {
+        self.check_row(levels);
+        let mut acc = IntHv::zeros(self.dim());
+        for (i, &lv) in levels.iter().enumerate() {
+            let fea = self.features.get(i).expect("index bounded by n_features");
+            acc.add_bound_pair(self.values.level(usize::from(lv)), fea);
+        }
+        acc
+    }
+
+    fn feature_hv(&self, i: usize) -> BinaryHv {
+        self.features.get(i).expect("feature index in range").clone()
+    }
+
+    fn value_hv(&self, v: usize) -> BinaryHv {
+        self.values.level(v).clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn encoder(seed: u64) -> RecordEncoder {
+        let mut rng = HvRng::from_seed(seed);
+        RecordEncoder::generate(&mut rng, 9, 4, 1024).unwrap()
+    }
+
+    #[test]
+    fn shapes_are_reported() {
+        let e = encoder(1);
+        assert_eq!(e.n_features(), 9);
+        assert_eq!(e.m_levels(), 4);
+        assert_eq!(e.dim(), 1024);
+    }
+
+    #[test]
+    fn encode_int_matches_manual_sum() {
+        let e = encoder(2);
+        let row: Vec<u16> = (0..9).map(|i| (i % 4) as u16).collect();
+        let h = e.encode_int(&row);
+        let mut manual = IntHv::zeros(1024);
+        for (i, &lv) in row.iter().enumerate() {
+            manual.add_binary(&e.feature_hv(i).bind(&e.value_hv(usize::from(lv))));
+        }
+        assert_eq!(h, manual);
+    }
+
+    #[test]
+    fn encode_binary_is_sign_of_int() {
+        let e = encoder(3);
+        let row = vec![1u16; 9];
+        assert_eq!(e.encode_binary(&row), e.encode_int(&row).sign_ties_positive());
+    }
+
+    #[test]
+    fn encoding_is_deterministic() {
+        let e = encoder(4);
+        let row = vec![2u16; 9];
+        assert_eq!(e.encode_binary(&row), e.encode_binary(&row));
+    }
+
+    #[test]
+    fn single_value_input_factors_out() {
+        // Eq. 5: all-min input means H = sign(ValHV_1 × Σ FeaHV_i)
+        // because binding by a bipolar vector commutes with sign.
+        let e = encoder(5);
+        let row = vec![0u16; 9];
+        let h = e.encode_binary(&row);
+        let sum = e.features().sum().unwrap();
+        let expected = sum.sign_ties_positive().bind(&e.value_hv(0));
+        assert_eq!(h, expected);
+    }
+
+    #[test]
+    fn different_rows_encode_differently() {
+        let e = encoder(6);
+        let a = e.encode_binary(&vec![0u16; 9]);
+        let b = e.encode_binary(&vec![3u16; 9]);
+        assert!(a.normalized_hamming(&b) > 0.2);
+    }
+
+    #[test]
+    #[should_panic(expected = "levels, encoder expects")]
+    fn wrong_row_width_panics() {
+        let e = encoder(7);
+        let _ = e.encode_int(&[0, 1]);
+    }
+
+    #[test]
+    fn from_parts_validates() {
+        let mut rng = HvRng::from_seed(8);
+        let features = ItemMemory::random(&mut rng, 64, 3);
+        let values = LevelHvs::generate(&mut rng, 128, 3).unwrap();
+        assert!(matches!(
+            RecordEncoder::from_parts(features, values),
+            Err(HvError::DimensionMismatch { .. })
+        ));
+    }
+}

@@ -1,0 +1,176 @@
+//! High-level model façade tying encoder, training and inference.
+
+use hdc_datasets::{Dataset, Discretizer, QuantizedDataset};
+use hypervec::{HvError, HvRng};
+
+use crate::classhv::ClassMemory;
+use crate::config::HdcConfig;
+use crate::encoder::{Encoder, RecordEncoder};
+use crate::infer;
+use crate::metrics::EvalResult;
+use crate::train;
+
+/// A complete HDC classifier: configuration, encoder, fitted quantizer
+/// and trained class memory.
+///
+/// The generic parameter lets the same pipeline run on the standard
+/// [`RecordEncoder`] or on HDLock's locked encoder.
+///
+/// # Examples
+///
+/// ```
+/// use hdc_datasets::Benchmark;
+/// use hdc_model::{HdcConfig, HdcModel};
+///
+/// let (train, test) = Benchmark::Pamap.generate(0.02, 3)?;
+/// let config = HdcConfig::paper_default().with_dim(2048);
+/// let model = HdcModel::fit_standard(&config, &train)?;
+/// let result = model.evaluate(&test)?;
+/// assert!(result.accuracy > 0.3);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct HdcModel<E = RecordEncoder> {
+    config: HdcConfig,
+    encoder: E,
+    discretizer: Discretizer,
+    memory: ClassMemory,
+}
+
+impl HdcModel<RecordEncoder> {
+    /// Fits a standard (unprotected) HDC model on `train`: generates a
+    /// fresh record encoder, fits the quantizer, trains and retrains.
+    ///
+    /// # Errors
+    ///
+    /// Propagates quantizer and hypervector-generation errors.
+    pub fn fit_standard(
+        config: &HdcConfig,
+        train_ds: &Dataset,
+    ) -> Result<Self, Box<dyn std::error::Error>> {
+        let mut rng = HvRng::from_seed(config.seed);
+        let encoder =
+            RecordEncoder::generate(&mut rng, train_ds.n_features(), config.m_levels, config.dim)?;
+        Self::fit_with_encoder(config, encoder, train_ds)
+    }
+}
+
+impl<E: Encoder + Sync> HdcModel<E> {
+    /// Assembles a model from already-built parts — the path a model
+    /// thief takes after recovering an encoder, and the deserialization
+    /// path for stored models.
+    #[must_use]
+    pub fn from_parts(
+        config: HdcConfig,
+        encoder: E,
+        discretizer: Discretizer,
+        memory: ClassMemory,
+    ) -> Self {
+        HdcModel { config, encoder, discretizer, memory }
+    }
+
+    /// Fits a model reusing an existing encoder (e.g. a locked one).
+    ///
+    /// # Errors
+    ///
+    /// Propagates quantizer errors.
+    pub fn fit_with_encoder(
+        config: &HdcConfig,
+        encoder: E,
+        train_ds: &Dataset,
+    ) -> Result<Self, Box<dyn std::error::Error>> {
+        let discretizer = Discretizer::fit(train_ds, config.m_levels)?;
+        let train_q = discretizer.discretize(train_ds)?;
+        let memory = train::train(&encoder, config, &train_q);
+        Ok(HdcModel { config: *config, encoder, discretizer, memory })
+    }
+
+    /// The model configuration.
+    #[must_use]
+    pub fn config(&self) -> &HdcConfig {
+        &self.config
+    }
+
+    /// The encoding module.
+    #[must_use]
+    pub fn encoder(&self) -> &E {
+        &self.encoder
+    }
+
+    /// The fitted quantizer.
+    #[must_use]
+    pub fn discretizer(&self) -> &Discretizer {
+        &self.discretizer
+    }
+
+    /// The trained class memory.
+    #[must_use]
+    pub fn memory(&self) -> &ClassMemory {
+        &self.memory
+    }
+
+    /// Predicts the class of one raw (continuous) feature vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the feature width does not match the training data.
+    #[must_use]
+    pub fn predict(&self, features: &[f32]) -> usize {
+        let levels = self.discretizer.discretize_row(features);
+        infer::classify(&self.encoder, &self.memory, &levels)
+    }
+
+    /// Evaluates accuracy on a raw dataset (quantizing with the training
+    /// quantizer, exactly like the paper's pipeline).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the dataset is incompatible with the fitted
+    /// quantizer.
+    pub fn evaluate(&self, dataset: &Dataset) -> Result<EvalResult, HvError> {
+        if dataset.n_features() != self.discretizer.n_features() {
+            return Err(HvError::DimensionMismatch {
+                expected: self.discretizer.n_features(),
+                found: dataset.n_features(),
+            });
+        }
+        let q = self
+            .discretizer
+            .discretize(dataset)
+            .map_err(|_| HvError::EmptyInput)?;
+        Ok(self.evaluate_quantized(&q))
+    }
+
+    /// Evaluates accuracy on an already-quantized dataset.
+    #[must_use]
+    pub fn evaluate_quantized(&self, data: &QuantizedDataset) -> EvalResult {
+        infer::evaluate(&self.encoder, &self.memory, data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdc_datasets::Benchmark;
+
+    #[test]
+    fn fit_and_evaluate_roundtrip() {
+        let (train_ds, test_ds) = Benchmark::Face.generate(0.05, 11).unwrap();
+        let config = HdcConfig::paper_default().with_dim(2048).with_seed(11);
+        let model = HdcModel::fit_standard(&config, &train_ds).unwrap();
+        let result = model.evaluate(&test_ds).unwrap();
+        assert!(result.accuracy > 0.7, "accuracy {}", result.accuracy);
+        // prediction agrees with evaluation path
+        let s = &test_ds.samples()[0];
+        let _ = model.predict(&s.features);
+    }
+
+    #[test]
+    fn evaluate_rejects_wrong_width() {
+        let (train_ds, _) = Benchmark::Pamap.generate(0.02, 12).unwrap();
+        let (other, _) = Benchmark::Face.generate(0.02, 12).unwrap();
+        let config = HdcConfig::paper_default().with_dim(1024);
+        let model = HdcModel::fit_standard(&config, &train_ds).unwrap();
+        assert!(model.evaluate(&other).is_err());
+    }
+}

@@ -1,0 +1,197 @@
+//! N-gram sequence encoding — an extension beyond the paper's
+//! record-based encoder.
+//!
+//! HDC's classic text/sequence encoder represents a sliding window of
+//! `n` symbols as the bound product of progressively rotated symbol
+//! hypervectors (`ρ^0(s_t) × ρ^1(s_{t+1}) × …`), bundling all windows
+//! into one sequence hypervector. It shares the same vulnerability
+//! surface as record-based encoding — the symbol item memory plus an
+//! encoding oracle leak the symbol mapping — which makes it a natural
+//! extension target for HDLock-style locking.
+
+use hypervec::{BinaryHv, HvError, HvRng, IntHv, ItemMemory};
+
+/// Sliding-window n-gram encoder over a discrete alphabet.
+///
+/// # Examples
+///
+/// ```
+/// use hdc_model::NgramEncoder;
+/// use hypervec::HvRng;
+///
+/// let mut rng = HvRng::from_seed(5);
+/// let enc = NgramEncoder::generate(&mut rng, 26, 3, 2048)?;
+/// let h = enc.encode_sequence(&[0, 1, 2, 3, 4])?;
+/// assert_eq!(h.dim(), 2048);
+/// # Ok::<(), hypervec::HvError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct NgramEncoder {
+    symbols: ItemMemory,
+    n: usize,
+}
+
+impl NgramEncoder {
+    /// Generates a random symbol item memory for `alphabet` symbols and
+    /// window size `n`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HvError::EmptyInput`] if `alphabet == 0` or `n == 0`.
+    pub fn generate(
+        rng: &mut HvRng,
+        alphabet: usize,
+        n: usize,
+        dim: usize,
+    ) -> Result<Self, HvError> {
+        if alphabet == 0 || n == 0 {
+            return Err(HvError::EmptyInput);
+        }
+        Ok(NgramEncoder { symbols: ItemMemory::random(rng, dim, alphabet), n })
+    }
+
+    /// Builds an encoder from an existing symbol memory (e.g. symbols
+    /// derived from an HDLock base pool).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HvError::EmptyInput`] if the memory is empty or
+    /// `n == 0`.
+    pub fn from_symbols(symbols: ItemMemory, n: usize) -> Result<Self, HvError> {
+        if symbols.is_empty() || n == 0 {
+            return Err(HvError::EmptyInput);
+        }
+        Ok(NgramEncoder { symbols, n })
+    }
+
+    /// Window size `n`.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Alphabet size.
+    #[must_use]
+    pub fn alphabet(&self) -> usize {
+        self.symbols.len()
+    }
+
+    /// Hypervector dimensionality.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.symbols.dim()
+    }
+
+    /// The symbol item memory (public in the paper's threat model).
+    #[must_use]
+    pub fn symbols(&self) -> &ItemMemory {
+        &self.symbols
+    }
+
+    /// Encodes one n-gram starting at `window[0]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HvError::IndexOutOfRange`] for unknown symbols or
+    /// [`HvError::EmptyInput`] if `window.len() != n`.
+    pub fn encode_gram(&self, window: &[usize]) -> Result<BinaryHv, HvError> {
+        if window.len() != self.n {
+            return Err(HvError::EmptyInput);
+        }
+        let mut acc = BinaryHv::ones(self.dim());
+        for (offset, &sym) in window.iter().enumerate() {
+            let hv = self.symbols.get(sym)?;
+            acc.bind_assign(&hv.rotated(offset));
+        }
+        Ok(acc)
+    }
+
+    /// Encodes a full sequence: bundles every sliding n-gram window and
+    /// binarizes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HvError::EmptyInput`] if the sequence is shorter than
+    /// `n`, or [`HvError::IndexOutOfRange`] for unknown symbols.
+    pub fn encode_sequence(&self, sequence: &[usize]) -> Result<BinaryHv, HvError> {
+        Ok(self.encode_sequence_int(sequence)?.sign_ties_positive())
+    }
+
+    /// Non-binarized sequence encoding (the intermediate sum).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`NgramEncoder::encode_sequence`].
+    pub fn encode_sequence_int(&self, sequence: &[usize]) -> Result<IntHv, HvError> {
+        if sequence.len() < self.n {
+            return Err(HvError::EmptyInput);
+        }
+        let mut acc = IntHv::zeros(self.dim());
+        for window in sequence.windows(self.n) {
+            acc.add_binary(&self.encode_gram(window)?);
+        }
+        Ok(acc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn enc(seed: u64) -> NgramEncoder {
+        NgramEncoder::generate(&mut HvRng::from_seed(seed), 10, 3, 2048).unwrap()
+    }
+
+    #[test]
+    fn gram_binds_rotated_symbols() {
+        let e = enc(1);
+        let g = e.encode_gram(&[1, 2, 3]).unwrap();
+        let manual = e
+            .symbols()
+            .get(1)
+            .unwrap()
+            .bind(&e.symbols().get(2).unwrap().rotated(1))
+            .bind(&e.symbols().get(3).unwrap().rotated(2));
+        assert_eq!(g, manual);
+    }
+
+    #[test]
+    fn order_matters() {
+        let e = enc(2);
+        let ab = e.encode_gram(&[1, 2, 2]).unwrap();
+        let ba = e.encode_gram(&[2, 2, 1]).unwrap();
+        assert!(ab.normalized_hamming(&ba) > 0.3);
+    }
+
+    #[test]
+    fn similar_sequences_are_similar() {
+        let e = enc(3);
+        let base: Vec<usize> = (0..40).map(|i| i % 10).collect();
+        let mut tweaked = base.clone();
+        tweaked[20] = (tweaked[20] + 1) % 10;
+        let h1 = e.encode_sequence(&base).unwrap();
+        let h2 = e.encode_sequence(&tweaked).unwrap();
+        let h3 = e.encode_sequence(&(0..40).map(|i| (i * 7) % 10).collect::<Vec<_>>()).unwrap();
+        assert!(h1.hamming(&h2) < h1.hamming(&h3));
+    }
+
+    #[test]
+    fn short_sequence_errors() {
+        let e = enc(4);
+        assert!(e.encode_sequence(&[1, 2]).is_err());
+    }
+
+    #[test]
+    fn unknown_symbol_errors() {
+        let e = enc(5);
+        assert!(matches!(
+            e.encode_sequence(&[1, 2, 99]),
+            Err(HvError::IndexOutOfRange { index: 99, .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_empty_alphabet() {
+        assert!(NgramEncoder::generate(&mut HvRng::from_seed(0), 0, 3, 64).is_err());
+    }
+}

@@ -1,0 +1,309 @@
+//! Training: single-pass bundling plus QuantHD-style retraining.
+//!
+//! Initial training sums each class's encoded samples into a class
+//! hypervector (paper Eq. 4). Retraining then iterates over the training
+//! set: each misclassified sample is *added* to its true class
+//! accumulator and *subtracted* from the wrongly predicted one, scaled
+//! by an integer learning rate — the "retraining rounds and learning
+//! rate" hyperparameter tuning the paper cites from QuantHD as part of
+//! what makes a trained model valuable IP.
+
+use hdc_datasets::QuantizedDataset;
+use hypervec::{BinaryHv, IntHv};
+use rayon::prelude::*;
+
+use crate::classhv::ClassMemory;
+use crate::config::{HdcConfig, ModelKind};
+use crate::encoder::Encoder;
+use crate::infer;
+
+/// A sample pre-encoded in the representation its model kind trains on.
+#[derive(Debug, Clone)]
+pub enum EncodedSample {
+    /// Binary model: binarized encoding.
+    Binary(BinaryHv),
+    /// Non-binary model: integer encoding.
+    Int(IntHv),
+}
+
+/// Encodes the whole training set once, in parallel.
+///
+/// Training touches every sample `1 + epochs` times; pre-encoding makes
+/// each pass an O(D) accumulator update instead of an O(N·D) re-encode.
+#[must_use]
+pub fn encode_dataset<E: Encoder + Sync>(
+    encoder: &E,
+    kind: ModelKind,
+    data: &QuantizedDataset,
+) -> Vec<EncodedSample> {
+    (0..data.len())
+        .into_par_iter()
+        .map(|i| match kind {
+            ModelKind::Binary => EncodedSample::Binary(encoder.encode_binary(data.row(i))),
+            ModelKind::NonBinary => EncodedSample::Int(encoder.encode_int(data.row(i))),
+        })
+        .collect()
+}
+
+/// Trains a class memory from scratch on `data`.
+///
+/// Runs the single bundling pass and then `config.epochs` retraining
+/// rounds with `config.learning_rate`.
+///
+/// # Panics
+///
+/// Panics if the encoder and dataset disagree on feature count or the
+/// dataset labels exceed its declared class count (dataset construction
+/// prevents the latter).
+#[must_use]
+pub fn train<E: Encoder + Sync>(
+    encoder: &E,
+    config: &HdcConfig,
+    data: &QuantizedDataset,
+) -> ClassMemory {
+    assert_eq!(
+        encoder.n_features(),
+        data.n_features(),
+        "encoder expects {} features, dataset has {}",
+        encoder.n_features(),
+        data.n_features()
+    );
+    let encoded = encode_dataset(encoder, config.kind, data);
+    let mut memory = ClassMemory::new(config.kind, data.n_classes(), encoder.dim());
+
+    // Single-pass bundling (Eq. 4).
+    for (i, enc) in encoded.iter().enumerate() {
+        let label = data.label(i);
+        match enc {
+            EncodedSample::Binary(hv) => memory.acc_mut(label).add(hv),
+            EncodedSample::Int(hv) => memory.acc_mut(label).add_int(hv),
+        }
+    }
+    memory.rebinarize();
+
+    // Retraining rounds.
+    for _ in 0..config.epochs {
+        let mut any_update = false;
+        for (i, enc) in encoded.iter().enumerate() {
+            let label = data.label(i);
+            let predicted = match enc {
+                EncodedSample::Binary(hv) => infer::classify_binary_hv(&memory, hv),
+                EncodedSample::Int(hv) => infer::classify_int_hv(&memory, hv),
+            };
+            if predicted != label {
+                any_update = true;
+                match enc {
+                    EncodedSample::Binary(hv) => {
+                        memory.acc_mut(label).adjust_binary(hv, config.learning_rate);
+                        memory.acc_mut(predicted).adjust_binary(hv, -config.learning_rate);
+                    }
+                    EncodedSample::Int(hv) => {
+                        memory.acc_mut(label).adjust_int(hv, config.learning_rate);
+                        memory.acc_mut(predicted).adjust_int(hv, -config.learning_rate);
+                    }
+                }
+                if config.kind == ModelKind::Binary {
+                    // Binary inference reads the binarized snapshot, so
+                    // refresh the two classes we touched.
+                    memory.rebinarize_class(label);
+                    memory.rebinarize_class(predicted);
+                }
+            }
+        }
+        memory.rebinarize();
+        if !any_update {
+            break; // converged
+        }
+    }
+    memory
+}
+
+/// Adaptive single-pass training in the style of OnlineHD: each sample
+/// updates its class accumulator with a weight proportional to how
+/// *badly* the current model represents it (`1 − similarity`), and a
+/// misprediction additionally pushes the sample out of the wrong class
+/// with the symmetric weight.
+///
+/// Weights are fixed-point with `scale` steps (integer accumulators);
+/// `scale = 8` reproduces the usual float behaviour closely. Included
+/// as an alternative trainer because the paper's IP argument — models
+/// are expensive to produce — covers whichever training recipe built
+/// them; the attack and the lock are agnostic to it.
+///
+/// # Panics
+///
+/// Panics if the encoder and dataset disagree on feature count or
+/// `scale == 0`.
+#[must_use]
+pub fn train_online<E: Encoder + Sync>(
+    encoder: &E,
+    config: &HdcConfig,
+    data: &QuantizedDataset,
+    scale: i32,
+) -> ClassMemory {
+    assert!(scale > 0, "fixed-point scale must be positive");
+    assert_eq!(
+        encoder.n_features(),
+        data.n_features(),
+        "encoder expects {} features, dataset has {}",
+        encoder.n_features(),
+        data.n_features()
+    );
+    let encoded = encode_dataset(encoder, config.kind, data);
+    let mut memory = ClassMemory::new(config.kind, data.n_classes(), encoder.dim());
+    let mut seen = vec![false; data.n_classes()];
+
+    for (i, enc) in encoded.iter().enumerate() {
+        let label = data.label(i);
+        match enc {
+            EncodedSample::Binary(hv) => {
+                let predicted = infer::classify_binary_hv(&memory, hv);
+                let sim = if seen[label] { memory.class_binary(label).cosine(hv) } else { 0.0 };
+                memory.acc_mut(label).adjust_binary(hv, weight(sim, scale));
+                memory.rebinarize_class(label);
+                if predicted != label && seen[predicted] {
+                    let sim_wrong = memory.class_binary(predicted).cosine(hv);
+                    memory.acc_mut(predicted).adjust_binary(hv, -weight(sim_wrong, scale));
+                    memory.rebinarize_class(predicted);
+                }
+            }
+            EncodedSample::Int(hv) => {
+                let predicted = infer::classify_int_hv(&memory, hv);
+                let sim = memory.class_int(label).cosine(hv);
+                memory.acc_mut(label).adjust_int(hv, weight(sim, scale));
+                if predicted != label && seen[predicted] {
+                    let sim_wrong = memory.class_int(predicted).cosine(hv);
+                    memory.acc_mut(predicted).adjust_int(hv, -weight(sim_wrong, scale));
+                }
+            }
+        }
+        seen[label] = true;
+    }
+    memory.rebinarize();
+    memory
+}
+
+/// Fixed-point `(1 − sim)·scale` update weight, at least 1.
+fn weight(similarity: f64, scale: i32) -> i32 {
+    (((1.0 - similarity).clamp(0.0, 2.0) * f64::from(scale)).round() as i32).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoder::RecordEncoder;
+    use hdc_datasets::{Benchmark, Discretizer};
+    use hypervec::HvRng;
+
+    fn setup(kind: ModelKind) -> (RecordEncoder, HdcConfig, QuantizedDataset, QuantizedDataset) {
+        let (train_ds, test_ds) = Benchmark::Pamap.generate(0.1, 7).unwrap();
+        let config = HdcConfig {
+            dim: 2048,
+            m_levels: 8,
+            kind,
+            epochs: 3,
+            learning_rate: 1,
+            seed: 7,
+        };
+        let disc = Discretizer::fit(&train_ds, config.m_levels).unwrap();
+        let train_q = disc.discretize(&train_ds).unwrap();
+        let test_q = disc.discretize(&test_ds).unwrap();
+        let mut rng = HvRng::from_seed(config.seed);
+        let enc = RecordEncoder::generate(
+            &mut rng,
+            train_q.n_features(),
+            config.m_levels,
+            config.dim,
+        )
+        .unwrap();
+        (enc, config, train_q, test_q)
+    }
+
+    #[test]
+    fn binary_model_learns_synthetic_task() {
+        let (enc, config, train_q, test_q) = setup(ModelKind::Binary);
+        let memory = train(&enc, &config, &train_q);
+        let result = infer::evaluate(&enc, &memory, &test_q);
+        assert!(
+            result.accuracy > 0.6,
+            "binary accuracy too low: {}",
+            result.accuracy
+        );
+    }
+
+    #[test]
+    fn nonbinary_model_learns_synthetic_task() {
+        let (enc, config, train_q, test_q) = setup(ModelKind::NonBinary);
+        let memory = train(&enc, &config, &train_q);
+        let result = infer::evaluate(&enc, &memory, &test_q);
+        assert!(
+            result.accuracy > 0.6,
+            "non-binary accuracy too low: {}",
+            result.accuracy
+        );
+    }
+
+    #[test]
+    fn retraining_does_not_hurt_training_accuracy() {
+        let (enc, mut config, train_q, _) = setup(ModelKind::Binary);
+        config.epochs = 0;
+        let single = train(&enc, &config, &train_q);
+        config.epochs = 3;
+        let retrained = train(&enc, &config, &train_q);
+        let acc_single = infer::evaluate(&enc, &single, &train_q).accuracy;
+        let acc_retrained = infer::evaluate(&enc, &retrained, &train_q).accuracy;
+        assert!(
+            acc_retrained >= acc_single - 0.02,
+            "retraining regressed: {acc_single} -> {acc_retrained}"
+        );
+    }
+
+    #[test]
+    fn class_counts_match_training_data() {
+        let (enc, config, train_q, _) = setup(ModelKind::Binary);
+        let memory = train(&enc, &config, &train_q);
+        // single-pass adds exactly one bundle entry per sample
+        let bundled: usize = (0..memory.n_classes()).map(|j| memory.count(j)).sum();
+        assert_eq!(bundled, train_q.len());
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let (enc, config, train_q, _) = setup(ModelKind::Binary);
+        let a = train(&enc, &config, &train_q);
+        let b = train(&enc, &config, &train_q);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn online_training_learns_binary() {
+        let (enc, config, train_q, test_q) = setup(ModelKind::Binary);
+        let memory = train_online(&enc, &config, &train_q, 8);
+        let acc = infer::evaluate(&enc, &memory, &test_q).accuracy;
+        assert!(acc > 0.55, "online binary accuracy too low: {acc}");
+    }
+
+    #[test]
+    fn online_training_learns_nonbinary() {
+        let (enc, config, train_q, test_q) = setup(ModelKind::NonBinary);
+        let memory = train_online(&enc, &config, &train_q, 8);
+        let acc = infer::evaluate(&enc, &memory, &test_q).accuracy;
+        assert!(acc > 0.55, "online non-binary accuracy too low: {acc}");
+    }
+
+    #[test]
+    fn online_training_is_deterministic() {
+        let (enc, config, train_q, _) = setup(ModelKind::Binary);
+        let a = train_online(&enc, &config, &train_q, 8);
+        let b = train_online(&enc, &config, &train_q, 8);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn weight_is_clamped_and_positive() {
+        assert_eq!(weight(1.0, 8), 1);
+        assert_eq!(weight(0.0, 8), 8);
+        assert_eq!(weight(-1.0, 8), 16);
+        assert_eq!(weight(2.0, 8), 1); // clamp below zero → min 1
+    }
+}

@@ -1,0 +1,46 @@
+//! Cycle-level view of the FPGA encoding datapath: what HDLock costs in
+//! hardware (the paper's Fig. 9 measurement, here on the simulator).
+//!
+//! ```text
+//! cargo run --release --example hardware_pipeline
+//! ```
+
+use hdc_hwsim::{cycles_to_micros, relative_encoding_times, simulate_encode, HwConfig};
+
+fn main() {
+    let cfg = HwConfig::zynq_default();
+    println!(
+        "datapath: D = {}, accumulate {} b/cycle, bind {} b/cycle, {} memory ports, latency {}",
+        cfg.dim, cfg.acc_width, cfg.bind_width, cfg.mem_ports, cfg.mem_latency
+    );
+
+    println!("\nencoding one MNIST-shaped sample (N = 784):");
+    for layers in 0..=5 {
+        let rep = simulate_encode(&cfg, 784, layers);
+        println!(
+            "  L = {layers}: {:>6} cycles  ({:>7.1} µs @ 300 MHz, acc utilization {:.2})",
+            rep.total_cycles,
+            cycles_to_micros(rep.total_cycles, 300.0),
+            rep.acc_utilization()
+        );
+    }
+
+    println!("\nrelative encoding time (Fig. 9 series, normalized to L = 1):");
+    let series = relative_encoding_times(&cfg, "mnist", 784, &[1, 2, 3, 4, 5]);
+    for (l, r) in &series.points {
+        let bar = "#".repeat((r * 20.0) as usize);
+        println!("  L = {l}: {r:.3}  {bar}");
+    }
+
+    println!("\nablation — what an overlapped derive/accumulate pipeline would buy:");
+    let overlapped = cfg.with_overlap(true);
+    for layers in [2usize, 3, 5] {
+        let serial = simulate_encode(&cfg, 784, layers).total_cycles;
+        let fast = simulate_encode(&overlapped, 784, layers).total_cycles;
+        println!(
+            "  L = {layers}: serial {serial} cycles -> overlapped {fast} cycles ({:.1}% saved)",
+            100.0 * (serial - fast) as f64 / serial as f64
+        );
+    }
+    println!("\n(the paper's measured design point is the serial one: +21% per layer from L = 2)");
+}

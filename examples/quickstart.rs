@@ -1,0 +1,69 @@
+//! Quickstart: train a standard HDC classifier, lock its encoder with
+//! HDLock, and confirm the locked model keeps the accuracy while the
+//! reasoning cost explodes.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use hdc_datasets::{Benchmark, Discretizer};
+use hdc_model::{evaluate, train, HdcConfig, HdcModel, ModelKind};
+use hdlock::{hdlock_reasoning_guesses, standard_reasoning_guesses, LockConfig, LockedEncoder};
+use hypervec::HvRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A benchmark task: PAMAP-shaped (75 features, 5 classes).
+    let (train_ds, test_ds) = Benchmark::Pamap.generate(0.2, 42)?;
+    println!(
+        "dataset: {} ({} train / {} test, {} features, {} classes)",
+        train_ds.name(),
+        train_ds.len(),
+        test_ds.len(),
+        train_ds.n_features(),
+        train_ds.n_classes()
+    );
+
+    // 2. Train the unprotected baseline.
+    let config = HdcConfig {
+        dim: 10_000,
+        m_levels: 16,
+        kind: ModelKind::Binary,
+        epochs: 2,
+        learning_rate: 1,
+        seed: 42,
+    };
+    let baseline = HdcModel::fit_standard(&config, &train_ds)?;
+    let base_acc = baseline.evaluate(&test_ds)?.accuracy;
+    println!("standard HDC accuracy:  {base_acc:.4}");
+
+    // 3. Train the same pipeline on an HDLock-protected encoder (L = 2).
+    let lock_cfg = LockConfig {
+        n_features: train_ds.n_features(),
+        m_levels: config.m_levels,
+        dim: config.dim,
+        pool_size: train_ds.n_features(),
+        n_layers: 2,
+    };
+    let mut rng = HvRng::from_seed(config.seed);
+    let locked_encoder = LockedEncoder::generate(&mut rng, &lock_cfg)?;
+    let disc = Discretizer::fit(&train_ds, config.m_levels)?;
+    let train_q = disc.discretize(&train_ds)?;
+    let test_q = disc.discretize(&test_ds)?;
+    let memory = train(&locked_encoder, &config, &train_q);
+    let locked_acc = evaluate(&locked_encoder, &memory, &test_q).accuracy;
+    println!("HDLock (L=2) accuracy:  {locked_acc:.4}");
+    println!("accuracy delta:         {:+.4}  (paper: no observable loss)", locked_acc - base_acc);
+
+    // 4. What the lock buys: reasoning complexity.
+    let n = train_ds.n_features();
+    println!(
+        "\nreasoning cost for an attacker:\n  standard: {} guesses\n  HDLock:   {} guesses",
+        standard_reasoning_guesses(n),
+        hdlock_reasoning_guesses(n, lock_cfg.dim, lock_cfg.pool_size, lock_cfg.n_layers),
+    );
+    println!(
+        "key-vault audit: {} privileged reads during setup+training",
+        locked_encoder.vault().reads()
+    );
+    Ok(())
+}

@@ -1,0 +1,24 @@
+//! # hdlock-repro — umbrella crate
+//!
+//! Reproduction of *"HDLock: Exploiting Privileged Encoding to Protect
+//! Hyperdimensional Computing Models against IP Stealing"* (DAC 2022).
+//!
+//! This crate re-exports the workspace's public surface and hosts the
+//! runnable examples (`examples/`) and cross-crate integration tests
+//! (`tests/`). See the individual crates for the implementation:
+//!
+//! * [`hypervec`] — bit-packed hypervector math (MAP operations)
+//! * [`hdc_datasets`] — synthetic benchmark datasets + quantization
+//! * [`hdc_model`] — record-based HDC classifier (encode/train/infer)
+//! * [`hdlock`] — the locked encoder, key vault and complexity analysis
+//! * [`hdc_attack`] — the reasoning attack and HDLock validation
+//! * [`hdc_hwsim`] — cycle-level FPGA encoding-datapath simulator
+
+#![warn(missing_docs)]
+
+pub use hdc_attack;
+pub use hdc_datasets;
+pub use hdc_hwsim;
+pub use hdc_model;
+pub use hdlock;
+pub use hypervec;
