@@ -24,8 +24,7 @@
 use std::time::Instant;
 
 use hdc_model::ModelKind;
-use hypervec::{BinaryHv, IntHv};
-use rayon::prelude::*;
+use hypervec::{par, BinaryHv, IntHv};
 
 use crate::error::AttackError;
 use crate::memory_dump::StandardDump;
@@ -69,7 +68,9 @@ impl FeatureAttackContext {
     /// degenerate.
     pub fn new(dump: &StandardDump, values: &ValueMapping) -> Result<Self, AttackError> {
         if values.order.len() < 2 {
-            return Err(AttackError::TooFewValues { found: values.order.len() });
+            return Err(AttackError::TooFewValues {
+                found: values.order.len(),
+            });
         }
         let v1 = dump
             .value_pool
@@ -84,7 +85,9 @@ impl FeatureAttackContext {
         let s = dump
             .feature_pool
             .sum()
-            .map_err(|_| AttackError::ShapeMismatch { what: "empty feature pool" })?;
+            .map_err(|_| AttackError::ShapeMismatch {
+                what: "empty feature pool",
+            })?;
         let t = s.bind_binary(&v1);
         let base_sign = t.sign_ties_positive();
         let mut j_dims = Vec::new();
@@ -95,7 +98,14 @@ impl FeatureAttackContext {
                 j_t.push(t.get(d) as i8);
             }
         }
-        Ok(FeatureAttackContext { v1, vmax, t, base_sign, j_dims, j_t })
+        Ok(FeatureAttackContext {
+            v1,
+            vmax,
+            t,
+            base_sign,
+            j_dims,
+            j_t,
+        })
     }
 
     /// Number of candidate-dependent dimensions `|J|`.
@@ -150,12 +160,7 @@ impl FeatureAttackContext {
     /// Reference implementation of the candidate distance: materializes
     /// the full Eq. 8 prediction. Used to validate the fast path.
     #[must_use]
-    pub fn naive_candidate_distance(
-        &self,
-        dump: &StandardDump,
-        h: &BinaryHv,
-        row: usize,
-    ) -> usize {
+    pub fn naive_candidate_distance(&self, dump: &StandardDump, h: &BinaryHv, row: usize) -> usize {
         let cand = dump.feature_pool.get(row).expect("candidate row in range");
         let mut acc = self.t.clone();
         // add cand · (vM − v1)
@@ -208,7 +213,9 @@ pub struct FeatureExtractOptions {
 
 impl Default for FeatureExtractOptions {
     fn default() -> Self {
-        FeatureExtractOptions { restrict_to_unassigned: true }
+        FeatureExtractOptions {
+            restrict_to_unassigned: true,
+        }
     }
 }
 
@@ -235,38 +242,60 @@ pub fn extract_features(
     let mut guesses = 0u64;
     let mut oracle_queries = 0u64;
 
+    // The N probe inputs are known upfront (they do not depend on earlier
+    // assignments), so all observations flow through the oracle's
+    // word-parallel batch path in one shot. Cost accounting is unchanged:
+    // a batch of N rows is N queries.
+    let probe_rows: Vec<Vec<u16>> = (0..n).map(|feature| probe_row(n, m, feature)).collect();
+    let probe_refs: Vec<&[u16]> = probe_rows.iter().map(Vec::as_slice).collect();
+    let (observed_binary, observed_int) = match kind {
+        ModelKind::Binary => (oracle.query_binary_batch(&probe_refs), Vec::new()),
+        ModelKind::NonBinary => (Vec::new(), oracle.query_int_batch(&probe_refs)),
+    };
+    oracle_queries += n as u64;
+
     for feature in 0..n {
-        let row = probe_row(n, m, feature);
-        oracle_queries += 1;
-        let best: Option<(usize, usize)> = match kind {
+        let candidates: Vec<usize> = (0..dump.n_features())
+            .filter(|&r| !(options.restrict_to_unassigned && used[r]))
+            .collect();
+        guesses += candidates.len() as u64;
+        // Candidate scoring fans out across worker threads; each chunk
+        // returns its local minimum and the final min is taken inline.
+        let scored: Vec<(usize, usize)> = match kind {
             ModelKind::Binary => {
-                let h = oracle.query_binary(&row);
-                let candidates: Vec<usize> = (0..dump.n_features())
-                    .filter(|&r| !(options.restrict_to_unassigned && used[r]))
-                    .collect();
-                guesses += candidates.len() as u64;
-                candidates
-                    .par_iter()
-                    .map(|&r| (ctx.candidate_distance_binary(dump, &h, r), r))
-                    .min()
-                    .map(|(d, r)| (r, d))
+                let h = &observed_binary[feature];
+                par::par_chunk_map(candidates.len(), 16, |range| {
+                    range
+                        .map(|ci| {
+                            let r = candidates[ci];
+                            (ctx.candidate_distance_binary(dump, h, r), r)
+                        })
+                        .min()
+                        .into_iter()
+                        .collect()
+                })
             }
             ModelKind::NonBinary => {
-                let h = oracle.query_int(&row);
-                let candidates: Vec<usize> = (0..dump.n_features())
-                    .filter(|&r| !(options.restrict_to_unassigned && used[r]))
-                    .collect();
-                guesses += candidates.len() as u64;
-                candidates
-                    .par_iter()
-                    .map(|&r| (ctx.candidate_mismatch_int(dump, &h, r, 8), r))
-                    .min()
-                    .map(|(d, r)| (r, d))
+                let h = &observed_int[feature];
+                par::par_chunk_map(candidates.len(), 16, |range| {
+                    range
+                        .map(|ci| {
+                            let r = candidates[ci];
+                            (ctx.candidate_mismatch_int(dump, h, r, 8), r)
+                        })
+                        .min()
+                        .into_iter()
+                        .collect()
+                })
             }
         };
+        let best: Option<(usize, usize)> = scored.into_iter().min().map(|(d, r)| (r, d));
         let (best_row, _) = best.ok_or(AttackError::NoCandidateLeft { feature })?;
         if used[best_row] {
-            return Err(AttackError::AmbiguousAssignment { feature, row: best_row });
+            return Err(AttackError::AmbiguousAssignment {
+                feature,
+                row: best_row,
+            });
         }
         used[best_row] = true;
         assignment[feature] = best_row;
@@ -274,7 +303,11 @@ pub fn extract_features(
 
     Ok(FeatureMapping {
         assignment,
-        stats: AttackStats { guesses, oracle_queries, elapsed: start.elapsed() },
+        stats: AttackStats {
+            guesses,
+            oracle_queries,
+            elapsed: start.elapsed(),
+        },
     })
 }
 
@@ -297,17 +330,19 @@ pub fn guess_profile(
     let profile = match kind {
         ModelKind::Binary => {
             let h = oracle.query_binary(&row);
-            (0..dump.n_features())
-                .into_par_iter()
-                .map(|r| ctx.candidate_distance_binary(dump, &h, r) as f64 / d)
-                .collect()
+            par::par_chunk_map(dump.n_features(), 16, |range| {
+                range
+                    .map(|r| ctx.candidate_distance_binary(dump, &h, r) as f64 / d)
+                    .collect()
+            })
         }
         ModelKind::NonBinary => {
             let h = oracle.query_int(&row);
-            (0..dump.n_features())
-                .into_par_iter()
-                .map(|r| ctx.candidate_mismatch_int(dump, &h, r, 0) as f64 / d)
-                .collect()
+            par::par_chunk_map(dump.n_features(), 16, |range| {
+                range
+                    .map(|r| ctx.candidate_mismatch_int(dump, &h, r, 0) as f64 / d)
+                    .collect()
+            })
         }
     };
     Ok(profile)
@@ -360,7 +395,10 @@ mod tests {
             FeatureExtractOptions::default(),
         )
         .unwrap();
-        assert_eq!(feature_mapping_accuracy(&features, &truth.feature_perm), 1.0);
+        assert_eq!(
+            feature_mapping_accuracy(&features, &truth.feature_perm),
+            1.0
+        );
     }
 
     #[test]
@@ -376,7 +414,10 @@ mod tests {
             FeatureExtractOptions::default(),
         )
         .unwrap();
-        assert_eq!(feature_mapping_accuracy(&features, &truth.feature_perm), 1.0);
+        assert_eq!(
+            feature_mapping_accuracy(&features, &truth.feature_perm),
+            1.0
+        );
     }
 
     #[test]
@@ -392,7 +433,10 @@ mod tests {
             FeatureExtractOptions::default(),
         )
         .unwrap();
-        assert_eq!(feature_mapping_accuracy(&features, &truth.feature_perm), 1.0);
+        assert_eq!(
+            feature_mapping_accuracy(&features, &truth.feature_perm),
+            1.0
+        );
     }
 
     #[test]
@@ -403,7 +447,11 @@ mod tests {
         let ctx = FeatureAttackContext::new(&dump, &values).unwrap();
         // probe feature 5; its true dump row is the row holding FeaHV_5
         let h = oracle.query_binary(&probe_row(17, 4, 5));
-        let true_row = truth.feature_perm.iter().position(|&orig| orig == 5).unwrap();
+        let true_row = truth
+            .feature_perm
+            .iter()
+            .position(|&orig| orig == 5)
+            .unwrap();
         assert_eq!(ctx.candidate_distance_binary(&dump, &h, true_row), 0);
     }
 
@@ -429,7 +477,11 @@ mod tests {
         let oracle = CountingOracle::new(&enc);
         let values = extract_values(&oracle, &dump, ModelKind::Binary).unwrap();
         let profile = guess_profile(&oracle, &dump, &values, ModelKind::Binary, 0).unwrap();
-        let true_row = truth.feature_perm.iter().position(|&orig| orig == 0).unwrap();
+        let true_row = truth
+            .feature_perm
+            .iter()
+            .position(|&orig| orig == 0)
+            .unwrap();
         for (r, &dist) in profile.iter().enumerate() {
             if r == true_row {
                 assert_eq!(dist, 0.0, "correct guess must be exact");
@@ -449,7 +501,9 @@ mod tests {
             &dump,
             &values,
             ModelKind::Binary,
-            FeatureExtractOptions { restrict_to_unassigned: false },
+            FeatureExtractOptions {
+                restrict_to_unassigned: false,
+            },
         )
         .unwrap();
         // N candidates for each of N features

@@ -60,14 +60,12 @@ pub use feature_extract::{
     extract_features, feature_mapping_accuracy, guess_profile, FeatureAttackContext,
     FeatureExtractOptions, FeatureMapping,
 };
-pub use lock_attack::{
-    exhaustive_key_search, sweep_parameter, LockProbe, SweepResult, SweptParam,
-};
+pub use lock_attack::{exhaustive_key_search, sweep_parameter, LockProbe, SweepResult, SweptParam};
 pub use memory_dump::{DumpGroundTruth, HdlockDump, StandardDump};
 pub use oracle::{all_min_row, probe_row, CountingOracle, EncodingOracle};
-pub use robust::{NoisyOracle, ThrottledOracle};
 pub use reconstruct::{
     duplicate_model, mapping_accuracy, reason_encoding, rebuild_encoder, RecoveredEncoding,
 };
+pub use robust::{NoisyOracle, ThrottledOracle};
 pub use timing::AttackStats;
 pub use value_extract::{extract_values, value_mapping_accuracy, ValueMapping};

@@ -18,8 +18,7 @@ use std::time::Instant;
 
 use hdc_model::ModelKind;
 use hdlock::{derive_feature, BasePool, FeatureKey, LayerKey};
-use hypervec::LevelHvs;
-use rayon::prelude::*;
+use hypervec::{par, LevelHvs};
 
 use crate::error::AttackError;
 use crate::oracle::{all_min_row, probe_row, EncodingOracle};
@@ -37,6 +36,9 @@ pub struct LockProbe {
     v1_on_i: Vec<i8>,
     /// Which model kind produced this probe.
     kind: ModelKind,
+    /// Which feature the probe targets (plumbed into key-derivation
+    /// errors so they name the real feature).
+    feature: usize,
 }
 
 impl LockProbe {
@@ -53,7 +55,9 @@ impl LockProbe {
         kind: ModelKind,
     ) -> Result<Self, AttackError> {
         if oracle.dim() != values.dim() {
-            return Err(AttackError::ShapeMismatch { what: "oracle and values dimension differ" });
+            return Err(AttackError::ShapeMismatch {
+                what: "oracle and values dimension differ",
+            });
         }
         let n = oracle.n_features();
         let m = oracle.m_levels();
@@ -77,7 +81,13 @@ impl LockProbe {
             }
         };
         let v1_on_i = indices.iter().map(|&d| v1.polarity(d as usize)).collect();
-        Ok(LockProbe { indices, target, v1_on_i, kind })
+        Ok(LockProbe {
+            indices,
+            target,
+            v1_on_i,
+            kind,
+            feature,
+        })
     }
 
     /// Captures a probe using the attacker's [`crate::HdlockDump`] view (the
@@ -102,6 +112,12 @@ impl LockProbe {
         self.indices.len()
     }
 
+    /// The feature this probe targets.
+    #[must_use]
+    pub fn feature(&self) -> usize {
+        self.feature
+    }
+
     /// Model kind the probe was captured from.
     #[must_use]
     pub fn kind(&self) -> ModelKind {
@@ -119,8 +135,10 @@ impl LockProbe {
     ///
     /// Propagates key-derivation failures for malformed guesses.
     pub fn score(&self, pool: &BasePool, guess: &FeatureKey) -> Result<f64, AttackError> {
-        let g = derive_feature(pool, guess)
-            .map_err(|_| AttackError::ShapeMismatch { what: "guess references missing base" })?;
+        let g =
+            derive_feature(pool, guess, self.feature).map_err(|_| AttackError::ShapeMismatch {
+                what: "guess references missing base",
+            })?;
         let mismatches = self
             .indices
             .iter()
@@ -181,7 +199,10 @@ impl SweepResult {
     /// Smallest score among wrong guesses.
     #[must_use]
     pub fn best_wrong_score(&self) -> f64 {
-        self.scores[1..].iter().copied().fold(f64::INFINITY, f64::min)
+        self.scores[1..]
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min)
     }
 
     /// Whether the correct guess is strictly separated from every wrong
@@ -216,7 +237,9 @@ pub fn sweep_parameter(
         SweptParam::Rotation { layer } | SweptParam::BaseIndex { layer } => layer,
     };
     if layer_idx >= layers.len() {
-        return Err(AttackError::ShapeMismatch { what: "swept layer beyond key depth" });
+        return Err(AttackError::ShapeMismatch {
+            what: "swept layer beyond key depth",
+        });
     }
     let stride = stride.max(1);
     let candidates: Vec<usize> = match param {
@@ -228,19 +251,23 @@ pub fn sweep_parameter(
         SweptParam::BaseIndex { layer } => layers[layer].base_index,
     };
 
-    let mut scored: Vec<(usize, f64)> = candidates
-        .par_iter()
-        .map(|&v| {
-            let mut guess_layers = layers.clone();
-            match param {
-                SweptParam::Rotation { layer } => guess_layers[layer].rotation = v,
-                SweptParam::BaseIndex { layer } => guess_layers[layer].base_index = v,
-            }
-            let guess = FeatureKey::new(guess_layers);
-            let s = probe.score(pool, &guess).expect("candidate key is structurally valid");
-            (v, s)
-        })
-        .collect();
+    let mut scored: Vec<(usize, f64)> = par::par_chunk_map(candidates.len(), 16, |range| {
+        range
+            .map(|ci| {
+                let v = candidates[ci];
+                let mut guess_layers = layers.clone();
+                match param {
+                    SweptParam::Rotation { layer } => guess_layers[layer].rotation = v,
+                    SweptParam::BaseIndex { layer } => guess_layers[layer].base_index = v,
+                }
+                let guess = FeatureKey::new(guess_layers);
+                let s = probe
+                    .score(pool, &guess)
+                    .expect("candidate key is structurally valid");
+                (v, s)
+            })
+            .collect()
+    });
 
     // Correct value first (paper plots it first), wrong ones after.
     let mut scores = Vec::with_capacity(scored.len() + 1);
@@ -264,7 +291,11 @@ pub fn sweep_parameter(
     Ok(SweepResult {
         param,
         scores,
-        stats: AttackStats { guesses, oracle_queries: 0, elapsed: start.elapsed() },
+        stats: AttackStats {
+            guesses,
+            oracle_queries: 0,
+            elapsed: start.elapsed(),
+        },
     })
 }
 
@@ -284,24 +315,34 @@ pub fn exhaustive_key_search(
     assert!(n_layers >= 1, "exhaustive search needs at least one layer");
     let per_layer: u64 = (dim as u64) * (pool.len() as u64);
     let total = per_layer.pow(n_layers as u32);
-    let best = (0..total)
-        .into_par_iter()
-        .map(|code| {
-            let mut rem = code;
-            let layers: Vec<LayerKey> = (0..n_layers)
-                .map(|_| {
-                    let lk = LayerKey {
-                        base_index: (rem % pool.len() as u64) as usize,
-                        rotation: ((rem / pool.len() as u64) % dim as u64) as usize,
-                    };
-                    rem /= per_layer;
-                    lk
-                })
-                .collect();
-            let key = FeatureKey::new(layers);
-            let score = probe.score(pool, &key).expect("generated key is valid");
-            (OrderedScore(score), key)
-        })
+    let chunk_minima: Vec<(OrderedScore, FeatureKey)> = par::par_chunk_map(
+        usize::try_from(total).expect("search space fits usize"),
+        256,
+        |range| {
+            let mut best: Option<(OrderedScore, FeatureKey)> = None;
+            for code in range {
+                let mut rem = code as u64;
+                let layers: Vec<LayerKey> = (0..n_layers)
+                    .map(|_| {
+                        let lk = LayerKey {
+                            base_index: (rem % pool.len() as u64) as usize,
+                            rotation: ((rem / pool.len() as u64) % dim as u64) as usize,
+                        };
+                        rem /= per_layer;
+                        lk
+                    })
+                    .collect();
+                let key = FeatureKey::new(layers);
+                let score = probe.score(pool, &key).expect("generated key is valid");
+                if best.as_ref().is_none_or(|(s, _)| OrderedScore(score) < *s) {
+                    best = Some((OrderedScore(score), key));
+                }
+            }
+            best.into_iter().collect()
+        },
+    );
+    let best = chunk_minima
+        .into_iter()
         .min_by(|a, b| a.0.cmp(&b.0))
         .expect("search space is non-empty");
     Ok((best.1, best.0 .0, total))
@@ -341,15 +382,26 @@ mod tests {
         let mut rng = HvRng::from_seed(seed);
         let pool = hdlock::BasePool::generate(&mut rng, cfg.dim, cfg.pool_size);
         let values = LevelHvs::generate(&mut rng, cfg.dim, cfg.m_levels).unwrap();
-        let key =
-            EncodingKey::random(&mut rng, cfg.n_features, cfg.n_layers, cfg.pool_size, cfg.dim)
-                .unwrap();
+        let key = EncodingKey::random(
+            &mut rng,
+            cfg.n_features,
+            cfg.n_layers,
+            cfg.pool_size,
+            cfg.dim,
+        )
+        .unwrap();
         let enc = LockedEncoder::from_parts(pool.clone(), values.clone(), key.clone()).unwrap();
         (enc, key, pool, values)
     }
 
     fn small_cfg() -> LockConfig {
-        LockConfig { n_features: 31, m_levels: 4, dim: 4096, pool_size: 31, n_layers: 2 }
+        LockConfig {
+            n_features: 31,
+            m_levels: 4,
+            dim: 4096,
+            pool_size: 31,
+            n_layers: 2,
+        }
     }
 
     #[test]
@@ -370,7 +422,10 @@ mod tests {
         let oracle = CountingOracle::new(&enc);
         let probe = LockProbe::capture(&oracle, &values, 0, ModelKind::NonBinary).unwrap();
         let score = probe.score(&pool, key.feature(0)).unwrap();
-        assert_eq!(score, 0.0, "paper: cosine exactly 1 for the correct non-binary guess");
+        assert_eq!(
+            score, 0.0,
+            "paper: cosine exactly 1 for the correct non-binary guess"
+        );
     }
 
     #[test]
@@ -383,7 +438,10 @@ mod tests {
         layers[1].rotation = (layers[1].rotation + 17) % cfg.dim;
         let wrong = FeatureKey::new(layers);
         let score = probe.score(&pool, &wrong).unwrap();
-        assert!(score > 0.25, "wrong-by-one guess must look random, got {score}");
+        assert!(
+            score > 0.25,
+            "wrong-by-one guess must look random, got {score}"
+        );
     }
 
     #[test]
@@ -398,10 +456,13 @@ mod tests {
             SweptParam::Rotation { layer: 1 },
             SweptParam::BaseIndex { layer: 1 },
         ] {
-            let sweep =
-                sweep_parameter(&probe, &pool, key.feature(0), param, cfg.dim, 16).unwrap();
+            let sweep = sweep_parameter(&probe, &pool, key.feature(0), param, cfg.dim, 16).unwrap();
             assert_eq!(sweep.correct_score(), 0.0, "{param:?}");
-            assert!(sweep.separates(0.2), "{param:?}: {:?}", sweep.best_wrong_score());
+            assert!(
+                sweep.separates(0.2),
+                "{param:?}: {:?}",
+                sweep.best_wrong_score()
+            );
         }
     }
 
@@ -430,16 +491,25 @@ mod tests {
         // recovers a key deriving the exact feature hypervector. The
         // same search at paper scale would need (10⁴·784)² ≈ 6·10¹³
         // guesses per feature (see hdlock::complexity).
-        let cfg = LockConfig { n_features: 9, m_levels: 4, dim: 64, pool_size: 4, n_layers: 1 };
+        let cfg = LockConfig {
+            n_features: 9,
+            m_levels: 4,
+            dim: 64,
+            pool_size: 4,
+            n_layers: 1,
+        };
         let (enc, key, pool, values) = locked_setup(6, &cfg);
         let oracle = CountingOracle::new(&enc);
         let probe = LockProbe::capture(&oracle, &values, 0, ModelKind::NonBinary).unwrap();
         let (found, score, guesses) = exhaustive_key_search(&probe, &pool, cfg.dim, 1).unwrap();
         assert_eq!(guesses, 256);
         assert_eq!(score, 0.0);
-        let true_hv = derive_feature(&pool, key.feature(0)).unwrap();
-        let found_hv = derive_feature(&pool, &found).unwrap();
-        assert_eq!(found_hv, true_hv, "recovered key must derive the true feature hypervector");
+        let true_hv = derive_feature(&pool, key.feature(0), 0).unwrap();
+        let found_hv = derive_feature(&pool, &found, 0).unwrap();
+        assert_eq!(
+            found_hv, true_hv,
+            "recovered key must derive the true feature hypervector"
+        );
     }
 
     #[test]

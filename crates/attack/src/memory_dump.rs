@@ -45,8 +45,14 @@ impl StandardDump {
             .expect("level family is non-empty and consistent");
         let (value_pool, value_perm) = value_mem.shuffled(rng);
         (
-            StandardDump { feature_pool, value_pool },
-            DumpGroundTruth { feature_perm, value_perm },
+            StandardDump {
+                feature_pool,
+                value_pool,
+            },
+            DumpGroundTruth {
+                feature_perm,
+                value_perm,
+            },
         )
     }
 
@@ -84,7 +90,10 @@ impl HdlockDump {
     /// Dumps the public surface of a locked encoder.
     #[must_use]
     pub fn from_encoder(encoder: &LockedEncoder) -> Self {
-        HdlockDump { base_pool: encoder.pool().clone(), values: encoder.values().clone() }
+        HdlockDump {
+            base_pool: encoder.pool().clone(),
+            values: encoder.values().clone(),
+        }
     }
 
     /// Pool size `P`.
@@ -127,7 +136,13 @@ mod tests {
     #[test]
     fn hdlock_dump_exposes_only_public_parts() {
         let mut rng = HvRng::from_seed(2);
-        let cfg = LockConfig { n_features: 8, m_levels: 4, dim: 256, pool_size: 16, n_layers: 2 };
+        let cfg = LockConfig {
+            n_features: 8,
+            m_levels: 4,
+            dim: 256,
+            pool_size: 16,
+            n_layers: 2,
+        };
         let enc = LockedEncoder::generate(&mut rng, &cfg).unwrap();
         let dump = HdlockDump::from_encoder(&enc);
         assert_eq!(dump.pool_size(), 16);

@@ -27,6 +27,22 @@ pub trait EncodingOracle {
     /// Observes the non-binarized encoding of a chosen input
     /// (non-binary models).
     fn query_int(&self, levels: &[u16]) -> IntHv;
+
+    /// Observes the binary encodings of a batch of chosen inputs.
+    ///
+    /// Cost accounting is unchanged — a batch of `k` rows is `k` oracle
+    /// queries — but implementations backed by a real encoder forward to
+    /// its word-parallel batch path, which is what lets attack harnesses
+    /// drive encode+compare oracle calls at full throughput.
+    fn query_binary_batch(&self, rows: &[&[u16]]) -> Vec<BinaryHv> {
+        rows.iter().map(|row| self.query_binary(row)).collect()
+    }
+
+    /// Observes the non-binarized encodings of a batch of chosen inputs;
+    /// the non-binary sibling of [`EncodingOracle::query_binary_batch`].
+    fn query_int_batch(&self, rows: &[&[u16]]) -> Vec<IntHv> {
+        rows.iter().map(|row| self.query_int(row)).collect()
+    }
 }
 
 /// Wraps an [`Encoder`] as an oracle, counting queries.
@@ -55,7 +71,10 @@ impl<'a, E: Encoder> CountingOracle<'a, E> {
     /// Wraps a victim encoder.
     #[must_use]
     pub fn new(encoder: &'a E) -> Self {
-        CountingOracle { encoder, queries: AtomicU64::new(0) }
+        CountingOracle {
+            encoder,
+            queries: AtomicU64::new(0),
+        }
     }
 
     /// Total queries observed so far.
@@ -65,7 +84,7 @@ impl<'a, E: Encoder> CountingOracle<'a, E> {
     }
 }
 
-impl<E: Encoder> EncodingOracle for CountingOracle<'_, E> {
+impl<E: Encoder + Sync> EncodingOracle for CountingOracle<'_, E> {
     fn n_features(&self) -> usize {
         self.encoder.n_features()
     }
@@ -86,6 +105,16 @@ impl<E: Encoder> EncodingOracle for CountingOracle<'_, E> {
     fn query_int(&self, levels: &[u16]) -> IntHv {
         self.queries.fetch_add(1, Ordering::Relaxed);
         self.encoder.encode_int(levels)
+    }
+
+    fn query_binary_batch(&self, rows: &[&[u16]]) -> Vec<BinaryHv> {
+        self.queries.fetch_add(rows.len() as u64, Ordering::Relaxed);
+        self.encoder.encode_batch_binary(rows)
+    }
+
+    fn query_int_batch(&self, rows: &[&[u16]]) -> Vec<IntHv> {
+        self.queries.fetch_add(rows.len() as u64, Ordering::Relaxed);
+        self.encoder.encode_batch_int(rows)
     }
 }
 
@@ -139,6 +168,23 @@ mod tests {
         let row = probe_row(6, 4, 2);
         assert_eq!(oracle.query_binary(&row), enc.encode_binary(&row));
         assert_eq!(oracle.query_int(&row), enc.encode_int(&row));
+    }
+
+    #[test]
+    fn batch_queries_count_per_row_and_match_singles() {
+        let mut rng = HvRng::from_seed(3);
+        let enc = RecordEncoder::generate(&mut rng, 6, 4, 256).unwrap();
+        let oracle = CountingOracle::new(&enc);
+        let rows: Vec<Vec<u16>> = (0..5).map(|f| probe_row(6, 4, f)).collect();
+        let refs: Vec<&[u16]> = rows.iter().map(Vec::as_slice).collect();
+        let batch = oracle.query_binary_batch(&refs);
+        assert_eq!(oracle.queries(), 5, "a batch of k rows costs k queries");
+        for (i, row) in refs.iter().enumerate() {
+            assert_eq!(batch[i], enc.encode_binary(row));
+        }
+        let batch_int = oracle.query_int_batch(&refs);
+        assert_eq!(oracle.queries(), 10);
+        assert_eq!(batch_int[2], enc.encode_int(refs[2]));
     }
 
     #[test]

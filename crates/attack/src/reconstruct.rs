@@ -38,7 +38,11 @@ pub fn reason_encoding(
     let values = extract_values(oracle, dump, kind)?;
     let features = extract_features(oracle, dump, &values, kind, options)?;
     let stats = values.stats.combined(features.stats);
-    Ok(RecoveredEncoding { values, features, stats })
+    Ok(RecoveredEncoding {
+        values,
+        features,
+        stats,
+    })
 }
 
 /// Materializes a working encoder from the recovered mapping — the
@@ -56,20 +60,33 @@ pub fn rebuild_encoder(
         .features
         .assignment
         .iter()
-        .map(|&row| dump.feature_pool.get(row).expect("assignment rows come from dump").clone())
+        .map(|&row| {
+            dump.feature_pool
+                .get(row)
+                .expect("assignment rows come from dump")
+                .clone()
+        })
         .collect();
     let value_rows: Vec<_> = recovered
         .values
         .order
         .iter()
-        .map(|&row| dump.value_pool.get(row).expect("order rows come from dump").clone())
+        .map(|&row| {
+            dump.value_pool
+                .get(row)
+                .expect("order rows come from dump")
+                .clone()
+        })
         .collect();
-    let features = ItemMemory::from_rows(feature_rows)
-        .map_err(|_| AttackError::ShapeMismatch { what: "recovered feature rows inconsistent" })?;
-    let values = LevelHvs::from_levels(value_rows)
-        .map_err(|_| AttackError::ShapeMismatch { what: "recovered value rows inconsistent" })?;
-    RecordEncoder::from_parts(features, values)
-        .map_err(|_| AttackError::ShapeMismatch { what: "recovered parts disagree on dimension" })
+    let features = ItemMemory::from_rows(feature_rows).map_err(|_| AttackError::ShapeMismatch {
+        what: "recovered feature rows inconsistent",
+    })?;
+    let values = LevelHvs::from_levels(value_rows).map_err(|_| AttackError::ShapeMismatch {
+        what: "recovered value rows inconsistent",
+    })?;
+    RecordEncoder::from_parts(features, values).map_err(|_| AttackError::ShapeMismatch {
+        what: "recovered parts disagree on dimension",
+    })
 }
 
 /// Duplicates a victim model with the stolen encoder: the attacker

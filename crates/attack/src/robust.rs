@@ -44,7 +44,11 @@ impl<O: EncodingOracle> NoisyOracle<O> {
             (0.0..=1.0).contains(&flip_probability),
             "flip probability must be in [0, 1]"
         );
-        NoisyOracle { inner, flip_probability, rng: Mutex::new(HvRng::from_seed(seed)) }
+        NoisyOracle {
+            inner,
+            flip_probability,
+            rng: Mutex::new(HvRng::from_seed(seed)),
+        }
     }
 
     /// The configured flip probability.
@@ -105,7 +109,12 @@ impl<O: EncodingOracle> ThrottledOracle<O> {
     /// Wraps `inner` with a faithful-answer budget.
     #[must_use]
     pub fn new(inner: O, budget: u64, seed: u64) -> Self {
-        ThrottledOracle { inner, budget, served: AtomicU64::new(0), rng: Mutex::new(HvRng::from_seed(seed)) }
+        ThrottledOracle {
+            inner,
+            budget,
+            served: AtomicU64::new(0),
+            rng: Mutex::new(HvRng::from_seed(seed)),
+        }
     }
 
     /// Queries answered so far (faithful + poisoned).
@@ -169,9 +178,13 @@ mod tests {
     fn attack_survives_moderate_noise() {
         let (enc, dump, truth) = setup(1, 25);
         let noisy = NoisyOracle::new(CountingOracle::new(&enc), 0.02, 7);
-        let recovered =
-            reason_encoding(&noisy, &dump, ModelKind::Binary, FeatureExtractOptions::default())
-                .unwrap();
+        let recovered = reason_encoding(
+            &noisy,
+            &dump,
+            ModelKind::Binary,
+            FeatureExtractOptions::default(),
+        )
+        .unwrap();
         assert_eq!(
             mapping_accuracy(&recovered, &truth),
             1.0,
@@ -184,8 +197,12 @@ mod tests {
         let (enc, dump, truth) = setup(2, 25);
         // 50% flips = pure noise: no information leaves the oracle.
         let noisy = NoisyOracle::new(CountingOracle::new(&enc), 0.5, 8);
-        let recovered =
-            reason_encoding(&noisy, &dump, ModelKind::Binary, FeatureExtractOptions::default());
+        let recovered = reason_encoding(
+            &noisy,
+            &dump,
+            ModelKind::Binary,
+            FeatureExtractOptions::default(),
+        );
         if let Ok(rec) = recovered {
             assert!(
                 mapping_accuracy(&rec, &truth) < 0.5,
@@ -216,12 +233,12 @@ mod tests {
             ModelKind::Binary,
             FeatureExtractOptions::default(),
         );
-        match recovered {
-            Ok(rec) => assert!(
+        // An Err (ambiguous assignment) is also a pass.
+        if let Ok(rec) = recovered {
+            assert!(
                 mapping_accuracy(&rec, &truth) < 0.9,
                 "a 10-query budget must not allow full recovery"
-            ),
-            Err(_) => {} // ambiguous assignment is also a pass
+            );
         }
         assert!(throttled.served() >= 10);
     }

@@ -44,8 +44,16 @@ mod tests {
 
     #[test]
     fn combined_adds_fields() {
-        let a = AttackStats { guesses: 10, oracle_queries: 2, elapsed: Duration::from_secs(1) };
-        let b = AttackStats { guesses: 5, oracle_queries: 1, elapsed: Duration::from_secs(2) };
+        let a = AttackStats {
+            guesses: 10,
+            oracle_queries: 2,
+            elapsed: Duration::from_secs(1),
+        };
+        let b = AttackStats {
+            guesses: 5,
+            oracle_queries: 1,
+            elapsed: Duration::from_secs(2),
+        };
         let c = a.combined(b);
         assert_eq!(c.guesses, 15);
         assert_eq!(c.oracle_queries, 3);

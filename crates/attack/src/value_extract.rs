@@ -39,7 +39,11 @@ impl ValueMapping {
     pub fn levels<'a>(&self, dump: &'a StandardDump) -> Vec<&'a BinaryHv> {
         self.order
             .iter()
-            .map(|&row| dump.value_pool.get(row).expect("order rows come from the dump"))
+            .map(|&row| {
+                dump.value_pool
+                    .get(row)
+                    .expect("order rows come from the dump")
+            })
             .collect()
     }
 }
@@ -66,7 +70,9 @@ pub fn extract_values(
         return Err(AttackError::TooFewValues { found: m });
     }
     if oracle.dim() != dump.dim() {
-        return Err(AttackError::ShapeMismatch { what: "oracle and dump dimension differ" });
+        return Err(AttackError::ShapeMismatch {
+            what: "oracle and dump dimension differ",
+        });
     }
     let mut guesses = 0u64;
 
@@ -97,7 +103,9 @@ pub fn extract_values(
     let fea_sum_sign = dump
         .feature_pool
         .sum()
-        .map_err(|_| AttackError::ShapeMismatch { what: "empty feature pool" })?
+        .map_err(|_| AttackError::ShapeMismatch {
+            what: "empty feature pool",
+        })?
         .sign_ties_positive();
     let v1_estimate = h_min.bind(&fea_sum_sign);
     guesses += 2;
@@ -110,7 +118,10 @@ pub fn extract_values(
     let mut rows: Vec<(usize, usize)> = (0..m)
         .map(|r| {
             guesses += 1;
-            (dump.value_pool.get(r).expect("row in range").hamming(&v1), r)
+            (
+                dump.value_pool.get(r).expect("row in range").hamming(&v1),
+                r,
+            )
         })
         .collect();
     rows.sort_unstable();
@@ -118,7 +129,11 @@ pub fn extract_values(
 
     Ok(ValueMapping {
         order,
-        stats: AttackStats { guesses, oracle_queries: 1, elapsed: start.elapsed() },
+        stats: AttackStats {
+            guesses,
+            oracle_queries: 1,
+            elapsed: start.elapsed(),
+        },
     })
 }
 
@@ -148,7 +163,11 @@ mod tests {
         n: usize,
         m: usize,
         d: usize,
-    ) -> (RecordEncoder, StandardDump, crate::memory_dump::DumpGroundTruth) {
+    ) -> (
+        RecordEncoder,
+        StandardDump,
+        crate::memory_dump::DumpGroundTruth,
+    ) {
         let mut rng = HvRng::from_seed(seed);
         let enc = RecordEncoder::generate(&mut rng, n, m, d).unwrap();
         let (dump, truth) = StandardDump::from_encoder(&enc, &mut rng);

@@ -29,8 +29,13 @@ fn bench_candidate_distance(c: &mut Criterion) {
 }
 
 fn bench_lock_guess(c: &mut Criterion) {
-    let cfg =
-        LockConfig { n_features: 784, m_levels: 16, dim: 10_000, pool_size: 784, n_layers: 2 };
+    let cfg = LockConfig {
+        n_features: 784,
+        m_levels: 16,
+        dim: 10_000,
+        pool_size: 784,
+        n_layers: 2,
+    };
     let mut rng = HvRng::from_seed(2);
     let pool = BasePool::generate(&mut rng, cfg.dim, cfg.pool_size);
     let values = LevelHvs::generate(&mut rng, cfg.dim, cfg.m_levels).expect("levels");
@@ -44,8 +49,14 @@ fn bench_lock_guess(c: &mut Criterion) {
         bench.iter(|| {
             k = (k + 1) % 10_000;
             let guess = FeatureKey::new(vec![
-                LayerKey { base_index: k % 784, rotation: k },
-                LayerKey { base_index: (k * 7) % 784, rotation: (k * 13) % 10_000 },
+                LayerKey {
+                    base_index: k % 784,
+                    rotation: k,
+                },
+                LayerKey {
+                    base_index: (k * 7) % 784,
+                    rotation: (k * 13) % 10_000,
+                },
             ]);
             black_box(probe.score(&pool, &guess).expect("valid guess"))
         });

@@ -25,6 +25,39 @@ fn bench_standard(c: &mut Criterion) {
     c.bench_function("encode_standard_mnist_shape", |bench| {
         bench.iter(|| black_box(enc.encode_binary(black_box(&r))));
     });
+    c.bench_function("encode_standard_scalar_reference", |bench| {
+        bench.iter(|| black_box(enc.encode_int_scalar(black_box(&r)).sign_ties_positive()));
+    });
+}
+
+fn bench_batch(c: &mut Criterion) {
+    let mut rng = HvRng::from_seed(2);
+    let enc = RecordEncoder::generate(&mut rng, N, M, D).expect("encoder");
+    let rows: Vec<Vec<u16>> = (0..32)
+        .map(|s| (0..N).map(|i| ((s + i) % M) as u16).collect())
+        .collect();
+    let refs: Vec<&[u16]> = rows.iter().map(Vec::as_slice).collect();
+    let mut group = c.benchmark_group("encode_batch_32");
+    group.bench_function("record", |bench| {
+        bench.iter(|| black_box(enc.encode_batch_binary(black_box(&refs))));
+    });
+    let cfg = LockConfig {
+        n_features: N,
+        m_levels: M,
+        dim: D,
+        pool_size: N,
+        n_layers: 2,
+    };
+    let mut rng = HvRng::from_seed(3);
+    let mut locked = LockedEncoder::generate(&mut rng, &cfg).expect("encoder");
+    group.bench_function("locked_cached", |bench| {
+        bench.iter(|| black_box(locked.encode_batch_binary(black_box(&refs))));
+    });
+    locked.set_mode(DeriveMode::OnTheFly);
+    group.bench_function("locked_on_the_fly", |bench| {
+        bench.iter(|| black_box(locked.encode_batch_binary(black_box(&refs))));
+    });
+    group.finish();
 }
 
 fn bench_locked(c: &mut Criterion) {
@@ -44,9 +77,13 @@ fn bench_locked(c: &mut Criterion) {
             bench.iter(|| black_box(enc.encode_binary(black_box(&r))));
         });
         enc.set_mode(DeriveMode::OnTheFly);
-        group.bench_with_input(BenchmarkId::new("on_the_fly", layers), &layers, |bench, _| {
-            bench.iter(|| black_box(enc.encode_binary(black_box(&r))));
-        });
+        group.bench_with_input(
+            BenchmarkId::new("on_the_fly", layers),
+            &layers,
+            |bench, _| {
+                bench.iter(|| black_box(enc.encode_binary(black_box(&r))));
+            },
+        );
     }
     group.finish();
 }
@@ -58,6 +95,6 @@ fn config() -> Criterion {
 criterion_group! {
     name = benches;
     config = config();
-    targets = bench_standard, bench_locked
+    targets = bench_standard, bench_batch, bench_locked
 }
 criterion_main!(benches);

@@ -9,8 +9,8 @@
 //! 5. Value-lock dilemma (paper Sec. 4.1): linearity vs order leak.
 
 use hdc_attack::{
-    extract_features, extract_values, sweep_parameter, CountingOracle,
-    FeatureExtractOptions, LockProbe, StandardDump, SweptParam,
+    extract_features, extract_values, sweep_parameter, CountingOracle, FeatureExtractOptions,
+    LockProbe, StandardDump, SweptParam,
 };
 use hdc_model::{Encoder, ModelKind, RecordEncoder};
 use hdlock::{
@@ -21,8 +21,14 @@ use hdlock_bench::{fmt_f, RunOptions, TextTable};
 use hypervec::{HvRng, LevelHvs};
 
 fn main() {
-    let opts = RunOptions::from_args(RunOptions { dim: 4096, ..RunOptions::default() });
-    println!("Ablation studies (D = {}, seed = {})\n", opts.dim, opts.seed);
+    let opts = RunOptions::from_args(RunOptions {
+        dim: 4096,
+        ..RunOptions::default()
+    });
+    println!(
+        "Ablation studies (D = {}, seed = {})\n",
+        opts.dim, opts.seed
+    );
     tie_break_policy(&opts);
     candidate_restriction(&opts);
     derivation_mode(&opts);
@@ -31,8 +37,8 @@ fn main() {
 }
 
 /// 1. Random vs deterministic `sign(0)`: the attack flow is identical;
-/// with an even feature count ties exist and random tie-break injects
-/// noise into the oracle — measure whether recovery survives.
+///    with an even feature count ties exist and random tie-break injects
+///    noise into the oracle — measure whether recovery survives.
 fn tie_break_policy(opts: &RunOptions) {
     println!("== 1. sign(0) tie-break policy (even N = 64 maximizes ties) ==");
     let mut rng = HvRng::from_seed(opts.seed);
@@ -47,7 +53,10 @@ fn tie_break_policy(opts: &RunOptions) {
         "  Σ FeaHV has {ties} zero dimensions ({:.2}% of D) — the Eq. 6 estimate is",
         100.0 * ties as f64 / opts.dim as f64
     );
-    println!("  exact elsewhere; value mapping still recovered: {}\n", values.order.len() == 8);
+    println!(
+        "  exact elsewhere; value mapping still recovered: {}\n",
+        values.order.len() == 8
+    );
 }
 
 /// 2. Guess counts with and without removing assigned candidates.
@@ -68,10 +77,16 @@ fn candidate_restriction(opts: &RunOptions) {
             &dump,
             &values,
             ModelKind::Binary,
-            FeatureExtractOptions { restrict_to_unassigned: restrict },
+            FeatureExtractOptions {
+                restrict_to_unassigned: restrict,
+            },
         )
         .expect("features");
-        t.row(vec![name.to_owned(), features.stats.guesses.to_string(), model.to_owned()]);
+        t.row(vec![
+            name.to_owned(),
+            features.stats.guesses.to_string(),
+            model.to_owned(),
+        ]);
     }
     t.emit(None);
 }
@@ -79,7 +94,13 @@ fn candidate_restriction(opts: &RunOptions) {
 /// 3. Vault reads per encoded sample in the two derivation modes.
 fn derivation_mode(opts: &RunOptions) {
     println!("== 3. locked-encoder derivation mode (vault traffic) ==");
-    let cfg = LockConfig { n_features: 32, m_levels: 8, dim: opts.dim, pool_size: 32, n_layers: 2 };
+    let cfg = LockConfig {
+        n_features: 32,
+        m_levels: 8,
+        dim: opts.dim,
+        pool_size: 32,
+        n_layers: 2,
+    };
     let mut rng = HvRng::from_seed(opts.seed ^ 2);
     let mut enc = LockedEncoder::generate(&mut rng, &cfg).expect("encoder");
     let row = vec![0u16; 32];
@@ -100,18 +121,24 @@ fn derivation_mode(opts: &RunOptions) {
 }
 
 /// 4. Eq. 13 restricts the criterion to the differing index set `I`.
-/// Score the same sweeps on the whole vector instead: wrong guesses all
-/// collapse towards the baseline distance and the margin shrinks by
-/// |I|/D — the restriction is what makes single-parameter validation
-/// observable at all.
+///    Score the same sweeps on the whole vector instead: wrong guesses all
+///    collapse towards the baseline distance and the margin shrinks by
+///    |I|/D — the restriction is what makes single-parameter validation
+///    observable at all.
 fn criterion_support(opts: &RunOptions) {
     println!("== 4. attack criterion support: restricted to I vs whole vector ==");
-    let cfg = LockConfig { n_features: 63, m_levels: 8, dim: opts.dim, pool_size: 63, n_layers: 2 };
+    let cfg = LockConfig {
+        n_features: 63,
+        m_levels: 8,
+        dim: opts.dim,
+        pool_size: 63,
+        n_layers: 2,
+    };
     let mut rng = HvRng::from_seed(opts.seed ^ 3);
     let pool = BasePool::generate(&mut rng, cfg.dim, cfg.pool_size);
     let values = LevelHvs::generate(&mut rng, cfg.dim, cfg.m_levels).expect("levels");
-    let key = EncodingKey::random(&mut rng, cfg.n_features, 2, cfg.pool_size, cfg.dim)
-        .expect("key");
+    let key =
+        EncodingKey::random(&mut rng, cfg.n_features, 2, cfg.pool_size, cfg.dim).expect("key");
     let enc = LockedEncoder::from_parts(pool.clone(), values.clone(), key.clone()).expect("enc");
     let oracle = CountingOracle::new(&enc);
     let probe = LockProbe::capture(&oracle, &values, 0, ModelKind::Binary).expect("probe");
@@ -125,7 +152,11 @@ fn criterion_support(opts: &RunOptions) {
     )
     .expect("sweep");
     let support_frac = probe.support() as f64 / cfg.dim as f64;
-    println!("  |I| = {} ({:.2}% of D)", probe.support(), 100.0 * support_frac);
+    println!(
+        "  |I| = {} ({:.2}% of D)",
+        probe.support(),
+        100.0 * support_frac
+    );
     println!(
         "  restricted criterion margin: {} (correct) vs {} (best wrong)",
         fmt_f(sweep.correct_score(), 3),
@@ -140,8 +171,15 @@ fn criterion_support(opts: &RunOptions) {
 /// 5. The Sec. 4.1 dilemma, numerically.
 fn value_lock_dilemma(opts: &RunOptions) {
     println!("== 5. value-hypervector locking dilemma (paper Sec. 4.1) ==");
-    let mut t = TextTable::new(vec!["strategy", "linearity error", "order leak (no oracle)"]);
-    for strategy in [ValueLockStrategy::SharedRotation, ValueLockStrategy::IndependentRotations] {
+    let mut t = TextTable::new(vec![
+        "strategy",
+        "linearity error",
+        "order leak (no oracle)",
+    ]);
+    for strategy in [
+        ValueLockStrategy::SharedRotation,
+        ValueLockStrategy::IndependentRotations,
+    ] {
         let mut rng = HvRng::from_seed(opts.seed ^ 4);
         let a = analyze_value_locking(&mut rng, opts.dim, 8, strategy);
         t.row(vec![

@@ -1,0 +1,209 @@
+//! Encoding-throughput benchmark with machine-readable output.
+//!
+//! Measures samples/second of the naive per-sample scalar path against
+//! the word-parallel engine (single-sample and batch, single- and
+//! multi-threaded) for the standard and the locked encoder, then writes
+//! `BENCH_encoding.json` so the perf trajectory is tracked across PRs.
+//!
+//! Usage: `bench_encoding [--dim D] [--features N] [--levels M]
+//! [--batch B] [--out PATH]` — defaults reproduce the acceptance
+//! configuration `D = 10 000, N = 64`.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use hdc_model::{Encoder, RecordEncoder};
+use hdlock::{DeriveMode, LockConfig, LockedEncoder};
+use hypervec::HvRng;
+
+struct Options {
+    dim: usize,
+    n_features: usize,
+    m_levels: usize,
+    batch: usize,
+    out: String,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            dim: 10_000,
+            n_features: 64,
+            m_levels: 16,
+            batch: 256,
+            out: "BENCH_encoding.json".to_owned(),
+        }
+    }
+}
+
+fn parse_options() -> Options {
+    let mut opts = Options::default();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let value = |i: usize| {
+            args.get(i + 1)
+                .unwrap_or_else(|| panic!("{} needs a value", args[i]))
+                .clone()
+        };
+        match args[i].as_str() {
+            "--dim" => opts.dim = value(i).parse().expect("--dim needs an integer"),
+            "--features" => {
+                opts.n_features = value(i).parse().expect("--features needs an integer")
+            }
+            "--levels" => opts.m_levels = value(i).parse().expect("--levels needs an integer"),
+            "--batch" => opts.batch = value(i).parse().expect("--batch needs an integer"),
+            "--out" => opts.out = value(i),
+            other => panic!(
+                "unknown argument '{other}'; supported: --dim --features --levels --batch --out"
+            ),
+        }
+        i += 2;
+    }
+    opts
+}
+
+/// One measured configuration.
+struct Measurement {
+    name: &'static str,
+    samples_per_sec: f64,
+}
+
+/// Runs `encode_all` repeatedly until ≥ `min_secs` of wall clock is
+/// spent, returning samples/second.
+fn throughput(samples_per_call: usize, min_secs: f64, mut encode_all: impl FnMut()) -> f64 {
+    // Warm-up (also builds lazy caches outside the timed region).
+    encode_all();
+    let mut calls = 0usize;
+    let start = Instant::now();
+    loop {
+        encode_all();
+        calls += 1;
+        if start.elapsed().as_secs_f64() >= min_secs {
+            break;
+        }
+    }
+    (calls * samples_per_call) as f64 / start.elapsed().as_secs_f64()
+}
+
+fn main() {
+    let opts = parse_options();
+    let mut rng = HvRng::from_seed(2022);
+    let record = RecordEncoder::generate(&mut rng, opts.n_features, opts.m_levels, opts.dim)
+        .expect("encoder generation");
+    let lock_cfg = LockConfig {
+        n_features: opts.n_features,
+        m_levels: opts.m_levels,
+        dim: opts.dim,
+        pool_size: opts.n_features,
+        n_layers: 2,
+    };
+    let mut locked = LockedEncoder::generate(&mut rng, &lock_cfg).expect("locked encoder");
+
+    let rows: Vec<Vec<u16>> = (0..opts.batch)
+        .map(|_| {
+            (0..opts.n_features)
+                .map(|_| rng.index(opts.m_levels) as u16)
+                .collect()
+        })
+        .collect();
+    let refs: Vec<&[u16]> = rows.iter().map(Vec::as_slice).collect();
+    let min_secs = 0.5;
+
+    let mut results: Vec<Measurement> = Vec::new();
+
+    // Naive per-sample scalar baseline (one i32 add per dimension per
+    // feature) — the path every consumer used before the engine.
+    results.push(Measurement {
+        name: "record_scalar_per_sample",
+        samples_per_sec: throughput(opts.batch, min_secs, || {
+            for row in &refs {
+                std::hint::black_box(record.encode_int_scalar(row).sign_ties_positive());
+            }
+        }),
+    });
+
+    // Word-parallel engine, still one sample per call.
+    results.push(Measurement {
+        name: "record_engine_per_sample",
+        samples_per_sec: throughput(opts.batch, min_secs, || {
+            for row in &refs {
+                std::hint::black_box(record.encode_binary(row));
+            }
+        }),
+    });
+
+    // Batch path pinned to one worker, then with all available workers.
+    std::env::set_var("HYPERVEC_THREADS", "1");
+    results.push(Measurement {
+        name: "record_batch_1_thread",
+        samples_per_sec: throughput(opts.batch, min_secs, || {
+            std::hint::black_box(record.encode_batch_binary(&refs));
+        }),
+    });
+    std::env::remove_var("HYPERVEC_THREADS");
+    results.push(Measurement {
+        name: "record_batch_all_threads",
+        samples_per_sec: throughput(opts.batch, min_secs, || {
+            std::hint::black_box(record.encode_batch_binary(&refs));
+        }),
+    });
+
+    // Locked encoder: batch in both derivation modes.
+    results.push(Measurement {
+        name: "locked_cached_batch",
+        samples_per_sec: throughput(opts.batch, min_secs, || {
+            std::hint::black_box(locked.encode_batch_binary(&refs));
+        }),
+    });
+    locked.set_mode(DeriveMode::OnTheFly);
+    results.push(Measurement {
+        name: "locked_on_the_fly_batch",
+        samples_per_sec: throughput(opts.batch, min_secs, || {
+            std::hint::black_box(locked.encode_batch_binary(&refs));
+        }),
+    });
+
+    let scalar = results[0].samples_per_sec;
+    let batch_best = results
+        .iter()
+        .filter(|m| m.name.starts_with("record_batch"))
+        .map(|m| m.samples_per_sec)
+        .fold(0.0f64, f64::max);
+    let speedup = batch_best / scalar;
+
+    println!(
+        "encoding throughput  (D = {}, N = {}, M = {}, batch = {})",
+        opts.dim, opts.n_features, opts.m_levels, opts.batch
+    );
+    for m in &results {
+        println!("  {:<28} {:>12.0} samples/s", m.name, m.samples_per_sec);
+    }
+    println!("  batch vs scalar speedup: {speedup:.1}x");
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(
+        json,
+        "  \"config\": {{ \"dim\": {}, \"n_features\": {}, \"m_levels\": {}, \"batch\": {}, \"threads\": {} }},",
+        opts.dim,
+        opts.n_features,
+        opts.m_levels,
+        opts.batch,
+        hypervec::par::max_threads()
+    );
+    let _ = writeln!(json, "  \"results\": [");
+    for (i, m) in results.iter().enumerate() {
+        let comma = if i + 1 == results.len() { "" } else { "," };
+        let _ = writeln!(
+            json,
+            "    {{ \"name\": \"{}\", \"samples_per_sec\": {:.1} }}{comma}",
+            m.name, m.samples_per_sec
+        );
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"speedup_batch_vs_scalar\": {speedup:.2}");
+    let _ = writeln!(json, "}}");
+    std::fs::write(&opts.out, json).expect("write benchmark JSON");
+    println!("(json written to {})", opts.out);
+}

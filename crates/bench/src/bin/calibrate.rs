@@ -12,9 +12,15 @@ use hdlock_bench::{fmt_f, RunOptions, TextTable};
 use hypervec::HvRng;
 
 fn main() {
-    let opts = RunOptions::from_args(RunOptions { scale: 0.05, ..RunOptions::default() });
+    let opts = RunOptions::from_args(RunOptions {
+        scale: 0.05,
+        ..RunOptions::default()
+    });
     let betas = [0.25, 0.30, 0.35, 0.40, 0.50, 0.60];
-    println!("class_distinctness calibration (binary HDC, D = {}, scale = {})\n", opts.dim, opts.scale);
+    println!(
+        "class_distinctness calibration (binary HDC, D = {}, scale = {})\n",
+        opts.dim, opts.scale
+    );
     let mut t = TextTable::new(
         std::iter::once("benchmark".to_owned())
             .chain(betas.iter().map(|b| format!("β = {b}")))

@@ -16,7 +16,10 @@ fn main() {
     let n = 784;
     let m = 16;
     println!("Fig. 3 reproduction: guess-distance profile, standard binary HDC");
-    println!("N = {n} features, M = {m} levels, D = {} dimensions, seed = {}\n", opts.dim, opts.seed);
+    println!(
+        "N = {n} features, M = {m} levels, D = {} dimensions, seed = {}\n",
+        opts.dim, opts.seed
+    );
 
     let mut rng = HvRng::from_seed(opts.seed);
     let encoder = RecordEncoder::generate(&mut rng, n, m, opts.dim).expect("valid shape");
@@ -25,8 +28,7 @@ fn main() {
 
     let values = extract_values(&oracle, &dump, ModelKind::Binary).expect("value extraction");
     // Attack the first pixel, exactly like the paper.
-    let profile =
-        guess_profile(&oracle, &dump, &values, ModelKind::Binary, 0).expect("profile");
+    let profile = guess_profile(&oracle, &dump, &values, ModelKind::Binary, 0).expect("profile");
 
     let true_row = truth
         .feature_perm
@@ -62,11 +64,19 @@ fn main() {
         "separation: correct = {} vs best wrong = {} ({}x margin)",
         fmt_f(profile[true_row], 4),
         fmt_f(wrong_summary.min, 4),
-        if profile[true_row] == 0.0 { "inf".to_owned() } else { fmt_f(wrong_summary.min / profile[true_row], 1) }
+        if profile[true_row] == 0.0 {
+            "inf".to_owned()
+        } else {
+            fmt_f(wrong_summary.min / profile[true_row], 1)
+        }
     );
     println!(
         "\npaper: correct guess ≪ wrong guesses (wrong cluster ≈ 0.005–0.025); reproduced: {}",
-        if profile[true_row] < wrong_summary.min / 5.0 { "YES" } else { "NO" }
+        if profile[true_row] < wrong_summary.min / 5.0 {
+            "YES"
+        } else {
+            "NO"
+        }
     );
 
     // Print the first 20 points of the series (row order = try order).

@@ -13,7 +13,10 @@ fn main() {
     let n = 784;
 
     println!("Sec. 4.2 headline numbers (MNIST, N = P = 784, D = 10 000):");
-    println!("  standard model:  {} guesses (paper: 6.15e5)", standard_reasoning_guesses(n));
+    println!(
+        "  standard model:  {} guesses (paper: 6.15e5)",
+        standard_reasoning_guesses(n)
+    );
     println!(
         "  HDLock L = 1:    {} guesses (paper: 6.15e9)",
         hdlock_reasoning_guesses(n, 10_000, n, 1)
@@ -36,7 +39,10 @@ fn main() {
     for &d in &dims {
         let mut row = vec![d.to_string()];
         for &p in &pools {
-            row.push(format!("{:.2}", hdlock_reasoning_guesses(n, d, p, 2).log10()));
+            row.push(format!(
+                "{:.2}",
+                hdlock_reasoning_guesses(n, d, p, 2).log10()
+            ));
         }
         ta.row(row);
     }
@@ -51,7 +57,10 @@ fn main() {
     for l in 1..=5usize {
         let mut row = vec![l.to_string()];
         for p in [100usize, 300, 500, 700] {
-            row.push(format!("{:.2}", hdlock_reasoning_guesses(n, 10_000, p, l).log10()));
+            row.push(format!(
+                "{:.2}",
+                hdlock_reasoning_guesses(n, 10_000, p, l).log10()
+            ));
         }
         tb.row(row);
     }

@@ -13,7 +13,10 @@ use hdlock_bench::{fmt_f, RunOptions, TextTable};
 use hypervec::HvRng;
 
 fn main() {
-    let opts = RunOptions::from_args(RunOptions { scale: 0.2, ..RunOptions::default() });
+    let opts = RunOptions::from_args(RunOptions {
+        scale: 0.2,
+        ..RunOptions::default()
+    });
     println!("Fig. 8 reproduction: accuracy vs key layers");
     println!(
         "D = {}, M = 16, dataset scale = {} (use --full for paper-like sizes)\n",
@@ -22,10 +25,13 @@ fn main() {
 
     let layer_range: Vec<usize> = (0..=5).collect();
     for kind in [ModelKind::NonBinary, ModelKind::Binary] {
-        println!("== ({}) {kind} record-based encoding ==", match kind {
-            ModelKind::NonBinary => "a",
-            ModelKind::Binary => "b",
-        });
+        println!(
+            "== ({}) {kind} record-based encoding ==",
+            match kind {
+                ModelKind::NonBinary => "a",
+                ModelKind::Binary => "b",
+            }
+        );
         let mut t = TextTable::new(
             std::iter::once("benchmark".to_owned())
                 .chain(layer_range.iter().map(|l| format!("L = {l}")))
@@ -33,8 +39,9 @@ fn main() {
                 .collect::<Vec<_>>(),
         );
         for bench in Benchmark::ALL {
-            let (train_ds, test_ds) =
-                bench.generate(opts.scale, opts.seed).expect("benchmark generation");
+            let (train_ds, test_ds) = bench
+                .generate(opts.scale, opts.seed)
+                .expect("benchmark generation");
             let config = HdcConfig {
                 dim: opts.dim,
                 m_levels: 16,

@@ -27,8 +27,7 @@ fn main() {
             .collect::<Vec<_>>(),
     );
     for bench in Benchmark::ALL {
-        let series =
-            relative_encoding_times(&cfg, bench.name(), bench.n_features(), &layers);
+        let series = relative_encoding_times(&cfg, bench.name(), bench.n_features(), &layers);
         let mut row = vec![bench.to_string()];
         row.extend(series.points.iter().map(|&(_, r)| fmt_f(r, 3)));
         t.row(row);

@@ -20,7 +20,10 @@ use hdlock_bench::{fmt_f, RunOptions, TextTable};
 use hypervec::HvRng;
 
 fn main() {
-    let opts = RunOptions::from_args(RunOptions { scale: 0.2, ..RunOptions::default() });
+    let opts = RunOptions::from_args(RunOptions {
+        scale: 0.2,
+        ..RunOptions::default()
+    });
     println!("Table 1 reproduction: reasoning attack on standard HDC models");
     println!(
         "D = {}, M = 16, dataset scale = {} (use --full for paper-like sizes)\n",
@@ -40,8 +43,9 @@ fn main() {
             "oracle queries",
         ]);
         for bench in Benchmark::ALL {
-            let (train_ds, test_ds) =
-                bench.generate(opts.scale, opts.seed).expect("benchmark generation");
+            let (train_ds, test_ds) = bench
+                .generate(opts.scale, opts.seed)
+                .expect("benchmark generation");
             let config = HdcConfig {
                 dim: opts.dim,
                 m_levels: 16,
@@ -58,9 +62,8 @@ fn main() {
             let oracle = CountingOracle::new(victim.encoder());
 
             let wall = Instant::now();
-            let recovered =
-                reason_encoding(&oracle, &dump, kind, FeatureExtractOptions::default())
-                    .expect("attack");
+            let recovered = reason_encoding(&oracle, &dump, kind, FeatureExtractOptions::default())
+                .expect("attack");
             let reasoning_time = wall.elapsed();
 
             let stolen = duplicate_model(&victim, &dump, &recovered).expect("reconstruction");

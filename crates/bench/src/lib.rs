@@ -45,7 +45,14 @@ pub struct RunOptions {
 
 impl Default for RunOptions {
     fn default() -> Self {
-        RunOptions { scale: 0.05, dim: 10_000, seed: 2022, stride: 20, csv: None, full: false }
+        RunOptions {
+            scale: 0.05,
+            dim: 10_000,
+            seed: 2022,
+            stride: 20,
+            csv: None,
+            full: false,
+        }
     }
 }
 
@@ -124,7 +131,10 @@ impl TextTable {
     /// Creates a table with the given column headers.
     #[must_use]
     pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
-        TextTable { headers: headers.into_iter().map(Into::into).collect(), rows: Vec::new() }
+        TextTable {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row (must match the header width).
@@ -180,7 +190,14 @@ impl TextTable {
                 s.to_owned()
             }
         };
-        out.push_str(&self.headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(","));
+        out.push_str(
+            &self
+                .headers
+                .iter()
+                .map(|h| esc(h))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
         out.push('\n');
         for row in &self.rows {
             out.push_str(&row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
@@ -235,7 +252,11 @@ pub fn summarize(scores: &[f64]) -> ScoreSummary {
         max = max.max(s);
         sum += s;
     }
-    ScoreSummary { min, mean: sum / scores.len() as f64, max }
+    ScoreSummary {
+        min,
+        mean: sum / scores.len() as f64,
+        max,
+    }
 }
 
 #[cfg(test)]

@@ -36,9 +36,16 @@ pub fn run_lock_validation(
     figure: &str,
     metric: &str,
 ) -> Vec<PanelOutcome> {
-    let n = if opts.full { 784 } else { 784 };
-    let cfg =
-        LockConfig { n_features: n, m_levels: 16, dim: opts.dim, pool_size: n, n_layers: 2 };
+    // N = P = 784 matches the paper's MNIST shape in both quick and full
+    // runs; only dataset scale and sweep stride differ.
+    let n = 784;
+    let cfg = LockConfig {
+        n_features: n,
+        m_levels: 16,
+        dim: opts.dim,
+        pool_size: n,
+        n_layers: 2,
+    };
     println!("{figure} reproduction: HDLock security validation, {kind} HDC");
     println!(
         "N = P = {n}, D = {}, L = 2; rotation sweeps use stride {} (use --full for stride 1)\n",
@@ -50,14 +57,23 @@ pub fn run_lock_validation(
     let mut rng = HvRng::from_seed(opts.seed);
     let pool = BasePool::generate(&mut rng, cfg.dim, cfg.pool_size);
     let values = LevelHvs::generate(&mut rng, cfg.dim, cfg.m_levels).expect("levels");
-    let key = EncodingKey::random(&mut rng, cfg.n_features, cfg.n_layers, cfg.pool_size, cfg.dim)
-        .expect("key");
+    let key = EncodingKey::random(
+        &mut rng,
+        cfg.n_features,
+        cfg.n_layers,
+        cfg.pool_size,
+        cfg.dim,
+    )
+    .expect("key");
     let encoder =
         LockedEncoder::from_parts(pool.clone(), values.clone(), key.clone()).expect("encoder");
     let oracle = CountingOracle::new(&encoder);
 
     let probe = LockProbe::capture(&oracle, &values, 0, kind).expect("probe");
-    println!("attack probe: 2 oracle queries, |I| = {} differing indices\n", probe.support());
+    println!(
+        "attack probe: 2 oracle queries, |I| = {} differing indices\n",
+        probe.support()
+    );
 
     let mut t = TextTable::new(vec![
         "panel".to_owned(),
@@ -95,7 +111,11 @@ pub fn run_lock_validation(
             fmt_f(outcome.correct, 4),
             fmt_f(outcome.best_wrong, 4),
             fmt_f(outcome.mean_wrong, 4),
-            if outcome.separated { "YES".to_owned() } else { "NO".to_owned() },
+            if outcome.separated {
+                "YES".to_owned()
+            } else {
+                "NO".to_owned()
+            },
         ]);
         outcomes.push(outcome);
     }

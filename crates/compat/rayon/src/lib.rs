@@ -1,0 +1,193 @@
+//! Offline stand-in for `rayon`.
+//!
+//! The build environment cannot reach crates.io, so this crate provides
+//! the `par_iter()` / `into_par_iter()` spelling with **sequential**
+//! execution. Semantics are identical (rayon's contract makes the
+//! parallel result order-deterministic); only the parallelism is gone.
+//!
+//! Hot paths that genuinely need threads use `hypervec::par`, which
+//! chunks work across `std::thread::scope` workers instead of relying
+//! on this shim.
+
+/// The `use rayon::prelude::*` surface.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParallelIterator};
+}
+
+/// A "parallel" iterator that simply wraps a sequential one.
+#[derive(Debug)]
+pub struct ParIter<I> {
+    inner: I,
+}
+
+/// Conversion into a [`ParIter`] by value (ranges, `Vec`, …).
+pub trait IntoParallelIterator {
+    /// Item type.
+    type Item;
+    /// Underlying sequential iterator.
+    type Iter: Iterator<Item = Self::Item>;
+
+    /// Mirrors `rayon::iter::IntoParallelIterator::into_par_iter`.
+    fn into_par_iter(self) -> ParIter<Self::Iter>;
+}
+
+impl<T: IntoIterator> IntoParallelIterator for T {
+    type Item = T::Item;
+    type Iter = T::IntoIter;
+
+    fn into_par_iter(self) -> ParIter<Self::Iter> {
+        ParIter {
+            inner: self.into_iter(),
+        }
+    }
+}
+
+/// Conversion into a [`ParIter`] by reference (`slice.par_iter()`).
+pub trait IntoParallelRefIterator<'a> {
+    /// Item type (a reference).
+    type Item: 'a;
+    /// Underlying sequential iterator.
+    type Iter: Iterator<Item = Self::Item>;
+
+    /// Mirrors `rayon::iter::IntoParallelRefIterator::par_iter`.
+    fn par_iter(&'a self) -> ParIter<Self::Iter>;
+}
+
+impl<'a, T: 'a> IntoParallelRefIterator<'a> for T
+where
+    &'a T: IntoIterator,
+{
+    type Item = <&'a T as IntoIterator>::Item;
+    type Iter = <&'a T as IntoIterator>::IntoIter;
+
+    fn par_iter(&'a self) -> ParIter<Self::Iter> {
+        ParIter {
+            inner: self.into_iter(),
+        }
+    }
+}
+
+/// The combinator surface the workspace uses from rayon.
+pub trait ParallelIterator: Sized {
+    /// Item type.
+    type Item;
+    /// Sequential iterator this adapter drains.
+    type Iter: Iterator<Item = Self::Item>;
+
+    /// Unwraps the sequential iterator.
+    fn into_seq(self) -> Self::Iter;
+
+    /// Elementwise transform.
+    fn map<U, F: FnMut(Self::Item) -> U>(self, f: F) -> ParIter<std::iter::Map<Self::Iter, F>> {
+        ParIter {
+            inner: self.into_seq().map(f),
+        }
+    }
+
+    /// Keeps items matching the predicate.
+    fn filter<F: FnMut(&Self::Item) -> bool>(
+        self,
+        f: F,
+    ) -> ParIter<std::iter::Filter<Self::Iter, F>> {
+        ParIter {
+            inner: self.into_seq().filter(f),
+        }
+    }
+
+    /// Minimum item.
+    fn min(self) -> Option<Self::Item>
+    where
+        Self::Item: Ord,
+    {
+        self.into_seq().min()
+    }
+
+    /// Minimum item under a comparator.
+    fn min_by<F>(self, compare: F) -> Option<Self::Item>
+    where
+        F: FnMut(&Self::Item, &Self::Item) -> std::cmp::Ordering,
+    {
+        self.into_seq().min_by(compare)
+    }
+
+    /// Maximum item.
+    fn max(self) -> Option<Self::Item>
+    where
+        Self::Item: Ord,
+    {
+        self.into_seq().max()
+    }
+
+    /// Collects into any `FromIterator` container.
+    fn collect<C: FromIterator<Self::Item>>(self) -> C {
+        self.into_seq().collect()
+    }
+
+    /// Rayon-style fold: produces a (single-element) iterator of partial
+    /// accumulators.
+    fn fold<B, INIT, F>(self, init: INIT, f: F) -> ParIter<std::iter::Once<B>>
+    where
+        INIT: Fn() -> B,
+        F: FnMut(B, Self::Item) -> B,
+    {
+        let acc = self.into_seq().fold(init(), f);
+        ParIter {
+            inner: std::iter::once(acc),
+        }
+    }
+
+    /// Rayon-style reduce: combines partial accumulators starting from
+    /// the identity.
+    fn reduce<INIT, F>(self, identity: INIT, op: F) -> Self::Item
+    where
+        INIT: Fn() -> Self::Item,
+        F: FnMut(Self::Item, Self::Item) -> Self::Item,
+    {
+        self.into_seq().fold(identity(), op)
+    }
+
+    /// Total number of items.
+    fn count(self) -> usize {
+        self.into_seq().count()
+    }
+
+    /// Sums the items.
+    fn sum<S: std::iter::Sum<Self::Item>>(self) -> S {
+        self.into_seq().sum()
+    }
+}
+
+impl<I: Iterator> ParallelIterator for ParIter<I> {
+    type Item = I::Item;
+    type Iter = I;
+
+    fn into_seq(self) -> I {
+        self.inner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_matches_sequential() {
+        let out: Vec<i32> = (0..5).into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(out, vec![0, 2, 4, 6, 8]);
+    }
+
+    #[test]
+    fn par_iter_over_slice() {
+        let v = vec![3, 1, 2];
+        assert_eq!(v.par_iter().map(|&x| (x, x)).min(), Some((1, 1)));
+    }
+
+    #[test]
+    fn fold_reduce_pipeline() {
+        let total: i64 = (1..=10i64)
+            .into_par_iter()
+            .fold(|| 0i64, |a, b| a + b)
+            .reduce(|| 0, |a, b| a + b);
+        assert_eq!(total, 55);
+    }
+}

@@ -1,0 +1,222 @@
+//! The JSON-shaped tree every serializable type lowers to.
+
+/// A JSON number: exact unsigned/signed integers or a double.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Number {
+    /// Non-negative integer (exact up to `u128`).
+    U(u128),
+    /// Negative integer (exact down to `i128`).
+    I(i128),
+    /// Floating-point number (finite).
+    F(f64),
+}
+
+/// A JSON value tree.
+///
+/// Objects preserve insertion order so serialized output is
+/// deterministic and matches struct declaration order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// A number.
+    Number(Number),
+    /// A string.
+    String(String),
+    /// An array of values.
+    Array(Vec<Value>),
+    /// An ordered map of string keys to values.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Borrows the array payload, if this is an array.
+    #[must_use]
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Mutably borrows the array payload, if this is an array.
+    pub fn as_array_mut(&mut self) -> Option<&mut Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Borrows the object entries, if this is an object.
+    #[must_use]
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// Borrows the string payload, if this is a string.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The number as `u128`, if non-negative integral.
+    #[must_use]
+    pub fn as_u128(&self) -> Option<u128> {
+        match self {
+            Value::Number(Number::U(n)) => Some(*n),
+            Value::Number(Number::I(n)) => u128::try_from(*n).ok(),
+            _ => None,
+        }
+    }
+
+    /// The number as `u64`, if it fits.
+    #[must_use]
+    pub fn as_u64(&self) -> Option<u64> {
+        self.as_u128().and_then(|n| u64::try_from(n).ok())
+    }
+
+    /// The number as `i128`, if integral.
+    #[must_use]
+    pub fn as_i128(&self) -> Option<i128> {
+        match self {
+            Value::Number(Number::U(n)) => i128::try_from(*n).ok(),
+            Value::Number(Number::I(n)) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The number as `i64`, if it fits.
+    #[must_use]
+    pub fn as_i64(&self) -> Option<i64> {
+        self.as_i128().and_then(|n| i64::try_from(n).ok())
+    }
+
+    /// The number as `f64` (integers convert lossily).
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(Number::U(n)) => Some(*n as f64),
+            Value::Number(Number::I(n)) => Some(*n as f64),
+            Value::Number(Number::F(f)) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// Looks up an object key.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(o) => o.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+/// Shared `null` for missing-key indexing.
+static NULL: Value = Value::Null;
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+
+    /// Object field access; missing keys and non-objects yield `null`.
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::IndexMut<&str> for Value {
+    /// Object field access for writing; inserts `null` for a missing key.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is not an object.
+    fn index_mut(&mut self, key: &str) -> &mut Value {
+        let Value::Object(o) = self else {
+            panic!("cannot index non-object JSON value with a string key");
+        };
+        if let Some(pos) = o.iter().position(|(k, _)| k == key) {
+            return &mut o[pos].1;
+        }
+        o.push((key.to_owned(), Value::Null));
+        &mut o.last_mut().expect("just pushed").1
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+
+    /// Array element access; out-of-range and non-arrays yield `null`.
+    fn index(&self, i: usize) -> &Value {
+        match self {
+            Value::Array(a) => a.get(i).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+impl std::fmt::Display for Value {
+    /// Renders compact JSON text.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Value::Null => f.write_str("null"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Number(Number::U(n)) => write!(f, "{n}"),
+            Value::Number(Number::I(n)) => write!(f, "{n}"),
+            Value::Number(Number::F(x)) => {
+                if x.is_finite() {
+                    // `{:?}` prints the shortest representation that
+                    // round-trips, and always includes a decimal point.
+                    write!(f, "{x:?}")
+                } else {
+                    f.write_str("null")
+                }
+            }
+            Value::String(s) => write_json_string(f, s),
+            Value::Array(a) => {
+                f.write_str("[")?;
+                for (i, v) in a.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                f.write_str("]")
+            }
+            Value::Object(o) => {
+                f.write_str("{")?;
+                for (i, (k, v)) in o.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write_json_string(f, k)?;
+                    write!(f, ":{v}")?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}
+
+fn write_json_string(f: &mut std::fmt::Formatter<'_>, s: &str) -> std::fmt::Result {
+    f.write_str("\"")?;
+    for c in s.chars() {
+        match c {
+            '"' => f.write_str("\\\"")?,
+            '\\' => f.write_str("\\\\")?,
+            '\n' => f.write_str("\\n")?,
+            '\r' => f.write_str("\\r")?,
+            '\t' => f.write_str("\\t")?,
+            c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+            c => write!(f, "{c}")?,
+        }
+    }
+    f.write_str("\"")
+}

@@ -1,0 +1,345 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors a minimal serde data model (see the sibling `serde` crate):
+//! `Serialize` lowers a value to a JSON-like [`Value`] tree and
+//! `Deserialize` rebuilds it. This proc-macro derives both traits for
+//! the shapes the workspace actually uses:
+//!
+//! * structs with named fields (serialized as JSON objects),
+//! * enums whose variants are all unit variants (serialized as strings),
+//! * the `#[serde(try_from = "T", into = "T")]` container attribute
+//!   (validated deserialization through a wire type).
+//!
+//! Anything else (tuple structs, data-carrying enums, generics) is
+//! rejected with a compile error naming the unsupported shape.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed shape of the deriving item.
+struct Item {
+    name: String,
+    kind: Kind,
+    /// `#[serde(try_from = "...")]` type path, if any.
+    try_from: Option<String>,
+    /// `#[serde(into = "...")]` type path, if any.
+    into: Option<String>,
+}
+
+enum Kind {
+    /// Named fields in declaration order.
+    Struct(Vec<String>),
+    /// Unit variant names in declaration order.
+    Enum(Vec<String>),
+}
+
+/// Derives the workspace `serde::Serialize` trait.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(msg) => return compile_error(&msg),
+    };
+    let body = if let Some(wire) = &item.into {
+        format!(
+            "let wire: {wire} = ::core::clone::Clone::clone(self).into();\n\
+             ::serde::Serialize::to_value(&wire)"
+        )
+    } else {
+        match &item.kind {
+            Kind::Struct(fields) => {
+                let entries: Vec<String> = fields
+                    .iter()
+                    .map(|f| {
+                        format!(
+                            "(::std::string::String::from(\"{f}\"), \
+                             ::serde::Serialize::to_value(&self.{f}))"
+                        )
+                    })
+                    .collect();
+                format!(
+                    "::serde::Value::Object(::std::vec![{}])",
+                    entries.join(", ")
+                )
+            }
+            Kind::Enum(variants) => {
+                let name = &item.name;
+                let arms: Vec<String> = variants
+                    .iter()
+                    .map(|v| {
+                        format!(
+                            "{name}::{v} => ::serde::Value::String(\
+                             ::std::string::String::from(\"{v}\"))"
+                        )
+                    })
+                    .collect();
+                format!("match self {{ {} }}", arms.join(", "))
+            }
+        }
+    };
+    let name = &item.name;
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+    .parse()
+    .expect("generated Serialize impl parses")
+}
+
+/// Derives the workspace `serde::Deserialize` trait.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(msg) => return compile_error(&msg),
+    };
+    let name = &item.name;
+    let body = if let Some(wire) = &item.try_from {
+        format!(
+            "let wire: {wire} = ::serde::Deserialize::from_value(v)?;\n\
+             ::core::convert::TryFrom::try_from(wire)\
+                 .map_err(|e| ::serde::Error::custom(::std::format!(\"{{e}}\")))"
+        )
+    } else {
+        match &item.kind {
+            Kind::Struct(fields) => {
+                let inits: Vec<String> = fields
+                    .iter()
+                    .map(|f| format!("{f}: ::serde::field(obj, \"{f}\")?"))
+                    .collect();
+                format!(
+                    "let obj = v.as_object().ok_or_else(|| ::serde::Error::custom(\
+                         ::std::format!(\"expected object for {name}\")))?;\n\
+                     ::core::result::Result::Ok({name} {{ {} }})",
+                    inits.join(", ")
+                )
+            }
+            Kind::Enum(variants) => {
+                let arms: Vec<String> = variants
+                    .iter()
+                    .map(|v| format!("\"{v}\" => ::core::result::Result::Ok({name}::{v})"))
+                    .collect();
+                format!(
+                    "let s = v.as_str().ok_or_else(|| ::serde::Error::custom(\
+                         ::std::format!(\"expected string variant for {name}\")))?;\n\
+                     match s {{ {},\n\
+                         other => ::core::result::Result::Err(::serde::Error::custom(\
+                             ::std::format!(\"unknown {name} variant {{other}}\"))) }}",
+                    arms.join(",\n")
+                )
+            }
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) -> ::core::result::Result<Self, ::serde::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+    .parse()
+    .expect("generated Deserialize impl parses")
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("::core::compile_error!({msg:?});")
+        .parse()
+        .expect("error tokens parse")
+}
+
+/// Parses the derive input into an [`Item`], or an error message.
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut tokens = input.into_iter().peekable();
+    let mut try_from = None;
+    let mut into = None;
+
+    // Leading attributes (doc comments, #[serde(...)], #[derive(...)], …).
+    loop {
+        match tokens.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                let Some(TokenTree::Group(g)) = tokens.next() else {
+                    return Err("malformed attribute".into());
+                };
+                parse_serde_attr(g.stream(), &mut try_from, &mut into)?;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                tokens.next();
+                // Skip a `(crate)`-style visibility qualifier.
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next();
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let is_enum = match tokens.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "struct" => false,
+        Some(TokenTree::Ident(id)) if id.to_string() == "enum" => true,
+        other => return Err(format!("expected `struct` or `enum`, found {other:?}")),
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected item name, found {other:?}")),
+    };
+    let body = match tokens.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+            return Err(format!(
+                "cannot derive serde traits for generic type {name}"
+            ));
+        }
+        _ => {
+            return Err(format!(
+                "cannot derive serde traits for {name}: only brace-bodied structs/enums \
+                 with named fields or unit variants are supported"
+            ));
+        }
+    };
+
+    let kind = if is_enum {
+        Kind::Enum(parse_unit_variants(body, &name)?)
+    } else {
+        Kind::Struct(parse_named_fields(body, &name)?)
+    };
+    Ok(Item {
+        name,
+        kind,
+        try_from,
+        into,
+    })
+}
+
+/// If the bracketed attribute body is `serde(...)`, records its
+/// `try_from`/`into` string arguments.
+fn parse_serde_attr(
+    stream: TokenStream,
+    try_from: &mut Option<String>,
+    into: &mut Option<String>,
+) -> Result<(), String> {
+    let mut tokens = stream.into_iter();
+    match tokens.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return Ok(()), // some other attribute: ignore
+    }
+    let Some(TokenTree::Group(args)) = tokens.next() else {
+        return Err("malformed #[serde] attribute".into());
+    };
+    let mut args = args.stream().into_iter();
+    while let Some(tt) = args.next() {
+        let TokenTree::Ident(key) = tt else { continue };
+        let key = key.to_string();
+        // Expect `= "Type"`.
+        match (args.next(), args.next()) {
+            (Some(TokenTree::Punct(eq)), Some(TokenTree::Literal(lit))) if eq.as_char() == '=' => {
+                let raw = lit.to_string();
+                let ty = raw.trim_matches('"').to_string();
+                match key.as_str() {
+                    "try_from" => *try_from = Some(ty),
+                    "into" => *into = Some(ty),
+                    other => {
+                        return Err(format!("unsupported #[serde({other} = ...)] attribute"));
+                    }
+                }
+            }
+            _ => return Err(format!("unsupported #[serde({key})] form")),
+        }
+    }
+    Ok(())
+}
+
+/// Extracts field names from a named-field struct body.
+fn parse_named_fields(body: TokenStream, name: &str) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut tokens = body.into_iter().peekable();
+    loop {
+        // Skip per-field attributes and visibility.
+        loop {
+            match tokens.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    tokens.next();
+                    tokens.next(); // the [...] group
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    tokens.next();
+                    if let Some(TokenTree::Group(g)) = tokens.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            tokens.next();
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        let Some(tt) = tokens.next() else { break };
+        let TokenTree::Ident(field) = tt else {
+            return Err(format!("{name}: expected field name, found {tt:?}"));
+        };
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            _ => return Err(format!("{name}: field {field} is not `name: type` shaped")),
+        }
+        fields.push(field.to_string());
+        // Consume the type up to the next top-level comma.
+        let mut angle_depth = 0usize;
+        for tt in tokens.by_ref() {
+            match tt {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => {
+                    angle_depth = angle_depth.saturating_sub(1);
+                }
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => break,
+                _ => {}
+            }
+        }
+    }
+    if fields.is_empty() {
+        return Err(format!(
+            "{name}: serde derive needs at least one named field"
+        ));
+    }
+    Ok(fields)
+}
+
+/// Extracts variant names from an all-unit-variant enum body.
+fn parse_unit_variants(body: TokenStream, name: &str) -> Result<Vec<String>, String> {
+    let mut variants = Vec::new();
+    let mut tokens = body.into_iter().peekable();
+    loop {
+        // Skip per-variant attributes (e.g. #[default], doc comments).
+        while let Some(TokenTree::Punct(p)) = tokens.peek() {
+            if p.as_char() != '#' {
+                break;
+            }
+            tokens.next();
+            tokens.next(); // the [...] group
+        }
+        let Some(tt) = tokens.next() else { break };
+        let TokenTree::Ident(variant) = tt else {
+            return Err(format!("{name}: expected variant name, found {tt:?}"));
+        };
+        variants.push(variant.to_string());
+        match tokens.next() {
+            None => break,
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {}
+            Some(TokenTree::Group(_)) => {
+                return Err(format!(
+                    "{name}::{variant}: serde derive supports unit enum variants only"
+                ));
+            }
+            Some(other) => {
+                return Err(format!(
+                    "{name}: unexpected token {other:?} after {variant}"
+                ));
+            }
+        }
+    }
+    if variants.is_empty() {
+        return Err(format!("{name}: serde derive needs at least one variant"));
+    }
+    Ok(variants)
+}

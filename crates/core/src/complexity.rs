@@ -19,7 +19,10 @@ impl GuessCount {
     /// Wraps an exact count.
     #[must_use]
     pub fn from_exact(count: u128) -> Self {
-        GuessCount { log10: (count.max(1) as f64).log10(), exact: Some(count) }
+        GuessCount {
+            log10: (count.max(1) as f64).log10(),
+            exact: Some(count),
+        }
     }
 
     /// A product `Π terms` computed in log space, keeping exactness

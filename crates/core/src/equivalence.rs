@@ -44,7 +44,12 @@ pub fn pairwise_stats(hvs: &[BinaryHv]) -> PairwiseStats {
             pairs += 1;
         }
     }
-    PairwiseStats { mean: sum / pairs as f64, min, max, pairs }
+    PairwiseStats {
+        mean: sum / pairs as f64,
+        min,
+        max,
+        pairs,
+    }
 }
 
 /// Whether a set of hypervectors is quasi-orthogonal: every pairwise
@@ -79,10 +84,20 @@ mod tests {
     #[test]
     fn locked_features_match_standard_statistics() {
         let mut rng = HvRng::from_seed(2);
-        let cfg = LockConfig { n_features: 16, m_levels: 4, dim: 10_000, pool_size: 16, n_layers: 3 };
+        let cfg = LockConfig {
+            n_features: 16,
+            m_levels: 4,
+            dim: 10_000,
+            pool_size: 16,
+            n_layers: 3,
+        };
         let enc = LockedEncoder::generate(&mut rng, &cfg).unwrap();
         let derived: Vec<BinaryHv> = (0..16).map(|i| enc.feature_hv(i)).collect();
-        assert!(is_quasi_orthogonal(&derived, 0.03), "{:?}", pairwise_stats(&derived));
+        assert!(
+            is_quasi_orthogonal(&derived, 0.03),
+            "{:?}",
+            pairwise_stats(&derived)
+        );
     }
 
     #[test]

@@ -68,7 +68,10 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = LockError::PoolTooSmall { pool_size: 3, n_features: 10 };
+        let e = LockError::PoolTooSmall {
+            pool_size: 3,
+            n_features: 10,
+        };
         assert!(e.to_string().contains("pool of 3"));
         assert!(LockError::VaultSealed.to_string().contains("sealed"));
     }

@@ -81,12 +81,18 @@ impl EncodingKey {
             });
         }
         if n_layers == 0 && pool_size < n_features {
-            return Err(LockError::PoolTooSmall { pool_size, n_features });
+            return Err(LockError::PoolTooSmall {
+                pool_size,
+                n_features,
+            });
         }
         let features = (0..n_features)
             .map(|i| {
                 if n_layers == 0 {
-                    FeatureKey::new(vec![LayerKey { base_index: i, rotation: 0 }])
+                    FeatureKey::new(vec![LayerKey {
+                        base_index: i,
+                        rotation: 0,
+                    }])
                 } else {
                     FeatureKey::new(
                         (0..n_layers)
@@ -99,7 +105,11 @@ impl EncodingKey {
                 }
             })
             .collect();
-        Ok(EncodingKey { features, pool_size, dim })
+        Ok(EncodingKey {
+            features,
+            pool_size,
+            dim,
+        })
     }
 
     /// Builds a key from explicit per-feature keys, validating ranges.
@@ -130,7 +140,11 @@ impl EncodingKey {
                 }
             }
         }
-        Ok(EncodingKey { features, pool_size, dim })
+        Ok(EncodingKey {
+            features,
+            pool_size,
+            dim,
+        })
     }
 
     /// Number of features `N`.
@@ -143,7 +157,11 @@ impl EncodingKey {
     /// by [`EncodingKey::random`] are uniform).
     #[must_use]
     pub fn n_layers(&self) -> usize {
-        self.features.iter().map(FeatureKey::n_layers).max().unwrap_or(0)
+        self.features
+            .iter()
+            .map(FeatureKey::n_layers)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Pool size `P` this key indexes into.
@@ -185,7 +203,9 @@ impl EncodingKey {
             }
         }
         if i >= self.features.len() {
-            return Err(LockError::InvalidParameter { what: "feature index out of range" });
+            return Err(LockError::InvalidParameter {
+                what: "feature index out of range",
+            });
         }
         self.features[i] = key;
         Ok(())
@@ -233,7 +253,13 @@ mod tests {
         for i in 0..5 {
             let layers = key.feature(i).layers();
             assert_eq!(layers.len(), 1);
-            assert_eq!(layers[0], LayerKey { base_index: i, rotation: 0 });
+            assert_eq!(
+                layers[0],
+                LayerKey {
+                    base_index: i,
+                    rotation: 0
+                }
+            );
         }
     }
 
@@ -248,12 +274,18 @@ mod tests {
 
     #[test]
     fn from_feature_keys_validates_ranges() {
-        let bad = vec![FeatureKey::new(vec![LayerKey { base_index: 9, rotation: 0 }])];
+        let bad = vec![FeatureKey::new(vec![LayerKey {
+            base_index: 9,
+            rotation: 0,
+        }])];
         assert!(matches!(
             EncodingKey::from_feature_keys(bad, 5, 100),
             Err(LockError::KeyOutOfRange { .. })
         ));
-        let good = vec![FeatureKey::new(vec![LayerKey { base_index: 4, rotation: 99 }])];
+        let good = vec![FeatureKey::new(vec![LayerKey {
+            base_index: 4,
+            rotation: 99,
+        }])];
         assert!(EncodingKey::from_feature_keys(good, 5, 100).is_ok());
     }
 
@@ -270,11 +302,20 @@ mod tests {
     fn set_feature_replaces_and_validates() {
         let mut rng = HvRng::from_seed(5);
         let mut key = EncodingKey::random(&mut rng, 3, 2, 10, 100).unwrap();
-        let fk = FeatureKey::new(vec![LayerKey { base_index: 1, rotation: 2 }]);
+        let fk = FeatureKey::new(vec![LayerKey {
+            base_index: 1,
+            rotation: 2,
+        }]);
         key.set_feature(0, fk.clone()).unwrap();
         assert_eq!(key.feature(0), &fk);
         assert!(key
-            .set_feature(0, FeatureKey::new(vec![LayerKey { base_index: 99, rotation: 0 }]))
+            .set_feature(
+                0,
+                FeatureKey::new(vec![LayerKey {
+                    base_index: 99,
+                    rotation: 0
+                }])
+            )
             .is_err());
     }
 

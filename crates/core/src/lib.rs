@@ -59,7 +59,9 @@ pub use complexity::{
 pub use equivalence::{is_quasi_orthogonal, pairwise_stats, PairwiseStats};
 pub use error::LockError;
 pub use key::{EncodingKey, FeatureKey, LayerKey};
-pub use locked_encoder::{derive_feature, DeriveMode, LockConfig, LockedEncoder};
+pub use locked_encoder::{
+    derive_feature, derive_feature_into, DeriveMode, LockConfig, LockedEncoder,
+};
 pub use ngram_lock::LockedNgramEncoder;
 pub use pool::BasePool;
 pub use value_lock::{analyze_value_locking, ValueLockAnalysis, ValueLockStrategy};

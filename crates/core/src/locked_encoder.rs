@@ -6,9 +6,16 @@
 //! encoding itself is unchanged (Eq. 10), so accuracy is unaffected —
 //! but an attacker who dumps the pool learns nothing about which
 //! (rotated) bases build which feature.
+//!
+//! Like the standard encoder, the locked encoder runs on the
+//! word-parallel engine (`hypervec::BitSliceAccumulator`) and overrides
+//! the batch entry points for both derivation modes; on-the-fly
+//! derivation reuses caller-owned scratch buffers via
+//! [`derive_feature_into`] so the per-sample cost is pure compute, not
+//! allocation.
 
 use hdc_model::Encoder;
-use hypervec::{BinaryHv, HvRng, IntHv, LevelHvs};
+use hypervec::{par, BinaryHv, BitSliceAccumulator, BoundPairCache, HvRng, IntHv, LevelHvs};
 
 use crate::error::LockError;
 use crate::key::{EncodingKey, FeatureKey};
@@ -18,27 +25,62 @@ use crate::vault::KeyVault;
 /// Derives one feature hypervector from a (candidate) key against a
 /// public pool — Eq. 9. Also the building block the *attacker* uses to
 /// materialize guesses, which is why it is a free function rather than a
-/// vault-privileged method.
+/// vault-privileged method. `feature` identifies whose key this is, so
+/// range errors name the real feature instead of a placeholder.
 ///
 /// # Errors
 ///
 /// Returns [`LockError::KeyOutOfRange`] if the key references a missing
 /// base, or [`LockError::InvalidParameter`] for an empty key.
-pub fn derive_feature(pool: &BasePool, key: &FeatureKey) -> Result<BinaryHv, LockError> {
+pub fn derive_feature(
+    pool: &BasePool,
+    key: &FeatureKey,
+    feature: usize,
+) -> Result<BinaryHv, LockError> {
+    let mut out = BinaryHv::ones(pool.dim());
+    let mut scratch = BinaryHv::ones(pool.dim());
+    derive_feature_into(pool, key, feature, &mut out, &mut scratch)?;
+    Ok(out)
+}
+
+/// Zero-alloc variant of [`derive_feature`]: writes the derived feature
+/// hypervector into `out`, using `scratch` for the rotated base. Both
+/// buffers must have the pool's dimension and may be reused across
+/// calls — the hot path of on-the-fly (per-sample) derivation.
+///
+/// # Errors
+///
+/// Same as [`derive_feature`].
+///
+/// # Panics
+///
+/// Panics if `out` or `scratch` does not match the pool's dimension.
+pub fn derive_feature_into(
+    pool: &BasePool,
+    key: &FeatureKey,
+    feature: usize,
+    out: &mut BinaryHv,
+    scratch: &mut BinaryHv,
+) -> Result<(), LockError> {
     let layers = key.layers();
     if layers.is_empty() {
-        return Err(LockError::InvalidParameter { what: "feature key needs at least one layer" });
+        return Err(LockError::InvalidParameter {
+            what: "feature key needs at least one layer",
+        });
     }
-    let mut acc = BinaryHv::ones(pool.dim());
+    out.reset_to_ones();
     for lk in layers {
-        let base = pool.base(lk.base_index).map_err(|_| LockError::KeyOutOfRange {
-            feature: 0,
-            base_index: lk.base_index,
-            rotation: lk.rotation,
-        })?;
-        acc.bind_assign(&base.rotated(lk.rotation));
+        let base = pool
+            .base(lk.base_index)
+            .map_err(|_| LockError::KeyOutOfRange {
+                feature,
+                base_index: lk.base_index,
+                rotation: lk.rotation,
+            })?;
+        base.rotated_into(lk.rotation, scratch);
+        out.bind_assign(scratch);
     }
-    Ok(acc)
+    Ok(())
 }
 
 /// How the encoder obtains feature hypervectors at encode time.
@@ -77,6 +119,9 @@ pub struct LockedEncoder {
     values: LevelHvs,
     vault: KeyVault,
     derived: Vec<BinaryHv>,
+    /// Shared lazily-built `(feature, level)` bound-pair cache over the
+    /// cached derived features (cached-mode batch encoding).
+    bound_cache: BoundPairCache,
     mode: DeriveMode,
     n_layers: usize,
 }
@@ -121,8 +166,11 @@ impl LockedEncoder {
     /// [`EncodingKey::random`]) and level-generation failures.
     pub fn generate(rng: &mut HvRng, config: &LockConfig) -> Result<Self, LockError> {
         let pool = BasePool::generate(rng, config.dim, config.pool_size);
-        let values = LevelHvs::generate(rng, config.dim, config.m_levels)
-            .map_err(|_| LockError::InvalidParameter { what: "invalid level-hypervector shape" })?;
+        let values = LevelHvs::generate(rng, config.dim, config.m_levels).map_err(|_| {
+            LockError::InvalidParameter {
+                what: "invalid level-hypervector shape",
+            }
+        })?;
         let key = EncodingKey::random(
             rng,
             config.n_features,
@@ -152,7 +200,10 @@ impl LockedEncoder {
             });
         }
         if key.dim() != pool.dim() {
-            return Err(LockError::DimensionMismatch { expected: pool.dim(), found: key.dim() });
+            return Err(LockError::DimensionMismatch {
+                expected: pool.dim(),
+                found: key.dim(),
+            });
         }
         if key.pool_size() != pool.len() {
             return Err(LockError::PoolTooSmall {
@@ -162,15 +213,26 @@ impl LockedEncoder {
         }
         let n_layers = key.n_layers();
         // Derive the cached feature hypervectors with a single
-        // privileged read.
-        let derived: Result<Vec<BinaryHv>, LockError> = (0..key.n_features())
-            .map(|i| derive_feature(&pool, key.feature(i)))
-            .collect();
-        let derived = derived?;
+        // privileged read, reusing one scratch pair across features.
+        let mut scratch = BinaryHv::ones(pool.dim());
+        let mut derived = Vec::with_capacity(key.n_features());
+        for i in 0..key.n_features() {
+            let mut fea = BinaryHv::ones(pool.dim());
+            derive_feature_into(&pool, key.feature(i), i, &mut fea, &mut scratch)?;
+            derived.push(fea);
+        }
         let vault = KeyVault::seal(key);
         // Account for the derivation read in the audit trail.
         vault.with_key(|_| ()).map_err(|_| LockError::VaultSealed)?;
-        Ok(LockedEncoder { pool, values, vault, derived, mode: DeriveMode::Cached, n_layers })
+        Ok(LockedEncoder {
+            pool,
+            values,
+            vault,
+            derived,
+            bound_cache: BoundPairCache::new(),
+            mode: DeriveMode::Cached,
+            n_layers,
+        })
     }
 
     /// Issues a re-keyed clone of this encoder: same public pool and
@@ -233,14 +295,115 @@ impl LockedEncoder {
         &self.vault
     }
 
+    /// Reference scalar implementation of Eq. 10 (per-dimension `i32`
+    /// adds, allocating derivation). Kept as the engine's bit-exactness
+    /// target and the benchmark baseline; respects the derivation mode's
+    /// vault-read accounting.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Encoder::encode_int`].
+    #[must_use]
+    pub fn encode_int_scalar(&self, levels: &[u16]) -> IntHv {
+        self.check_row(levels);
+        let mut acc = IntHv::zeros(self.dim());
+        match self.mode {
+            DeriveMode::Cached => {
+                for (i, &lv) in levels.iter().enumerate() {
+                    acc.add_bound_pair(self.values.level(usize::from(lv)), &self.derived[i]);
+                }
+            }
+            DeriveMode::OnTheFly => {
+                self.vault
+                    .with_key(|key| {
+                        for (i, &lv) in levels.iter().enumerate() {
+                            let fea = derive_feature(&self.pool, key.feature(i), i)
+                                .expect("sealed key was validated at construction");
+                            acc.add_bound_pair(self.values.level(usize::from(lv)), &fea);
+                        }
+                    })
+                    .expect("vault alive while encoder exists");
+            }
+        }
+        acc
+    }
+
     fn derived_feature(&self, i: usize) -> BinaryHv {
         match self.mode {
             DeriveMode::Cached => self.derived[i].clone(),
             DeriveMode::OnTheFly => self
                 .vault
-                .with_key(|key| derive_feature(&self.pool, key.feature(i)))
+                .with_key(|key| derive_feature(&self.pool, key.feature(i), i))
                 .expect("vault alive while encoder exists")
                 .expect("sealed key was validated at construction"),
+        }
+    }
+
+    /// Accumulates one row from the cached derived features via the
+    /// shared bound-pair cache.
+    fn accumulate_row_cached(&self, acc: &mut BitSliceAccumulator, levels: &[u16]) {
+        self.bound_cache
+            .accumulate_row(acc, &self.derived, &self.values, levels);
+    }
+
+    /// Accumulates one row deriving every feature from the key under a
+    /// single privileged read, reusing the caller's scratch buffers.
+    fn accumulate_row_on_the_fly(
+        &self,
+        acc: &mut BitSliceAccumulator,
+        levels: &[u16],
+        fea: &mut BinaryHv,
+        scratch: &mut BinaryHv,
+    ) {
+        self.vault
+            .with_key(|key| {
+                for (i, &lv) in levels.iter().enumerate() {
+                    derive_feature_into(&self.pool, key.feature(i), i, fea, scratch)
+                        .expect("sealed key was validated at construction");
+                    acc.add_bound_pair(self.values.level(usize::from(lv)), fea);
+                }
+            })
+            .expect("vault alive while encoder exists");
+    }
+
+    /// Shared batch driver: chunked fan-out with per-worker scratch
+    /// state, finishing each sample with `finish` (majority vote or
+    /// integer widening).
+    fn encode_batch_with<T: Send>(
+        &self,
+        rows: &[&[u16]],
+        finish: impl Fn(&BitSliceAccumulator) -> T + Sync,
+    ) -> Vec<T> {
+        for row in rows {
+            self.check_row(row);
+        }
+        match self.mode {
+            DeriveMode::Cached => {
+                self.bound_cache
+                    .warm_for_batch(&self.derived, &self.values, rows.len());
+                par::par_chunk_map(rows.len(), 4, |range| {
+                    let mut acc = BitSliceAccumulator::new(self.dim());
+                    let mut out = Vec::with_capacity(range.len());
+                    for r in range {
+                        acc.clear();
+                        self.accumulate_row_cached(&mut acc, rows[r]);
+                        out.push(finish(&acc));
+                    }
+                    out
+                })
+            }
+            DeriveMode::OnTheFly => par::par_chunk_map(rows.len(), 4, |range| {
+                let mut acc = BitSliceAccumulator::new(self.dim());
+                let mut fea = BinaryHv::ones(self.dim());
+                let mut scratch = BinaryHv::ones(self.dim());
+                let mut out = Vec::with_capacity(range.len());
+                for r in range {
+                    acc.clear();
+                    self.accumulate_row_on_the_fly(&mut acc, rows[r], &mut fea, &mut scratch);
+                    out.push(finish(&acc));
+                }
+                out
+            }),
         }
     }
 
@@ -270,26 +433,38 @@ impl Encoder for LockedEncoder {
 
     fn encode_int(&self, levels: &[u16]) -> IntHv {
         self.check_row(levels);
-        let mut acc = IntHv::zeros(self.dim());
+        let mut acc = BitSliceAccumulator::new(self.dim());
         match self.mode {
-            DeriveMode::Cached => {
-                for (i, &lv) in levels.iter().enumerate() {
-                    acc.add_bound_pair(self.values.level(usize::from(lv)), &self.derived[i]);
-                }
-            }
+            DeriveMode::Cached => self.accumulate_row_cached(&mut acc, levels),
             DeriveMode::OnTheFly => {
-                self.vault
-                    .with_key(|key| {
-                        for (i, &lv) in levels.iter().enumerate() {
-                            let fea = derive_feature(&self.pool, key.feature(i))
-                                .expect("sealed key was validated at construction");
-                            acc.add_bound_pair(self.values.level(usize::from(lv)), &fea);
-                        }
-                    })
-                    .expect("vault alive while encoder exists");
+                let mut fea = BinaryHv::ones(self.dim());
+                let mut scratch = BinaryHv::ones(self.dim());
+                self.accumulate_row_on_the_fly(&mut acc, levels, &mut fea, &mut scratch);
             }
         }
-        acc
+        acc.to_int()
+    }
+
+    fn encode_binary(&self, levels: &[u16]) -> BinaryHv {
+        self.check_row(levels);
+        let mut acc = BitSliceAccumulator::new(self.dim());
+        match self.mode {
+            DeriveMode::Cached => self.accumulate_row_cached(&mut acc, levels),
+            DeriveMode::OnTheFly => {
+                let mut fea = BinaryHv::ones(self.dim());
+                let mut scratch = BinaryHv::ones(self.dim());
+                self.accumulate_row_on_the_fly(&mut acc, levels, &mut fea, &mut scratch);
+            }
+        }
+        acc.majority_ties_positive()
+    }
+
+    fn encode_batch_binary(&self, rows: &[&[u16]]) -> Vec<BinaryHv> {
+        self.encode_batch_with(rows, BitSliceAccumulator::majority_ties_positive)
+    }
+
+    fn encode_batch_int(&self, rows: &[&[u16]]) -> Vec<IntHv> {
+        self.encode_batch_with(rows, BitSliceAccumulator::to_int)
     }
 
     fn feature_hv(&self, i: usize) -> BinaryHv {
@@ -307,7 +482,13 @@ mod tests {
     use crate::key::LayerKey;
 
     fn config() -> LockConfig {
-        LockConfig { n_features: 9, m_levels: 4, dim: 1024, pool_size: 20, n_layers: 2 }
+        LockConfig {
+            n_features: 9,
+            m_levels: 4,
+            dim: 1024,
+            pool_size: 20,
+            n_layers: 2,
+        }
     }
 
     #[test]
@@ -315,10 +496,16 @@ mod tests {
         let mut rng = HvRng::from_seed(1);
         let pool = BasePool::generate(&mut rng, 512, 6);
         let fk = FeatureKey::new(vec![
-            LayerKey { base_index: 2, rotation: 10 },
-            LayerKey { base_index: 5, rotation: 100 },
+            LayerKey {
+                base_index: 2,
+                rotation: 10,
+            },
+            LayerKey {
+                base_index: 5,
+                rotation: 100,
+            },
         ]);
-        let hv = derive_feature(&pool, &fk).unwrap();
+        let hv = derive_feature(&pool, &fk, 0).unwrap();
         let manual = pool
             .base(2)
             .unwrap()
@@ -328,11 +515,47 @@ mod tests {
     }
 
     #[test]
-    fn derive_feature_rejects_missing_base() {
+    fn derive_feature_rejects_missing_base_naming_the_feature() {
         let mut rng = HvRng::from_seed(2);
         let pool = BasePool::generate(&mut rng, 64, 2);
-        let fk = FeatureKey::new(vec![LayerKey { base_index: 7, rotation: 0 }]);
-        assert!(matches!(derive_feature(&pool, &fk), Err(LockError::KeyOutOfRange { .. })));
+        let fk = FeatureKey::new(vec![LayerKey {
+            base_index: 7,
+            rotation: 0,
+        }]);
+        // The error must carry the *real* feature index, not a hardcoded 0.
+        match derive_feature(&pool, &fk, 5) {
+            Err(LockError::KeyOutOfRange {
+                feature,
+                base_index,
+                ..
+            }) => {
+                assert_eq!(feature, 5);
+                assert_eq!(base_index, 7);
+            }
+            other => panic!("expected KeyOutOfRange, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn derive_feature_into_matches_allocating_variant() {
+        let mut rng = HvRng::from_seed(11);
+        let pool = BasePool::generate(&mut rng, 130, 4);
+        let fk = FeatureKey::new(vec![
+            LayerKey {
+                base_index: 1,
+                rotation: 29,
+            },
+            LayerKey {
+                base_index: 3,
+                rotation: 101,
+            },
+        ]);
+        let mut out = BinaryHv::ones(130);
+        let mut scratch = BinaryHv::ones(130);
+        // Dirty the buffers first: the contract is full overwrite.
+        out = out.negated();
+        derive_feature_into(&pool, &fk, 2, &mut out, &mut scratch).unwrap();
+        assert_eq!(out, derive_feature(&pool, &fk, 2).unwrap());
     }
 
     #[test]
@@ -346,6 +569,35 @@ mod tests {
             manual.add_binary(&enc.feature_hv(i).bind(&enc.value_hv(usize::from(lv))));
         }
         assert_eq!(h, manual);
+    }
+
+    #[test]
+    fn engine_matches_scalar_reference_in_both_modes() {
+        let mut rng = HvRng::from_seed(12);
+        let mut enc = LockedEncoder::generate(&mut rng, &config()).unwrap();
+        let row: Vec<u16> = (0..9).map(|i| ((i * 5) % 4) as u16).collect();
+        assert_eq!(enc.encode_int(&row), enc.encode_int_scalar(&row));
+        enc.set_mode(DeriveMode::OnTheFly);
+        assert_eq!(enc.encode_int(&row), enc.encode_int_scalar(&row));
+    }
+
+    #[test]
+    fn batch_matches_per_sample_in_both_modes() {
+        let mut rng = HvRng::from_seed(13);
+        let mut enc = LockedEncoder::generate(&mut rng, &config()).unwrap();
+        let rows: Vec<Vec<u16>> = (0..11)
+            .map(|s| (0..9).map(|i| ((s + 2 * i) % 4) as u16).collect())
+            .collect();
+        let refs: Vec<&[u16]> = rows.iter().map(Vec::as_slice).collect();
+        for mode in [DeriveMode::Cached, DeriveMode::OnTheFly] {
+            enc.set_mode(mode);
+            let batch = enc.encode_batch_binary(&refs);
+            let batch_int = enc.encode_batch_int(&refs);
+            for (i, row) in refs.iter().enumerate() {
+                assert_eq!(batch[i], enc.encode_binary(row), "{mode:?} row {i}");
+                assert_eq!(batch_int[i], enc.encode_int(row), "{mode:?} row {i}");
+            }
+        }
     }
 
     #[test]
@@ -366,7 +618,11 @@ mod tests {
         let base_reads = enc.vault().reads();
         let row = vec![0u16; 9];
         let _ = enc.encode_binary(&row);
-        assert_eq!(enc.vault().reads(), base_reads, "cached mode must not read the vault");
+        assert_eq!(
+            enc.vault().reads(),
+            base_reads,
+            "cached mode must not read the vault"
+        );
         enc.set_mode(DeriveMode::OnTheFly);
         let _ = enc.encode_binary(&row);
         let _ = enc.encode_binary(&row);
@@ -374,9 +630,27 @@ mod tests {
     }
 
     #[test]
+    fn on_the_fly_batch_reads_vault_per_sample() {
+        let mut rng = HvRng::from_seed(14);
+        let mut enc = LockedEncoder::generate(&mut rng, &config()).unwrap();
+        enc.set_mode(DeriveMode::OnTheFly);
+        let base_reads = enc.vault().reads();
+        let rows: Vec<Vec<u16>> = (0..7).map(|_| vec![0u16; 9]).collect();
+        let refs: Vec<&[u16]> = rows.iter().map(Vec::as_slice).collect();
+        let _ = enc.encode_batch_binary(&refs);
+        assert_eq!(enc.vault().reads(), base_reads + 7);
+    }
+
+    #[test]
     fn derived_features_are_quasi_orthogonal() {
         let mut rng = HvRng::from_seed(6);
-        let cfg = LockConfig { n_features: 12, m_levels: 4, dim: 10_000, pool_size: 24, n_layers: 2 };
+        let cfg = LockConfig {
+            n_features: 12,
+            m_levels: 4,
+            dim: 10_000,
+            pool_size: 24,
+            n_layers: 2,
+        };
         let enc = LockedEncoder::generate(&mut rng, &cfg).unwrap();
         for i in 0..12 {
             for j in (i + 1)..12 {
@@ -389,7 +663,13 @@ mod tests {
     #[test]
     fn zero_layers_reproduces_identity_pool_mapping() {
         let mut rng = HvRng::from_seed(7);
-        let cfg = LockConfig { n_features: 5, m_levels: 4, dim: 512, pool_size: 5, n_layers: 0 };
+        let cfg = LockConfig {
+            n_features: 5,
+            m_levels: 4,
+            dim: 512,
+            pool_size: 5,
+            n_layers: 0,
+        };
         let enc = LockedEncoder::generate(&mut rng, &cfg).unwrap();
         for i in 0..5 {
             assert_eq!(&enc.feature_hv(i), enc.pool().base(i).unwrap());

@@ -68,7 +68,10 @@ impl LockedNgramEncoder {
     /// Returns [`LockError::DimensionMismatch`] or key-range errors.
     pub fn from_parts(pool: BasePool, key: EncodingKey, n: usize) -> Result<Self, LockError> {
         if key.dim() != pool.dim() {
-            return Err(LockError::DimensionMismatch { expected: pool.dim(), found: key.dim() });
+            return Err(LockError::DimensionMismatch {
+                expected: pool.dim(),
+                found: key.dim(),
+            });
         }
         if key.pool_size() != pool.len() {
             return Err(LockError::PoolTooSmall {
@@ -77,19 +80,29 @@ impl LockedNgramEncoder {
             });
         }
         if n == 0 {
-            return Err(LockError::InvalidParameter { what: "window size must be positive" });
+            return Err(LockError::InvalidParameter {
+                what: "window size must be positive",
+            });
         }
         let derived: Result<Vec<BinaryHv>, LockError> = (0..key.n_features())
-            .map(|s| derive_feature(&pool, key.feature(s)))
+            .map(|s| derive_feature(&pool, key.feature(s), s))
             .collect();
-        let symbols = ItemMemory::from_rows(derived?)
-            .map_err(|_| LockError::InvalidParameter { what: "derived symbols inconsistent" })?;
-        let inner = NgramEncoder::from_symbols(symbols, n)
-            .map_err(|_| LockError::InvalidParameter { what: "invalid n-gram shape" })?;
+        let symbols = ItemMemory::from_rows(derived?).map_err(|_| LockError::InvalidParameter {
+            what: "derived symbols inconsistent",
+        })?;
+        let inner =
+            NgramEncoder::from_symbols(symbols, n).map_err(|_| LockError::InvalidParameter {
+                what: "invalid n-gram shape",
+            })?;
         let n_layers = key.n_layers();
         let vault = KeyVault::seal(key);
         vault.with_key(|_| ())?;
-        Ok(LockedNgramEncoder { pool, vault, inner, n_layers })
+        Ok(LockedNgramEncoder {
+            pool,
+            vault,
+            inner,
+            n_layers,
+        })
     }
 
     /// The public base pool.
@@ -132,7 +145,9 @@ impl LockedNgramEncoder {
         self.inner
             .symbols()
             .get(symbol)
-            .map_err(|_| LockError::InvalidParameter { what: "unknown symbol" })
+            .map_err(|_| LockError::InvalidParameter {
+                what: "unknown symbol",
+            })
     }
 
     /// Encodes a full sequence (bundled sliding n-grams, binarized).
@@ -143,7 +158,9 @@ impl LockedNgramEncoder {
     pub fn encode_sequence(&self, sequence: &[usize]) -> Result<BinaryHv, LockError> {
         self.inner
             .encode_sequence(sequence)
-            .map_err(|_| LockError::InvalidParameter { what: "sequence too short or bad symbol" })
+            .map_err(|_| LockError::InvalidParameter {
+                what: "sequence too short or bad symbol",
+            })
     }
 
     /// Reasoning complexity for the symbol mapping: `A · (D·P)^L` where
@@ -171,10 +188,10 @@ mod tests {
         let locked = LockedNgramEncoder::generate(&mut rng, 8, 3, 1024, 16, 2).unwrap();
         // Rebuild a plain encoder from the derived symbols: outputs must
         // be bit-identical (the lock changes provenance, not semantics).
-        let rows: Vec<BinaryHv> =
-            (0..8).map(|s| locked.symbol_hv(s).unwrap().clone()).collect();
-        let plain =
-            NgramEncoder::from_symbols(ItemMemory::from_rows(rows).unwrap(), 3).unwrap();
+        let rows: Vec<BinaryHv> = (0..8)
+            .map(|s| locked.symbol_hv(s).unwrap().clone())
+            .collect();
+        let plain = NgramEncoder::from_symbols(ItemMemory::from_rows(rows).unwrap(), 3).unwrap();
         let seq: Vec<usize> = (0..20).map(|i| i % 8).collect();
         assert_eq!(
             locked.encode_sequence(&seq).unwrap(),
@@ -186,8 +203,9 @@ mod tests {
     fn derived_symbols_are_quasi_orthogonal() {
         let mut rng = HvRng::from_seed(2);
         let locked = LockedNgramEncoder::generate(&mut rng, 10, 2, 10_000, 20, 2).unwrap();
-        let rows: Vec<BinaryHv> =
-            (0..10).map(|s| locked.symbol_hv(s).unwrap().clone()).collect();
+        let rows: Vec<BinaryHv> = (0..10)
+            .map(|s| locked.symbol_hv(s).unwrap().clone())
+            .collect();
         assert!(crate::equivalence::is_quasi_orthogonal(&rows, 0.04));
     }
 
@@ -204,7 +222,10 @@ mod tests {
         let mut rng = HvRng::from_seed(4);
         let pool = BasePool::generate(&mut rng, 256, 4);
         let key = EncodingKey::from_feature_keys(
-            vec![FeatureKey::new(vec![LayerKey { base_index: 0, rotation: 1 }])],
+            vec![FeatureKey::new(vec![LayerKey {
+                base_index: 0,
+                rotation: 1,
+            }])],
             4,
             256,
         )

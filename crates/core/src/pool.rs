@@ -33,7 +33,9 @@ impl BasePool {
     /// Panics if `dim == 0`.
     #[must_use]
     pub fn generate(rng: &mut HvRng, dim: usize, pool_size: usize) -> Self {
-        BasePool { mem: ItemMemory::random(rng, dim, pool_size) }
+        BasePool {
+            mem: ItemMemory::random(rng, dim, pool_size),
+        }
     }
 
     /// Wraps existing hypervectors as a pool.
@@ -42,7 +44,9 @@ impl BasePool {
     ///
     /// Propagates [`HvError`] for empty or inconsistent rows.
     pub fn from_rows(rows: Vec<BinaryHv>) -> Result<Self, HvError> {
-        Ok(BasePool { mem: ItemMemory::from_rows(rows)? })
+        Ok(BasePool {
+            mem: ItemMemory::from_rows(rows)?,
+        })
     }
 
     /// Number of bases `P`.
@@ -89,7 +93,10 @@ mod tests {
         let pool = BasePool::generate(&mut rng, 10_000, 8);
         for i in 0..8 {
             for j in (i + 1)..8 {
-                let d = pool.base(i).unwrap().normalized_hamming(pool.base(j).unwrap());
+                let d = pool
+                    .base(i)
+                    .unwrap()
+                    .normalized_hamming(pool.base(j).unwrap());
                 assert!((d - 0.5).abs() < 0.05, "bases {i},{j}: {d}");
             }
         }

@@ -60,7 +60,10 @@ pub fn analyze_value_locking(
     m: usize,
     strategy: ValueLockStrategy,
 ) -> ValueLockAnalysis {
-    assert!(m >= 3, "need at least 3 levels to observe the correlation structure");
+    assert!(
+        m >= 3,
+        "need at least 3 levels to observe the correlation structure"
+    );
     // The "pool" for value locking must itself be a correlated family
     // (that is the paper's point): base b_v generates level v.
     let base_family = LevelHvs::generate(rng, dim, m).expect("valid level family");
@@ -69,8 +72,9 @@ pub fn analyze_value_locking(
         ValueLockStrategy::SharedRotation => vec![shared_rotation; m],
         ValueLockStrategy::IndependentRotations => (0..m).map(|_| rng.index(dim)).collect(),
     };
-    let derived: Vec<BinaryHv> =
-        (0..m).map(|v| base_family.level(v).rotated(rotations[v])).collect();
+    let derived: Vec<BinaryHv> = (0..m)
+        .map(|v| base_family.level(v).rotated(rotations[v]))
+        .collect();
 
     // Fidelity: do the derived levels still follow Eq. 1b?
     let steps = (m - 1) as f64;
@@ -88,7 +92,11 @@ pub fn analyze_value_locking(
     // endpoint; count adjacent pairs recovered.
     let order_leak = pool_order_leak(base_family.levels());
 
-    ValueLockAnalysis { linearity_error, order_leak, strategy }
+    ValueLockAnalysis {
+        linearity_error,
+        order_leak,
+        strategy,
+    }
 }
 
 /// Greedy nearest-neighbour chaining over a dumped pool: the fraction of
@@ -132,17 +140,24 @@ mod tests {
     fn shared_rotation_keeps_linearity_but_leaks_order() {
         let mut rng = HvRng::from_seed(1);
         let a = analyze_value_locking(&mut rng, 10_000, 8, ValueLockStrategy::SharedRotation);
-        assert!(a.linearity_error < 0.02, "linearity error {}", a.linearity_error);
+        assert!(
+            a.linearity_error < 0.02,
+            "linearity error {}",
+            a.linearity_error
+        );
         assert!(a.order_leak > 0.99, "order leak {}", a.order_leak);
     }
 
     #[test]
     fn independent_rotations_hide_nothing_useful() {
         let mut rng = HvRng::from_seed(2);
-        let a =
-            analyze_value_locking(&mut rng, 10_000, 8, ValueLockStrategy::IndependentRotations);
+        let a = analyze_value_locking(&mut rng, 10_000, 8, ValueLockStrategy::IndependentRotations);
         // the derived levels no longer follow Eq. 1b at all
-        assert!(a.linearity_error > 0.2, "linearity error {}", a.linearity_error);
+        assert!(
+            a.linearity_error > 0.2,
+            "linearity error {}",
+            a.linearity_error
+        );
         // and the pool still leaks (the bases themselves stay correlated)
         assert!(a.order_leak > 0.99, "order leak {}", a.order_leak);
     }

@@ -42,7 +42,12 @@ impl KeyVault {
     /// lingers in the caller.
     #[must_use]
     pub fn seal(key: EncodingKey) -> Self {
-        KeyVault { inner: Mutex::new(VaultInner { key: Some(key), reads: 0 }) }
+        KeyVault {
+            inner: Mutex::new(VaultInner {
+                key: Some(key),
+                reads: 0,
+            }),
+        }
     }
 
     /// Privileged, audited access to the key. Each call increments the
@@ -83,7 +88,10 @@ fn scrub(key: EncodingKey) {
     let n = key.n_features();
     let mut features = Vec::with_capacity(n);
     for _ in 0..n {
-        features.push(FeatureKey::new(vec![LayerKey { base_index: 0, rotation: 0 }]));
+        features.push(FeatureKey::new(vec![LayerKey {
+            base_index: 0,
+            rotation: 0,
+        }]));
     }
     // Rebuilding with zeroed layer keys drops the original buffers; the
     // EncodingKey type offers no mutable access to its layer storage, so

@@ -118,7 +118,10 @@ impl Benchmark {
     }
 
     fn ordinal(&self) -> usize {
-        Benchmark::ALL.iter().position(|b| b == self).expect("benchmark is in ALL")
+        Benchmark::ALL
+            .iter()
+            .position(|b| b == self)
+            .expect("benchmark is in ALL")
     }
 }
 

@@ -59,21 +59,38 @@ impl fmt::Display for DataError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             DataError::Empty => write!(f, "dataset has no samples or no features"),
-            DataError::InconsistentWidth { index, expected, found } => write!(
+            DataError::InconsistentWidth {
+                index,
+                expected,
+                found,
+            } => write!(
                 f,
                 "sample {index} has {found} features, expected {expected}"
             ),
-            DataError::LabelOutOfRange { index, label, n_classes } => write!(
+            DataError::LabelOutOfRange {
+                index,
+                label,
+                n_classes,
+            } => write!(
                 f,
                 "sample {index} has label {label}, valid range is 0..{n_classes}"
             ),
-            DataError::LevelOutOfRange { index, level, m_levels } => write!(
+            DataError::LevelOutOfRange {
+                index,
+                level,
+                m_levels,
+            } => write!(
                 f,
                 "sample {index} has level {level}, valid range is 0..{m_levels}"
             ),
-            DataError::Parse { line, message } => write!(f, "parse error on line {line}: {message}"),
+            DataError::Parse { line, message } => {
+                write!(f, "parse error on line {line}: {message}")
+            }
             DataError::TooFewLevels { requested } => {
-                write!(f, "quantizer needs at least 2 levels, requested {requested}")
+                write!(
+                    f,
+                    "quantizer needs at least 2 levels, requested {requested}"
+                )
             }
             DataError::BadSplit { test_fraction } => {
                 write!(f, "test fraction {test_fraction} leaves an empty split")
@@ -91,7 +108,10 @@ mod tests {
     #[test]
     fn messages_are_informative() {
         assert!(DataError::Empty.to_string().contains("no samples"));
-        let e = DataError::Parse { line: 3, message: "bad float".into() };
+        let e = DataError::Parse {
+            line: 3,
+            message: "bad float".into(),
+        };
         assert!(e.to_string().contains("line 3"));
     }
 

@@ -46,7 +46,10 @@ pub fn load_csv_str(name: &str, text: &str, n_classes: usize) -> Result<Dataset,
             message: format!("invalid label '{label_field}'"),
         })?;
         if fields.is_empty() {
-            return Err(DataError::Parse { line: line_no, message: "no feature columns".into() });
+            return Err(DataError::Parse {
+                line: line_no,
+                message: "no feature columns".into(),
+            });
         }
         let mut features = Vec::with_capacity(fields.len());
         for f in fields {
@@ -111,7 +114,10 @@ mod tests {
         let err = load_csv_str("t", "1.0,0\n1.0,xyz\n", 2).unwrap_err();
         assert_eq!(
             err,
-            DataError::Parse { line: 2, message: "invalid label 'xyz'".into() }
+            DataError::Parse {
+                line: 2,
+                message: "invalid label 'xyz'".into()
+            }
         );
     }
 

@@ -42,7 +42,9 @@ impl Discretizer {
     /// Returns [`DataError::TooFewLevels`] if `m_levels < 2`.
     pub fn fit(dataset: &Dataset, m_levels: usize) -> Result<Self, DataError> {
         if m_levels < 2 {
-            return Err(DataError::TooFewLevels { requested: m_levels });
+            return Err(DataError::TooFewLevels {
+                requested: m_levels,
+            });
         }
         let n = dataset.n_features();
         let mut mins = vec![f32::INFINITY; n];
@@ -53,7 +55,11 @@ impl Discretizer {
                 maxs[j] = maxs[j].max(v);
             }
         }
-        Ok(Discretizer { mins, maxs, m_levels })
+        Ok(Discretizer {
+            mins,
+            maxs,
+            m_levels,
+        })
     }
 
     /// Number of levels `M`.
@@ -107,10 +113,18 @@ impl Discretizer {
     /// Propagates construction errors (these indicate an internal bug;
     /// the discretizer always emits in-range levels).
     pub fn discretize(&self, dataset: &Dataset) -> Result<QuantizedDataset, DataError> {
-        let rows: Vec<Vec<u16>> =
-            dataset.iter().map(|s| self.discretize_row(&s.features)).collect();
+        let rows: Vec<Vec<u16>> = dataset
+            .iter()
+            .map(|s| self.discretize_row(&s.features))
+            .collect();
         let labels: Vec<usize> = dataset.iter().map(|s| s.label).collect();
-        QuantizedDataset::new(dataset.name(), dataset.n_classes(), self.m_levels, rows, labels)
+        QuantizedDataset::new(
+            dataset.name(),
+            dataset.n_classes(),
+            self.m_levels,
+            rows,
+            labels,
+        )
     }
 }
 
@@ -124,9 +138,18 @@ mod tests {
             "toy",
             2,
             vec![
-                Sample { features: vec![0.0, -5.0], label: 0 },
-                Sample { features: vec![10.0, 5.0], label: 1 },
-                Sample { features: vec![5.0, 0.0], label: 0 },
+                Sample {
+                    features: vec![0.0, -5.0],
+                    label: 0,
+                },
+                Sample {
+                    features: vec![10.0, 5.0],
+                    label: 1,
+                },
+                Sample {
+                    features: vec![5.0, 0.0],
+                    label: 0,
+                },
             ],
         )
         .unwrap()
@@ -161,8 +184,14 @@ mod tests {
             "c",
             1,
             vec![
-                Sample { features: vec![3.0], label: 0 },
-                Sample { features: vec![3.0], label: 0 },
+                Sample {
+                    features: vec![3.0],
+                    label: 0,
+                },
+                Sample {
+                    features: vec![3.0],
+                    label: 0,
+                },
             ],
         )
         .unwrap();

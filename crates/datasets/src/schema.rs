@@ -68,10 +68,19 @@ impl Dataset {
                 });
             }
             if s.label >= n_classes {
-                return Err(DataError::LabelOutOfRange { index: i, label: s.label, n_classes });
+                return Err(DataError::LabelOutOfRange {
+                    index: i,
+                    label: s.label,
+                    n_classes,
+                });
             }
         }
-        Ok(Dataset { name: name.into(), n_classes, n_features, samples })
+        Ok(Dataset {
+            name: name.into(),
+            n_classes,
+            n_features,
+            samples,
+        })
     }
 
     /// Human-readable dataset name.
@@ -175,10 +184,18 @@ impl QuantizedDataset {
                 });
             }
             if let Some(&bad) = row.iter().find(|&&v| usize::from(v) >= m_levels) {
-                return Err(DataError::LevelOutOfRange { index: i, level: usize::from(bad), m_levels });
+                return Err(DataError::LevelOutOfRange {
+                    index: i,
+                    level: usize::from(bad),
+                    m_levels,
+                });
             }
             if labels[i] >= n_classes {
-                return Err(DataError::LabelOutOfRange { index: i, label: labels[i], n_classes });
+                return Err(DataError::LabelOutOfRange {
+                    index: i,
+                    label: labels[i],
+                    n_classes,
+                });
             }
         }
         Ok(QuantizedDataset {
@@ -249,7 +266,10 @@ impl QuantizedDataset {
 
     /// Iterator over `(levels, label)` pairs.
     pub fn iter(&self) -> impl ExactSizeIterator<Item = (&[u16], usize)> + '_ {
-        self.rows.iter().map(Vec::as_slice).zip(self.labels.iter().copied())
+        self.rows
+            .iter()
+            .map(Vec::as_slice)
+            .zip(self.labels.iter().copied())
     }
 }
 
@@ -280,7 +300,10 @@ mod tests {
 
     #[test]
     fn new_rejects_empty() {
-        assert!(matches!(Dataset::new("e", 2, vec![]).unwrap_err(), DataError::Empty));
+        assert!(matches!(
+            Dataset::new("e", 2, vec![]).unwrap_err(),
+            DataError::Empty
+        ));
     }
 
     #[test]
@@ -300,15 +323,13 @@ mod tests {
 
     #[test]
     fn quantized_validates_levels() {
-        let err =
-            QuantizedDataset::new("q", 2, 4, vec![vec![0, 4]], vec![0]).unwrap_err();
+        let err = QuantizedDataset::new("q", 2, 4, vec![vec![0, 4]], vec![0]).unwrap_err();
         assert!(matches!(err, DataError::LevelOutOfRange { level: 4, .. }));
     }
 
     #[test]
     fn quantized_roundtrip() {
-        let q = QuantizedDataset::new("q", 2, 4, vec![vec![0, 3], vec![1, 2]], vec![0, 1])
-            .unwrap();
+        let q = QuantizedDataset::new("q", 2, 4, vec![vec![0, 3], vec![1, 2]], vec![0, 1]).unwrap();
         assert_eq!(q.len(), 2);
         assert_eq!(q.row(1), &[1, 2]);
         assert_eq!(q.label(1), 1);

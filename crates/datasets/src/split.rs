@@ -62,8 +62,16 @@ pub fn stratified_split(
     if train.is_empty() || test.is_empty() {
         return Err(DataError::BadSplit { test_fraction });
     }
-    let train = Dataset::new(format!("{}-train", dataset.name()), dataset.n_classes(), train)?;
-    let test = Dataset::new(format!("{}-test", dataset.name()), dataset.n_classes(), test)?;
+    let train = Dataset::new(
+        format!("{}-train", dataset.name()),
+        dataset.n_classes(),
+        train,
+    )?;
+    let test = Dataset::new(
+        format!("{}-test", dataset.name()),
+        dataset.n_classes(),
+        test,
+    )?;
     Ok((train, test))
 }
 
@@ -73,7 +81,10 @@ mod tests {
 
     fn toy(n: usize, classes: usize) -> Dataset {
         let samples: Vec<Sample> = (0..n)
-            .map(|i| Sample { features: vec![i as f32], label: i % classes })
+            .map(|i| Sample {
+                features: vec![i as f32],
+                label: i % classes,
+            })
             .collect();
         Dataset::new("toy", classes, samples).unwrap()
     }

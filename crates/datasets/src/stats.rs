@@ -37,7 +37,12 @@ impl FeatureStats {
             .zip(&means)
             .map(|(sq, m)| (sq / count - m * m).max(0.0).sqrt())
             .collect();
-        FeatureStats { mins, maxs, means, stds }
+        FeatureStats {
+            mins,
+            maxs,
+            means,
+            stds,
+        }
     }
 
     /// Minimum of feature `j`.
@@ -98,8 +103,14 @@ mod tests {
             "s",
             1,
             vec![
-                Sample { features: vec![1.0, 10.0], label: 0 },
-                Sample { features: vec![3.0, 10.0], label: 0 },
+                Sample {
+                    features: vec![1.0, 10.0],
+                    label: 0,
+                },
+                Sample {
+                    features: vec![3.0, 10.0],
+                    label: 0,
+                },
             ],
         )
         .unwrap();

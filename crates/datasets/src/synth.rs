@@ -126,7 +126,11 @@ impl SynthSpec {
             let proto = &prototypes[label];
             let features: Vec<f32> = (0..self.n_features)
                 .map(|j| {
-                    let center = if distractor[j] { rng.unit_f64() } else { proto[j] };
+                    let center = if distractor[j] {
+                        rng.unit_f64()
+                    } else {
+                        proto[j]
+                    };
                     let v = center + self.noise * rng.normal();
                     v.clamp(0.0, 1.0) as f32
                 })
@@ -193,9 +197,14 @@ mod tests {
     #[test]
     fn same_class_samples_are_closer_than_cross_class() {
         let mut rng = HvRng::from_seed(4);
-        let (train, _) = SynthSpec::new("sep", 50, 2, 100, 10, 0.1).generate(&mut rng).unwrap();
+        let (train, _) = SynthSpec::new("sep", 50, 2, 100, 10, 0.1)
+            .generate(&mut rng)
+            .unwrap();
         let dist = |a: &[f32], b: &[f32]| -> f64 {
-            a.iter().zip(b).map(|(x, y)| ((x - y) as f64).powi(2)).sum::<f64>()
+            a.iter()
+                .zip(b)
+                .map(|(x, y)| ((x - y) as f64).powi(2))
+                .sum::<f64>()
         };
         let s = train.samples();
         let mut within = 0.0;
@@ -230,6 +239,9 @@ mod tests {
     fn zero_sizes_rejected() {
         let mut s = spec();
         s.train_size = 0;
-        assert!(matches!(s.generate(&mut HvRng::from_seed(0)), Err(DataError::Empty)));
+        assert!(matches!(
+            s.generate(&mut HvRng::from_seed(0)),
+            Err(DataError::Empty)
+        ));
     }
 }

@@ -41,7 +41,10 @@ impl BundleAccumulator {
     /// Panics if `dim == 0`.
     #[must_use]
     pub fn new(dim: usize) -> Self {
-        BundleAccumulator { sums: IntHv::zeros(dim), count: 0 }
+        BundleAccumulator {
+            sums: IntHv::zeros(dim),
+            count: 0,
+        }
     }
 
     /// Dimensionality.
@@ -75,6 +78,19 @@ impl BundleAccumulator {
         assert!(self.count > 0, "cannot remove from an empty bundle");
         self.sums.sub_binary(hv);
         self.count -= 1;
+    }
+
+    /// Adds the bound pair `a × b` without materializing the product,
+    /// mirroring [`IntHv::add_bound_pair`]. Prefer
+    /// [`crate::BitSliceAccumulator`] when bundling many pairs — it does
+    /// the same update word-parallel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions differ.
+    pub fn add_bound_pair(&mut self, a: &BinaryHv, b: &BinaryHv) {
+        self.sums.add_bound_pair(a, b);
+        self.count += 1;
     }
 
     /// Adds a non-binary (integer) encoding into the bundle, as non-binary
@@ -239,6 +255,19 @@ mod tests {
         }
         acc.adjust_int(&hv.to_int(), -4);
         assert_eq!(acc.sums(), &IntHv::zeros(64));
+    }
+
+    #[test]
+    fn add_bound_pair_counts_and_sums() {
+        let mut rng = HvRng::from_seed(8);
+        let a = rng.binary_hv(96);
+        let b = rng.binary_hv(96);
+        let mut fused = BundleAccumulator::new(96);
+        fused.add_bound_pair(&a, &b);
+        let mut explicit = BundleAccumulator::new(96);
+        explicit.add(&a.bind(&b));
+        assert_eq!(fused, explicit);
+        assert_eq!(fused.count(), 1);
     }
 
     #[test]

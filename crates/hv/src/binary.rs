@@ -40,14 +40,18 @@ impl BinaryHv {
     /// Panics if `dim == 0`.
     #[must_use]
     pub fn ones(dim: usize) -> Self {
-        BinaryHv { bits: BitWords::zeros(dim) }
+        BinaryHv {
+            bits: BitWords::zeros(dim),
+        }
     }
 
     /// Builds a hypervector from a sign predicate: `f(i) == true` means
     /// dimension `i` is −1.
     #[must_use]
     pub fn from_fn(dim: usize, f: impl FnMut(usize) -> bool) -> Self {
-        BinaryHv { bits: BitWords::from_fn(dim, f) }
+        BinaryHv {
+            bits: BitWords::from_fn(dim, f),
+        }
     }
 
     /// Wraps raw bit storage (set bit ⇔ −1).
@@ -123,7 +127,9 @@ impl BinaryHv {
     /// Panics if dimensions differ.
     #[must_use]
     pub fn bind(&self, other: &Self) -> Self {
-        BinaryHv { bits: self.bits.xor(&other.bits) }
+        BinaryHv {
+            bits: self.bits.xor(&other.bits),
+        }
     }
 
     /// In-place bind.
@@ -133,6 +139,30 @@ impl BinaryHv {
     /// Panics if dimensions differ.
     pub fn bind_assign(&mut self, other: &Self) {
         self.bits.xor_assign(&other.bits);
+    }
+
+    /// Writes `self × other` into `out` without allocating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions differ.
+    pub fn bind_into(&self, other: &Self, out: &mut Self) {
+        self.bits.xor_into(&other.bits, &mut out.bits);
+    }
+
+    /// Overwrites `self` with a copy of `other` without allocating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions differ.
+    pub fn copy_from(&mut self, other: &Self) {
+        self.bits.copy_from(&other.bits);
+    }
+
+    /// Resets every dimension to +1 (the bind identity), keeping the
+    /// allocation — used to seed key-derivation scratch buffers.
+    pub fn reset_to_ones(&mut self) {
+        self.bits.clear();
     }
 
     /// Elementwise negation (multiplication by −1).
@@ -147,7 +177,18 @@ impl BinaryHv {
     /// `ρ_k` of the paper (Sec. 2).
     #[must_use]
     pub fn rotated(&self, k: usize) -> Self {
-        BinaryHv { bits: self.bits.rotated(k) }
+        BinaryHv {
+            bits: self.bits.rotated(k),
+        }
+    }
+
+    /// Writes the rotation `ρ_k(self)` into `out` without allocating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions differ.
+    pub fn rotated_into(&self, k: usize, out: &mut Self) {
+        self.bits.rotated_into(k, &mut out.bits);
     }
 
     /// Hamming distance: number of dimensions where the two vectors
@@ -272,7 +313,10 @@ mod tests {
         let b = rhv(2, 257);
         let c = a.bind(&b);
         for i in 0..257 {
-            assert_eq!(i32::from(c.polarity(i)), i32::from(a.polarity(i)) * i32::from(b.polarity(i)));
+            assert_eq!(
+                i32::from(c.polarity(i)),
+                i32::from(a.polarity(i)) * i32::from(b.polarity(i))
+            );
         }
     }
 
@@ -296,6 +340,21 @@ mod tests {
         let n = a.negated();
         assert_eq!(a.hamming(&n), 1000);
         assert_eq!((-&a), n);
+    }
+
+    #[test]
+    fn into_variants_match_allocating_ops() {
+        let a = rhv(20, 257);
+        let b = rhv(21, 257);
+        let mut out = BinaryHv::ones(257);
+        a.bind_into(&b, &mut out);
+        assert_eq!(out, a.bind(&b));
+        a.rotated_into(100, &mut out);
+        assert_eq!(out, a.rotated(100));
+        out.copy_from(&b);
+        assert_eq!(out, b);
+        out.reset_to_ones();
+        assert_eq!(out, BinaryHv::ones(257));
     }
 
     #[test]

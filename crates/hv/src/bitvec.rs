@@ -41,7 +41,10 @@ struct RawBitWords {
 
 impl From<BitWords> for RawBitWords {
     fn from(b: BitWords) -> Self {
-        RawBitWords { words: b.words, len: b.len }
+        RawBitWords {
+            words: b.words,
+            len: b.len,
+        }
     }
 }
 
@@ -60,7 +63,10 @@ impl TryFrom<RawBitWords> for BitWords {
                 raw.words.len()
             ));
         }
-        let mut out = BitWords { words: raw.words, len: raw.len };
+        let mut out = BitWords {
+            words: raw.words,
+            len: raw.len,
+        };
         out.mask_tail();
         Ok(out)
     }
@@ -139,7 +145,11 @@ impl BitWords {
     #[inline]
     #[must_use]
     pub fn get(&self, i: usize) -> bool {
-        assert!(i < self.len, "bit index {i} out of range for {} bits", self.len);
+        assert!(
+            i < self.len,
+            "bit index {i} out of range for {} bits",
+            self.len
+        );
         (self.words[i / 64] >> (i % 64)) & 1 == 1
     }
 
@@ -150,7 +160,11 @@ impl BitWords {
     /// Panics if `i >= self.len()`.
     #[inline]
     pub fn set(&mut self, i: usize, value: bool) {
-        assert!(i < self.len, "bit index {i} out of range for {} bits", self.len);
+        assert!(
+            i < self.len,
+            "bit index {i} out of range for {} bits",
+            self.len
+        );
         let mask = 1u64 << (i % 64);
         if value {
             self.words[i / 64] |= mask;
@@ -166,7 +180,11 @@ impl BitWords {
     /// Panics if `i >= self.len()`.
     #[inline]
     pub fn flip(&mut self, i: usize) {
-        assert!(i < self.len, "bit index {i} out of range for {} bits", self.len);
+        assert!(
+            i < self.len,
+            "bit index {i} out of range for {} bits",
+            self.len
+        );
         self.words[i / 64] ^= 1u64 << (i % 64);
     }
 
@@ -198,6 +216,38 @@ impl BitWords {
         let mut out = self.clone();
         out.xor_assign(other);
         out
+    }
+
+    /// Writes `self XOR other` into `out` without allocating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any of the three lengths differ.
+    pub fn xor_into(&self, other: &Self, out: &mut Self) {
+        assert_eq!(self.len, other.len, "length mismatch in xor");
+        assert_eq!(self.len, out.len, "length mismatch in xor output");
+        for (o, (a, b)) in out
+            .words
+            .iter_mut()
+            .zip(self.words.iter().zip(&other.words))
+        {
+            *o = a ^ b;
+        }
+    }
+
+    /// Overwrites `self` with a copy of `other` without allocating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ.
+    pub fn copy_from(&mut self, other: &Self) {
+        assert_eq!(self.len, other.len, "length mismatch in copy");
+        self.words.copy_from_slice(&other.words);
+    }
+
+    /// Clears every bit, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.words.iter_mut().for_each(|w| *w = 0);
     }
 
     /// Number of positions where `self` and `other` differ, without
@@ -244,7 +294,11 @@ impl BitWords {
             let bit = pos % 64;
             let avail_in_word = 64 - bit;
             let take = avail_in_word.min(avail_to_wrap).min(64 - filled);
-            let mask = if take == 64 { u64::MAX } else { (1u64 << take) - 1 };
+            let mask = if take == 64 {
+                u64::MAX
+            } else {
+                (1u64 << take) - 1
+            };
             let chunk = (self.words[word] >> bit) & mask;
             out |= chunk << filled;
             filled += take;
@@ -262,17 +316,30 @@ impl BitWords {
     /// This matches the HDC permutation `ρ_k(HV) = {HV[k..D-1], HV[0..k-1]}`.
     #[must_use]
     pub fn rotated(&self, k: usize) -> Self {
+        let mut out = Self::zeros(self.len);
+        self.rotated_into(k, &mut out);
+        out
+    }
+
+    /// Writes the circular left rotation by `k` bits into `out` without
+    /// allocating — the zero-alloc variant backing key derivation's
+    /// scratch-buffer reuse.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ.
+    pub fn rotated_into(&self, k: usize, out: &mut Self) {
+        assert_eq!(self.len, out.len, "length mismatch in rotate output");
         let k = k % self.len;
         if k == 0 {
-            return self.clone();
+            out.copy_from(self);
+            return;
         }
-        let mut out = Self::zeros(self.len);
         for wi in 0..out.words.len() {
             let start = (wi * 64 + k) % self.len;
             out.words[wi] = self.extract64(start);
         }
         out.mask_tail();
-        out
     }
 
     /// Zeroes the bits beyond `len` in the last word.
@@ -286,7 +353,10 @@ impl BitWords {
 
     /// Iterator over all bits, in index order.
     pub fn iter(&self) -> Iter<'_> {
-        Iter { bits: self, next: 0 }
+        Iter {
+            bits: self,
+            next: 0,
+        }
     }
 }
 
@@ -437,6 +507,35 @@ mod tests {
                 assert_eq!(r.get(i), b.get((i + k) % d), "k={k} i={i}");
             }
         }
+    }
+
+    #[test]
+    fn xor_into_matches_xor() {
+        let a = BitWords::from_fn(130, |i| i % 3 == 0);
+        let b = BitWords::from_fn(130, |i| i % 5 == 0);
+        let mut out = BitWords::zeros(130);
+        a.xor_into(&b, &mut out);
+        assert_eq!(out, a.xor(&b));
+    }
+
+    #[test]
+    fn rotated_into_matches_rotated() {
+        let a = BitWords::from_fn(130, |i| (i * 7) % 3 == 0);
+        let mut out = BitWords::zeros(130);
+        for k in [0, 1, 63, 64, 65, 129] {
+            a.rotated_into(k, &mut out);
+            assert_eq!(out, a.rotated(k), "k = {k}");
+        }
+    }
+
+    #[test]
+    fn copy_from_and_clear() {
+        let a = BitWords::from_fn(70, |i| i % 2 == 0);
+        let mut b = BitWords::zeros(70);
+        b.copy_from(&a);
+        assert_eq!(b, a);
+        b.clear();
+        assert_eq!(b.count_ones(), 0);
     }
 
     #[test]

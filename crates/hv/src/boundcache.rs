@@ -1,0 +1,148 @@
+//! Shared `(feature, level)` bound-pair cache for record-style encoders.
+//!
+//! Record-based encoding adds `FeaHV_i × ValHV_{f_i}` for every feature
+//! (paper Eq. 2). Batch encoders amortize the bind by precomputing all
+//! `N × M` bound pairs once; this helper owns that lazily-built cache
+//! and the row-accumulation loop, so the standard and the locked
+//! encoder share one implementation of the hot path (and a tie-policy
+//! or layout change can never make them diverge).
+
+use std::sync::OnceLock;
+
+use crate::binary::BinaryHv;
+use crate::bitslice::BitSliceAccumulator;
+use crate::level::LevelHvs;
+
+/// Lazily built cache of `FeaHV_i × ValHV_v` bound pairs, keyed
+/// `i·M + v`, plus the bit-sliced row-accumulation loop that consumes
+/// it (falling back to fused XOR accumulation while cold).
+#[derive(Debug, Default)]
+pub struct BoundPairCache {
+    cache: OnceLock<Vec<BinaryHv>>,
+}
+
+impl Clone for BoundPairCache {
+    /// Clones the cache contents (a clone of an encoder keeps its
+    /// warmed state).
+    fn clone(&self) -> Self {
+        let out = BoundPairCache::new();
+        if let Some(cache) = self.cache.get() {
+            let _ = out.cache.set(cache.clone());
+        }
+        out
+    }
+}
+
+impl BoundPairCache {
+    /// Creates an empty (cold) cache.
+    #[must_use]
+    pub fn new() -> Self {
+        BoundPairCache {
+            cache: OnceLock::new(),
+        }
+    }
+
+    /// Whether the cache has been built.
+    #[must_use]
+    pub fn is_warm(&self) -> bool {
+        self.cache.get().is_some()
+    }
+
+    /// Builds the `N × M` bound pairs once; later calls are free.
+    pub fn warm(&self, features: &[BinaryHv], values: &LevelHvs) {
+        let _ = self.cache.get_or_init(|| {
+            let m = values.m();
+            let mut cache = Vec::with_capacity(features.len() * m);
+            for fea in features {
+                for v in 0..m {
+                    cache.push(fea.bind(values.level(v)));
+                }
+            }
+            cache
+        });
+    }
+
+    /// Warms the cache only when a batch of `batch_len` rows amortizes
+    /// the `N × M` build cost (heuristic: at least `M` rows).
+    pub fn warm_for_batch(&self, features: &[BinaryHv], values: &LevelHvs, batch_len: usize) {
+        if batch_len >= values.m() {
+            self.warm(features, values);
+        }
+    }
+
+    /// Accumulates one quantized row into a (cleared) accumulator:
+    /// pre-bound adds when warm, fused XOR adds when cold. Bit-exact
+    /// either way.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a level index is out of range or dimensions disagree.
+    pub fn accumulate_row(
+        &self,
+        acc: &mut BitSliceAccumulator,
+        features: &[BinaryHv],
+        values: &LevelHvs,
+        levels: &[u16],
+    ) {
+        if let Some(cache) = self.cache.get() {
+            let m = values.m();
+            for (i, &lv) in levels.iter().enumerate() {
+                acc.add(&cache[i * m + usize::from(lv)]);
+            }
+        } else {
+            for (i, &lv) in levels.iter().enumerate() {
+                acc.add_bound_pair(values.level(usize::from(lv)), &features[i]);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::HvRng;
+
+    #[test]
+    fn warm_and_cold_paths_are_bit_identical() {
+        let mut rng = HvRng::from_seed(1);
+        let features = rng.orthogonal_pool(300, 5);
+        let values = LevelHvs::generate(&mut rng, 300, 4).unwrap();
+        let levels: Vec<u16> = vec![0, 3, 1, 2, 3];
+
+        let cold = BoundPairCache::new();
+        let mut acc_cold = BitSliceAccumulator::new(300);
+        cold.accumulate_row(&mut acc_cold, &features, &values, &levels);
+        assert!(!cold.is_warm());
+
+        let warm = BoundPairCache::new();
+        warm.warm(&features, &values);
+        assert!(warm.is_warm());
+        let mut acc_warm = BitSliceAccumulator::new(300);
+        warm.accumulate_row(&mut acc_warm, &features, &values, &levels);
+
+        assert_eq!(acc_cold.to_int(), acc_warm.to_int());
+    }
+
+    #[test]
+    fn warm_for_batch_respects_threshold() {
+        let mut rng = HvRng::from_seed(2);
+        let features = rng.orthogonal_pool(64, 3);
+        let values = LevelHvs::generate(&mut rng, 64, 4).unwrap();
+        let cache = BoundPairCache::new();
+        cache.warm_for_batch(&features, &values, 3);
+        assert!(!cache.is_warm(), "3 rows < M = 4 should stay cold");
+        cache.warm_for_batch(&features, &values, 4);
+        assert!(cache.is_warm());
+    }
+
+    #[test]
+    fn clone_preserves_warm_state() {
+        let mut rng = HvRng::from_seed(3);
+        let features = rng.orthogonal_pool(64, 2);
+        let values = LevelHvs::generate(&mut rng, 64, 2).unwrap();
+        let cache = BoundPairCache::new();
+        cache.warm(&features, &values);
+        assert!(cache.clone().is_warm());
+        assert!(!BoundPairCache::new().clone().is_warm());
+    }
+}

@@ -39,14 +39,18 @@ impl IntHv {
     #[must_use]
     pub fn zeros(dim: usize) -> Self {
         assert!(dim > 0, "hypervector dimension must be positive");
-        IntHv { values: vec![0; dim] }
+        IntHv {
+            values: vec![0; dim],
+        }
     }
 
     /// Builds a hypervector whose `i`-th entry is `f(i)`.
     #[must_use]
     pub fn from_fn(dim: usize, f: impl FnMut(usize) -> i32) -> Self {
         assert!(dim > 0, "hypervector dimension must be positive");
-        IntHv { values: (0..dim).map(f).collect() }
+        IntHv {
+            values: (0..dim).map(f).collect(),
+        }
     }
 
     /// Takes ownership of a value vector.
@@ -58,6 +62,39 @@ impl IntHv {
     pub fn from_values(values: Vec<i32>) -> Self {
         assert!(!values.is_empty(), "hypervector dimension must be positive");
         IntHv { values }
+    }
+
+    /// Widens bit-sliced bundle counters into bipolar sums: a bundle of
+    /// `total` vectors of which `neg_counts[d]` were −1 at dimension `d`
+    /// sums to `total − 2·neg_counts[d]` there.
+    ///
+    /// This is the bridge from
+    /// [`BitSliceAccumulator`](crate::BitSliceAccumulator) back to the
+    /// integer representation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `neg_counts` is empty or any count exceeds `total`.
+    #[must_use]
+    pub fn from_bundle_counts(total: usize, neg_counts: &[u32]) -> Self {
+        assert!(
+            !neg_counts.is_empty(),
+            "hypervector dimension must be positive"
+        );
+        let total = i64::try_from(total).expect("bundle count fits i64");
+        IntHv {
+            values: neg_counts
+                .iter()
+                .map(|&c| {
+                    let c = i64::from(c);
+                    assert!(
+                        c <= total,
+                        "negative count {c} exceeds bundle total {total}"
+                    );
+                    i32::try_from(total - 2 * c).expect("bundle sum fits i32")
+                })
+                .collect(),
+        }
     }
 
     /// Dimensionality `D`.
@@ -252,8 +289,14 @@ impl IntHv {
     /// Panics if dimensions differ.
     #[must_use]
     pub fn differing_indices(&self, other: &IntHv) -> Vec<usize> {
-        assert_eq!(self.dim(), other.dim(), "dimension mismatch in differing_indices");
-        (0..self.dim()).filter(|&i| self.values[i] != other.values[i]).collect()
+        assert_eq!(
+            self.dim(),
+            other.dim(),
+            "dimension mismatch in differing_indices"
+        );
+        (0..self.dim())
+            .filter(|&i| self.values[i] != other.values[i])
+            .collect()
     }
 }
 
@@ -348,6 +391,16 @@ mod tests {
         }
         // binding twice restores the original
         assert_eq!(bound.bind_binary(&hv), v);
+    }
+
+    #[test]
+    fn from_bundle_counts_recovers_sums() {
+        // 5 vectors; dimension d saw `d % 6` negatives.
+        let counts: Vec<u32> = (0..12).map(|d| (d % 6) as u32).collect();
+        let v = IntHv::from_bundle_counts(5, &counts);
+        for d in 0..12 {
+            assert_eq!(v.get(d), 5 - 2 * (d as i32 % 6));
+        }
     }
 
     #[test]

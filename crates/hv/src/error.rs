@@ -45,7 +45,10 @@ impl fmt::Display for HvError {
                 write!(f, "dimension mismatch: expected {expected}, found {found}")
             }
             HvError::TooFewLevels { requested } => {
-                write!(f, "level family needs at least 2 levels, requested {requested}")
+                write!(
+                    f,
+                    "level family needs at least 2 levels, requested {requested}"
+                )
             }
             HvError::DimensionTooSmall { dim, required } => {
                 write!(f, "dimension {dim} too small, need at least {required}")
@@ -66,7 +69,10 @@ mod tests {
 
     #[test]
     fn display_messages_are_lowercase_and_informative() {
-        let e = HvError::DimensionMismatch { expected: 10, found: 4 };
+        let e = HvError::DimensionMismatch {
+            expected: 10,
+            found: 4,
+        };
         assert_eq!(e.to_string(), "dimension mismatch: expected 10, found 4");
         let e = HvError::TooFewLevels { requested: 1 };
         assert!(e.to_string().contains("at least 2"));

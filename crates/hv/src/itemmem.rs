@@ -59,7 +59,10 @@ impl ItemMemory {
     #[must_use]
     pub fn new(dim: usize) -> Self {
         assert!(dim > 0, "item memory dimension must be positive");
-        ItemMemory { rows: Vec::new(), dim }
+        ItemMemory {
+            rows: Vec::new(),
+            dim,
+        }
     }
 
     /// Creates a memory of `count` random (quasi-orthogonal) rows.
@@ -83,7 +86,10 @@ impl ItemMemory {
         let dim = first.dim();
         for r in &rows {
             if r.dim() != dim {
-                return Err(HvError::DimensionMismatch { expected: dim, found: r.dim() });
+                return Err(HvError::DimensionMismatch {
+                    expected: dim,
+                    found: r.dim(),
+                });
             }
         }
         Ok(ItemMemory { rows, dim })
@@ -97,7 +103,10 @@ impl ItemMemory {
     /// dimension.
     pub fn push(&mut self, hv: BinaryHv) -> Result<(), HvError> {
         if hv.dim() != self.dim {
-            return Err(HvError::DimensionMismatch { expected: self.dim, found: hv.dim() });
+            return Err(HvError::DimensionMismatch {
+                expected: self.dim,
+                found: hv.dim(),
+            });
         }
         self.rows.push(hv);
         Ok(())
@@ -127,7 +136,10 @@ impl ItemMemory {
     ///
     /// Returns [`HvError::IndexOutOfRange`] for an invalid index.
     pub fn get(&self, i: usize) -> Result<&BinaryHv, HvError> {
-        self.rows.get(i).ok_or(HvError::IndexOutOfRange { index: i, len: self.rows.len() })
+        self.rows.get(i).ok_or(HvError::IndexOutOfRange {
+            index: i,
+            len: self.rows.len(),
+        })
     }
 
     /// All rows in order.
@@ -153,7 +165,10 @@ impl ItemMemory {
             return Err(HvError::EmptyInput);
         }
         if query.dim() != self.dim {
-            return Err(HvError::DimensionMismatch { expected: self.dim, found: query.dim() });
+            return Err(HvError::DimensionMismatch {
+                expected: self.dim,
+                found: query.dim(),
+            });
         }
         let mut best = (0usize, usize::MAX);
         for (i, row) in self.rows.iter().enumerate() {
@@ -195,7 +210,13 @@ impl ItemMemory {
     pub fn shuffled(&self, rng: &mut HvRng) -> (ItemMemory, Vec<usize>) {
         let perm = rng.shuffled_indices(self.rows.len());
         let rows = perm.iter().map(|&i| self.rows[i].clone()).collect();
-        (ItemMemory { rows, dim: self.dim }, perm)
+        (
+            ItemMemory {
+                rows,
+                dim: self.dim,
+            },
+            perm,
+        )
     }
 }
 
@@ -230,7 +251,10 @@ mod tests {
         let mut mem = ItemMemory::new(64);
         assert_eq!(
             mem.push(rng.binary_hv(65)).unwrap_err(),
-            HvError::DimensionMismatch { expected: 64, found: 65 }
+            HvError::DimensionMismatch {
+                expected: 64,
+                found: 65
+            }
         );
     }
 

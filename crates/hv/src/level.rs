@@ -69,7 +69,10 @@ impl LevelHvs {
             return Err(HvError::TooFewLevels { requested: m });
         }
         if dim / 2 < m - 1 {
-            return Err(HvError::DimensionTooSmall { dim, required: 2 * (m - 1) });
+            return Err(HvError::DimensionTooSmall {
+                dim,
+                required: 2 * (m - 1),
+            });
         }
         let base = rng.binary_hv(dim);
         let order = rng.shuffled_indices(dim);
@@ -137,12 +140,17 @@ impl LevelHvs {
     /// [`HvError::DimensionMismatch`] if dimensions disagree.
     pub fn from_levels(levels: Vec<BinaryHv>) -> Result<Self, HvError> {
         if levels.len() < 2 {
-            return Err(HvError::TooFewLevels { requested: levels.len() });
+            return Err(HvError::TooFewLevels {
+                requested: levels.len(),
+            });
         }
         let dim = levels[0].dim();
         for hv in &levels {
             if hv.dim() != dim {
-                return Err(HvError::DimensionMismatch { expected: dim, found: hv.dim() });
+                return Err(HvError::DimensionMismatch {
+                    expected: dim,
+                    found: hv.dim(),
+                });
             }
         }
         Ok(LevelHvs { levels })

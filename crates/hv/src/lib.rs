@@ -21,6 +21,33 @@
 //! hypervectors with associative lookup, and [`Similarity`] selects the
 //! Hamming/cosine comparison used by binary/non-binary models.
 //!
+//! ## The word-parallel encoding engine
+//!
+//! Bundling through an [`IntHv`] costs one scalar add per dimension per
+//! vector. [`BitSliceAccumulator`] removes that bottleneck by storing
+//! the per-dimension counters *bit-sliced*: counter bit `p` of all `D`
+//! dimensions is one packed `u64` plane, and adding a (possibly bound)
+//! hypervector is a ripple-carry increment over planes — whole-word
+//! `AND`/`XOR` instead of 64 scalar adds, with amortized ~2 word
+//! operations per add. The engine is **bit-exact** with the scalar
+//! path by construction:
+//!
+//! * **Layout** — `planes[p][w]` is bit `p` of the counters for
+//!   dimensions `64·w..64·w+63`; the bipolar sum at dimension `d` is
+//!   `count − 2·c_d` where `c_d` counts −1 contributions.
+//! * **Tie policy** — binarization maps a zero sum to +1
+//!   (`majority_ties_positive`), or consumes one `rng.coin()` per tied
+//!   dimension in ascending dimension order (`majority_with`), exactly
+//!   matching [`IntHv::sign_ties_positive`] / [`IntHv::sign_with`].
+//! * **Scratch-buffer contract** — accumulators are `clear()`ed and
+//!   reused between samples; `rotated_into` / `bind_into` /
+//!   `xor_into` write into caller-owned buffers, so steady-state batch
+//!   encoding performs no per-sample allocation beyond its outputs.
+//!
+//! Batch work fans out per chunk (not per sample) with [`par`], giving
+//! each worker private scratch state; `HYPERVEC_THREADS` pins the
+//! worker count.
+//!
 //! ## Example
 //!
 //! ```
@@ -45,17 +72,22 @@
 
 pub mod accumulator;
 pub mod binary;
+pub mod bitslice;
 pub mod bitvec;
+pub mod boundcache;
 pub mod dense;
 pub mod error;
 pub mod itemmem;
 pub mod level;
+pub mod par;
 pub mod perm;
 pub mod rng;
 pub mod sim;
 
 pub use accumulator::BundleAccumulator;
 pub use binary::BinaryHv;
+pub use bitslice::BitSliceAccumulator;
+pub use boundcache::BoundPairCache;
 pub use dense::IntHv;
 pub use error::HvError;
 pub use itemmem::ItemMemory;

@@ -1,0 +1,99 @@
+//! Chunked fork-join parallelism over scoped threads.
+//!
+//! The batch encoding engine parallelizes at *chunk* granularity: each
+//! worker owns a contiguous index range and its own scratch state (a
+//! [`BitSliceAccumulator`](crate::BitSliceAccumulator), derivation
+//! buffers, …), so the hot loop allocates nothing and shares nothing.
+//! This module provides that split on plain `std::thread::scope` —
+//! no external thread-pool dependency, deterministic output order.
+//!
+//! The worker count defaults to the machine's available parallelism and
+//! can be pinned with the `HYPERVEC_THREADS` environment variable
+//! (benchmarks use it to report single- vs multi-thread throughput).
+
+/// Maximum worker threads: `HYPERVEC_THREADS` if set and positive,
+/// otherwise the machine's available parallelism.
+#[must_use]
+pub fn max_threads() -> usize {
+    if let Ok(v) = std::env::var("HYPERVEC_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    // `available_parallelism` reads cgroup quota files on Linux — far
+    // too expensive to query on every small batch, so cache it.
+    static AVAILABLE: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *AVAILABLE
+        .get_or_init(|| std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get))
+}
+
+/// Maps each chunk of `0..n_items` through `f` on its own worker and
+/// concatenates the per-chunk outputs in index order.
+///
+/// `f` receives a contiguous index range and returns the outputs for
+/// exactly that range, so results are position-stable regardless of the
+/// worker count. Chunks never shrink below `min_chunk` items; with one
+/// worker (or few items) everything runs inline on the caller's thread.
+pub fn par_chunk_map<T, F>(n_items: usize, min_chunk: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(std::ops::Range<usize>) -> Vec<T> + Sync,
+{
+    let min_chunk = min_chunk.max(1);
+    let workers = max_threads().min(n_items.div_ceil(min_chunk)).max(1);
+    if workers == 1 || n_items == 0 {
+        return f(0..n_items);
+    }
+    // Split into `workers` near-equal contiguous ranges.
+    let base = n_items / workers;
+    let extra = n_items % workers;
+    let mut ranges = Vec::with_capacity(workers);
+    let mut start = 0;
+    for w in 0..workers {
+        let len = base + usize::from(w < extra);
+        ranges.push(start..start + len);
+        start += len;
+    }
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = ranges.into_iter().map(|r| scope.spawn(|| f(r))).collect();
+        let mut out = Vec::with_capacity(n_items);
+        for handle in handles {
+            out.extend(handle.join().expect("parallel chunk worker panicked"));
+        }
+        out
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn output_order_is_stable() {
+        let out = par_chunk_map(1000, 1, |r| r.map(|i| i * 2).collect());
+        assert_eq!(out.len(), 1000);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i * 2);
+        }
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let out: Vec<usize> = par_chunk_map(0, 8, |r| r.collect());
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn small_inputs_run_inline() {
+        // n_items < min_chunk forces the single-worker path.
+        let out = par_chunk_map(3, 64, |r| r.map(|i| i + 1).collect());
+        assert_eq!(out, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn max_threads_is_positive() {
+        assert!(max_threads() >= 1);
+    }
+}

@@ -43,7 +43,9 @@ impl Permutation {
     #[must_use]
     pub fn identity(dim: usize) -> Self {
         assert!(dim > 0, "permutation dimension must be positive");
-        Permutation { table: (0..dim).collect() }
+        Permutation {
+            table: (0..dim).collect(),
+        }
     }
 
     /// The circular left rotation by `k`: `out[i] = in[(i + k) mod dim]`.
@@ -54,13 +56,17 @@ impl Permutation {
     #[must_use]
     pub fn rotation(dim: usize, k: usize) -> Self {
         assert!(dim > 0, "permutation dimension must be positive");
-        Permutation { table: (0..dim).map(|i| (i + k) % dim).collect() }
+        Permutation {
+            table: (0..dim).map(|i| (i + k) % dim).collect(),
+        }
     }
 
     /// A uniformly random permutation.
     #[must_use]
     pub fn random(rng: &mut HvRng, dim: usize) -> Self {
-        Permutation { table: rng.shuffled_indices(dim) }
+        Permutation {
+            table: rng.shuffled_indices(dim),
+        }
     }
 
     /// Validates and wraps an explicit source-index table.
@@ -121,7 +127,9 @@ impl Permutation {
     #[must_use]
     pub fn compose(&self, other: &Self) -> Self {
         assert_eq!(self.dim(), other.dim(), "dimension mismatch in composition");
-        Permutation { table: self.table.iter().map(|&i| other.table[i]).collect() }
+        Permutation {
+            table: self.table.iter().map(|&i| other.table[i]).collect(),
+        }
     }
 
     /// Source index feeding destination `i`.
@@ -151,7 +159,11 @@ mod tests {
         let mut rng = HvRng::from_seed(2);
         let hv = rng.binary_hv(130);
         for k in [0, 1, 63, 64, 65, 129] {
-            assert_eq!(Permutation::rotation(130, k).apply(&hv), hv.rotated(k), "k={k}");
+            assert_eq!(
+                Permutation::rotation(130, k).apply(&hv),
+                hv.rotated(k),
+                "k={k}"
+            );
         }
     }
 

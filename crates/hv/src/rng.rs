@@ -3,9 +3,10 @@
 //! Every stochastic choice in the workspace (hypervector generation,
 //! `sign(0)` tie-breaking, key sampling, dataset synthesis) flows through
 //! an [`HvRng`] so any experiment can be replayed bit-for-bit from a seed.
-
-use rand::rngs::StdRng;
-use rand::{Rng, RngCore, SeedableRng};
+//!
+//! The generator is a self-contained xoshiro256++ seeded through
+//! splitmix64 — no external crates, so the stream is stable across
+//! toolchains and the workspace builds fully offline.
 
 use crate::bitvec::BitWords;
 use crate::BinaryHv;
@@ -23,14 +24,26 @@ use crate::BinaryHv;
 /// ```
 #[derive(Debug, Clone)]
 pub struct HvRng {
-    inner: StdRng,
+    state: [u64; 4],
 }
 
 impl HvRng {
     /// Creates a generator from a 64-bit seed.
     #[must_use]
     pub fn from_seed(seed: u64) -> Self {
-        HvRng { inner: StdRng::seed_from_u64(seed) }
+        // Expand the seed through splitmix64, as the xoshiro authors
+        // recommend, so nearby seeds give unrelated streams.
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        HvRng {
+            state: [next(), next(), next(), next()],
+        }
     }
 
     /// Derives an independent substream.
@@ -40,9 +53,36 @@ impl HvRng {
     /// adding draws to one component does not perturb the others.
     #[must_use]
     pub fn fork(&mut self, stream: u64) -> Self {
-        let base: u64 = self.inner.gen();
-        HvRng {
-            inner: StdRng::seed_from_u64(base ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+        let base = self.next_u64();
+        HvRng::from_seed(base ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+
+    /// Next raw 64-bit draw (xoshiro256++).
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let [s0, s1, s2, s3] = self.state;
+        let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+        let t = s1 << 17;
+        let mut s2 = s2 ^ s0;
+        let s3b = s3 ^ s1;
+        let s1 = s1 ^ s2;
+        let s0 = s0 ^ s3b;
+        s2 ^= t;
+        self.state = [s0, s1, s2, s3b.rotate_left(45)];
+        result
+    }
+
+    /// Next raw 32-bit draw.
+    #[inline]
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Fills a byte slice with random data.
+    pub fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
         }
     }
 
@@ -53,7 +93,7 @@ impl HvRng {
     /// Panics if `dim == 0`.
     #[must_use]
     pub fn binary_hv(&mut self, dim: usize) -> BinaryHv {
-        let words = (0..dim.div_ceil(64)).map(|_| self.inner.gen::<u64>()).collect();
+        let words = (0..dim.div_ceil(64)).map(|_| self.next_u64()).collect();
         BinaryHv::from_bits(BitWords::from_words(words, dim))
     }
 
@@ -76,27 +116,42 @@ impl HvRng {
     #[must_use]
     pub fn index(&mut self, bound: usize) -> usize {
         assert!(bound > 0, "index bound must be positive");
-        self.inner.gen_range(0..bound)
+        // Lemire's unbiased multiply-shift rejection sampling.
+        let bound = bound as u64;
+        loop {
+            let x = self.next_u64();
+            let m = u128::from(x) * u128::from(bound);
+            let low = m as u64;
+            if low >= bound && low < bound.wrapping_neg() {
+                // Fast path once the draw is clearly unbiased.
+                return (m >> 64) as usize;
+            }
+            let threshold = bound.wrapping_neg() % bound;
+            if low >= threshold {
+                return (m >> 64) as usize;
+            }
+        }
     }
 
     /// Samples a uniform `f64` in `[0, 1)`.
     #[must_use]
     pub fn unit_f64(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Samples a standard normal via Box–Muller.
     #[must_use]
     pub fn normal(&mut self) -> f64 {
-        let u1: f64 = self.inner.gen_range(f64::MIN_POSITIVE..1.0);
-        let u2: f64 = self.inner.gen();
+        // u1 in (0, 1] so the logarithm is finite.
+        let u1 = ((self.next_u64() >> 11) + 1) as f64 * (1.0 / (1u64 << 53) as f64);
+        let u2 = self.unit_f64();
         (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
     }
 
     /// Returns a random boolean (used for `sign(0)` tie-breaking).
     #[must_use]
     pub fn coin(&mut self) -> bool {
-        self.inner.gen()
+        self.next_u64() & 1 == 1
     }
 
     /// Returns `0..n` in a uniformly random order (Fisher–Yates).
@@ -104,28 +159,10 @@ impl HvRng {
     pub fn shuffled_indices(&mut self, n: usize) -> Vec<usize> {
         let mut v: Vec<usize> = (0..n).collect();
         for i in (1..n).rev() {
-            let j = self.inner.gen_range(0..=i);
+            let j = self.index(i + 1);
             v.swap(i, j);
         }
         v
-    }
-}
-
-impl RngCore for HvRng {
-    fn next_u32(&mut self) -> u32 {
-        self.inner.next_u32()
-    }
-
-    fn next_u64(&mut self) -> u64 {
-        self.inner.next_u64()
-    }
-
-    fn fill_bytes(&mut self, dest: &mut [u8]) {
-        self.inner.fill_bytes(dest);
-    }
-
-    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
-        self.inner.try_fill_bytes(dest)
     }
 }
 
@@ -181,6 +218,19 @@ mod tests {
     }
 
     #[test]
+    fn index_stays_in_bounds_and_covers() {
+        let mut rng = HvRng::from_seed(23);
+        let mut seen = [false; 7];
+        for _ in 0..500 {
+            seen[rng.index(7)] = true;
+        }
+        assert!(
+            seen.iter().all(|&s| s),
+            "all residues should appear: {seen:?}"
+        );
+    }
+
+    #[test]
     fn shuffled_indices_is_a_permutation() {
         let mut rng = HvRng::from_seed(13);
         let mut p = rng.shuffled_indices(100);
@@ -197,5 +247,14 @@ mod tests {
         let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
         assert!(mean.abs() < 0.05, "mean {mean}");
         assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn fill_bytes_fills_every_byte_eventually() {
+        let mut rng = HvRng::from_seed(29);
+        let mut buf = [0u8; 13];
+        rng.fill_bytes(&mut buf);
+        // 13 zero bytes has probability 2^-104; any nonzero byte passes.
+        assert!(buf.iter().any(|&b| b != 0));
     }
 }

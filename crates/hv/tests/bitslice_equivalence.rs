@@ -1,0 +1,115 @@
+//! Property tests: the word-parallel [`BitSliceAccumulator`] is
+//! bit-identical to the scalar [`BundleAccumulator`] — full hypervector
+//! equality, not just similarity — across random dimensions (including
+//! non-word-aligned ones like 130 and the paper-scale 10 000), bundle
+//! sizes, tie policies and scratch-buffer reuse.
+
+use hypervec::{BinaryHv, BitSliceAccumulator, BundleAccumulator, HvRng};
+use proptest::prelude::*;
+
+/// Dimensions that exercise word boundaries and paper scale.
+fn dims() -> impl Strategy<Value = usize> {
+    prop_oneof![
+        1usize..=4,
+        60usize..=70,
+        Just(130),
+        120usize..=132,
+        Just(1000),
+        Just(10_000)
+    ]
+}
+
+/// Builds the same bundle through both accumulators.
+fn filled_pair(dim: usize, n: usize, seed: u64) -> (BitSliceAccumulator, BundleAccumulator) {
+    let mut rng = HvRng::from_seed(seed);
+    let mut fast = BitSliceAccumulator::new(dim);
+    let mut slow = BundleAccumulator::new(dim);
+    for _ in 0..n {
+        let hv = rng.binary_hv(dim);
+        fast.add(&hv);
+        slow.add(&hv);
+    }
+    (fast, slow)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn integer_sums_are_bit_identical(d in dims(), n in 0usize..=33, seed in any::<u64>()) {
+        let (fast, slow) = filled_pair(d, n, seed);
+        prop_assert_eq!(fast.to_int(), slow.sums().clone());
+        prop_assert_eq!(fast.count(), slow.count());
+    }
+
+    #[test]
+    fn deterministic_majority_is_bit_identical(d in dims(), n in 0usize..=33, seed in any::<u64>()) {
+        let (fast, slow) = filled_pair(d, n, seed);
+        prop_assert_eq!(fast.majority_ties_positive(), slow.majority_ties_positive());
+    }
+
+    #[test]
+    fn random_tie_majority_consumes_identical_coin_stream(
+        d in dims(),
+        n in 0usize..=16,
+        seed in any::<u64>(),
+        tie_seed in any::<u64>(),
+    ) {
+        // Even counts produce real ties; both paths must resolve them
+        // from the same rng draws AND leave the stream in the same state.
+        let n = n * 2;
+        let (fast, slow) = filled_pair(d, n, seed);
+        let mut rng_fast = HvRng::from_seed(tie_seed);
+        let mut rng_slow = HvRng::from_seed(tie_seed);
+        prop_assert_eq!(fast.majority_with(&mut rng_fast), slow.majority_with(&mut rng_slow));
+        prop_assert_eq!(rng_fast.next_u64(), rng_slow.next_u64());
+    }
+
+    #[test]
+    fn bound_pair_accumulation_is_bit_identical(d in dims(), n in 1usize..=17, seed in any::<u64>()) {
+        let mut rng = HvRng::from_seed(seed);
+        let mut fast = BitSliceAccumulator::new(d);
+        let mut slow = BundleAccumulator::new(d);
+        for _ in 0..n {
+            let a = rng.binary_hv(d);
+            let b = rng.binary_hv(d);
+            fast.add_bound_pair(&a, &b);
+            slow.add_bound_pair(&a, &b);
+        }
+        prop_assert_eq!(fast.to_int(), slow.sums().clone());
+        prop_assert_eq!(fast.majority_ties_positive(), slow.majority_ties_positive());
+    }
+
+    #[test]
+    fn cleared_accumulator_behaves_like_fresh(d in dims(), n in 1usize..=12, seed in any::<u64>()) {
+        // Scratch-buffer contract: clear() + reuse must be indistinguishable
+        // from a newly allocated accumulator.
+        let mut rng = HvRng::from_seed(seed);
+        let (mut reused, _) = filled_pair(d, n, seed ^ 0xABCD);
+        reused.clear();
+        let mut fresh = BitSliceAccumulator::new(d);
+        for _ in 0..n {
+            let hv = rng.binary_hv(d);
+            reused.add(&hv);
+            fresh.add(&hv);
+        }
+        prop_assert_eq!(reused.to_int(), fresh.to_int());
+    }
+
+    #[test]
+    fn counts_match_per_dimension_negatives(d in dims(), n in 0usize..=20, seed in any::<u64>()) {
+        let mut rng = HvRng::from_seed(seed);
+        let mut fast = BitSliceAccumulator::new(d);
+        let mut naive = vec![0u32; d];
+        for _ in 0..n {
+            let hv: BinaryHv = rng.binary_hv(d);
+            fast.add(&hv);
+            for (dim, count) in naive.iter_mut().enumerate() {
+                if hv.polarity(dim) < 0 {
+                    *count += 1;
+                }
+            }
+        }
+        prop_assert_eq!(fast.counts(), naive);
+    }
+}

@@ -6,7 +6,13 @@ use proptest::prelude::*;
 
 /// Strategy: a dimension that exercises word boundaries.
 fn dims() -> impl Strategy<Value = usize> {
-    prop_oneof![1usize..=4, 60usize..=70, 120usize..=132, Just(1000), Just(10_000)]
+    prop_oneof![
+        1usize..=4,
+        60usize..=70,
+        120usize..=132,
+        Just(1000),
+        Just(10_000)
+    ]
 }
 
 fn hv_pair() -> impl Strategy<Value = (BinaryHv, BinaryHv, u64)> {

@@ -91,7 +91,11 @@ mod tests {
         let large = estimate_area(&cfg, 784, 800);
         assert!(large.brams > small.brams);
         // 800 × 10000 bits / 36 kb ≈ 218 tiles
-        assert!((200..=240).contains(&large.brams), "brams = {}", large.brams);
+        assert!(
+            (200..=240).contains(&large.brams),
+            "brams = {}",
+            large.brams
+        );
     }
 
     #[test]
@@ -106,8 +110,23 @@ mod tests {
 
     #[test]
     fn plus_adds_fields() {
-        let a = AreaEstimate { luts: 1, ffs: 2, brams: 3 };
-        let b = AreaEstimate { luts: 10, ffs: 20, brams: 30 };
-        assert_eq!(a.plus(b), AreaEstimate { luts: 11, ffs: 22, brams: 33 });
+        let a = AreaEstimate {
+            luts: 1,
+            ffs: 2,
+            brams: 3,
+        };
+        let b = AreaEstimate {
+            luts: 10,
+            ffs: 20,
+            brams: 30,
+        };
+        assert_eq!(
+            a.plus(b),
+            AreaEstimate {
+                luts: 11,
+                ffs: 22,
+                brams: 33
+            }
+        );
     }
 }

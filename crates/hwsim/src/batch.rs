@@ -90,7 +90,10 @@ mod tests {
         let l1 = simulate_batch(&cfg, 784, 1, 50).cycles_per_sample;
         let l2 = simulate_batch(&cfg, 784, 2, 50).cycles_per_sample;
         let r = l2 / l1;
-        assert!((r - 1.21).abs() < 0.05, "steady-state L=2 relative cost {r}");
+        assert!(
+            (r - 1.21).abs() < 0.05,
+            "steady-state L=2 relative cost {r}"
+        );
     }
 
     #[test]

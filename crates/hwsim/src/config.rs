@@ -125,7 +125,10 @@ mod tests {
     fn calibration_gives_21_percent_per_layer() {
         let cfg = HwConfig::zynq_default();
         let per_layer = cfg.bind_beats() as f64 / cfg.acc_beats() as f64;
-        assert!((per_layer - 0.21).abs() < 0.02, "per-layer overhead {per_layer}");
+        assert!(
+            (per_layer - 0.21).abs() < 0.02,
+            "per-layer overhead {per_layer}"
+        );
     }
 
     #[test]

@@ -163,11 +163,17 @@ mod tests {
         let r2 = l2 / l1;
         let r3 = l3 / l1;
         let r5 = l5 / l1;
-        assert!((r2 - 1.21).abs() < 0.05, "L=2 relative time {r2}, paper reports 1.21");
+        assert!(
+            (r2 - 1.21).abs() < 0.05,
+            "L=2 relative time {r2}, paper reports 1.21"
+        );
         // linear growth: equal increments per layer
         let inc23 = r3 - r2;
         let inc25 = (r5 - r2) / 3.0;
-        assert!((inc23 - inc25).abs() < 0.01, "growth not linear: {inc23} vs {inc25}");
+        assert!(
+            (inc23 - inc25).abs() < 0.01,
+            "growth not linear: {inc23} vs {inc25}"
+        );
         assert!(r5 > r3 && r3 > r2);
     }
 

@@ -33,9 +33,18 @@ pub fn relative_encoding_times(
     let baseline = simulate_encode(config, n_features, 1).total_cycles as f64;
     let points = layers
         .iter()
-        .map(|&l| (l, simulate_encode(config, n_features, l).total_cycles as f64 / baseline))
+        .map(|&l| {
+            (
+                l,
+                simulate_encode(config, n_features, l).total_cycles as f64 / baseline,
+            )
+        })
         .collect();
-    RelativeTimeSeries { name: name.to_owned(), n_features, points }
+    RelativeTimeSeries {
+        name: name.to_owned(),
+        n_features,
+        points,
+    }
 }
 
 /// Converts a cycle count to microseconds at `freq_mhz`.

@@ -20,7 +20,11 @@ impl FuncUnit {
     /// Creates an idle unit.
     #[must_use]
     pub fn new(name: &'static str) -> Self {
-        FuncUnit { name, next_free: 0, busy_cycles: 0 }
+        FuncUnit {
+            name,
+            next_free: 0,
+            busy_cycles: 0,
+        }
     }
 
     /// Unit name (for reports).
@@ -72,7 +76,11 @@ impl StreamMemory {
     #[must_use]
     pub fn new(ports: usize, latency: u64) -> Self {
         assert!(ports > 0, "need at least one memory port");
-        StreamMemory { ports: vec![0; ports], latency, served_streams: 0 }
+        StreamMemory {
+            ports: vec![0; ports],
+            latency,
+            served_streams: 0,
+        }
     }
 
     /// Read latency in cycles.

@@ -36,11 +36,7 @@ pub struct SearchReport {
 ///
 /// Panics on invalid configuration, `n_classes == 0` or `lanes == 0`.
 #[must_use]
-pub fn simulate_search(
-    config: &HwConfig,
-    n_classes: usize,
-    lanes: usize,
-) -> SearchReport {
+pub fn simulate_search(config: &HwConfig, n_classes: usize, lanes: usize) -> SearchReport {
     config.validate().expect("invalid hardware configuration");
     assert!(n_classes > 0, "need at least one class");
     assert!(lanes > 0, "need at least one comparator lane");
@@ -50,7 +46,11 @@ pub fn simulate_search(
     let (_, end) = unit.reserve(config.mem_latency, passes * beats);
     // Argmin reduction over n_classes distances: log2 depth.
     let argmin_depth = (usize::BITS - (n_classes - 1).leading_zeros()) as u64;
-    SearchReport { total_cycles: end + argmin_depth, n_classes, lanes }
+    SearchReport {
+        total_cycles: end + argmin_depth,
+        n_classes,
+        lanes,
+    }
 }
 
 /// End-to-end single-query inference latency: encode then search.

@@ -27,7 +27,9 @@ impl ClassMemory {
         assert!(n_classes > 0, "need at least one class");
         ClassMemory {
             kind,
-            accs: (0..n_classes).map(|_| BundleAccumulator::new(dim)).collect(),
+            accs: (0..n_classes)
+                .map(|_| BundleAccumulator::new(dim))
+                .collect(),
             bins: (0..n_classes).map(|_| BinaryHv::ones(dim)).collect(),
         }
     }

@@ -98,7 +98,10 @@ mod tests {
 
     #[test]
     fn builders_update_fields() {
-        let c = HdcConfig::paper_default().with_dim(2048).with_kind(ModelKind::NonBinary).with_seed(7);
+        let c = HdcConfig::paper_default()
+            .with_dim(2048)
+            .with_kind(ModelKind::NonBinary)
+            .with_seed(7);
         assert_eq!(c.dim, 2048);
         assert_eq!(c.kind, ModelKind::NonBinary);
         assert_eq!(c.seed, 7);

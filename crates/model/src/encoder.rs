@@ -4,8 +4,20 @@
 //! (paper Eq. 2/3) and HDLock's locked encoder (Eq. 10) are
 //! interchangeable everywhere — training, inference, and the attack
 //! oracle.
+//!
+//! Encoding is the system's hot path: training touches every sample
+//! `1 + epochs` times and the attack-cost analysis is bounded by
+//! encode+compare throughput. Both built-in encoders therefore run on
+//! the word-parallel engine ([`BitSliceAccumulator`]) and expose batch
+//! entry points ([`Encoder::encode_batch_binary`] /
+//! [`Encoder::encode_batch_int`]) that fan samples out per chunk with
+//! per-worker scratch state. The engine is bit-exact with the scalar
+//! reference path ([`RecordEncoder::encode_int_scalar`]), which is kept
+//! for validation and as the benchmark baseline.
 
-use hypervec::{BinaryHv, HvError, HvRng, IntHv, ItemMemory, LevelHvs};
+use hypervec::{
+    par, BinaryHv, BitSliceAccumulator, BoundPairCache, HvError, HvRng, IntHv, ItemMemory, LevelHvs,
+};
 
 /// An HDC encoding module mapping a quantized feature row (level indices
 /// `0..m_levels` per feature) to a hypervector.
@@ -41,6 +53,41 @@ pub trait Encoder {
         self.encode_int(levels).sign_ties_positive()
     }
 
+    /// Encodes a batch of rows to binary hypervectors.
+    ///
+    /// The default implementation chunks the batch across worker threads
+    /// (see [`hypervec::par`]) and encodes row-by-row; implementations
+    /// with cheaper batch strategies (cached bound pairs, reusable
+    /// accumulators) override it. Output order matches input order and
+    /// every element is bit-exact with [`Encoder::encode_binary`].
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Encoder::encode_binary`], for any row.
+    fn encode_batch_binary(&self, rows: &[&[u16]]) -> Vec<BinaryHv>
+    where
+        Self: Sync,
+    {
+        par::par_chunk_map(rows.len(), 8, |range| {
+            range.map(|r| self.encode_binary(rows[r])).collect()
+        })
+    }
+
+    /// Encodes a batch of rows to integer hypervectors; the non-binary
+    /// sibling of [`Encoder::encode_batch_binary`].
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Encoder::encode_int`], for any row.
+    fn encode_batch_int(&self, rows: &[&[u16]]) -> Vec<IntHv>
+    where
+        Self: Sync,
+    {
+        par::par_chunk_map(rows.len(), 8, |range| {
+            range.map(|r| self.encode_int(rows[r])).collect()
+        })
+    }
+
     /// The effective feature hypervector for feature `i` — the vector
     /// that multiplies `ValHV_{f_i}` in the encoding sum. For the
     /// standard encoder this is a stored row; for HDLock it is derived
@@ -71,6 +118,10 @@ pub trait Encoder {
 pub struct RecordEncoder {
     features: ItemMemory,
     values: LevelHvs,
+    /// Shared lazily-built `(feature, level)` bound-pair cache; batch
+    /// encoding warms it once and every subsequent add is a single
+    /// pre-bound vector.
+    bound_cache: BoundPairCache,
 }
 
 impl RecordEncoder {
@@ -87,7 +138,11 @@ impl RecordEncoder {
     ) -> Result<Self, HvError> {
         let features = ItemMemory::random(rng, dim, n_features);
         let values = LevelHvs::generate(rng, dim, m_levels)?;
-        Ok(RecordEncoder { features, values })
+        Ok(RecordEncoder {
+            features,
+            values,
+            bound_cache: BoundPairCache::new(),
+        })
     }
 
     /// Builds an encoder from existing memories (e.g. hypervectors
@@ -107,7 +162,11 @@ impl RecordEncoder {
                 found: values.dim(),
             });
         }
-        Ok(RecordEncoder { features, values })
+        Ok(RecordEncoder {
+            features,
+            values,
+            bound_cache: BoundPairCache::new(),
+        })
     }
 
     /// The feature item memory.
@@ -120,6 +179,58 @@ impl RecordEncoder {
     #[must_use]
     pub fn values(&self) -> &LevelHvs {
         &self.values
+    }
+
+    /// Reference scalar implementation of Eq. 2: one `i32` add per
+    /// dimension per feature, no word-parallel tricks. Kept as the
+    /// validation target the engine must be bit-exact against, and as
+    /// the benchmark baseline.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Encoder::encode_int`].
+    #[must_use]
+    pub fn encode_int_scalar(&self, levels: &[u16]) -> IntHv {
+        self.check_row(levels);
+        let mut acc = IntHv::zeros(self.dim());
+        for (i, &lv) in levels.iter().enumerate() {
+            let fea = self.features.get(i).expect("index bounded by n_features");
+            acc.add_bound_pair(self.values.level(usize::from(lv)), fea);
+        }
+        acc
+    }
+
+    /// Accumulates one row into a (cleared) bit-sliced accumulator via
+    /// the shared bound-pair cache (pre-bound adds when warm, fused
+    /// XOR adds when cold).
+    fn accumulate_row(&self, acc: &mut BitSliceAccumulator, levels: &[u16]) {
+        self.bound_cache
+            .accumulate_row(acc, self.features.rows(), &self.values, levels);
+    }
+
+    /// Shared batch driver: chunked fan-out with a per-worker reusable
+    /// accumulator, finishing each sample with `finish`.
+    fn encode_batch_with<T: Send>(
+        &self,
+        rows: &[&[u16]],
+        finish: impl Fn(&BitSliceAccumulator) -> T + Sync,
+    ) -> Vec<T> {
+        for row in rows {
+            self.check_row(row);
+        }
+        // Warm the cache before forking when the batch amortizes it.
+        self.bound_cache
+            .warm_for_batch(self.features.rows(), &self.values, rows.len());
+        par::par_chunk_map(rows.len(), 4, |range| {
+            let mut acc = BitSliceAccumulator::new(self.dim());
+            let mut out = Vec::with_capacity(range.len());
+            for r in range {
+                acc.clear();
+                self.accumulate_row(&mut acc, rows[r]);
+                out.push(finish(&acc));
+            }
+            out
+        })
     }
 
     fn check_row(&self, levels: &[u16]) {
@@ -148,16 +259,31 @@ impl Encoder for RecordEncoder {
 
     fn encode_int(&self, levels: &[u16]) -> IntHv {
         self.check_row(levels);
-        let mut acc = IntHv::zeros(self.dim());
-        for (i, &lv) in levels.iter().enumerate() {
-            let fea = self.features.get(i).expect("index bounded by n_features");
-            acc.add_bound_pair(self.values.level(usize::from(lv)), fea);
-        }
-        acc
+        let mut acc = BitSliceAccumulator::new(self.dim());
+        self.accumulate_row(&mut acc, levels);
+        acc.to_int()
+    }
+
+    fn encode_binary(&self, levels: &[u16]) -> BinaryHv {
+        self.check_row(levels);
+        let mut acc = BitSliceAccumulator::new(self.dim());
+        self.accumulate_row(&mut acc, levels);
+        acc.majority_ties_positive()
+    }
+
+    fn encode_batch_binary(&self, rows: &[&[u16]]) -> Vec<BinaryHv> {
+        self.encode_batch_with(rows, BitSliceAccumulator::majority_ties_positive)
+    }
+
+    fn encode_batch_int(&self, rows: &[&[u16]]) -> Vec<IntHv> {
+        self.encode_batch_with(rows, BitSliceAccumulator::to_int)
     }
 
     fn feature_hv(&self, i: usize) -> BinaryHv {
-        self.features.get(i).expect("feature index in range").clone()
+        self.features
+            .get(i)
+            .expect("feature index in range")
+            .clone()
     }
 
     fn value_hv(&self, v: usize) -> BinaryHv {
@@ -195,10 +321,51 @@ mod tests {
     }
 
     #[test]
+    fn engine_matches_scalar_reference() {
+        let e = encoder(10);
+        for variant in 0..4u16 {
+            let row: Vec<u16> = (0..9).map(|i| (i as u16 + variant) % 4).collect();
+            assert_eq!(
+                e.encode_int(&row),
+                e.encode_int_scalar(&row),
+                "variant {variant}"
+            );
+        }
+    }
+
+    #[test]
     fn encode_binary_is_sign_of_int() {
         let e = encoder(3);
         let row = vec![1u16; 9];
-        assert_eq!(e.encode_binary(&row), e.encode_int(&row).sign_ties_positive());
+        assert_eq!(
+            e.encode_binary(&row),
+            e.encode_int(&row).sign_ties_positive()
+        );
+    }
+
+    #[test]
+    fn batch_matches_per_sample_encodes() {
+        let e = encoder(11);
+        let rows: Vec<Vec<u16>> = (0..13)
+            .map(|s| (0..9).map(|i| ((s + i) % 4) as u16).collect())
+            .collect();
+        let refs: Vec<&[u16]> = rows.iter().map(Vec::as_slice).collect();
+        let batch_bin = e.encode_batch_binary(&refs);
+        let batch_int = e.encode_batch_int(&refs);
+        assert_eq!(batch_bin.len(), rows.len());
+        for (i, row) in refs.iter().enumerate() {
+            assert_eq!(batch_bin[i], e.encode_binary(row), "row {i}");
+            assert_eq!(batch_int[i], e.encode_int(row), "row {i}");
+        }
+    }
+
+    #[test]
+    fn cache_does_not_change_results() {
+        let e = encoder(12);
+        let row: Vec<u16> = (0..9).map(|i| (i % 4) as u16).collect();
+        let before = e.encode_binary(&row);
+        e.bound_cache.warm(e.features().rows(), e.values()); // force the cache on
+        assert_eq!(e.encode_binary(&row), before);
     }
 
     #[test]
@@ -223,8 +390,8 @@ mod tests {
     #[test]
     fn different_rows_encode_differently() {
         let e = encoder(6);
-        let a = e.encode_binary(&vec![0u16; 9]);
-        let b = e.encode_binary(&vec![3u16; 9]);
+        let a = e.encode_binary(&[0u16; 9]);
+        let b = e.encode_binary(&[3u16; 9]);
         assert!(a.normalized_hamming(&b) > 0.2);
     }
 
@@ -233,6 +400,15 @@ mod tests {
     fn wrong_row_width_panics() {
         let e = encoder(7);
         let _ = e.encode_int(&[0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "levels, encoder expects")]
+    fn batch_checks_row_width() {
+        let e = encoder(8);
+        let short = [0u16, 1];
+        let rows: Vec<&[u16]> = vec![&short];
+        let _ = e.encode_batch_binary(&rows);
     }
 
     #[test]

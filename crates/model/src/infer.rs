@@ -6,7 +6,6 @@
 
 use hdc_datasets::QuantizedDataset;
 use hypervec::{BinaryHv, IntHv};
-use rayon::prelude::*;
 
 use crate::classhv::ClassMemory;
 use crate::config::ModelKind;
@@ -72,16 +71,28 @@ pub fn class_scores<E: Encoder>(encoder: &E, memory: &ClassMemory, levels: &[u16
     match memory.kind() {
         ModelKind::Binary => {
             let q = encoder.encode_binary(levels);
-            (0..memory.n_classes()).map(|j| memory.class_binary(j).cosine(&q)).collect()
+            (0..memory.n_classes())
+                .map(|j| memory.class_binary(j).cosine(&q))
+                .collect()
         }
         ModelKind::NonBinary => {
             let q = encoder.encode_int(levels);
-            (0..memory.n_classes()).map(|j| memory.class_int(j).cosine(&q)).collect()
+            (0..memory.n_classes())
+                .map(|j| memory.class_int(j).cosine(&q))
+                .collect()
         }
     }
 }
 
-/// Evaluates a trained model over a quantized dataset, in parallel.
+/// Samples encoded per block during evaluation: large enough to feed
+/// every batch worker, small enough that the encoded block (not the
+/// whole dataset) bounds peak memory — ~40 MB of `IntHv` at D = 10 000.
+const EVAL_BLOCK: usize = 1024;
+
+/// Evaluates a trained model over a quantized dataset, streaming it in
+/// blocks through the encoder's batch path (word-parallel engine, all
+/// workers); classification of a finished block is sequential — it is
+/// O(C·D/64) per sample against the encoder's O(N·D/64).
 ///
 /// # Panics
 ///
@@ -92,24 +103,31 @@ pub fn evaluate<E: Encoder + Sync>(
     memory: &ClassMemory,
     data: &QuantizedDataset,
 ) -> EvalResult {
-    let confusion = (0..data.len())
-        .into_par_iter()
-        .fold(
-            || ConfusionMatrix::new(data.n_classes()),
-            |mut cm, i| {
-                let predicted = classify(encoder, memory, data.row(i));
-                cm.record(data.label(i), predicted);
-                cm
-            },
-        )
-        .reduce(
-            || ConfusionMatrix::new(data.n_classes()),
-            |mut a, b| {
-                a.merge(&b);
-                a
-            },
-        );
-    EvalResult { accuracy: confusion.accuracy(), confusion }
+    let rows: Vec<&[u16]> = (0..data.len()).map(|i| data.row(i)).collect();
+    let mut confusion = ConfusionMatrix::new(data.n_classes());
+    for block_start in (0..rows.len()).step_by(EVAL_BLOCK) {
+        let block_end = (block_start + EVAL_BLOCK).min(rows.len());
+        let block = &rows[block_start..block_end];
+        match memory.kind() {
+            ModelKind::Binary => {
+                for (off, hv) in encoder.encode_batch_binary(block).iter().enumerate() {
+                    confusion.record(
+                        data.label(block_start + off),
+                        classify_binary_hv(memory, hv),
+                    );
+                }
+            }
+            ModelKind::NonBinary => {
+                for (off, hv) in encoder.encode_batch_int(block).iter().enumerate() {
+                    confusion.record(data.label(block_start + off), classify_int_hv(memory, hv));
+                }
+            }
+        }
+    }
+    EvalResult {
+        accuracy: confusion.accuracy(),
+        confusion,
+    }
 }
 
 #[cfg(test)]

@@ -18,7 +18,9 @@ impl ConfusionMatrix {
     #[must_use]
     pub fn new(n_classes: usize) -> Self {
         assert!(n_classes > 0, "need at least one class");
-        ConfusionMatrix { counts: vec![vec![0; n_classes]; n_classes] }
+        ConfusionMatrix {
+            counts: vec![vec![0; n_classes]; n_classes],
+        }
     }
 
     /// Records one prediction.

@@ -66,7 +66,12 @@ impl<E: Encoder + Sync> HdcModel<E> {
         discretizer: Discretizer,
         memory: ClassMemory,
     ) -> Self {
-        HdcModel { config, encoder, discretizer, memory }
+        HdcModel {
+            config,
+            encoder,
+            discretizer,
+            memory,
+        }
     }
 
     /// Fits a model reusing an existing encoder (e.g. a locked one).
@@ -82,7 +87,12 @@ impl<E: Encoder + Sync> HdcModel<E> {
         let discretizer = Discretizer::fit(train_ds, config.m_levels)?;
         let train_q = discretizer.discretize(train_ds)?;
         let memory = train::train(&encoder, config, &train_q);
-        Ok(HdcModel { config: *config, encoder, discretizer, memory })
+        Ok(HdcModel {
+            config: *config,
+            encoder,
+            discretizer,
+            memory,
+        })
     }
 
     /// The model configuration.

@@ -47,7 +47,10 @@ impl NgramEncoder {
         if alphabet == 0 || n == 0 {
             return Err(HvError::EmptyInput);
         }
-        Ok(NgramEncoder { symbols: ItemMemory::random(rng, dim, alphabet), n })
+        Ok(NgramEncoder {
+            symbols: ItemMemory::random(rng, dim, alphabet),
+            n,
+        })
     }
 
     /// Builds an encoder from an existing symbol memory (e.g. symbols
@@ -171,7 +174,9 @@ mod tests {
         tweaked[20] = (tweaked[20] + 1) % 10;
         let h1 = e.encode_sequence(&base).unwrap();
         let h2 = e.encode_sequence(&tweaked).unwrap();
-        let h3 = e.encode_sequence(&(0..40).map(|i| (i * 7) % 10).collect::<Vec<_>>()).unwrap();
+        let h3 = e
+            .encode_sequence(&(0..40).map(|i| (i * 7) % 10).collect::<Vec<_>>())
+            .unwrap();
         assert!(h1.hamming(&h2) < h1.hamming(&h3));
     }
 

@@ -46,7 +46,9 @@ impl std::error::Error for PersistError {}
 
 impl From<serde_json::Error> for PersistError {
     fn from(e: serde_json::Error) -> Self {
-        PersistError { message: e.to_string() }
+        PersistError {
+            message: e.to_string(),
+        }
     }
 }
 
@@ -75,9 +77,16 @@ impl HdcModel<RecordEncoder> {
     /// hypervector shapes.
     pub fn from_json(json: &str) -> Result<Self, PersistError> {
         let saved: SavedModel = serde_json::from_str(json)?;
-        let encoder = RecordEncoder::from_parts(saved.features, saved.values)
-            .map_err(|e| PersistError { message: e.to_string() })?;
-        Ok(HdcModel::from_parts(saved.config, encoder, saved.discretizer, saved.memory))
+        let encoder =
+            RecordEncoder::from_parts(saved.features, saved.values).map_err(|e| PersistError {
+                message: e.to_string(),
+            })?;
+        Ok(HdcModel::from_parts(
+            saved.config,
+            encoder,
+            saved.discretizer,
+            saved.memory,
+        ))
     }
 }
 

@@ -10,7 +10,6 @@
 
 use hdc_datasets::QuantizedDataset;
 use hypervec::{BinaryHv, IntHv};
-use rayon::prelude::*;
 
 use crate::classhv::ClassMemory;
 use crate::config::{HdcConfig, ModelKind};
@@ -26,7 +25,8 @@ pub enum EncodedSample {
     Int(IntHv),
 }
 
-/// Encodes the whole training set once, in parallel.
+/// Encodes the whole training set once through the encoder's batch path
+/// (word-parallel engine + chunked fan-out).
 ///
 /// Training touches every sample `1 + epochs` times; pre-encoding makes
 /// each pass an O(D) accumulator update instead of an O(N·D) re-encode.
@@ -36,13 +36,19 @@ pub fn encode_dataset<E: Encoder + Sync>(
     kind: ModelKind,
     data: &QuantizedDataset,
 ) -> Vec<EncodedSample> {
-    (0..data.len())
-        .into_par_iter()
-        .map(|i| match kind {
-            ModelKind::Binary => EncodedSample::Binary(encoder.encode_binary(data.row(i))),
-            ModelKind::NonBinary => EncodedSample::Int(encoder.encode_int(data.row(i))),
-        })
-        .collect()
+    let rows: Vec<&[u16]> = (0..data.len()).map(|i| data.row(i)).collect();
+    match kind {
+        ModelKind::Binary => encoder
+            .encode_batch_binary(&rows)
+            .into_iter()
+            .map(EncodedSample::Binary)
+            .collect(),
+        ModelKind::NonBinary => encoder
+            .encode_batch_int(&rows)
+            .into_iter()
+            .map(EncodedSample::Int)
+            .collect(),
+    }
 }
 
 /// Trains a class memory from scratch on `data`.
@@ -94,12 +100,18 @@ pub fn train<E: Encoder + Sync>(
                 any_update = true;
                 match enc {
                     EncodedSample::Binary(hv) => {
-                        memory.acc_mut(label).adjust_binary(hv, config.learning_rate);
-                        memory.acc_mut(predicted).adjust_binary(hv, -config.learning_rate);
+                        memory
+                            .acc_mut(label)
+                            .adjust_binary(hv, config.learning_rate);
+                        memory
+                            .acc_mut(predicted)
+                            .adjust_binary(hv, -config.learning_rate);
                     }
                     EncodedSample::Int(hv) => {
                         memory.acc_mut(label).adjust_int(hv, config.learning_rate);
-                        memory.acc_mut(predicted).adjust_int(hv, -config.learning_rate);
+                        memory
+                            .acc_mut(predicted)
+                            .adjust_int(hv, -config.learning_rate);
                     }
                 }
                 if config.kind == ModelKind::Binary {
@@ -158,12 +170,18 @@ pub fn train_online<E: Encoder + Sync>(
         match enc {
             EncodedSample::Binary(hv) => {
                 let predicted = infer::classify_binary_hv(&memory, hv);
-                let sim = if seen[label] { memory.class_binary(label).cosine(hv) } else { 0.0 };
+                let sim = if seen[label] {
+                    memory.class_binary(label).cosine(hv)
+                } else {
+                    0.0
+                };
                 memory.acc_mut(label).adjust_binary(hv, weight(sim, scale));
                 memory.rebinarize_class(label);
                 if predicted != label && seen[predicted] {
                     let sim_wrong = memory.class_binary(predicted).cosine(hv);
-                    memory.acc_mut(predicted).adjust_binary(hv, -weight(sim_wrong, scale));
+                    memory
+                        .acc_mut(predicted)
+                        .adjust_binary(hv, -weight(sim_wrong, scale));
                     memory.rebinarize_class(predicted);
                 }
             }
@@ -173,7 +191,9 @@ pub fn train_online<E: Encoder + Sync>(
                 memory.acc_mut(label).adjust_int(hv, weight(sim, scale));
                 if predicted != label && seen[predicted] {
                     let sim_wrong = memory.class_int(predicted).cosine(hv);
-                    memory.acc_mut(predicted).adjust_int(hv, -weight(sim_wrong, scale));
+                    memory
+                        .acc_mut(predicted)
+                        .adjust_int(hv, -weight(sim_wrong, scale));
                 }
             }
         }
@@ -209,13 +229,9 @@ mod tests {
         let train_q = disc.discretize(&train_ds).unwrap();
         let test_q = disc.discretize(&test_ds).unwrap();
         let mut rng = HvRng::from_seed(config.seed);
-        let enc = RecordEncoder::generate(
-            &mut rng,
-            train_q.n_features(),
-            config.m_levels,
-            config.dim,
-        )
-        .unwrap();
+        let enc =
+            RecordEncoder::generate(&mut rng, train_q.n_features(), config.m_levels, config.dim)
+                .unwrap();
         (enc, config, train_q, test_q)
     }
 

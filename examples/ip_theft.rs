@@ -41,8 +41,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let oracle = CountingOracle::new(victim.encoder());
 
     // The reasoning attack.
-    let recovered =
-        reason_encoding(&oracle, &dump, ModelKind::Binary, FeatureExtractOptions::default())?;
+    let recovered = reason_encoding(
+        &oracle,
+        &dump,
+        ModelKind::Binary,
+        FeatureExtractOptions::default(),
+    )?;
     println!(
         "attack done: {} (mapping accuracy {:.4})",
         recovered.stats,

@@ -11,7 +11,13 @@ use hdlock::{EncodingKey, KeyVault, LockConfig, LockedEncoder};
 use hypervec::HvRng;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let cfg = LockConfig { n_features: 64, m_levels: 8, dim: 4096, pool_size: 64, n_layers: 2 };
+    let cfg = LockConfig {
+        n_features: 64,
+        m_levels: 8,
+        dim: 4096,
+        pool_size: 64,
+        n_layers: 2,
+    };
     let mut rng = HvRng::from_seed(7);
 
     // --- Key escrow -----------------------------------------------------
@@ -19,9 +25,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // store), and seals the working copy into the device vault.
     let pool = hdlock::BasePool::generate(&mut rng, cfg.dim, cfg.pool_size);
     let values = hypervec::LevelHvs::generate(&mut rng, cfg.dim, cfg.m_levels)?;
-    let key = EncodingKey::random(&mut rng, cfg.n_features, cfg.n_layers, cfg.pool_size, cfg.dim)?;
+    let key = EncodingKey::random(
+        &mut rng,
+        cfg.n_features,
+        cfg.n_layers,
+        cfg.pool_size,
+        cfg.dim,
+    )?;
     let escrow = serde_json::to_string(&key)?;
-    println!("escrowed key: {} bytes of JSON (N×L = {} layer entries)", escrow.len(), cfg.n_features * cfg.n_layers);
+    println!(
+        "escrowed key: {} bytes of JSON (N×L = {} layer entries)",
+        escrow.len(),
+        cfg.n_features * cfg.n_layers
+    );
 
     let encoder = LockedEncoder::from_parts(pool.clone(), values.clone(), key)?;
     let row = vec![0u16; cfg.n_features];
@@ -55,11 +71,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let reloaded = HdcModel::from_json(&json)?;
     let acc_a = model.evaluate(&test_ds)?.accuracy;
     let acc_b = reloaded.evaluate(&test_ds)?.accuracy;
-    println!("model snapshot: {} bytes; accuracy {acc_a:.4} == {acc_b:.4} after reload", json.len());
+    println!(
+        "model snapshot: {} bytes; accuracy {acc_a:.4} == {acc_b:.4} after reload",
+        json.len()
+    );
 
     // A standalone vault demo: scoped, audited access.
     let vault = KeyVault::seal(EncodingKey::random(&mut rng, 4, 2, 8, 128)?);
     let layers = vault.with_key(|k| k.n_layers())?;
-    println!("standalone vault read: L = {layers}, audit = {} reads", vault.reads());
+    println!(
+        "standalone vault read: L = {layers}, audit = {} reads",
+        vault.reads()
+    );
     Ok(())
 }

@@ -8,25 +8,41 @@
 
 use hdc_attack::{sweep_parameter, CountingOracle, LockProbe, SweptParam};
 use hdc_model::ModelKind;
-use hdlock::{
-    hdlock_reasoning_guesses, BasePool, EncodingKey, LockConfig, LockedEncoder,
-};
+use hdlock::{hdlock_reasoning_guesses, BasePool, EncodingKey, LockConfig, LockedEncoder};
 use hypervec::{HvRng, LevelHvs};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let cfg = LockConfig { n_features: 128, m_levels: 16, dim: 10_000, pool_size: 128, n_layers: 2 };
+    let cfg = LockConfig {
+        n_features: 128,
+        m_levels: 16,
+        dim: 10_000,
+        pool_size: 128,
+        n_layers: 2,
+    };
     let mut rng = HvRng::from_seed(2022);
     let pool = BasePool::generate(&mut rng, cfg.dim, cfg.pool_size);
     let values = LevelHvs::generate(&mut rng, cfg.dim, cfg.m_levels)?;
-    let key = EncodingKey::random(&mut rng, cfg.n_features, cfg.n_layers, cfg.pool_size, cfg.dim)?;
+    let key = EncodingKey::random(
+        &mut rng,
+        cfg.n_features,
+        cfg.n_layers,
+        cfg.pool_size,
+        cfg.dim,
+    )?;
     let encoder = LockedEncoder::from_parts(pool.clone(), values.clone(), key.clone())?;
-    println!("locked encoder: N = {}, P = {}, D = {}, L = {}", cfg.n_features, cfg.pool_size, cfg.dim, cfg.n_layers);
+    println!(
+        "locked encoder: N = {}, P = {}, D = {}, L = {}",
+        cfg.n_features, cfg.pool_size, cfg.dim, cfg.n_layers
+    );
     println!("vault: {:?}\n", encoder.vault());
 
     // The attacker captures a probe for feature 0 (2 chosen queries).
     let oracle = CountingOracle::new(&encoder);
     let probe = LockProbe::capture(&oracle, &values, 0, ModelKind::Binary)?;
-    println!("attack probe captured: |I| = {} differing indices", probe.support());
+    println!(
+        "attack probe captured: |I| = {} differing indices",
+        probe.support()
+    );
 
     // Even knowing 3 of the 4 key parameters, each panel's sweep only
     // confirms a value when everything else is already right.
@@ -56,6 +72,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "blind attacker must try {} keys to reason the full mapping — infeasible.",
         total
     );
-    println!("oracle queries spent by the attacker so far: {}", oracle.queries());
+    println!(
+        "oracle queries spent by the attacker so far: {}",
+        oracle.queries()
+    );
     Ok(())
 }

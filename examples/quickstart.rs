@@ -52,7 +52,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let memory = train(&locked_encoder, &config, &train_q);
     let locked_acc = evaluate(&locked_encoder, &memory, &test_q).accuracy;
     println!("HDLock (L=2) accuracy:  {locked_acc:.4}");
-    println!("accuracy delta:         {:+.4}  (paper: no observable loss)", locked_acc - base_acc);
+    println!(
+        "accuracy delta:         {:+.4}  (paper: no observable loss)",
+        locked_acc - base_acc
+    );
 
     // 4. What the lock buys: reasoning complexity.
     let n = train_ds.n_features();

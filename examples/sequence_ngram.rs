@@ -21,7 +21,11 @@ fn generate_sequence(rng: &mut HvRng, class: usize, len: usize, alphabet: usize)
         // class 0 walks forward, class 1 hops by 5 — different n-gram
         // statistics, same marginal symbol distribution
         let step = if class == 0 { 1 } else { 5 };
-        state = if rng.unit_f64() < 0.8 { (state + step) % alphabet } else { rng.index(alphabet) };
+        state = if rng.unit_f64() < 0.8 {
+            (state + step) % alphabet
+        } else {
+            rng.index(alphabet)
+        };
     }
     seq
 }
@@ -34,13 +38,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Train: bundle 40 sequences per class.
     let mut classes = [BundleAccumulator::new(dim), BundleAccumulator::new(dim)];
-    for class in 0..2 {
+    for (class, acc) in classes.iter_mut().enumerate() {
         for _ in 0..40 {
             let seq = generate_sequence(&mut rng, class, 64, alphabet);
-            classes[class].add(&encoder.encode_sequence(&seq)?);
+            acc.add(&encoder.encode_sequence(&seq)?);
         }
     }
-    let class_hvs = [classes[0].majority_ties_positive(), classes[1].majority_ties_positive()];
+    let class_hvs = [
+        classes[0].majority_ties_positive(),
+        classes[1].majority_ties_positive(),
+    ];
 
     // Test: 100 fresh sequences.
     let mut correct = 0;
@@ -49,8 +56,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let class = t % 2;
         let seq = generate_sequence(&mut rng, class, 64, alphabet);
         let q = encoder.encode_sequence(&seq)?;
-        let predicted =
-            usize::from(class_hvs[1].hamming(&q) < class_hvs[0].hamming(&q));
+        let predicted = usize::from(class_hvs[1].hamming(&q) < class_hvs[0].hamming(&q));
         if predicted == class {
             correct += 1;
         }

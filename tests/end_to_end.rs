@@ -12,7 +12,14 @@ use hdlock::{DeriveMode, LockConfig, LockedEncoder};
 use hypervec::HvRng;
 
 fn small_config(kind: ModelKind, seed: u64) -> HdcConfig {
-    HdcConfig { dim: 4096, m_levels: 16, kind, epochs: 2, learning_rate: 1, seed }
+    HdcConfig {
+        dim: 4096,
+        m_levels: 16,
+        kind,
+        epochs: 2,
+        learning_rate: 1,
+        seed,
+    }
 }
 
 #[test]
@@ -21,14 +28,21 @@ fn attack_steals_binary_model_end_to_end() {
     let config = small_config(ModelKind::Binary, 21);
     let victim = HdcModel::fit_standard(&config, &train_ds).unwrap();
     let original = victim.evaluate(&test_ds).unwrap().accuracy;
-    assert!(original > 0.5, "victim must be a useful model, got {original}");
+    assert!(
+        original > 0.5,
+        "victim must be a useful model, got {original}"
+    );
 
     let mut rng = HvRng::from_seed(99);
     let (dump, truth) = StandardDump::from_encoder(victim.encoder(), &mut rng);
     let oracle = CountingOracle::new(victim.encoder());
-    let recovered =
-        reason_encoding(&oracle, &dump, ModelKind::Binary, FeatureExtractOptions::default())
-            .unwrap();
+    let recovered = reason_encoding(
+        &oracle,
+        &dump,
+        ModelKind::Binary,
+        FeatureExtractOptions::default(),
+    )
+    .unwrap();
     assert_eq!(mapping_accuracy(&recovered, &truth), 1.0);
 
     let stolen = duplicate_model(&victim, &dump, &recovered).unwrap();
@@ -46,9 +60,13 @@ fn attack_steals_nonbinary_model_end_to_end() {
     let mut rng = HvRng::from_seed(98);
     let (dump, truth) = StandardDump::from_encoder(victim.encoder(), &mut rng);
     let oracle = CountingOracle::new(victim.encoder());
-    let recovered =
-        reason_encoding(&oracle, &dump, ModelKind::NonBinary, FeatureExtractOptions::default())
-            .unwrap();
+    let recovered = reason_encoding(
+        &oracle,
+        &dump,
+        ModelKind::NonBinary,
+        FeatureExtractOptions::default(),
+    )
+    .unwrap();
     assert_eq!(mapping_accuracy(&recovered, &truth), 1.0);
 
     let stolen = duplicate_model(&victim, &dump, &recovered).unwrap();
@@ -107,7 +125,10 @@ fn locked_encoder_modes_agree_in_full_pipeline() {
     let cached = train(&encoder, &config, &train_q);
     encoder.set_mode(DeriveMode::OnTheFly);
     let on_the_fly = train(&encoder, &config, &train_q);
-    assert_eq!(cached, on_the_fly, "derivation mode must not change results");
+    assert_eq!(
+        cached, on_the_fly,
+        "derivation mode must not change results"
+    );
     assert!(encoder.vault().reads() > 0);
 }
 
@@ -121,7 +142,13 @@ fn standard_and_locked_share_the_encoder_seam() {
     let standard = hdc_model::RecordEncoder::generate(&mut rng, 8, 4, 512).unwrap();
     let locked = LockedEncoder::generate(
         &mut rng,
-        &LockConfig { n_features: 8, m_levels: 4, dim: 512, pool_size: 16, n_layers: 2 },
+        &LockConfig {
+            n_features: 8,
+            m_levels: 4,
+            dim: 512,
+            pool_size: 16,
+            n_layers: 2,
+        },
     )
     .unwrap();
     assert_eq!(dim_of(&standard), 512);
