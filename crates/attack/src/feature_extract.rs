@@ -244,8 +244,10 @@ pub fn extract_features(
 
     // The N probe inputs are known upfront (they do not depend on earlier
     // assignments), so all observations flow through the oracle's
-    // word-parallel batch path in one shot. Cost accounting is unchanged:
-    // a batch of N rows is N queries.
+    // word-parallel batch path in one shot — against a deployed victim
+    // ([`crate::SessionOracle`]) that is the same fused pipeline the
+    // serving layer runs. Cost accounting is unchanged: a batch of N
+    // rows is N queries.
     let probe_rows: Vec<Vec<u16>> = (0..n).map(|feature| probe_row(n, m, feature)).collect();
     let probe_refs: Vec<&[u16]> = probe_rows.iter().map(Vec::as_slice).collect();
     let (observed_binary, observed_int) = match kind {
@@ -489,6 +491,49 @@ mod tests {
                 assert!(dist > 0.001, "wrong guess {r} too close: {dist}");
             }
         }
+    }
+
+    #[test]
+    fn extraction_through_deployed_session_is_identical() {
+        use crate::oracle::SessionOracle;
+        use hdc_model::{ClassMemory, InferenceSession};
+
+        let (enc, dump, truth) = setup(8, 15, 4, 2048);
+        let memory = ClassMemory::new(ModelKind::Binary, 2, 2048);
+        let session = InferenceSession::new(&enc, &memory);
+        let deployed = SessionOracle::new(&session);
+        let direct = CountingOracle::new(&enc);
+
+        let values_s = extract_values(&deployed, &dump, ModelKind::Binary).unwrap();
+        let values_d = extract_values(&direct, &dump, ModelKind::Binary).unwrap();
+        assert_eq!(values_s.order, values_d.order);
+        let features_s = extract_features(
+            &deployed,
+            &dump,
+            &values_s,
+            ModelKind::Binary,
+            FeatureExtractOptions::default(),
+        )
+        .unwrap();
+        let features_d = extract_features(
+            &direct,
+            &dump,
+            &values_d,
+            ModelKind::Binary,
+            FeatureExtractOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(features_s.assignment, features_d.assignment);
+        assert_eq!(features_s.stats.guesses, features_d.stats.guesses);
+        assert_eq!(
+            features_s.stats.oracle_queries,
+            features_d.stats.oracle_queries
+        );
+        assert_eq!(deployed.queries(), direct.queries());
+        assert_eq!(
+            feature_mapping_accuracy(&features_s, &truth.feature_perm),
+            1.0
+        );
     }
 
     #[test]

@@ -62,7 +62,7 @@ pub use feature_extract::{
 };
 pub use lock_attack::{exhaustive_key_search, sweep_parameter, LockProbe, SweepResult, SweptParam};
 pub use memory_dump::{DumpGroundTruth, HdlockDump, StandardDump};
-pub use oracle::{all_min_row, probe_row, CountingOracle, EncodingOracle};
+pub use oracle::{all_min_row, probe_row, CountingOracle, EncodingOracle, SessionOracle};
 pub use reconstruct::{
     duplicate_model, mapping_accuracy, reason_encoding, rebuild_encoder, RecoveredEncoding,
 };

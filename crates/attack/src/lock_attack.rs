@@ -25,7 +25,7 @@ use crate::oracle::{all_min_row, probe_row, EncodingOracle};
 use crate::timing::AttackStats;
 
 /// The attacker's distilled observation for one target feature.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LockProbe {
     /// Index set `I` where the two oracle outputs differ.
     indices: Vec<u32>,
@@ -88,6 +88,85 @@ impl LockProbe {
             kind,
             feature,
         })
+    }
+
+    /// Captures probes for **every** feature with a single batched
+    /// oracle call, routed through the victim's fused batch pipeline
+    /// (the same path that serves traffic).
+    ///
+    /// The all-minimum observation is shared across features, so the
+    /// whole sweep costs `N + 1` oracle queries instead of the `2·N`
+    /// that `N` individual [`LockProbe::capture`] calls spend — the
+    /// batch still counts one query per row, so the oracle audit trail
+    /// stays exact. Each returned probe is bit-identical to its
+    /// individually-captured counterpart.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AttackError::ShapeMismatch`] if oracle and values
+    /// disagree on dimension.
+    pub fn capture_all(
+        oracle: &dyn EncodingOracle,
+        values: &LevelHvs,
+        kind: ModelKind,
+    ) -> Result<Vec<Self>, AttackError> {
+        if oracle.dim() != values.dim() {
+            return Err(AttackError::ShapeMismatch {
+                what: "oracle and values dimension differ",
+            });
+        }
+        let n = oracle.n_features();
+        let m = oracle.m_levels();
+        let v1 = values.level(0);
+        let mut rows: Vec<Vec<u16>> = Vec::with_capacity(n + 1);
+        rows.push(all_min_row(n));
+        rows.extend((0..n).map(|feature| probe_row(n, m, feature)));
+        let refs: Vec<&[u16]> = rows.iter().map(Vec::as_slice).collect();
+        let probes = match kind {
+            ModelKind::Binary => {
+                let observed = oracle.query_binary_batch(&refs);
+                let h1 = &observed[0];
+                (0..n)
+                    .map(|feature| {
+                        let hm = &observed[feature + 1];
+                        let (indices, target): (Vec<u32>, Vec<i8>) = (0..oracle.dim())
+                            .filter(|&d| h1.polarity(d) != hm.polarity(d))
+                            .map(|d| (d as u32, h1.polarity(d)))
+                            .unzip();
+                        let v1_on_i = indices.iter().map(|&d| v1.polarity(d as usize)).collect();
+                        LockProbe {
+                            indices,
+                            target,
+                            v1_on_i,
+                            kind,
+                            feature,
+                        }
+                    })
+                    .collect()
+            }
+            ModelKind::NonBinary => {
+                let observed = oracle.query_int_batch(&refs);
+                let h1 = &observed[0];
+                (0..n)
+                    .map(|feature| {
+                        let hm = &observed[feature + 1];
+                        let (indices, target): (Vec<u32>, Vec<i8>) = (0..oracle.dim())
+                            .filter(|&d| h1.get(d) != hm.get(d))
+                            .map(|d| (d as u32, if h1.get(d) > hm.get(d) { 1i8 } else { -1i8 }))
+                            .unzip();
+                        let v1_on_i = indices.iter().map(|&d| v1.polarity(d as usize)).collect();
+                        LockProbe {
+                            indices,
+                            target,
+                            v1_on_i,
+                            kind,
+                            feature,
+                        }
+                    })
+                    .collect()
+            }
+        };
+        Ok(probes)
     }
 
     /// Captures a probe using the attacker's [`crate::HdlockDump`] view (the
@@ -519,5 +598,59 @@ mod tests {
         let oracle = CountingOracle::new(&enc);
         let _ = LockProbe::capture(&oracle, &values, 0, ModelKind::Binary).unwrap();
         assert_eq!(oracle.queries(), 2);
+    }
+
+    #[test]
+    fn capture_all_matches_individual_captures_at_lower_cost() {
+        let cfg = small_cfg();
+        let (enc, _, _, values) = locked_setup(8, &cfg);
+        for kind in [ModelKind::Binary, ModelKind::NonBinary] {
+            let batched_oracle = CountingOracle::new(&enc);
+            let probes = LockProbe::capture_all(&batched_oracle, &values, kind).unwrap();
+            assert_eq!(probes.len(), cfg.n_features);
+            assert_eq!(
+                batched_oracle.queries(),
+                cfg.n_features as u64 + 1,
+                "shared all-min observation: N + 1 queries"
+            );
+            let single_oracle = CountingOracle::new(&enc);
+            for (f, probe) in probes.iter().enumerate() {
+                let single = LockProbe::capture(&single_oracle, &values, f, kind).unwrap();
+                assert_eq!(probe, &single, "{kind:?} feature {f}");
+            }
+            assert_eq!(single_oracle.queries(), 2 * cfg.n_features as u64);
+        }
+    }
+
+    #[test]
+    fn attack_through_deployed_session_matches_direct_oracle() {
+        use crate::oracle::SessionOracle;
+        use hdc_model::{ClassMemory, InferenceSession};
+
+        // The attacker drives the deployed serving pipeline (session
+        // over the locked encoder + a trained memory) instead of a bare
+        // encoder handle; the captured probes and key scores must be
+        // identical, and so must the query accounting.
+        let cfg = small_cfg();
+        let (enc, key, pool, values) = locked_setup(9, &cfg);
+        let mut memory = ClassMemory::new(ModelKind::Binary, 2, cfg.dim);
+        memory.acc_mut(0).add(&hdc_model::Encoder::encode_binary(
+            &enc,
+            &vec![0u16; cfg.n_features],
+        ));
+        memory.rebinarize();
+        let session = InferenceSession::new(&enc, &memory);
+        let deployed = SessionOracle::new(&session);
+        let direct = CountingOracle::new(&enc);
+
+        let via_session = LockProbe::capture(&deployed, &values, 0, ModelKind::Binary).unwrap();
+        let via_direct = LockProbe::capture(&direct, &values, 0, ModelKind::Binary).unwrap();
+        assert_eq!(via_session, via_direct);
+        assert_eq!(deployed.queries(), direct.queries());
+        assert_eq!(
+            via_session.score(&pool, key.feature(0)).unwrap(),
+            0.0,
+            "correct key still scores perfectly through the session"
+        );
     }
 }

@@ -3,11 +3,15 @@
 //! The paper's threat model (Sec. 3.1) lets the adversary "craft his/her
 //! own inputs and observe the encoding outputs". [`EncodingOracle`]
 //! models exactly that channel; [`CountingOracle`] wraps any encoder and
-//! audits how many queries an attack consumed.
+//! audits how many queries an attack consumed. [`SessionOracle`] wraps a
+//! *deployed* [`InferenceSession`] instead — the attacker drives the
+//! same fused encode→search pipeline that serves production traffic, so
+//! measured attack cost and served throughput describe one code path,
+//! with identical per-row accounting.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use hdc_model::Encoder;
+use hdc_model::{Encoder, InferenceSession};
 use hypervec::{BinaryHv, IntHv};
 
 /// Chosen-input access to a victim encoder's outputs.
@@ -118,6 +122,86 @@ impl<E: Encoder + Sync> EncodingOracle for CountingOracle<'_, E> {
     }
 }
 
+/// The attacker's chosen-input channel into a *deployed* model: an
+/// [`EncodingOracle`] backed by the serving pipeline's
+/// [`InferenceSession`] rather than a bare encoder reference.
+///
+/// Encoding queries forward to the session's encoder (the paper's
+/// Sec. 3.1 observation channel) and decision queries
+/// ([`SessionOracle::classify_batch`]) run the fused encode→search
+/// path; both count one query per row, exactly like
+/// [`CountingOracle`], so attack-cost accounting is unchanged by the
+/// serving refactor.
+#[derive(Debug)]
+pub struct SessionOracle<'a, 'm, E> {
+    session: &'a InferenceSession<'m, E>,
+    queries: AtomicU64,
+}
+
+impl<'a, 'm, E: Encoder + Sync> SessionOracle<'a, 'm, E> {
+    /// Wraps a deployed inference session.
+    #[must_use]
+    pub fn new(session: &'a InferenceSession<'m, E>) -> Self {
+        SessionOracle {
+            session,
+            queries: AtomicU64::new(0),
+        }
+    }
+
+    /// Total queries observed so far (encoding + decision).
+    #[must_use]
+    pub fn queries(&self) -> u64 {
+        self.queries.load(Ordering::Relaxed)
+    }
+
+    /// Black-box *decision* access: top-1 class per chosen input,
+    /// through the deployed fused batch path. A batch of `k` rows is
+    /// `k` oracle queries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any row's width does not match the deployed encoder.
+    #[must_use]
+    pub fn classify_batch(&self, rows: &[&[u16]]) -> Vec<usize> {
+        self.queries.fetch_add(rows.len() as u64, Ordering::Relaxed);
+        self.session.classify_batch(rows)
+    }
+}
+
+impl<E: Encoder + Sync> EncodingOracle for SessionOracle<'_, '_, E> {
+    fn n_features(&self) -> usize {
+        self.session.n_features()
+    }
+
+    fn m_levels(&self) -> usize {
+        self.session.m_levels()
+    }
+
+    fn dim(&self) -> usize {
+        self.session.dim()
+    }
+
+    fn query_binary(&self, levels: &[u16]) -> BinaryHv {
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        self.session.encoder().encode_binary(levels)
+    }
+
+    fn query_int(&self, levels: &[u16]) -> IntHv {
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        self.session.encoder().encode_int(levels)
+    }
+
+    fn query_binary_batch(&self, rows: &[&[u16]]) -> Vec<BinaryHv> {
+        self.queries.fetch_add(rows.len() as u64, Ordering::Relaxed);
+        self.session.encoder().encode_batch_binary(rows)
+    }
+
+    fn query_int_batch(&self, rows: &[&[u16]]) -> Vec<IntHv> {
+        self.queries.fetch_add(rows.len() as u64, Ordering::Relaxed);
+        self.session.encoder().encode_batch_int(rows)
+    }
+}
+
 /// Builds the adversarial probe input of paper Eq. 7: every feature at
 /// the minimum level except `hot_feature` at the maximum.
 ///
@@ -185,6 +269,41 @@ mod tests {
         let batch_int = oracle.query_int_batch(&refs);
         assert_eq!(oracle.queries(), 10);
         assert_eq!(batch_int[2], enc.encode_int(refs[2]));
+    }
+
+    #[test]
+    fn session_oracle_matches_counting_oracle_and_accounting() {
+        use hdc_model::{ClassMemory, InferenceSession, ModelKind};
+
+        let mut rng = HvRng::from_seed(4);
+        let enc = RecordEncoder::generate(&mut rng, 6, 4, 256).unwrap();
+        let mut memory = ClassMemory::new(ModelKind::Binary, 2, 256);
+        memory.acc_mut(0).add(&enc.encode_binary(&all_min_row(6)));
+        memory
+            .acc_mut(1)
+            .add(&enc.encode_binary(&probe_row(6, 4, 2)));
+        memory.rebinarize();
+        let session = InferenceSession::new(&enc, &memory);
+        let deployed = SessionOracle::new(&session);
+        let reference = CountingOracle::new(&enc);
+
+        let rows: Vec<Vec<u16>> = (0..5).map(|f| probe_row(6, 4, f)).collect();
+        let refs: Vec<&[u16]> = rows.iter().map(Vec::as_slice).collect();
+        assert_eq!(
+            deployed.query_binary_batch(&refs),
+            reference.query_binary_batch(&refs)
+        );
+        assert_eq!(deployed.query_int(&rows[0]), reference.query_int(&rows[0]));
+        assert_eq!(deployed.queries(), reference.queries());
+        assert_eq!(deployed.queries(), 6);
+
+        // Decision access runs the deployed fused path and counts rows.
+        let labels = deployed.classify_batch(&refs);
+        assert_eq!(labels.len(), 5);
+        assert_eq!(deployed.queries(), 11);
+        assert_eq!(deployed.n_features(), 6);
+        assert_eq!(deployed.m_levels(), 4);
+        assert_eq!(deployed.dim(), 256);
     }
 
     #[test]

@@ -1,0 +1,341 @@
+//! Associative-search and serving throughput benchmark with
+//! machine-readable output.
+//!
+//! Measures queries/second of class-memory search at three rungs —
+//! the naive per-dimension *scalar* scan (the baseline, defined exactly
+//! like `BENCH_encoding.json`'s `record_scalar_per_sample`: one scalar
+//! comparison per dimension), the word-parallel one-row-at-a-time
+//! popcount scan (`classify_binary_hv`, the pre-refactor inference
+//! path), and the sharded batch kernels (single- and multi-threaded,
+//! both metrics) — then boots the batching TCP server on a loopback
+//! port and drives it with the load generator. Writes
+//! `BENCH_search.json` so the perf trajectory is tracked across PRs
+//! next to `BENCH_encoding.json`.
+//!
+//! Usage: `bench_search [--dim D] [--classes C] [--queries Q]
+//! [--connections K] [--requests R] [--out PATH]` — defaults reproduce
+//! the acceptance configuration `D = 10 000, C ≥ 8`.
+
+use std::fmt::Write as _;
+use std::net::TcpListener;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Instant;
+
+use hdc_model::{infer, ClassMemory, ModelKind};
+use hdc_serve::demo::{demo_model, DemoSpec};
+use hdc_serve::{loadgen, server, BatchConfig, LoadgenConfig};
+use hypervec::{BinaryHv, HvRng, IntHv};
+
+struct Options {
+    dim: usize,
+    n_classes: usize,
+    n_queries: usize,
+    connections: usize,
+    requests: usize,
+    out: String,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            dim: 10_000,
+            n_classes: 16,
+            n_queries: 256,
+            connections: 32,
+            requests: 1500,
+            out: "BENCH_search.json".to_owned(),
+        }
+    }
+}
+
+fn parse_options() -> Options {
+    let mut opts = Options::default();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let value = |i: usize| {
+            args.get(i + 1)
+                .unwrap_or_else(|| panic!("{} needs a value", args[i]))
+                .clone()
+        };
+        match args[i].as_str() {
+            "--dim" => opts.dim = value(i).parse().expect("--dim needs an integer"),
+            "--classes" => opts.n_classes = value(i).parse().expect("--classes needs an integer"),
+            "--queries" => opts.n_queries = value(i).parse().expect("--queries needs an integer"),
+            "--connections" => {
+                opts.connections = value(i).parse().expect("--connections needs an integer")
+            }
+            "--requests" => opts.requests = value(i).parse().expect("--requests needs an integer"),
+            "--out" => opts.out = value(i),
+            other => panic!(
+                "unknown argument '{other}'; supported: --dim --classes --queries \
+                 --connections --requests --out"
+            ),
+        }
+        i += 2;
+    }
+    opts
+}
+
+/// One measured configuration.
+struct Measurement {
+    name: &'static str,
+    queries_per_sec: f64,
+}
+
+/// Naive scalar reference: nearest class by Hamming distance computed
+/// one *dimension* at a time (the pre-engine way to compare
+/// hypervectors) — bit-exact with the popcount paths.
+fn scalar_per_dim_nearest(memory: &ClassMemory, query: &BinaryHv) -> usize {
+    let mut best = (0usize, usize::MAX);
+    for j in 0..memory.n_classes() {
+        let row = memory.class_binary(j);
+        let mut d = 0usize;
+        for i in 0..row.dim() {
+            d += usize::from(row.polarity(i) != query.polarity(i));
+        }
+        if d < best.1 {
+            best = (j, d);
+        }
+    }
+    best.0
+}
+
+/// Runs `search_all` repeatedly until ≥ `min_secs` of wall clock is
+/// spent, returning queries/second.
+fn throughput(queries_per_call: usize, min_secs: f64, mut search_all: impl FnMut()) -> f64 {
+    search_all(); // warm-up
+    let mut calls = 0usize;
+    let start = Instant::now();
+    loop {
+        search_all();
+        calls += 1;
+        if start.elapsed().as_secs_f64() >= min_secs {
+            break;
+        }
+    }
+    (calls * queries_per_call) as f64 / start.elapsed().as_secs_f64()
+}
+
+fn main() {
+    let opts = parse_options();
+    let mut rng = HvRng::from_seed(2022);
+
+    // Class memory with C random prototypes, in both representations.
+    let mut memory = ClassMemory::new(ModelKind::Binary, opts.n_classes, opts.dim);
+    for j in 0..opts.n_classes {
+        let proto = rng.binary_hv(opts.dim);
+        memory.acc_mut(j).add(&proto);
+        memory.acc_mut(j).add(&rng.binary_hv(opts.dim));
+        memory.acc_mut(j).add(&rng.binary_hv(opts.dim));
+    }
+    memory.rebinarize();
+    // A binary memory's snapshot packs only the popcount planes; attach
+    // the integer rows explicitly so the cosine kernel is measurable
+    // off the same data.
+    let mut sharded = memory.to_sharded();
+    let int_rows: Vec<IntHv> = (0..opts.n_classes)
+        .map(|j| memory.class_int(j).clone())
+        .collect();
+    sharded
+        .set_int_rows(&int_rows)
+        .expect("accumulators share the class dimension");
+
+    let bin_queries: Vec<BinaryHv> = (0..opts.n_queries)
+        .map(|_| rng.binary_hv(opts.dim))
+        .collect();
+    let bin_refs: Vec<&BinaryHv> = bin_queries.iter().collect();
+    let int_queries: Vec<IntHv> = bin_queries.iter().map(BinaryHv::to_int).collect();
+    let int_refs: Vec<&IntHv> = int_queries.iter().collect();
+    let min_secs = 0.5;
+
+    let mut results: Vec<Measurement> = Vec::new();
+
+    // Naive per-dimension scalar scan — the baseline, same "scalar"
+    // definition as BENCH_encoding.json (bit-exact with every other
+    // rung; verified below).
+    results.push(Measurement {
+        name: "binary_scalar_per_dim_per_query",
+        queries_per_sec: throughput(opts.n_queries, min_secs, || {
+            for q in &bin_queries {
+                std::hint::black_box(scalar_per_dim_nearest(&memory, q));
+            }
+        }),
+    });
+
+    // Word-parallel one-row-at-a-time popcount scan — the pre-refactor
+    // inference path (`classify_binary_hv`).
+    results.push(Measurement {
+        name: "binary_wordparallel_per_query",
+        queries_per_sec: throughput(opts.n_queries, min_secs, || {
+            for q in &bin_queries {
+                std::hint::black_box(infer::classify_binary_hv(&memory, q));
+            }
+        }),
+    });
+
+    // Batch kernel pinned to one worker, then with all workers.
+    std::env::set_var("HYPERVEC_THREADS", "1");
+    results.push(Measurement {
+        name: "binary_batch_1_thread",
+        queries_per_sec: throughput(opts.n_queries, min_secs, || {
+            std::hint::black_box(sharded.search_batch_binary(&bin_refs).unwrap());
+        }),
+    });
+    std::env::remove_var("HYPERVEC_THREADS");
+    results.push(Measurement {
+        name: "binary_batch_all_threads",
+        queries_per_sec: throughput(opts.n_queries, min_secs, || {
+            std::hint::black_box(sharded.search_batch_binary(&bin_refs).unwrap());
+        }),
+    });
+
+    // Integer (cosine) metric: per-row scan vs batch kernel (the
+    // kernel hoists the query norm and precomputes row norms).
+    results.push(Measurement {
+        name: "int_per_row_per_query",
+        queries_per_sec: throughput(opts.n_queries, min_secs, || {
+            for q in &int_queries {
+                std::hint::black_box(infer::classify_int_hv(&memory, q));
+            }
+        }),
+    });
+    results.push(Measurement {
+        name: "int_batch_all_threads",
+        queries_per_sec: throughput(opts.n_queries, min_secs, || {
+            std::hint::black_box(sharded.search_batch_int(&int_refs).unwrap());
+        }),
+    });
+
+    // Cross-check once: every rung must agree bit-for-bit on top-1.
+    let hits = sharded.search_batch_binary(&bin_refs).unwrap();
+    for (q, query) in bin_queries.iter().enumerate() {
+        let batch = hits.best(q);
+        assert_eq!(
+            batch,
+            infer::classify_binary_hv(&memory, query),
+            "batch/word-parallel divergence at query {q}"
+        );
+        assert_eq!(
+            batch,
+            scalar_per_dim_nearest(&memory, query),
+            "batch/scalar divergence at query {q}"
+        );
+    }
+
+    let scalar = results[0].queries_per_sec;
+    let wordparallel = results[1].queries_per_sec;
+    let batch_best = results
+        .iter()
+        .filter(|m| m.name.starts_with("binary_batch"))
+        .map(|m| m.queries_per_sec)
+        .fold(0.0f64, f64::max);
+    let speedup = batch_best / scalar;
+    let speedup_vs_wordparallel = batch_best / wordparallel;
+
+    println!(
+        "associative search throughput  (D = {}, C = {}, batch = {})",
+        opts.dim, opts.n_classes, opts.n_queries
+    );
+    for m in &results {
+        println!("  {:<32} {:>14.0} queries/s", m.name, m.queries_per_sec);
+    }
+    println!("  batch vs scalar speedup: {speedup:.1}x");
+    println!("  batch vs word-parallel per-query: {speedup_vs_wordparallel:.2}x");
+
+    // Serving: boot the batching server on a loopback port and measure
+    // sustained classify requests/sec end to end.
+    let spec = DemoSpec::default();
+    let model = demo_model(&spec);
+    let session = model.session();
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().expect("local addr");
+    let shutdown = AtomicBool::new(false);
+    let batch_config = BatchConfig::default();
+    let load_config = LoadgenConfig {
+        connections: opts.connections,
+        requests_per_connection: opts.requests,
+        seed: 2022,
+    };
+    let report = std::thread::scope(|s| {
+        let server_thread = s.spawn(|| server::serve(listener, &session, &batch_config, &shutdown));
+        let report = loadgen::run(addr, session.n_features(), session.m_levels(), &load_config)
+            .expect("load generation");
+        shutdown.store(true, Ordering::SeqCst);
+        server_thread
+            .join()
+            .expect("server thread")
+            .expect("server ran");
+        report
+    });
+    println!(
+        "serving (D = {}, N = {}, C = {}): {:.0} requests/s, p50 {} µs, p99 {} µs ({} errors)",
+        spec.dim,
+        spec.n_features,
+        spec.n_classes,
+        report.requests_per_sec,
+        report.latency.p50_micros,
+        report.latency.p99_micros,
+        report.errors
+    );
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(
+        json,
+        "  \"config\": {{ \"dim\": {}, \"n_classes\": {}, \"batch\": {}, \"threads\": {} }},",
+        opts.dim,
+        opts.n_classes,
+        opts.n_queries,
+        hypervec::par::max_threads()
+    );
+    let _ = writeln!(json, "  \"results\": [");
+    for (i, m) in results.iter().enumerate() {
+        let comma = if i + 1 == results.len() { "" } else { "," };
+        let _ = writeln!(
+            json,
+            "    {{ \"name\": \"{}\", \"queries_per_sec\": {:.1} }}{comma}",
+            m.name, m.queries_per_sec
+        );
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"speedup_batch_vs_scalar\": {speedup:.2},");
+    let _ = writeln!(
+        json,
+        "  \"speedup_batch_vs_wordparallel_per_query\": {speedup_vs_wordparallel:.2},"
+    );
+    let _ = writeln!(json, "  \"serving\": {{");
+    let _ = writeln!(
+        json,
+        "    \"config\": {{ \"dim\": {}, \"n_features\": {}, \"n_classes\": {}, \
+         \"connections\": {}, \"requests_per_connection\": {}, \"max_batch\": {}, \
+         \"max_wait_us\": {} }},",
+        spec.dim,
+        spec.n_features,
+        spec.n_classes,
+        load_config.connections,
+        load_config.requests_per_connection,
+        batch_config.max_batch,
+        batch_config.max_wait.as_micros()
+    );
+    let _ = writeln!(
+        json,
+        "    \"requests_per_sec\": {:.1},",
+        report.requests_per_sec
+    );
+    let _ = writeln!(json, "    \"errors\": {},", report.errors);
+    let _ = writeln!(
+        json,
+        "    \"latency_us\": {{ \"p50\": {}, \"p95\": {}, \"p99\": {}, \"max\": {}, \
+         \"mean\": {:.1} }}",
+        report.latency.p50_micros,
+        report.latency.p95_micros,
+        report.latency.p99_micros,
+        report.latency.max_micros,
+        report.latency.mean_micros
+    );
+    let _ = writeln!(json, "  }}");
+    let _ = writeln!(json, "}}");
+    std::fs::write(&opts.out, json).expect("write benchmark JSON");
+    println!("(json written to {})", opts.out);
+}

@@ -13,6 +13,14 @@
 //! derivation reuses caller-owned scratch buffers via
 //! [`derive_feature_into`] so the per-sample cost is pure compute, not
 //! allocation.
+//!
+//! A deployed locked model serves queries through
+//! [`hdc_model::InferenceSession`]: the session fuses the locked batch
+//! encode with the sharded class-memory search, so protected inference
+//! runs on exactly the same query pipeline as the unprotected model —
+//! accuracy-neutral by construction (paper Fig. 8) and bit-identical to
+//! the scalar reference path in both derivation modes (pinned by
+//! `session_inference_matches_scalar_in_both_modes`).
 
 use hdc_model::Encoder;
 use hypervec::{par, BinaryHv, BitSliceAccumulator, BoundPairCache, HvRng, IntHv, LevelHvs};
@@ -639,6 +647,59 @@ mod tests {
         let refs: Vec<&[u16]> = rows.iter().map(Vec::as_slice).collect();
         let _ = enc.encode_batch_binary(&refs);
         assert_eq!(enc.vault().reads(), base_reads + 7);
+    }
+
+    #[test]
+    fn session_inference_matches_scalar_in_both_modes() {
+        use hdc_model::{ClassMemory, InferenceSession, ModelKind};
+
+        let mut rng = HvRng::from_seed(21);
+        let mut enc = LockedEncoder::generate(&mut rng, &config()).unwrap();
+        let rows: Vec<Vec<u16>> = (0..13)
+            .map(|s| (0..9).map(|i| ((s + 3 * i) % 4) as u16).collect())
+            .collect();
+        let refs: Vec<&[u16]> = rows.iter().map(Vec::as_slice).collect();
+        for kind in [ModelKind::Binary, ModelKind::NonBinary] {
+            let mut memory = ClassMemory::new(kind, 3, 1024);
+            for (j, row) in refs.iter().take(3).enumerate() {
+                memory.acc_mut(j).add(&enc.encode_binary(row));
+            }
+            memory.rebinarize();
+            for mode in [DeriveMode::Cached, DeriveMode::OnTheFly] {
+                enc.set_mode(mode);
+                let session = InferenceSession::new(&enc, &memory);
+                let fused = session.classify_batch(&refs);
+                for (i, row) in refs.iter().enumerate() {
+                    let scalar = match kind {
+                        ModelKind::Binary => {
+                            hdc_model::infer::classify_binary_hv(&memory, &enc.encode_binary(row))
+                        }
+                        ModelKind::NonBinary => {
+                            hdc_model::infer::classify_int_hv(&memory, &enc.encode_int(row))
+                        }
+                    };
+                    assert_eq!(fused[i], scalar, "{kind:?} {mode:?} row {i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn session_on_the_fly_batch_keeps_vault_accounting() {
+        use hdc_model::{ClassMemory, InferenceSession, ModelKind};
+
+        let mut rng = HvRng::from_seed(22);
+        let mut enc = LockedEncoder::generate(&mut rng, &config()).unwrap();
+        enc.set_mode(DeriveMode::OnTheFly);
+        let memory = ClassMemory::new(ModelKind::Binary, 2, 1024);
+        let session = InferenceSession::new(&enc, &memory);
+        let base_reads = enc.vault().reads();
+        let rows: Vec<Vec<u16>> = (0..6).map(|_| vec![0u16; 9]).collect();
+        let refs: Vec<&[u16]> = rows.iter().map(Vec::as_slice).collect();
+        let _ = session.classify_batch(&refs);
+        // The fused path still derives per sample under one privileged
+        // read each — serving does not change the audit trail.
+        assert_eq!(enc.vault().reads(), base_reads + 6);
     }
 
     #[test]

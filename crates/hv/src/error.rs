@@ -36,6 +36,19 @@ pub enum HvError {
         /// Number of valid entries.
         len: usize,
     },
+    /// A row inside a multi-row container had the wrong dimension. The
+    /// row index names the offender so bulk constructors
+    /// ([`ItemMemory::from_rows`](crate::ItemMemory::from_rows),
+    /// [`ShardedClassMemory::from_rows`](crate::ShardedClassMemory::from_rows))
+    /// produce actionable errors.
+    RowDimensionMismatch {
+        /// Index of the offending row.
+        row: usize,
+        /// Dimension expected by the container.
+        expected: usize,
+        /// Dimension of the offending row.
+        found: usize,
+    },
 }
 
 impl fmt::Display for HvError {
@@ -56,6 +69,16 @@ impl fmt::Display for HvError {
             HvError::EmptyInput => write!(f, "operation requires at least one element"),
             HvError::IndexOutOfRange { index, len } => {
                 write!(f, "index {index} out of range for length {len}")
+            }
+            HvError::RowDimensionMismatch {
+                row,
+                expected,
+                found,
+            } => {
+                write!(
+                    f,
+                    "row {row} has dimension {found}, container expects {expected}"
+                )
             }
         }
     }
@@ -78,6 +101,15 @@ mod tests {
         assert!(e.to_string().contains("at least 2"));
         let e = HvError::EmptyInput;
         assert!(!e.to_string().is_empty());
+        let e = HvError::RowDimensionMismatch {
+            row: 3,
+            expected: 128,
+            found: 64,
+        };
+        assert_eq!(
+            e.to_string(),
+            "row 3 has dimension 64, container expects 128"
+        );
     }
 
     #[test]

@@ -80,13 +80,15 @@ impl ItemMemory {
     /// # Errors
     ///
     /// Returns [`HvError::EmptyInput`] when `rows` is empty, or
-    /// [`HvError::DimensionMismatch`] when rows disagree on dimension.
+    /// [`HvError::RowDimensionMismatch`] naming the first row whose
+    /// dimension disagrees with row 0.
     pub fn from_rows(rows: Vec<BinaryHv>) -> Result<Self, HvError> {
         let first = rows.first().ok_or(HvError::EmptyInput)?;
         let dim = first.dim();
-        for r in &rows {
+        for (i, r) in rows.iter().enumerate() {
             if r.dim() != dim {
-                return Err(HvError::DimensionMismatch {
+                return Err(HvError::RowDimensionMismatch {
+                    row: i,
                     expected: dim,
                     found: r.dim(),
                 });
@@ -99,11 +101,12 @@ impl ItemMemory {
     ///
     /// # Errors
     ///
-    /// Returns [`HvError::DimensionMismatch`] if the row has the wrong
-    /// dimension.
+    /// Returns [`HvError::RowDimensionMismatch`] (carrying the index the
+    /// row would have had) if the row has the wrong dimension.
     pub fn push(&mut self, hv: BinaryHv) -> Result<(), HvError> {
         if hv.dim() != self.dim {
-            return Err(HvError::DimensionMismatch {
+            return Err(HvError::RowDimensionMismatch {
+                row: self.rows.len(),
                 expected: self.dim,
                 found: hv.dim(),
             });
@@ -251,7 +254,18 @@ mod tests {
         let mut mem = ItemMemory::new(64);
         assert_eq!(
             mem.push(rng.binary_hv(65)).unwrap_err(),
-            HvError::DimensionMismatch {
+            HvError::RowDimensionMismatch {
+                row: 0,
+                expected: 64,
+                found: 65
+            }
+        );
+        mem.push(rng.binary_hv(64)).unwrap();
+        // The reported index is where the rejected row would have gone.
+        assert_eq!(
+            mem.push(rng.binary_hv(65)).unwrap_err(),
+            HvError::RowDimensionMismatch {
+                row: 1,
                 expected: 64,
                 found: 65
             }
@@ -307,8 +321,18 @@ mod tests {
         let mut rng = HvRng::from_seed(6);
         let a = rng.binary_hv(10);
         let b = rng.binary_hv(11);
-        assert!(ItemMemory::from_rows(vec![]).is_err());
-        assert!(ItemMemory::from_rows(vec![a.clone(), b]).is_err());
+        assert_eq!(
+            ItemMemory::from_rows(vec![]).unwrap_err(),
+            HvError::EmptyInput
+        );
+        assert_eq!(
+            ItemMemory::from_rows(vec![a.clone(), b]).unwrap_err(),
+            HvError::RowDimensionMismatch {
+                row: 1,
+                expected: 10,
+                found: 11
+            }
+        );
         assert!(ItemMemory::from_rows(vec![a]).is_ok());
     }
 }

@@ -48,6 +48,33 @@
 //! each worker private scratch state; `HYPERVEC_THREADS` pins the
 //! worker count.
 //!
+//! ## The sharded search engine
+//!
+//! With encoding word-parallel, the associative search over the class
+//! memory dominates inference. [`ShardedClassMemory`] packs the class
+//! rows for batch throughput instead of scanning them one
+//! [`BinaryHv`] at a time:
+//!
+//! * **Packed planes** — binary rows live as contiguous `u64` words in
+//!   *block-major* order: within each dimension block
+//!   ([`search::BLOCK_WORDS`] words) the rows are laid out back to
+//!   back, so comparing every class against a query inside one block is
+//!   a linear walk over a few KiB that stays cache-resident while a
+//!   whole chunk of queries streams over it.
+//! * **Batch kernels** — `search_batch_binary` / `search_batch_int`
+//!   compute the top-1 row *and* the full score vector for N queries
+//!   at once via word-parallel popcount (binary) or i64 dot products
+//!   (integer), sharding across queries on [`par`] scoped threads with
+//!   one distance matrix per worker.
+//! * **Bit-exactness** — distances are exact popcounts and the float
+//!   score sequences reproduce [`BinaryHv::cosine`] /
+//!   [`IntHv::cosine`] operation-for-operation, so batch results are
+//!   bit-identical to the scalar per-row scan, including
+//!   lowest-index tie-breaking.
+//! * **In-place row updates** — `update_row` / `update_int_row` let a
+//!   retraining loop keep a packed mirror in sync without rebuilding
+//!   it after every accumulator adjustment.
+//!
 //! ## Example
 //!
 //! ```
@@ -82,6 +109,7 @@ pub mod level;
 pub mod par;
 pub mod perm;
 pub mod rng;
+pub mod search;
 pub mod sim;
 
 pub use accumulator::BundleAccumulator;
@@ -94,4 +122,5 @@ pub use itemmem::ItemMemory;
 pub use level::LevelHvs;
 pub use perm::Permutation;
 pub use rng::HvRng;
+pub use search::{BatchSearchResult, ShardedClassMemory};
 pub use sim::{argmax, argmin, Similarity};

@@ -1,0 +1,786 @@
+//! Sharded, word-parallel associative search over a set of class rows.
+//!
+//! Inference, the attack oracle's scoring loop and the serving path all
+//! reduce to the same kernel: compare a query hypervector against every
+//! row of a class memory and take the best match. The one-row-at-a-time
+//! scan ([`ItemMemory::nearest`](crate::ItemMemory::nearest),
+//! `classify_binary_hv`) touches each packed row once per query with no
+//! reuse; [`ShardedClassMemory`] restructures the rows for batch
+//! throughput:
+//!
+//! * **Packed planes** — binary rows are stored as contiguous `u64`
+//!   words, *block-major*: the words of a dimension block are laid out
+//!   row after row, so scanning all `C` rows over one block is a linear
+//!   walk through a few KiB.
+//! * **Dimension blocking** — blocks of [`BLOCK_WORDS`] words keep the
+//!   row data for one block cache-resident while a whole chunk of
+//!   queries streams over it; distances accumulate in a per-worker
+//!   `queries × rows` matrix.
+//! * **Sharding** — batches shard across queries on
+//!   [`par`](crate::par) scoped threads (each worker owns its distance
+//!   matrix); single-query searches over very large row counts shard
+//!   across rows instead and merge deterministically.
+//!
+//! Every kernel is **bit-identical** with the scalar reference scan:
+//! binary distances are exact popcounts, integer scores reproduce
+//! [`IntHv::cosine`](crate::IntHv::cosine) operation-for-operation
+//! (same i64 dot, same `√·` and multiplication order), and ties resolve
+//! to the lowest row index exactly like the scalar argmin/argmax loops.
+
+use crate::binary::BinaryHv;
+use crate::dense::IntHv;
+use crate::error::HvError;
+use crate::par;
+
+/// Words per dimension block: 64 words = 4096 dimensions = 512 B per
+/// row per block, so even ~100 classes stay L2-resident per block.
+pub const BLOCK_WORDS: usize = 64;
+
+/// Row count above which a single-query search shards across rows.
+const ROW_SHARD_MIN: usize = 4096;
+
+/// Minimum queries per worker chunk in the batch kernels.
+const QUERY_CHUNK: usize = 4;
+
+/// A class memory packed for batched associative search.
+///
+/// Binary rows are always present (pushed via [`Self::from_rows`] /
+/// [`Self::push`]); integer rows for cosine search are attached with
+/// [`Self::set_int_rows`]. Rows can be refreshed in place
+/// ([`Self::update_row`], [`Self::update_int_row`]) so a training loop
+/// can keep a packed mirror in sync without rebuilding it.
+///
+/// # Examples
+///
+/// ```
+/// use hypervec::{HvRng, ShardedClassMemory};
+///
+/// let mut rng = HvRng::from_seed(7);
+/// let rows: Vec<_> = (0..4).map(|_| rng.binary_hv(10_000)).collect();
+/// let mem = ShardedClassMemory::from_rows(&rows)?;
+/// let queries: Vec<&_> = rows.iter().collect();
+/// let hits = mem.search_batch_binary(&queries)?;
+/// assert_eq!(hits.best_rows(), &[0, 1, 2, 3]);
+/// # Ok::<(), hypervec::HvError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct ShardedClassMemory {
+    dim: usize,
+    words_per_row: usize,
+    n_rows: usize,
+    /// Block `b` covers words `[b·BLOCK_WORDS, …)` of every row; within
+    /// a block the words are row-major (`row · block_len + word`).
+    bin_blocks: Vec<Vec<u64>>,
+    /// Integer rows, row-major `n_rows × dim`; empty until
+    /// [`Self::set_int_rows`].
+    int_rows: Vec<i32>,
+    /// Euclidean norm of each integer row, precomputed for cosine.
+    int_norms: Vec<f64>,
+}
+
+/// Result of a batch search: top-1 row and the full score vector for
+/// every query, in query order.
+///
+/// Scores are always "higher is more similar": the bipolar cosine
+/// `(D − 2·hamming)/D` for binary queries, cosine similarity for
+/// integer queries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchSearchResult {
+    best: Vec<usize>,
+    scores: Vec<Vec<f64>>,
+}
+
+impl BatchSearchResult {
+    /// Number of queries searched.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.best.len()
+    }
+
+    /// Whether the batch was empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.best.is_empty()
+    }
+
+    /// Best-matching row for query `q` (lowest index on ties).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range.
+    #[must_use]
+    pub fn best(&self, q: usize) -> usize {
+        self.best[q]
+    }
+
+    /// Best-matching row per query, in query order.
+    #[must_use]
+    pub fn best_rows(&self) -> &[usize] {
+        &self.best
+    }
+
+    /// Full per-row score vector for query `q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range.
+    #[must_use]
+    pub fn scores(&self, q: usize) -> &[f64] {
+        &self.scores[q]
+    }
+
+    /// Consumes the result, keeping only the top-1 row per query.
+    #[must_use]
+    pub fn into_best_rows(self) -> Vec<usize> {
+        self.best
+    }
+}
+
+/// Per-query intermediate produced by the kernels.
+struct QueryHit {
+    best: usize,
+    scores: Vec<f64>,
+}
+
+fn assemble(hits: Vec<QueryHit>) -> BatchSearchResult {
+    let mut best = Vec::with_capacity(hits.len());
+    let mut scores = Vec::with_capacity(hits.len());
+    for h in hits {
+        best.push(h.best);
+        scores.push(h.scores);
+    }
+    BatchSearchResult { best, scores }
+}
+
+impl ShardedClassMemory {
+    /// Creates an empty memory for rows of dimension `dim`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim == 0`.
+    #[must_use]
+    pub fn new(dim: usize) -> Self {
+        assert!(dim > 0, "class memory dimension must be positive");
+        let words_per_row = dim.div_ceil(64);
+        let n_blocks = words_per_row.div_ceil(BLOCK_WORDS);
+        ShardedClassMemory {
+            dim,
+            words_per_row,
+            n_rows: 0,
+            bin_blocks: vec![Vec::new(); n_blocks],
+            int_rows: Vec::new(),
+            int_norms: Vec::new(),
+        }
+    }
+
+    /// Packs existing rows.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HvError::EmptyInput`] when `rows` is empty, or
+    /// [`HvError::RowDimensionMismatch`] naming the first row whose
+    /// dimension disagrees with row 0.
+    pub fn from_rows(rows: &[BinaryHv]) -> Result<Self, HvError> {
+        let first = rows.first().ok_or(HvError::EmptyInput)?;
+        let mut mem = Self::new(first.dim());
+        for row in rows {
+            mem.push(row)?;
+        }
+        Ok(mem)
+    }
+
+    /// Appends a row.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HvError::RowDimensionMismatch`] (carrying the index the
+    /// row would have had) if the row's dimension disagrees.
+    pub fn push(&mut self, row: &BinaryHv) -> Result<(), HvError> {
+        if row.dim() != self.dim {
+            return Err(HvError::RowDimensionMismatch {
+                row: self.n_rows,
+                expected: self.dim,
+                found: row.dim(),
+            });
+        }
+        let words = row.bits().words();
+        for (b, block) in self.bin_blocks.iter_mut().enumerate() {
+            let start = b * BLOCK_WORDS;
+            let end = (start + BLOCK_WORDS).min(self.words_per_row);
+            block.extend_from_slice(&words[start..end]);
+        }
+        self.n_rows += 1;
+        Ok(())
+    }
+
+    /// Overwrites binary row `j` in place (training keeps the packed
+    /// mirror in sync after an accumulator update).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HvError::IndexOutOfRange`] for a bad index or
+    /// [`HvError::RowDimensionMismatch`] for a bad dimension.
+    pub fn update_row(&mut self, j: usize, row: &BinaryHv) -> Result<(), HvError> {
+        if j >= self.n_rows {
+            return Err(HvError::IndexOutOfRange {
+                index: j,
+                len: self.n_rows,
+            });
+        }
+        if row.dim() != self.dim {
+            return Err(HvError::RowDimensionMismatch {
+                row: j,
+                expected: self.dim,
+                found: row.dim(),
+            });
+        }
+        let words = row.bits().words();
+        for (b, block) in self.bin_blocks.iter_mut().enumerate() {
+            let start = b * BLOCK_WORDS;
+            let end = (start + BLOCK_WORDS).min(self.words_per_row);
+            let len = end - start;
+            block[j * len..(j + 1) * len].copy_from_slice(&words[start..end]);
+        }
+        Ok(())
+    }
+
+    /// Attaches (or replaces) the integer rows backing cosine search.
+    /// Must supply exactly one row per binary row.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HvError::DimensionMismatch`] if the row *count*
+    /// disagrees with the binary rows, or
+    /// [`HvError::RowDimensionMismatch`] naming the offending row on a
+    /// dimension disagreement.
+    pub fn set_int_rows(&mut self, rows: &[IntHv]) -> Result<(), HvError> {
+        if rows.len() != self.n_rows {
+            return Err(HvError::DimensionMismatch {
+                expected: self.n_rows,
+                found: rows.len(),
+            });
+        }
+        for (j, row) in rows.iter().enumerate() {
+            if row.dim() != self.dim {
+                return Err(HvError::RowDimensionMismatch {
+                    row: j,
+                    expected: self.dim,
+                    found: row.dim(),
+                });
+            }
+        }
+        self.int_rows.clear();
+        self.int_norms.clear();
+        for row in rows {
+            self.int_rows.extend_from_slice(row.values());
+            self.int_norms.push(row.norm());
+        }
+        Ok(())
+    }
+
+    /// Overwrites integer row `j` in place, refreshing its norm.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HvError::IndexOutOfRange`] if `j` is out of range (or
+    /// no integer rows are attached), or
+    /// [`HvError::RowDimensionMismatch`] for a bad dimension.
+    pub fn update_int_row(&mut self, j: usize, row: &IntHv) -> Result<(), HvError> {
+        if j >= self.int_norms.len() {
+            return Err(HvError::IndexOutOfRange {
+                index: j,
+                len: self.int_norms.len(),
+            });
+        }
+        if row.dim() != self.dim {
+            return Err(HvError::RowDimensionMismatch {
+                row: j,
+                expected: self.dim,
+                found: row.dim(),
+            });
+        }
+        self.int_rows[j * self.dim..(j + 1) * self.dim].copy_from_slice(row.values());
+        self.int_norms[j] = row.norm();
+        Ok(())
+    }
+
+    /// Hypervector dimension `D`.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of rows `C`.
+    #[must_use]
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Whether integer rows are attached (cosine search available).
+    #[must_use]
+    pub fn has_int_rows(&self) -> bool {
+        !self.int_norms.is_empty()
+    }
+
+    fn check_query_dim(&self, dim: usize) -> Result<(), HvError> {
+        if dim != self.dim {
+            return Err(HvError::DimensionMismatch {
+                expected: self.dim,
+                found: dim,
+            });
+        }
+        Ok(())
+    }
+
+    /// Hamming distances from `q_words` to every row, accumulated into
+    /// `dist` (must be zeroed, length `n_rows`).
+    fn hamming_into(&self, q_words: &[u64], dist: &mut [u32]) {
+        for (b, block) in self.bin_blocks.iter().enumerate() {
+            let start = b * BLOCK_WORDS;
+            let end = (start + BLOCK_WORDS).min(self.words_per_row);
+            let len = end - start;
+            let q_block = &q_words[start..end];
+            for (r, d) in dist.iter_mut().enumerate() {
+                let row = &block[r * len..(r + 1) * len];
+                let mut acc = 0u32;
+                for (a, w) in q_block.iter().zip(row) {
+                    acc += (a ^ w).count_ones();
+                }
+                *d += acc;
+            }
+        }
+    }
+
+    /// Bipolar-cosine score of a Hamming distance — identical floating-
+    /// point sequence to [`BinaryHv::cosine`] (`dot / D` with
+    /// `dot = D − 2·h`).
+    fn binary_score(&self, hamming: u32) -> f64 {
+        (self.dim as i64 - 2 * i64::from(hamming)) as f64 / self.dim as f64
+    }
+
+    /// Top-1 search for one binary query: `(row, hamming)` with ties to
+    /// the lowest index — bit-identical to the scalar per-row scan.
+    /// Shards across rows when the memory is large enough to benefit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HvError::EmptyInput`] when the memory has no rows, or
+    /// [`HvError::DimensionMismatch`] on dimension disagreement.
+    pub fn search_binary(&self, query: &BinaryHv) -> Result<(usize, usize), HvError> {
+        if self.n_rows == 0 {
+            return Err(HvError::EmptyInput);
+        }
+        self.check_query_dim(query.dim())?;
+        let q_words = query.bits().words();
+        if self.n_rows < ROW_SHARD_MIN {
+            let mut dist = vec![0u32; self.n_rows];
+            self.hamming_into(q_words, &mut dist);
+            let mut best = (0usize, u32::MAX);
+            for (r, &d) in dist.iter().enumerate() {
+                if d < best.1 {
+                    best = (r, d);
+                }
+            }
+            return Ok((best.0, best.1 as usize));
+        }
+        // Row-sharded: each worker scans a contiguous row range and the
+        // per-chunk minima merge by (distance, index) — deterministic.
+        let minima: Vec<(u32, usize)> = par::par_chunk_map(self.n_rows, 256, |range| {
+            let mut best: Option<(u32, usize)> = None;
+            for r in range {
+                let mut d = 0u32;
+                for (b, block) in self.bin_blocks.iter().enumerate() {
+                    let start = b * BLOCK_WORDS;
+                    let end = (start + BLOCK_WORDS).min(self.words_per_row);
+                    let len = end - start;
+                    let row = &block[r * len..(r + 1) * len];
+                    for (a, w) in q_words[start..end].iter().zip(row) {
+                        d += (a ^ w).count_ones();
+                    }
+                }
+                if best.is_none_or(|(bd, _)| d < bd) {
+                    best = Some((d, r));
+                }
+            }
+            best.into_iter().collect()
+        });
+        let (d, r) = minima
+            .into_iter()
+            .min()
+            .expect("non-empty memory yields at least one chunk minimum");
+        Ok((r, d as usize))
+    }
+
+    /// Batched binary search: top-1 row and full score vector for every
+    /// query, sharded across queries with per-worker distance matrices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HvError::EmptyInput`] when the memory has no rows, or
+    /// [`HvError::DimensionMismatch`] if any query disagrees on
+    /// dimension.
+    pub fn search_batch_binary(&self, queries: &[&BinaryHv]) -> Result<BatchSearchResult, HvError> {
+        if self.n_rows == 0 {
+            return Err(HvError::EmptyInput);
+        }
+        for q in queries {
+            self.check_query_dim(q.dim())?;
+        }
+        let n_rows = self.n_rows;
+        let hits = par::par_chunk_map(queries.len(), QUERY_CHUNK, |range| {
+            // One distance matrix per worker; block-major accumulation
+            // keeps each row block hot across the whole query chunk.
+            let chunk = range.len();
+            let mut dist = vec![0u32; chunk * n_rows];
+            for (b, block) in self.bin_blocks.iter().enumerate() {
+                let start = b * BLOCK_WORDS;
+                let end = (start + BLOCK_WORDS).min(self.words_per_row);
+                let len = end - start;
+                for (qi, q) in range.clone().enumerate() {
+                    let q_block = &queries[q].bits().words()[start..end];
+                    let drow = &mut dist[qi * n_rows..(qi + 1) * n_rows];
+                    for (r, d) in drow.iter_mut().enumerate() {
+                        let row = &block[r * len..(r + 1) * len];
+                        let mut acc = 0u32;
+                        for (a, w) in q_block.iter().zip(row) {
+                            acc += (a ^ w).count_ones();
+                        }
+                        *d += acc;
+                    }
+                }
+            }
+            (0..chunk)
+                .map(|qi| {
+                    let drow = &dist[qi * n_rows..(qi + 1) * n_rows];
+                    let mut best = (0usize, u32::MAX);
+                    for (r, &d) in drow.iter().enumerate() {
+                        if d < best.1 {
+                            best = (r, d);
+                        }
+                    }
+                    QueryHit {
+                        best: best.0,
+                        scores: drow.iter().map(|&d| self.binary_score(d)).collect(),
+                    }
+                })
+                .collect()
+        });
+        Ok(assemble(hits))
+    }
+
+    /// Cosine score of integer row `r` against a query — identical
+    /// floating-point sequence to `row.cosine(query)`.
+    fn int_score(&self, r: usize, query: &IntHv, q_norm: f64) -> f64 {
+        let row = &self.int_rows[r * self.dim..(r + 1) * self.dim];
+        let mut dot = 0i64;
+        for (&a, &b) in row.iter().zip(query.values()) {
+            dot += i64::from(a) * i64::from(b);
+        }
+        let denom = self.int_norms[r] * q_norm;
+        if denom == 0.0 {
+            0.0
+        } else {
+            dot as f64 / denom
+        }
+    }
+
+    /// Top-1 cosine search for one integer query: `(row, score)` with
+    /// ties to the lowest index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HvError::EmptyInput`] when no integer rows are
+    /// attached, or [`HvError::DimensionMismatch`] on dimension
+    /// disagreement.
+    pub fn search_int(&self, query: &IntHv) -> Result<(usize, f64), HvError> {
+        if !self.has_int_rows() {
+            return Err(HvError::EmptyInput);
+        }
+        self.check_query_dim(query.dim())?;
+        let q_norm = query.norm();
+        let mut best = (0usize, f64::NEG_INFINITY);
+        for r in 0..self.n_rows {
+            let s = self.int_score(r, query, q_norm);
+            if s > best.1 {
+                best = (r, s);
+            }
+        }
+        Ok(best)
+    }
+
+    /// Batched cosine search over the attached integer rows, sharded
+    /// across queries.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HvError::EmptyInput`] when no integer rows are
+    /// attached, or [`HvError::DimensionMismatch`] if any query
+    /// disagrees on dimension.
+    pub fn search_batch_int(&self, queries: &[&IntHv]) -> Result<BatchSearchResult, HvError> {
+        if !self.has_int_rows() {
+            return Err(HvError::EmptyInput);
+        }
+        for q in queries {
+            self.check_query_dim(q.dim())?;
+        }
+        let hits = par::par_chunk_map(queries.len(), QUERY_CHUNK, |range| {
+            range
+                .map(|q| {
+                    let query = queries[q];
+                    let q_norm = query.norm();
+                    let mut best = (0usize, f64::NEG_INFINITY);
+                    let mut scores = Vec::with_capacity(self.n_rows);
+                    for r in 0..self.n_rows {
+                        let s = self.int_score(r, query, q_norm);
+                        if s > best.1 {
+                            best = (r, s);
+                        }
+                        scores.push(s);
+                    }
+                    QueryHit {
+                        best: best.0,
+                        scores,
+                    }
+                })
+                .collect()
+        });
+        Ok(assemble(hits))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::HvRng;
+
+    fn rows(seed: u64, count: usize, dim: usize) -> Vec<BinaryHv> {
+        let mut rng = HvRng::from_seed(seed);
+        (0..count).map(|_| rng.binary_hv(dim)).collect()
+    }
+
+    /// Scalar reference scan (the pre-refactor inference loop).
+    fn scalar_nearest(rows: &[BinaryHv], q: &BinaryHv) -> (usize, usize) {
+        let mut best = (0usize, usize::MAX);
+        for (j, r) in rows.iter().enumerate() {
+            let d = r.hamming(q);
+            if d < best.1 {
+                best = (j, d);
+            }
+        }
+        best
+    }
+
+    #[test]
+    fn from_rows_rejects_empty_and_mixed_dims() {
+        assert_eq!(
+            ShardedClassMemory::from_rows(&[]).unwrap_err(),
+            HvError::EmptyInput
+        );
+        let mut rng = HvRng::from_seed(1);
+        let bad = vec![rng.binary_hv(64), rng.binary_hv(64), rng.binary_hv(65)];
+        assert_eq!(
+            ShardedClassMemory::from_rows(&bad).unwrap_err(),
+            HvError::RowDimensionMismatch {
+                row: 2,
+                expected: 64,
+                found: 65
+            }
+        );
+    }
+
+    #[test]
+    fn push_error_names_the_row_index() {
+        let mut rng = HvRng::from_seed(2);
+        let mut mem = ShardedClassMemory::new(130);
+        mem.push(&rng.binary_hv(130)).unwrap();
+        mem.push(&rng.binary_hv(130)).unwrap();
+        assert_eq!(
+            mem.push(&rng.binary_hv(128)).unwrap_err(),
+            HvError::RowDimensionMismatch {
+                row: 2,
+                expected: 130,
+                found: 128
+            }
+        );
+        assert_eq!(mem.n_rows(), 2);
+    }
+
+    #[test]
+    fn set_int_rows_validates_count_and_dims() {
+        let bins = rows(3, 3, 100);
+        let mut mem = ShardedClassMemory::from_rows(&bins).unwrap();
+        assert_eq!(
+            mem.set_int_rows(&[IntHv::zeros(100)]).unwrap_err(),
+            HvError::DimensionMismatch {
+                expected: 3,
+                found: 1
+            }
+        );
+        let bad = vec![IntHv::zeros(100), IntHv::zeros(99), IntHv::zeros(100)];
+        assert_eq!(
+            mem.set_int_rows(&bad).unwrap_err(),
+            HvError::RowDimensionMismatch {
+                row: 1,
+                expected: 100,
+                found: 99
+            }
+        );
+        assert!(!mem.has_int_rows());
+        let good = vec![IntHv::zeros(100), IntHv::zeros(100), IntHv::zeros(100)];
+        mem.set_int_rows(&good).unwrap();
+        assert!(mem.has_int_rows());
+    }
+
+    #[test]
+    fn batch_binary_matches_scalar_scan_non_aligned_dim() {
+        for dim in [130usize, 1000, 4096] {
+            let class_rows = rows(4, 9, dim);
+            let mem = ShardedClassMemory::from_rows(&class_rows).unwrap();
+            let queries = rows(5, 17, dim);
+            let refs: Vec<&BinaryHv> = queries.iter().collect();
+            let hits = mem.search_batch_binary(&refs).unwrap();
+            for (q, query) in queries.iter().enumerate() {
+                let (want, want_d) = scalar_nearest(&class_rows, query);
+                assert_eq!(hits.best(q), want, "dim {dim} query {q}");
+                assert_eq!(mem.search_binary(query).unwrap(), (want, want_d));
+                for (r, row) in class_rows.iter().enumerate() {
+                    let want_score = row.cosine(query);
+                    assert_eq!(
+                        hits.scores(q)[r].to_bits(),
+                        want_score.to_bits(),
+                        "dim {dim} query {q} row {r}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batch_int_matches_scalar_cosine() {
+        let dim = 257;
+        let bins = rows(6, 5, dim);
+        let ints: Vec<IntHv> = bins
+            .iter()
+            .map(|b| {
+                let mut acc = b.to_int();
+                acc.add_binary(b);
+                acc
+            })
+            .collect();
+        let mut mem = ShardedClassMemory::from_rows(&bins).unwrap();
+        mem.set_int_rows(&ints).unwrap();
+        let queries: Vec<IntHv> = rows(7, 11, dim).iter().map(BinaryHv::to_int).collect();
+        let refs: Vec<&IntHv> = queries.iter().collect();
+        let hits = mem.search_batch_int(&refs).unwrap();
+        for (q, query) in queries.iter().enumerate() {
+            let mut best = (0usize, f64::NEG_INFINITY);
+            for (r, row) in ints.iter().enumerate() {
+                let s = row.cosine(query);
+                assert_eq!(hits.scores(q)[r].to_bits(), s.to_bits(), "q {q} r {r}");
+                if s > best.1 {
+                    best = (r, s);
+                }
+            }
+            assert_eq!(hits.best(q), best.0, "query {q}");
+            let (one_r, one_s) = mem.search_int(query).unwrap();
+            assert_eq!((one_r, one_s.to_bits()), (best.0, best.1.to_bits()));
+        }
+    }
+
+    #[test]
+    fn ties_resolve_to_lowest_index() {
+        // Duplicate rows: every query ties between them; the scalar scan
+        // keeps the first, so must the kernels.
+        let base = rows(8, 1, 192).remove(0);
+        let dup = vec![base.clone(), base.clone(), base.clone()];
+        let mem = ShardedClassMemory::from_rows(&dup).unwrap();
+        let queries = rows(9, 5, 192);
+        let refs: Vec<&BinaryHv> = queries.iter().collect();
+        let hits = mem.search_batch_binary(&refs).unwrap();
+        for q in 0..queries.len() {
+            assert_eq!(hits.best(q), 0);
+        }
+    }
+
+    #[test]
+    fn update_row_changes_search_results() {
+        let mut class_rows = rows(10, 4, 300);
+        let mut mem = ShardedClassMemory::from_rows(&class_rows).unwrap();
+        let query = class_rows[3].clone();
+        assert_eq!(mem.search_binary(&query).unwrap().0, 3);
+        // Move row 1 onto the query: it now wins (lower index).
+        mem.update_row(1, &query).unwrap();
+        class_rows[1] = query.clone();
+        assert_eq!(mem.search_binary(&query).unwrap(), (1, 0));
+        assert_eq!(
+            mem.update_row(9, &query).unwrap_err(),
+            HvError::IndexOutOfRange { index: 9, len: 4 }
+        );
+    }
+
+    #[test]
+    fn update_int_row_refreshes_norm() {
+        let bins = rows(11, 2, 64);
+        let mut mem = ShardedClassMemory::from_rows(&bins).unwrap();
+        mem.set_int_rows(&[IntHv::zeros(64), IntHv::zeros(64)])
+            .unwrap();
+        let target = bins[1].to_int();
+        mem.update_int_row(1, &target).unwrap();
+        let (r, s) = mem.search_int(&target).unwrap();
+        assert_eq!(r, 1);
+        assert!((s - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn searches_on_empty_memory_error() {
+        let mem = ShardedClassMemory::new(64);
+        let mut rng = HvRng::from_seed(12);
+        let q = rng.binary_hv(64);
+        assert_eq!(mem.search_binary(&q).unwrap_err(), HvError::EmptyInput);
+        assert_eq!(
+            mem.search_batch_binary(&[&q]).unwrap_err(),
+            HvError::EmptyInput
+        );
+        assert_eq!(
+            mem.search_batch_int(&[&q.to_int()]).unwrap_err(),
+            HvError::EmptyInput
+        );
+    }
+
+    #[test]
+    fn query_dimension_is_checked() {
+        let mem = ShardedClassMemory::from_rows(&rows(13, 2, 128)).unwrap();
+        let mut rng = HvRng::from_seed(14);
+        let q = rng.binary_hv(130);
+        assert_eq!(
+            mem.search_binary(&q).unwrap_err(),
+            HvError::DimensionMismatch {
+                expected: 128,
+                found: 130
+            }
+        );
+    }
+
+    #[test]
+    fn row_sharded_single_query_matches_scalar() {
+        // Enough rows to trip the row-sharded path.
+        let dim = 130;
+        let mut rng = HvRng::from_seed(15);
+        let class_rows: Vec<BinaryHv> =
+            (0..ROW_SHARD_MIN + 7).map(|_| rng.binary_hv(dim)).collect();
+        let mem = ShardedClassMemory::from_rows(&class_rows).unwrap();
+        let q = class_rows[ROW_SHARD_MIN + 3].clone();
+        assert_eq!(
+            mem.search_binary(&q).unwrap(),
+            scalar_nearest(&class_rows, &q)
+        );
+    }
+
+    #[test]
+    fn empty_query_batch_is_fine() {
+        let mem = ShardedClassMemory::from_rows(&rows(16, 2, 64)).unwrap();
+        let hits = mem.search_batch_binary(&[]).unwrap();
+        assert!(hits.is_empty());
+        assert_eq!(hits.len(), 0);
+    }
+}

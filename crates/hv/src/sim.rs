@@ -24,13 +24,32 @@ impl Similarity {
     /// Similarity between two bipolar hypervectors, in `[−1, 1]`
     /// (higher is more similar for both metrics).
     ///
+    /// Both arms intentionally compute the same quantity: for bipolar
+    /// vectors the two metrics are *exactly* equivalent, not merely
+    /// correlated. Each disagreeing dimension contributes `−1` to the
+    /// dot product and each agreeing one `+1`, so
+    /// `dot = D − 2·hamming`, both norms are `√D`, and therefore
+    ///
+    /// ```text
+    /// cosine = dot / D = 1 − 2·hamming / D
+    /// ```
+    ///
+    /// The fused popcount search kernel
+    /// ([`ShardedClassMemory`](crate::ShardedClassMemory)) relies on
+    /// this identity to serve Hamming *and* cosine requests from one
+    /// integer distance; `binary_hamming_cosine_identity` in the tests
+    /// pins it bit-for-bit.
+    ///
     /// # Panics
     ///
     /// Panics if dimensions differ.
     #[must_use]
     pub fn binary(&self, a: &BinaryHv, b: &BinaryHv) -> f64 {
         match self {
-            Similarity::Hamming | Similarity::Cosine => a.cosine(b),
+            // Normalized Hamming reported on the similarity scale:
+            // 1 − 2·h/D, which *is* the bipolar cosine (see above).
+            Similarity::Hamming => a.cosine(b),
+            Similarity::Cosine => a.cosine(b),
         }
     }
 
@@ -101,6 +120,30 @@ mod tests {
         let s = Similarity::Hamming.binary(&a, &b);
         assert!((s - a.cosine(&b)).abs() < 1e-12);
         assert!((Similarity::Hamming.binary(&a, &a) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn binary_hamming_cosine_identity() {
+        // Pin the bipolar identity `1 − 2·hamming/D == cosine` the fused
+        // popcount kernel depends on, bit-for-bit, at a non-word-aligned
+        // dimension and at the extremes.
+        let d = 130usize;
+        let mut rng = HvRng::from_seed(42);
+        let a = rng.binary_hv(d);
+        let b = rng.binary_hv(d);
+        let h = a.hamming(&b);
+        // The form the kernel computes from a popcount distance is
+        // bit-identical to the cosine path …
+        let from_hamming = (d as i64 - 2 * h as i64) as f64 / d as f64;
+        assert_eq!(from_hamming.to_bits(), a.cosine(&b).to_bits());
+        // … and it equals the textbook `1 − 2·h/D` up to rounding.
+        let algebraic = 1.0 - 2.0 * (h as f64) / (d as f64);
+        assert!((from_hamming - algebraic).abs() < 1e-15);
+        assert_eq!(Similarity::Hamming.binary(&a, &b), from_hamming);
+        assert_eq!(Similarity::Cosine.binary(&a, &b), from_hamming);
+        // Extremes: identical vectors and full negation.
+        assert_eq!(Similarity::Hamming.binary(&a, &a), 1.0);
+        assert_eq!(Similarity::Hamming.binary(&a, &a.negated()), -1.0);
     }
 
     #[test]

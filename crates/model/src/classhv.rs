@@ -1,6 +1,6 @@
 //! Class hypervector storage.
 
-use hypervec::{BinaryHv, BundleAccumulator, IntHv};
+use hypervec::{BinaryHv, BundleAccumulator, IntHv, ShardedClassMemory};
 use serde::{Deserialize, Serialize};
 
 use crate::config::ModelKind;
@@ -107,6 +107,34 @@ impl ClassMemory {
     pub fn count(&self, j: usize) -> usize {
         self.accs[j].count()
     }
+
+    /// All binarized class rows, in class order.
+    #[must_use]
+    pub fn binary_rows(&self) -> &[BinaryHv] {
+        &self.bins
+    }
+
+    /// Packs a search-ready snapshot of the current class rows — the
+    /// representation [`InferenceSession`](crate::session::InferenceSession)
+    /// and the retraining loop classify against. The binarized rows are
+    /// always packed as popcount planes; the integer accumulator rows
+    /// (cosine search) are attached only for non-binary memories, since
+    /// a binary model's query path never reads them. The snapshot does
+    /// not track later accumulator updates; refresh touched rows with
+    /// [`ShardedClassMemory::update_row`] /
+    /// [`ShardedClassMemory::update_int_row`].
+    #[must_use]
+    pub fn to_sharded(&self) -> ShardedClassMemory {
+        let mut sharded = ShardedClassMemory::from_rows(&self.bins)
+            .expect("class memory rows share one dimension by construction");
+        if self.kind == ModelKind::NonBinary {
+            let ints: Vec<IntHv> = self.accs.iter().map(|a| a.sums().clone()).collect();
+            sharded
+                .set_int_rows(&ints)
+                .expect("accumulators share the binarized rows' dimension");
+        }
+        sharded
+    }
 }
 
 #[cfg(test)]
@@ -132,6 +160,31 @@ mod tests {
         assert_eq!(cm.class_binary(0), &hv);
         assert_eq!(cm.count(0), 1);
         assert_eq!(cm.count(1), 0);
+    }
+
+    #[test]
+    fn sharded_snapshot_matches_rows() {
+        let mut rng = HvRng::from_seed(3);
+        let a = rng.binary_hv(130);
+        let b = rng.binary_hv(130);
+        // Binary memories pack only the popcount planes.
+        let mut cm = ClassMemory::new(ModelKind::Binary, 2, 130);
+        cm.acc_mut(0).add(&a);
+        cm.acc_mut(1).add(&b);
+        cm.rebinarize();
+        let sharded = cm.to_sharded();
+        assert_eq!(sharded.n_rows(), 2);
+        assert_eq!(sharded.dim(), 130);
+        assert!(!sharded.has_int_rows());
+        assert_eq!(sharded.search_binary(&a).unwrap(), (0, 0));
+        // Non-binary memories additionally attach the integer rows.
+        let mut cm = ClassMemory::new(ModelKind::NonBinary, 2, 130);
+        cm.acc_mut(0).add(&a);
+        cm.acc_mut(1).add(&b);
+        cm.rebinarize();
+        let sharded = cm.to_sharded();
+        assert!(sharded.has_int_rows());
+        assert_eq!(sharded.search_int(&b.to_int()).unwrap().0, 1);
     }
 
     #[test]

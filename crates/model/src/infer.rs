@@ -3,6 +3,14 @@
 //! A query is encoded with the same encoder used at training time, then
 //! compared against every class hypervector — Hamming distance for
 //! binary models, cosine for non-binary models (paper Sec. 2).
+//!
+//! The throughput path lives in [`InferenceSession`]: a packed
+//! class-memory snapshot served by the fused batch
+//! `encode_batch_* → search_batch_*` kernels. The per-row scans in this
+//! module ([`classify_binary_hv`], [`classify_int_hv`]) are kept as the
+//! scalar *reference* implementation the batch kernels must stay
+//! bit-identical to (and as the baseline the search benchmark measures
+//! against).
 
 use hdc_datasets::QuantizedDataset;
 use hypervec::{BinaryHv, IntHv};
@@ -10,10 +18,14 @@ use hypervec::{BinaryHv, IntHv};
 use crate::classhv::ClassMemory;
 use crate::config::ModelKind;
 use crate::encoder::Encoder;
-use crate::metrics::{ConfusionMatrix, EvalResult};
+use crate::metrics::EvalResult;
+use crate::session::InferenceSession;
 
 /// Classifies an already-encoded binary query: the class whose
 /// binarized hypervector has the smallest Hamming distance.
+///
+/// Scalar reference scan — the batch path is
+/// [`InferenceSession::classify_batch`], which is bit-identical.
 ///
 /// # Panics
 ///
@@ -32,6 +44,9 @@ pub fn classify_binary_hv(memory: &ClassMemory, query: &BinaryHv) -> usize {
 
 /// Classifies an already-encoded integer query: the class whose integer
 /// hypervector has the largest cosine similarity.
+///
+/// Scalar reference scan — the batch path is
+/// [`InferenceSession::classify_batch`], which is bit-identical.
 ///
 /// # Panics
 ///
@@ -84,15 +99,11 @@ pub fn class_scores<E: Encoder>(encoder: &E, memory: &ClassMemory, levels: &[u16
     }
 }
 
-/// Samples encoded per block during evaluation: large enough to feed
-/// every batch worker, small enough that the encoded block (not the
-/// whole dataset) bounds peak memory — ~40 MB of `IntHv` at D = 10 000.
-const EVAL_BLOCK: usize = 1024;
-
-/// Evaluates a trained model over a quantized dataset, streaming it in
-/// blocks through the encoder's batch path (word-parallel engine, all
-/// workers); classification of a finished block is sequential — it is
-/// O(C·D/64) per sample against the encoder's O(N·D/64).
+/// Evaluates a trained model over a quantized dataset by building a
+/// one-shot [`InferenceSession`] and streaming the data through its
+/// fused batch `encode → search` path. Callers evaluating repeatedly
+/// against the same memory should build (and reuse) the session
+/// themselves to amortize the packing snapshot.
 ///
 /// # Panics
 ///
@@ -103,31 +114,7 @@ pub fn evaluate<E: Encoder + Sync>(
     memory: &ClassMemory,
     data: &QuantizedDataset,
 ) -> EvalResult {
-    let rows: Vec<&[u16]> = (0..data.len()).map(|i| data.row(i)).collect();
-    let mut confusion = ConfusionMatrix::new(data.n_classes());
-    for block_start in (0..rows.len()).step_by(EVAL_BLOCK) {
-        let block_end = (block_start + EVAL_BLOCK).min(rows.len());
-        let block = &rows[block_start..block_end];
-        match memory.kind() {
-            ModelKind::Binary => {
-                for (off, hv) in encoder.encode_batch_binary(block).iter().enumerate() {
-                    confusion.record(
-                        data.label(block_start + off),
-                        classify_binary_hv(memory, hv),
-                    );
-                }
-            }
-            ModelKind::NonBinary => {
-                for (off, hv) in encoder.encode_batch_int(block).iter().enumerate() {
-                    confusion.record(data.label(block_start + off), classify_int_hv(memory, hv));
-                }
-            }
-        }
-    }
-    EvalResult {
-        accuracy: confusion.accuracy(),
-        confusion,
-    }
+    InferenceSession::new(encoder, memory).evaluate(data)
 }
 
 #[cfg(test)]

@@ -36,14 +36,16 @@ pub mod metrics;
 pub mod model;
 pub mod ngram;
 pub mod persist;
+pub mod session;
 pub mod train;
 
 pub use classhv::ClassMemory;
 pub use config::{HdcConfig, ModelKind};
 pub use encoder::{Encoder, RecordEncoder};
 pub use infer::{class_scores, classify, evaluate};
-pub use metrics::{ConfusionMatrix, EvalResult};
+pub use metrics::{ConfusionMatrix, EvalResult, LatencyStats};
 pub use model::HdcModel;
 pub use ngram::NgramEncoder;
 pub use persist::{PersistError, SavedModel};
+pub use session::InferenceSession;
 pub use train::{encode_dataset, train, train_online};

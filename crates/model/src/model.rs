@@ -8,6 +8,7 @@ use crate::config::HdcConfig;
 use crate::encoder::{Encoder, RecordEncoder};
 use crate::infer;
 use crate::metrics::EvalResult;
+use crate::session::InferenceSession;
 use crate::train;
 
 /// A complete HDC classifier: configuration, encoder, fitted quantizer
@@ -155,6 +156,14 @@ impl<E: Encoder + Sync> HdcModel<E> {
     #[must_use]
     pub fn evaluate_quantized(&self, data: &QuantizedDataset) -> EvalResult {
         infer::evaluate(&self.encoder, &self.memory, data)
+    }
+
+    /// Builds a reusable batched inference session over this model's
+    /// encoder and trained memory — the unit the serving layer and the
+    /// attack harness drive.
+    #[must_use]
+    pub fn session(&self) -> InferenceSession<'_, E> {
+        InferenceSession::new(&self.encoder, &self.memory)
     }
 }
 

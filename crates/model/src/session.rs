@@ -1,0 +1,309 @@
+//! Batched inference sessions: encoder + packed class memory as one
+//! query-side unit.
+//!
+//! HDLock's threat model assumes the deployed model is driven at high
+//! query volume; Prive-HD argues the deployed encoder + memory should
+//! be one hardened pipeline rather than loose library calls. An
+//! [`InferenceSession`] is that pipeline's software shape: it snapshots
+//! the trained [`ClassMemory`] into a search-packed
+//! [`ShardedClassMemory`] once, then serves every query through the
+//! fused `encode_batch_* → search_batch_*` path — one word-parallel
+//! encoding pass (per-worker scratch accumulators, no per-sample
+//! allocation beyond the encoded block) feeding one word-parallel
+//! popcount/dot scan (per-worker distance matrices). The evaluation
+//! loop, the serving layer (`hdc_serve`) and the attack harness all
+//! run on the same session, so measured attack cost and served
+//! throughput describe the same code path.
+//!
+//! Results are bit-identical to the scalar per-sample pipeline
+//! (`encode_binary` + the one-row-at-a-time scan), including
+//! lowest-index tie-breaking — pinned by the `session_equivalence`
+//! integration tests.
+
+use hdc_datasets::QuantizedDataset;
+use hypervec::{BatchSearchResult, BinaryHv, IntHv, ShardedClassMemory};
+
+use crate::classhv::ClassMemory;
+use crate::config::ModelKind;
+use crate::encoder::Encoder;
+use crate::metrics::{ConfusionMatrix, EvalResult};
+
+/// Samples encoded per block when streaming a dataset through the
+/// session: large enough to feed every batch worker, small enough that
+/// the encoded block (not the whole dataset) bounds peak memory.
+pub const SESSION_BLOCK: usize = 1024;
+
+/// A query-side inference pipeline: borrowed encoder plus an owned,
+/// search-packed snapshot of the class memory.
+///
+/// # Examples
+///
+/// ```
+/// use hdc_datasets::Benchmark;
+/// use hdc_model::{HdcConfig, HdcModel, InferenceSession};
+///
+/// let (train, test) = Benchmark::Face.generate(0.05, 3)?;
+/// let config = HdcConfig::paper_default().with_dim(1024);
+/// let model = HdcModel::fit_standard(&config, &train)?;
+/// let session = InferenceSession::new(model.encoder(), model.memory());
+/// let levels = model.discretizer().discretize_row(&test.samples()[0].features);
+/// let class = session.classify(&levels);
+/// assert!(class < model.memory().n_classes());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct InferenceSession<'a, E> {
+    encoder: &'a E,
+    kind: ModelKind,
+    sharded: ShardedClassMemory,
+}
+
+impl<'a, E: Encoder + Sync> InferenceSession<'a, E> {
+    /// Builds a session by snapshotting `memory` into packed form.
+    ///
+    /// # Panics
+    ///
+    /// Panics if encoder and memory disagree on dimensionality.
+    #[must_use]
+    pub fn new(encoder: &'a E, memory: &ClassMemory) -> Self {
+        assert_eq!(
+            encoder.dim(),
+            memory.dim(),
+            "encoder dimension {} does not match class memory dimension {}",
+            encoder.dim(),
+            memory.dim()
+        );
+        InferenceSession {
+            encoder,
+            kind: memory.kind(),
+            sharded: memory.to_sharded(),
+        }
+    }
+
+    /// The encoder this session serves.
+    #[must_use]
+    pub fn encoder(&self) -> &E {
+        self.encoder
+    }
+
+    /// Model kind (binary → Hamming search, non-binary → cosine).
+    #[must_use]
+    pub fn kind(&self) -> ModelKind {
+        self.kind
+    }
+
+    /// The packed class-memory snapshot.
+    #[must_use]
+    pub fn memory(&self) -> &ShardedClassMemory {
+        &self.sharded
+    }
+
+    /// Number of classes `C`.
+    #[must_use]
+    pub fn n_classes(&self) -> usize {
+        self.sharded.n_rows()
+    }
+
+    /// Number of input features `N`.
+    #[must_use]
+    pub fn n_features(&self) -> usize {
+        self.encoder.n_features()
+    }
+
+    /// Number of value levels `M`.
+    #[must_use]
+    pub fn m_levels(&self) -> usize {
+        self.encoder.m_levels()
+    }
+
+    /// Hypervector dimensionality `D`.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.encoder.dim()
+    }
+
+    /// Fused classify of a batch of quantized rows: one batch encode,
+    /// one batch search, top-1 class per row in input order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any row's width does not match the encoder.
+    #[must_use]
+    pub fn classify_batch(&self, rows: &[&[u16]]) -> Vec<usize> {
+        if rows.is_empty() {
+            return Vec::new();
+        }
+        match self.kind {
+            ModelKind::Binary => {
+                let encoded = self.encoder.encode_batch_binary(rows);
+                let refs: Vec<&BinaryHv> = encoded.iter().collect();
+                self.sharded
+                    .search_batch_binary(&refs)
+                    .expect("session dimensions are consistent by construction")
+                    .into_best_rows()
+            }
+            ModelKind::NonBinary => {
+                let encoded = self.encoder.encode_batch_int(rows);
+                let refs: Vec<&IntHv> = encoded.iter().collect();
+                self.sharded
+                    .search_batch_int(&refs)
+                    .expect("session dimensions are consistent by construction")
+                    .into_best_rows()
+            }
+        }
+    }
+
+    /// Fused classify of a batch, returning top-1 *and* the full
+    /// per-class score vector for every row (higher is more similar;
+    /// bipolar cosine for binary models, cosine for non-binary).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any row's width does not match the encoder.
+    #[must_use]
+    pub fn scores_batch(&self, rows: &[&[u16]]) -> BatchSearchResult {
+        match self.kind {
+            ModelKind::Binary => {
+                let encoded = self.encoder.encode_batch_binary(rows);
+                let refs: Vec<&BinaryHv> = encoded.iter().collect();
+                self.sharded
+                    .search_batch_binary(&refs)
+                    .expect("session dimensions are consistent by construction")
+            }
+            ModelKind::NonBinary => {
+                let encoded = self.encoder.encode_batch_int(rows);
+                let refs: Vec<&IntHv> = encoded.iter().collect();
+                self.sharded
+                    .search_batch_int(&refs)
+                    .expect("session dimensions are consistent by construction")
+            }
+        }
+    }
+
+    /// Classifies a single quantized row (a batch of one).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width does not match the encoder.
+    #[must_use]
+    pub fn classify(&self, levels: &[u16]) -> usize {
+        match self.kind {
+            ModelKind::Binary => {
+                self.sharded
+                    .search_binary(&self.encoder.encode_binary(levels))
+                    .expect("session dimensions are consistent by construction")
+                    .0
+            }
+            ModelKind::NonBinary => {
+                self.sharded
+                    .search_int(&self.encoder.encode_int(levels))
+                    .expect("session dimensions are consistent by construction")
+                    .0
+            }
+        }
+    }
+
+    /// Evaluates the session over a quantized dataset, streaming it in
+    /// [`SESSION_BLOCK`]-sized blocks through the fused batch path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dataset width does not match the encoder.
+    #[must_use]
+    pub fn evaluate(&self, data: &QuantizedDataset) -> EvalResult {
+        let rows: Vec<&[u16]> = (0..data.len()).map(|i| data.row(i)).collect();
+        let mut confusion = ConfusionMatrix::new(data.n_classes());
+        for block_start in (0..rows.len()).step_by(SESSION_BLOCK) {
+            let block_end = (block_start + SESSION_BLOCK).min(rows.len());
+            let block = &rows[block_start..block_end];
+            for (off, &predicted) in self.classify_batch(block).iter().enumerate() {
+                confusion.record(data.label(block_start + off), predicted);
+            }
+        }
+        EvalResult {
+            accuracy: confusion.accuracy(),
+            confusion,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoder::RecordEncoder;
+    use crate::infer;
+    use hypervec::HvRng;
+
+    fn setup(kind: ModelKind, dim: usize) -> (RecordEncoder, ClassMemory, Vec<Vec<u16>>) {
+        let mut rng = HvRng::from_seed(9);
+        let enc = RecordEncoder::generate(&mut rng, 7, 4, dim).unwrap();
+        let mut memory = ClassMemory::new(kind, 3, dim);
+        let protos: Vec<Vec<u16>> = vec![vec![0u16; 7], vec![2u16; 7], vec![3u16; 7]];
+        for (j, p) in protos.iter().enumerate() {
+            memory.acc_mut(j).add(&enc.encode_binary(p));
+        }
+        memory.rebinarize();
+        let rows: Vec<Vec<u16>> = (0..20)
+            .map(|s| (0..7).map(|i| ((s + i) % 4) as u16).collect())
+            .collect();
+        (enc, memory, rows)
+    }
+
+    #[test]
+    fn batch_classify_matches_scalar_pipeline_binary() {
+        let (enc, memory, rows) = setup(ModelKind::Binary, 1030);
+        let session = InferenceSession::new(&enc, &memory);
+        let refs: Vec<&[u16]> = rows.iter().map(Vec::as_slice).collect();
+        let batch = session.classify_batch(&refs);
+        for (i, row) in refs.iter().enumerate() {
+            let want = infer::classify_binary_hv(&memory, &enc.encode_binary(row));
+            assert_eq!(batch[i], want, "row {i}");
+            assert_eq!(session.classify(row), want, "row {i}");
+        }
+    }
+
+    #[test]
+    fn batch_classify_matches_scalar_pipeline_nonbinary() {
+        let (enc, memory, rows) = setup(ModelKind::NonBinary, 512);
+        let session = InferenceSession::new(&enc, &memory);
+        let refs: Vec<&[u16]> = rows.iter().map(Vec::as_slice).collect();
+        let batch = session.classify_batch(&refs);
+        for (i, row) in refs.iter().enumerate() {
+            let want = infer::classify_int_hv(&memory, &enc.encode_int(row));
+            assert_eq!(batch[i], want, "row {i}");
+            assert_eq!(session.classify(row), want, "row {i}");
+        }
+    }
+
+    #[test]
+    fn scores_batch_matches_class_scores() {
+        for kind in [ModelKind::Binary, ModelKind::NonBinary] {
+            let (enc, memory, rows) = setup(kind, 256);
+            let session = InferenceSession::new(&enc, &memory);
+            let refs: Vec<&[u16]> = rows.iter().map(Vec::as_slice).collect();
+            let hits = session.scores_batch(&refs);
+            for (i, row) in refs.iter().enumerate() {
+                let want = infer::class_scores(&enc, &memory, row);
+                for (j, &s) in hits.scores(i).iter().enumerate() {
+                    assert_eq!(s.to_bits(), want[j].to_bits(), "{kind:?} row {i} class {j}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let (enc, memory, _) = setup(ModelKind::Binary, 128);
+        let session = InferenceSession::new(&enc, &memory);
+        assert!(session.classify_batch(&[]).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match class memory dimension")]
+    fn dimension_disagreement_panics() {
+        let mut rng = HvRng::from_seed(1);
+        let enc = RecordEncoder::generate(&mut rng, 4, 4, 128).unwrap();
+        let memory = ClassMemory::new(ModelKind::Binary, 2, 256);
+        let _ = InferenceSession::new(&enc, &memory);
+    }
+}

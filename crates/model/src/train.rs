@@ -7,14 +7,20 @@
 //! by an integer learning rate — the "retraining rounds and learning
 //! rate" hyperparameter tuning the paper cites from QuantHD as part of
 //! what makes a trained model valuable IP.
+//!
+//! The retraining loops classify against a packed
+//! [`ShardedClassMemory`] mirror of the class rows (the same kernel
+//! inference and serving use) instead of re-scanning `BinaryHv` rows
+//! one at a time; after each misclassification only the two touched
+//! rows are refreshed in the mirror. The kernels are bit-identical to
+//! the scalar scan, so training results are unchanged.
 
 use hdc_datasets::QuantizedDataset;
-use hypervec::{BinaryHv, IntHv};
+use hypervec::{BinaryHv, IntHv, ShardedClassMemory};
 
 use crate::classhv::ClassMemory;
 use crate::config::{HdcConfig, ModelKind};
 use crate::encoder::Encoder;
-use crate::infer;
 
 /// A sample pre-encoded in the representation its model kind trains on.
 #[derive(Debug, Clone)]
@@ -87,14 +93,25 @@ pub fn train<E: Encoder + Sync>(
     }
     memory.rebinarize();
 
-    // Retraining rounds.
+    // Retraining rounds, classifying against the packed mirror.
+    let mut mirror = memory.to_sharded();
     for _ in 0..config.epochs {
         let mut any_update = false;
         for (i, enc) in encoded.iter().enumerate() {
             let label = data.label(i);
             let predicted = match enc {
-                EncodedSample::Binary(hv) => infer::classify_binary_hv(&memory, hv),
-                EncodedSample::Int(hv) => infer::classify_int_hv(&memory, hv),
+                EncodedSample::Binary(hv) => {
+                    mirror
+                        .search_binary(hv)
+                        .expect("mirror matches encoded dimension")
+                        .0
+                }
+                EncodedSample::Int(hv) => {
+                    mirror
+                        .search_int(hv)
+                        .expect("mirror matches encoded dimension")
+                        .0
+                }
             };
             if predicted != label {
                 any_update = true;
@@ -114,12 +131,10 @@ pub fn train<E: Encoder + Sync>(
                             .adjust_int(hv, -config.learning_rate);
                     }
                 }
-                if config.kind == ModelKind::Binary {
-                    // Binary inference reads the binarized snapshot, so
-                    // refresh the two classes we touched.
-                    memory.rebinarize_class(label);
-                    memory.rebinarize_class(predicted);
-                }
+                // Refresh only the two touched rows in the mirror, in
+                // the representation this kind classifies with.
+                refresh_mirror(&mut mirror, &mut memory, config.kind, label);
+                refresh_mirror(&mut mirror, &mut memory, config.kind, predicted);
             }
         }
         memory.rebinarize();
@@ -128,6 +143,31 @@ pub fn train<E: Encoder + Sync>(
         }
     }
     memory
+}
+
+/// Refreshes class `j` of a packed training mirror after its
+/// accumulator changed: binary models re-binarize and repack the
+/// popcount row, non-binary models repack the integer row (the
+/// binarized snapshot is refreshed at epoch end by `rebinarize`).
+fn refresh_mirror(
+    mirror: &mut ShardedClassMemory,
+    memory: &mut ClassMemory,
+    kind: ModelKind,
+    j: usize,
+) {
+    match kind {
+        ModelKind::Binary => {
+            memory.rebinarize_class(j);
+            mirror
+                .update_row(j, memory.class_binary(j))
+                .expect("mirror row matches class memory");
+        }
+        ModelKind::NonBinary => {
+            mirror
+                .update_int_row(j, memory.class_int(j))
+                .expect("mirror row matches class memory");
+        }
+    }
 }
 
 /// Adaptive single-pass training in the style of OnlineHD: each sample
@@ -163,37 +203,46 @@ pub fn train_online<E: Encoder + Sync>(
     );
     let encoded = encode_dataset(encoder, config.kind, data);
     let mut memory = ClassMemory::new(config.kind, data.n_classes(), encoder.dim());
+    let mut mirror = memory.to_sharded();
     let mut seen = vec![false; data.n_classes()];
 
     for (i, enc) in encoded.iter().enumerate() {
         let label = data.label(i);
         match enc {
             EncodedSample::Binary(hv) => {
-                let predicted = infer::classify_binary_hv(&memory, hv);
+                let predicted = mirror
+                    .search_binary(hv)
+                    .expect("mirror matches encoded dimension")
+                    .0;
                 let sim = if seen[label] {
                     memory.class_binary(label).cosine(hv)
                 } else {
                     0.0
                 };
                 memory.acc_mut(label).adjust_binary(hv, weight(sim, scale));
-                memory.rebinarize_class(label);
+                refresh_mirror(&mut mirror, &mut memory, ModelKind::Binary, label);
                 if predicted != label && seen[predicted] {
                     let sim_wrong = memory.class_binary(predicted).cosine(hv);
                     memory
                         .acc_mut(predicted)
                         .adjust_binary(hv, -weight(sim_wrong, scale));
-                    memory.rebinarize_class(predicted);
+                    refresh_mirror(&mut mirror, &mut memory, ModelKind::Binary, predicted);
                 }
             }
             EncodedSample::Int(hv) => {
-                let predicted = infer::classify_int_hv(&memory, hv);
+                let predicted = mirror
+                    .search_int(hv)
+                    .expect("mirror matches encoded dimension")
+                    .0;
                 let sim = memory.class_int(label).cosine(hv);
                 memory.acc_mut(label).adjust_int(hv, weight(sim, scale));
+                refresh_mirror(&mut mirror, &mut memory, ModelKind::NonBinary, label);
                 if predicted != label && seen[predicted] {
                     let sim_wrong = memory.class_int(predicted).cosine(hv);
                     memory
                         .acc_mut(predicted)
                         .adjust_int(hv, -weight(sim_wrong, scale));
+                    refresh_mirror(&mut mirror, &mut memory, ModelKind::NonBinary, predicted);
                 }
             }
         }
@@ -212,6 +261,7 @@ fn weight(similarity: f64, scale: i32) -> i32 {
 mod tests {
     use super::*;
     use crate::encoder::RecordEncoder;
+    use crate::infer;
     use hdc_datasets::{Benchmark, Discretizer};
     use hypervec::HvRng;
 

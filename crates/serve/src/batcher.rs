@@ -1,0 +1,229 @@
+//! The request-batching queue and its worker pool.
+//!
+//! Connection handlers enqueue one [`Job`] per request; worker threads
+//! pop *batches* — up to `max_batch` jobs, or whatever has accumulated
+//! after `max_wait` — and run one fused `encode_batch → search_batch`
+//! call per batch. Latency under light load is bounded by `max_wait`;
+//! throughput under heavy load approaches the batch kernel's, because
+//! the per-request protocol cost is the only per-request work left.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use hdc_model::{Encoder, InferenceSession};
+
+/// Batching and worker-pool parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchConfig {
+    /// Maximum jobs fused into one batch call.
+    pub max_batch: usize,
+    /// Maximum time the first job of a batch waits for company.
+    pub max_wait: Duration,
+    /// Worker threads popping batches.
+    pub workers: usize,
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        BatchConfig {
+            max_batch: 64,
+            max_wait: Duration::from_micros(200),
+            workers: 2,
+        }
+    }
+}
+
+/// Outcome of one classify job, sent back to its connection handler.
+#[derive(Debug, Clone)]
+pub enum JobResult {
+    /// Top-1 class.
+    Class(usize),
+    /// Top-1 class plus the full per-class score vector.
+    ClassWithScores(usize, Vec<f64>),
+}
+
+/// One enqueued classify request.
+#[derive(Debug)]
+pub struct Job {
+    /// Quantized feature row (validated by the handler before enqueue).
+    pub levels: Vec<u16>,
+    /// Whether the full score vector was requested.
+    pub want_scores: bool,
+    /// Completion channel back to the connection handler.
+    pub tx: mpsc::Sender<JobResult>,
+}
+
+/// Shared FIFO with batch-aware popping and shutdown draining.
+#[derive(Debug, Default)]
+pub struct BatchQueue {
+    inner: Mutex<VecDeque<Job>>,
+    cv: Condvar,
+    closed: AtomicBool,
+}
+
+impl BatchQueue {
+    /// Creates an empty queue.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Enqueues a job and wakes one worker.
+    pub fn push(&self, job: Job) {
+        self.inner
+            .lock()
+            .expect("batch queue lock never poisoned")
+            .push_back(job);
+        self.cv.notify_one();
+    }
+
+    /// Closes the queue: workers drain what is left, then exit.
+    pub fn close(&self) {
+        self.closed.store(true, Ordering::SeqCst);
+        self.cv.notify_all();
+    }
+
+    /// Pops the next batch: blocks until at least one job is present,
+    /// then waits up to `max_wait` (or until `max_batch` jobs are
+    /// queued) before draining. Returns `None` once the queue is closed
+    /// *and* empty.
+    pub fn next_batch(&self, config: &BatchConfig) -> Option<Vec<Job>> {
+        let mut queue = self.inner.lock().expect("batch queue lock never poisoned");
+        loop {
+            if !queue.is_empty() {
+                break;
+            }
+            if self.closed.load(Ordering::SeqCst) {
+                return None;
+            }
+            queue = self
+                .cv
+                .wait_timeout(queue, Duration::from_millis(20))
+                .expect("batch queue lock never poisoned")
+                .0;
+        }
+        // First job is in; give stragglers up to `max_wait` to join
+        // (skip the wait entirely when draining after close).
+        let deadline = Instant::now() + config.max_wait;
+        while queue.len() < config.max_batch && !self.closed.load(Ordering::SeqCst) {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            let (guard, timeout) = self
+                .cv
+                .wait_timeout(queue, deadline - now)
+                .expect("batch queue lock never poisoned");
+            queue = guard;
+            if timeout.timed_out() {
+                break;
+            }
+        }
+        let take = queue.len().min(config.max_batch);
+        Some(queue.drain(..take).collect())
+    }
+}
+
+/// Worker loop: pop batches, run one fused session call per batch,
+/// deliver per-job results. Returns once the queue is closed and
+/// drained; `served` counts completed requests.
+pub fn worker_loop<E: Encoder + Sync>(
+    queue: &BatchQueue,
+    session: &InferenceSession<'_, E>,
+    config: &BatchConfig,
+    served: &AtomicU64,
+) {
+    while let Some(batch) = queue.next_batch(config) {
+        let rows: Vec<&[u16]> = batch.iter().map(|j| j.levels.as_slice()).collect();
+        if batch.iter().any(|j| j.want_scores) {
+            let hits = session.scores_batch(&rows);
+            for (i, job) in batch.into_iter().enumerate() {
+                let result = if job.want_scores {
+                    JobResult::ClassWithScores(hits.best(i), hits.scores(i).to_vec())
+                } else {
+                    JobResult::Class(hits.best(i))
+                };
+                served.fetch_add(1, Ordering::Relaxed);
+                // A handler that hung up already is not an error.
+                let _ = job.tx.send(result);
+            }
+        } else {
+            let classes = session.classify_batch(&rows);
+            for (job, class) in batch.into_iter().zip(classes) {
+                served.fetch_add(1, Ordering::Relaxed);
+                let _ = job.tx.send(JobResult::Class(class));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job(level: u16) -> (Job, mpsc::Receiver<JobResult>) {
+        let (tx, rx) = mpsc::channel();
+        (
+            Job {
+                levels: vec![level],
+                want_scores: false,
+                tx,
+            },
+            rx,
+        )
+    }
+
+    #[test]
+    fn batches_cap_at_max_batch() {
+        let queue = BatchQueue::new();
+        let mut rxs = Vec::new();
+        for i in 0..5 {
+            let (j, rx) = job(i);
+            queue.push(j);
+            rxs.push(rx);
+        }
+        let config = BatchConfig {
+            max_batch: 3,
+            max_wait: Duration::from_micros(1),
+            workers: 1,
+        };
+        let first = queue.next_batch(&config).unwrap();
+        assert_eq!(first.len(), 3);
+        assert_eq!(first[0].levels, vec![0]);
+        let second = queue.next_batch(&config).unwrap();
+        assert_eq!(second.len(), 2);
+    }
+
+    #[test]
+    fn close_drains_then_ends() {
+        let queue = BatchQueue::new();
+        let (j, _rx) = job(1);
+        queue.push(j);
+        queue.close();
+        let config = BatchConfig::default();
+        assert_eq!(queue.next_batch(&config).unwrap().len(), 1);
+        assert!(queue.next_batch(&config).is_none());
+    }
+
+    #[test]
+    fn next_batch_wakes_on_late_push() {
+        let queue = BatchQueue::new();
+        let config = BatchConfig {
+            max_batch: 8,
+            max_wait: Duration::from_micros(50),
+            workers: 1,
+        };
+        std::thread::scope(|s| {
+            let popper = s.spawn(|| queue.next_batch(&config));
+            std::thread::sleep(Duration::from_millis(5));
+            let (j, _rx) = job(7);
+            queue.push(j);
+            let batch = popper.join().unwrap().unwrap();
+            assert_eq!(batch.len(), 1);
+            assert_eq!(batch[0].levels, vec![7]);
+        });
+    }
+}

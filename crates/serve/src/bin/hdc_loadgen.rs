@@ -1,0 +1,90 @@
+//! Load generator CLI: drives a running `hdc_serve` instance and prints
+//! throughput and latency percentiles.
+//!
+//! Usage: `hdc_loadgen [--addr HOST:PORT] [--features N] [--levels M]
+//! [--connections C] [--requests R] [--seed S]`
+//!
+//! `--features` / `--levels` must match the served model.
+
+use std::net::ToSocketAddrs;
+
+use hdc_serve::{loadgen, LoadgenConfig};
+
+struct Options {
+    addr: String,
+    n_features: usize,
+    m_levels: usize,
+    config: LoadgenConfig,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            addr: "127.0.0.1:7878".to_owned(),
+            n_features: 16,
+            m_levels: 8,
+            config: LoadgenConfig::default(),
+        }
+    }
+}
+
+fn parse_options() -> Options {
+    let mut opts = Options::default();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let value = |i: usize| {
+            args.get(i + 1)
+                .unwrap_or_else(|| panic!("{} needs a value", args[i]))
+                .clone()
+        };
+        match args[i].as_str() {
+            "--addr" => opts.addr = value(i),
+            "--features" => {
+                opts.n_features = value(i).parse().expect("--features needs an integer")
+            }
+            "--levels" => opts.m_levels = value(i).parse().expect("--levels needs an integer"),
+            "--connections" => {
+                opts.config.connections = value(i).parse().expect("--connections needs an integer")
+            }
+            "--requests" => {
+                opts.config.requests_per_connection =
+                    value(i).parse().expect("--requests needs an integer")
+            }
+            "--seed" => opts.config.seed = value(i).parse().expect("--seed needs an integer"),
+            other => panic!(
+                "unknown argument '{other}'; supported: --addr --features --levels \
+                 --connections --requests --seed"
+            ),
+        }
+        i += 2;
+    }
+    opts
+}
+
+fn main() -> std::io::Result<()> {
+    let opts = parse_options();
+    let addr = opts
+        .addr
+        .to_socket_addrs()?
+        .next()
+        .expect("address resolves");
+    println!(
+        "driving {} with {} connections × {} requests …",
+        addr, opts.config.connections, opts.config.requests_per_connection
+    );
+    let report = loadgen::run(addr, opts.n_features, opts.m_levels, &opts.config)?;
+    println!(
+        "  {:.0} requests/s  ({} ok, {} errors, {:.2} s)",
+        report.requests_per_sec, report.total_requests, report.errors, report.elapsed_secs
+    );
+    println!(
+        "  latency µs: p50 {}  p95 {}  p99 {}  max {}  mean {:.0}",
+        report.latency.p50_micros,
+        report.latency.p95_micros,
+        report.latency.p99_micros,
+        report.latency.max_micros,
+        report.latency.mean_micros
+    );
+    Ok(())
+}

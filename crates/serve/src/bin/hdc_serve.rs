@@ -1,0 +1,107 @@
+//! Standalone classify server over a synthetic demo model.
+//!
+//! Usage: `hdc_serve [--addr HOST:PORT] [--dim D] [--features N]
+//! [--levels M] [--classes C] [--batch B] [--wait-us T]
+//! [--workers W] [--duration SECS]`
+//!
+//! `--duration 0` (the default) serves until the process is killed.
+
+use std::net::TcpListener;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+use hdc_serve::demo::{demo_model, DemoSpec};
+use hdc_serve::{server, BatchConfig};
+
+struct Options {
+    addr: String,
+    spec: DemoSpec,
+    batch: BatchConfig,
+    duration_secs: u64,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            addr: "127.0.0.1:7878".to_owned(),
+            spec: DemoSpec::default(),
+            batch: BatchConfig::default(),
+            duration_secs: 0,
+        }
+    }
+}
+
+fn parse_options() -> Options {
+    let mut opts = Options::default();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let value = |i: usize| {
+            args.get(i + 1)
+                .unwrap_or_else(|| panic!("{} needs a value", args[i]))
+                .clone()
+        };
+        match args[i].as_str() {
+            "--addr" => opts.addr = value(i),
+            "--dim" => opts.spec.dim = value(i).parse().expect("--dim needs an integer"),
+            "--features" => {
+                opts.spec.n_features = value(i).parse().expect("--features needs an integer")
+            }
+            "--levels" => opts.spec.m_levels = value(i).parse().expect("--levels needs an integer"),
+            "--classes" => {
+                opts.spec.n_classes = value(i).parse().expect("--classes needs an integer")
+            }
+            "--batch" => opts.batch.max_batch = value(i).parse().expect("--batch needs an integer"),
+            "--wait-us" => {
+                opts.batch.max_wait =
+                    Duration::from_micros(value(i).parse().expect("--wait-us needs an integer"))
+            }
+            "--workers" => {
+                opts.batch.workers = value(i).parse().expect("--workers needs an integer")
+            }
+            "--duration" => {
+                opts.duration_secs = value(i).parse().expect("--duration needs an integer")
+            }
+            other => panic!(
+                "unknown argument '{other}'; supported: --addr --dim --features --levels \
+                 --classes --batch --wait-us --workers --duration"
+            ),
+        }
+        i += 2;
+    }
+    opts
+}
+
+fn main() -> std::io::Result<()> {
+    let opts = parse_options();
+    println!(
+        "training demo model (N = {}, C = {}, D = {}, M = {}) …",
+        opts.spec.n_features, opts.spec.n_classes, opts.spec.dim, opts.spec.m_levels
+    );
+    let model = demo_model(&opts.spec);
+    let session = model.session();
+    let listener = TcpListener::bind(&opts.addr)?;
+    println!(
+        "serving on {} (batch ≤ {}, wait ≤ {:?}, {} workers); \
+         protocol: one {{\"id\":…,\"levels\":[…]}} per line",
+        listener.local_addr()?,
+        opts.batch.max_batch,
+        opts.batch.max_wait,
+        opts.batch.workers
+    );
+
+    let shutdown = AtomicBool::new(false);
+    let stats = std::thread::scope(|s| {
+        let server = s.spawn(|| server::serve(listener, &session, &opts.batch, &shutdown));
+        if opts.duration_secs > 0 {
+            std::thread::sleep(Duration::from_secs(opts.duration_secs));
+            shutdown.store(true, Ordering::SeqCst);
+        }
+        server.join().expect("server thread")
+    })?;
+    println!(
+        "served {} requests over {} connections",
+        stats.requests, stats.connections
+    );
+    Ok(())
+}

@@ -1,0 +1,85 @@
+//! Synthetic demo models for the server binary, the load-generation
+//! benchmark and the quickstart example.
+
+use hdc_datasets::SynthSpec;
+use hdc_model::{HdcConfig, HdcModel, ModelKind, RecordEncoder};
+use hypervec::HvRng;
+
+/// Shape of a synthetic serving demo model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DemoSpec {
+    /// Input features `N`.
+    pub n_features: usize,
+    /// Classes `C`.
+    pub n_classes: usize,
+    /// Hypervector dimensionality `D`.
+    pub dim: usize,
+    /// Quantization levels `M`.
+    pub m_levels: usize,
+    /// Training samples for the synthetic task.
+    pub train_size: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for DemoSpec {
+    fn default() -> Self {
+        DemoSpec {
+            n_features: 16,
+            n_classes: 8,
+            dim: 2048,
+            m_levels: 8,
+            train_size: 512,
+            seed: 2022,
+        }
+    }
+}
+
+/// Trains a standard HDC model on a synthetic task with the given
+/// shape — enough signal that served predictions are meaningful, small
+/// enough to build in well under a second.
+///
+/// # Panics
+///
+/// Panics on an internally inconsistent spec (zero sizes).
+#[must_use]
+pub fn demo_model(spec: &DemoSpec) -> HdcModel<RecordEncoder> {
+    let synth = SynthSpec::new(
+        "serve-demo",
+        spec.n_features,
+        spec.n_classes,
+        spec.train_size,
+        spec.train_size / 4,
+        0.08,
+    );
+    let mut rng = HvRng::from_seed(spec.seed);
+    let (train, _test) = synth.generate(&mut rng).expect("valid synthetic spec");
+    let config = HdcConfig {
+        dim: spec.dim,
+        m_levels: spec.m_levels,
+        kind: ModelKind::Binary,
+        epochs: 2,
+        learning_rate: 1,
+        seed: spec.seed,
+    };
+    HdcModel::fit_standard(&config, &train).expect("synthetic training succeeds")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdc_model::Encoder;
+
+    #[test]
+    fn demo_model_has_requested_shape() {
+        let spec = DemoSpec {
+            dim: 512,
+            train_size: 128,
+            ..DemoSpec::default()
+        };
+        let model = demo_model(&spec);
+        assert_eq!(model.encoder().n_features(), spec.n_features);
+        assert_eq!(model.memory().n_classes(), spec.n_classes);
+        assert_eq!(model.memory().dim(), 512);
+    }
+}

@@ -1,0 +1,213 @@
+//! # hdc-serve — a request-batching inference server for HDC models
+//!
+//! The serving layer the ROADMAP calls for: a dependency-free
+//! `std::net` TCP front end over the fused
+//! [`InferenceSession`](hdc_model::InferenceSession) pipeline.
+//!
+//! * **Protocol** ([`protocol`]) — one JSON object per line in, one per
+//!   line out; scriptable with `nc` and parseable by the vendored
+//!   `serde_json` stand-in.
+//! * **Batching** ([`batcher`]) — requests from all connections funnel
+//!   into one queue; workers pop up to `max_batch` jobs (or whatever
+//!   arrived within `max_wait`) and answer them with a *single* fused
+//!   `encode_batch → search_batch` call, so heavy concurrent traffic
+//!   runs at batch-kernel throughput.
+//! * **Server** ([`server`]) — scoped-thread accept loop, per-
+//!   connection handlers, graceful drain on shutdown. No async runtime,
+//!   no external crates.
+//! * **Load generator** ([`loadgen`]) — closed-loop clients reporting
+//!   requests/sec and latency percentiles
+//!   ([`hdc_model::LatencyStats`]); the numbers behind
+//!   `BENCH_search.json`'s serving section.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use hdc_serve::{demo, loadgen, server, BatchConfig, LoadgenConfig};
+//! use std::net::TcpListener;
+//! use std::sync::atomic::{AtomicBool, Ordering};
+//!
+//! let model = demo::demo_model(&demo::DemoSpec {
+//!     dim: 512,
+//!     train_size: 64,
+//!     ..Default::default()
+//! });
+//! let session = model.session();
+//! let listener = TcpListener::bind("127.0.0.1:0")?;
+//! let addr = listener.local_addr()?;
+//! let shutdown = AtomicBool::new(false);
+//!
+//! std::thread::scope(|s| -> std::io::Result<()> {
+//!     let server = s.spawn(|| {
+//!         server::serve(listener, &session, &BatchConfig::default(), &shutdown)
+//!     });
+//!     let report = loadgen::run(addr, 16, 8, &LoadgenConfig {
+//!         connections: 2,
+//!         requests_per_connection: 5,
+//!         seed: 1,
+//!     })?;
+//!     assert_eq!(report.total_requests, 10);
+//!     shutdown.store(true, Ordering::SeqCst);
+//!     server.join().expect("server thread")?;
+//!     Ok(())
+//! })?;
+//! # Ok::<(), std::io::Error>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod batcher;
+pub mod demo;
+pub mod loadgen;
+pub mod protocol;
+pub mod server;
+
+pub use batcher::{BatchConfig, BatchQueue};
+pub use loadgen::{LoadReport, LoadgenConfig};
+pub use protocol::{ClassifyRequest, ClassifyResponse};
+pub use server::{serve, ServeStats};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{BufRead, BufReader, Write};
+    use std::net::{TcpListener, TcpStream};
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    /// Full wire round trip: responses match direct session calls,
+    /// protocol errors are reported per request, shutdown is graceful.
+    #[test]
+    fn served_answers_match_direct_session() {
+        let model = demo::demo_model(&demo::DemoSpec {
+            dim: 512,
+            train_size: 128,
+            ..Default::default()
+        });
+        let session = model.session();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let shutdown = AtomicBool::new(false);
+
+        std::thread::scope(|s| {
+            let server = s.spawn(|| serve(listener, &session, &BatchConfig::default(), &shutdown));
+
+            let stream = TcpStream::connect(addr).unwrap();
+            let mut reader = BufReader::new(stream.try_clone().unwrap());
+            let mut writer = stream;
+            let mut line = String::new();
+
+            // A valid classify request answers with the session's class.
+            let levels: Vec<u16> = (0..16).map(|i| (i % 8) as u16).collect();
+            writer
+                .write_all(protocol::request_line(1, &levels, false).as_bytes())
+                .unwrap();
+            line.clear();
+            reader.read_line(&mut line).unwrap();
+            let resp = protocol::parse_response(&line).unwrap();
+            assert_eq!(resp.id, 1);
+            assert_eq!(resp.class, Some(session.classify(&levels)));
+
+            // Scores on demand, bit-equal to the session's.
+            writer
+                .write_all(protocol::request_line(2, &levels, true).as_bytes())
+                .unwrap();
+            line.clear();
+            reader.read_line(&mut line).unwrap();
+            let resp = protocol::parse_response(&line).unwrap();
+            let refs: Vec<&[u16]> = vec![&levels];
+            let want = session.scores_batch(&refs);
+            let got = resp.scores.unwrap();
+            assert_eq!(got.len(), session.n_classes());
+            for (g, w) in got.iter().zip(want.scores(0)) {
+                assert_eq!(g.to_bits(), w.to_bits());
+            }
+
+            // Wrong width and out-of-range levels are per-request errors.
+            writer
+                .write_all(protocol::request_line(3, &[1, 2], false).as_bytes())
+                .unwrap();
+            line.clear();
+            reader.read_line(&mut line).unwrap();
+            let resp = protocol::parse_response(&line).unwrap();
+            assert_eq!(resp.id, 3);
+            assert!(resp.error.unwrap().contains("model expects 16"));
+
+            writer
+                .write_all(protocol::request_line(4, &[200u16; 16], false).as_bytes())
+                .unwrap();
+            line.clear();
+            reader.read_line(&mut line).unwrap();
+            let resp = protocol::parse_response(&line).unwrap();
+            assert!(resp.error.unwrap().contains("out of range"));
+
+            // Malformed JSON does not kill the connection.
+            writer.write_all(b"{oops\n").unwrap();
+            line.clear();
+            reader.read_line(&mut line).unwrap();
+            assert!(protocol::parse_response(&line).unwrap().error.is_some());
+
+            // The connection still works afterwards.
+            writer
+                .write_all(protocol::request_line(5, &levels, false).as_bytes())
+                .unwrap();
+            line.clear();
+            reader.read_line(&mut line).unwrap();
+            assert_eq!(protocol::parse_response(&line).unwrap().id, 5);
+
+            drop(writer);
+            drop(reader);
+            shutdown.store(true, Ordering::SeqCst);
+            let stats = server.join().unwrap().unwrap();
+            assert_eq!(stats.connections, 1);
+            assert_eq!(stats.requests, 6);
+            // Requests 3, 4 and the malformed line were rejected before
+            // reaching the batch workers.
+            assert_eq!(stats.classified, 3);
+        });
+    }
+
+    /// Concurrent loadgen traffic is batched and every response checks
+    /// out against the direct session path.
+    #[test]
+    fn loadgen_roundtrip_with_batching() {
+        let model = demo::demo_model(&demo::DemoSpec {
+            dim: 512,
+            train_size: 128,
+            ..Default::default()
+        });
+        let session = model.session();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let shutdown = AtomicBool::new(false);
+        let config = BatchConfig {
+            max_batch: 8,
+            max_wait: std::time::Duration::from_micros(200),
+            workers: 2,
+        };
+
+        std::thread::scope(|s| {
+            let server = s.spawn(|| serve(listener, &session, &config, &shutdown));
+            let report = loadgen::run(
+                addr,
+                session.n_features(),
+                session.m_levels(),
+                &LoadgenConfig {
+                    connections: 8,
+                    requests_per_connection: 50,
+                    seed: 7,
+                },
+            )
+            .unwrap();
+            assert_eq!(report.total_requests, 400);
+            assert_eq!(report.errors, 0);
+            assert!(report.requests_per_sec > 0.0);
+            assert_eq!(report.latency.count, 400);
+            shutdown.store(true, Ordering::SeqCst);
+            let stats = server.join().unwrap().unwrap();
+            assert_eq!(stats.requests, 400);
+            assert_eq!(stats.classified, 400);
+            assert_eq!(stats.connections, 8);
+        });
+    }
+}

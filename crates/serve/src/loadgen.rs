@@ -1,0 +1,153 @@
+//! Closed-loop load generator for the classify server.
+//!
+//! Opens `connections` parallel TCP connections, each issuing
+//! synchronous request/response round trips with random (seeded)
+//! quantized rows, and reports aggregate throughput plus per-request
+//! latency percentiles. With `connections` in the same ballpark as the
+//! server's `max_batch`, the batching queue fuses the concurrent
+//! requests into full batch-kernel calls.
+
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Instant;
+
+use hdc_model::LatencyStats;
+use hypervec::HvRng;
+
+use crate::protocol;
+
+/// Load-generation parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LoadgenConfig {
+    /// Parallel connections (each a closed loop of round trips).
+    pub connections: usize,
+    /// Requests issued per connection.
+    pub requests_per_connection: usize,
+    /// Seed for the per-connection row generators.
+    pub seed: u64,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> Self {
+        LoadgenConfig {
+            connections: 32,
+            requests_per_connection: 1000,
+            seed: 2022,
+        }
+    }
+}
+
+/// Aggregate result of one load-generation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadReport {
+    /// Successful classify responses.
+    pub total_requests: u64,
+    /// Error responses or transport failures.
+    pub errors: u64,
+    /// Wall-clock duration of the whole run.
+    pub elapsed_secs: f64,
+    /// Successful requests per second.
+    pub requests_per_sec: f64,
+    /// Per-request round-trip latency distribution.
+    pub latency: LatencyStats,
+}
+
+/// Runs the load generator against a serving address.
+///
+/// `n_features` / `m_levels` must match the served model (the generator
+/// crafts uniformly random valid rows).
+///
+/// # Errors
+///
+/// Propagates connection failures; per-request protocol errors are
+/// counted in [`LoadReport::errors`] instead.
+///
+/// # Panics
+///
+/// Panics if `connections == 0` or no request ever succeeds.
+pub fn run(
+    addr: SocketAddr,
+    n_features: usize,
+    m_levels: usize,
+    config: &LoadgenConfig,
+) -> std::io::Result<LoadReport> {
+    assert!(config.connections > 0, "need at least one connection");
+    let start = Instant::now();
+    let per_conn: Vec<std::io::Result<(Vec<u64>, u64)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..config.connections)
+            .map(|c| {
+                scope.spawn(move || {
+                    connection_loop(
+                        addr,
+                        n_features,
+                        m_levels,
+                        config.requests_per_connection,
+                        config.seed ^ (c as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                        c as u64,
+                    )
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("loadgen connection thread panicked"))
+            .collect()
+    });
+    let elapsed_secs = start.elapsed().as_secs_f64();
+
+    let mut latencies = Vec::new();
+    let mut errors = 0u64;
+    for result in per_conn {
+        let (lats, errs) = result?;
+        latencies.extend(lats);
+        errors += errs;
+    }
+    let total_requests = latencies.len() as u64;
+    let latency = LatencyStats::from_micros(latencies)
+        .expect("load generation produced at least one successful request");
+    Ok(LoadReport {
+        total_requests,
+        errors,
+        elapsed_secs,
+        requests_per_sec: total_requests as f64 / elapsed_secs,
+        latency,
+    })
+}
+
+/// One connection's closed loop; returns (per-request latencies µs,
+/// error count).
+fn connection_loop(
+    addr: SocketAddr,
+    n_features: usize,
+    m_levels: usize,
+    requests: usize,
+    seed: u64,
+    id_base: u64,
+) -> std::io::Result<(Vec<u64>, u64)> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    let mut rng = HvRng::from_seed(seed);
+    let mut latencies = Vec::with_capacity(requests);
+    let mut errors = 0u64;
+    let mut line = String::new();
+    for i in 0..requests {
+        let levels: Vec<u16> = (0..n_features)
+            .map(|_| rng.index(m_levels) as u16)
+            .collect();
+        let id = id_base.wrapping_mul(1_000_000_007) + i as u64;
+        let request = protocol::request_line(id, &levels, false);
+        let sent = Instant::now();
+        writer.write_all(request.as_bytes())?;
+        writer.flush()?;
+        line.clear();
+        reader.read_line(&mut line)?;
+        let micros = u64::try_from(sent.elapsed().as_micros()).unwrap_or(u64::MAX);
+        match protocol::parse_response(&line) {
+            Ok(resp) if resp.error.is_none() && resp.id == id => latencies.push(micros),
+            _ => errors += 1,
+        }
+    }
+    Ok((latencies, errors))
+}

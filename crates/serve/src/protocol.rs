@@ -1,0 +1,226 @@
+//! Line-delimited JSON wire protocol.
+//!
+//! One request per line, one response per line, over a plain TCP
+//! stream — trivially scriptable (`nc`, any language) and cheap enough
+//! to parse that the encode+search kernels stay the bottleneck.
+//!
+//! ```text
+//! → {"id":1,"levels":[0,3,2,1]}
+//! ← {"id":1,"class":2}
+//! → {"id":2,"levels":[0,3,2,1],"scores":true}
+//! ← {"id":2,"class":2,"scores":[0.12,-0.03,0.57]}
+//! → {"id":3,"levels":[99]}
+//! ← {"id":3,"error":"row has 1 levels, model expects 4"}
+//! ```
+//!
+//! Requests are parsed through the vendored `serde_json` stand-in into
+//! its [`Value`] tree; responses are rendered directly (the numeric
+//! formats are plain Rust `Display`, which round-trips through the
+//! parser).
+
+use serde_json::Value;
+
+/// A parsed classify request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClassifyRequest {
+    /// Client-chosen correlation id, echoed back in the response.
+    pub id: u64,
+    /// Quantized feature row (level indices).
+    pub levels: Vec<u16>,
+    /// Whether to return the full per-class score vector.
+    pub want_scores: bool,
+}
+
+/// A parsed classify response (client side).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassifyResponse {
+    /// Echoed correlation id.
+    pub id: u64,
+    /// Predicted class, when the request succeeded.
+    pub class: Option<usize>,
+    /// Per-class scores, when requested.
+    pub scores: Option<Vec<f64>>,
+    /// Error message, when the request failed.
+    pub error: Option<String>,
+}
+
+/// Parses one request line.
+///
+/// # Errors
+///
+/// Returns `(id, message)` — `id` is the request's id when it could be
+/// recovered (so the error response still correlates), 0 otherwise.
+pub fn parse_request(line: &str) -> Result<ClassifyRequest, (u64, String)> {
+    let value: Value =
+        serde_json::from_str(line.trim()).map_err(|e| (0, format!("malformed JSON: {e}")))?;
+    let id = value
+        .get("id")
+        .and_then(Value::as_u64)
+        .ok_or((0, "missing numeric `id`".to_owned()))?;
+    let levels_value = value
+        .get("levels")
+        .and_then(Value::as_array)
+        .ok_or((id, "missing `levels` array".to_owned()))?;
+    let mut levels = Vec::with_capacity(levels_value.len());
+    for (i, lv) in levels_value.iter().enumerate() {
+        let n = lv
+            .as_u64()
+            .and_then(|n| u16::try_from(n).ok())
+            .ok_or((id, format!("level {i} is not a u16")))?;
+        levels.push(n);
+    }
+    let want_scores = matches!(value.get("scores"), Some(Value::Bool(true)));
+    Ok(ClassifyRequest {
+        id,
+        levels,
+        want_scores,
+    })
+}
+
+/// Renders a request line (client side). The line includes the trailing
+/// newline.
+#[must_use]
+pub fn request_line(id: u64, levels: &[u16], want_scores: bool) -> String {
+    let mut out = format!("{{\"id\":{id},\"levels\":[");
+    for (i, lv) in levels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&lv.to_string());
+    }
+    out.push(']');
+    if want_scores {
+        out.push_str(",\"scores\":true");
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Renders a success response line (with trailing newline).
+#[must_use]
+pub fn ok_response(id: u64, class: usize, scores: Option<&[f64]>) -> String {
+    let mut out = format!("{{\"id\":{id},\"class\":{class}");
+    if let Some(scores) = scores {
+        out.push_str(",\"scores\":[");
+        for (i, s) in scores.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            // `{s:?}` keeps a decimal point / exponent, so the value
+            // reads back as a float.
+            out.push_str(&format!("{s:?}"));
+        }
+        out.push(']');
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Renders an error response line (with trailing newline).
+#[must_use]
+pub fn error_response(id: u64, message: &str) -> String {
+    let escaped: String = message
+        .chars()
+        .flat_map(|c| match c {
+            '"' => vec!['\\', '"'],
+            '\\' => vec!['\\', '\\'],
+            '\n' => vec!['\\', 'n'],
+            c => vec![c],
+        })
+        .collect();
+    format!("{{\"id\":{id},\"error\":\"{escaped}\"}}\n")
+}
+
+/// Parses one response line (client side).
+///
+/// # Errors
+///
+/// Returns a message for malformed lines.
+pub fn parse_response(line: &str) -> Result<ClassifyResponse, String> {
+    let value: Value =
+        serde_json::from_str(line.trim()).map_err(|e| format!("malformed JSON: {e}"))?;
+    let id = value
+        .get("id")
+        .and_then(Value::as_u64)
+        .ok_or_else(|| "missing numeric `id`".to_owned())?;
+    let class = value
+        .get("class")
+        .and_then(Value::as_u64)
+        .map(|c| c as usize);
+    let scores = match value.get("scores").and_then(Value::as_array) {
+        Some(arr) => {
+            let mut out = Vec::with_capacity(arr.len());
+            for s in arr {
+                out.push(s.as_f64().ok_or_else(|| "non-numeric score".to_owned())?);
+            }
+            Some(out)
+        }
+        None => None,
+    };
+    let error = value
+        .get("error")
+        .and_then(Value::as_str)
+        .map(str::to_owned);
+    if class.is_none() && error.is_none() {
+        return Err("response carries neither `class` nor `error`".to_owned());
+    }
+    Ok(ClassifyResponse {
+        id,
+        class,
+        scores,
+        error,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_roundtrip() {
+        let line = request_line(42, &[0, 3, 65535], true);
+        let req = parse_request(&line).unwrap();
+        assert_eq!(
+            req,
+            ClassifyRequest {
+                id: 42,
+                levels: vec![0, 3, 65535],
+                want_scores: true,
+            }
+        );
+        let plain = parse_request(&request_line(7, &[1], false)).unwrap();
+        assert!(!plain.want_scores);
+    }
+
+    #[test]
+    fn response_roundtrip() {
+        let ok = parse_response(&ok_response(1, 3, None)).unwrap();
+        assert_eq!(ok.id, 1);
+        assert_eq!(ok.class, Some(3));
+        assert!(ok.scores.is_none() && ok.error.is_none());
+
+        let scored = parse_response(&ok_response(2, 0, Some(&[0.5, -1.0, 0.125]))).unwrap();
+        assert_eq!(scored.scores, Some(vec![0.5, -1.0, 0.125]));
+
+        let err = parse_response(&error_response(3, "bad \"row\"\nhere")).unwrap();
+        assert_eq!(err.id, 3);
+        assert_eq!(err.error.as_deref(), Some("bad \"row\"\nhere"));
+        assert!(err.class.is_none());
+    }
+
+    #[test]
+    fn malformed_requests_keep_recoverable_id() {
+        assert_eq!(parse_request("not json").unwrap_err().0, 0);
+        assert_eq!(parse_request("{\"levels\":[1]}").unwrap_err().0, 0);
+        let (id, msg) = parse_request("{\"id\":9}").unwrap_err();
+        assert_eq!(id, 9);
+        assert!(msg.contains("levels"));
+        let (id, _) = parse_request("{\"id\":5,\"levels\":[1,99999]}").unwrap_err();
+        assert_eq!(id, 5);
+    }
+
+    #[test]
+    fn response_without_class_or_error_is_rejected() {
+        assert!(parse_response("{\"id\":1}").is_err());
+    }
+}

@@ -1,0 +1,200 @@
+//! The TCP front end: accept loop, per-connection handlers, graceful
+//! shutdown.
+//!
+//! [`serve`] blocks the calling thread until `shutdown` is raised:
+//! connection handlers and batch workers run on `std::thread::scope`
+//! threads borrowing the session, so the server needs no `'static`
+//! state and no external runtime. Shutdown is graceful — the accept
+//! loop stops, handlers notice within their read-timeout tick and hang
+//! up, the queue drains, workers exit.
+
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::time::Duration;
+
+use hdc_model::{Encoder, InferenceSession};
+
+use crate::batcher::{worker_loop, BatchConfig, BatchQueue, Job, JobResult};
+use crate::protocol;
+
+/// How often blocked I/O re-checks the shutdown flag.
+const POLL_TICK: Duration = Duration::from_millis(20);
+
+/// Counters reported when the server exits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServeStats {
+    /// Requests answered (success or protocol error).
+    pub requests: u64,
+    /// Requests that reached the batch workers and were classified —
+    /// `requests − classified` is the protocol-rejection count.
+    pub classified: u64,
+    /// Connections accepted.
+    pub connections: u64,
+}
+
+/// Serves classify traffic on `listener` until `shutdown` is raised.
+///
+/// Every connection speaks the line-JSON protocol ([`protocol`]);
+/// requests from all connections funnel into one [`BatchQueue`] and are
+/// answered by `config.workers` fused batch calls.
+///
+/// # Errors
+///
+/// Propagates listener configuration errors; per-connection I/O errors
+/// only terminate that connection.
+pub fn serve<E: Encoder + Sync>(
+    listener: TcpListener,
+    session: &InferenceSession<'_, E>,
+    config: &BatchConfig,
+    shutdown: &AtomicBool,
+) -> std::io::Result<ServeStats> {
+    listener.set_nonblocking(true)?;
+    let queue = BatchQueue::new();
+    let requests = AtomicU64::new(0);
+    let served = AtomicU64::new(0);
+    let mut connections = 0u64;
+
+    std::thread::scope(|scope| {
+        let worker_handles: Vec<_> = (0..config.workers.max(1))
+            .map(|_| scope.spawn(|| worker_loop(&queue, session, config, &served)))
+            .collect();
+
+        let mut handler_handles = Vec::new();
+        while !shutdown.load(Ordering::SeqCst) {
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    connections += 1;
+                    let queue = &queue;
+                    let requests = &requests;
+                    handler_handles.push(scope.spawn(move || {
+                        let _ = handle_connection(stream, session, queue, shutdown, requests);
+                    }));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_micros(500));
+                }
+                Err(_) => break,
+            }
+        }
+
+        // Graceful shutdown: stop accepting, let handlers drain their
+        // in-flight requests (they exit within a read-timeout tick),
+        // then close the queue so workers finish the backlog and exit.
+        for h in handler_handles {
+            let _ = h.join();
+        }
+        queue.close();
+        for h in worker_handles {
+            let _ = h.join();
+        }
+    });
+
+    Ok(ServeStats {
+        requests: requests.load(Ordering::Relaxed),
+        classified: served.load(Ordering::Relaxed),
+        connections,
+    })
+}
+
+/// One connection: read request lines, enqueue, await the batched
+/// result, write the response line.
+fn handle_connection<E: Encoder + Sync>(
+    stream: TcpStream,
+    session: &InferenceSession<'_, E>,
+    queue: &BatchQueue,
+    shutdown: &AtomicBool,
+    requests: &AtomicU64,
+) -> std::io::Result<()> {
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(POLL_TICK))?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    let (tx, rx) = mpsc::channel();
+    let mut line = String::new();
+    loop {
+        // `line` is NOT cleared at the top: a read timeout may leave a
+        // partially received request in it, and the next tick must
+        // append the rest instead of dropping the fragment.
+        match reader.read_line(&mut line) {
+            Ok(0) => break, // client hung up (any partial line is theirs)
+            Ok(_) => {
+                if !line.trim().is_empty() {
+                    let response = answer(&line, session, queue, &tx, &rx);
+                    requests.fetch_add(1, Ordering::Relaxed);
+                    writer.write_all(response.as_bytes())?;
+                    writer.flush()?;
+                }
+                line.clear();
+                // A client that never pauses must not be able to pin
+                // this handler past shutdown: in-flight request is
+                // answered, then the connection closes.
+                if shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+    Ok(())
+}
+
+/// Validates one request line, runs it through the batching queue, and
+/// renders the response line.
+fn answer<E: Encoder + Sync>(
+    line: &str,
+    session: &InferenceSession<'_, E>,
+    queue: &BatchQueue,
+    tx: &mpsc::Sender<JobResult>,
+    rx: &mpsc::Receiver<JobResult>,
+) -> String {
+    let request = match protocol::parse_request(line) {
+        Ok(r) => r,
+        Err((id, msg)) => return protocol::error_response(id, &msg),
+    };
+    if request.levels.len() != session.n_features() {
+        return protocol::error_response(
+            request.id,
+            &format!(
+                "row has {} levels, model expects {}",
+                request.levels.len(),
+                session.n_features()
+            ),
+        );
+    }
+    if let Some(bad) = request
+        .levels
+        .iter()
+        .position(|&lv| usize::from(lv) >= session.m_levels())
+    {
+        return protocol::error_response(
+            request.id,
+            &format!(
+                "level {} at feature {bad} out of range (M = {})",
+                request.levels[bad],
+                session.m_levels()
+            ),
+        );
+    }
+    queue.push(Job {
+        levels: request.levels,
+        want_scores: request.want_scores,
+        tx: tx.clone(),
+    });
+    match rx.recv() {
+        Ok(JobResult::Class(class)) => protocol::ok_response(request.id, class, None),
+        Ok(JobResult::ClassWithScores(class, scores)) => {
+            protocol::ok_response(request.id, class, Some(&scores))
+        }
+        Err(_) => protocol::error_response(request.id, "server shutting down"),
+    }
+}

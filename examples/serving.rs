@@ -1,0 +1,85 @@
+//! Serving quickstart: boot the request-batching classify server over a
+//! trained model, talk to it over TCP, then drive it with the load
+//! generator.
+//!
+//! Run with: `cargo run --release --example serving`
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use hdlock_repro::hdc_serve::demo::{demo_model, DemoSpec};
+use hdlock_repro::hdc_serve::{loadgen, protocol, server, BatchConfig, LoadgenConfig};
+
+fn main() -> std::io::Result<()> {
+    // 1. Train a model (any `Encoder` works — swap in a locked one to
+    //    serve an HDLock-protected model) and snapshot it into a fused
+    //    inference session.
+    let spec = DemoSpec::default();
+    println!(
+        "training demo model (N = {}, C = {}, D = {}) …",
+        spec.n_features, spec.n_classes, spec.dim
+    );
+    let model = demo_model(&spec);
+    let session = model.session();
+
+    // 2. Serve it. The server borrows the session, so it runs inside a
+    //    thread scope; `shutdown` drains it gracefully.
+    let listener = TcpListener::bind("127.0.0.1:0")?;
+    let addr = listener.local_addr()?;
+    let shutdown = AtomicBool::new(false);
+    println!("serving on {addr}");
+
+    std::thread::scope(|s| -> std::io::Result<()> {
+        let server_thread =
+            s.spawn(|| server::serve(listener, &session, &BatchConfig::default(), &shutdown));
+
+        // 3. Speak the line protocol by hand: one JSON object per line.
+        let stream = TcpStream::connect(addr)?;
+        let mut reader = BufReader::new(stream.try_clone()?);
+        let mut writer = stream;
+        let levels: Vec<u16> = (0..spec.n_features)
+            .map(|i| (i % spec.m_levels) as u16)
+            .collect();
+        writer.write_all(protocol::request_line(1, &levels, true).as_bytes())?;
+        let mut line = String::new();
+        reader.read_line(&mut line)?;
+        let response = protocol::parse_response(&line).expect("well-formed response");
+        println!(
+            "classified sample → class {} (scores for {} classes)",
+            response.class.expect("successful classify"),
+            response.scores.map_or(0, |s| s.len())
+        );
+        drop(writer);
+        drop(reader);
+
+        // 4. Load-test it: concurrent closed-loop connections, fused
+        //    into batch calls by the server's queue.
+        let report = loadgen::run(
+            addr,
+            spec.n_features,
+            spec.m_levels,
+            &LoadgenConfig {
+                connections: 16,
+                requests_per_connection: 250,
+                seed: 1,
+            },
+        )?;
+        println!(
+            "load test: {:.0} requests/s ({} ok, {} errors), latency µs p50 {} p99 {}",
+            report.requests_per_sec,
+            report.total_requests,
+            report.errors,
+            report.latency.p50_micros,
+            report.latency.p99_micros
+        );
+
+        shutdown.store(true, Ordering::SeqCst);
+        let stats = server_thread.join().expect("server thread")?;
+        println!(
+            "server drained: {} requests over {} connections",
+            stats.requests, stats.connections
+        );
+        Ok(())
+    })
+}

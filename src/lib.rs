@@ -13,6 +13,8 @@
 //! * [`hdlock`] — the locked encoder, key vault and complexity analysis
 //! * [`hdc_attack`] — the reasoning attack and HDLock validation
 //! * [`hdc_hwsim`] — cycle-level FPGA encoding-datapath simulator
+//! * [`hdc_serve`] — request-batching TCP inference server + load
+//!   generator over the fused session pipeline
 
 #![warn(missing_docs)]
 
@@ -20,5 +22,6 @@ pub use hdc_attack;
 pub use hdc_datasets;
 pub use hdc_hwsim;
 pub use hdc_model;
+pub use hdc_serve;
 pub use hdlock;
 pub use hypervec;
