@@ -14,7 +14,7 @@ use std::time::Instant;
 
 use hdc_model::{Encoder, RecordEncoder};
 use hdlock::{DeriveMode, LockConfig, LockedEncoder};
-use hypervec::HvRng;
+use hypervec::{kernel, HvRng};
 
 struct Options {
     dim: usize,
@@ -65,8 +65,54 @@ fn parse_options() -> Options {
 
 /// One measured configuration.
 struct Measurement {
-    name: &'static str,
+    name: String,
     samples_per_sec: f64,
+}
+
+/// Samples/second of the bit-sliced bundling core (one fused XOR +
+/// ripple-carry add per feature) on one explicit kernel backend — the
+/// loop `BitSliceAccumulator` runs per encoded sample, isolated from
+/// encoder bookkeeping so the per-backend numbers track the raw SIMD
+/// speedup.
+fn kernel_bundle_throughput(
+    k: &kernel::Kernel,
+    dim: usize,
+    n_features: usize,
+    min_secs: f64,
+) -> f64 {
+    let n_words = dim.div_ceil(64);
+    let mut rng = HvRng::from_seed(7);
+    let feature_words: Vec<Vec<u64>> = (0..n_features)
+        .map(|_| (0..n_words).map(|_| rng.next_u64()).collect())
+        .collect();
+    let value_words: Vec<u64> = (0..n_words).map(|_| rng.next_u64()).collect();
+    let mut planes: Vec<Vec<u64>> = vec![vec![0u64; n_words]; 8];
+    let mut scratch = vec![0u64; n_words];
+    let encode_one_sample = |planes: &mut Vec<Vec<u64>>, scratch: &mut Vec<u64>| {
+        for plane in planes.iter_mut() {
+            plane.iter_mut().for_each(|w| *w = 0);
+        }
+        for fea in &feature_words {
+            (k.xor_into)(fea, &value_words, scratch);
+            for plane in planes.iter_mut() {
+                if !(k.ripple_step)(plane, scratch) {
+                    break;
+                }
+            }
+        }
+    };
+    encode_one_sample(&mut planes, &mut scratch); // warm-up
+    let mut calls = 0usize;
+    let start = Instant::now();
+    loop {
+        encode_one_sample(&mut planes, &mut scratch);
+        std::hint::black_box(&planes);
+        calls += 1;
+        if start.elapsed().as_secs_f64() >= min_secs {
+            break;
+        }
+    }
+    calls as f64 / start.elapsed().as_secs_f64()
 }
 
 /// Runs `encode_all` repeatedly until ≥ `min_secs` of wall clock is
@@ -115,7 +161,7 @@ fn main() {
     // Naive per-sample scalar baseline (one i32 add per dimension per
     // feature) — the path every consumer used before the engine.
     results.push(Measurement {
-        name: "record_scalar_per_sample",
+        name: "record_scalar_per_sample".to_owned(),
         samples_per_sec: throughput(opts.batch, min_secs, || {
             for row in &refs {
                 std::hint::black_box(record.encode_int_scalar(row).sign_ties_positive());
@@ -125,7 +171,7 @@ fn main() {
 
     // Word-parallel engine, still one sample per call.
     results.push(Measurement {
-        name: "record_engine_per_sample",
+        name: "record_engine_per_sample".to_owned(),
         samples_per_sec: throughput(opts.batch, min_secs, || {
             for row in &refs {
                 std::hint::black_box(record.encode_binary(row));
@@ -136,14 +182,14 @@ fn main() {
     // Batch path pinned to one worker, then with all available workers.
     std::env::set_var("HYPERVEC_THREADS", "1");
     results.push(Measurement {
-        name: "record_batch_1_thread",
+        name: "record_batch_1_thread".to_owned(),
         samples_per_sec: throughput(opts.batch, min_secs, || {
             std::hint::black_box(record.encode_batch_binary(&refs));
         }),
     });
     std::env::remove_var("HYPERVEC_THREADS");
     results.push(Measurement {
-        name: "record_batch_all_threads",
+        name: "record_batch_all_threads".to_owned(),
         samples_per_sec: throughput(opts.batch, min_secs, || {
             std::hint::black_box(record.encode_batch_binary(&refs));
         }),
@@ -151,18 +197,29 @@ fn main() {
 
     // Locked encoder: batch in both derivation modes.
     results.push(Measurement {
-        name: "locked_cached_batch",
+        name: "locked_cached_batch".to_owned(),
         samples_per_sec: throughput(opts.batch, min_secs, || {
             std::hint::black_box(locked.encode_batch_binary(&refs));
         }),
     });
     locked.set_mode(DeriveMode::OnTheFly);
     results.push(Measurement {
-        name: "locked_on_the_fly_batch",
+        name: "locked_on_the_fly_batch".to_owned(),
         samples_per_sec: throughput(opts.batch, min_secs, || {
             std::hint::black_box(locked.encode_batch_binary(&refs));
         }),
     });
+
+    // Per-kernel-backend timings of the bundling core the encoders run
+    // on, so BENCH_encoding.json tracks the raw SIMD speedup next to
+    // the end-to-end encoder numbers.
+    let backends = kernel::available();
+    for k in &backends {
+        results.push(Measurement {
+            name: format!("kernel_bundle_{}", k.name),
+            samples_per_sec: kernel_bundle_throughput(k, opts.dim, opts.n_features, min_secs),
+        });
+    }
 
     let scalar = results[0].samples_per_sec;
     let batch_best = results
@@ -173,8 +230,12 @@ fn main() {
     let speedup = batch_best / scalar;
 
     println!(
-        "encoding throughput  (D = {}, N = {}, M = {}, batch = {})",
-        opts.dim, opts.n_features, opts.m_levels, opts.batch
+        "encoding throughput  (D = {}, N = {}, M = {}, batch = {}, kernel backend = {})",
+        opts.dim,
+        opts.n_features,
+        opts.m_levels,
+        opts.batch,
+        kernel::name()
     );
     for m in &results {
         println!("  {:<28} {:>12.0} samples/s", m.name, m.samples_per_sec);
@@ -191,6 +252,13 @@ fn main() {
         opts.m_levels,
         opts.batch,
         hypervec::par::max_threads()
+    );
+    let backend_names: Vec<String> = backends.iter().map(|k| format!("\"{}\"", k.name)).collect();
+    let _ = writeln!(
+        json,
+        "  \"kernel\": {{ \"backend\": \"{}\", \"available\": [{}] }},",
+        kernel::name(),
+        backend_names.join(", ")
     );
     let _ = writeln!(json, "  \"results\": [");
     for (i, m) in results.iter().enumerate() {

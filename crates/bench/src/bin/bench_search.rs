@@ -24,7 +24,7 @@ use std::time::Instant;
 use hdc_model::{infer, ClassMemory, ModelKind};
 use hdc_serve::demo::{demo_model, DemoSpec};
 use hdc_serve::{loadgen, server, BatchConfig, LoadgenConfig};
-use hypervec::{BinaryHv, HvRng, IntHv};
+use hypervec::{kernel, BinaryHv, HvRng, IntHv};
 
 struct Options {
     dim: usize,
@@ -79,8 +79,17 @@ fn parse_options() -> Options {
 
 /// One measured configuration.
 struct Measurement {
-    name: &'static str,
+    name: String,
     queries_per_sec: f64,
+}
+
+impl Measurement {
+    fn new(name: impl Into<String>, queries_per_sec: f64) -> Self {
+        Measurement {
+            name: name.into(),
+            queries_per_sec,
+        }
+    }
 }
 
 /// Naive scalar reference: nearest class by Hamming distance computed
@@ -155,7 +164,7 @@ fn main() {
     // definition as BENCH_encoding.json (bit-exact with every other
     // rung; verified below).
     results.push(Measurement {
-        name: "binary_scalar_per_dim_per_query",
+        name: "binary_scalar_per_dim_per_query".to_owned(),
         queries_per_sec: throughput(opts.n_queries, min_secs, || {
             for q in &bin_queries {
                 std::hint::black_box(scalar_per_dim_nearest(&memory, q));
@@ -166,7 +175,7 @@ fn main() {
     // Word-parallel one-row-at-a-time popcount scan — the pre-refactor
     // inference path (`classify_binary_hv`).
     results.push(Measurement {
-        name: "binary_wordparallel_per_query",
+        name: "binary_wordparallel_per_query".to_owned(),
         queries_per_sec: throughput(opts.n_queries, min_secs, || {
             for q in &bin_queries {
                 std::hint::black_box(infer::classify_binary_hv(&memory, q));
@@ -177,14 +186,14 @@ fn main() {
     // Batch kernel pinned to one worker, then with all workers.
     std::env::set_var("HYPERVEC_THREADS", "1");
     results.push(Measurement {
-        name: "binary_batch_1_thread",
+        name: "binary_batch_1_thread".to_owned(),
         queries_per_sec: throughput(opts.n_queries, min_secs, || {
             std::hint::black_box(sharded.search_batch_binary(&bin_refs).unwrap());
         }),
     });
     std::env::remove_var("HYPERVEC_THREADS");
     results.push(Measurement {
-        name: "binary_batch_all_threads",
+        name: "binary_batch_all_threads".to_owned(),
         queries_per_sec: throughput(opts.n_queries, min_secs, || {
             std::hint::black_box(sharded.search_batch_binary(&bin_refs).unwrap());
         }),
@@ -193,7 +202,7 @@ fn main() {
     // Integer (cosine) metric: per-row scan vs batch kernel (the
     // kernel hoists the query norm and precomputes row norms).
     results.push(Measurement {
-        name: "int_per_row_per_query",
+        name: "int_per_row_per_query".to_owned(),
         queries_per_sec: throughput(opts.n_queries, min_secs, || {
             for q in &int_queries {
                 std::hint::black_box(infer::classify_int_hv(&memory, q));
@@ -201,11 +210,42 @@ fn main() {
         }),
     });
     results.push(Measurement {
-        name: "int_batch_all_threads",
+        name: "int_batch_all_threads".to_owned(),
         queries_per_sec: throughput(opts.n_queries, min_secs, || {
             std::hint::black_box(sharded.search_batch_int(&int_refs).unwrap());
         }),
     });
+
+    // Per-kernel-backend timings of the popcount-dominated batch-search
+    // kernel, one worker so the backend (not thread count) is what is
+    // measured. The dispatch layer picks the best of these at startup;
+    // recording each one tracks the SIMD speedup across PRs.
+    let backends = kernel::available();
+    std::env::set_var("HYPERVEC_THREADS", "1");
+    for k in &backends {
+        results.push(Measurement::new(
+            format!("binary_batch_backend_{}", k.name),
+            throughput(opts.n_queries, min_secs, || {
+                std::hint::black_box(sharded.search_batch_binary_with(k, &bin_refs).unwrap());
+            }),
+        ));
+        results.push(Measurement::new(
+            format!("int_batch_backend_{}", k.name),
+            throughput(opts.n_queries, min_secs, || {
+                std::hint::black_box(sharded.search_batch_int_with(k, &int_refs).unwrap());
+            }),
+        ));
+    }
+    std::env::remove_var("HYPERVEC_THREADS");
+    let backend_qps = |name: &str| {
+        results
+            .iter()
+            .find(|m| m.name == format!("binary_batch_backend_{name}"))
+            .map(|m| m.queries_per_sec)
+    };
+    let scalar_backend_qps = backend_qps("scalar").expect("scalar backend always measured");
+    let kernel_speedup_vs_scalar =
+        backend_qps(kernel::name()).unwrap_or(scalar_backend_qps) / scalar_backend_qps;
 
     // Cross-check once: every rung must agree bit-for-bit on top-1.
     let hits = sharded.search_batch_binary(&bin_refs).unwrap();
@@ -225,23 +265,33 @@ fn main() {
 
     let scalar = results[0].queries_per_sec;
     let wordparallel = results[1].queries_per_sec;
+    // Exclude the per-backend probes (single-threaded, different
+    // purpose) so this metric keeps meaning what it meant in PR 2:
+    // the production batch path vs the scalar baseline.
     let batch_best = results
         .iter()
-        .filter(|m| m.name.starts_with("binary_batch"))
+        .filter(|m| m.name.starts_with("binary_batch") && !m.name.contains("backend"))
         .map(|m| m.queries_per_sec)
         .fold(0.0f64, f64::max);
     let speedup = batch_best / scalar;
     let speedup_vs_wordparallel = batch_best / wordparallel;
 
     println!(
-        "associative search throughput  (D = {}, C = {}, batch = {})",
-        opts.dim, opts.n_classes, opts.n_queries
+        "associative search throughput  (D = {}, C = {}, batch = {}, kernel backend = {})",
+        opts.dim,
+        opts.n_classes,
+        opts.n_queries,
+        kernel::name()
     );
     for m in &results {
         println!("  {:<32} {:>14.0} queries/s", m.name, m.queries_per_sec);
     }
     println!("  batch vs scalar speedup: {speedup:.1}x");
     println!("  batch vs word-parallel per-query: {speedup_vs_wordparallel:.2}x");
+    println!(
+        "  active kernel ({}) vs scalar backend on batch search: {kernel_speedup_vs_scalar:.2}x",
+        kernel::name()
+    );
 
     // Serving: boot the batching server on a loopback port and measure
     // sustained classify requests/sec end to end.
@@ -288,6 +338,14 @@ fn main() {
         opts.n_classes,
         opts.n_queries,
         hypervec::par::max_threads()
+    );
+    let backend_names: Vec<String> = backends.iter().map(|k| format!("\"{}\"", k.name)).collect();
+    let _ = writeln!(
+        json,
+        "  \"kernel\": {{ \"backend\": \"{}\", \"available\": [{}], \
+         \"batch_search_speedup_vs_scalar\": {kernel_speedup_vs_scalar:.2} }},",
+        kernel::name(),
+        backend_names.join(", ")
     );
     let _ = writeln!(json, "  \"results\": [");
     for (i, m) in results.iter().enumerate() {

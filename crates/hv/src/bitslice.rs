@@ -33,6 +33,7 @@
 use crate::binary::BinaryHv;
 use crate::bitvec::BitWords;
 use crate::dense::IntHv;
+use crate::kernel;
 use crate::rng::HvRng;
 
 /// Word-parallel bundling accumulator over bit-sliced counter planes.
@@ -139,9 +140,7 @@ impl BitSliceAccumulator {
         assert_eq!(self.dim, b.dim(), "dimension mismatch in bit-sliced add");
         let wa = a.bits().words();
         let wb = b.bits().words();
-        for (s, (x, y)) in self.scratch.iter_mut().zip(wa.iter().zip(wb)) {
-            *s = x ^ y;
-        }
+        (kernel::active().xor_into)(wa, wb, &mut self.scratch);
         self.ripple_scratch();
     }
 
@@ -149,6 +148,7 @@ impl BitSliceAccumulator {
     /// `scratch`, consuming the scratch buffer as the carry vector.
     fn ripple_scratch(&mut self) {
         self.count += 1;
+        let k = kernel::active();
         let scratch = &mut self.scratch;
         let mut p = 0;
         loop {
@@ -160,18 +160,7 @@ impl BitSliceAccumulator {
                 }
                 return;
             }
-            let plane = &mut self.planes[p];
-            let mut live = false;
-            for (pw, c) in plane.iter_mut().zip(scratch.iter_mut()) {
-                if *c == 0 {
-                    continue;
-                }
-                let carry_out = *pw & *c;
-                *pw ^= *c;
-                *c = carry_out;
-                live |= carry_out != 0;
-            }
-            if !live {
+            if !(k.ripple_step)(&mut self.planes[p], scratch) {
                 return;
             }
             p += 1;
@@ -208,17 +197,20 @@ impl BitSliceAccumulator {
     fn threshold_masks(&self, threshold: u64) -> (Vec<u64>, Vec<u64>) {
         let t_bits = (u64::BITS - threshold.leading_zeros()) as usize;
         let p_max = self.planes.len().max(t_bits);
+        let k = kernel::active();
         let mut gt = vec![0u64; self.n_words];
         let mut eq = vec![u64::MAX; self.n_words];
         for p in (0..p_max).rev() {
             let t_bit = (threshold >> p) & 1 == 1;
-            for w in 0..self.n_words {
-                let b = self.planes.get(p).map_or(0, |plane| plane[w]);
-                if t_bit {
-                    eq[w] &= b;
-                } else {
-                    gt[w] |= eq[w] & b;
-                    eq[w] &= !b;
+            match self.planes.get(p) {
+                Some(plane) => (k.threshold_step)(plane, t_bit, &mut gt, &mut eq),
+                // Missing plane ⇒ counter bit is 0 everywhere: with the
+                // threshold bit set no counter can still be equal; with
+                // it clear the step is a no-op.
+                None => {
+                    if t_bit {
+                        eq.iter_mut().for_each(|w| *w = 0);
+                    }
                 }
             }
         }

@@ -3,9 +3,13 @@
 //! A [`BitWords`] is a fixed-length sequence of bits packed into `u64`
 //! words. It supports the primitive operations hyperdimensional computing
 //! needs to be fast: word-wise XOR, popcount, and circular rotation of an
-//! arbitrary (not necessarily word-aligned) bit length.
+//! arbitrary (not necessarily word-aligned) bit length. The bulk
+//! operations (XOR, popcount, Hamming) dispatch through
+//! [`kernel`](crate::kernel), so they run on the active SIMD backend.
 
 use serde::{Deserialize, Serialize};
+
+use crate::kernel;
 
 /// Fixed-length packed bit vector.
 ///
@@ -191,7 +195,7 @@ impl BitWords {
     /// Number of set bits.
     #[must_use]
     pub fn count_ones(&self) -> usize {
-        self.words.iter().map(|w| w.count_ones() as usize).sum()
+        (kernel::active().popcount)(&self.words) as usize
     }
 
     /// XORs `other` into `self` in place.
@@ -201,9 +205,7 @@ impl BitWords {
     /// Panics if lengths differ.
     pub fn xor_assign(&mut self, other: &Self) {
         assert_eq!(self.len, other.len, "length mismatch in xor");
-        for (a, b) in self.words.iter_mut().zip(&other.words) {
-            *a ^= b;
-        }
+        (kernel::active().xor_assign)(&mut self.words, &other.words);
     }
 
     /// Returns `self XOR other`.
@@ -226,13 +228,7 @@ impl BitWords {
     pub fn xor_into(&self, other: &Self, out: &mut Self) {
         assert_eq!(self.len, other.len, "length mismatch in xor");
         assert_eq!(self.len, out.len, "length mismatch in xor output");
-        for (o, (a, b)) in out
-            .words
-            .iter_mut()
-            .zip(self.words.iter().zip(&other.words))
-        {
-            *o = a ^ b;
-        }
+        (kernel::active().xor_into)(&self.words, &other.words, &mut out.words);
     }
 
     /// Overwrites `self` with a copy of `other` without allocating.
@@ -259,11 +255,7 @@ impl BitWords {
     #[must_use]
     pub fn count_diff(&self, other: &Self) -> usize {
         assert_eq!(self.len, other.len, "length mismatch in count_diff");
-        self.words
-            .iter()
-            .zip(&other.words)
-            .map(|(a, b)| (a ^ b).count_ones() as usize)
-            .sum()
+        (kernel::active().hamming)(&self.words, &other.words) as usize
     }
 
     /// Inverts every bit in place.

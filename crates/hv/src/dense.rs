@@ -8,6 +8,7 @@
 use serde::{Deserialize, Serialize};
 
 use crate::binary::BinaryHv;
+use crate::kernel;
 use crate::rng::HvRng;
 
 /// An integer hypervector in `Z^D`.
@@ -217,7 +218,8 @@ impl IntHv {
         IntHv::from_fn(self.dim(), |i| self.values[i] * i32::from(hv.polarity(i)))
     }
 
-    /// Dot product.
+    /// Dot product (runs on the active [`kernel`] backend; exact for
+    /// every backend because the sum is integral).
     ///
     /// # Panics
     ///
@@ -225,11 +227,7 @@ impl IntHv {
     #[must_use]
     pub fn dot(&self, other: &IntHv) -> i64 {
         assert_eq!(self.dim(), other.dim(), "dimension mismatch in dot");
-        self.values
-            .iter()
-            .zip(&other.values)
-            .map(|(&a, &b)| i64::from(a) * i64::from(b))
-            .sum()
+        (kernel::active().dot_i32)(&self.values, &other.values)
     }
 
     /// Euclidean norm.

@@ -158,6 +158,8 @@ impl ItemMemory {
 
     /// Associative lookup: the row with the smallest Hamming distance to
     /// `query`, with its distance. Ties resolve to the lowest index.
+    /// Each comparison is a fused XOR-popcount on the active
+    /// [`kernel`](crate::kernel) backend.
     ///
     /// # Errors
     ///

@@ -1,0 +1,227 @@
+//! Unified SIMD kernel backend layer with runtime dispatch.
+//!
+//! Every hot bit-kernel in this crate — XOR-accumulate, popcount
+//! reduction, the bit-sliced ripple-carry increment, the word-parallel
+//! majority/threshold comparison, the Hamming-distance row scan of the
+//! sharded search engine, and the integer dot product behind cosine
+//! search — funnels through one [`Kernel`] dispatch table instead of
+//! hand-written `u64` loops duplicated per call site. Three
+//! interchangeable backends implement the table:
+//!
+//! * **`scalar`** — the original word-parallel `u64` code, extracted
+//!   verbatim from the former per-file loops. This is the *reference*:
+//!   every other backend must be bit-identical to it (enforced by
+//!   `tests/kernel_equivalence.rs`).
+//! * **`avx2`** — `std::arch` x86_64 intrinsics (256-bit XOR/AND, the
+//!   vpshufb nibble-LUT popcount, widening 32→64-bit multiplies),
+//!   compiled on every x86_64 build and installed only when
+//!   `is_x86_feature_detected!("avx2")` says the CPU has it.
+//! * **`portable`** — a `std::simd`-style chunked variant operating on
+//!   `[u64; 4]` lanes in plain Rust, written so LLVM can autovectorize
+//!   it for whatever vector ISA the target has. Always available.
+//!
+//! ## Dispatch rules
+//!
+//! The backend is selected **once**, at first use, into a process-wide
+//! table ([`active`]): `avx2` when the CPU supports it, otherwise
+//! `scalar`. The `HYPERVEC_KERNEL` environment variable overrides the
+//! choice (`scalar`, `avx2`, or `portable`); naming a backend that is
+//! unknown or not available on this machine **fails fast** with the
+//! list of available backends rather than silently falling back, so a
+//! CI matrix or an operator pinning a backend can trust what ran.
+//!
+//! ## Exactness contract
+//!
+//! All kernel arithmetic is integral (bit operations, popcounts, and
+//! wrapping integer sums — integer addition commutes even modulo 2⁶⁴,
+//! so lane-reassociated sums are *identical*, not merely close), and
+//! every floating-point score downstream is derived from those integers
+//! by the same expression. Backends are therefore interchangeable
+//! bit-for-bit: scores, argmax winners and tie order never depend on
+//! the backend.
+//!
+//! ## Adding a backend
+//!
+//! 1. Implement the function set as a new submodule and expose a
+//!    `static KERNEL: Kernel`.
+//! 2. Register it in [`available`] (with its detection guard) and in
+//!    `by_name`.
+//! 3. `tests/kernel_equivalence.rs` picks it up automatically via
+//!    [`available`] — no new test code needed for bit-exactness.
+
+mod portable;
+mod scalar;
+#[cfg(target_arch = "x86_64")]
+mod x86;
+
+use std::sync::OnceLock;
+
+/// Dispatch table of the primitive word-level operations the engine
+/// needs. One instance per backend; selected once via [`active`].
+///
+/// The contract is equal slice lengths (this crate's wrappers assert
+/// dimensions before dispatching). Mismatched lengths are always
+/// memory-safe — every backend bounds its loops by the shortest slice
+/// involved (or panics on a safe slice index) — but which elements get
+/// processed is then backend-defined, so results across backends are
+/// only guaranteed identical for equal-length inputs.
+#[derive(Debug, Clone, Copy)]
+pub struct Kernel {
+    /// Backend name as reported by [`name`] and the serving layer.
+    pub name: &'static str,
+    /// `out[i] = a[i] ^ b[i]` (XOR-accumulate into a caller buffer).
+    pub xor_into: fn(a: &[u64], b: &[u64], out: &mut [u64]),
+    /// `a[i] ^= b[i]`.
+    pub xor_assign: fn(a: &mut [u64], b: &[u64]),
+    /// `Σ popcount(words[i])` — popcount reduction over packed planes.
+    pub popcount: fn(words: &[u64]) -> u64,
+    /// `Σ popcount(a[i] ^ b[i])` — fused XOR + popcount (Hamming).
+    pub hamming: fn(a: &[u64], b: &[u64]) -> u64,
+    /// One ripple-carry plane step of the bit-sliced accumulator:
+    /// `carry_out = plane & carry; plane ^= carry; carry = carry_out`,
+    /// returning whether any carry survives into the next plane.
+    pub ripple_step: fn(plane: &mut [u64], carry: &mut [u64]) -> bool,
+    /// One plane step of the word-parallel threshold comparison
+    /// (most-significant plane first): with `t_bit` the threshold's bit
+    /// at this plane, `gt |= eq & plane; eq &= !plane` when `t_bit` is
+    /// 0, `eq &= plane` when it is 1.
+    pub threshold_step: fn(plane: &[u64], t_bit: bool, gt: &mut [u64], eq: &mut [u64]),
+    /// Hamming-distance row scan: `rows` holds `dist.len()` rows of
+    /// `q_block.len()` words back to back; `dist[r] +=
+    /// Σ popcount(q_block ^ rows[r])`. The batch-search hot loop.
+    pub hamming_rows: fn(q_block: &[u64], rows: &[u64], dist: &mut [u32]),
+    /// Wrapping `i64` dot product of two `i32` slices (cosine search).
+    pub dot_i32: fn(a: &[i32], b: &[i32]) -> i64,
+}
+
+/// The selected process-wide kernel (see module docs for the rules).
+///
+/// # Panics
+///
+/// Panics on first use if `HYPERVEC_KERNEL` names an unknown or
+/// unavailable backend — deliberately fail-fast, never a silent
+/// fallback.
+#[must_use]
+pub fn active() -> &'static Kernel {
+    static ACTIVE: OnceLock<&'static Kernel> = OnceLock::new();
+    ACTIVE.get_or_init(
+        || match select(std::env::var("HYPERVEC_KERNEL").ok().as_deref()) {
+            Ok(k) => k,
+            Err(msg) => panic!("{msg}"),
+        },
+    )
+}
+
+/// Name of the active backend (`"scalar"`, `"avx2"`, or `"portable"`).
+#[must_use]
+pub fn name() -> &'static str {
+    active().name
+}
+
+/// Every backend available on this machine. `scalar` and `portable`
+/// are always present; `avx2` leads the list when the CPU has it. The
+/// *default dispatch* is avx2-else-scalar (see module docs), not
+/// simply the first entry.
+#[must_use]
+pub fn available() -> Vec<&'static Kernel> {
+    let mut out: Vec<&'static Kernel> = Vec::new();
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("avx2") {
+        out.push(&x86::KERNEL);
+    }
+    out.push(&portable::KERNEL);
+    out.push(&scalar::KERNEL);
+    out
+}
+
+/// Looks up an available backend by name (`None` when the name is
+/// unknown or the backend cannot run on this machine).
+#[must_use]
+pub fn by_name(name: &str) -> Option<&'static Kernel> {
+    available().into_iter().find(|k| k.name == name)
+}
+
+/// The scalar reference backend (always available; what every other
+/// backend is tested bit-identical against).
+#[must_use]
+pub fn scalar() -> &'static Kernel {
+    &scalar::KERNEL
+}
+
+/// Resolves an optional `HYPERVEC_KERNEL` override to a backend.
+///
+/// # Errors
+///
+/// Returns the fail-fast message (naming the available backends) when
+/// the override is unknown or unavailable on this machine.
+fn select(env_override: Option<&str>) -> Result<&'static Kernel, String> {
+    // Documented default: avx2 when the CPU has it, otherwise the
+    // scalar reference (portable stays opt-in until it is benchmarked
+    // faster than scalar on a real non-AVX2 target).
+    let fallback = || by_name("avx2").unwrap_or_else(scalar);
+    match env_override.map(str::trim) {
+        None | Some("") => Ok(fallback()),
+        Some(requested) => {
+            let requested = requested.to_ascii_lowercase();
+            by_name(&requested).ok_or_else(|| {
+                let names: Vec<&str> = available().iter().map(|k| k.name).collect();
+                format!(
+                    "HYPERVEC_KERNEL='{requested}' names an unknown or unavailable kernel \
+                     backend; available on this machine: {}",
+                    names.join(", ")
+                )
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_is_always_available() {
+        assert!(available().iter().any(|k| k.name == "scalar"));
+        assert!(available().iter().any(|k| k.name == "portable"));
+        assert_eq!(scalar().name, "scalar");
+    }
+
+    #[test]
+    fn select_default_is_avx2_or_scalar() {
+        let want = if by_name("avx2").is_some() {
+            "avx2"
+        } else {
+            "scalar"
+        };
+        assert_eq!(select(None).unwrap().name, want);
+        assert_eq!(select(Some("  ")).unwrap().name, want);
+    }
+
+    #[test]
+    fn select_honors_explicit_backends() {
+        assert_eq!(select(Some("scalar")).unwrap().name, "scalar");
+        assert_eq!(select(Some("portable")).unwrap().name, "portable");
+        // Case- and whitespace-insensitive.
+        assert_eq!(select(Some(" Scalar ")).unwrap().name, "scalar");
+    }
+
+    #[test]
+    fn select_fails_fast_on_unknown_backend() {
+        let err = select(Some("avx512")).unwrap_err();
+        assert!(err.contains("avx512"), "{err}");
+        assert!(err.contains("scalar"), "names available backends: {err}");
+        assert!(err.contains("portable"), "names available backends: {err}");
+    }
+
+    #[test]
+    fn active_runs_and_names_a_real_backend() {
+        let k = active();
+        assert!(available().iter().any(|a| a.name == k.name));
+        assert_eq!(name(), k.name);
+    }
+
+    #[test]
+    fn by_name_rejects_unknown() {
+        assert!(by_name("not-a-backend").is_none());
+    }
+}

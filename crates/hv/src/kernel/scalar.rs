@@ -1,0 +1,90 @@
+//! Scalar `u64` word-parallel backend — the reference implementation.
+//!
+//! These are the loops that used to live inline in `bitvec.rs`,
+//! `bitslice.rs` and `search.rs`, extracted unchanged. Every other
+//! backend must match them bit-for-bit.
+
+use super::Kernel;
+
+/// The scalar reference backend.
+pub(super) static KERNEL: Kernel = Kernel {
+    name: "scalar",
+    xor_into,
+    xor_assign,
+    popcount,
+    hamming,
+    ripple_step,
+    threshold_step,
+    hamming_rows,
+    dot_i32,
+};
+
+fn xor_into(a: &[u64], b: &[u64], out: &mut [u64]) {
+    for (o, (x, y)) in out.iter_mut().zip(a.iter().zip(b)) {
+        *o = x ^ y;
+    }
+}
+
+fn xor_assign(a: &mut [u64], b: &[u64]) {
+    for (x, y) in a.iter_mut().zip(b) {
+        *x ^= y;
+    }
+}
+
+fn popcount(words: &[u64]) -> u64 {
+    words.iter().map(|w| u64::from(w.count_ones())).sum()
+}
+
+fn hamming(a: &[u64], b: &[u64]) -> u64 {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| u64::from((x ^ y).count_ones()))
+        .sum()
+}
+
+fn ripple_step(plane: &mut [u64], carry: &mut [u64]) -> bool {
+    let mut live = false;
+    for (pw, c) in plane.iter_mut().zip(carry.iter_mut()) {
+        if *c == 0 {
+            continue;
+        }
+        let carry_out = *pw & *c;
+        *pw ^= *c;
+        *c = carry_out;
+        live |= carry_out != 0;
+    }
+    live
+}
+
+fn threshold_step(plane: &[u64], t_bit: bool, gt: &mut [u64], eq: &mut [u64]) {
+    if t_bit {
+        for (e, b) in eq.iter_mut().zip(plane) {
+            *e &= b;
+        }
+    } else {
+        for ((g, e), b) in gt.iter_mut().zip(eq.iter_mut()).zip(plane) {
+            *g |= *e & b;
+            *e &= !b;
+        }
+    }
+}
+
+fn hamming_rows(q_block: &[u64], rows: &[u64], dist: &mut [u32]) {
+    let len = q_block.len();
+    for (r, d) in dist.iter_mut().enumerate() {
+        let row = &rows[r * len..(r + 1) * len];
+        let mut acc = 0u32;
+        for (a, w) in q_block.iter().zip(row) {
+            acc += (a ^ w).count_ones();
+        }
+        *d += acc;
+    }
+}
+
+fn dot_i32(a: &[i32], b: &[i32]) -> i64 {
+    let mut dot = 0i64;
+    for (&x, &y) in a.iter().zip(b) {
+        dot = dot.wrapping_add(i64::from(x) * i64::from(y));
+    }
+    dot
+}

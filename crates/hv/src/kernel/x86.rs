@@ -1,0 +1,267 @@
+//! AVX2 backend (`std::arch` x86_64 intrinsics).
+//!
+//! 256-bit lanes carry four `u64` words (or eight `i32` values) per
+//! operation: XOR/AND/OR on `__m256i`, popcount via the vpshufb
+//! nibble-LUT + `vpsadbw` reduction, and the widening
+//! `vpmuldq` 32→64-bit multiply for integer dot products. Tails
+//! shorter than a full vector run the scalar code, so results are
+//! defined for every slice length.
+//!
+//! # Safety
+//!
+//! This module's `KERNEL` table is handed out by [`super::available`]
+//! **only after** `is_x86_feature_detected!("avx2")` has confirmed the
+//! CPU supports AVX2, which is the sole precondition of the
+//! `#[target_feature(enable = "avx2")]` functions below. All pointer
+//! accesses are unaligned loads/stores within slice bounds.
+
+#![allow(unsafe_code)]
+
+use std::arch::x86_64::{
+    __m256i, _mm256_add_epi64, _mm256_add_epi8, _mm256_and_si256, _mm256_extract_epi64,
+    _mm256_loadu_si256, _mm256_mul_epi32, _mm256_or_si256, _mm256_sad_epu8, _mm256_set1_epi8,
+    _mm256_setr_epi8, _mm256_setzero_si256, _mm256_shuffle_epi8, _mm256_srli_epi16,
+    _mm256_srli_epi64, _mm256_storeu_si256, _mm256_testz_si256, _mm256_xor_si256,
+};
+
+use super::Kernel;
+
+/// `u64` words per 256-bit vector.
+const WORDS: usize = 4;
+/// `i32` values per 256-bit vector.
+const INTS: usize = 8;
+
+/// The AVX2 backend. Only reachable through [`super::available`], which
+/// performs the CPU-feature check this table's functions require.
+pub(super) static KERNEL: Kernel = Kernel {
+    name: "avx2",
+    xor_into,
+    xor_assign,
+    popcount,
+    hamming,
+    ripple_step,
+    threshold_step,
+    hamming_rows,
+    dot_i32,
+};
+
+fn xor_into(a: &[u64], b: &[u64], out: &mut [u64]) {
+    // SAFETY: AVX2 availability is guaranteed by the dispatch layer.
+    unsafe { xor_into_avx2(a, b, out) }
+}
+
+fn xor_assign(a: &mut [u64], b: &[u64]) {
+    // SAFETY: AVX2 availability is guaranteed by the dispatch layer.
+    unsafe { xor_assign_avx2(a, b) }
+}
+
+fn popcount(words: &[u64]) -> u64 {
+    // SAFETY: AVX2 availability is guaranteed by the dispatch layer.
+    unsafe { popcount_avx2(words) }
+}
+
+fn hamming(a: &[u64], b: &[u64]) -> u64 {
+    // SAFETY: AVX2 availability is guaranteed by the dispatch layer.
+    unsafe { hamming_avx2(a, b) }
+}
+
+fn ripple_step(plane: &mut [u64], carry: &mut [u64]) -> bool {
+    // SAFETY: AVX2 availability is guaranteed by the dispatch layer.
+    unsafe { ripple_step_avx2(plane, carry) }
+}
+
+fn threshold_step(plane: &[u64], t_bit: bool, gt: &mut [u64], eq: &mut [u64]) {
+    // SAFETY: AVX2 availability is guaranteed by the dispatch layer.
+    unsafe { threshold_step_avx2(plane, t_bit, gt, eq) }
+}
+
+fn hamming_rows(q_block: &[u64], rows: &[u64], dist: &mut [u32]) {
+    // SAFETY: AVX2 availability is guaranteed by the dispatch layer.
+    unsafe { hamming_rows_avx2(q_block, rows, dist) }
+}
+
+fn dot_i32(a: &[i32], b: &[i32]) -> i64 {
+    // SAFETY: AVX2 availability is guaranteed by the dispatch layer.
+    unsafe { dot_i32_avx2(a, b) }
+}
+
+/// Per-byte popcount of a 256-bit vector via the nibble lookup table,
+/// reduced to four per-64-bit-lane sums by `vpsadbw`.
+#[target_feature(enable = "avx2")]
+unsafe fn popcnt256(v: __m256i) -> __m256i {
+    #[rustfmt::skip]
+    let lut = _mm256_setr_epi8(
+        0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4,
+        0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4,
+    );
+    let low_mask = _mm256_set1_epi8(0x0f);
+    let lo = _mm256_and_si256(v, low_mask);
+    let hi = _mm256_and_si256(_mm256_srli_epi16::<4>(v), low_mask);
+    let counts = _mm256_add_epi8(_mm256_shuffle_epi8(lut, lo), _mm256_shuffle_epi8(lut, hi));
+    _mm256_sad_epu8(counts, _mm256_setzero_si256())
+}
+
+/// Horizontal sum of the four `u64` lanes.
+#[target_feature(enable = "avx2")]
+unsafe fn sum_lanes_u64(v: __m256i) -> u64 {
+    (_mm256_extract_epi64::<0>(v) as u64)
+        .wrapping_add(_mm256_extract_epi64::<1>(v) as u64)
+        .wrapping_add(_mm256_extract_epi64::<2>(v) as u64)
+        .wrapping_add(_mm256_extract_epi64::<3>(v) as u64)
+}
+
+#[target_feature(enable = "avx2")]
+unsafe fn xor_into_avx2(a: &[u64], b: &[u64], out: &mut [u64]) {
+    let n = out.len().min(a.len()).min(b.len());
+    let blocks = n / WORDS;
+    for i in 0..blocks {
+        let x = _mm256_loadu_si256(a.as_ptr().add(i * WORDS).cast());
+        let y = _mm256_loadu_si256(b.as_ptr().add(i * WORDS).cast());
+        _mm256_storeu_si256(
+            out.as_mut_ptr().add(i * WORDS).cast(),
+            _mm256_xor_si256(x, y),
+        );
+    }
+    for i in blocks * WORDS..n {
+        out[i] = a[i] ^ b[i];
+    }
+}
+
+#[target_feature(enable = "avx2")]
+unsafe fn xor_assign_avx2(a: &mut [u64], b: &[u64]) {
+    let n = a.len().min(b.len());
+    let blocks = n / WORDS;
+    for i in 0..blocks {
+        let x = _mm256_loadu_si256(a.as_ptr().add(i * WORDS).cast());
+        let y = _mm256_loadu_si256(b.as_ptr().add(i * WORDS).cast());
+        _mm256_storeu_si256(a.as_mut_ptr().add(i * WORDS).cast(), _mm256_xor_si256(x, y));
+    }
+    for i in blocks * WORDS..n {
+        a[i] ^= b[i];
+    }
+}
+
+#[target_feature(enable = "avx2")]
+unsafe fn popcount_avx2(words: &[u64]) -> u64 {
+    let n = words.len();
+    let blocks = n / WORDS;
+    let mut acc = _mm256_setzero_si256();
+    for i in 0..blocks {
+        let v = _mm256_loadu_si256(words.as_ptr().add(i * WORDS).cast());
+        acc = _mm256_add_epi64(acc, popcnt256(v));
+    }
+    let mut sum = sum_lanes_u64(acc);
+    for w in &words[blocks * WORDS..] {
+        sum += u64::from(w.count_ones());
+    }
+    sum
+}
+
+#[target_feature(enable = "avx2")]
+unsafe fn hamming_avx2(a: &[u64], b: &[u64]) -> u64 {
+    let n = a.len().min(b.len());
+    let blocks = n / WORDS;
+    let mut acc = _mm256_setzero_si256();
+    for i in 0..blocks {
+        let x = _mm256_loadu_si256(a.as_ptr().add(i * WORDS).cast());
+        let y = _mm256_loadu_si256(b.as_ptr().add(i * WORDS).cast());
+        acc = _mm256_add_epi64(acc, popcnt256(_mm256_xor_si256(x, y)));
+    }
+    let mut sum = sum_lanes_u64(acc);
+    for i in blocks * WORDS..n {
+        sum += u64::from((a[i] ^ b[i]).count_ones());
+    }
+    sum
+}
+
+#[target_feature(enable = "avx2")]
+unsafe fn ripple_step_avx2(plane: &mut [u64], carry: &mut [u64]) -> bool {
+    let n = plane.len().min(carry.len());
+    let blocks = n / WORDS;
+    let mut any = _mm256_setzero_si256();
+    for i in 0..blocks {
+        let p = _mm256_loadu_si256(plane.as_ptr().add(i * WORDS).cast());
+        let c = _mm256_loadu_si256(carry.as_ptr().add(i * WORDS).cast());
+        let carry_out = _mm256_and_si256(p, c);
+        _mm256_storeu_si256(
+            plane.as_mut_ptr().add(i * WORDS).cast(),
+            _mm256_xor_si256(p, c),
+        );
+        _mm256_storeu_si256(carry.as_mut_ptr().add(i * WORDS).cast(), carry_out);
+        any = _mm256_or_si256(any, carry_out);
+    }
+    let mut live = _mm256_testz_si256(any, any) == 0;
+    for i in blocks * WORDS..n {
+        let carry_out = plane[i] & carry[i];
+        plane[i] ^= carry[i];
+        carry[i] = carry_out;
+        live |= carry_out != 0;
+    }
+    live
+}
+
+#[target_feature(enable = "avx2")]
+unsafe fn threshold_step_avx2(plane: &[u64], t_bit: bool, gt: &mut [u64], eq: &mut [u64]) {
+    let n = eq.len().min(gt.len()).min(plane.len());
+    let blocks = n / WORDS;
+    if t_bit {
+        for i in 0..blocks {
+            let e = _mm256_loadu_si256(eq.as_ptr().add(i * WORDS).cast());
+            let b = _mm256_loadu_si256(plane.as_ptr().add(i * WORDS).cast());
+            _mm256_storeu_si256(
+                eq.as_mut_ptr().add(i * WORDS).cast(),
+                _mm256_and_si256(e, b),
+            );
+        }
+        for i in blocks * WORDS..n {
+            eq[i] &= plane[i];
+        }
+    } else {
+        for i in 0..blocks {
+            let g = _mm256_loadu_si256(gt.as_ptr().add(i * WORDS).cast());
+            let e = _mm256_loadu_si256(eq.as_ptr().add(i * WORDS).cast());
+            let b = _mm256_loadu_si256(plane.as_ptr().add(i * WORDS).cast());
+            let masked = _mm256_and_si256(e, b);
+            _mm256_storeu_si256(
+                gt.as_mut_ptr().add(i * WORDS).cast(),
+                _mm256_or_si256(g, masked),
+            );
+            _mm256_storeu_si256(
+                eq.as_mut_ptr().add(i * WORDS).cast(),
+                _mm256_xor_si256(e, masked),
+            );
+        }
+        for i in blocks * WORDS..n {
+            gt[i] |= eq[i] & plane[i];
+            eq[i] &= !plane[i];
+        }
+    }
+}
+
+#[target_feature(enable = "avx2")]
+unsafe fn hamming_rows_avx2(q_block: &[u64], rows: &[u64], dist: &mut [u32]) {
+    let len = q_block.len();
+    for (r, d) in dist.iter_mut().enumerate() {
+        *d += hamming_avx2(q_block, &rows[r * len..(r + 1) * len]) as u32;
+    }
+}
+
+#[target_feature(enable = "avx2")]
+unsafe fn dot_i32_avx2(a: &[i32], b: &[i32]) -> i64 {
+    let n = a.len().min(b.len());
+    let blocks = n / INTS;
+    let mut acc = _mm256_setzero_si256();
+    for i in 0..blocks {
+        let x = _mm256_loadu_si256(a.as_ptr().add(i * INTS).cast());
+        let y = _mm256_loadu_si256(b.as_ptr().add(i * INTS).cast());
+        // Widening signed multiplies of the even and odd 32-bit lanes.
+        let even = _mm256_mul_epi32(x, y);
+        let odd = _mm256_mul_epi32(_mm256_srli_epi64::<32>(x), _mm256_srli_epi64::<32>(y));
+        acc = _mm256_add_epi64(acc, _mm256_add_epi64(even, odd));
+    }
+    let mut dot = sum_lanes_u64(acc) as i64;
+    for i in blocks * INTS..n {
+        dot = dot.wrapping_add(i64::from(a[i]) * i64::from(b[i]));
+    }
+    dot
+}

@@ -75,6 +75,32 @@
 //!   retraining loop keep a packed mirror in sync without rebuilding
 //!   it after every accumulator adjustment.
 //!
+//! ## Kernel backends
+//!
+//! All of the loops above — XOR-accumulate, popcount reduction, the
+//! ripple-carry increment, the threshold comparison, the
+//! Hamming-distance row scan, and the integer dot product — execute
+//! through the [`kernel`] dispatch table rather than per-file `u64`
+//! loops. Three backends implement it: `scalar` (the reference, always
+//! available), `avx2` (`std::arch` x86_64 intrinsics, installed when
+//! `is_x86_feature_detected!("avx2")` confirms support), and `portable`
+//! (a chunked, autovectorizable variant for other ISAs).
+//!
+//! * **Dispatch rules** — selected once at first use: `avx2` when the
+//!   CPU has it, else `scalar`. Every consumer ([`BitSliceAccumulator`],
+//!   [`ShardedClassMemory`], [`BitVec bulk ops`](bitvec::BitWords),
+//!   [`Similarity`], [`ItemMemory`]) picks the fast path up
+//!   transparently.
+//! * **Env override** — `HYPERVEC_KERNEL=scalar|avx2|portable` forces a
+//!   backend; an unknown or unavailable name fails fast with the list
+//!   of available backends (never a silent fallback).
+//! * **Bit-exactness** — backends are interchangeable bit-for-bit
+//!   (integral arithmetic throughout; `tests/kernel_equivalence.rs`
+//!   pins scores, argmax and tie order per backend against `scalar`).
+//! * **Adding a backend** — implement the [`kernel::Kernel`] function
+//!   set, register it in `kernel::available`/`by_name`; the
+//!   equivalence suite covers it automatically.
+//!
 //! ## Example
 //!
 //! ```
@@ -105,6 +131,7 @@ pub mod boundcache;
 pub mod dense;
 pub mod error;
 pub mod itemmem;
+pub mod kernel;
 pub mod level;
 pub mod par;
 pub mod perm;

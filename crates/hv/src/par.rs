@@ -10,6 +10,21 @@
 //! The worker count defaults to the machine's available parallelism and
 //! can be pinned with the `HYPERVEC_THREADS` environment variable
 //! (benchmarks use it to report single- vs multi-thread throughput).
+//!
+//! Setting `HYPERVEC_PIN=1` additionally pins worker `w` of each
+//! fork-join to CPU `w mod n_cpus` (best-effort `sched_setaffinity` on
+//! Linux, a silent no-op elsewhere), so encode and search shards stay
+//! on their cores — and, on multi-socket machines, on their memory
+//! nodes — instead of migrating mid-batch.
+
+/// The machine's available parallelism, cached:
+/// `available_parallelism` reads cgroup quota files on Linux — far too
+/// expensive to query on every small batch.
+fn available_cores() -> usize {
+    static AVAILABLE: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *AVAILABLE
+        .get_or_init(|| std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get))
+}
 
 /// Maximum worker threads: `HYPERVEC_THREADS` if set and positive,
 /// otherwise the machine's available parallelism.
@@ -22,11 +37,49 @@ pub fn max_threads() -> usize {
             }
         }
     }
-    // `available_parallelism` reads cgroup quota files on Linux — far
-    // too expensive to query on every small batch, so cache it.
-    static AVAILABLE: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
-    *AVAILABLE
-        .get_or_init(|| std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get))
+    available_cores()
+}
+
+/// Whether `HYPERVEC_PIN=1` asked for workers to be pinned to cores.
+fn pin_workers() -> bool {
+    static PIN: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *PIN.get_or_init(|| {
+        std::env::var("HYPERVEC_PIN")
+            .is_ok_and(|v| matches!(v.trim(), "1" | "true" | "TRUE" | "True"))
+    })
+}
+
+/// Best-effort pin of the calling thread to one CPU. Failures (cgroup
+/// masks, offline CPUs, unsupported platforms) are silently ignored —
+/// pinning is a performance hint, never a correctness requirement.
+fn pin_current_thread(core: usize) {
+    #[cfg(target_os = "linux")]
+    {
+        // Minimal libc shim: Linux guarantees the symbol, and `pid = 0`
+        // targets the calling thread.
+        extern "C" {
+            fn sched_setaffinity(pid: i32, cpusetsize: usize, mask: *const u64) -> i32;
+        }
+        /// 1024-bit CPU mask, the kernel's default `cpu_set_t` size.
+        const MASK_WORDS: usize = 16;
+        if core >= MASK_WORDS * 64 {
+            // Never alias an out-of-range core onto a low CPU; skipping
+            // keeps the thread unpinned, which is the documented
+            // best-effort behavior.
+            return;
+        }
+        let mut mask = [0u64; MASK_WORDS];
+        mask[core / 64] |= 1u64 << (core % 64);
+        // SAFETY: the mask pointer is valid for `MASK_WORDS * 8` bytes
+        // and the syscall only reads it.
+        unsafe {
+            let _ = sched_setaffinity(0, std::mem::size_of_val(&mask), mask.as_ptr());
+        }
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        let _ = core;
+    }
 }
 
 /// Maps each chunk of `0..n_items` through `f` on its own worker and
@@ -56,8 +109,21 @@ where
         ranges.push(start..start + len);
         start += len;
     }
+    let pin = pin_workers();
+    let f = &f;
     std::thread::scope(|scope| {
-        let handles: Vec<_> = ranges.into_iter().map(|r| scope.spawn(|| f(r))).collect();
+        let handles: Vec<_> = ranges
+            .into_iter()
+            .enumerate()
+            .map(|(w, r)| {
+                scope.spawn(move || {
+                    if pin {
+                        pin_current_thread(w % available_cores());
+                    }
+                    f(r)
+                })
+            })
+            .collect();
         let mut out = Vec::with_capacity(n_items);
         for handle in handles {
             out.extend(handle.join().expect("parallel chunk worker panicked"));
@@ -95,5 +161,19 @@ mod tests {
     #[test]
     fn max_threads_is_positive() {
         assert!(max_threads() >= 1);
+    }
+
+    #[test]
+    fn pinning_is_a_safe_no_op_for_any_core() {
+        // Best-effort contract: pinning must never panic or corrupt
+        // results. Cores beyond the mask are skipped (never aliased
+        // onto a low CPU); cores beyond the machine make the syscall
+        // fail, which is ignored.
+        pin_current_thread(0);
+        pin_current_thread(1023);
+        pin_current_thread(4096);
+        let out = par_chunk_map(100, 1, |r| r.map(|i| i + 1).collect());
+        assert_eq!(out.len(), 100);
+        assert_eq!(out[99], 100);
     }
 }

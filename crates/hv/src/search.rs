@@ -30,6 +30,7 @@
 use crate::binary::BinaryHv;
 use crate::dense::IntHv;
 use crate::error::HvError;
+use crate::kernel::{self, Kernel};
 use crate::par;
 
 /// Words per dimension block: 64 words = 4096 dimensions = 512 B per
@@ -333,21 +334,13 @@ impl ShardedClassMemory {
     }
 
     /// Hamming distances from `q_words` to every row, accumulated into
-    /// `dist` (must be zeroed, length `n_rows`).
-    fn hamming_into(&self, q_words: &[u64], dist: &mut [u32]) {
+    /// `dist` (must be zeroed, length `n_rows`) via `k`'s row-scan
+    /// kernel.
+    fn hamming_into(&self, k: &Kernel, q_words: &[u64], dist: &mut [u32]) {
         for (b, block) in self.bin_blocks.iter().enumerate() {
             let start = b * BLOCK_WORDS;
             let end = (start + BLOCK_WORDS).min(self.words_per_row);
-            let len = end - start;
-            let q_block = &q_words[start..end];
-            for (r, d) in dist.iter_mut().enumerate() {
-                let row = &block[r * len..(r + 1) * len];
-                let mut acc = 0u32;
-                for (a, w) in q_block.iter().zip(row) {
-                    acc += (a ^ w).count_ones();
-                }
-                *d += acc;
-            }
+            (k.hamming_rows)(&q_words[start..end], block, dist);
         }
     }
 
@@ -371,10 +364,11 @@ impl ShardedClassMemory {
             return Err(HvError::EmptyInput);
         }
         self.check_query_dim(query.dim())?;
+        let k = kernel::active();
         let q_words = query.bits().words();
         if self.n_rows < ROW_SHARD_MIN {
             let mut dist = vec![0u32; self.n_rows];
-            self.hamming_into(q_words, &mut dist);
+            self.hamming_into(k, q_words, &mut dist);
             let mut best = (0usize, u32::MAX);
             for (r, &d) in dist.iter().enumerate() {
                 if d < best.1 {
@@ -394,9 +388,7 @@ impl ShardedClassMemory {
                     let end = (start + BLOCK_WORDS).min(self.words_per_row);
                     let len = end - start;
                     let row = &block[r * len..(r + 1) * len];
-                    for (a, w) in q_words[start..end].iter().zip(row) {
-                        d += (a ^ w).count_ones();
-                    }
+                    d += (k.hamming)(&q_words[start..end], row) as u32;
                 }
                 if best.is_none_or(|(bd, _)| d < bd) {
                     best = Some((d, r));
@@ -420,6 +412,21 @@ impl ShardedClassMemory {
     /// [`HvError::DimensionMismatch`] if any query disagrees on
     /// dimension.
     pub fn search_batch_binary(&self, queries: &[&BinaryHv]) -> Result<BatchSearchResult, HvError> {
+        self.search_batch_binary_with(kernel::active(), queries)
+    }
+
+    /// [`Self::search_batch_binary`] on an explicit kernel backend —
+    /// bit-identical results for every backend; benchmarks and the
+    /// equivalence tests use this to compare backends head to head.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Self::search_batch_binary`].
+    pub fn search_batch_binary_with(
+        &self,
+        k: &Kernel,
+        queries: &[&BinaryHv],
+    ) -> Result<BatchSearchResult, HvError> {
         if self.n_rows == 0 {
             return Err(HvError::EmptyInput);
         }
@@ -435,18 +442,10 @@ impl ShardedClassMemory {
             for (b, block) in self.bin_blocks.iter().enumerate() {
                 let start = b * BLOCK_WORDS;
                 let end = (start + BLOCK_WORDS).min(self.words_per_row);
-                let len = end - start;
                 for (qi, q) in range.clone().enumerate() {
                     let q_block = &queries[q].bits().words()[start..end];
                     let drow = &mut dist[qi * n_rows..(qi + 1) * n_rows];
-                    for (r, d) in drow.iter_mut().enumerate() {
-                        let row = &block[r * len..(r + 1) * len];
-                        let mut acc = 0u32;
-                        for (a, w) in q_block.iter().zip(row) {
-                            acc += (a ^ w).count_ones();
-                        }
-                        *d += acc;
-                    }
+                    (k.hamming_rows)(q_block, block, drow);
                 }
             }
             (0..chunk)
@@ -469,13 +468,11 @@ impl ShardedClassMemory {
     }
 
     /// Cosine score of integer row `r` against a query — identical
-    /// floating-point sequence to `row.cosine(query)`.
-    fn int_score(&self, r: usize, query: &IntHv, q_norm: f64) -> f64 {
+    /// floating-point sequence to `row.cosine(query)` (the dot is an
+    /// exact integer regardless of backend).
+    fn int_score(&self, k: &Kernel, r: usize, query: &IntHv, q_norm: f64) -> f64 {
         let row = &self.int_rows[r * self.dim..(r + 1) * self.dim];
-        let mut dot = 0i64;
-        for (&a, &b) in row.iter().zip(query.values()) {
-            dot += i64::from(a) * i64::from(b);
-        }
+        let dot = (k.dot_i32)(row, query.values());
         let denom = self.int_norms[r] * q_norm;
         if denom == 0.0 {
             0.0
@@ -497,10 +494,11 @@ impl ShardedClassMemory {
             return Err(HvError::EmptyInput);
         }
         self.check_query_dim(query.dim())?;
+        let k = kernel::active();
         let q_norm = query.norm();
         let mut best = (0usize, f64::NEG_INFINITY);
         for r in 0..self.n_rows {
-            let s = self.int_score(r, query, q_norm);
+            let s = self.int_score(k, r, query, q_norm);
             if s > best.1 {
                 best = (r, s);
             }
@@ -517,6 +515,20 @@ impl ShardedClassMemory {
     /// attached, or [`HvError::DimensionMismatch`] if any query
     /// disagrees on dimension.
     pub fn search_batch_int(&self, queries: &[&IntHv]) -> Result<BatchSearchResult, HvError> {
+        self.search_batch_int_with(kernel::active(), queries)
+    }
+
+    /// [`Self::search_batch_int`] on an explicit kernel backend —
+    /// bit-identical results for every backend.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Self::search_batch_int`].
+    pub fn search_batch_int_with(
+        &self,
+        k: &Kernel,
+        queries: &[&IntHv],
+    ) -> Result<BatchSearchResult, HvError> {
         if !self.has_int_rows() {
             return Err(HvError::EmptyInput);
         }
@@ -531,7 +543,7 @@ impl ShardedClassMemory {
                     let mut best = (0usize, f64::NEG_INFINITY);
                     let mut scores = Vec::with_capacity(self.n_rows);
                     for r in 0..self.n_rows {
-                        let s = self.int_score(r, query, q_norm);
+                        let s = self.int_score(k, r, query, q_norm);
                         if s > best.1 {
                             best = (r, s);
                         }

@@ -3,6 +3,10 @@
 //! Binary HDC compares hypervectors by Hamming distance; non-binary HDC
 //! by cosine similarity (paper Sec. 2, Inference). [`Similarity`] lets
 //! callers select the metric at runtime while keeping one code path.
+//! Both metrics bottom out in [`kernel`](crate::kernel) primitives
+//! (fused XOR-popcount for Hamming, the integer dot product for
+//! cosine), so comparisons run on the active SIMD backend and are
+//! bit-identical across backends.
 
 use crate::binary::BinaryHv;
 use crate::dense::IntHv;

@@ -1,0 +1,270 @@
+//! Property tests: every compiled-in kernel backend is bit-identical to
+//! the scalar reference — primitive by primitive on random word/value
+//! slices, and end-to-end through the sharded batch search at
+//! non-word-aligned dimensions (130, 10 000) for both model kinds
+//! (binary → Hamming popcount, non-binary → integer-dot cosine),
+//! including float score sequences, argmax winners and lowest-index tie
+//! order.
+
+use hypervec::kernel::{self, Kernel};
+use hypervec::{BinaryHv, HvRng, IntHv, ShardedClassMemory};
+use proptest::prelude::*;
+
+/// Word-slice lengths that exercise the SIMD blocks and scalar tails.
+fn word_lens() -> impl Strategy<Value = usize> {
+    prop_oneof![0usize..=9, Just(63), Just(64), Just(157), 120usize..=130]
+}
+
+/// Dimensions the acceptance criteria name: non-word-aligned small and
+/// paper scale.
+fn dims() -> impl Strategy<Value = usize> {
+    prop_oneof![Just(130), 60usize..=70, Just(1000), Just(10_000)]
+}
+
+fn words(rng: &mut HvRng, n: usize) -> Vec<u64> {
+    (0..n).map(|_| rng.next_u64()).collect()
+}
+
+fn ints(rng: &mut HvRng, n: usize) -> Vec<i32> {
+    (0..n).map(|_| rng.next_u64() as i32).collect()
+}
+
+/// Every backend that is *not* the scalar reference, paired with it.
+fn non_scalar_backends() -> Vec<&'static Kernel> {
+    kernel::available()
+        .into_iter()
+        .filter(|k| k.name != "scalar")
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn xor_primitives_match_scalar(n in word_lens(), seed in any::<u64>()) {
+        let scalar = kernel::scalar();
+        let mut rng = HvRng::from_seed(seed);
+        let a = words(&mut rng, n);
+        let b = words(&mut rng, n);
+        let mut want = vec![0u64; n];
+        (scalar.xor_into)(&a, &b, &mut want);
+        for k in non_scalar_backends() {
+            let mut got = vec![0u64; n];
+            (k.xor_into)(&a, &b, &mut got);
+            prop_assert_eq!(&got, &want, "xor_into: {}", k.name);
+            let mut got_assign = a.clone();
+            (k.xor_assign)(&mut got_assign, &b);
+            prop_assert_eq!(&got_assign, &want, "xor_assign: {}", k.name);
+        }
+    }
+
+    #[test]
+    fn popcount_and_hamming_match_scalar(n in word_lens(), seed in any::<u64>()) {
+        let scalar = kernel::scalar();
+        let mut rng = HvRng::from_seed(seed);
+        let a = words(&mut rng, n);
+        let b = words(&mut rng, n);
+        for k in non_scalar_backends() {
+            prop_assert_eq!((k.popcount)(&a), (scalar.popcount)(&a), "popcount: {}", k.name);
+            prop_assert_eq!((k.hamming)(&a, &b), (scalar.hamming)(&a, &b), "hamming: {}", k.name);
+        }
+    }
+
+    #[test]
+    fn ripple_step_matches_scalar(n in word_lens(), seed in any::<u64>()) {
+        let scalar = kernel::scalar();
+        let mut rng = HvRng::from_seed(seed);
+        let plane = words(&mut rng, n);
+        let carry = words(&mut rng, n);
+        let mut want_plane = plane.clone();
+        let mut want_carry = carry.clone();
+        let want_live = (scalar.ripple_step)(&mut want_plane, &mut want_carry);
+        for k in non_scalar_backends() {
+            let mut got_plane = plane.clone();
+            let mut got_carry = carry.clone();
+            let got_live = (k.ripple_step)(&mut got_plane, &mut got_carry);
+            prop_assert_eq!(&got_plane, &want_plane, "ripple plane: {}", k.name);
+            prop_assert_eq!(&got_carry, &want_carry, "ripple carry: {}", k.name);
+            prop_assert_eq!(got_live, want_live, "ripple live flag: {}", k.name);
+        }
+    }
+
+    #[test]
+    fn threshold_step_matches_scalar(n in word_lens(), t_bit in any::<bool>(), seed in any::<u64>()) {
+        let scalar = kernel::scalar();
+        let mut rng = HvRng::from_seed(seed);
+        let plane = words(&mut rng, n);
+        let gt0 = words(&mut rng, n);
+        let eq0 = words(&mut rng, n);
+        let mut want_gt = gt0.clone();
+        let mut want_eq = eq0.clone();
+        (scalar.threshold_step)(&plane, t_bit, &mut want_gt, &mut want_eq);
+        for k in non_scalar_backends() {
+            let mut got_gt = gt0.clone();
+            let mut got_eq = eq0.clone();
+            (k.threshold_step)(&plane, t_bit, &mut got_gt, &mut got_eq);
+            prop_assert_eq!(&got_gt, &want_gt, "threshold gt: {}", k.name);
+            prop_assert_eq!(&got_eq, &want_eq, "threshold eq: {}", k.name);
+        }
+    }
+
+    #[test]
+    fn hamming_rows_matches_scalar(
+        len in 1usize..=64,
+        n_rows in 1usize..=12,
+        seed in any::<u64>(),
+    ) {
+        let scalar = kernel::scalar();
+        let mut rng = HvRng::from_seed(seed);
+        let q = words(&mut rng, len);
+        let rows = words(&mut rng, len * n_rows);
+        // Non-zero starting distances check the += accumulation contract.
+        let dist0: Vec<u32> = (0..n_rows).map(|r| r as u32 * 3).collect();
+        let mut want = dist0.clone();
+        (scalar.hamming_rows)(&q, &rows, &mut want);
+        for k in non_scalar_backends() {
+            let mut got = dist0.clone();
+            (k.hamming_rows)(&q, &rows, &mut got);
+            prop_assert_eq!(&got, &want, "hamming_rows: {}", k.name);
+        }
+    }
+
+    #[test]
+    fn dot_i32_matches_scalar(n in 0usize..=40, seed in any::<u64>()) {
+        // Full-range i32 values: lane reassociation must agree even when
+        // partial sums sit near the extremes.
+        let scalar = kernel::scalar();
+        let mut rng = HvRng::from_seed(seed);
+        let a = ints(&mut rng, n);
+        let b = ints(&mut rng, n);
+        for k in non_scalar_backends() {
+            prop_assert_eq!((k.dot_i32)(&a, &b), (scalar.dot_i32)(&a, &b), "dot_i32: {}", k.name);
+        }
+    }
+
+    #[test]
+    fn batch_binary_search_is_bit_identical_across_backends(
+        dim in dims(),
+        n_rows in 1usize..=9,
+        n_queries in 1usize..=8,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = HvRng::from_seed(seed);
+        let rows: Vec<BinaryHv> = (0..n_rows).map(|_| rng.binary_hv(dim)).collect();
+        let mem = ShardedClassMemory::from_rows(&rows).unwrap();
+        let queries: Vec<BinaryHv> = (0..n_queries).map(|_| rng.binary_hv(dim)).collect();
+        let refs: Vec<&BinaryHv> = queries.iter().collect();
+        let want = mem.search_batch_binary_with(kernel::scalar(), &refs).unwrap();
+        for k in non_scalar_backends() {
+            let got = mem.search_batch_binary_with(k, &refs).unwrap();
+            prop_assert_eq!(got.best_rows(), want.best_rows(), "argmax: {}", k.name);
+            for q in 0..n_queries {
+                for (r, (g, w)) in got.scores(q).iter().zip(want.scores(q)).enumerate() {
+                    prop_assert_eq!(
+                        g.to_bits(), w.to_bits(),
+                        "binary score bits: {} q {} row {}", k.name, q, r
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batch_int_search_is_bit_identical_across_backends(
+        dim in dims(),
+        n_rows in 1usize..=7,
+        n_queries in 1usize..=6,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = HvRng::from_seed(seed);
+        let bins: Vec<BinaryHv> = (0..n_rows).map(|_| rng.binary_hv(dim)).collect();
+        let ints_rows: Vec<IntHv> = bins
+            .iter()
+            .map(|b| {
+                let mut acc = b.to_int();
+                acc.add_binary(&rng.binary_hv(dim));
+                acc
+            })
+            .collect();
+        let mut mem = ShardedClassMemory::from_rows(&bins).unwrap();
+        mem.set_int_rows(&ints_rows).unwrap();
+        let queries: Vec<IntHv> = (0..n_queries)
+            .map(|_| rng.binary_hv(dim).to_int())
+            .collect();
+        let refs: Vec<&IntHv> = queries.iter().collect();
+        let want = mem.search_batch_int_with(kernel::scalar(), &refs).unwrap();
+        for k in non_scalar_backends() {
+            let got = mem.search_batch_int_with(k, &refs).unwrap();
+            prop_assert_eq!(got.best_rows(), want.best_rows(), "int argmax: {}", k.name);
+            for q in 0..n_queries {
+                for (r, (g, w)) in got.scores(q).iter().zip(want.scores(q)).enumerate() {
+                    prop_assert_eq!(
+                        g.to_bits(), w.to_bits(),
+                        "int score bits: {} q {} row {}", k.name, q, r
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ties_resolve_to_lowest_index_on_every_backend(
+        dim in dims(),
+        n_queries in 1usize..=5,
+        seed in any::<u64>(),
+    ) {
+        // Duplicated rows tie on every query; all backends must keep the
+        // scalar scan's lowest-index winner.
+        let mut rng = HvRng::from_seed(seed);
+        let base = rng.binary_hv(dim);
+        let rows = vec![base.clone(), base.clone(), base];
+        let mem = ShardedClassMemory::from_rows(&rows).unwrap();
+        let queries: Vec<BinaryHv> = (0..n_queries).map(|_| rng.binary_hv(dim)).collect();
+        let refs: Vec<&BinaryHv> = queries.iter().collect();
+        for k in kernel::available() {
+            let got = mem.search_batch_binary_with(k, &refs).unwrap();
+            for q in 0..n_queries {
+                prop_assert_eq!(got.best(q), 0, "tie order: {} q {}", k.name, q);
+            }
+        }
+    }
+}
+
+/// The paper-scale dimension from the acceptance criteria, pinned
+/// explicitly (proptest only samples it).
+#[test]
+fn paper_scale_batch_search_matches_scalar_exactly() {
+    for dim in [130usize, 10_000] {
+        let mut rng = HvRng::from_seed(2022);
+        let rows: Vec<BinaryHv> = (0..16).map(|_| rng.binary_hv(dim)).collect();
+        let mem = ShardedClassMemory::from_rows(&rows).unwrap();
+        let queries: Vec<BinaryHv> = (0..32).map(|_| rng.binary_hv(dim)).collect();
+        let refs: Vec<&BinaryHv> = queries.iter().collect();
+        let want = mem
+            .search_batch_binary_with(kernel::scalar(), &refs)
+            .unwrap();
+        for k in kernel::available() {
+            let got = mem.search_batch_binary_with(k, &refs).unwrap();
+            assert_eq!(got, want, "backend {} diverged at D = {dim}", k.name);
+        }
+    }
+}
+
+/// The active (default-dispatched) backend is one of the available set
+/// and drives the public search entry points to the same answers as the
+/// scalar reference.
+#[test]
+fn active_backend_matches_scalar_through_public_api() {
+    let dim = 1030;
+    let mut rng = HvRng::from_seed(7);
+    let rows: Vec<BinaryHv> = (0..8).map(|_| rng.binary_hv(dim)).collect();
+    let mem = ShardedClassMemory::from_rows(&rows).unwrap();
+    let queries: Vec<BinaryHv> = (0..16).map(|_| rng.binary_hv(dim)).collect();
+    let refs: Vec<&BinaryHv> = queries.iter().collect();
+    let via_active = mem.search_batch_binary(&refs).unwrap();
+    let via_scalar = mem
+        .search_batch_binary_with(kernel::scalar(), &refs)
+        .unwrap();
+    assert_eq!(via_active, via_scalar);
+    assert!(kernel::available().iter().any(|k| k.name == kernel::name()));
+}

@@ -122,6 +122,14 @@ impl<'a, E: Encoder + Sync> InferenceSession<'a, E> {
         self.encoder.dim()
     }
 
+    /// Name of the SIMD kernel backend every encode and search in this
+    /// session runs on (`"scalar"`, `"avx2"`, or `"portable"`) —
+    /// surfaced so operators can verify what is actually executing.
+    #[must_use]
+    pub fn kernel_backend(&self) -> &'static str {
+        hypervec::kernel::name()
+    }
+
     /// Fused classify of a batch of quantized rows: one batch encode,
     /// one batch search, top-1 class per row in input order.
     ///

@@ -82,12 +82,14 @@ fn main() -> std::io::Result<()> {
     let session = model.session();
     let listener = TcpListener::bind(&opts.addr)?;
     println!(
-        "serving on {} (batch ≤ {}, wait ≤ {:?}, {} workers); \
-         protocol: one {{\"id\":…,\"levels\":[…]}} per line",
+        "serving on {} (batch ≤ {}, wait ≤ {:?}, {} workers, kernel backend: {}); \
+         protocol: one {{\"id\":…,\"levels\":[…]}} per line \
+         ({{\"id\":…,\"info\":true}} reports model shape + backend)",
         listener.local_addr()?,
         opts.batch.max_batch,
         opts.batch.max_wait,
-        opts.batch.workers
+        opts.batch.workers,
+        session.kernel_backend()
     );
 
     let shutdown = AtomicBool::new(false);

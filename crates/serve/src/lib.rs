@@ -65,7 +65,7 @@ pub mod server;
 
 pub use batcher::{BatchConfig, BatchQueue};
 pub use loadgen::{LoadReport, LoadgenConfig};
-pub use protocol::{ClassifyRequest, ClassifyResponse};
+pub use protocol::{ClassifyRequest, ClassifyResponse, ServerInfo};
 pub use server::{serve, ServeStats};
 
 #[cfg(test)]
@@ -141,6 +141,21 @@ mod tests {
             let resp = protocol::parse_response(&line).unwrap();
             assert!(resp.error.unwrap().contains("out of range"));
 
+            // Info reports the model shape and the active kernel backend.
+            writer
+                .write_all(protocol::info_request_line(9).as_bytes())
+                .unwrap();
+            line.clear();
+            reader.read_line(&mut line).unwrap();
+            let resp = protocol::parse_response(&line).unwrap();
+            assert_eq!(resp.id, 9);
+            let info = resp.info.unwrap();
+            assert_eq!(info.backend, session.kernel_backend());
+            assert_eq!(info.dim, session.dim());
+            assert_eq!(info.features, session.n_features());
+            assert_eq!(info.levels, session.m_levels());
+            assert_eq!(info.classes, session.n_classes());
+
             // Malformed JSON does not kill the connection.
             writer.write_all(b"{oops\n").unwrap();
             line.clear();
@@ -160,9 +175,9 @@ mod tests {
             shutdown.store(true, Ordering::SeqCst);
             let stats = server.join().unwrap().unwrap();
             assert_eq!(stats.connections, 1);
-            assert_eq!(stats.requests, 6);
-            // Requests 3, 4 and the malformed line were rejected before
-            // reaching the batch workers.
+            assert_eq!(stats.requests, 7);
+            // Requests 3, 4, the info request and the malformed line
+            // were all answered without reaching the batch workers.
             assert_eq!(stats.classified, 3);
         });
     }

@@ -11,7 +11,13 @@
 //! ← {"id":2,"class":2,"scores":[0.12,-0.03,0.57]}
 //! → {"id":3,"levels":[99]}
 //! ← {"id":3,"error":"row has 1 levels, model expects 4"}
+//! → {"id":4,"info":true}
+//! ← {"id":4,"info":{"backend":"avx2","dim":10000,"features":64,"levels":16,"classes":8}}
 //! ```
+//!
+//! The `info` request reports the serving model's shape and the active
+//! SIMD kernel backend, so operators can verify from the wire what is
+//! actually running.
 //!
 //! Requests are parsed through the vendored `serde_json` stand-in into
 //! its [`Value`] tree; responses are rendered directly (the numeric
@@ -25,10 +31,27 @@ use serde_json::Value;
 pub struct ClassifyRequest {
     /// Client-chosen correlation id, echoed back in the response.
     pub id: u64,
-    /// Quantized feature row (level indices).
+    /// Quantized feature row (level indices); empty for info requests.
     pub levels: Vec<u16>,
     /// Whether to return the full per-class score vector.
     pub want_scores: bool,
+    /// Whether this is a server-info request instead of a classify.
+    pub want_info: bool,
+}
+
+/// Server shape and runtime facts reported by an info response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServerInfo {
+    /// Active SIMD kernel backend (`scalar`, `avx2`, or `portable`).
+    pub backend: String,
+    /// Hypervector dimensionality `D`.
+    pub dim: usize,
+    /// Input feature count `N`.
+    pub features: usize,
+    /// Quantization level count `M`.
+    pub levels: usize,
+    /// Class count `C`.
+    pub classes: usize,
 }
 
 /// A parsed classify response (client side).
@@ -40,6 +63,8 @@ pub struct ClassifyResponse {
     pub class: Option<usize>,
     /// Per-class scores, when requested.
     pub scores: Option<Vec<f64>>,
+    /// Server info, when this answers an info request.
+    pub info: Option<ServerInfo>,
     /// Error message, when the request failed.
     pub error: Option<String>,
 }
@@ -57,6 +82,14 @@ pub fn parse_request(line: &str) -> Result<ClassifyRequest, (u64, String)> {
         .get("id")
         .and_then(Value::as_u64)
         .ok_or((0, "missing numeric `id`".to_owned()))?;
+    if matches!(value.get("info"), Some(Value::Bool(true))) {
+        return Ok(ClassifyRequest {
+            id,
+            levels: Vec::new(),
+            want_scores: false,
+            want_info: true,
+        });
+    }
     let levels_value = value
         .get("levels")
         .and_then(Value::as_array)
@@ -74,7 +107,25 @@ pub fn parse_request(line: &str) -> Result<ClassifyRequest, (u64, String)> {
         id,
         levels,
         want_scores,
+        want_info: false,
     })
+}
+
+/// Renders an info request line (client side), with trailing newline.
+#[must_use]
+pub fn info_request_line(id: u64) -> String {
+    format!("{{\"id\":{id},\"info\":true}}\n")
+}
+
+/// Renders an info response line (with trailing newline). The backend
+/// name is emitted as-is; backend names are plain identifiers.
+#[must_use]
+pub fn info_response(id: u64, info: &ServerInfo) -> String {
+    format!(
+        "{{\"id\":{id},\"info\":{{\"backend\":\"{}\",\"dim\":{},\"features\":{},\
+         \"levels\":{},\"classes\":{}}}}}\n",
+        info.backend, info.dim, info.features, info.levels, info.classes
+    )
 }
 
 /// Renders a request line (client side). The line includes the trailing
@@ -157,19 +208,42 @@ pub fn parse_response(line: &str) -> Result<ClassifyResponse, String> {
         }
         None => None,
     };
+    let info = match value.get("info") {
+        Some(obj) => Some(ServerInfo {
+            backend: obj
+                .get("backend")
+                .and_then(Value::as_str)
+                .ok_or_else(|| "info without `backend`".to_owned())?
+                .to_owned(),
+            dim: info_field(obj, "dim")?,
+            features: info_field(obj, "features")?,
+            levels: info_field(obj, "levels")?,
+            classes: info_field(obj, "classes")?,
+        }),
+        None => None,
+    };
     let error = value
         .get("error")
         .and_then(Value::as_str)
         .map(str::to_owned);
-    if class.is_none() && error.is_none() {
-        return Err("response carries neither `class` nor `error`".to_owned());
+    if class.is_none() && error.is_none() && info.is_none() {
+        return Err("response carries neither `class`, `info` nor `error`".to_owned());
     }
     Ok(ClassifyResponse {
         id,
         class,
         scores,
+        info,
         error,
     })
+}
+
+/// Extracts one numeric field of an info response object.
+fn info_field(obj: &Value, key: &str) -> Result<usize, String> {
+    obj.get(key)
+        .and_then(Value::as_u64)
+        .map(|v| v as usize)
+        .ok_or_else(|| format!("info without numeric `{key}`"))
 }
 
 #[cfg(test)]
@@ -186,10 +260,36 @@ mod tests {
                 id: 42,
                 levels: vec![0, 3, 65535],
                 want_scores: true,
+                want_info: false,
             }
         );
         let plain = parse_request(&request_line(7, &[1], false)).unwrap();
         assert!(!plain.want_scores);
+    }
+
+    #[test]
+    fn info_roundtrip() {
+        let req = parse_request(&info_request_line(11)).unwrap();
+        assert_eq!(
+            req,
+            ClassifyRequest {
+                id: 11,
+                levels: vec![],
+                want_scores: false,
+                want_info: true,
+            }
+        );
+        let info = ServerInfo {
+            backend: "avx2".to_owned(),
+            dim: 10_000,
+            features: 64,
+            levels: 16,
+            classes: 8,
+        };
+        let resp = parse_response(&info_response(11, &info)).unwrap();
+        assert_eq!(resp.id, 11);
+        assert_eq!(resp.info, Some(info));
+        assert!(resp.class.is_none() && resp.error.is_none());
     }
 
     #[test]

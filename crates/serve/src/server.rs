@@ -161,6 +161,18 @@ fn answer<E: Encoder + Sync>(
         Ok(r) => r,
         Err((id, msg)) => return protocol::error_response(id, &msg),
     };
+    if request.want_info {
+        return protocol::info_response(
+            request.id,
+            &protocol::ServerInfo {
+                backend: session.kernel_backend().to_owned(),
+                dim: session.dim(),
+                features: session.n_features(),
+                levels: session.m_levels(),
+                classes: session.n_classes(),
+            },
+        );
+    }
     if request.levels.len() != session.n_features() {
         return protocol::error_response(
             request.id,
