@@ -66,6 +66,6 @@ pub use oracle::{all_min_row, probe_row, CountingOracle, EncodingOracle, Session
 pub use reconstruct::{
     duplicate_model, mapping_accuracy, reason_encoding, rebuild_encoder, RecoveredEncoding,
 };
-pub use robust::{NoisyOracle, ThrottledOracle};
+pub use robust::{NoisyOracle, QueryBudget, ThrottledOracle};
 pub use timing::AttackStats;
 pub use value_extract::{extract_values, value_mapping_accuracy, ValueMapping};

@@ -95,13 +95,66 @@ impl<O: EncodingOracle> EncodingOracle for NoisyOracle<O> {
     }
 }
 
+/// A cumulative query budget: the first `budget` recorded queries are
+/// admitted, everything after is flagged.
+///
+/// This is the counting core of [`ThrottledOracle`], factored out so the
+/// serving layer's admission controller enforces *exactly* the same
+/// semantics the attack experiments were run against: when
+/// `throttling_below_query_need_breaks_the_attack` shows an N-query
+/// budget stops the `N + 1`-query probe, a server budgeting clients with
+/// the same counter inherits that guarantee.
+///
+/// Thread-safe and contention-free: one relaxed `fetch_add` per query.
+/// The count is exact under concurrency; only the *order* in which
+/// racing queries consume the last tokens is unspecified (each query
+/// still gets an unambiguous admit/reject).
+#[derive(Debug)]
+pub struct QueryBudget {
+    budget: u64,
+    served: AtomicU64,
+}
+
+impl QueryBudget {
+    /// A budget admitting the first `budget` queries.
+    #[must_use]
+    pub fn new(budget: u64) -> Self {
+        QueryBudget {
+            budget,
+            served: AtomicU64::new(0),
+        }
+    }
+
+    /// The configured budget.
+    #[must_use]
+    pub fn budget(&self) -> u64 {
+        self.budget
+    }
+
+    /// Queries recorded so far (admitted + rejected).
+    #[must_use]
+    pub fn served(&self) -> u64 {
+        self.served.load(Ordering::Relaxed)
+    }
+
+    /// Queries still admissible.
+    #[must_use]
+    pub fn remaining(&self) -> u64 {
+        self.budget.saturating_sub(self.served())
+    }
+
+    /// Records one query; `true` while within budget.
+    pub fn admit(&self) -> bool {
+        self.served.fetch_add(1, Ordering::Relaxed) < self.budget
+    }
+}
+
 /// An oracle that rate-limits: after `budget` queries it returns
 /// poisoned (random) answers instead of real encodings.
 #[derive(Debug)]
 pub struct ThrottledOracle<O> {
     inner: O,
-    budget: u64,
-    served: AtomicU64,
+    budget: QueryBudget,
     rng: Mutex<HvRng>,
 }
 
@@ -111,8 +164,7 @@ impl<O: EncodingOracle> ThrottledOracle<O> {
     pub fn new(inner: O, budget: u64, seed: u64) -> Self {
         ThrottledOracle {
             inner,
-            budget,
-            served: AtomicU64::new(0),
+            budget: QueryBudget::new(budget),
             rng: Mutex::new(HvRng::from_seed(seed)),
         }
     }
@@ -120,11 +172,11 @@ impl<O: EncodingOracle> ThrottledOracle<O> {
     /// Queries answered so far (faithful + poisoned).
     #[must_use]
     pub fn served(&self) -> u64 {
-        self.served.load(Ordering::Relaxed)
+        self.budget.served()
     }
 
     fn exhausted(&self) -> bool {
-        self.served.fetch_add(1, Ordering::Relaxed) >= self.budget
+        !self.budget.admit()
     }
 }
 
@@ -220,6 +272,39 @@ mod tests {
         let row = crate::oracle::all_min_row(10);
         assert_eq!(noisy.query_binary(&row), plain.query_binary(&row));
         let _ = dump;
+    }
+
+    #[test]
+    fn query_budget_admits_exactly_budget_queries() {
+        let b = QueryBudget::new(3);
+        assert_eq!(b.remaining(), 3);
+        assert!(b.admit());
+        assert!(b.admit());
+        assert!(b.admit());
+        assert!(!b.admit());
+        assert!(!b.admit());
+        assert_eq!(b.served(), 5);
+        assert_eq!(b.remaining(), 0);
+        assert_eq!(b.budget(), 3);
+    }
+
+    #[test]
+    fn query_budget_is_exact_under_concurrency() {
+        let b = QueryBudget::new(100);
+        let admitted = AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..50 {
+                        if b.admit() {
+                            admitted.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(admitted.load(Ordering::Relaxed), 100);
+        assert_eq!(b.served(), 200);
     }
 
     #[test]

@@ -186,6 +186,15 @@ impl EncodingKey {
         &self.features[i]
     }
 
+    /// All per-feature keys in feature order — the serialization hook
+    /// used by `hdc_store`'s sealed key segment. Only reachable through
+    /// an audited [`KeyVault::with_key`](crate::KeyVault::with_key) read
+    /// once the key is sealed.
+    #[must_use]
+    pub fn features(&self) -> &[FeatureKey] {
+        &self.features
+    }
+
     /// Replaces the key of one feature (used by attack experiments to
     /// plant known-wrong guesses).
     ///

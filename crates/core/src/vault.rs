@@ -7,6 +7,8 @@
 //! appears in `Debug` output, cannot be cloned out by accident, and is
 //! overwritten when the vault is dropped.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
 use parking_lot::Mutex;
 
 use crate::error::LockError;
@@ -29,12 +31,14 @@ use crate::key::{EncodingKey, FeatureKey, LayerKey};
 /// # Ok::<(), hdlock::LockError>(())
 /// ```
 pub struct KeyVault {
-    inner: Mutex<VaultInner>,
-}
-
-struct VaultInner {
-    key: Option<EncodingKey>,
-    reads: u64,
+    key: Mutex<Option<EncodingKey>>,
+    /// Audit counter, deliberately outside the key mutex so `reads()`
+    /// never contends with a privileged read in flight. Increments and
+    /// loads use `SeqCst`: the counter is an audit trail, and an audit
+    /// trail that can appear to run behind the reads it counts (as a
+    /// `Relaxed` counter may, from another thread's perspective) is
+    /// worthless. The cost is irrelevant next to a key derivation.
+    reads: AtomicU64,
 }
 
 impl KeyVault {
@@ -43,25 +47,25 @@ impl KeyVault {
     #[must_use]
     pub fn seal(key: EncodingKey) -> Self {
         KeyVault {
-            inner: Mutex::new(VaultInner {
-                key: Some(key),
-                reads: 0,
-            }),
+            key: Mutex::new(Some(key)),
+            reads: AtomicU64::new(0),
         }
     }
 
     /// Privileged, audited access to the key. Each call increments the
     /// read counter, so tests can assert how often the secure memory was
     /// touched (e.g. once for cached derivation vs once per sample for
-    /// on-the-fly hardware mode).
+    /// on-the-fly hardware mode). The increment happens while the key
+    /// lock is held, so the counter is exact even under concurrent
+    /// readers (pinned by `concurrent_reads_are_all_counted`).
     ///
     /// # Errors
     ///
     /// Returns [`LockError::VaultSealed`] after [`KeyVault::destroy`].
     pub fn with_key<R>(&self, f: impl FnOnce(&EncodingKey) -> R) -> Result<R, LockError> {
-        let mut inner = self.inner.lock();
-        inner.reads += 1;
-        match &inner.key {
+        let guard = self.key.lock();
+        self.reads.fetch_add(1, Ordering::SeqCst);
+        match guard.as_ref() {
             Some(key) => Ok(f(key)),
             None => Err(LockError::VaultSealed),
         }
@@ -70,16 +74,23 @@ impl KeyVault {
     /// Number of privileged reads performed so far.
     #[must_use]
     pub fn reads(&self) -> u64 {
-        self.inner.lock().reads
+        self.reads.load(Ordering::SeqCst)
     }
 
     /// Destroys the key material (models revoking the device key). All
     /// later reads fail.
     pub fn destroy(&self) {
-        let mut inner = self.inner.lock();
-        if let Some(key) = inner.key.take() {
+        let mut guard = self.key.lock();
+        if let Some(key) = guard.take() {
             scrub(key);
         }
+    }
+
+    /// Whether the key material is still present (false after
+    /// [`KeyVault::destroy`]).
+    #[must_use]
+    pub fn is_sealed(&self) -> bool {
+        self.key.lock().is_some()
     }
 }
 
@@ -108,12 +119,11 @@ impl Drop for KeyVault {
 
 impl std::fmt::Debug for KeyVault {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let inner = self.inner.lock();
         write!(
             f,
             "KeyVault(sealed={}, reads={})",
-            inner.key.is_some(),
-            inner.reads
+            self.is_sealed(),
+            self.reads()
         )
     }
 }
@@ -145,12 +155,42 @@ mod tests {
     }
 
     #[test]
+    fn concurrent_reads_are_all_counted() {
+        let v = vault();
+        const THREADS: usize = 8;
+        const READS_PER_THREAD: usize = 200;
+        std::thread::scope(|s| {
+            for _ in 0..THREADS {
+                s.spawn(|| {
+                    for _ in 0..READS_PER_THREAD {
+                        v.with_key(|_| ()).unwrap();
+                    }
+                });
+            }
+        });
+        assert_eq!(v.reads(), (THREADS * READS_PER_THREAD) as u64);
+    }
+
+    #[test]
     fn destroy_revokes_access() {
         let v = vault();
+        assert!(v.is_sealed());
         v.destroy();
+        assert!(!v.is_sealed());
         assert_eq!(v.with_key(|_| ()).unwrap_err(), LockError::VaultSealed);
         // destroying twice is harmless
         v.destroy();
+    }
+
+    #[test]
+    fn failed_reads_still_count() {
+        let v = vault();
+        v.destroy();
+        let _ = v.with_key(|_| ());
+        let _ = v.with_key(|_| ());
+        // Probes against a revoked vault are exactly what an audit trail
+        // must not lose.
+        assert_eq!(v.reads(), 2);
     }
 
     #[test]

@@ -62,6 +62,50 @@ impl Discretizer {
         })
     }
 
+    /// Reassembles a discretizer from stored bounds (the binary-snapshot
+    /// deserialization path).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::TooFewLevels`] if `m_levels < 2`,
+    /// [`DataError::Empty`] for no features, and
+    /// [`DataError::InconsistentWidth`] when `mins` and `maxs` disagree
+    /// on the feature count.
+    pub fn from_parts(mins: Vec<f32>, maxs: Vec<f32>, m_levels: usize) -> Result<Self, DataError> {
+        if m_levels < 2 {
+            return Err(DataError::TooFewLevels {
+                requested: m_levels,
+            });
+        }
+        if mins.is_empty() {
+            return Err(DataError::Empty);
+        }
+        if mins.len() != maxs.len() {
+            return Err(DataError::InconsistentWidth {
+                index: 0,
+                expected: mins.len(),
+                found: maxs.len(),
+            });
+        }
+        Ok(Discretizer {
+            mins,
+            maxs,
+            m_levels,
+        })
+    }
+
+    /// Per-feature minima fitted on the training set.
+    #[must_use]
+    pub fn mins(&self) -> &[f32] {
+        &self.mins
+    }
+
+    /// Per-feature maxima fitted on the training set.
+    #[must_use]
+    pub fn maxs(&self) -> &[f32] {
+        &self.maxs
+    }
+
     /// Number of levels `M`.
     #[must_use]
     pub fn m_levels(&self) -> usize {
@@ -197,6 +241,26 @@ mod tests {
         .unwrap();
         let d = Discretizer::fit(&ds, 4).unwrap();
         assert_eq!(d.discretize_value(0, 3.0), 0);
+    }
+
+    #[test]
+    fn from_parts_roundtrips_fitted_bounds() {
+        let d = Discretizer::fit(&toy(), 4).unwrap();
+        let rebuilt =
+            Discretizer::from_parts(d.mins().to_vec(), d.maxs().to_vec(), d.m_levels()).unwrap();
+        assert_eq!(rebuilt, d);
+        assert!(matches!(
+            Discretizer::from_parts(vec![0.0], vec![1.0], 1),
+            Err(DataError::TooFewLevels { .. })
+        ));
+        assert!(matches!(
+            Discretizer::from_parts(vec![], vec![], 4),
+            Err(DataError::Empty)
+        ));
+        assert!(matches!(
+            Discretizer::from_parts(vec![0.0, 1.0], vec![1.0], 4),
+            Err(DataError::InconsistentWidth { .. })
+        ));
     }
 
     #[test]

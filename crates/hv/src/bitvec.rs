@@ -9,6 +9,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::error::HvError;
 use crate::kernel;
 
 /// Fixed-length packed bit vector.
@@ -121,6 +122,33 @@ impl BitWords {
         let mut out = BitWords { words, len };
         out.mask_tail();
         out
+    }
+
+    /// Fallible sibling of [`BitWords::from_words`] for untrusted input
+    /// (e.g. binary snapshot deserialization): instead of panicking it
+    /// reports a word-count disagreement as
+    /// [`HvError::DimensionMismatch`] (expected/found in *words*). Tail
+    /// bits beyond `len` are masked, preserving the invariant.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HvError::EmptyInput`] for `len == 0` and
+    /// [`HvError::DimensionMismatch`] when `words.len()` is not exactly
+    /// `len.div_ceil(64)`.
+    pub fn try_from_words(words: Vec<u64>, len: usize) -> Result<Self, HvError> {
+        if len == 0 {
+            return Err(HvError::EmptyInput);
+        }
+        let need = len.div_ceil(64);
+        if words.len() != need {
+            return Err(HvError::DimensionMismatch {
+                expected: need,
+                found: words.len(),
+            });
+        }
+        let mut out = BitWords { words, len };
+        out.mask_tail();
+        Ok(out)
     }
 
     /// Number of bits.
@@ -440,6 +468,32 @@ mod tests {
     fn from_words_masks_tail() {
         let b = BitWords::from_words(vec![u64::MAX, u64::MAX], 70);
         assert_eq!(b.count_ones(), 70);
+    }
+
+    #[test]
+    fn try_from_words_validates_and_masks() {
+        let b = BitWords::try_from_words(vec![u64::MAX, u64::MAX], 70).unwrap();
+        assert_eq!(b.count_ones(), 70);
+        assert_eq!(
+            BitWords::try_from_words(vec![0], 70).unwrap_err(),
+            HvError::DimensionMismatch {
+                expected: 2,
+                found: 1
+            }
+        );
+        // from_words tolerates surplus words; the fallible path rejects
+        // them (a snapshot with surplus words is corrupt, not sloppy).
+        assert_eq!(
+            BitWords::try_from_words(vec![0, 0, 0], 70).unwrap_err(),
+            HvError::DimensionMismatch {
+                expected: 2,
+                found: 3
+            }
+        );
+        assert_eq!(
+            BitWords::try_from_words(vec![], 0).unwrap_err(),
+            HvError::EmptyInput
+        );
     }
 
     #[test]

@@ -114,6 +114,51 @@ impl ClassMemory {
         &self.bins
     }
 
+    /// Validates internal shape consistency against an expected
+    /// dimension — the deserialization guard: derived decoding cannot
+    /// check cross-field invariants, so untrusted snapshots are
+    /// re-checked here, naming the offending class index in the
+    /// [`HvError::RowDimensionMismatch`] style.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HvError::EmptyInput`] for a class-less memory,
+    /// [`HvError::DimensionMismatch`] when accumulator and binarized row
+    /// *counts* disagree, and [`HvError::RowDimensionMismatch`] naming
+    /// the first class whose accumulator or binarized row has the wrong
+    /// dimension.
+    pub fn check_consistent(&self, expected_dim: usize) -> Result<(), hypervec::HvError> {
+        use hypervec::HvError;
+        if self.accs.is_empty() {
+            return Err(HvError::EmptyInput);
+        }
+        if self.bins.len() != self.accs.len() {
+            return Err(HvError::DimensionMismatch {
+                expected: self.accs.len(),
+                found: self.bins.len(),
+            });
+        }
+        for (j, acc) in self.accs.iter().enumerate() {
+            if acc.dim() != expected_dim {
+                return Err(HvError::RowDimensionMismatch {
+                    row: j,
+                    expected: expected_dim,
+                    found: acc.dim(),
+                });
+            }
+        }
+        for (j, bin) in self.bins.iter().enumerate() {
+            if bin.dim() != expected_dim {
+                return Err(HvError::RowDimensionMismatch {
+                    row: j,
+                    expected: expected_dim,
+                    found: bin.dim(),
+                });
+            }
+        }
+        Ok(())
+    }
+
     /// Packs a search-ready snapshot of the current class rows — the
     /// representation [`InferenceSession`](crate::session::InferenceSession)
     /// and the retraining loop classify against. The binarized rows are
@@ -185,6 +230,22 @@ mod tests {
         let sharded = cm.to_sharded();
         assert!(sharded.has_int_rows());
         assert_eq!(sharded.search_int(&b.to_int()).unwrap().0, 1);
+    }
+
+    #[test]
+    fn check_consistent_names_offending_dimension() {
+        let cm = ClassMemory::new(ModelKind::Binary, 3, 64);
+        assert!(cm.check_consistent(64).is_ok());
+        // Every class is "wrong" against a different expected dim; the
+        // error must name the first one.
+        assert_eq!(
+            cm.check_consistent(128).unwrap_err(),
+            hypervec::HvError::RowDimensionMismatch {
+                row: 0,
+                expected: 128,
+                found: 64
+            }
+        );
     }
 
     #[test]

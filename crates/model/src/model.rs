@@ -8,7 +8,7 @@ use crate::config::HdcConfig;
 use crate::encoder::{Encoder, RecordEncoder};
 use crate::infer;
 use crate::metrics::EvalResult;
-use crate::session::InferenceSession;
+use crate::session::{InferenceSession, OwnedSession};
 use crate::train;
 
 /// A complete HDC classifier: configuration, encoder, fitted quantizer
@@ -164,6 +164,22 @@ impl<E: Encoder + Sync> HdcModel<E> {
     #[must_use]
     pub fn session(&self) -> InferenceSession<'_, E> {
         InferenceSession::new(&self.encoder, &self.memory)
+    }
+
+    /// Decomposes the model into its parts — the inverse of
+    /// [`HdcModel::from_parts`], used to hand the encoder (which may not
+    /// be `Clone`, e.g. a vault-holding locked encoder) to an owning
+    /// session or a snapshot writer.
+    #[must_use]
+    pub fn into_parts(self) -> (HdcConfig, E, Discretizer, ClassMemory) {
+        (self.config, self.encoder, self.discretizer, self.memory)
+    }
+
+    /// Consumes the model into an [`OwnedSession`] serving its encoder
+    /// and trained memory — the generation unit a model registry swaps.
+    #[must_use]
+    pub fn into_session(self) -> OwnedSession<E> {
+        OwnedSession::new(self.encoder, &self.memory)
     }
 }
 

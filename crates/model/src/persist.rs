@@ -74,9 +74,36 @@ impl HdcModel<RecordEncoder> {
     /// # Errors
     ///
     /// Returns [`PersistError`] on malformed input or inconsistent
-    /// hypervector shapes.
+    /// hypervector shapes. Shape errors name the offending row/class
+    /// index in the `RowDimensionMismatch` style of
+    /// [`hypervec::ItemMemory`] — "which row is wrong", not just "the
+    /// shapes disagree".
     pub fn from_json(json: &str) -> Result<Self, PersistError> {
         let saved: SavedModel = serde_json::from_str(json)?;
+        let dim = saved.features.dim();
+        if saved.config.dim != dim {
+            return Err(PersistError {
+                message: format!(
+                    "config dimension {} does not match feature rows of dimension {dim}",
+                    saved.config.dim
+                ),
+            });
+        }
+        saved
+            .memory
+            .check_consistent(dim)
+            .map_err(|e| PersistError {
+                message: format!("class memory: {e}"),
+            })?;
+        if saved.discretizer.n_features() != saved.features.len() {
+            return Err(PersistError {
+                message: format!(
+                    "discretizer covers {} features, feature memory stores {}",
+                    saved.discretizer.n_features(),
+                    saved.features.len()
+                ),
+            });
+        }
         let encoder =
             RecordEncoder::from_parts(saved.features, saved.values).map_err(|e| PersistError {
                 message: e.to_string(),
@@ -115,6 +142,36 @@ mod tests {
     fn malformed_json_is_rejected() {
         assert!(HdcModel::from_json("{not json").is_err());
         assert!(HdcModel::from_json("{}").is_err());
+    }
+
+    #[test]
+    fn tampered_class_row_is_rejected_naming_the_class() {
+        let (train_ds, _) = Benchmark::Pamap.generate(0.03, 33).unwrap();
+        let config = HdcConfig::paper_default().with_dim(512).with_seed(33);
+        let model = HdcModel::fit_standard(&config, &train_ds).unwrap();
+        let json = model.to_json().unwrap();
+        // Truncate the binarized row of class 1 to half the dimension:
+        // the error must name class 1, not just "shapes disagree".
+        let mut v: serde_json::Value = serde_json::from_str(&json).unwrap();
+        let bins = v["memory"]["bins"].as_array().unwrap().to_vec();
+        let mut short = bins.clone();
+        short[1] = serde_json::from_str("{\"bits\":{\"words\":[0,0,0,0],\"len\":256}}").unwrap();
+        v["memory"]["bins"] = serde_json::Value::Array(short);
+        let err = HdcModel::from_json(&v.to_string()).unwrap_err().to_string();
+        assert!(err.contains("row 1"), "error should name class 1: {err}");
+        assert!(err.contains("512") && err.contains("256"), "{err}");
+    }
+
+    #[test]
+    fn mismatched_config_dim_is_rejected() {
+        let (train_ds, _) = Benchmark::Pamap.generate(0.03, 34).unwrap();
+        let config = HdcConfig::paper_default().with_dim(512).with_seed(34);
+        let model = HdcModel::fit_standard(&config, &train_ds).unwrap();
+        let json = model.to_json().unwrap();
+        let mut v: serde_json::Value = serde_json::from_str(&json).unwrap();
+        v["config"]["dim"] = serde_json::from_str("1024").unwrap();
+        let err = HdcModel::from_json(&v.to_string()).unwrap_err().to_string();
+        assert!(err.contains("1024") && err.contains("512"), "{err}");
     }
 
     #[test]

@@ -13,7 +13,7 @@ use std::sync::mpsc;
 use std::sync::{Condvar, Mutex};
 use std::time::{Duration, Instant};
 
-use hdc_model::{Encoder, InferenceSession};
+use hdc_model::ClassifySession;
 
 /// Batching and worker-pool parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -43,6 +43,9 @@ pub enum JobResult {
     Class(usize),
     /// Top-1 class plus the full per-class score vector.
     ClassWithScores(usize, Vec<f64>),
+    /// The job could not run against the generation that served its
+    /// batch (e.g. a hot swap changed the model shape mid-flight).
+    Rejected(String),
 }
 
 /// One enqueued classify request.
@@ -129,10 +132,12 @@ impl BatchQueue {
 
 /// Worker loop: pop batches, run one fused session call per batch,
 /// deliver per-job results. Returns once the queue is closed and
-/// drained; `served` counts completed requests.
-pub fn worker_loop<E: Encoder + Sync>(
+/// drained; `served` counts completed requests. Generic over the
+/// session shape ([`ClassifySession`]), so the same loop serves a
+/// borrowed single-model session and a registry generation.
+pub fn worker_loop<S: ClassifySession>(
     queue: &BatchQueue,
-    session: &InferenceSession<'_, E>,
+    session: &S,
     config: &BatchConfig,
     served: &AtomicU64,
 ) {

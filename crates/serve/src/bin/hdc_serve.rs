@@ -1,22 +1,32 @@
-//! Standalone classify server over a synthetic demo model.
+//! Standalone classify server over a synthetic demo model, served from
+//! a hot-swappable model registry.
 //!
 //! Usage: `hdc_serve [--addr HOST:PORT] [--dim D] [--features N]
-//! [--levels M] [--classes C] [--batch B] [--wait-us T]
-//! [--workers W] [--duration SECS]`
+//! [--levels M] [--classes C] [--batch B] [--wait-us T] [--workers W]
+//! [--duration SECS] [--locked L] [--budget Q] [--rate R] [--burst B]
+//! [--sweep S]`
 //!
-//! `--duration 0` (the default) serves until the process is killed.
+//! `--locked L` serves an HDLock-locked demo model with key depth `L`
+//! (enabling the `{"rekey":…}` admin request); the default is the
+//! standard demo model. `--budget`/`--rate`/`--burst`/`--sweep` arm the
+//! per-connection admission controller. `--duration 0` (the default)
+//! serves until the process is killed.
 
 use std::net::TcpListener;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Duration;
 
-use hdc_serve::demo::{demo_model, DemoSpec};
-use hdc_serve::{server, BatchConfig};
+use hdc_model::ClassifySession;
+use hdc_serve::demo::{self, DemoSpec};
+use hdc_serve::{server, AdmissionConfig, BatchConfig, RegistryServeConfig};
+use hdc_store::{ModelRegistry, ModelSnapshot};
 
 struct Options {
     addr: String,
     spec: DemoSpec,
     batch: BatchConfig,
+    admission: AdmissionConfig,
+    locked_layers: usize,
     duration_secs: u64,
 }
 
@@ -26,6 +36,8 @@ impl Default for Options {
             addr: "127.0.0.1:7878".to_owned(),
             spec: DemoSpec::default(),
             batch: BatchConfig::default(),
+            admission: AdmissionConfig::default(),
+            locked_layers: 0,
             duration_secs: 0,
         }
     }
@@ -62,9 +74,23 @@ fn parse_options() -> Options {
             "--duration" => {
                 opts.duration_secs = value(i).parse().expect("--duration needs an integer")
             }
+            "--locked" => {
+                opts.locked_layers = value(i).parse().expect("--locked needs a layer count")
+            }
+            "--budget" => {
+                opts.admission.query_budget = value(i).parse().expect("--budget needs an integer")
+            }
+            "--rate" => {
+                opts.admission.rate_per_sec = value(i).parse().expect("--rate needs a number")
+            }
+            "--burst" => opts.admission.burst = value(i).parse().expect("--burst needs an integer"),
+            "--sweep" => {
+                opts.admission.sweep_budget = value(i).parse().expect("--sweep needs an integer")
+            }
             other => panic!(
                 "unknown argument '{other}'; supported: --addr --dim --features --levels \
-                 --classes --batch --wait-us --workers --duration"
+                 --classes --batch --wait-us --workers --duration --locked --budget --rate \
+                 --burst --sweep"
             ),
         }
         i += 2;
@@ -75,26 +101,48 @@ fn parse_options() -> Options {
 fn main() -> std::io::Result<()> {
     let opts = parse_options();
     println!(
-        "training demo model (N = {}, C = {}, D = {}, M = {}) …",
-        opts.spec.n_features, opts.spec.n_classes, opts.spec.dim, opts.spec.m_levels
+        "training demo model (N = {}, C = {}, D = {}, M = {}, {}) …",
+        opts.spec.n_features,
+        opts.spec.n_classes,
+        opts.spec.dim,
+        opts.spec.m_levels,
+        if opts.locked_layers > 0 {
+            format!("locked L = {}", opts.locked_layers)
+        } else {
+            "standard".to_owned()
+        }
     );
-    let model = demo_model(&opts.spec);
-    let session = model.session();
+    let registry: ModelRegistry = if opts.locked_layers > 0 {
+        demo::demo_locked_registry(&opts.spec, opts.locked_layers)
+    } else {
+        let model = demo::demo_model(&opts.spec);
+        ModelRegistry::from_snapshot(ModelSnapshot::from_standard_model(&model), None)
+            .expect("demo snapshot is self-consistent")
+    };
+    let boot = registry.current();
     let listener = TcpListener::bind(&opts.addr)?;
     println!(
-        "serving on {} (batch ≤ {}, wait ≤ {:?}, {} workers, kernel backend: {}); \
-         protocol: one {{\"id\":…,\"levels\":[…]}} per line \
-         ({{\"id\":…,\"info\":true}} reports model shape + backend)",
+        "serving on {} (batch ≤ {}, wait ≤ {:?}, {} workers, kernel backend: {}, \
+         generation {}, checksum {:016x}); protocol: one {{\"id\":…,\"levels\":[…]}} per line \
+         ({{\"id\":…,\"info\":true}} → shape/backend/generation, {{\"id\":…,\"stats\":true}}, \
+         {{\"id\":…,\"reload\":{{…}}}}, {{\"id\":…,\"rekey\":SEED}})",
         listener.local_addr()?,
         opts.batch.max_batch,
         opts.batch.max_wait,
         opts.batch.workers,
-        session.kernel_backend()
+        boot.session().kernel_backend(),
+        boot.id(),
+        boot.checksum()
     );
+    drop(boot);
 
+    let config = RegistryServeConfig {
+        batch: opts.batch,
+        admission: opts.admission,
+    };
     let shutdown = AtomicBool::new(false);
     let stats = std::thread::scope(|s| {
-        let server = s.spawn(|| server::serve(listener, &session, &opts.batch, &shutdown));
+        let server = s.spawn(|| server::serve_registry(listener, &registry, &config, &shutdown));
         if opts.duration_secs > 0 {
             std::thread::sleep(Duration::from_secs(opts.duration_secs));
             shutdown.store(true, Ordering::SeqCst);
@@ -102,8 +150,11 @@ fn main() -> std::io::Result<()> {
         server.join().expect("server thread")
     })?;
     println!(
-        "served {} requests over {} connections",
-        stats.requests, stats.connections
+        "served {} requests over {} connections ({} throttled); final generation {}",
+        stats.requests,
+        stats.connections,
+        stats.throttled,
+        registry.current().id()
     );
     Ok(())
 }

@@ -1,8 +1,10 @@
 //! Synthetic demo models for the server binary, the load-generation
 //! benchmark and the quickstart example.
 
-use hdc_datasets::SynthSpec;
+use hdc_datasets::{Dataset, SynthSpec};
 use hdc_model::{HdcConfig, HdcModel, ModelKind, RecordEncoder};
+use hdc_store::{KeySegment, ModelRegistry, ModelSnapshot, RekeySource};
+use hdlock::{LockConfig, LockedEncoder};
 use hypervec::HvRng;
 
 /// Shape of a synthetic serving demo model.
@@ -44,6 +46,17 @@ impl Default for DemoSpec {
 /// Panics on an internally inconsistent spec (zero sizes).
 #[must_use]
 pub fn demo_model(spec: &DemoSpec) -> HdcModel<RecordEncoder> {
+    let (train, _) = demo_dataset(spec);
+    HdcModel::fit_standard(&demo_config(spec), &train).expect("synthetic training succeeds")
+}
+
+/// The synthetic train/test datasets behind the demo models.
+///
+/// # Panics
+///
+/// Panics on an internally inconsistent spec (zero sizes).
+#[must_use]
+pub fn demo_dataset(spec: &DemoSpec) -> (Dataset, Dataset) {
     let synth = SynthSpec::new(
         "serve-demo",
         spec.n_features,
@@ -53,16 +66,69 @@ pub fn demo_model(spec: &DemoSpec) -> HdcModel<RecordEncoder> {
         0.08,
     );
     let mut rng = HvRng::from_seed(spec.seed);
-    let (train, _test) = synth.generate(&mut rng).expect("valid synthetic spec");
-    let config = HdcConfig {
+    synth.generate(&mut rng).expect("valid synthetic spec")
+}
+
+/// The hyperparameters the demo models train with.
+#[must_use]
+pub fn demo_config(spec: &DemoSpec) -> HdcConfig {
+    HdcConfig {
         dim: spec.dim,
         m_levels: spec.m_levels,
         kind: ModelKind::Binary,
         epochs: 2,
         learning_rate: 1,
         seed: spec.seed,
-    };
-    HdcModel::fit_standard(&config, &train).expect("synthetic training succeeds")
+    }
+}
+
+/// Trains an HDLock-*locked* demo model (`n_layers` key depth, pool as
+/// large as the feature count) on the same synthetic task, returning
+/// the model and its training set.
+///
+/// # Panics
+///
+/// Panics on an internally inconsistent spec (zero sizes).
+#[must_use]
+pub fn demo_locked_model(spec: &DemoSpec, n_layers: usize) -> (HdcModel<LockedEncoder>, Dataset) {
+    let (train, _) = demo_dataset(spec);
+    let config = demo_config(spec);
+    let mut rng = HvRng::from_seed(spec.seed ^ 0x0010_C4ED);
+    let encoder = LockedEncoder::generate(
+        &mut rng,
+        &LockConfig {
+            n_features: spec.n_features,
+            m_levels: spec.m_levels,
+            dim: spec.dim,
+            pool_size: spec.n_features,
+            n_layers,
+        },
+    )
+    .expect("valid lock config");
+    let model =
+        HdcModel::fit_with_encoder(&config, encoder, &train).expect("synthetic training succeeds");
+    (model, train)
+}
+
+/// Boots a [`ModelRegistry`] serving a locked demo model, with the
+/// rekey source attached — the quickest path to a hot-swappable server
+/// (the `hdc_serve` binary and the `hot_reload` example both start
+/// here).
+///
+/// # Panics
+///
+/// Panics on an internally inconsistent spec (zero sizes).
+#[must_use]
+pub fn demo_locked_registry(spec: &DemoSpec, n_layers: usize) -> ModelRegistry {
+    let (model, train) = demo_locked_model(spec, n_layers);
+    let snapshot = ModelSnapshot::from_locked_model(&model);
+    let key = KeySegment::from_locked_encoder(model.encoder()).expect("vault is sealed");
+    ModelRegistry::from_snapshot(snapshot, Some(&key))
+        .expect("demo snapshot is self-consistent")
+        .with_rekey_source(RekeySource {
+            config: demo_config(spec),
+            train,
+        })
 }
 
 #[cfg(test)]

@@ -2,11 +2,13 @@
 //!
 //! The serving layer the ROADMAP calls for: a dependency-free
 //! `std::net` TCP front end over the fused
-//! [`InferenceSession`](hdc_model::InferenceSession) pipeline.
+//! [`ClassifySession`](hdc_model::ClassifySession) pipeline, with hot
+//! model swaps and admission control layered on top.
 //!
 //! * **Protocol** ([`protocol`]) — one JSON object per line in, one per
 //!   line out; scriptable with `nc` and parseable by the vendored
-//!   `serde_json` stand-in.
+//!   `serde_json` stand-in. Carries classify, `info`, admin
+//!   (`reload` / `rekey` / `stats`) and structured throttle responses.
 //! * **Batching** ([`batcher`]) — requests from all connections funnel
 //!   into one queue; workers pop up to `max_batch` jobs (or whatever
 //!   arrived within `max_wait`) and answer them with a *single* fused
@@ -14,7 +16,18 @@
 //!   runs at batch-kernel throughput.
 //! * **Server** ([`server`]) — scoped-thread accept loop, per-
 //!   connection handlers, graceful drain on shutdown. No async runtime,
-//!   no external crates.
+//!   no external crates. [`server::serve`] drives one fixed session;
+//!   [`server::serve_registry`] drives a
+//!   [`ModelRegistry`](hdc_store::ModelRegistry), so snapshots can be
+//!   hot-reloaded and locked models re-keyed *behind* the running
+//!   server — in-flight traffic finishes on the generation its batch
+//!   grabbed, and the `info` response carries the generation id +
+//!   snapshot checksum so clients can detect the swap.
+//! * **Admission** ([`admission`]) — per-connection query budgets
+//!   (the attack crate's [`QueryBudget`](hdc_attack::QueryBudget)
+//!   semantics), token-bucket rate limits and lock-probe
+//!   feature-sweep detection, answered with structured
+//!   `"throttled":true` errors.
 //! * **Load generator** ([`loadgen`]) — closed-loop clients reporting
 //!   requests/sec and latency percentiles
 //!   ([`hdc_model::LatencyStats`]); the numbers behind
@@ -53,27 +66,62 @@
 //! })?;
 //! # Ok::<(), std::io::Error>(())
 //! ```
+//!
+//! See `examples/hot_reload.rs` for the registry-backed variant
+//! (snapshot reload, live rekey, admission budgets).
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod admission;
 pub mod batcher;
 pub mod demo;
 pub mod loadgen;
 pub mod protocol;
 pub mod server;
 
+pub use admission::{AdmissionConfig, ConnectionAdmission, ThrottleReason};
 pub use batcher::{BatchConfig, BatchQueue};
 pub use loadgen::{LoadReport, LoadgenConfig};
-pub use protocol::{ClassifyRequest, ClassifyResponse, ServerInfo};
-pub use server::{serve, ServeStats};
+pub use protocol::{
+    AdminRequest, ClassifyRequest, ClassifyResponse, ServerInfo, StatsReport, SwapInfo,
+};
+pub use server::{serve, serve_registry, RegistryServeConfig, ServeStats};
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use hdc_store::{KeySegment, ModelRegistry, ModelSnapshot, RekeySource};
+    use hdlock::{EncodingKey, LockedEncoder};
+    use hypervec::HvRng;
     use std::io::{BufRead, BufReader, Write};
     use std::net::{TcpListener, TcpStream};
     use std::sync::atomic::{AtomicBool, Ordering};
+
+    /// Blocking line-oriented test client.
+    struct Client {
+        reader: BufReader<TcpStream>,
+        writer: TcpStream,
+        line: String,
+    }
+
+    impl Client {
+        fn connect(addr: std::net::SocketAddr) -> Self {
+            let stream = TcpStream::connect(addr).unwrap();
+            Client {
+                reader: BufReader::new(stream.try_clone().unwrap()),
+                writer: stream,
+                line: String::new(),
+            }
+        }
+
+        fn roundtrip(&mut self, request: &str) -> ClassifyResponse {
+            self.writer.write_all(request.as_bytes()).unwrap();
+            self.line.clear();
+            self.reader.read_line(&mut self.line).unwrap();
+            protocol::parse_response(&self.line).unwrap()
+        }
+    }
 
     /// Full wire round trip: responses match direct session calls,
     /// protocol errors are reported per request, shutdown is graceful.
@@ -92,29 +140,16 @@ mod tests {
         std::thread::scope(|s| {
             let server = s.spawn(|| serve(listener, &session, &BatchConfig::default(), &shutdown));
 
-            let stream = TcpStream::connect(addr).unwrap();
-            let mut reader = BufReader::new(stream.try_clone().unwrap());
-            let mut writer = stream;
-            let mut line = String::new();
+            let mut client = Client::connect(addr);
 
             // A valid classify request answers with the session's class.
             let levels: Vec<u16> = (0..16).map(|i| (i % 8) as u16).collect();
-            writer
-                .write_all(protocol::request_line(1, &levels, false).as_bytes())
-                .unwrap();
-            line.clear();
-            reader.read_line(&mut line).unwrap();
-            let resp = protocol::parse_response(&line).unwrap();
+            let resp = client.roundtrip(&protocol::request_line(1, &levels, false));
             assert_eq!(resp.id, 1);
             assert_eq!(resp.class, Some(session.classify(&levels)));
 
             // Scores on demand, bit-equal to the session's.
-            writer
-                .write_all(protocol::request_line(2, &levels, true).as_bytes())
-                .unwrap();
-            line.clear();
-            reader.read_line(&mut line).unwrap();
-            let resp = protocol::parse_response(&line).unwrap();
+            let resp = client.roundtrip(&protocol::request_line(2, &levels, true));
             let refs: Vec<&[u16]> = vec![&levels];
             let want = session.scores_batch(&refs);
             let got = resp.scores.unwrap();
@@ -124,30 +159,17 @@ mod tests {
             }
 
             // Wrong width and out-of-range levels are per-request errors.
-            writer
-                .write_all(protocol::request_line(3, &[1, 2], false).as_bytes())
-                .unwrap();
-            line.clear();
-            reader.read_line(&mut line).unwrap();
-            let resp = protocol::parse_response(&line).unwrap();
+            let resp = client.roundtrip(&protocol::request_line(3, &[1, 2], false));
             assert_eq!(resp.id, 3);
             assert!(resp.error.unwrap().contains("model expects 16"));
+            assert!(!resp.throttled);
 
-            writer
-                .write_all(protocol::request_line(4, &[200u16; 16], false).as_bytes())
-                .unwrap();
-            line.clear();
-            reader.read_line(&mut line).unwrap();
-            let resp = protocol::parse_response(&line).unwrap();
+            let resp = client.roundtrip(&protocol::request_line(4, &[200u16; 16], false));
             assert!(resp.error.unwrap().contains("out of range"));
 
-            // Info reports the model shape and the active kernel backend.
-            writer
-                .write_all(protocol::info_request_line(9).as_bytes())
-                .unwrap();
-            line.clear();
-            reader.read_line(&mut line).unwrap();
-            let resp = protocol::parse_response(&line).unwrap();
+            // Info reports the model shape and the active kernel backend;
+            // a non-registry server is always generation 0.
+            let resp = client.roundtrip(&protocol::info_request_line(9));
             assert_eq!(resp.id, 9);
             let info = resp.info.unwrap();
             assert_eq!(info.backend, session.kernel_backend());
@@ -155,30 +177,31 @@ mod tests {
             assert_eq!(info.features, session.n_features());
             assert_eq!(info.levels, session.m_levels());
             assert_eq!(info.classes, session.n_classes());
+            assert_eq!(info.generation, 0);
+            assert_eq!(info.checksum, protocol::checksum_hex(0));
+
+            // Admin requests need the registry server.
+            let resp = client.roundtrip(&protocol::stats_request_line(10));
+            assert!(resp.error.unwrap().contains("registry"));
 
             // Malformed JSON does not kill the connection.
-            writer.write_all(b"{oops\n").unwrap();
-            line.clear();
-            reader.read_line(&mut line).unwrap();
-            assert!(protocol::parse_response(&line).unwrap().error.is_some());
+            let resp = client.roundtrip("{oops\n");
+            assert!(resp.error.is_some());
 
             // The connection still works afterwards.
-            writer
-                .write_all(protocol::request_line(5, &levels, false).as_bytes())
-                .unwrap();
-            line.clear();
-            reader.read_line(&mut line).unwrap();
-            assert_eq!(protocol::parse_response(&line).unwrap().id, 5);
+            let resp = client.roundtrip(&protocol::request_line(5, &levels, false));
+            assert_eq!(resp.id, 5);
 
-            drop(writer);
-            drop(reader);
+            drop(client);
             shutdown.store(true, Ordering::SeqCst);
             let stats = server.join().unwrap().unwrap();
             assert_eq!(stats.connections, 1);
-            assert_eq!(stats.requests, 7);
-            // Requests 3, 4, the info request and the malformed line
-            // were all answered without reaching the batch workers.
+            assert_eq!(stats.requests, 8);
+            // Requests 3, 4, the info request, the stats request and the
+            // malformed line were all answered without reaching the
+            // batch workers.
             assert_eq!(stats.classified, 3);
+            assert_eq!(stats.throttled, 0);
         });
     }
 
@@ -224,5 +247,263 @@ mod tests {
             assert_eq!(stats.classified, 400);
             assert_eq!(stats.connections, 8);
         });
+    }
+
+    /// Admission: a client exceeding its query budget gets structured
+    /// throttle errors while a neighbor connection is untouched.
+    #[test]
+    fn admission_throttles_one_client_not_the_other() {
+        let spec = demo::DemoSpec {
+            dim: 256,
+            train_size: 64,
+            ..Default::default()
+        };
+        let registry = demo::demo_locked_registry(&spec, 2);
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let shutdown = AtomicBool::new(false);
+        let config = RegistryServeConfig {
+            batch: BatchConfig::default(),
+            admission: AdmissionConfig {
+                query_budget: 5,
+                ..AdmissionConfig::default()
+            },
+        };
+
+        std::thread::scope(|s| {
+            let server = s.spawn(|| serve_registry(listener, &registry, &config, &shutdown));
+
+            let mut greedy = Client::connect(addr);
+            let mut honest = Client::connect(addr);
+            let row = |i: u16| -> Vec<u16> {
+                (0..spec.n_features)
+                    .map(|f| ((usize::from(i) + f) % spec.m_levels) as u16)
+                    .collect()
+            };
+
+            // The greedy client gets its 5 budgeted answers…
+            for i in 0..5u16 {
+                let resp = greedy.roundtrip(&protocol::request_line(u64::from(i), &row(i), false));
+                assert!(resp.class.is_some(), "within budget: {resp:?}");
+            }
+            // …then structured throttles, not hard failures.
+            for i in 5..8u16 {
+                let resp = greedy.roundtrip(&protocol::request_line(u64::from(i), &row(i), false));
+                assert!(resp.throttled, "over budget: {resp:?}");
+                assert!(resp.error.unwrap().contains("budget"));
+            }
+
+            // The honest neighbor is unaffected — budgets are per
+            // connection, so its own (within-budget) requests all land
+            // even though the greedy client just burned through its
+            // allowance.
+            for i in 0..5u16 {
+                let resp =
+                    honest.roundtrip(&protocol::request_line(u64::from(100 + i), &row(i), false));
+                assert!(resp.class.is_some(), "neighbor request {i}: {resp:?}");
+            }
+
+            // Stats surface the throttle count.
+            let resp = honest.roundtrip(&protocol::stats_request_line(999));
+            let stats = resp.stats.unwrap();
+            assert_eq!(stats.throttled, 3);
+            assert!(stats.locked);
+            assert_eq!(stats.generation, 1);
+
+            drop(greedy);
+            drop(honest);
+            shutdown.store(true, Ordering::SeqCst);
+            let stats = server.join().unwrap().unwrap();
+            assert_eq!(stats.throttled, 3);
+            assert_eq!(stats.connections, 2);
+        });
+    }
+
+    /// The rekey acceptance run: a live rekey lands under closed-loop
+    /// load with zero failed requests, post-swap responses are
+    /// bit-identical to a cold-started server on the new key, and the
+    /// old generation's vault is destroyed.
+    #[test]
+    fn live_rekey_under_load_is_lossless_and_bit_identical() {
+        let spec = demo::DemoSpec {
+            dim: 256,
+            train_size: 64,
+            ..Default::default()
+        };
+        let (model, train) = demo::demo_locked_model(&spec, 2);
+        let snapshot = ModelSnapshot::from_locked_model(&model);
+        let key = KeySegment::from_locked_encoder(model.encoder()).unwrap();
+        let registry = ModelRegistry::from_snapshot(snapshot, Some(&key))
+            .unwrap()
+            .with_rekey_source(RekeySource {
+                config: demo::demo_config(&spec),
+                train: train.clone(),
+            });
+
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let shutdown = AtomicBool::new(false);
+        let config = RegistryServeConfig::default();
+        const REKEY_SEED: u64 = 20_220_711;
+
+        let old_generation = registry.current();
+        std::thread::scope(|s| {
+            let server = s.spawn(|| serve_registry(listener, &registry, &config, &shutdown));
+
+            // Closed-loop load in the background…
+            let load = s.spawn(|| {
+                loadgen::run(
+                    addr,
+                    spec.n_features,
+                    spec.m_levels,
+                    &LoadgenConfig {
+                        connections: 4,
+                        requests_per_connection: 120,
+                        seed: 11,
+                    },
+                )
+                .unwrap()
+            });
+
+            // …and a rekey right through the middle of it.
+            let mut admin = Client::connect(addr);
+            let resp = admin.roundtrip(&protocol::rekey_request_line(1, REKEY_SEED));
+            let swapped = resp.swapped.expect("rekey swaps");
+            assert_eq!(swapped.generation, 2);
+
+            // Zero failed/dropped requests across the swap.
+            let report = load.join().unwrap();
+            assert_eq!(report.total_requests, 480);
+            assert_eq!(report.errors, 0, "requests failed across the rekey");
+
+            // The info response reflects the swap.
+            let resp = admin.roundtrip(&protocol::info_request_line(2));
+            let info = resp.info.unwrap();
+            assert_eq!(info.generation, 2);
+            assert_eq!(info.checksum, swapped.checksum);
+
+            // Post-swap responses are bit-identical to a cold-started
+            // model under the same key seed.
+            let mut rng = HvRng::from_seed(REKEY_SEED);
+            let cold_key = EncodingKey::random(
+                &mut rng,
+                spec.n_features,
+                2,
+                model.encoder().pool().len(),
+                spec.dim,
+            )
+            .unwrap();
+            let cold_enc = LockedEncoder::from_parts(
+                model.encoder().pool().clone(),
+                model.encoder().values().clone(),
+                cold_key,
+            )
+            .unwrap();
+            let cold =
+                hdc_model::HdcModel::fit_with_encoder(&demo::demo_config(&spec), cold_enc, &train)
+                    .unwrap();
+            let cold_session = cold.session();
+            for i in 0..12u16 {
+                let row: Vec<u16> = (0..spec.n_features)
+                    .map(|f| ((usize::from(i) * 3 + f) % spec.m_levels) as u16)
+                    .collect();
+                let resp = admin.roundtrip(&protocol::request_line(u64::from(10 + i), &row, true));
+                assert_eq!(resp.class, Some(cold_session.classify(&row)), "row {i}");
+                let refs: Vec<&[u16]> = vec![&row];
+                let want = cold_session.scores_batch(&refs);
+                for (g, w) in resp.scores.unwrap().iter().zip(want.scores(0)) {
+                    assert_eq!(g.to_bits(), w.to_bits(), "row {i}");
+                }
+            }
+
+            // The old generation's vault is destroyed: reads frozen.
+            let old_vault = old_generation.session().encoder().vault().unwrap();
+            assert!(!old_vault.is_sealed());
+            assert!(old_vault.with_key(|_| ()).is_err());
+
+            drop(admin);
+            shutdown.store(true, Ordering::SeqCst);
+            let stats = server.join().unwrap().unwrap();
+            assert_eq!(stats.throttled, 0);
+            assert!(stats.requests >= 480);
+        });
+    }
+
+    /// Hot reload through the wire: save a snapshot, `reload` it, and
+    /// watch the generation + checksum change in `info`.
+    #[test]
+    fn wire_reload_swaps_generations() {
+        let spec = demo::DemoSpec {
+            dim: 256,
+            train_size: 64,
+            ..Default::default()
+        };
+        let registry = demo::demo_locked_registry(&spec, 2);
+        let boot_checksum = registry.current().checksum();
+
+        // A replacement *standard* model, snapshotted to disk.
+        let dir = std::env::temp_dir().join("hdc_serve_reload_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let snap_path = dir.join("replacement.hdsn");
+        let replacement = demo::demo_model(&demo::DemoSpec { seed: 999, ..spec });
+        ModelSnapshot::from_standard_model(&replacement)
+            .save(&snap_path)
+            .unwrap();
+
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let shutdown = AtomicBool::new(false);
+        let config = RegistryServeConfig::default();
+
+        std::thread::scope(|s| {
+            let server = s.spawn(|| serve_registry(listener, &registry, &config, &shutdown));
+            let mut client = Client::connect(addr);
+
+            let info = client
+                .roundtrip(&protocol::info_request_line(1))
+                .info
+                .unwrap();
+            assert_eq!(info.generation, 1);
+            assert_eq!(info.checksum, protocol::checksum_hex(boot_checksum));
+
+            // Reload from the file; no key segment (standard model).
+            let resp = client.roundtrip(&protocol::reload_request_line(
+                2,
+                snap_path.to_str().unwrap(),
+                None,
+            ));
+            let swapped = resp.swapped.expect("reload swaps");
+            assert_eq!(swapped.generation, 2);
+            assert_ne!(swapped.checksum, info.checksum);
+
+            let info = client
+                .roundtrip(&protocol::info_request_line(3))
+                .info
+                .unwrap();
+            assert_eq!(info.generation, 2);
+            assert_eq!(info.checksum, swapped.checksum);
+
+            // Served answers now come from the replacement model.
+            let row: Vec<u16> = (0..spec.n_features)
+                .map(|f| (f % spec.m_levels) as u16)
+                .collect();
+            let resp = client.roundtrip(&protocol::request_line(4, &row, false));
+            assert_eq!(resp.class, Some(replacement.session().classify(&row)));
+
+            // Reloading a missing file fails cleanly, serving continues.
+            let resp = client.roundtrip(&protocol::reload_request_line(
+                5,
+                dir.join("nope.hdsn").to_str().unwrap(),
+                None,
+            ));
+            assert!(resp.error.unwrap().contains("reload failed"));
+            let resp = client.roundtrip(&protocol::request_line(6, &row, false));
+            assert!(resp.class.is_some());
+
+            drop(client);
+            shutdown.store(true, Ordering::SeqCst);
+            server.join().unwrap().unwrap();
+        });
+        let _ = std::fs::remove_file(&snap_path);
     }
 }

@@ -12,12 +12,32 @@
 //! → {"id":3,"levels":[99]}
 //! ← {"id":3,"error":"row has 1 levels, model expects 4"}
 //! → {"id":4,"info":true}
-//! ← {"id":4,"info":{"backend":"avx2","dim":10000,"features":64,"levels":16,"classes":8}}
+//! ← {"id":4,"info":{"backend":"avx2","dim":10000,"features":64,"levels":16,
+//!    "classes":8,"generation":3,"checksum":"a1b2c3d4e5f60789"}}
 //! ```
 //!
-//! The `info` request reports the serving model's shape and the active
-//! SIMD kernel backend, so operators can verify from the wire what is
-//! actually running.
+//! The `info` request reports the serving model's shape, the active
+//! SIMD kernel backend, and — on a registry-backed server — the active
+//! model **generation id** and snapshot **checksum**, so clients can
+//! detect a hot swap from the wire.
+//!
+//! ## Admin requests (registry server)
+//!
+//! ```text
+//! → {"id":5,"stats":true}
+//! ← {"id":5,"stats":{"generation":3,"checksum":"…","locked":true,
+//!    "reloads":1,"rekeys":1,"rollbacks":0,"requests":9041,"throttled":12}}
+//! → {"id":6,"reload":{"snapshot":"/models/v7.hdsn","key":"/keys/v7.hdky"}}
+//! ← {"id":6,"swapped":{"generation":4,"checksum":"…"}}
+//! → {"id":7,"rekey":20240317}
+//! ← {"id":7,"swapped":{"generation":5,"checksum":"…"}}
+//! ```
+//!
+//! ## Throttling
+//!
+//! A client over its admission budget receives a **structured**
+//! throttle error — `{"id":…,"error":"…","throttled":true}` — so
+//! well-behaved clients can distinguish back-off from hard failures.
 //!
 //! Requests are parsed through the vendored `serde_json` stand-in into
 //! its [`Value`] tree; responses are rendered directly (the numeric
@@ -26,17 +46,40 @@
 
 use serde_json::Value;
 
+/// An administrative operation carried by a request line (only honored
+/// by the registry-backed server).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AdminRequest {
+    /// Hot-reload a snapshot file (plus optional sealed key segment).
+    Reload {
+        /// Path of the `.hdsn` snapshot on the server's filesystem.
+        snapshot: String,
+        /// Path of the sealed key segment, for locked snapshots.
+        key: Option<String>,
+    },
+    /// Re-key the serving locked model with this seed.
+    Rekey {
+        /// Seed of the fresh random key (deterministic rotation).
+        seed: u64,
+    },
+    /// Report registry + serving counters.
+    Stats,
+}
+
 /// A parsed classify request.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ClassifyRequest {
     /// Client-chosen correlation id, echoed back in the response.
     pub id: u64,
-    /// Quantized feature row (level indices); empty for info requests.
+    /// Quantized feature row (level indices); empty for info/admin
+    /// requests.
     pub levels: Vec<u16>,
     /// Whether to return the full per-class score vector.
     pub want_scores: bool,
     /// Whether this is a server-info request instead of a classify.
     pub want_info: bool,
+    /// Administrative operation, when this is an admin request.
+    pub admin: Option<AdminRequest>,
 }
 
 /// Server shape and runtime facts reported by an info response.
@@ -52,6 +95,41 @@ pub struct ServerInfo {
     pub levels: usize,
     /// Class count `C`.
     pub classes: usize,
+    /// Active model generation (0 on a non-registry server).
+    pub generation: u64,
+    /// Active snapshot checksum, 16 hex digits (all zeros on a
+    /// non-registry server).
+    pub checksum: String,
+}
+
+/// Identity of a freshly swapped-in generation (reload/rekey response).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SwapInfo {
+    /// New generation id.
+    pub generation: u64,
+    /// New snapshot checksum, 16 hex digits.
+    pub checksum: String,
+}
+
+/// Registry + serving counters reported by a stats response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StatsReport {
+    /// Currently serving generation id.
+    pub generation: u64,
+    /// Currently serving snapshot checksum, 16 hex digits.
+    pub checksum: String,
+    /// Whether the serving model is locked.
+    pub locked: bool,
+    /// Completed reload swaps.
+    pub reloads: u64,
+    /// Completed rekey swaps.
+    pub rekeys: u64,
+    /// Completed rollbacks.
+    pub rollbacks: u64,
+    /// Requests answered since boot.
+    pub requests: u64,
+    /// Requests rejected by admission control since boot.
+    pub throttled: u64,
 }
 
 /// A parsed classify response (client side).
@@ -65,8 +143,21 @@ pub struct ClassifyResponse {
     pub scores: Option<Vec<f64>>,
     /// Server info, when this answers an info request.
     pub info: Option<ServerInfo>,
+    /// New generation identity, when this answers a reload/rekey.
+    pub swapped: Option<SwapInfo>,
+    /// Counters, when this answers a stats request.
+    pub stats: Option<StatsReport>,
     /// Error message, when the request failed.
     pub error: Option<String>,
+    /// Whether the error is an admission throttle (back off and retry
+    /// later) rather than a hard failure.
+    pub throttled: bool,
+}
+
+/// Renders a `u64` checksum as the wire's 16-hex-digit form.
+#[must_use]
+pub fn checksum_hex(checksum: u64) -> String {
+    format!("{checksum:016x}")
 }
 
 /// Parses one request line.
@@ -82,13 +173,33 @@ pub fn parse_request(line: &str) -> Result<ClassifyRequest, (u64, String)> {
         .get("id")
         .and_then(Value::as_u64)
         .ok_or((0, "missing numeric `id`".to_owned()))?;
+    let bare = |admin: Option<AdminRequest>, want_info: bool| ClassifyRequest {
+        id,
+        levels: Vec::new(),
+        want_scores: false,
+        want_info,
+        admin,
+    };
     if matches!(value.get("info"), Some(Value::Bool(true))) {
-        return Ok(ClassifyRequest {
-            id,
-            levels: Vec::new(),
-            want_scores: false,
-            want_info: true,
-        });
+        return Ok(bare(None, true));
+    }
+    if matches!(value.get("stats"), Some(Value::Bool(true))) {
+        return Ok(bare(Some(AdminRequest::Stats), false));
+    }
+    if let Some(reload) = value.get("reload") {
+        let snapshot = reload
+            .get("snapshot")
+            .and_then(Value::as_str)
+            .ok_or((id, "`reload` needs a `snapshot` path".to_owned()))?
+            .to_owned();
+        let key = reload.get("key").and_then(Value::as_str).map(str::to_owned);
+        return Ok(bare(Some(AdminRequest::Reload { snapshot, key }), false));
+    }
+    if let Some(rekey) = value.get("rekey") {
+        let seed = rekey
+            .as_u64()
+            .ok_or((id, "`rekey` needs a numeric seed".to_owned()))?;
+        return Ok(bare(Some(AdminRequest::Rekey { seed }), false));
     }
     let levels_value = value
         .get("levels")
@@ -108,6 +219,7 @@ pub fn parse_request(line: &str) -> Result<ClassifyRequest, (u64, String)> {
         levels,
         want_scores,
         want_info: false,
+        admin: None,
     })
 }
 
@@ -117,14 +229,73 @@ pub fn info_request_line(id: u64) -> String {
     format!("{{\"id\":{id},\"info\":true}}\n")
 }
 
+/// Renders a stats request line (client side), with trailing newline.
+#[must_use]
+pub fn stats_request_line(id: u64) -> String {
+    format!("{{\"id\":{id},\"stats\":true}}\n")
+}
+
+/// Renders a reload request line (client side), with trailing newline.
+/// Paths are JSON-escaped.
+#[must_use]
+pub fn reload_request_line(id: u64, snapshot: &str, key: Option<&str>) -> String {
+    let mut out = format!(
+        "{{\"id\":{id},\"reload\":{{\"snapshot\":\"{}\"",
+        escape(snapshot)
+    );
+    if let Some(key) = key {
+        out.push_str(&format!(",\"key\":\"{}\"", escape(key)));
+    }
+    out.push_str("}}\n");
+    out
+}
+
+/// Renders a rekey request line (client side), with trailing newline.
+#[must_use]
+pub fn rekey_request_line(id: u64, seed: u64) -> String {
+    format!("{{\"id\":{id},\"rekey\":{seed}}}\n")
+}
+
 /// Renders an info response line (with trailing newline). The backend
 /// name is emitted as-is; backend names are plain identifiers.
 #[must_use]
 pub fn info_response(id: u64, info: &ServerInfo) -> String {
     format!(
         "{{\"id\":{id},\"info\":{{\"backend\":\"{}\",\"dim\":{},\"features\":{},\
-         \"levels\":{},\"classes\":{}}}}}\n",
-        info.backend, info.dim, info.features, info.levels, info.classes
+         \"levels\":{},\"classes\":{},\"generation\":{},\"checksum\":\"{}\"}}}}\n",
+        info.backend,
+        info.dim,
+        info.features,
+        info.levels,
+        info.classes,
+        info.generation,
+        info.checksum
+    )
+}
+
+/// Renders a swap (reload/rekey success) response line.
+#[must_use]
+pub fn swap_response(id: u64, swap: &SwapInfo) -> String {
+    format!(
+        "{{\"id\":{id},\"swapped\":{{\"generation\":{},\"checksum\":\"{}\"}}}}\n",
+        swap.generation, swap.checksum
+    )
+}
+
+/// Renders a stats response line.
+#[must_use]
+pub fn stats_response(id: u64, stats: &StatsReport) -> String {
+    format!(
+        "{{\"id\":{id},\"stats\":{{\"generation\":{},\"checksum\":\"{}\",\"locked\":{},\
+         \"reloads\":{},\"rekeys\":{},\"rollbacks\":{},\"requests\":{},\"throttled\":{}}}}}\n",
+        stats.generation,
+        stats.checksum,
+        stats.locked,
+        stats.reloads,
+        stats.rekeys,
+        stats.rollbacks,
+        stats.requests,
+        stats.throttled
     )
 }
 
@@ -167,10 +338,8 @@ pub fn ok_response(id: u64, class: usize, scores: Option<&[f64]>) -> String {
     out
 }
 
-/// Renders an error response line (with trailing newline).
-#[must_use]
-pub fn error_response(id: u64, message: &str) -> String {
-    let escaped: String = message
+fn escape(message: &str) -> String {
+    message
         .chars()
         .flat_map(|c| match c {
             '"' => vec!['\\', '"'],
@@ -178,8 +347,23 @@ pub fn error_response(id: u64, message: &str) -> String {
             '\n' => vec!['\\', 'n'],
             c => vec![c],
         })
-        .collect();
-    format!("{{\"id\":{id},\"error\":\"{escaped}\"}}\n")
+        .collect()
+}
+
+/// Renders an error response line (with trailing newline).
+#[must_use]
+pub fn error_response(id: u64, message: &str) -> String {
+    format!("{{\"id\":{id},\"error\":\"{}\"}}\n", escape(message))
+}
+
+/// Renders a structured admission-throttle error response line: carries
+/// `"throttled":true` so clients can tell back-off from hard failure.
+#[must_use]
+pub fn throttle_response(id: u64, message: &str) -> String {
+    format!(
+        "{{\"id\":{id},\"error\":\"{}\",\"throttled\":true}}\n",
+        escape(message)
+    )
 }
 
 /// Parses one response line (client side).
@@ -219,6 +403,43 @@ pub fn parse_response(line: &str) -> Result<ClassifyResponse, String> {
             features: info_field(obj, "features")?,
             levels: info_field(obj, "levels")?,
             classes: info_field(obj, "classes")?,
+            generation: obj.get("generation").and_then(Value::as_u64).unwrap_or(0),
+            checksum: obj
+                .get("checksum")
+                .and_then(Value::as_str)
+                .unwrap_or("0000000000000000")
+                .to_owned(),
+        }),
+        None => None,
+    };
+    let swapped = match value.get("swapped") {
+        Some(obj) => Some(SwapInfo {
+            generation: obj
+                .get("generation")
+                .and_then(Value::as_u64)
+                .ok_or_else(|| "swap without numeric `generation`".to_owned())?,
+            checksum: obj
+                .get("checksum")
+                .and_then(Value::as_str)
+                .ok_or_else(|| "swap without `checksum`".to_owned())?
+                .to_owned(),
+        }),
+        None => None,
+    };
+    let stats = match value.get("stats") {
+        Some(obj) => Some(StatsReport {
+            generation: stat_field(obj, "generation")?,
+            checksum: obj
+                .get("checksum")
+                .and_then(Value::as_str)
+                .ok_or_else(|| "stats without `checksum`".to_owned())?
+                .to_owned(),
+            locked: matches!(obj.get("locked"), Some(Value::Bool(true))),
+            reloads: stat_field(obj, "reloads")?,
+            rekeys: stat_field(obj, "rekeys")?,
+            rollbacks: stat_field(obj, "rollbacks")?,
+            requests: stat_field(obj, "requests")?,
+            throttled: stat_field(obj, "throttled")?,
         }),
         None => None,
     };
@@ -226,15 +447,22 @@ pub fn parse_response(line: &str) -> Result<ClassifyResponse, String> {
         .get("error")
         .and_then(Value::as_str)
         .map(str::to_owned);
-    if class.is_none() && error.is_none() && info.is_none() {
-        return Err("response carries neither `class`, `info` nor `error`".to_owned());
+    let throttled = matches!(value.get("throttled"), Some(Value::Bool(true)));
+    if class.is_none() && error.is_none() && info.is_none() && swapped.is_none() && stats.is_none()
+    {
+        return Err(
+            "response carries neither `class`, `info`, `swapped`, `stats` nor `error`".to_owned(),
+        );
     }
     Ok(ClassifyResponse {
         id,
         class,
         scores,
         info,
+        swapped,
+        stats,
         error,
+        throttled,
     })
 }
 
@@ -244,6 +472,13 @@ fn info_field(obj: &Value, key: &str) -> Result<usize, String> {
         .and_then(Value::as_u64)
         .map(|v| v as usize)
         .ok_or_else(|| format!("info without numeric `{key}`"))
+}
+
+/// Extracts one numeric field of a stats response object.
+fn stat_field(obj: &Value, key: &str) -> Result<u64, String> {
+    obj.get(key)
+        .and_then(Value::as_u64)
+        .ok_or_else(|| format!("stats without numeric `{key}`"))
 }
 
 #[cfg(test)]
@@ -261,6 +496,7 @@ mod tests {
                 levels: vec![0, 3, 65535],
                 want_scores: true,
                 want_info: false,
+                admin: None,
             }
         );
         let plain = parse_request(&request_line(7, &[1], false)).unwrap();
@@ -270,26 +506,87 @@ mod tests {
     #[test]
     fn info_roundtrip() {
         let req = parse_request(&info_request_line(11)).unwrap();
-        assert_eq!(
-            req,
-            ClassifyRequest {
-                id: 11,
-                levels: vec![],
-                want_scores: false,
-                want_info: true,
-            }
-        );
+        assert!(req.want_info);
+        assert!(req.admin.is_none());
         let info = ServerInfo {
             backend: "avx2".to_owned(),
             dim: 10_000,
             features: 64,
             levels: 16,
             classes: 8,
+            generation: 3,
+            checksum: checksum_hex(0xDEAD_BEEF),
         };
         let resp = parse_response(&info_response(11, &info)).unwrap();
         assert_eq!(resp.id, 11);
         assert_eq!(resp.info, Some(info));
         assert!(resp.class.is_none() && resp.error.is_none());
+    }
+
+    #[test]
+    fn admin_request_roundtrips() {
+        let req = parse_request(&stats_request_line(1)).unwrap();
+        assert_eq!(req.admin, Some(AdminRequest::Stats));
+
+        let req = parse_request(&reload_request_line(2, "/m/v7.hdsn", Some("/k/v7.hdky"))).unwrap();
+        assert_eq!(
+            req.admin,
+            Some(AdminRequest::Reload {
+                snapshot: "/m/v7.hdsn".to_owned(),
+                key: Some("/k/v7.hdky".to_owned()),
+            })
+        );
+        let req = parse_request(&reload_request_line(3, "/m/v8.hdsn", None)).unwrap();
+        assert_eq!(
+            req.admin,
+            Some(AdminRequest::Reload {
+                snapshot: "/m/v8.hdsn".to_owned(),
+                key: None,
+            })
+        );
+
+        let req = parse_request(&rekey_request_line(4, 20_240_317)).unwrap();
+        assert_eq!(req.admin, Some(AdminRequest::Rekey { seed: 20_240_317 }));
+
+        // Malformed admin requests keep the id.
+        let (id, msg) = parse_request("{\"id\":9,\"reload\":{}}").unwrap_err();
+        assert_eq!(id, 9);
+        assert!(msg.contains("snapshot"));
+        let (id, _) = parse_request("{\"id\":8,\"rekey\":\"soon\"}").unwrap_err();
+        assert_eq!(id, 8);
+    }
+
+    #[test]
+    fn swap_and_stats_roundtrip() {
+        let swap = SwapInfo {
+            generation: 4,
+            checksum: checksum_hex(7),
+        };
+        let resp = parse_response(&swap_response(6, &swap)).unwrap();
+        assert_eq!(resp.swapped, Some(swap));
+
+        let stats = StatsReport {
+            generation: 4,
+            checksum: checksum_hex(7),
+            locked: true,
+            reloads: 1,
+            rekeys: 2,
+            rollbacks: 0,
+            requests: 9000,
+            throttled: 12,
+        };
+        let resp = parse_response(&stats_response(5, &stats)).unwrap();
+        assert_eq!(resp.stats, Some(stats));
+    }
+
+    #[test]
+    fn throttle_is_structured() {
+        let resp = parse_response(&throttle_response(3, "query budget exhausted")).unwrap();
+        assert!(resp.throttled);
+        assert_eq!(resp.error.as_deref(), Some("query budget exhausted"));
+        // Plain errors are not throttles.
+        let resp = parse_response(&error_response(3, "bad row")).unwrap();
+        assert!(!resp.throttled);
     }
 
     #[test]
@@ -320,7 +617,14 @@ mod tests {
     }
 
     #[test]
-    fn response_without_class_or_error_is_rejected() {
+    fn response_without_payload_is_rejected() {
         assert!(parse_response("{\"id\":1}").is_err());
+    }
+
+    #[test]
+    fn checksum_hex_is_16_digits() {
+        assert_eq!(checksum_hex(0), "0000000000000000");
+        assert_eq!(checksum_hex(u64::MAX), "ffffffffffffffff");
+        assert_eq!(checksum_hex(0xAB), "00000000000000ab");
     }
 }

@@ -1,12 +1,26 @@
 //! The TCP front end: accept loop, per-connection handlers, graceful
-//! shutdown.
+//! shutdown — in two flavors.
 //!
-//! [`serve`] blocks the calling thread until `shutdown` is raised:
-//! connection handlers and batch workers run on `std::thread::scope`
-//! threads borrowing the session, so the server needs no `'static`
-//! state and no external runtime. Shutdown is graceful — the accept
-//! loop stops, handlers notice within their read-timeout tick and hang
-//! up, the queue drains, workers exit.
+//! [`serve`] drives one fixed session (generic over
+//! [`ClassifySession`], so borrowed and owned sessions both work).
+//! [`serve_registry`] drives a [`ModelRegistry`]: every batch grabs the
+//! current generation with one refcount bump, admin requests
+//! (`reload` / `rekey` / `stats`) swap generations *behind* the running
+//! server, and a per-connection [`ConnectionAdmission`] enforces query
+//! budgets, rate limits and feature-sweep detection with structured
+//! throttle errors.
+//!
+//! Both block the calling thread until `shutdown` is raised: connection
+//! handlers and batch workers run on `std::thread::scope` threads, so
+//! the server needs no `'static` state and no external runtime.
+//! Shutdown is graceful — the accept loop stops, handlers notice within
+//! their read-timeout tick and hang up, the queue drains, workers exit.
+//!
+//! During a swap, in-flight requests finish on the generation their
+//! batch grabbed; requests that raced a *shape-changing* reload are
+//! answered with a per-request error instead of being dropped (the
+//! worker re-validates every row against the generation it actually
+//! runs).
 
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{TcpListener, TcpStream};
@@ -14,8 +28,10 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::time::Duration;
 
-use hdc_model::{Encoder, InferenceSession};
+use hdc_model::ClassifySession;
+use hdc_store::ModelRegistry;
 
+use crate::admission::{AdmissionConfig, ConnectionAdmission};
 use crate::batcher::{worker_loop, BatchConfig, BatchQueue, Job, JobResult};
 use crate::protocol;
 
@@ -32,9 +48,22 @@ pub struct ServeStats {
     pub classified: u64,
     /// Connections accepted.
     pub connections: u64,
+    /// Requests rejected by admission control (always 0 for the
+    /// non-registry [`serve`]).
+    pub throttled: u64,
 }
 
-/// Serves classify traffic on `listener` until `shutdown` is raised.
+/// Configuration of the registry-backed server.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct RegistryServeConfig {
+    /// Batching queue and worker-pool parameters.
+    pub batch: BatchConfig,
+    /// Per-connection admission thresholds.
+    pub admission: AdmissionConfig,
+}
+
+/// Serves classify traffic for one fixed session on `listener` until
+/// `shutdown` is raised.
 ///
 /// Every connection speaks the line-JSON protocol ([`protocol`]);
 /// requests from all connections funnel into one [`BatchQueue`] and are
@@ -44,9 +73,9 @@ pub struct ServeStats {
 ///
 /// Propagates listener configuration errors; per-connection I/O errors
 /// only terminate that connection.
-pub fn serve<E: Encoder + Sync>(
+pub fn serve<S: ClassifySession>(
     listener: TcpListener,
-    session: &InferenceSession<'_, E>,
+    session: &S,
     config: &BatchConfig,
     shutdown: &AtomicBool,
 ) -> std::io::Result<ServeStats> {
@@ -63,6 +92,10 @@ pub fn serve<E: Encoder + Sync>(
 
         let mut handler_handles = Vec::new();
         while !shutdown.load(Ordering::SeqCst) {
+            // Reap handlers whose connections already closed, so a
+            // long-running server does not accumulate one JoinHandle
+            // per connection it ever accepted.
+            handler_handles.retain(|h: &std::thread::ScopedJoinHandle<'_, ()>| !h.is_finished());
             match listener.accept() {
                 Ok((stream, _peer)) => {
                     connections += 1;
@@ -95,14 +128,15 @@ pub fn serve<E: Encoder + Sync>(
         requests: requests.load(Ordering::Relaxed),
         classified: served.load(Ordering::Relaxed),
         connections,
+        throttled: 0,
     })
 }
 
 /// One connection: read request lines, enqueue, await the batched
 /// result, write the response line.
-fn handle_connection<E: Encoder + Sync>(
+fn handle_connection<S: ClassifySession>(
     stream: TcpStream,
-    session: &InferenceSession<'_, E>,
+    session: &S,
     queue: &BatchQueue,
     shutdown: &AtomicBool,
     requests: &AtomicU64,
@@ -150,9 +184,9 @@ fn handle_connection<E: Encoder + Sync>(
 
 /// Validates one request line, runs it through the batching queue, and
 /// renders the response line.
-fn answer<E: Encoder + Sync>(
+fn answer<S: ClassifySession>(
     line: &str,
-    session: &InferenceSession<'_, E>,
+    session: &S,
     queue: &BatchQueue,
     tx: &mpsc::Sender<JobResult>,
     rx: &mpsc::Receiver<JobResult>,
@@ -170,43 +204,376 @@ fn answer<E: Encoder + Sync>(
                 features: session.n_features(),
                 levels: session.m_levels(),
                 classes: session.n_classes(),
+                generation: 0,
+                checksum: protocol::checksum_hex(0),
             },
         );
     }
-    if request.levels.len() != session.n_features() {
+    if request.admin.is_some() {
         return protocol::error_response(
             request.id,
-            &format!(
-                "row has {} levels, model expects {}",
-                request.levels.len(),
-                session.n_features()
-            ),
+            "admin requests need a registry-backed server",
         );
     }
-    if let Some(bad) = request
-        .levels
-        .iter()
-        .position(|&lv| usize::from(lv) >= session.m_levels())
-    {
-        return protocol::error_response(
-            request.id,
-            &format!(
-                "level {} at feature {bad} out of range (M = {})",
-                request.levels[bad],
-                session.m_levels()
-            ),
-        );
+    if let Some(response) = validate(&request, session) {
+        return response;
     }
     queue.push(Job {
         levels: request.levels,
         want_scores: request.want_scores,
         tx: tx.clone(),
     });
+    render_result(request.id, rx)
+}
+
+/// Shape/range validation of a classify row against a session; `Some`
+/// is the error response to send.
+fn validate<S: ClassifySession>(
+    request: &protocol::ClassifyRequest,
+    session: &S,
+) -> Option<String> {
+    if request.levels.len() != session.n_features() {
+        return Some(protocol::error_response(
+            request.id,
+            &format!(
+                "row has {} levels, model expects {}",
+                request.levels.len(),
+                session.n_features()
+            ),
+        ));
+    }
+    if let Some(bad) = request
+        .levels
+        .iter()
+        .position(|&lv| usize::from(lv) >= session.m_levels())
+    {
+        return Some(protocol::error_response(
+            request.id,
+            &format!(
+                "level {} at feature {bad} out of range (M = {})",
+                request.levels[bad],
+                session.m_levels()
+            ),
+        ));
+    }
+    None
+}
+
+/// Awaits a job's batched result and renders the response line.
+fn render_result(id: u64, rx: &mpsc::Receiver<JobResult>) -> String {
     match rx.recv() {
-        Ok(JobResult::Class(class)) => protocol::ok_response(request.id, class, None),
+        Ok(JobResult::Class(class)) => protocol::ok_response(id, class, None),
         Ok(JobResult::ClassWithScores(class, scores)) => {
-            protocol::ok_response(request.id, class, Some(&scores))
+            protocol::ok_response(id, class, Some(&scores))
         }
-        Err(_) => protocol::error_response(request.id, "server shutting down"),
+        Ok(JobResult::Rejected(msg)) => protocol::error_response(id, &msg),
+        Err(_) => protocol::error_response(id, "server shutting down"),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Registry-backed serving
+// ---------------------------------------------------------------------
+
+/// Shared context of the registry server's connection handlers.
+struct RegistryCtx<'a> {
+    registry: &'a ModelRegistry,
+    queue: &'a BatchQueue,
+    admission: &'a AdmissionConfig,
+    requests: &'a AtomicU64,
+    throttled: &'a AtomicU64,
+}
+
+/// Serves classify traffic from a [`ModelRegistry`] on `listener` until
+/// `shutdown` is raised, honoring admin requests and enforcing
+/// per-connection admission control.
+///
+/// Hot swaps are wait-free for traffic: a reload/rekey builds the new
+/// generation entirely off the serving path, batches in flight finish
+/// on the generation they grabbed, and the next batch picks up the new
+/// one.
+///
+/// # Trust boundary
+///
+/// Admin requests (`reload` / `rekey` / `stats`) are an **operator
+/// plane** carried on the same port for protocol simplicity — they are
+/// not authenticated and are deliberately exempt from admission
+/// budgets. In particular, `rekey` is seed-deterministic by design (so
+/// rotation is reproducible and auditable), which means whoever can
+/// send it can also derive the new key from the public pool. Do not
+/// expose this listener to untrusted clients: bind it to loopback /
+/// an internal network and front it with an authenticating proxy, as
+/// you would any database admin port.
+///
+/// # Errors
+///
+/// Propagates listener configuration errors; per-connection I/O errors
+/// only terminate that connection.
+pub fn serve_registry(
+    listener: TcpListener,
+    registry: &ModelRegistry,
+    config: &RegistryServeConfig,
+    shutdown: &AtomicBool,
+) -> std::io::Result<ServeStats> {
+    listener.set_nonblocking(true)?;
+    let queue = BatchQueue::new();
+    let requests = AtomicU64::new(0);
+    let served = AtomicU64::new(0);
+    let throttled = AtomicU64::new(0);
+    let mut connections = 0u64;
+    let ctx = RegistryCtx {
+        registry,
+        queue: &queue,
+        admission: &config.admission,
+        requests: &requests,
+        throttled: &throttled,
+    };
+
+    std::thread::scope(|scope| {
+        let worker_handles: Vec<_> = (0..config.batch.workers.max(1))
+            .map(|_| scope.spawn(|| registry_worker_loop(&queue, registry, &config.batch, &served)))
+            .collect();
+
+        let mut handler_handles = Vec::new();
+        while !shutdown.load(Ordering::SeqCst) {
+            // Same handle reaping as `serve`: the registry server is
+            // the long-running default, so this matters even more here.
+            handler_handles.retain(|h: &std::thread::ScopedJoinHandle<'_, ()>| !h.is_finished());
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    connections += 1;
+                    let ctx = &ctx;
+                    handler_handles.push(scope.spawn(move || {
+                        let _ = handle_registry_connection(stream, ctx, shutdown);
+                    }));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_micros(500));
+                }
+                Err(_) => break,
+            }
+        }
+
+        for h in handler_handles {
+            let _ = h.join();
+        }
+        queue.close();
+        for h in worker_handles {
+            let _ = h.join();
+        }
+    });
+
+    Ok(ServeStats {
+        requests: requests.load(Ordering::Relaxed),
+        classified: served.load(Ordering::Relaxed),
+        connections,
+        throttled: throttled.load(Ordering::Relaxed),
+    })
+}
+
+/// Registry batch worker: every batch runs against the generation
+/// current at pop time; rows that no longer fit that generation (a
+/// shape-changing swap raced them) are answered with per-request
+/// errors, never dropped.
+fn registry_worker_loop(
+    queue: &BatchQueue,
+    registry: &ModelRegistry,
+    config: &BatchConfig,
+    served: &AtomicU64,
+) {
+    while let Some(batch) = queue.next_batch(config) {
+        let generation = registry.current();
+        let session = generation.session();
+        let mut results: Vec<Option<JobResult>> = Vec::with_capacity(batch.len());
+        let mut valid = Vec::new();
+        let mut rows: Vec<&[u16]> = Vec::new();
+        for (i, job) in batch.iter().enumerate() {
+            let fits = job.levels.len() == session.n_features()
+                && job
+                    .levels
+                    .iter()
+                    .all(|&lv| usize::from(lv) < session.m_levels());
+            if fits {
+                results.push(None);
+                valid.push(i);
+                rows.push(job.levels.as_slice());
+            } else {
+                results.push(Some(JobResult::Rejected(format!(
+                    "model swapped mid-flight: row no longer fits generation {} \
+                     (N = {}, M = {})",
+                    generation.id(),
+                    session.n_features(),
+                    session.m_levels()
+                ))));
+            }
+        }
+        if batch.iter().any(|j| j.want_scores) {
+            let hits = session.scores_batch(&rows);
+            for (slot, &i) in valid.iter().enumerate() {
+                results[i] = Some(if batch[i].want_scores {
+                    JobResult::ClassWithScores(hits.best(slot), hits.scores(slot).to_vec())
+                } else {
+                    JobResult::Class(hits.best(slot))
+                });
+            }
+        } else {
+            let classes = session.classify_batch(&rows);
+            for (slot, &i) in valid.iter().enumerate() {
+                results[i] = Some(JobResult::Class(classes[slot]));
+            }
+        }
+        for (job, result) in batch.into_iter().zip(results) {
+            let result = result.expect("every job got a result");
+            // `classified` counts answered classifications only —
+            // swap-rejected jobs are protocol rejections, not results.
+            if !matches!(result, JobResult::Rejected(_)) {
+                served.fetch_add(1, Ordering::Relaxed);
+            }
+            // A handler that hung up already is not an error.
+            let _ = job.tx.send(result);
+        }
+    }
+}
+
+/// One registry-server connection, with its own admission state.
+fn handle_registry_connection(
+    stream: TcpStream,
+    ctx: &RegistryCtx<'_>,
+    shutdown: &AtomicBool,
+) -> std::io::Result<()> {
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(POLL_TICK))?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    let (tx, rx) = mpsc::channel();
+    let mut admission = ConnectionAdmission::new(ctx.admission);
+    let mut line = String::new();
+    loop {
+        match reader.read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {
+                if !line.trim().is_empty() {
+                    let response = answer_registry(&line, ctx, &mut admission, &tx, &rx);
+                    ctx.requests.fetch_add(1, Ordering::Relaxed);
+                    writer.write_all(response.as_bytes())?;
+                    writer.flush()?;
+                }
+                line.clear();
+                if shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+    Ok(())
+}
+
+/// Answers one registry-server request: info/stats/admin inline,
+/// classify through admission + the batch queue.
+fn answer_registry(
+    line: &str,
+    ctx: &RegistryCtx<'_>,
+    admission: &mut ConnectionAdmission,
+    tx: &mpsc::Sender<JobResult>,
+    rx: &mpsc::Receiver<JobResult>,
+) -> String {
+    let request = match protocol::parse_request(line) {
+        Ok(r) => r,
+        Err((id, msg)) => return protocol::error_response(id, &msg),
+    };
+    if request.want_info {
+        let generation = ctx.registry.current();
+        let session = generation.session();
+        return protocol::info_response(
+            request.id,
+            &protocol::ServerInfo {
+                backend: session.kernel_backend().to_owned(),
+                dim: session.dim(),
+                features: session.n_features(),
+                levels: session.m_levels(),
+                classes: session.n_classes(),
+                generation: generation.id(),
+                checksum: protocol::checksum_hex(generation.checksum()),
+            },
+        );
+    }
+    if let Some(admin) = &request.admin {
+        return answer_admin(request.id, admin, ctx);
+    }
+    {
+        let generation = ctx.registry.current();
+        if let Some(response) = validate(&request, generation.session()) {
+            return response;
+        }
+    }
+    if let Err(reason) = admission.admit(&request.levels) {
+        ctx.throttled.fetch_add(1, Ordering::Relaxed);
+        return protocol::throttle_response(request.id, &reason.to_string());
+    }
+    ctx.queue.push(Job {
+        levels: request.levels,
+        want_scores: request.want_scores,
+        tx: tx.clone(),
+    });
+    render_result(request.id, rx)
+}
+
+/// Executes one admin operation synchronously on the handler thread
+/// (swaps are rare; blocking this one connection while the new
+/// generation builds is the intended behavior — classify traffic on
+/// other connections keeps flowing on the old generation).
+fn answer_admin(id: u64, admin: &protocol::AdminRequest, ctx: &RegistryCtx<'_>) -> String {
+    match admin {
+        protocol::AdminRequest::Stats => {
+            let s = ctx.registry.stats();
+            protocol::stats_response(
+                id,
+                &protocol::StatsReport {
+                    generation: s.generation,
+                    checksum: protocol::checksum_hex(s.checksum),
+                    locked: s.locked,
+                    reloads: s.reloads,
+                    rekeys: s.rekeys,
+                    rollbacks: s.rollbacks,
+                    requests: ctx.requests.load(Ordering::Relaxed),
+                    throttled: ctx.throttled.load(Ordering::Relaxed),
+                },
+            )
+        }
+        protocol::AdminRequest::Reload { snapshot, key } => {
+            let result = ctx.registry.reload_files(
+                std::path::Path::new(snapshot),
+                key.as_deref().map(std::path::Path::new),
+            );
+            match result {
+                Ok(generation) => protocol::swap_response(
+                    id,
+                    &protocol::SwapInfo {
+                        generation: generation.id(),
+                        checksum: protocol::checksum_hex(generation.checksum()),
+                    },
+                ),
+                Err(e) => protocol::error_response(id, &format!("reload failed: {e}")),
+            }
+        }
+        protocol::AdminRequest::Rekey { seed } => match ctx.registry.rekey(*seed) {
+            Ok(generation) => protocol::swap_response(
+                id,
+                &protocol::SwapInfo {
+                    generation: generation.id(),
+                    checksum: protocol::checksum_hex(generation.checksum()),
+                },
+            ),
+            Err(e) => protocol::error_response(id, &format!("rekey failed: {e}")),
+        },
     }
 }

@@ -1,0 +1,157 @@
+//! Error type for snapshot (de)serialization and registry operations.
+
+use std::fmt;
+
+use hdc_datasets::DataError;
+use hdlock::LockError;
+use hypervec::HvError;
+
+/// Errors from snapshot encoding/decoding, file I/O and registry swaps.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum StoreError {
+    /// Underlying file I/O failed.
+    Io(std::io::Error),
+    /// The input does not start with the expected magic bytes.
+    BadMagic {
+        /// What the stream expected (`"HDSN"` / `"HDKY"`).
+        expected: [u8; 4],
+        /// What the first four bytes actually were.
+        found: [u8; 4],
+    },
+    /// The format version is newer than this reader understands.
+    UnsupportedVersion {
+        /// Version found in the header.
+        found: u16,
+        /// Newest version this build reads.
+        supported: u16,
+    },
+    /// The input ended before a field could be read.
+    Truncated {
+        /// Bytes the next field needed.
+        needed: usize,
+        /// Bytes remaining.
+        remaining: usize,
+    },
+    /// The payload checksum does not match — the file is corrupt (or
+    /// truncated past the header). Nothing was loaded.
+    ChecksumMismatch {
+        /// Checksum recorded in the file.
+        expected: u64,
+        /// Checksum of the bytes actually present.
+        found: u64,
+    },
+    /// The bytes decoded but describe an internally inconsistent model.
+    Malformed(String),
+    /// A locked snapshot was loaded without its sealed key segment.
+    KeyRequired,
+    /// The key segment does not belong to this snapshot (shape
+    /// disagreement).
+    KeyMismatch(String),
+    /// A registry operation was invalid in the current state.
+    Registry(String),
+    /// Hypervector-layer validation failed.
+    Hv(HvError),
+    /// Lock-layer validation failed.
+    Lock(LockError),
+    /// Quantizer validation failed.
+    Data(DataError),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "snapshot I/O failed: {e}"),
+            StoreError::BadMagic { expected, found } => write!(
+                f,
+                "bad magic: expected {:?}, found {:?}",
+                String::from_utf8_lossy(expected),
+                String::from_utf8_lossy(found)
+            ),
+            StoreError::UnsupportedVersion { found, supported } => write!(
+                f,
+                "snapshot format version {found} is newer than supported version {supported}"
+            ),
+            StoreError::Truncated { needed, remaining } => write!(
+                f,
+                "snapshot truncated: next field needs {needed} bytes, {remaining} remain"
+            ),
+            StoreError::ChecksumMismatch { expected, found } => write!(
+                f,
+                "snapshot corrupt: checksum {found:#018x} does not match recorded {expected:#018x}"
+            ),
+            StoreError::Malformed(msg) => write!(f, "malformed snapshot: {msg}"),
+            StoreError::KeyRequired => write!(
+                f,
+                "locked snapshot needs its sealed key segment to build a serving session"
+            ),
+            StoreError::KeyMismatch(msg) => write!(f, "key segment mismatch: {msg}"),
+            StoreError::Registry(msg) => write!(f, "registry operation failed: {msg}"),
+            StoreError::Hv(e) => write!(f, "snapshot validation failed: {e}"),
+            StoreError::Lock(e) => write!(f, "snapshot validation failed: {e}"),
+            StoreError::Data(e) => write!(f, "snapshot validation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            StoreError::Hv(e) => Some(e),
+            StoreError::Lock(e) => Some(e),
+            StoreError::Data(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+impl From<HvError> for StoreError {
+    fn from(e: HvError) -> Self {
+        StoreError::Hv(e)
+    }
+}
+
+impl From<LockError> for StoreError {
+    fn from(e: LockError) -> Self {
+        StoreError::Lock(e)
+    }
+}
+
+impl From<DataError> for StoreError {
+    fn from(e: DataError) -> Self {
+        StoreError::Data(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        let e = StoreError::ChecksumMismatch {
+            expected: 1,
+            found: 2,
+        };
+        assert!(e.to_string().contains("corrupt"));
+        assert!(StoreError::KeyRequired.to_string().contains("sealed key"));
+        let e = StoreError::BadMagic {
+            expected: *b"HDSN",
+            found: *b"oops",
+        };
+        assert!(e.to_string().contains("HDSN"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<StoreError>();
+    }
+}

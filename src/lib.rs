@@ -15,6 +15,8 @@
 //! * [`hdc_hwsim`] — cycle-level FPGA encoding-datapath simulator
 //! * [`hdc_serve`] — request-batching TCP inference server + load
 //!   generator over the fused session pipeline
+//! * [`hdc_store`] — versioned binary model snapshots, sealed key
+//!   segments, and the hot-swap model registry behind the server
 
 #![warn(missing_docs)]
 
@@ -23,5 +25,6 @@ pub use hdc_datasets;
 pub use hdc_hwsim;
 pub use hdc_model;
 pub use hdc_serve;
+pub use hdc_store;
 pub use hdlock;
 pub use hypervec;
