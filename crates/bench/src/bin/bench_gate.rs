@@ -1,0 +1,130 @@
+//! Benchmark regression gate: parses the `BENCH_*.json` artifacts the
+//! bench bins wrote and fails (exit code 1) when any recorded speedup
+//! drops below its acceptance threshold.
+//!
+//! Thresholds live in one checked-in file, `ci/bench_gates.json` —
+//! each gate names a bench artifact, a dotted path to a metric inside
+//! it, and the minimum acceptable value — so CI enforces them by
+//! *parsing* the recorded numbers, not by shell-grepping logs.
+//!
+//! Usage: `bench_gate [--gates ci/bench_gates.json] [--dir .]`
+//! (`--dir` is where the `BENCH_*.json` artifacts live).
+
+use std::process::ExitCode;
+
+use serde_json::Value;
+
+struct Options {
+    gates: String,
+    dir: String,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            gates: "ci/bench_gates.json".to_owned(),
+            dir: ".".to_owned(),
+        }
+    }
+}
+
+fn parse_options() -> Options {
+    let mut opts = Options::default();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let value = |i: usize| {
+            args.get(i + 1)
+                .unwrap_or_else(|| panic!("{} needs a value", args[i]))
+                .clone()
+        };
+        match args[i].as_str() {
+            "--gates" => opts.gates = value(i),
+            "--dir" => opts.dir = value(i),
+            other => panic!("unknown argument '{other}'; supported: --gates --dir"),
+        }
+        i += 2;
+    }
+    opts
+}
+
+/// Follows a dotted path (`serving.wire.speedup_…`) through a parsed
+/// JSON tree.
+fn lookup<'a>(root: &'a Value, path: &str) -> Option<&'a Value> {
+    let mut node = root;
+    for key in path.split('.') {
+        node = node.get(key)?;
+    }
+    Some(node)
+}
+
+fn main() -> ExitCode {
+    let opts = parse_options();
+    let gates_text = std::fs::read_to_string(&opts.gates)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", opts.gates));
+    let gates_json: Value = serde_json::from_str(&gates_text)
+        .unwrap_or_else(|e| panic!("{} is not valid JSON: {e}", opts.gates));
+    let gates = gates_json
+        .get("gates")
+        .and_then(Value::as_array)
+        .unwrap_or_else(|| panic!("{} has no `gates` array", opts.gates));
+
+    let mut failures = 0usize;
+    let mut checked = 0usize;
+    for gate in gates {
+        let file = gate
+            .get("file")
+            .and_then(Value::as_str)
+            .expect("gate needs a `file`");
+        let metric = gate
+            .get("metric")
+            .and_then(Value::as_str)
+            .expect("gate needs a `metric` path");
+        let min = gate
+            .get("min")
+            .and_then(Value::as_f64)
+            .expect("gate needs a numeric `min`");
+        let label = gate.get("label").and_then(Value::as_str).unwrap_or(metric);
+
+        let path = std::path::Path::new(&opts.dir).join(file);
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                println!("FAIL  {label}: cannot read {}: {e}", path.display());
+                failures += 1;
+                continue;
+            }
+        };
+        let root: Value = match serde_json::from_str(&text) {
+            Ok(v) => v,
+            Err(e) => {
+                println!("FAIL  {label}: {} is not valid JSON: {e}", path.display());
+                failures += 1;
+                continue;
+            }
+        };
+        let Some(value) = lookup(&root, metric).and_then(Value::as_f64) else {
+            println!("FAIL  {label}: {file} has no numeric `{metric}`");
+            failures += 1;
+            continue;
+        };
+        checked += 1;
+        if value < min {
+            println!("FAIL  {label}: {value:.2} < {min:.2}  ({file} · {metric})");
+            failures += 1;
+        } else {
+            println!("ok    {label}: {value:.2} >= {min:.2}");
+        }
+    }
+
+    println!(
+        "bench-gate: {checked} metrics checked, {failures} below threshold \
+         (gates from {})",
+        opts.gates
+    );
+    if failures > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

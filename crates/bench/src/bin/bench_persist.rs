@@ -191,6 +191,7 @@ fn main() {
         connections: opts.connections,
         requests_per_connection: opts.requests,
         seed: 2022,
+        ..Default::default()
     };
     let (report, swaps) = std::thread::scope(|s| {
         let server_thread =

@@ -8,9 +8,12 @@
 //! popcount scan (`classify_binary_hv`, the pre-refactor inference
 //! path), and the sharded batch kernels (single- and multi-threaded,
 //! both metrics) — then boots the batching TCP server on a loopback
-//! port and drives it with the load generator. Writes
+//! port and drives it with the load generator across the wire-format ×
+//! pipelining grid (JSON/binary, serial/pipelined), asserting the
+//! answers bit-identical across wire formats. Writes
 //! `BENCH_search.json` so the perf trajectory is tracked across PRs
-//! next to `BENCH_encoding.json`.
+//! next to `BENCH_encoding.json`; `bench_gate` enforces the recorded
+//! speedups against `ci/bench_gates.json`.
 //!
 //! Usage: `bench_search [--dim D] [--classes C] [--queries Q]
 //! [--connections K] [--requests R] [--out PATH]` — defaults reproduce
@@ -23,7 +26,7 @@ use std::time::Instant;
 
 use hdc_model::{infer, ClassMemory, ModelKind};
 use hdc_serve::demo::{demo_model, DemoSpec};
-use hdc_serve::{loadgen, server, BatchConfig, LoadgenConfig};
+use hdc_serve::{loadgen, protocol, server, wire, BatchConfig, LoadgenConfig, WireMode};
 use hypervec::{kernel, BinaryHv, HvRng, IntHv};
 
 struct Options {
@@ -124,6 +127,60 @@ fn throughput(queries_per_call: usize, min_secs: f64, mut search_all: impl FnMut
         }
     }
     (calls * queries_per_call) as f64 / start.elapsed().as_secs_f64()
+}
+
+/// Sends the same deterministic rows (scores requested) through a JSON
+/// and a binary connection of the same server and verifies the answers
+/// — class indices *and* score bits — are identical across wire
+/// formats.
+fn wire_results_bit_identical<S: hdc_model::ClassifySession>(
+    addr: std::net::SocketAddr,
+    session: &S,
+) -> bool {
+    use std::io::{BufRead, BufReader, Write};
+    use std::net::TcpStream;
+
+    let rows: Vec<Vec<u16>> = (0..64usize)
+        .map(|i| {
+            (0..session.n_features())
+                .map(|f| ((i * 7 + f * 3) % session.m_levels()) as u16)
+                .collect()
+        })
+        .collect();
+
+    let json_stream = TcpStream::connect(addr).expect("connect json");
+    let mut json_reader = BufReader::new(json_stream.try_clone().expect("clone"));
+    let mut json_writer = json_stream;
+    let bin_stream = TcpStream::connect(addr).expect("connect binary");
+    let mut bin_reader = BufReader::new(bin_stream.try_clone().expect("clone"));
+    let mut bin_writer = bin_stream;
+
+    for (i, row) in rows.iter().enumerate() {
+        let id = 1 + i as u64;
+        json_writer
+            .write_all(protocol::request_line(id, row, true).as_bytes())
+            .expect("json send");
+        let mut line = String::new();
+        json_reader.read_line(&mut line).expect("json recv");
+        let jr = protocol::parse_response(&line).expect("json response");
+
+        bin_writer
+            .write_all(&wire::classify_frame(id, row, true))
+            .expect("binary send");
+        let (header, payload) = wire::read_frame(&mut bin_reader).expect("binary recv");
+        let br = wire::decode_response(&header, &payload).expect("binary response");
+
+        if jr.id != id || br.id != id || jr.class != br.class || jr.class.is_none() {
+            return false;
+        }
+        let (Some(js), Some(bs)) = (jr.scores, br.scores) else {
+            return false;
+        };
+        if js.len() != bs.len() || js.iter().zip(&bs).any(|(a, b)| a.to_bits() != b.to_bits()) {
+            return false;
+        }
+    }
+    true
 }
 
 fn main() {
@@ -306,18 +363,63 @@ fn main() {
         connections: opts.connections,
         requests_per_connection: opts.requests,
         seed: 2022,
+        ..Default::default()
     };
-    let report = std::thread::scope(|s| {
+    // Wire-format × pipelining grid on the same server: the JSON
+    // serial run doubles as the classic "serving" section, and
+    // binary+pipelined vs JSON serial is the acceptance metric
+    // (`ci/bench_gates.json` requires ≥ 2×).
+    const WIRE_PIPELINE: usize = 32;
+    let wire_modes = [
+        ("json_serial", WireMode::Json, 1usize),
+        ("json_pipelined", WireMode::Json, WIRE_PIPELINE),
+        ("binary_serial", WireMode::Binary, 1),
+        ("binary_pipelined", WireMode::Binary, WIRE_PIPELINE),
+    ];
+    let (wire_reports, wire_bit_identical) = std::thread::scope(|s| {
         let server_thread = s.spawn(|| server::serve(listener, &session, &batch_config, &shutdown));
-        let report = loadgen::run(addr, session.n_features(), session.m_levels(), &load_config)
-            .expect("load generation");
+        let reports: Vec<(&str, hdc_serve::LoadReport)> = wire_modes
+            .iter()
+            .map(|&(name, wire_mode, pipeline)| {
+                let report = loadgen::run(
+                    addr,
+                    session.n_features(),
+                    session.m_levels(),
+                    &LoadgenConfig {
+                        wire: wire_mode,
+                        pipeline,
+                        ..load_config
+                    },
+                )
+                .expect("load generation");
+                (name, report)
+            })
+            .collect();
+        let identical = wire_results_bit_identical(addr, &session);
         shutdown.store(true, Ordering::SeqCst);
         server_thread
             .join()
             .expect("server thread")
             .expect("server ran");
-        report
+        (reports, identical)
     });
+    assert!(
+        wire_bit_identical,
+        "JSON and binary wire answers diverged on the same rows"
+    );
+    let report = &wire_reports[0].1; // json_serial — the classic serving section
+    let wire_rps = |name: &str| {
+        wire_reports
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, r)| r.requests_per_sec)
+            .expect("measured wire mode")
+    };
+    let speedup_binary_pipelined_vs_json_serial =
+        wire_rps("binary_pipelined") / wire_rps("json_serial");
+    let speedup_pipelined_vs_serial_binary =
+        wire_rps("binary_pipelined") / wire_rps("binary_serial");
+    let speedup_pipelined_vs_serial_json = wire_rps("json_pipelined") / wire_rps("json_serial");
     println!(
         "serving (D = {}, N = {}, C = {}): {:.0} requests/s, p50 {} µs, p99 {} µs ({} errors)",
         spec.dim,
@@ -327,6 +429,16 @@ fn main() {
         report.latency.p50_micros,
         report.latency.p99_micros,
         report.errors
+    );
+    for (name, r) in &wire_reports {
+        println!(
+            "  wire {name:<18} {:>9.0} requests/s  p50 {} µs  p99 {} µs  ({} errors)",
+            r.requests_per_sec, r.latency.p50_micros, r.latency.p99_micros, r.errors
+        );
+    }
+    println!(
+        "  binary+pipelined vs JSON serial: {speedup_binary_pipelined_vs_json_serial:.2}x \
+         (batch results bit-identical across wires: {wire_bit_identical})"
     );
 
     let mut json = String::new();
@@ -385,13 +497,49 @@ fn main() {
     let _ = writeln!(
         json,
         "    \"latency_us\": {{ \"p50\": {}, \"p95\": {}, \"p99\": {}, \"max\": {}, \
-         \"mean\": {:.1} }}",
+         \"mean\": {:.1} }},",
         report.latency.p50_micros,
         report.latency.p95_micros,
         report.latency.p99_micros,
         report.latency.max_micros,
         report.latency.mean_micros
     );
+    let _ = writeln!(json, "    \"wire\": {{");
+    let _ = writeln!(
+        json,
+        "      \"config\": {{ \"connections\": {}, \"requests_per_connection\": {}, \
+         \"pipeline\": {WIRE_PIPELINE} }},",
+        load_config.connections, load_config.requests_per_connection
+    );
+    let _ = writeln!(json, "      \"modes\": [");
+    for (i, (name, r)) in wire_reports.iter().enumerate() {
+        let comma = if i + 1 == wire_reports.len() { "" } else { "," };
+        let _ = writeln!(
+            json,
+            "        {{ \"name\": \"{name}\", \"requests_per_sec\": {:.1}, \
+             \"errors\": {}, \"p50_us\": {}, \"p99_us\": {} }}{comma}",
+            r.requests_per_sec, r.errors, r.latency.p50_micros, r.latency.p99_micros
+        );
+    }
+    let _ = writeln!(json, "      ],");
+    let _ = writeln!(
+        json,
+        "      \"speedup_binary_pipelined_vs_json_serial\": \
+         {speedup_binary_pipelined_vs_json_serial:.2},"
+    );
+    let _ = writeln!(
+        json,
+        "      \"speedup_pipelined_vs_serial_binary\": {speedup_pipelined_vs_serial_binary:.2},"
+    );
+    let _ = writeln!(
+        json,
+        "      \"speedup_pipelined_vs_serial_json\": {speedup_pipelined_vs_serial_json:.2},"
+    );
+    let _ = writeln!(
+        json,
+        "      \"batch_bit_identical_across_wires\": {wire_bit_identical}"
+    );
+    let _ = writeln!(json, "    }}");
     let _ = writeln!(json, "  }}");
     let _ = writeln!(json, "}}");
     std::fs::write(&opts.out, json).expect("write benchmark JSON");

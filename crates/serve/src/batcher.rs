@@ -24,6 +24,13 @@ pub struct BatchConfig {
     pub max_wait: Duration,
     /// Worker threads popping batches.
     pub workers: usize,
+    /// Per-connection in-flight window: how many pipelined classify
+    /// requests one connection may have queued before new ones are
+    /// answered with a structured overload error (back-pressure; see
+    /// [`protocol::overload_response`](crate::protocol::overload_response)).
+    /// Serial request/response clients never feel this — they have at
+    /// most one request in flight.
+    pub pipeline_window: usize,
 }
 
 impl Default for BatchConfig {
@@ -32,6 +39,7 @@ impl Default for BatchConfig {
             max_batch: 64,
             max_wait: Duration::from_micros(200),
             workers: 2,
+            pipeline_window: 128,
         }
     }
 }
@@ -48,15 +56,52 @@ pub enum JobResult {
     Rejected(String),
 }
 
+/// A completed classify job, tagged with the request id it answers so
+/// the connection's writer can interleave out-of-order completions.
+/// Whether scores were requested is carried by the [`JobResult`]
+/// variant itself.
+#[derive(Debug, Clone)]
+pub struct Completion {
+    /// Request id, echoed into the response frame/line.
+    pub id: u64,
+    /// The classify outcome.
+    pub result: JobResult,
+}
+
+/// One message to a connection's writer thread.
+#[derive(Debug)]
+pub enum Delivery {
+    /// A batch-worker completion: the writer renders it in the
+    /// connection's negotiated wire format.
+    Done(Completion),
+    /// A pre-rendered response produced on the connection's read side
+    /// (protocol errors, info, admin, throttles) — the writer sends it
+    /// verbatim, interleaved in channel order with completions.
+    Raw(Vec<u8>),
+}
+
 /// One enqueued classify request.
 #[derive(Debug)]
 pub struct Job {
+    /// Request id (echoed into the completion).
+    pub id: u64,
     /// Quantized feature row (validated by the handler before enqueue).
     pub levels: Vec<u16>,
     /// Whether the full score vector was requested.
     pub want_scores: bool,
-    /// Completion channel back to the connection handler.
-    pub tx: mpsc::Sender<JobResult>,
+    /// Delivery channel to the connection's writer thread.
+    pub tx: mpsc::Sender<Delivery>,
+}
+
+impl Job {
+    /// Wraps a result into this job's tagged completion.
+    #[must_use]
+    pub fn complete(&self, result: JobResult) -> Delivery {
+        Delivery::Done(Completion {
+            id: self.id,
+            result,
+        })
+    }
 }
 
 /// Shared FIFO with batch-aware popping and shutdown draining.
@@ -153,13 +198,13 @@ pub fn worker_loop<S: ClassifySession>(
                 };
                 served.fetch_add(1, Ordering::Relaxed);
                 // A handler that hung up already is not an error.
-                let _ = job.tx.send(result);
+                let _ = job.tx.send(job.complete(result));
             }
         } else {
             let classes = session.classify_batch(&rows);
             for (job, class) in batch.into_iter().zip(classes) {
                 served.fetch_add(1, Ordering::Relaxed);
-                let _ = job.tx.send(JobResult::Class(class));
+                let _ = job.tx.send(job.complete(JobResult::Class(class)));
             }
         }
     }
@@ -169,10 +214,11 @@ pub fn worker_loop<S: ClassifySession>(
 mod tests {
     use super::*;
 
-    fn job(level: u16) -> (Job, mpsc::Receiver<JobResult>) {
+    fn job(level: u16) -> (Job, mpsc::Receiver<Delivery>) {
         let (tx, rx) = mpsc::channel();
         (
             Job {
+                id: u64::from(level),
                 levels: vec![level],
                 want_scores: false,
                 tx,
@@ -194,6 +240,7 @@ mod tests {
             max_batch: 3,
             max_wait: Duration::from_micros(1),
             workers: 1,
+            ..BatchConfig::default()
         };
         let first = queue.next_batch(&config).unwrap();
         assert_eq!(first.len(), 3);
@@ -220,6 +267,7 @@ mod tests {
             max_batch: 8,
             max_wait: Duration::from_micros(50),
             workers: 1,
+            ..BatchConfig::default()
         };
         std::thread::scope(|s| {
             let popper = s.spawn(|| queue.next_batch(&config));

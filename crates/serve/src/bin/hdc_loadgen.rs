@@ -2,19 +2,27 @@
 //! throughput and latency percentiles.
 //!
 //! Usage: `hdc_loadgen [--addr HOST:PORT] [--features N] [--levels M]
-//! [--connections C] [--requests R] [--seed S]`
+//! [--connections C] [--requests R] [--seed S] [--wire json|binary]
+//! [--pipeline P] [--min-rps X]`
 //!
-//! `--features` / `--levels` must match the served model.
+//! `--features` / `--levels` must match the served model. `--wire`
+//! picks the protocol (line-JSON by default, length-prefixed binary
+//! frames with `binary`); `--pipeline P` keeps `P` requests in flight
+//! per connection (1 = serial round trips). `--min-rps X` exits
+//! non-zero when throughput lands below `X` or any request errors —
+//! the CI serving smoke test's assertion.
 
 use std::net::ToSocketAddrs;
+use std::process::ExitCode;
 
-use hdc_serve::{loadgen, LoadgenConfig};
+use hdc_serve::{loadgen, LoadgenConfig, WireMode};
 
 struct Options {
     addr: String,
     n_features: usize,
     m_levels: usize,
     config: LoadgenConfig,
+    min_rps: f64,
 }
 
 impl Default for Options {
@@ -24,6 +32,7 @@ impl Default for Options {
             n_features: 16,
             m_levels: 8,
             config: LoadgenConfig::default(),
+            min_rps: 0.0,
         }
     }
 }
@@ -52,9 +61,17 @@ fn parse_options() -> Options {
                     value(i).parse().expect("--requests needs an integer")
             }
             "--seed" => opts.config.seed = value(i).parse().expect("--seed needs an integer"),
+            "--wire" => {
+                opts.config.wire =
+                    WireMode::from_flag(&value(i)).expect("--wire needs `json` or `binary`")
+            }
+            "--pipeline" => {
+                opts.config.pipeline = value(i).parse().expect("--pipeline needs an integer")
+            }
+            "--min-rps" => opts.min_rps = value(i).parse().expect("--min-rps needs a number"),
             other => panic!(
                 "unknown argument '{other}'; supported: --addr --features --levels \
-                 --connections --requests --seed"
+                 --connections --requests --seed --wire --pipeline --min-rps"
             ),
         }
         i += 2;
@@ -62,7 +79,7 @@ fn parse_options() -> Options {
     opts
 }
 
-fn main() -> std::io::Result<()> {
+fn main() -> std::io::Result<ExitCode> {
     let opts = parse_options();
     let addr = opts
         .addr
@@ -70,8 +87,12 @@ fn main() -> std::io::Result<()> {
         .next()
         .expect("address resolves");
     println!(
-        "driving {} with {} connections × {} requests …",
-        addr, opts.config.connections, opts.config.requests_per_connection
+        "driving {} with {} connections × {} requests ({} wire, pipeline {}) …",
+        addr,
+        opts.config.connections,
+        opts.config.requests_per_connection,
+        opts.config.wire.name(),
+        opts.config.pipeline
     );
     let report = loadgen::run(addr, opts.n_features, opts.m_levels, &opts.config)?;
     println!(
@@ -86,5 +107,12 @@ fn main() -> std::io::Result<()> {
         report.latency.max_micros,
         report.latency.mean_micros
     );
-    Ok(())
+    if opts.min_rps > 0.0 && (report.errors > 0 || report.requests_per_sec < opts.min_rps) {
+        eprintln!(
+            "FAIL: {} errors, {:.0} requests/s (floor {:.0})",
+            report.errors, report.requests_per_sec, opts.min_rps
+        );
+        return Ok(ExitCode::FAILURE);
+    }
+    Ok(ExitCode::SUCCESS)
 }

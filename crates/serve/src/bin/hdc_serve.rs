@@ -3,14 +3,18 @@
 //!
 //! Usage: `hdc_serve [--addr HOST:PORT] [--dim D] [--features N]
 //! [--levels M] [--classes C] [--batch B] [--wait-us T] [--workers W]
-//! [--duration SECS] [--locked L] [--budget Q] [--rate R] [--burst B]
-//! [--sweep S]`
+//! [--pipeline P] [--duration SECS] [--locked L] [--budget Q]
+//! [--rate R] [--burst B] [--sweep S]`
 //!
 //! `--locked L` serves an HDLock-locked demo model with key depth `L`
 //! (enabling the `{"rekey":…}` admin request); the default is the
 //! standard demo model. `--budget`/`--rate`/`--burst`/`--sweep` arm the
-//! per-connection admission controller. `--duration 0` (the default)
-//! serves until the process is killed.
+//! per-connection admission controller. `--pipeline P` caps the
+//! per-connection in-flight window (pipelined requests beyond it get a
+//! structured overload error). Both wire formats (line-JSON and binary
+//! frames) are always served — each connection picks its own by what
+//! it sends first. `--duration 0` (the default) serves until the
+//! process is killed.
 
 use std::net::TcpListener;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -71,6 +75,9 @@ fn parse_options() -> Options {
             "--workers" => {
                 opts.batch.workers = value(i).parse().expect("--workers needs an integer")
             }
+            "--pipeline" => {
+                opts.batch.pipeline_window = value(i).parse().expect("--pipeline needs an integer")
+            }
             "--duration" => {
                 opts.duration_secs = value(i).parse().expect("--duration needs an integer")
             }
@@ -89,8 +96,8 @@ fn parse_options() -> Options {
             }
             other => panic!(
                 "unknown argument '{other}'; supported: --addr --dim --features --levels \
-                 --classes --batch --wait-us --workers --duration --locked --budget --rate \
-                 --burst --sweep"
+                 --classes --batch --wait-us --workers --pipeline --duration --locked \
+                 --budget --rate --burst --sweep"
             ),
         }
         i += 2;
@@ -122,14 +129,17 @@ fn main() -> std::io::Result<()> {
     let boot = registry.current();
     let listener = TcpListener::bind(&opts.addr)?;
     println!(
-        "serving on {} (batch ≤ {}, wait ≤ {:?}, {} workers, kernel backend: {}, \
-         generation {}, checksum {:016x}); protocol: one {{\"id\":…,\"levels\":[…]}} per line \
-         ({{\"id\":…,\"info\":true}} → shape/backend/generation, {{\"id\":…,\"stats\":true}}, \
-         {{\"id\":…,\"reload\":{{…}}}}, {{\"id\":…,\"rekey\":SEED}})",
+        "serving on {} (batch ≤ {}, wait ≤ {:?}, {} workers, pipeline window {}, \
+         kernel backend: {}, generation {}, checksum {:016x}); protocols: line-JSON \
+         (one {{\"id\":…,\"levels\":[…]}} per line; {{\"id\":…,\"info\":true}}, \
+         {{\"id\":…,\"stats\":true}}, {{\"id\":…,\"reload\":{{…}}}}, \
+         {{\"id\":…,\"rekey\":SEED}}) and binary frames (first byte 0xB1; see \
+         hdc_serve::wire), sniffed per connection",
         listener.local_addr()?,
         opts.batch.max_batch,
         opts.batch.max_wait,
         opts.batch.workers,
+        opts.batch.pipeline_window,
         boot.session().kernel_backend(),
         boot.id(),
         boot.checksum()

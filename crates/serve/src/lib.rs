@@ -9,20 +9,32 @@
 //!   line out; scriptable with `nc` and parseable by the vendored
 //!   `serde_json` stand-in. Carries classify, `info`, admin
 //!   (`reload` / `rekey` / `stats`) and structured throttle responses.
+//! * **Binary wire format** ([`wire`]) — length-prefixed frames
+//!   (magic + version + request id + opcode + payload) for high-volume
+//!   clients: classify payloads are packed `u16` level rows, score
+//!   vectors are raw `f64` bits — no float/text round trip anywhere.
+//!   Negotiated per connection by first-byte sniffing (JSON stays the
+//!   default), so every existing client keeps working. See the module
+//!   docs for the frame-layout and opcode tables.
 //! * **Batching** ([`batcher`]) — requests from all connections funnel
 //!   into one queue; workers pop up to `max_batch` jobs (or whatever
 //!   arrived within `max_wait`) and answer them with a *single* fused
 //!   `encode_batch → search_batch` call, so heavy concurrent traffic
 //!   runs at batch-kernel throughput.
-//! * **Server** ([`server`]) — scoped-thread accept loop, per-
-//!   connection handlers, graceful drain on shutdown. No async runtime,
-//!   no external crates. [`server::serve`] drives one fixed session;
+//! * **Server** ([`server`]) — scoped-thread accept loop, multiplexed
+//!   per-connection handlers, graceful drain on shutdown. No async
+//!   runtime, no external crates. Every connection is a pipeline:
+//!   up to `pipeline_window` in-flight requests, answered out of order
+//!   by a per-connection writer as batch workers finish (clients match
+//!   responses by id); a full window is answered with a structured
+//!   *overload* error. [`server::serve`] drives one fixed session;
 //!   [`server::serve_registry`] drives a
 //!   [`ModelRegistry`](hdc_store::ModelRegistry), so snapshots can be
 //!   hot-reloaded and locked models re-keyed *behind* the running
 //!   server — in-flight traffic finishes on the generation its batch
 //!   grabbed, and the `info` response carries the generation id +
-//!   snapshot checksum so clients can detect the swap.
+//!   snapshot checksum so clients can detect the swap. Admission
+//!   control meters JSON and binary clients identically.
 //! * **Admission** ([`admission`]) — per-connection query budgets
 //!   (the attack crate's [`QueryBudget`](hdc_attack::QueryBudget)
 //!   semantics), token-bucket rate limits and lock-probe
@@ -30,8 +42,9 @@
 //!   `"throttled":true` errors.
 //! * **Load generator** ([`loadgen`]) — closed-loop clients reporting
 //!   requests/sec and latency percentiles
-//!   ([`hdc_model::LatencyStats`]); the numbers behind
-//!   `BENCH_search.json`'s serving section.
+//!   ([`hdc_model::LatencyStats`]), in either wire format and at any
+//!   pipeline depth; the numbers behind `BENCH_search.json`'s serving
+//!   and wire sections.
 //!
 //! ## Quickstart
 //!
@@ -58,6 +71,7 @@
 //!         connections: 2,
 //!         requests_per_connection: 5,
 //!         seed: 1,
+//!         ..Default::default()
 //!     })?;
 //!     assert_eq!(report.total_requests, 10);
 //!     shutdown.store(true, Ordering::SeqCst);
@@ -79,6 +93,7 @@ pub mod demo;
 pub mod loadgen;
 pub mod protocol;
 pub mod server;
+pub mod wire;
 
 pub use admission::{AdmissionConfig, ConnectionAdmission, ThrottleReason};
 pub use batcher::{BatchConfig, BatchQueue};
@@ -87,6 +102,7 @@ pub use protocol::{
     AdminRequest, ClassifyRequest, ClassifyResponse, ServerInfo, StatsReport, SwapInfo,
 };
 pub use server::{serve, serve_registry, RegistryServeConfig, ServeStats};
+pub use wire::WireMode;
 
 #[cfg(test)]
 mod tests {
@@ -94,7 +110,7 @@ mod tests {
     use hdc_store::{KeySegment, ModelRegistry, ModelSnapshot, RekeySource};
     use hdlock::{EncodingKey, LockedEncoder};
     use hypervec::HvRng;
-    use std::io::{BufRead, BufReader, Write};
+    use std::io::{BufRead, BufReader, Read, Write};
     use std::net::{TcpListener, TcpStream};
     use std::sync::atomic::{AtomicBool, Ordering};
 
@@ -222,6 +238,7 @@ mod tests {
             max_batch: 8,
             max_wait: std::time::Duration::from_micros(200),
             workers: 2,
+            ..BatchConfig::default()
         };
 
         std::thread::scope(|s| {
@@ -234,6 +251,7 @@ mod tests {
                     connections: 8,
                     requests_per_connection: 50,
                     seed: 7,
+                    ..Default::default()
                 },
             )
             .unwrap();
@@ -360,6 +378,7 @@ mod tests {
                         connections: 4,
                         requests_per_connection: 120,
                         seed: 11,
+                        ..Default::default()
                     },
                 )
                 .unwrap()
@@ -505,5 +524,467 @@ mod tests {
             server.join().unwrap().unwrap();
         });
         let _ = std::fs::remove_file(&snap_path);
+    }
+
+    /// Blocking binary-frame test client.
+    struct BinClient {
+        reader: BufReader<TcpStream>,
+        writer: TcpStream,
+    }
+
+    impl BinClient {
+        fn connect(addr: std::net::SocketAddr) -> Self {
+            let stream = TcpStream::connect(addr).unwrap();
+            stream.set_nodelay(true).unwrap();
+            BinClient {
+                reader: BufReader::new(stream.try_clone().unwrap()),
+                writer: stream,
+            }
+        }
+
+        fn send(&mut self, bytes: &[u8]) {
+            self.writer.write_all(bytes).unwrap();
+        }
+
+        fn recv(&mut self) -> ClassifyResponse {
+            let (header, payload) = wire::read_frame(&mut self.reader).unwrap();
+            wire::decode_response(&header, &payload).unwrap()
+        }
+
+        fn roundtrip(&mut self, bytes: &[u8]) -> ClassifyResponse {
+            self.send(bytes);
+            self.recv()
+        }
+
+        /// Collects `n` responses into an id-keyed map (pipelined
+        /// completions arrive in any order).
+        fn recv_n(&mut self, n: usize) -> std::collections::HashMap<u64, ClassifyResponse> {
+            let mut out = std::collections::HashMap::new();
+            for _ in 0..n {
+                let resp = self.recv();
+                assert!(out.insert(resp.id, resp).is_none(), "duplicate response id");
+            }
+            out
+        }
+    }
+
+    /// The binary wire answers bit-identically to the JSON wire and the
+    /// direct session, on the same server, sniffed per connection.
+    #[test]
+    fn binary_wire_matches_json_and_session() {
+        let model = demo::demo_model(&demo::DemoSpec {
+            dim: 512,
+            train_size: 128,
+            ..Default::default()
+        });
+        let session = model.session();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let shutdown = AtomicBool::new(false);
+
+        std::thread::scope(|s| {
+            let server = s.spawn(|| serve(listener, &session, &BatchConfig::default(), &shutdown));
+
+            let mut json = Client::connect(addr);
+            let mut bin = BinClient::connect(addr);
+
+            for i in 0..8u16 {
+                let levels: Vec<u16> = (0..16).map(|f| ((usize::from(i) + f) % 8) as u16).collect();
+                let id = u64::from(i) + 1;
+                let jr = json.roundtrip(&protocol::request_line(id, &levels, true));
+                let br = bin.roundtrip(&wire::classify_frame(id, &levels, true));
+                assert_eq!(br.id, id);
+                assert_eq!(br.class, jr.class);
+                assert_eq!(br.class, Some(session.classify(&levels)));
+                // Scores bit-identical across wire formats (the binary
+                // wire ships raw f64 bits; JSON round-trips via `{:?}`).
+                let js = jr.scores.unwrap();
+                let bs = br.scores.unwrap();
+                assert_eq!(js.len(), bs.len());
+                for (a, b) in js.iter().zip(&bs) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "row {i}");
+                }
+            }
+
+            // Binary info matches the JSON info.
+            let ji = json
+                .roundtrip(&protocol::info_request_line(100))
+                .info
+                .unwrap();
+            let bi = bin.roundtrip(&wire::info_frame(100)).info.unwrap();
+            assert_eq!(ji, bi);
+
+            // Validation errors are structured on the binary wire too.
+            let resp = bin.roundtrip(&wire::classify_frame(101, &[1, 2], false));
+            assert!(resp.error.unwrap().contains("model expects 16"));
+
+            drop(json);
+            drop(bin);
+            shutdown.store(true, Ordering::SeqCst);
+            server.join().unwrap().unwrap();
+        });
+    }
+
+    /// Pipelined requests complete out of order and are matched by id;
+    /// the loadgen's pipelined binary client sees zero errors.
+    #[test]
+    fn pipelined_requests_match_by_id_in_both_wire_formats() {
+        let model = demo::demo_model(&demo::DemoSpec {
+            dim: 512,
+            train_size: 128,
+            ..Default::default()
+        });
+        let session = model.session();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let shutdown = AtomicBool::new(false);
+
+        std::thread::scope(|s| {
+            let server = s.spawn(|| serve(listener, &session, &BatchConfig::default(), &shutdown));
+
+            // Hand-rolled pipelined burst: 16 frames written back to
+            // back, then 16 completions collected in whatever order
+            // the batch workers finished them.
+            let mut bin = BinClient::connect(addr);
+            let rows: Vec<Vec<u16>> = (0..16u64)
+                .map(|i| (0..16).map(|f| ((i as usize + f) % 8) as u16).collect())
+                .collect();
+            let mut burst = Vec::new();
+            for (i, row) in rows.iter().enumerate() {
+                burst.extend(wire::classify_frame(1000 + i as u64, row, false));
+            }
+            bin.send(&burst);
+            let responses = bin.recv_n(rows.len());
+            for (i, row) in rows.iter().enumerate() {
+                let resp = &responses[&(1000 + i as u64)];
+                assert_eq!(resp.class, Some(session.classify(row)), "row {i}");
+            }
+
+            // The loadgen's pipelined clients in both formats: every
+            // response matched an outstanding id (errors would count).
+            for wire_mode in [WireMode::Json, WireMode::Binary] {
+                let report = loadgen::run(
+                    addr,
+                    session.n_features(),
+                    session.m_levels(),
+                    &LoadgenConfig {
+                        connections: 4,
+                        requests_per_connection: 100,
+                        seed: 13,
+                        wire: wire_mode,
+                        pipeline: 8,
+                    },
+                )
+                .unwrap();
+                assert_eq!(report.total_requests, 400, "{wire_mode:?}");
+                assert_eq!(report.errors, 0, "{wire_mode:?}");
+            }
+
+            drop(bin);
+            shutdown.store(true, Ordering::SeqCst);
+            server.join().unwrap().unwrap();
+        });
+    }
+
+    /// Malformed binary frames: unknown opcode, wrong version, and
+    /// request-id reuse answer structured errors without killing the
+    /// sibling in-flight requests on the same connection; oversized
+    /// length prefixes answer then close; truncated headers and bad
+    /// magic close cleanly — and none of it disturbs a neighbor
+    /// connection.
+    #[test]
+    fn malformed_binary_frames_spare_siblings() {
+        let model = demo::demo_model(&demo::DemoSpec {
+            dim: 512,
+            train_size: 128,
+            ..Default::default()
+        });
+        let session = model.session();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let shutdown = AtomicBool::new(false);
+        // A slow batch window keeps enqueued jobs in flight long
+        // enough for the sibling/reuse assertions to be deterministic.
+        let config = BatchConfig {
+            max_batch: 64,
+            max_wait: std::time::Duration::from_millis(30),
+            workers: 1,
+            ..BatchConfig::default()
+        };
+        let levels: Vec<u16> = (0..16).map(|f| (f % 8) as u16).collect();
+
+        std::thread::scope(|s| {
+            let server = s.spawn(|| serve(listener, &session, &config, &shutdown));
+            let mut neighbor = Client::connect(addr);
+
+            // One burst: valid (id 1) · unknown opcode (id 2) · wrong
+            // version (id 3) · id-reuse of 1 · valid (id 4). The two
+            // valid classifies sit in the batch window while the three
+            // malformed ones answer immediately — five responses, no
+            // casualties.
+            let mut bin = BinClient::connect(addr);
+            let mut burst = wire::classify_frame(1, &levels, false);
+            let mut bad_op = wire::classify_frame(2, &levels, false);
+            bad_op[3] = 0x7E;
+            burst.extend(&bad_op);
+            let mut bad_ver = wire::classify_frame(3, &levels, false);
+            bad_ver[2] = wire::WIRE_VERSION + 1;
+            burst.extend(&bad_ver);
+            burst.extend(wire::classify_frame(1, &levels, false)); // reuse
+            burst.extend(wire::classify_frame(4, &levels, false));
+            bin.send(&burst);
+
+            // Five responses, any order; two share id 1 (the classify
+            // result and the reuse error).
+            let responses: Vec<ClassifyResponse> = (0..5).map(|_| bin.recv()).collect();
+            let by_id = |id: u64| responses.iter().filter(move |r| r.id == id);
+            assert!(by_id(1).any(|r| r.class == Some(session.classify(&levels))));
+            assert!(by_id(1).any(|r| r
+                .error
+                .as_deref()
+                .is_some_and(|e| e.contains("already in flight"))));
+            assert!(by_id(2).all(|r| r.error.as_ref().unwrap().contains("opcode")));
+            assert!(by_id(3).all(|r| r.error.as_ref().unwrap().contains("version")));
+            assert!(by_id(4).all(|r| r.class == Some(session.classify(&levels))));
+            assert_eq!(by_id(1).count(), 2);
+            for id in 2..=4 {
+                assert_eq!(by_id(id).count(), 1, "id {id}");
+            }
+
+            // The connection still serves after all that.
+            let resp = bin.roundtrip(&wire::classify_frame(9, &levels, false));
+            assert_eq!(resp.class, Some(session.classify(&levels)));
+
+            // Oversized length prefix: answered with the echoed id,
+            // then the connection closes.
+            let mut oversized = wire::classify_frame(77, &levels, false);
+            oversized[12..16].copy_from_slice(&(wire::MAX_PAYLOAD as u32 + 1).to_le_bytes());
+            bin.send(&oversized);
+            let resp = bin.recv();
+            assert_eq!(resp.id, 77);
+            assert!(resp.error.unwrap().contains("exceeds"));
+            let mut probe = [0u8; 1];
+            assert_eq!(bin.reader.read(&mut probe).unwrap(), 0, "clean close");
+
+            // Truncated header (EOF mid-frame): clean close, no crash.
+            // (`shutdown(Write)` sends the FIN; dropping one clone of
+            // the stream would not, since the reader half keeps the
+            // socket open.)
+            let mut trunc = BinClient::connect(addr);
+            trunc.send(&wire::classify_frame(5, &levels, false)[..7]);
+            trunc.writer.shutdown(std::net::Shutdown::Write).unwrap();
+            assert_eq!(trunc.reader.read(&mut probe).unwrap(), 0);
+
+            // Bad magic mid-stream: the in-flight sibling is answered,
+            // then the stream closes without an error frame.
+            let mut desync = BinClient::connect(addr);
+            let mut burst = wire::classify_frame(6, &levels, false);
+            // A full header's worth of garbage: fewer bytes would just
+            // look like a frame still in flight.
+            burst.extend([0xFFu8; wire::HEADER_LEN]);
+            desync.send(&burst);
+            let resp = desync.recv();
+            assert_eq!(resp.id, 6);
+            assert!(resp.class.is_some());
+            assert_eq!(desync.reader.read(&mut probe).unwrap(), 0);
+
+            // The neighbor JSON connection never noticed any of it.
+            let resp = neighbor.roundtrip(&protocol::request_line(500, &levels, false));
+            assert_eq!(resp.class, Some(session.classify(&levels)));
+
+            drop(neighbor);
+            drop(bin);
+            shutdown.store(true, Ordering::SeqCst);
+            server.join().unwrap().unwrap();
+        });
+    }
+
+    /// Back-pressure: a client that overruns the pipeline window gets
+    /// structured overload errors (JSON `"overloaded":true`, binary
+    /// flag bit 1) while the windowed requests all complete.
+    #[test]
+    fn pipeline_window_overload_is_structured() {
+        let model = demo::demo_model(&demo::DemoSpec {
+            dim: 512,
+            train_size: 128,
+            ..Default::default()
+        });
+        let session = model.session();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let shutdown = AtomicBool::new(false);
+        let config = BatchConfig {
+            max_batch: 64,
+            max_wait: std::time::Duration::from_millis(40),
+            workers: 1,
+            pipeline_window: 2,
+        };
+        let levels: Vec<u16> = (0..16).map(|f| (f % 8) as u16).collect();
+
+        std::thread::scope(|s| {
+            let server = s.spawn(|| serve(listener, &session, &config, &shutdown));
+
+            // Binary: 4 pipelined sends into a window of 2 — two
+            // overload errors, two eventual completions.
+            let mut bin = BinClient::connect(addr);
+            let mut burst = Vec::new();
+            for id in 1..=4u64 {
+                burst.extend(wire::classify_frame(id, &levels, false));
+            }
+            bin.send(&burst);
+            let responses = bin.recv_n(4);
+            let overloaded = responses.values().filter(|r| r.overloaded).count();
+            let classified = responses.values().filter(|r| r.class.is_some()).count();
+            assert_eq!((overloaded, classified), (2, 2), "window 2: {responses:?}");
+
+            // JSON: same thing, `"overloaded":true` on the line.
+            let json_stream = TcpStream::connect(addr).unwrap();
+            let mut json_reader = BufReader::new(json_stream.try_clone().unwrap());
+            let mut json_writer = json_stream;
+            let mut burst = String::new();
+            for id in 11..=14u64 {
+                burst.push_str(&protocol::request_line(id, &levels, false));
+            }
+            json_writer.write_all(burst.as_bytes()).unwrap();
+            let mut overloaded = 0;
+            let mut classified = 0;
+            for _ in 0..4 {
+                let mut line = String::new();
+                json_reader.read_line(&mut line).unwrap();
+                let resp = protocol::parse_response(&line).unwrap();
+                if resp.overloaded {
+                    overloaded += 1;
+                    assert!(resp.error.unwrap().contains("window full"));
+                } else {
+                    classified += 1;
+                }
+            }
+            assert_eq!((overloaded, classified), (2, 2));
+
+            drop(bin);
+            drop(json_reader);
+            drop(json_writer);
+            shutdown.store(true, Ordering::SeqCst);
+            server.join().unwrap().unwrap();
+        });
+    }
+
+    /// A client that floods requests without reading responses hits
+    /// the writer-backlog cap: the reader pauses (bounding server-side
+    /// memory) and resumes as the client drains — every request still
+    /// gets exactly one response.
+    #[test]
+    fn flooding_client_is_backpressured_not_buffered() {
+        let model = demo::demo_model(&demo::DemoSpec {
+            dim: 256,
+            train_size: 64,
+            ..Default::default()
+        });
+        let session = model.session();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let shutdown = AtomicBool::new(false);
+        // A tiny window keeps the backlog cap (window + slack) small
+        // relative to the flood, so the pause path actually engages.
+        let config = BatchConfig {
+            pipeline_window: 4,
+            ..BatchConfig::default()
+        };
+
+        std::thread::scope(|s| {
+            let server = s.spawn(|| serve(listener, &session, &config, &shutdown));
+
+            // 2000 malformed lines, written without reading anything:
+            // each produces an inline error response the pipeline
+            // window does not meter.
+            const FLOOD: usize = 2000;
+            let stream = TcpStream::connect(addr).unwrap();
+            let mut reader = BufReader::new(stream.try_clone().unwrap());
+            let mut writer = stream;
+            let flood: String = (0..FLOOD).map(|i| format!("{{\"id\":{i},oops\n")).collect();
+            writer.write_all(flood.as_bytes()).unwrap();
+
+            // Now drain: all FLOOD error responses arrive, ids intact.
+            let mut seen = 0usize;
+            let mut line = String::new();
+            for _ in 0..FLOOD {
+                line.clear();
+                reader.read_line(&mut line).unwrap();
+                let resp = protocol::parse_response(&line).unwrap();
+                assert_eq!(resp.id, seen as u64, "responses arrive in send order");
+                assert!(resp.error.is_some());
+                seen += 1;
+            }
+            assert_eq!(seen, FLOOD);
+
+            // The connection still classifies.
+            let levels: Vec<u16> = (0..16).map(|f| (f % 8) as u16).collect();
+            writer
+                .write_all(protocol::request_line(99_999, &levels, false).as_bytes())
+                .unwrap();
+            line.clear();
+            reader.read_line(&mut line).unwrap();
+            let resp = protocol::parse_response(&line).unwrap();
+            assert_eq!(resp.class, Some(session.classify(&levels)));
+
+            drop(reader);
+            drop(writer);
+            shutdown.store(true, Ordering::SeqCst);
+            server.join().unwrap().unwrap();
+        });
+    }
+
+    /// Admission meters binary clients identically to JSON ones:
+    /// budgets land as structured throttles on the binary wire.
+    #[test]
+    fn admission_meters_binary_clients_identically() {
+        let spec = demo::DemoSpec {
+            dim: 256,
+            train_size: 64,
+            ..Default::default()
+        };
+        let registry = demo::demo_locked_registry(&spec, 2);
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let shutdown = AtomicBool::new(false);
+        let config = RegistryServeConfig {
+            batch: BatchConfig::default(),
+            admission: AdmissionConfig {
+                query_budget: 5,
+                ..AdmissionConfig::default()
+            },
+        };
+        let row = |i: u16| -> Vec<u16> {
+            (0..spec.n_features)
+                .map(|f| ((usize::from(i) + f) % spec.m_levels) as u16)
+                .collect()
+        };
+
+        std::thread::scope(|s| {
+            let server = s.spawn(|| serve_registry(listener, &registry, &config, &shutdown));
+
+            let mut bin = BinClient::connect(addr);
+            // Admission is applied on the read side in request order:
+            // the first 5 pipelined requests are admitted, the rest
+            // are throttled — exactly the serial JSON behavior.
+            let mut burst = Vec::new();
+            for i in 0..8u16 {
+                burst.extend(wire::classify_frame(u64::from(i), &row(i), false));
+            }
+            bin.send(&burst);
+            let responses = bin.recv_n(8);
+            let admitted = responses.values().filter(|r| r.class.is_some()).count();
+            let throttles: Vec<_> = responses.values().filter(|r| r.throttled).collect();
+            assert_eq!(admitted, 5);
+            assert_eq!(throttles.len(), 3);
+            for t in throttles {
+                assert!(t.error.as_ref().unwrap().contains("budget"));
+            }
+
+            drop(bin);
+            shutdown.store(true, Ordering::SeqCst);
+            let stats = server.join().unwrap().unwrap();
+            assert_eq!(stats.throttled, 3);
+        });
     }
 }

@@ -1,12 +1,20 @@
 //! Closed-loop load generator for the classify server.
 //!
-//! Opens `connections` parallel TCP connections, each issuing
-//! synchronous request/response round trips with random (seeded)
-//! quantized rows, and reports aggregate throughput plus per-request
-//! latency percentiles. With `connections` in the same ballpark as the
-//! server's `max_batch`, the batching queue fuses the concurrent
-//! requests into full batch-kernel calls.
+//! Opens `connections` parallel TCP connections, each keeping up to
+//! `pipeline` requests in flight with random (seeded) quantized rows,
+//! and reports aggregate throughput plus per-request latency
+//! percentiles. Requests can travel as line-JSON (the default) or as
+//! binary frames ([`crate::wire`]); responses are matched to requests
+//! by id, so out-of-order completions from the server's multiplexed
+//! writer are handled naturally. With `pipeline == 1` every connection
+//! degenerates to the classic synchronous round-trip loop — that is
+//! the *JSON serial* baseline `BENCH_search.json` tracks.
+//!
+//! With `connections × pipeline` in the same ballpark as the server's
+//! `max_batch`, the batching queue fuses the concurrent requests into
+//! full batch-kernel calls.
 
+use std::collections::HashMap;
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::time::Instant;
@@ -15,6 +23,7 @@ use hdc_model::LatencyStats;
 use hypervec::HvRng;
 
 use crate::protocol;
+use crate::wire::{self, WireMode};
 
 /// Load-generation parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -25,6 +34,10 @@ pub struct LoadgenConfig {
     pub requests_per_connection: usize,
     /// Seed for the per-connection row generators.
     pub seed: u64,
+    /// Wire format to speak ([`WireMode::Json`] by default).
+    pub wire: WireMode,
+    /// In-flight requests per connection (1 = serial request/response).
+    pub pipeline: usize,
 }
 
 impl Default for LoadgenConfig {
@@ -33,6 +46,8 @@ impl Default for LoadgenConfig {
             connections: 32,
             requests_per_connection: 1000,
             seed: 2022,
+            wire: WireMode::Json,
+            pipeline: 1,
         }
     }
 }
@@ -64,7 +79,8 @@ pub struct LoadReport {
 ///
 /// # Panics
 ///
-/// Panics if `connections == 0` or no request ever succeeds.
+/// Panics if `connections == 0`, `pipeline == 0`, or no request ever
+/// succeeds.
 pub fn run(
     addr: SocketAddr,
     n_features: usize,
@@ -72,6 +88,7 @@ pub fn run(
     config: &LoadgenConfig,
 ) -> std::io::Result<LoadReport> {
     assert!(config.connections > 0, "need at least one connection");
+    assert!(config.pipeline > 0, "pipeline depth must be at least 1");
     let start = Instant::now();
     let per_conn: Vec<std::io::Result<(Vec<u64>, u64)>> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..config.connections)
@@ -81,7 +98,7 @@ pub fn run(
                         addr,
                         n_features,
                         m_levels,
-                        config.requests_per_connection,
+                        config,
                         config.seed ^ (c as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
                         c as u64,
                     )
@@ -114,39 +131,134 @@ pub fn run(
     })
 }
 
-/// One connection's closed loop; returns (per-request latencies µs,
-/// error count).
+/// The transport half of one loadgen connection: format-specific
+/// request writing and response reading over the same socket pair.
+enum Transport {
+    Json {
+        reader: BufReader<TcpStream>,
+        writer: BufWriter<TcpStream>,
+        line: String,
+    },
+    Binary {
+        reader: BufReader<TcpStream>,
+        writer: BufWriter<TcpStream>,
+    },
+}
+
+impl Transport {
+    fn connect(addr: SocketAddr, wire_mode: WireMode) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        let writer = BufWriter::new(stream);
+        Ok(match wire_mode {
+            WireMode::Json => Transport::Json {
+                reader,
+                writer,
+                line: String::new(),
+            },
+            WireMode::Binary => Transport::Binary { reader, writer },
+        })
+    }
+
+    /// Buffers one classify request (call [`Transport::flush`] before
+    /// blocking on responses).
+    fn send(&mut self, id: u64, levels: &[u16]) -> std::io::Result<()> {
+        match self {
+            Transport::Json { writer, .. } => {
+                writer.write_all(protocol::request_line(id, levels, false).as_bytes())
+            }
+            Transport::Binary { writer, .. } => {
+                writer.write_all(&wire::classify_frame(id, levels, false))
+            }
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            Transport::Json { writer, .. } | Transport::Binary { writer, .. } => writer.flush(),
+        }
+    }
+
+    /// Blocks for the next response; returns `(id, ok)` — `id` is
+    /// `None` when the response was unparseable and carries no usable
+    /// id (a sentinel value would collide with real request ids).
+    fn recv(&mut self) -> std::io::Result<(Option<u64>, bool)> {
+        match self {
+            Transport::Json { reader, line, .. } => {
+                line.clear();
+                if reader.read_line(line)? == 0 {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::UnexpectedEof,
+                        "server closed mid-run",
+                    ));
+                }
+                match protocol::parse_response(line) {
+                    Ok(resp) => Ok((Some(resp.id), resp.error.is_none())),
+                    Err(_) => Ok((None, false)),
+                }
+            }
+            Transport::Binary { reader, .. } => {
+                let (header, payload) = wire::read_frame(reader)?;
+                match wire::decode_response(&header, &payload) {
+                    Ok(resp) => Ok((Some(resp.id), resp.error.is_none())),
+                    Err(_) => Ok((Some(header.id), false)),
+                }
+            }
+        }
+    }
+}
+
+/// One connection's pipelined closed loop; returns (per-request
+/// latencies µs, error count). Keeps up to `config.pipeline` requests
+/// in flight, matching responses to send timestamps by id.
 fn connection_loop(
     addr: SocketAddr,
     n_features: usize,
     m_levels: usize,
-    requests: usize,
+    config: &LoadgenConfig,
     seed: u64,
     id_base: u64,
 ) -> std::io::Result<(Vec<u64>, u64)> {
-    let stream = TcpStream::connect(addr)?;
-    stream.set_nodelay(true)?;
-    let mut reader = BufReader::new(stream.try_clone()?);
-    let mut writer = BufWriter::new(stream);
+    let mut transport = Transport::connect(addr, config.wire)?;
     let mut rng = HvRng::from_seed(seed);
+    let requests = config.requests_per_connection;
     let mut latencies = Vec::with_capacity(requests);
     let mut errors = 0u64;
-    let mut line = String::new();
-    for i in 0..requests {
-        let levels: Vec<u16> = (0..n_features)
-            .map(|_| rng.index(m_levels) as u16)
-            .collect();
-        let id = id_base.wrapping_mul(1_000_000_007) + i as u64;
-        let request = protocol::request_line(id, &levels, false);
-        let sent = Instant::now();
-        writer.write_all(request.as_bytes())?;
-        writer.flush()?;
-        line.clear();
-        reader.read_line(&mut line)?;
-        let micros = u64::try_from(sent.elapsed().as_micros()).unwrap_or(u64::MAX);
-        match protocol::parse_response(&line) {
-            Ok(resp) if resp.error.is_none() && resp.id == id => latencies.push(micros),
-            _ => errors += 1,
+    let mut sent_at: HashMap<u64, Instant> = HashMap::with_capacity(config.pipeline);
+    let mut sent = 0usize;
+    let mut received = 0usize;
+    // The loop advances on *responses received*, not on matched ids:
+    // the server answers every request exactly once, so counting
+    // responses terminates even if one arrives with an id we cannot
+    // match (it is counted as an error; its stale `sent_at` entry is
+    // simply never read again). Keying progress on `sent_at` emptying
+    // would hang forever on a single unmatched response.
+    while received < requests {
+        // Fill the window…
+        while sent < requests && sent - received < config.pipeline {
+            let levels: Vec<u16> = (0..n_features)
+                .map(|_| rng.index(m_levels) as u16)
+                .collect();
+            let id = id_base.wrapping_mul(1_000_000_007) + sent as u64;
+            sent += 1;
+            sent_at.insert(id, Instant::now());
+            transport.send(id, &levels)?;
+        }
+        // …then drain one response (more arrive opportunistically on
+        // the next loop iterations).
+        transport.flush()?;
+        let (id, ok) = transport.recv()?;
+        received += 1;
+        match id.and_then(|id| sent_at.remove(&id)) {
+            Some(at) if ok => {
+                latencies.push(u64::try_from(at.elapsed().as_micros()).unwrap_or(u64::MAX));
+            }
+            Some(_) => errors += 1,
+            // Unparseable, or an id we never sent (or already
+            // accounted): server-side anomaly; count it so it cannot
+            // hide.
+            None => errors += 1,
         }
     }
     Ok((latencies, errors))

@@ -152,6 +152,32 @@ pub struct ClassifyResponse {
     /// Whether the error is an admission throttle (back off and retry
     /// later) rather than a hard failure.
     pub throttled: bool,
+    /// Whether the error is pipeline back-pressure: the connection's
+    /// in-flight window is full, so the client should drain responses
+    /// before sending more requests.
+    pub overloaded: bool,
+}
+
+/// Best-effort request-id recovery from a line that failed to parse as
+/// JSON (or parsed without a numeric `id`): scans for an `"id"` key and
+/// reads the digits after its colon. Pipelined clients have several
+/// requests in flight at once, so an error they cannot correlate to a
+/// request is an error they cannot handle — every failure response must
+/// echo the id whenever any recognizable id is present, even on a
+/// truncated or otherwise mangled line. Returns 0 when nothing
+/// recoverable is found.
+#[must_use]
+pub fn recover_id(line: &str) -> u64 {
+    let Some(key) = line.find("\"id\"") else {
+        return 0;
+    };
+    let rest = line[key + 4..].trim_start();
+    let Some(rest) = rest.strip_prefix(':') else {
+        return 0;
+    };
+    let rest = rest.trim_start();
+    let digits: String = rest.chars().take_while(char::is_ascii_digit).collect();
+    digits.parse().unwrap_or(0)
 }
 
 /// Renders a `u64` checksum as the wire's 16-hex-digit form.
@@ -167,12 +193,12 @@ pub fn checksum_hex(checksum: u64) -> String {
 /// Returns `(id, message)` — `id` is the request's id when it could be
 /// recovered (so the error response still correlates), 0 otherwise.
 pub fn parse_request(line: &str) -> Result<ClassifyRequest, (u64, String)> {
-    let value: Value =
-        serde_json::from_str(line.trim()).map_err(|e| (0, format!("malformed JSON: {e}")))?;
+    let value: Value = serde_json::from_str(line.trim())
+        .map_err(|e| (recover_id(line), format!("malformed JSON: {e}")))?;
     let id = value
         .get("id")
         .and_then(Value::as_u64)
-        .ok_or((0, "missing numeric `id`".to_owned()))?;
+        .ok_or((recover_id(line), "missing numeric `id`".to_owned()))?;
     let bare = |admin: Option<AdminRequest>, want_info: bool| ClassifyRequest {
         id,
         levels: Vec::new(),
@@ -366,6 +392,17 @@ pub fn throttle_response(id: u64, message: &str) -> String {
     )
 }
 
+/// Renders a structured pipeline-overload error response line: carries
+/// `"overloaded":true` so pipelined clients know to drain in-flight
+/// responses before issuing more requests.
+#[must_use]
+pub fn overload_response(id: u64, message: &str) -> String {
+    format!(
+        "{{\"id\":{id},\"error\":\"{}\",\"overloaded\":true}}\n",
+        escape(message)
+    )
+}
+
 /// Parses one response line (client side).
 ///
 /// # Errors
@@ -448,6 +485,7 @@ pub fn parse_response(line: &str) -> Result<ClassifyResponse, String> {
         .and_then(Value::as_str)
         .map(str::to_owned);
     let throttled = matches!(value.get("throttled"), Some(Value::Bool(true)));
+    let overloaded = matches!(value.get("overloaded"), Some(Value::Bool(true)));
     if class.is_none() && error.is_none() && info.is_none() && swapped.is_none() && stats.is_none()
     {
         return Err(
@@ -463,6 +501,7 @@ pub fn parse_response(line: &str) -> Result<ClassifyResponse, String> {
         stats,
         error,
         throttled,
+        overloaded,
     })
 }
 
@@ -614,6 +653,52 @@ mod tests {
         assert!(msg.contains("levels"));
         let (id, _) = parse_request("{\"id\":5,\"levels\":[1,99999]}").unwrap_err();
         assert_eq!(id, 5);
+    }
+
+    /// Pipelined clients must be able to match *every* failure response
+    /// to a request: even JSON that fails to parse outright echoes the
+    /// id when one is recognizable, and the error round-trips back
+    /// through the response parser with that id intact.
+    #[test]
+    fn parse_failures_echo_recoverable_id_roundtrip() {
+        // Truncated mid-array: not valid JSON, but the id is right there.
+        let (id, msg) = parse_request("{\"id\":7,\"levels\":[1,").unwrap_err();
+        assert_eq!(id, 7, "truncated request must keep its id");
+        let resp = parse_response(&error_response(id, &msg)).unwrap();
+        assert_eq!(resp.id, 7);
+        assert!(resp.error.is_some());
+
+        // Unquoted garbage after the id.
+        let (id, _) = parse_request("{\"id\": 31415, oops}").unwrap_err();
+        assert_eq!(id, 31415);
+
+        // `id` as a non-numeric value still recovers 0, never panics.
+        let (id, _) = parse_request("{\"id\":\"seven\",\"levels\":[1]}").unwrap_err();
+        assert_eq!(id, 0);
+
+        assert_eq!(recover_id("{\"id\":42"), 42);
+        assert_eq!(recover_id("{\"id\" : 42 ,"), 42);
+        assert_eq!(recover_id("no id here"), 0);
+        assert_eq!(recover_id("{\"id\":}"), 0);
+    }
+
+    #[test]
+    fn overload_is_structured() {
+        let resp =
+            parse_response(&overload_response(4, "pipeline window full (64 in flight)")).unwrap();
+        assert!(resp.overloaded && !resp.throttled);
+        assert_eq!(resp.id, 4);
+        // Throttles and plain errors are not overloads.
+        assert!(
+            !parse_response(&throttle_response(5, "budget"))
+                .unwrap()
+                .overloaded
+        );
+        assert!(
+            !parse_response(&error_response(6, "bad row"))
+                .unwrap()
+                .overloaded
+        );
     }
 
     #[test]

@@ -1,5 +1,5 @@
-//! The TCP front end: accept loop, per-connection handlers, graceful
-//! shutdown — in two flavors.
+//! The TCP front end: accept loop, multiplexed per-connection
+//! handlers, graceful shutdown — in two flavors.
 //!
 //! [`serve`] drives one fixed session (generic over
 //! [`ClassifySession`], so borrowed and owned sessions both work).
@@ -10,11 +10,27 @@
 //! budgets, rate limits and feature-sweep detection with structured
 //! throttle errors.
 //!
-//! Both block the calling thread until `shutdown` is raised: connection
-//! handlers and batch workers run on `std::thread::scope` threads, so
-//! the server needs no `'static` state and no external runtime.
-//! Shutdown is graceful — the accept loop stops, handlers notice within
-//! their read-timeout tick and hang up, the queue drains, workers exit.
+//! ## Connection multiplexing
+//!
+//! Every connection is a **pipeline**: the read side parses requests
+//! (line-JSON or binary frames, negotiated by first-byte sniffing — see
+//! [`wire`]) and enqueues them without waiting for answers; a dedicated
+//! per-connection writer thread interleaves responses as batch workers
+//! finish, matched to requests by id, possibly out of order. A client
+//! may keep up to `pipeline_window` classify requests in flight; the
+//! window is enforced with a structured *overload* error
+//! (`"overloaded":true` / error-frame flag bit 1), so well-behaved
+//! clients drain responses instead of stalling the server. Serial
+//! request/response clients are a degenerate pipeline of depth 1 and
+//! behave exactly as they did before multiplexing.
+//!
+//! Both servers block the calling thread until `shutdown` is raised:
+//! connection handlers, writers and batch workers run on
+//! `std::thread::scope` threads, so the server needs no `'static` state
+//! and no external runtime. Shutdown is graceful — the accept loop
+//! stops, readers notice within their read-timeout tick and stop
+//! accepting new requests, in-flight requests are answered, writers
+//! drain, the queue closes, workers exit.
 //!
 //! During a swap, in-flight requests finish on the generation their
 //! batch grabbed; requests that raced a *shape-changing* reload are
@@ -22,18 +38,20 @@
 //! worker re-validates every row against the generation it actually
 //! runs).
 
-use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::collections::HashSet;
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::mpsc;
+use std::sync::{mpsc, Mutex};
 use std::time::Duration;
 
 use hdc_model::ClassifySession;
 use hdc_store::ModelRegistry;
 
 use crate::admission::{AdmissionConfig, ConnectionAdmission};
-use crate::batcher::{worker_loop, BatchConfig, BatchQueue, Job, JobResult};
+use crate::batcher::{worker_loop, BatchConfig, BatchQueue, Completion, Delivery, Job, JobResult};
 use crate::protocol;
+use crate::wire::{self, WireMode};
 
 /// How often blocked I/O re-checks the shutdown flag.
 const POLL_TICK: Duration = Duration::from_millis(20);
@@ -56,98 +74,487 @@ pub struct ServeStats {
 /// Configuration of the registry-backed server.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct RegistryServeConfig {
-    /// Batching queue and worker-pool parameters.
+    /// Batching queue, worker-pool and pipeline-window parameters.
     pub batch: BatchConfig,
     /// Per-connection admission thresholds.
     pub admission: AdmissionConfig,
 }
 
-/// Serves classify traffic for one fixed session on `listener` until
-/// `shutdown` is raised.
-///
-/// Every connection speaks the line-JSON protocol ([`protocol`]);
-/// requests from all connections funnel into one [`BatchQueue`] and are
-/// answered by `config.workers` fused batch calls.
-///
-/// # Errors
-///
-/// Propagates listener configuration errors; per-connection I/O errors
-/// only terminate that connection.
-pub fn serve<S: ClassifySession>(
-    listener: TcpListener,
-    session: &S,
-    config: &BatchConfig,
-    shutdown: &AtomicBool,
-) -> std::io::Result<ServeStats> {
-    listener.set_nonblocking(true)?;
-    let queue = BatchQueue::new();
-    let requests = AtomicU64::new(0);
-    let served = AtomicU64::new(0);
-    let mut connections = 0u64;
+// ---------------------------------------------------------------------
+// Per-request policy (shared by both server flavors)
+// ---------------------------------------------------------------------
 
-    std::thread::scope(|scope| {
-        let worker_handles: Vec<_> = (0..config.workers.max(1))
-            .map(|_| scope.spawn(|| worker_loop(&queue, session, config, &served)))
-            .collect();
-
-        let mut handler_handles = Vec::new();
-        while !shutdown.load(Ordering::SeqCst) {
-            // Reap handlers whose connections already closed, so a
-            // long-running server does not accumulate one JoinHandle
-            // per connection it ever accepted.
-            handler_handles.retain(|h: &std::thread::ScopedJoinHandle<'_, ()>| !h.is_finished());
-            match listener.accept() {
-                Ok((stream, _peer)) => {
-                    connections += 1;
-                    let queue = &queue;
-                    let requests = &requests;
-                    handler_handles.push(scope.spawn(move || {
-                        let _ = handle_connection(stream, session, queue, shutdown, requests);
-                    }));
-                }
-                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                    std::thread::sleep(Duration::from_micros(500));
-                }
-                Err(_) => break,
-            }
-        }
-
-        // Graceful shutdown: stop accepting, let handlers drain their
-        // in-flight requests (they exit within a read-timeout tick),
-        // then close the queue so workers finish the backlog and exit.
-        for h in handler_handles {
-            let _ = h.join();
-        }
-        queue.close();
-        for h in worker_handles {
-            let _ = h.join();
-        }
-    });
-
-    Ok(ServeStats {
-        requests: requests.load(Ordering::Relaxed),
-        classified: served.load(Ordering::Relaxed),
-        connections,
-        throttled: 0,
-    })
+/// What a connection needs from its server flavor to answer requests:
+/// the model shape, per-row validation, admission and admin handling.
+/// The connection machinery (sniffing, framing, pipelining, the writer)
+/// is identical for both flavors.
+trait RequestBrain {
+    /// Shape/runtime facts for an `info` response.
+    fn server_info(&mut self) -> protocol::ServerInfo;
+    /// Row validation against the currently served model; `Some` is the
+    /// rejection message.
+    fn validate_levels(&mut self, levels: &[u16]) -> Option<String>;
+    /// Admission check; `Err` is the throttle message.
+    fn admit(&mut self, levels: &[u16]) -> Result<(), String>;
+    /// Executes one admin operation, returning the rendered JSON
+    /// response line (admin is deliberately JSON-only; binary
+    /// connections cannot express it).
+    fn admin(&mut self, id: u64, admin: &protocol::AdminRequest) -> String;
 }
 
-/// One connection: read request lines, enqueue, await the batched
-/// result, write the response line.
-fn handle_connection<S: ClassifySession>(
+/// Brain of the fixed-session server.
+struct SessionBrain<'a, S: ClassifySession> {
+    session: &'a S,
+}
+
+impl<S: ClassifySession> RequestBrain for SessionBrain<'_, S> {
+    fn server_info(&mut self) -> protocol::ServerInfo {
+        protocol::ServerInfo {
+            backend: self.session.kernel_backend().to_owned(),
+            dim: self.session.dim(),
+            features: self.session.n_features(),
+            levels: self.session.m_levels(),
+            classes: self.session.n_classes(),
+            generation: 0,
+            checksum: protocol::checksum_hex(0),
+        }
+    }
+
+    fn validate_levels(&mut self, levels: &[u16]) -> Option<String> {
+        validate_against(levels, self.session)
+    }
+
+    fn admit(&mut self, _levels: &[u16]) -> Result<(), String> {
+        Ok(())
+    }
+
+    fn admin(&mut self, id: u64, _admin: &protocol::AdminRequest) -> String {
+        protocol::error_response(id, "admin requests need a registry-backed server")
+    }
+}
+
+/// Brain of the registry-backed server: one admission state per
+/// connection, every check against the *current* generation.
+struct RegistryBrain<'a, 'ctx> {
+    ctx: &'ctx RegistryCtx<'a>,
+    admission: ConnectionAdmission,
+}
+
+impl RequestBrain for RegistryBrain<'_, '_> {
+    fn server_info(&mut self) -> protocol::ServerInfo {
+        let generation = self.ctx.registry.current();
+        let session = generation.session();
+        protocol::ServerInfo {
+            backend: session.kernel_backend().to_owned(),
+            dim: session.dim(),
+            features: session.n_features(),
+            levels: session.m_levels(),
+            classes: session.n_classes(),
+            generation: generation.id(),
+            checksum: protocol::checksum_hex(generation.checksum()),
+        }
+    }
+
+    fn validate_levels(&mut self, levels: &[u16]) -> Option<String> {
+        let generation = self.ctx.registry.current();
+        validate_against(levels, generation.session())
+    }
+
+    fn admit(&mut self, levels: &[u16]) -> Result<(), String> {
+        self.admission.admit(levels).map_err(|r| r.to_string())
+    }
+
+    fn admin(&mut self, id: u64, admin: &protocol::AdminRequest) -> String {
+        answer_admin(id, admin, self.ctx)
+    }
+}
+
+/// Shape/range validation of a classify row against a session; `Some`
+/// is the rejection message (rendered per wire mode by the caller).
+fn validate_against<S: ClassifySession>(levels: &[u16], session: &S) -> Option<String> {
+    if levels.len() != session.n_features() {
+        return Some(format!(
+            "row has {} levels, model expects {}",
+            levels.len(),
+            session.n_features()
+        ));
+    }
+    if let Some(bad) = levels
+        .iter()
+        .position(|&lv| usize::from(lv) >= session.m_levels())
+    {
+        return Some(format!(
+            "level {} at feature {bad} out of range (M = {})",
+            levels[bad],
+            session.m_levels()
+        ));
+    }
+    None
+}
+
+// ---------------------------------------------------------------------
+// Wire-mode-agnostic rendering
+// ---------------------------------------------------------------------
+
+/// Renders an error response in the connection's wire format.
+fn render_error(
+    mode: WireMode,
+    id: u64,
+    message: &str,
+    throttled: bool,
+    overloaded: bool,
+) -> Vec<u8> {
+    match mode {
+        WireMode::Json => {
+            let line = if overloaded {
+                protocol::overload_response(id, message)
+            } else if throttled {
+                protocol::throttle_response(id, message)
+            } else {
+                protocol::error_response(id, message)
+            };
+            line.into_bytes()
+        }
+        WireMode::Binary => wire::error_frame(id, message, throttled, overloaded),
+    }
+}
+
+/// Renders an info response in the connection's wire format.
+fn render_info(mode: WireMode, id: u64, info: &protocol::ServerInfo) -> Vec<u8> {
+    match mode {
+        WireMode::Json => protocol::info_response(id, info).into_bytes(),
+        WireMode::Binary => wire::info_response_frame(id, info),
+    }
+}
+
+/// Renders a batch-worker completion in the connection's wire format.
+fn render_completion(mode: WireMode, done: &Completion) -> Vec<u8> {
+    match (&done.result, mode) {
+        (JobResult::Class(class), WireMode::Json) => {
+            protocol::ok_response(done.id, *class, None).into_bytes()
+        }
+        (JobResult::Class(class), WireMode::Binary) => wire::class_frame(done.id, *class),
+        (JobResult::ClassWithScores(class, scores), WireMode::Json) => {
+            protocol::ok_response(done.id, *class, Some(scores)).into_bytes()
+        }
+        (JobResult::ClassWithScores(class, scores), WireMode::Binary) => {
+            wire::scores_frame(done.id, *class, scores)
+        }
+        (JobResult::Rejected(msg), _) => render_error(mode, done.id, msg, false, false),
+    }
+}
+
+// ---------------------------------------------------------------------
+// The multiplexed connection
+// ---------------------------------------------------------------------
+
+/// One parsed request, wire-format agnostic.
+enum Incoming {
+    Classify {
+        id: u64,
+        levels: Vec<u16>,
+        want_scores: bool,
+    },
+    Info {
+        id: u64,
+    },
+    Admin {
+        id: u64,
+        admin: protocol::AdminRequest,
+    },
+    /// A malformed request answered with an error; `fatal` closes the
+    /// connection after the error is delivered (stream desync).
+    Bad {
+        id: u64,
+        message: String,
+        fatal: bool,
+    },
+}
+
+/// Responses (beyond the classify window itself) the writer may have
+/// pending before the read side stops pulling bytes off the socket.
+/// Inline responses — errors, info, overload notices — are not metered
+/// by the pipeline window, so without this cap a client that floods
+/// requests and never reads responses would grow the writer's queue
+/// without bound; at the cap, the reader pauses and ordinary TCP
+/// back-pressure reaches the client.
+const WRITER_BACKLOG_SLACK: usize = 256;
+
+/// Shared per-connection I/O state handed to the dispatcher.
+struct ConnIo<'a> {
+    mode: WireMode,
+    queue: &'a BatchQueue,
+    tx: &'a mpsc::Sender<Delivery>,
+    /// Ids of classify requests currently queued or running. The read
+    /// side inserts before enqueue; the writer removes as it renders
+    /// the completion — its size is the pipeline depth.
+    inflight: &'a Mutex<HashSet<u64>>,
+    /// Deliveries handed to the writer but not yet written: the read
+    /// side increments per send (inline response or enqueued job), the
+    /// writer decrements per delivery processed.
+    pending: &'a AtomicU64,
+    window: usize,
+    requests: &'a AtomicU64,
+    throttled: &'a AtomicU64,
+}
+
+impl ConnIo<'_> {
+    /// The writer-backlog ceiling: the full pipeline window plus slack
+    /// for unmetered inline responses.
+    fn backlog_cap(&self) -> u64 {
+        (self.window + WRITER_BACKLOG_SLACK) as u64
+    }
+
+    fn send_raw(&self, bytes: Vec<u8>) {
+        self.pending.fetch_add(1, Ordering::SeqCst);
+        // The writer only exits once every sender is gone; a failed
+        // send means the connection is already tearing down.
+        let _ = self.tx.send(Delivery::Raw(bytes));
+    }
+
+    /// Handles one parsed request. Returns `false` when the connection
+    /// must close (fatal framing fault).
+    fn dispatch<B: RequestBrain>(&self, incoming: Incoming, brain: &mut B) -> bool {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        match incoming {
+            Incoming::Info { id } => {
+                let info = brain.server_info();
+                self.send_raw(render_info(self.mode, id, &info));
+            }
+            Incoming::Admin { id, admin } => {
+                // Admin stays JSON-only; the binary decoder never
+                // produces this variant.
+                self.send_raw(brain.admin(id, &admin).into_bytes());
+            }
+            Incoming::Bad { id, message, fatal } => {
+                self.send_raw(render_error(self.mode, id, &message, false, false));
+                return !fatal;
+            }
+            Incoming::Classify {
+                id,
+                levels,
+                want_scores,
+            } => {
+                if let Some(msg) = brain.validate_levels(&levels) {
+                    self.send_raw(render_error(self.mode, id, &msg, false, false));
+                    return true;
+                }
+                {
+                    let mut inflight = self
+                        .inflight
+                        .lock()
+                        .expect("in-flight set lock never poisoned");
+                    if inflight.contains(&id) {
+                        drop(inflight);
+                        self.send_raw(render_error(
+                            self.mode,
+                            id,
+                            &format!("request id {id} already in flight on this connection"),
+                            false,
+                            false,
+                        ));
+                        return true;
+                    }
+                    if inflight.len() >= self.window {
+                        drop(inflight);
+                        self.send_raw(render_error(
+                            self.mode,
+                            id,
+                            &format!(
+                                "pipeline window full ({} requests in flight); \
+                                 drain responses before sending more",
+                                self.window
+                            ),
+                            false,
+                            true,
+                        ));
+                        return true;
+                    }
+                    inflight.insert(id);
+                }
+                // Admission runs last, after validation and windowing,
+                // so malformed or back-pressured requests never consume
+                // the connection's query budget.
+                if let Err(msg) = brain.admit(&levels) {
+                    self.inflight
+                        .lock()
+                        .expect("in-flight set lock never poisoned")
+                        .remove(&id);
+                    self.throttled.fetch_add(1, Ordering::Relaxed);
+                    self.send_raw(render_error(self.mode, id, &msg, true, false));
+                    return true;
+                }
+                self.pending.fetch_add(1, Ordering::SeqCst);
+                self.queue.push(Job {
+                    id,
+                    levels,
+                    want_scores,
+                    tx: self.tx.clone(),
+                });
+            }
+        }
+        true
+    }
+
+    /// Blocks while the writer's backlog is at the cap (a client
+    /// sending without reading). Returns `false` when shutdown was
+    /// raised while waiting.
+    fn wait_for_backlog_room(&self, shutdown: &AtomicBool) -> bool {
+        while self.pending.load(Ordering::SeqCst) >= self.backlog_cap() {
+            if shutdown.load(Ordering::SeqCst) {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        true
+    }
+}
+
+/// The per-connection writer: receives deliveries (batch completions,
+/// pre-rendered inline responses) and writes them in arrival order —
+/// which for pipelined completions is *completion* order, not request
+/// order; clients match on the echoed id. Exits when every sender
+/// (reader + all queued jobs) is gone.
+fn writer_loop(
     stream: TcpStream,
-    session: &S,
+    rx: mpsc::Receiver<Delivery>,
+    mode: WireMode,
+    inflight: &Mutex<HashSet<u64>>,
+    pending: &AtomicU64,
+) {
+    let mut writer = BufWriter::new(stream);
+    let mut dead = false;
+    while let Ok(first) = rx.recv() {
+        let mut next = Some(first);
+        // Greedily drain whatever has completed, then flush once: under
+        // pipelined load this coalesces many small responses into one
+        // syscall.
+        while let Some(delivery) = next {
+            let bytes = match delivery {
+                Delivery::Raw(bytes) => bytes,
+                Delivery::Done(done) => {
+                    inflight
+                        .lock()
+                        .expect("in-flight set lock never poisoned")
+                        .remove(&done.id);
+                    render_completion(mode, &done)
+                }
+            };
+            if !dead && writer.write_all(&bytes).is_err() {
+                // Client hung up (or stalled past the write timeout)
+                // mid-pipeline: keep draining so the in-flight and
+                // backlog bookkeeping finishes, skip the writes — and
+                // shut the socket down so the read side sees EOF and
+                // closes the connection instead of silently accepting
+                // requests that will never be answered.
+                dead = true;
+                let _ = writer.get_ref().shutdown(std::net::Shutdown::Both);
+            }
+            pending.fetch_sub(1, Ordering::SeqCst);
+            next = rx.try_recv().ok();
+        }
+        if !dead && writer.flush().is_err() {
+            dead = true;
+            let _ = writer.get_ref().shutdown(std::net::Shutdown::Both);
+        }
+    }
+}
+
+/// One connection: sniff the wire format, then run the read loop on
+/// this thread and the writer on a scoped sibling. Returns when the
+/// client hangs up, a fatal framing fault closes the stream, or
+/// shutdown is raised (after in-flight requests are answered).
+fn handle_connection<B: RequestBrain>(
+    stream: TcpStream,
+    mut brain: B,
     queue: &BatchQueue,
     shutdown: &AtomicBool,
     requests: &AtomicU64,
+    throttled: &AtomicU64,
+    window: usize,
 ) -> std::io::Result<()> {
     stream.set_nodelay(true)?;
     stream.set_read_timeout(Some(POLL_TICK))?;
-    let mut reader = BufReader::new(stream.try_clone()?);
-    let mut writer = BufWriter::new(stream);
-    let (tx, rx) = mpsc::channel();
+
+    // Negotiate the wire format without consuming anything: the first
+    // byte of a binary connection is the magic 0xB1, which no JSON line
+    // starts with.
+    let mode = loop {
+        let mut first = [0u8; 1];
+        match stream.peek(&mut first) {
+            Ok(0) => return Ok(()), // connected, sent nothing, left
+            Ok(_) => {
+                break if first[0] == wire::MAGIC0 {
+                    WireMode::Binary
+                } else {
+                    WireMode::Json
+                }
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if shutdown.load(Ordering::SeqCst) {
+                    return Ok(());
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    };
+
+    let write_stream = stream.try_clone()?;
+    // A generous write timeout keeps a stalled (never-reading) client
+    // from pinning the writer — and with it, graceful shutdown —
+    // forever once the kernel send buffer fills.
+    write_stream.set_write_timeout(Some(Duration::from_secs(5)))?;
+    let (tx, rx) = mpsc::channel::<Delivery>();
+    let inflight = Mutex::new(HashSet::new());
+    let pending = AtomicU64::new(0);
+
+    std::thread::scope(|scope| {
+        let writer = scope.spawn({
+            let inflight = &inflight;
+            let pending = &pending;
+            move || writer_loop(write_stream, rx, mode, inflight, pending)
+        });
+        let io = ConnIo {
+            mode,
+            queue,
+            tx: &tx,
+            inflight: &inflight,
+            pending: &pending,
+            window: window.max(1),
+            requests,
+            throttled,
+        };
+        let result = match mode {
+            WireMode::Json => read_json_loop(&stream, &io, &mut brain, shutdown),
+            WireMode::Binary => read_binary_loop(&stream, &io, &mut brain, shutdown),
+        };
+        // Dropping the reader's sender lets the writer exit once the
+        // last in-flight job has delivered its completion.
+        drop(tx);
+        let _ = writer.join();
+        result
+    })
+}
+
+/// Read loop, line-JSON flavor.
+fn read_json_loop<B: RequestBrain>(
+    stream: &TcpStream,
+    io: &ConnIo<'_>,
+    brain: &mut B,
+    shutdown: &AtomicBool,
+) -> std::io::Result<()> {
+    let mut reader = BufReader::new(stream);
     let mut line = String::new();
     loop {
+        // Stop pulling bytes while the writer backlog is at its cap
+        // (client sends but does not read) — TCP back-pressure takes
+        // over from here.
+        if !io.wait_for_backlog_room(shutdown) {
+            break;
+        }
         // `line` is NOT cleared at the top: a read timeout may leave a
         // partially received request in it, and the next tick must
         // append the rest instead of dropping the fragment.
@@ -155,15 +562,37 @@ fn handle_connection<S: ClassifySession>(
             Ok(0) => break, // client hung up (any partial line is theirs)
             Ok(_) => {
                 if !line.trim().is_empty() {
-                    let response = answer(&line, session, queue, &tx, &rx);
-                    requests.fetch_add(1, Ordering::Relaxed);
-                    writer.write_all(response.as_bytes())?;
-                    writer.flush()?;
+                    let incoming = match protocol::parse_request(&line) {
+                        Ok(request) => {
+                            if request.want_info {
+                                Incoming::Info { id: request.id }
+                            } else if let Some(admin) = request.admin {
+                                Incoming::Admin {
+                                    id: request.id,
+                                    admin,
+                                }
+                            } else {
+                                Incoming::Classify {
+                                    id: request.id,
+                                    levels: request.levels,
+                                    want_scores: request.want_scores,
+                                }
+                            }
+                        }
+                        Err((id, message)) => Incoming::Bad {
+                            id,
+                            message,
+                            fatal: false,
+                        },
+                    };
+                    if !io.dispatch(incoming, brain) {
+                        break;
+                    }
                 }
                 line.clear();
                 // A client that never pauses must not be able to pin
-                // this handler past shutdown: in-flight request is
-                // answered, then the connection closes.
+                // this reader past shutdown: in-flight requests are
+                // answered by the writer, then the connection closes.
                 if shutdown.load(Ordering::SeqCst) {
                     break;
                 }
@@ -182,93 +611,181 @@ fn handle_connection<S: ClassifySession>(
     Ok(())
 }
 
-/// Validates one request line, runs it through the batching queue, and
-/// renders the response line.
-fn answer<S: ClassifySession>(
-    line: &str,
-    session: &S,
-    queue: &BatchQueue,
-    tx: &mpsc::Sender<JobResult>,
-    rx: &mpsc::Receiver<JobResult>,
-) -> String {
-    let request = match protocol::parse_request(line) {
-        Ok(r) => r,
-        Err((id, msg)) => return protocol::error_response(id, &msg),
-    };
-    if request.want_info {
-        return protocol::info_response(
-            request.id,
-            &protocol::ServerInfo {
-                backend: session.kernel_backend().to_owned(),
-                dim: session.dim(),
-                features: session.n_features(),
-                levels: session.m_levels(),
-                classes: session.n_classes(),
-                generation: 0,
-                checksum: protocol::checksum_hex(0),
-            },
-        );
-    }
-    if request.admin.is_some() {
-        return protocol::error_response(
-            request.id,
-            "admin requests need a registry-backed server",
-        );
-    }
-    if let Some(response) = validate(&request, session) {
-        return response;
-    }
-    queue.push(Job {
-        levels: request.levels,
-        want_scores: request.want_scores,
-        tx: tx.clone(),
-    });
-    render_result(request.id, rx)
-}
-
-/// Shape/range validation of a classify row against a session; `Some`
-/// is the error response to send.
-fn validate<S: ClassifySession>(
-    request: &protocol::ClassifyRequest,
-    session: &S,
-) -> Option<String> {
-    if request.levels.len() != session.n_features() {
-        return Some(protocol::error_response(
-            request.id,
-            &format!(
-                "row has {} levels, model expects {}",
-                request.levels.len(),
-                session.n_features()
-            ),
-        ));
-    }
-    if let Some(bad) = request
-        .levels
-        .iter()
-        .position(|&lv| usize::from(lv) >= session.m_levels())
-    {
-        return Some(protocol::error_response(
-            request.id,
-            &format!(
-                "level {} at feature {bad} out of range (M = {})",
-                request.levels[bad],
-                session.m_levels()
-            ),
-        ));
-    }
-    None
-}
-
-/// Awaits a job's batched result and renders the response line.
-fn render_result(id: u64, rx: &mpsc::Receiver<JobResult>) -> String {
-    match rx.recv() {
-        Ok(JobResult::Class(class)) => protocol::ok_response(id, class, None),
-        Ok(JobResult::ClassWithScores(class, scores)) => {
-            protocol::ok_response(id, class, Some(&scores))
+/// Read loop, binary-frame flavor: accumulate bytes, peel off complete
+/// frames, dispatch each. Framed-but-malformed requests (unknown
+/// opcode, newer version, bad payload) answer a structured error and
+/// keep the connection — and its sibling in-flight requests — alive;
+/// only an untrustworthy stream (bad magic, oversized length prefix)
+/// closes it.
+fn read_binary_loop<B: RequestBrain>(
+    mut stream: &TcpStream,
+    io: &ConnIo<'_>,
+    brain: &mut B,
+    shutdown: &AtomicBool,
+) -> std::io::Result<()> {
+    let mut frames = wire::FrameBuffer::new();
+    let mut chunk = vec![0u8; 64 * 1024];
+    'conn: loop {
+        // Same writer-backlog pause as the JSON loop (frames already
+        // buffered still dispatch — bounded by one read chunk).
+        if !io.wait_for_backlog_room(shutdown) {
+            break;
         }
-        Ok(JobResult::Rejected(msg)) => protocol::error_response(id, &msg),
-        Err(_) => protocol::error_response(id, "server shutting down"),
+        match stream.read(&mut chunk) {
+            Ok(0) => break, // client hung up (any partial frame is theirs)
+            Ok(n) => {
+                frames.extend(&chunk[..n]);
+                loop {
+                    match frames.next_frame() {
+                        Ok(Some((header, payload))) => {
+                            let incoming = match wire::decode_request(&header, &payload) {
+                                Ok(wire::ServerFrame::Classify {
+                                    id,
+                                    levels,
+                                    want_scores,
+                                }) => Incoming::Classify {
+                                    id,
+                                    levels,
+                                    want_scores,
+                                },
+                                Ok(wire::ServerFrame::Info { id }) => Incoming::Info { id },
+                                Err((id, message)) => Incoming::Bad {
+                                    id,
+                                    message,
+                                    fatal: false,
+                                },
+                            };
+                            if !io.dispatch(incoming, brain) {
+                                break 'conn;
+                            }
+                        }
+                        Ok(None) => break, // need more bytes
+                        Err(wire::FatalFrameError::BadMagic(_)) => {
+                            // Desynchronized or not our protocol: no
+                            // trustworthy id to answer — close cleanly.
+                            break 'conn;
+                        }
+                        Err(wire::FatalFrameError::Oversized { id, len }) => {
+                            // The id sits before the length prefix, so
+                            // it is still trustworthy: answer, then
+                            // close (the payload cannot be skipped).
+                            let fatal = Incoming::Bad {
+                                id,
+                                message: format!(
+                                    "frame payload of {len} bytes exceeds the {} byte cap",
+                                    wire::MAX_PAYLOAD
+                                ),
+                                fatal: true,
+                            };
+                            let _ = io.dispatch(fatal, brain);
+                            break 'conn;
+                        }
+                    }
+                }
+                if shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
     }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// The two server flavors
+// ---------------------------------------------------------------------
+
+/// Serves classify traffic for one fixed session on `listener` until
+/// `shutdown` is raised.
+///
+/// Every connection speaks either the line-JSON protocol ([`protocol`])
+/// or the binary frame protocol ([`wire`]), negotiated by first-byte
+/// sniffing; requests from all connections funnel into one
+/// [`BatchQueue`] and are answered by `config.workers` fused batch
+/// calls, pipelined up to `config.pipeline_window` deep per connection.
+///
+/// # Errors
+///
+/// Propagates listener configuration errors; per-connection I/O errors
+/// only terminate that connection.
+pub fn serve<S: ClassifySession>(
+    listener: TcpListener,
+    session: &S,
+    config: &BatchConfig,
+    shutdown: &AtomicBool,
+) -> std::io::Result<ServeStats> {
+    listener.set_nonblocking(true)?;
+    let queue = BatchQueue::new();
+    let requests = AtomicU64::new(0);
+    let served = AtomicU64::new(0);
+    let throttled = AtomicU64::new(0);
+    let mut connections = 0u64;
+
+    std::thread::scope(|scope| {
+        let worker_handles: Vec<_> = (0..config.workers.max(1))
+            .map(|_| scope.spawn(|| worker_loop(&queue, session, config, &served)))
+            .collect();
+
+        let mut handler_handles = Vec::new();
+        while !shutdown.load(Ordering::SeqCst) {
+            // Reap handlers whose connections already closed, so a
+            // long-running server does not accumulate one JoinHandle
+            // per connection it ever accepted.
+            handler_handles.retain(|h: &std::thread::ScopedJoinHandle<'_, ()>| !h.is_finished());
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    connections += 1;
+                    let queue = &queue;
+                    let requests = &requests;
+                    let throttled = &throttled;
+                    handler_handles.push(scope.spawn(move || {
+                        let _ = handle_connection(
+                            stream,
+                            SessionBrain { session },
+                            queue,
+                            shutdown,
+                            requests,
+                            throttled,
+                            config.pipeline_window,
+                        );
+                    }));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_micros(500));
+                }
+                Err(_) => break,
+            }
+        }
+
+        // Graceful shutdown: stop accepting, let handlers drain their
+        // in-flight requests (readers exit within a read-timeout tick,
+        // writers once the last completion lands — the workers are
+        // still popping batches at this point), then close the queue so
+        // workers finish the backlog and exit.
+        for h in handler_handles {
+            let _ = h.join();
+        }
+        queue.close();
+        for h in worker_handles {
+            let _ = h.join();
+        }
+    });
+
+    Ok(ServeStats {
+        requests: requests.load(Ordering::Relaxed),
+        classified: served.load(Ordering::Relaxed),
+        connections,
+        throttled: throttled.load(Ordering::Relaxed),
+    })
 }
 
 // ---------------------------------------------------------------------
@@ -278,7 +795,6 @@ fn render_result(id: u64, rx: &mpsc::Receiver<JobResult>) -> String {
 /// Shared context of the registry server's connection handlers.
 struct RegistryCtx<'a> {
     registry: &'a ModelRegistry,
-    queue: &'a BatchQueue,
     admission: &'a AdmissionConfig,
     requests: &'a AtomicU64,
     throttled: &'a AtomicU64,
@@ -286,7 +802,11 @@ struct RegistryCtx<'a> {
 
 /// Serves classify traffic from a [`ModelRegistry`] on `listener` until
 /// `shutdown` is raised, honoring admin requests and enforcing
-/// per-connection admission control.
+/// per-connection admission control. Connections are multiplexed
+/// exactly like [`serve`]'s: JSON or binary by first-byte sniffing,
+/// pipelined up to `config.batch.pipeline_window` in-flight requests,
+/// admission metering every classify request identically in both
+/// formats.
 ///
 /// Hot swaps are wait-free for traffic: a reload/rekey builds the new
 /// generation entirely off the serving path, batches in flight finish
@@ -323,7 +843,6 @@ pub fn serve_registry(
     let mut connections = 0u64;
     let ctx = RegistryCtx {
         registry,
-        queue: &queue,
         admission: &config.admission,
         requests: &requests,
         throttled: &throttled,
@@ -343,8 +862,21 @@ pub fn serve_registry(
                 Ok((stream, _peer)) => {
                     connections += 1;
                     let ctx = &ctx;
+                    let queue = &queue;
                     handler_handles.push(scope.spawn(move || {
-                        let _ = handle_registry_connection(stream, ctx, shutdown);
+                        let brain = RegistryBrain {
+                            ctx,
+                            admission: ConnectionAdmission::new(ctx.admission),
+                        };
+                        let _ = handle_connection(
+                            stream,
+                            brain,
+                            queue,
+                            shutdown,
+                            ctx.requests,
+                            ctx.throttled,
+                            config.batch.pipeline_window,
+                        );
                     }));
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
@@ -430,101 +962,9 @@ fn registry_worker_loop(
                 served.fetch_add(1, Ordering::Relaxed);
             }
             // A handler that hung up already is not an error.
-            let _ = job.tx.send(result);
+            let _ = job.tx.send(job.complete(result));
         }
     }
-}
-
-/// One registry-server connection, with its own admission state.
-fn handle_registry_connection(
-    stream: TcpStream,
-    ctx: &RegistryCtx<'_>,
-    shutdown: &AtomicBool,
-) -> std::io::Result<()> {
-    stream.set_nodelay(true)?;
-    stream.set_read_timeout(Some(POLL_TICK))?;
-    let mut reader = BufReader::new(stream.try_clone()?);
-    let mut writer = BufWriter::new(stream);
-    let (tx, rx) = mpsc::channel();
-    let mut admission = ConnectionAdmission::new(ctx.admission);
-    let mut line = String::new();
-    loop {
-        match reader.read_line(&mut line) {
-            Ok(0) => break,
-            Ok(_) => {
-                if !line.trim().is_empty() {
-                    let response = answer_registry(&line, ctx, &mut admission, &tx, &rx);
-                    ctx.requests.fetch_add(1, Ordering::Relaxed);
-                    writer.write_all(response.as_bytes())?;
-                    writer.flush()?;
-                }
-                line.clear();
-                if shutdown.load(Ordering::SeqCst) {
-                    break;
-                }
-            }
-            Err(e)
-                if e.kind() == std::io::ErrorKind::WouldBlock
-                    || e.kind() == std::io::ErrorKind::TimedOut =>
-            {
-                if shutdown.load(Ordering::SeqCst) {
-                    break;
-                }
-            }
-            Err(_) => break,
-        }
-    }
-    Ok(())
-}
-
-/// Answers one registry-server request: info/stats/admin inline,
-/// classify through admission + the batch queue.
-fn answer_registry(
-    line: &str,
-    ctx: &RegistryCtx<'_>,
-    admission: &mut ConnectionAdmission,
-    tx: &mpsc::Sender<JobResult>,
-    rx: &mpsc::Receiver<JobResult>,
-) -> String {
-    let request = match protocol::parse_request(line) {
-        Ok(r) => r,
-        Err((id, msg)) => return protocol::error_response(id, &msg),
-    };
-    if request.want_info {
-        let generation = ctx.registry.current();
-        let session = generation.session();
-        return protocol::info_response(
-            request.id,
-            &protocol::ServerInfo {
-                backend: session.kernel_backend().to_owned(),
-                dim: session.dim(),
-                features: session.n_features(),
-                levels: session.m_levels(),
-                classes: session.n_classes(),
-                generation: generation.id(),
-                checksum: protocol::checksum_hex(generation.checksum()),
-            },
-        );
-    }
-    if let Some(admin) = &request.admin {
-        return answer_admin(request.id, admin, ctx);
-    }
-    {
-        let generation = ctx.registry.current();
-        if let Some(response) = validate(&request, generation.session()) {
-            return response;
-        }
-    }
-    if let Err(reason) = admission.admit(&request.levels) {
-        ctx.throttled.fetch_add(1, Ordering::Relaxed);
-        return protocol::throttle_response(request.id, &reason.to_string());
-    }
-    ctx.queue.push(Job {
-        levels: request.levels,
-        want_scores: request.want_scores,
-        tx: tx.clone(),
-    });
-    render_result(request.id, rx)
 }
 
 /// Executes one admin operation synchronously on the handler thread

@@ -94,6 +94,19 @@ impl ByteWriter {
         self.put_u64(v as u64);
     }
 
+    /// Appends raw bytes verbatim (strings and opaque payloads).
+    pub fn put_bytes(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Appends a row of `u16` values verbatim (the serving wire
+    /// protocol's packed quantized-level rows).
+    pub fn put_u16s(&mut self, values: &[u16]) {
+        for &v in values {
+            self.buf.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+
     /// Appends packed plane words verbatim.
     pub fn put_words(&mut self, words: &[u64]) {
         for &w in words {
@@ -205,6 +218,31 @@ impl<'a> ByteReader<'a> {
         let v = self.get_u64()?;
         usize::try_from(v)
             .map_err(|_| StoreError::Malformed(format!("count {v} does not fit in usize")))
+    }
+
+    /// Reads `n` raw bytes (strings and opaque payloads).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Truncated`] when the input is exhausted.
+    pub fn get_bytes(&mut self, n: usize) -> Result<&'a [u8], StoreError> {
+        self.take(n)
+    }
+
+    /// Reads `n` `u16` values (packed quantized-level rows).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Truncated`] when the input is exhausted.
+    pub fn get_u16s(&mut self, n: usize) -> Result<Vec<u16>, StoreError> {
+        let raw = self.take(
+            n.checked_mul(2)
+                .ok_or(StoreError::Malformed("value count overflows".to_owned()))?,
+        )?;
+        Ok(raw
+            .chunks_exact(2)
+            .map(|c| u16::from_le_bytes(c.try_into().expect("len 2")))
+            .collect())
     }
 
     /// Reads `n` packed plane words.
@@ -358,6 +396,8 @@ mod tests {
         w.put_i64(-42);
         w.put_f32(-0.0);
         w.put_usize(12345);
+        w.put_bytes(b"raw");
+        w.put_u16s(&[0, u16::MAX, 7]);
         w.put_words(&[1, u64::MAX]);
         w.put_i32s(&[-1, i32::MIN]);
         let bytes = w.into_bytes();
@@ -369,6 +409,8 @@ mod tests {
         assert_eq!(r.get_i64().unwrap(), -42);
         assert_eq!(r.get_f32().unwrap().to_bits(), (-0.0f32).to_bits());
         assert_eq!(r.get_usize().unwrap(), 12345);
+        assert_eq!(r.get_bytes(3).unwrap(), b"raw");
+        assert_eq!(r.get_u16s(3).unwrap(), vec![0, u16::MAX, 7]);
         assert_eq!(r.get_words(2).unwrap(), vec![1, u64::MAX]);
         assert_eq!(r.get_i32s(2).unwrap(), vec![-1, i32::MIN]);
         assert_eq!(r.remaining(), 0);

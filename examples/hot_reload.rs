@@ -113,6 +113,7 @@ fn main() -> std::io::Result<()> {
                     connections: 8,
                     requests_per_connection: 300,
                     seed: 1,
+                    ..Default::default()
                 },
             )
             .expect("load generation")

@@ -1,6 +1,7 @@
 //! Serving quickstart: boot the request-batching classify server over a
-//! trained model, talk to it over TCP, then drive it with the load
-//! generator.
+//! trained model, talk to it over TCP — first in line-JSON, then as a
+//! pipelined binary-frame client — and drive it with the load
+//! generator in both wire formats.
 //!
 //! Run with: `cargo run --release --example serving`
 
@@ -9,7 +10,9 @@ use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 
 use hdlock_repro::hdc_serve::demo::{demo_model, DemoSpec};
-use hdlock_repro::hdc_serve::{loadgen, protocol, server, BatchConfig, LoadgenConfig};
+use hdlock_repro::hdc_serve::{
+    loadgen, protocol, server, wire, BatchConfig, LoadgenConfig, WireMode,
+};
 
 fn main() -> std::io::Result<()> {
     // 1. Train a model (any `Encoder` works — swap in a locked one to
@@ -53,26 +56,69 @@ fn main() -> std::io::Result<()> {
         drop(writer);
         drop(reader);
 
-        // 4. Load-test it: concurrent closed-loop connections, fused
-        //    into batch calls by the server's queue.
-        let report = loadgen::run(
-            addr,
-            spec.n_features,
-            spec.m_levels,
-            &LoadgenConfig {
-                connections: 16,
-                requests_per_connection: 250,
-                seed: 1,
-            },
-        )?;
+        // 4. Speak the binary wire format, pipelined: the same server
+        //    sniffs the first byte (0xB1) and switches this connection
+        //    to length-prefixed frames. Eight classify requests go out
+        //    back to back; completions come back in whatever order the
+        //    batch workers finish, matched by the echoed request id.
+        let stream = TcpStream::connect(addr)?;
+        let mut reader = BufReader::new(stream.try_clone()?);
+        let mut writer = stream;
+        let rows: Vec<Vec<u16>> = (0..8u16)
+            .map(|i| {
+                (0..spec.n_features)
+                    .map(|f| ((usize::from(i) + f) % spec.m_levels) as u16)
+                    .collect()
+            })
+            .collect();
+        let mut burst = Vec::new();
+        for (i, row) in rows.iter().enumerate() {
+            burst.extend(wire::classify_frame(100 + i as u64, row, false));
+        }
+        writer.write_all(&burst)?;
+        let mut classes = vec![None; rows.len()];
+        for _ in 0..rows.len() {
+            let (header, payload) = wire::read_frame(&mut reader)?;
+            let response = wire::decode_response(&header, &payload).expect("well-formed frame");
+            classes[(response.id - 100) as usize] = response.class;
+        }
         println!(
-            "load test: {:.0} requests/s ({} ok, {} errors), latency µs p50 {} p99 {}",
-            report.requests_per_sec,
-            report.total_requests,
-            report.errors,
-            report.latency.p50_micros,
-            report.latency.p99_micros
+            "binary pipelined burst → classes {:?} (matched by request id)",
+            classes.iter().map(|c| c.unwrap()).collect::<Vec<_>>()
         );
+        drop(writer);
+        drop(reader);
+
+        // 5. Load-test it in both wire formats: concurrent closed-loop
+        //    connections, fused into batch calls by the server's queue.
+        //    The pipelined binary clients keep the queue full without
+        //    needing more connections.
+        for (label, wire_mode, pipeline) in [
+            ("json serial      ", WireMode::Json, 1),
+            ("binary pipelined ", WireMode::Binary, 16),
+        ] {
+            let report = loadgen::run(
+                addr,
+                spec.n_features,
+                spec.m_levels,
+                &LoadgenConfig {
+                    connections: 16,
+                    requests_per_connection: 250,
+                    seed: 1,
+                    wire: wire_mode,
+                    pipeline,
+                },
+            )?;
+            println!(
+                "load test ({label}): {:.0} requests/s ({} ok, {} errors), \
+                 latency µs p50 {} p99 {}",
+                report.requests_per_sec,
+                report.total_requests,
+                report.errors,
+                report.latency.p50_micros,
+                report.latency.p99_micros
+            );
+        }
 
         shutdown.store(true, Ordering::SeqCst);
         let stats = server_thread.join().expect("server thread")?;
