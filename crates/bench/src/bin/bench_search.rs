@@ -15,10 +15,20 @@
 //! next to `BENCH_encoding.json`; `bench_gate` enforces the recorded
 //! speedups against `ci/bench_gates.json`.
 //!
+//! A second, million-row section measures *top-k* similarity search —
+//! the exact heap scan ([`search_topk_binary`]
+//! [`hypervec::ShardedClassMemory::search_topk_binary`]) against the
+//! coarse-probe pruned scan — over a corpus with planted near-duplicate
+//! families, recording q/s, the pruned-vs-exact speedup, and recall@k,
+//! and asserting in-bench that the pruned scan at full probe width is
+//! bit-identical to the exact one.
+//!
 //! Usage: `bench_search [--dim D] [--classes C] [--queries Q]
-//! [--connections K] [--requests R] [--out PATH]` — defaults reproduce
-//! the acceptance configuration `D = 10 000, C ≥ 8`.
+//! [--connections K] [--requests R] [--topk-rows N] [--topk-k K]
+//! [--topk-queries Q] [--out PATH]` — defaults reproduce the
+//! acceptance configuration `D = 10 000, C ≥ 8, N = 1 000 000`.
 
+use std::collections::{HashMap, HashSet};
 use std::fmt::Write as _;
 use std::net::TcpListener;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -27,7 +37,7 @@ use std::time::Instant;
 use hdc_model::{infer, ClassMemory, ModelKind};
 use hdc_serve::demo::{demo_model, DemoSpec};
 use hdc_serve::{loadgen, protocol, server, wire, BatchConfig, LoadgenConfig, WireMode};
-use hypervec::{kernel, BinaryHv, HvRng, IntHv};
+use hypervec::{kernel, BinaryHv, HvRng, IntHv, ProbeConfig, ShardedClassMemory};
 
 struct Options {
     dim: usize,
@@ -35,6 +45,9 @@ struct Options {
     n_queries: usize,
     connections: usize,
     requests: usize,
+    topk_rows: usize,
+    topk_k: usize,
+    topk_queries: usize,
     out: String,
 }
 
@@ -46,6 +59,9 @@ impl Default for Options {
             n_queries: 256,
             connections: 32,
             requests: 1500,
+            topk_rows: 1_000_000,
+            topk_k: 10,
+            topk_queries: 8,
             out: "BENCH_search.json".to_owned(),
         }
     }
@@ -69,10 +85,17 @@ fn parse_options() -> Options {
                 opts.connections = value(i).parse().expect("--connections needs an integer")
             }
             "--requests" => opts.requests = value(i).parse().expect("--requests needs an integer"),
+            "--topk-rows" => {
+                opts.topk_rows = value(i).parse().expect("--topk-rows needs an integer")
+            }
+            "--topk-k" => opts.topk_k = value(i).parse().expect("--topk-k needs an integer"),
+            "--topk-queries" => {
+                opts.topk_queries = value(i).parse().expect("--topk-queries needs an integer")
+            }
             "--out" => opts.out = value(i),
             other => panic!(
                 "unknown argument '{other}'; supported: --dim --classes --queries \
-                 --connections --requests --out"
+                 --connections --requests --topk-rows --topk-k --topk-queries --out"
             ),
         }
         i += 2;
@@ -127,6 +150,138 @@ fn throughput(queries_per_call: usize, min_secs: f64, mut search_all: impl FnMut
         }
     }
     (calls * queries_per_call) as f64 / start.elapsed().as_secs_f64()
+}
+
+/// Near-duplicate family size planted around each top-k query's
+/// prototype. Kept below `probe_factor · k` (320 by default) so the
+/// coarse pass's candidate set can hold a query's whole true
+/// neighborhood — the regime the pruned scan is designed for.
+const TOPK_FAMILY: usize = 32;
+
+/// Bit-flip rate separating family members (and the query) from their
+/// shared prototype: ~10 % noise keeps intra-family Hamming distance
+/// ≈ 0.18·D against ≈ 0.5·D for the random background.
+const TOPK_NOISE: f64 = 0.10;
+
+/// Copy of `base` with roughly `rate · D` random bit flips.
+fn noisy(base: &BinaryHv, rng: &mut HvRng, rate: f64) -> BinaryHv {
+    let mut v = base.clone();
+    let flips = (base.dim() as f64 * rate) as usize;
+    for _ in 0..flips {
+        v.flip(rng.index(base.dim()));
+    }
+    v
+}
+
+/// Results of the million-row top-k section.
+struct TopKSection {
+    exact_qps: f64,
+    pruned_qps: f64,
+    recall_at_k: f64,
+    full_width_bit_identical: bool,
+    probe: ProbeConfig,
+}
+
+/// Builds the planted-family corpus and measures exact vs pruned top-k
+/// throughput and recall@k. The corpus is `topk_rows` random
+/// hypervectors except for one [`TOPK_FAMILY`]-sized near-duplicate
+/// family per query, scattered through the row range — each query then
+/// has a true neighborhood larger than `k`, so recall@k measures
+/// something (an all-random corpus has no neighbors to miss).
+///
+/// Also re-asserts, on the real corpus, the property test's claim that
+/// the pruned scan at full probe width is bit-identical to the exact
+/// scan — rows *and* score bits.
+fn run_topk_section(opts: &Options, rng: &mut HvRng, min_secs: f64) -> TopKSection {
+    assert!(
+        opts.topk_rows >= opts.topk_queries * TOPK_FAMILY,
+        "--topk-rows must fit {} planted families of {TOPK_FAMILY}",
+        opts.topk_queries
+    );
+    let probe = ProbeConfig::default();
+
+    // Plant the families at a fixed stride so positions never collide
+    // and every shard of the row range carries some of them.
+    let stride = (opts.topk_rows / (opts.topk_queries * TOPK_FAMILY)).max(1);
+    let mut planted: HashMap<usize, BinaryHv> = HashMap::new();
+    let mut queries: Vec<BinaryHv> = Vec::with_capacity(opts.topk_queries);
+    for qi in 0..opts.topk_queries {
+        let proto = rng.binary_hv(opts.dim);
+        for f in 0..TOPK_FAMILY {
+            planted.insert(
+                (qi * TOPK_FAMILY + f) * stride,
+                noisy(&proto, rng, TOPK_NOISE),
+            );
+        }
+        queries.push(noisy(&proto, rng, TOPK_NOISE));
+    }
+    let mut corpus = ShardedClassMemory::new(opts.dim);
+    corpus.reserve(opts.topk_rows);
+    for r in 0..opts.topk_rows {
+        let row = planted
+            .remove(&r)
+            .unwrap_or_else(|| rng.binary_hv(opts.dim));
+        corpus.push(&row).expect("corpus rows share the dimension");
+    }
+    let query_refs: Vec<&BinaryHv> = queries.iter().collect();
+
+    // Ground truth once, then the two correctness checks.
+    let exact = corpus
+        .search_topk_binary(&query_refs, opts.topk_k)
+        .expect("exact top-k over the corpus");
+    let full_width = ProbeConfig {
+        probe_words: usize::MAX, // clamped to ⌈D/64⌉: coarse pass = exact scan
+        exact_threshold: 0,      // force the pruned code path
+        ..probe
+    };
+    let full = corpus
+        .search_topk_binary_pruned(&query_refs, opts.topk_k, &full_width)
+        .expect("full-width pruned top-k over the corpus");
+    let full_width_bit_identical = (0..query_refs.len()).all(|q| {
+        let (e, f) = (exact.matches(q), full.matches(q));
+        e.len() == f.len()
+            && e.iter()
+                .zip(f)
+                .all(|(a, b)| a.row == b.row && a.score.to_bits() == b.score.to_bits())
+    });
+    assert!(
+        full_width_bit_identical,
+        "pruned top-k at full probe width diverged from the exact scan"
+    );
+    let pruned = corpus
+        .search_topk_binary_pruned(&query_refs, opts.topk_k, &probe)
+        .expect("pruned top-k over the corpus");
+    let recall_at_k = (0..query_refs.len())
+        .map(|q| {
+            let truth: HashSet<usize> = exact.matches(q).iter().map(|m| m.row).collect();
+            let hit = pruned
+                .matches(q)
+                .iter()
+                .filter(|m| truth.contains(&m.row))
+                .count();
+            hit as f64 / truth.len() as f64
+        })
+        .sum::<f64>()
+        / query_refs.len() as f64;
+
+    let exact_qps = throughput(query_refs.len(), min_secs, || {
+        std::hint::black_box(corpus.search_topk_binary(&query_refs, opts.topk_k).unwrap());
+    });
+    let pruned_qps = throughput(query_refs.len(), min_secs, || {
+        std::hint::black_box(
+            corpus
+                .search_topk_binary_pruned(&query_refs, opts.topk_k, &probe)
+                .unwrap(),
+        );
+    });
+
+    TopKSection {
+        exact_qps,
+        pruned_qps,
+        recall_at_k,
+        full_width_bit_identical,
+        probe,
+    }
 }
 
 /// Sends the same deterministic rows (scores requested) through a JSON
@@ -350,6 +505,32 @@ fn main() {
         kernel::name()
     );
 
+    // Million-row top-k: exact heap scan vs coarse-probe pruning.
+    println!(
+        "building top-k corpus ({} rows × D = {}, {} planted families of {TOPK_FAMILY}) …",
+        opts.topk_rows, opts.dim, opts.topk_queries
+    );
+    let topk = run_topk_section(&opts, &mut rng, min_secs);
+    let speedup_pruned_vs_exact = topk.pruned_qps / topk.exact_qps;
+    println!(
+        "top-k search (rows = {}, k = {}, batch = {}, probe {} words × factor {})",
+        opts.topk_rows,
+        opts.topk_k,
+        opts.topk_queries,
+        topk.probe.probe_words,
+        topk.probe.probe_factor
+    );
+    println!("  {:<32} {:>14.1} queries/s", "topk_exact", topk.exact_qps);
+    println!(
+        "  {:<32} {:>14.1} queries/s",
+        "topk_pruned", topk.pruned_qps
+    );
+    println!(
+        "  pruned vs exact: {speedup_pruned_vs_exact:.2}x at recall@{} = {:.4} \
+         (full-width probe bit-identical to exact: {})",
+        opts.topk_k, topk.recall_at_k, topk.full_width_bit_identical
+    );
+
     // Serving: boot the batching server on a loopback port and measure
     // sustained classify requests/sec end to end.
     let spec = DemoSpec::default();
@@ -474,6 +655,40 @@ fn main() {
         json,
         "  \"speedup_batch_vs_wordparallel_per_query\": {speedup_vs_wordparallel:.2},"
     );
+    let _ = writeln!(json, "  \"topk\": {{");
+    let _ = writeln!(
+        json,
+        "    \"config\": {{ \"rows\": {}, \"k\": {}, \"queries\": {}, \"family\": {TOPK_FAMILY}, \
+         \"noise\": {TOPK_NOISE}, \"probe_words\": {}, \"probe_factor\": {}, \
+         \"exact_threshold\": {} }},",
+        opts.topk_rows,
+        opts.topk_k,
+        opts.topk_queries,
+        topk.probe.probe_words,
+        topk.probe.probe_factor,
+        topk.probe.exact_threshold
+    );
+    let _ = writeln!(
+        json,
+        "    \"exact_queries_per_sec\": {:.1},",
+        topk.exact_qps
+    );
+    let _ = writeln!(
+        json,
+        "    \"pruned_queries_per_sec\": {:.1},",
+        topk.pruned_qps
+    );
+    let _ = writeln!(
+        json,
+        "    \"speedup_pruned_vs_exact\": {speedup_pruned_vs_exact:.2},"
+    );
+    let _ = writeln!(json, "    \"recall_at_k\": {:.4},", topk.recall_at_k);
+    let _ = writeln!(
+        json,
+        "    \"pruned_full_width_bit_identical\": {}",
+        topk.full_width_bit_identical
+    );
+    let _ = writeln!(json, "  }},");
     let _ = writeln!(json, "  \"serving\": {{");
     let _ = writeln!(
         json,

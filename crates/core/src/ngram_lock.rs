@@ -163,6 +163,40 @@ impl LockedNgramEncoder {
             })
     }
 
+    /// Batch k-mer encoding through the locked symbols — delegates to
+    /// [`NgramEncoder::encode_batch`], so it is bit-identical to
+    /// [`LockedNgramEncoder::encode_sequence`] sequence by sequence.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first encoding error in sequence order.
+    pub fn encode_batch(&self, sequences: &[&[usize]]) -> Result<Vec<BinaryHv>, LockError> {
+        self.inner
+            .encode_batch(sequences)
+            .map_err(|_| LockError::InvalidParameter {
+                what: "sequence too short or bad symbol",
+            })
+    }
+
+    /// Ingests a k-mer corpus into a row memory for top-k similarity
+    /// search (see [`NgramEncoder::ingest`]) — the HDLock serving
+    /// shape: the *public* row memory holds locked encodings, queries
+    /// arrive pre-encoded or through the vault-held key.
+    ///
+    /// # Errors
+    ///
+    /// Propagates encoding errors; empty corpora are rejected.
+    pub fn ingest(
+        &self,
+        sequences: &[&[usize]],
+    ) -> Result<hypervec::ShardedClassMemory, LockError> {
+        self.inner
+            .ingest(sequences)
+            .map_err(|_| LockError::InvalidParameter {
+                what: "empty corpus, sequence too short, or bad symbol",
+            })
+    }
+
     /// Reasoning complexity for the symbol mapping: `A · (D·P)^L` where
     /// `A` is the alphabet size — the n-gram analogue of the paper's
     /// `N · (D·P)^L`.

@@ -90,6 +90,13 @@ pub struct Kernel {
     /// `q_block.len()` words back to back; `dist[r] +=
     /// Σ popcount(q_block ^ rows[r])`. The batch-search hot loop.
     pub hamming_rows: fn(q_block: &[u64], rows: &[u64], dist: &mut [u32]),
+    /// Strided variant of `hamming_rows` for the pruned top-k coarse
+    /// pass: row `r` occupies `rows[r * stride ..]` but only its first
+    /// `q_block.len()` words are scanned — a free word-prefix subsample
+    /// of each block-major plane block. `stride == q_block.len()`
+    /// degenerates to `hamming_rows`. Requires `stride >=
+    /// q_block.len()`.
+    pub hamming_rows_stride: fn(q_block: &[u64], rows: &[u64], stride: usize, dist: &mut [u32]),
     /// Wrapping `i64` dot product of two `i32` slices (cosine search).
     pub dot_i32: fn(a: &[i32], b: &[i32]) -> i64,
 }

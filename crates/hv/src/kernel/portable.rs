@@ -26,6 +26,7 @@ pub(super) static KERNEL: Kernel = Kernel {
     ripple_step,
     threshold_step,
     hamming_rows,
+    hamming_rows_stride,
     dot_i32,
 };
 
@@ -166,6 +167,13 @@ fn hamming_rows(q_block: &[u64], rows: &[u64], dist: &mut [u32]) {
     let len = q_block.len();
     for (r, d) in dist.iter_mut().enumerate() {
         *d += hamming(q_block, &rows[r * len..(r + 1) * len]) as u32;
+    }
+}
+
+fn hamming_rows_stride(q_block: &[u64], rows: &[u64], stride: usize, dist: &mut [u32]) {
+    let len = q_block.len();
+    for (r, d) in dist.iter_mut().enumerate() {
+        *d += hamming(q_block, &rows[r * stride..r * stride + len]) as u32;
     }
 }
 

@@ -16,6 +16,7 @@ pub(super) static KERNEL: Kernel = Kernel {
     ripple_step,
     threshold_step,
     hamming_rows,
+    hamming_rows_stride,
     dot_i32,
 };
 
@@ -73,6 +74,18 @@ fn hamming_rows(q_block: &[u64], rows: &[u64], dist: &mut [u32]) {
     let len = q_block.len();
     for (r, d) in dist.iter_mut().enumerate() {
         let row = &rows[r * len..(r + 1) * len];
+        let mut acc = 0u32;
+        for (a, w) in q_block.iter().zip(row) {
+            acc += (a ^ w).count_ones();
+        }
+        *d += acc;
+    }
+}
+
+fn hamming_rows_stride(q_block: &[u64], rows: &[u64], stride: usize, dist: &mut [u32]) {
+    let len = q_block.len();
+    for (r, d) in dist.iter_mut().enumerate() {
+        let row = &rows[r * stride..r * stride + len];
         let mut acc = 0u32;
         for (a, w) in q_block.iter().zip(row) {
             acc += (a ^ w).count_ones();

@@ -19,9 +19,10 @@
 
 use std::arch::x86_64::{
     __m256i, _mm256_add_epi64, _mm256_add_epi8, _mm256_and_si256, _mm256_extract_epi64,
-    _mm256_loadu_si256, _mm256_mul_epi32, _mm256_or_si256, _mm256_sad_epu8, _mm256_set1_epi8,
-    _mm256_setr_epi8, _mm256_setzero_si256, _mm256_shuffle_epi8, _mm256_srli_epi16,
-    _mm256_srli_epi64, _mm256_storeu_si256, _mm256_testz_si256, _mm256_xor_si256,
+    _mm256_loadu_si256, _mm256_mul_epi32, _mm256_or_si256, _mm256_permute2x128_si256,
+    _mm256_sad_epu8, _mm256_set1_epi8, _mm256_setr_epi8, _mm256_setzero_si256, _mm256_shuffle_epi8,
+    _mm256_srli_epi16, _mm256_srli_epi64, _mm256_storeu_si256, _mm256_testz_si256,
+    _mm256_unpackhi_epi64, _mm256_unpacklo_epi64, _mm256_xor_si256,
 };
 
 use super::Kernel;
@@ -42,6 +43,7 @@ pub(super) static KERNEL: Kernel = Kernel {
     ripple_step,
     threshold_step,
     hamming_rows,
+    hamming_rows_stride,
     dot_i32,
 };
 
@@ -78,6 +80,11 @@ fn threshold_step(plane: &[u64], t_bit: bool, gt: &mut [u64], eq: &mut [u64]) {
 fn hamming_rows(q_block: &[u64], rows: &[u64], dist: &mut [u32]) {
     // SAFETY: AVX2 availability is guaranteed by the dispatch layer.
     unsafe { hamming_rows_avx2(q_block, rows, dist) }
+}
+
+fn hamming_rows_stride(q_block: &[u64], rows: &[u64], stride: usize, dist: &mut [u32]) {
+    // SAFETY: AVX2 availability is guaranteed by the dispatch layer.
+    unsafe { hamming_rows_stride_avx2(q_block, rows, stride, dist) }
 }
 
 fn dot_i32(a: &[i32], b: &[i32]) -> i64 {
@@ -247,19 +254,104 @@ unsafe fn hamming_rows_avx2(q_block: &[u64], rows: &[u64], dist: &mut [u32]) {
 }
 
 #[target_feature(enable = "avx2")]
+unsafe fn hamming_rows_stride_avx2(q_block: &[u64], rows: &[u64], stride: usize, dist: &mut [u32]) {
+    // The strided scan is the pruned top-k coarse pass: short prefixes
+    // (tens of words) over many rows, so per-row overhead — not the
+    // popcount itself — is what shows up. Rows go two at a time so each
+    // query-word load is shared and the two popcount chains overlap;
+    // the sums stay plain wrapping adds of the same per-word popcounts,
+    // so the result is bit-identical to the one-row path.
+    let len = q_block.len();
+    let blocks = len / WORDS;
+    let n = dist.len();
+    let mut r = 0usize;
+    while r + 4 <= n {
+        let bases = [
+            r * stride,
+            (r + 1) * stride,
+            (r + 2) * stride,
+            (r + 3) * stride,
+        ];
+        let mut acc = [_mm256_setzero_si256(); 4];
+        for i in 0..blocks {
+            let q = _mm256_loadu_si256(q_block.as_ptr().add(i * WORDS).cast());
+            for (lane, &base) in acc.iter_mut().zip(&bases) {
+                let x = _mm256_loadu_si256(rows.as_ptr().add(base + i * WORDS).cast());
+                *lane = _mm256_add_epi64(*lane, popcnt256(_mm256_xor_si256(q, x)));
+            }
+        }
+        let sums = hsum4_u64(acc[0], acc[1], acc[2], acc[3]);
+        let mut s = [0u64; 4];
+        _mm256_storeu_si256(s.as_mut_ptr().cast(), sums);
+        for i in blocks * WORDS..len {
+            let qw = q_block[i];
+            for (sum, &base) in s.iter_mut().zip(&bases) {
+                *sum += u64::from((qw ^ rows[base + i]).count_ones());
+            }
+        }
+        for (d, &sum) in dist[r..r + 4].iter_mut().zip(&s) {
+            *d += sum as u32;
+        }
+        r += 4;
+    }
+    while r < n {
+        dist[r] += hamming_avx2(q_block, &rows[r * stride..r * stride + len]) as u32;
+        r += 1;
+    }
+}
+
+/// Per-row horizontal sums of four 4×`u64`-lane accumulators at once:
+/// returns `[Σa, Σb, Σc, Σd]` — a 4×4 lane transpose-and-add, cheaper
+/// than four independent extract-based reductions.
+#[target_feature(enable = "avx2")]
+unsafe fn hsum4_u64(a: __m256i, b: __m256i, c: __m256i, d: __m256i) -> __m256i {
+    let t0 = _mm256_add_epi64(_mm256_unpacklo_epi64(a, b), _mm256_unpackhi_epi64(a, b));
+    let t1 = _mm256_add_epi64(_mm256_unpacklo_epi64(c, d), _mm256_unpackhi_epi64(c, d));
+    let lo = _mm256_permute2x128_si256(t0, t1, 0x20);
+    let hi = _mm256_permute2x128_si256(t0, t1, 0x31);
+    _mm256_add_epi64(lo, hi)
+}
+
+/// Unroll factor of the widened dot accumulation: 4 vectors (32 `i32`
+/// values) per iteration, each feeding its own accumulator register.
+const DOT_UNROLL: usize = 4;
+
+#[target_feature(enable = "avx2")]
 unsafe fn dot_i32_avx2(a: &[i32], b: &[i32]) -> i64 {
+    // vpmaddwd would halve the multiply count but silently truncates
+    // inputs outside i16 — the exactness contract (wrapping i64 dot for
+    // arbitrary i32 accumulators) rules it out. Instead the vpmuldq
+    // even/odd widening multiplies are unrolled over DOT_UNROLL
+    // independent accumulators so the epi64 adds pipeline instead of
+    // serializing on one register; wrapping integer addition commutes,
+    // so the reassociated sum is bit-identical to the scalar reference.
     let n = a.len().min(b.len());
+    let step = INTS * DOT_UNROLL;
+    let wide_blocks = n / step;
+    let mut acc = [_mm256_setzero_si256(); DOT_UNROLL];
+    for i in 0..wide_blocks {
+        for (u, lane) in acc.iter_mut().enumerate() {
+            let off = i * step + u * INTS;
+            let x = _mm256_loadu_si256(a.as_ptr().add(off).cast());
+            let y = _mm256_loadu_si256(b.as_ptr().add(off).cast());
+            let even = _mm256_mul_epi32(x, y);
+            let odd = _mm256_mul_epi32(_mm256_srli_epi64::<32>(x), _mm256_srli_epi64::<32>(y));
+            *lane = _mm256_add_epi64(*lane, _mm256_add_epi64(even, odd));
+        }
+    }
+    let mut tail_acc = _mm256_setzero_si256();
     let blocks = n / INTS;
-    let mut acc = _mm256_setzero_si256();
-    for i in 0..blocks {
+    for i in wide_blocks * DOT_UNROLL..blocks {
         let x = _mm256_loadu_si256(a.as_ptr().add(i * INTS).cast());
         let y = _mm256_loadu_si256(b.as_ptr().add(i * INTS).cast());
-        // Widening signed multiplies of the even and odd 32-bit lanes.
         let even = _mm256_mul_epi32(x, y);
         let odd = _mm256_mul_epi32(_mm256_srli_epi64::<32>(x), _mm256_srli_epi64::<32>(y));
-        acc = _mm256_add_epi64(acc, _mm256_add_epi64(even, odd));
+        tail_acc = _mm256_add_epi64(tail_acc, _mm256_add_epi64(even, odd));
     }
-    let mut dot = sum_lanes_u64(acc) as i64;
+    for lane in acc {
+        tail_acc = _mm256_add_epi64(tail_acc, lane);
+    }
+    let mut dot = sum_lanes_u64(tail_acc) as i64;
     for i in blocks * INTS..n {
         dot = dot.wrapping_add(i64::from(a[i]) * i64::from(b[i]));
     }

@@ -75,6 +75,31 @@
 //!   retraining loop keep a packed mirror in sync without rebuilding
 //!   it after every accumulator adjustment.
 //!
+//! ## Top-k search
+//!
+//! Classification needs top-1 over tens of class rows; the
+//! million-user similarity workload needs top-k over millions of rows,
+//! where materializing full `queries × rows` score vectors is the
+//! bottleneck. `search_topk_binary` / `search_topk_int` shard the rows
+//! across workers, stream each shard tile by tile through the
+//! block-major planes, and keep *bounded heaps* of the k best
+//! candidates — `O(tile + k)` memory per worker, merged
+//! deterministically, and **bit-identical** (rows, tie order, score
+//! bits) to stably sorting the full score vector.
+//!
+//! `search_topk_binary_pruned` adds a coarse-quantized multi-probe
+//! scan: a first pass reads only the leading packed words of every row
+//! ([`ProbeConfig::probe_words`] of `⌈D/64⌉`, free in the block-major
+//! layout), keeps `probe_factor · k` candidates per query, and
+//! rescores the survivors with exact full-width distances.
+//! The semantics are pinned at the extremes: at **full probe width**
+//! the result is *bit-identical* to exact top-k (argmax, tie order,
+//! score sequence — property-tested), and below
+//! [`ProbeConfig::exact_threshold`] rows the call falls back to the
+//! exact scan. In between, `probe_factor` is the recall knob: recall@k
+//! approaches 1 as the candidate multiple grows past the size of the
+//! query's true neighborhood, at the cost of rescoring more survivors.
+//!
 //! ## Kernel backends
 //!
 //! All of the loops above — XOR-accumulate, popcount reduction, the
@@ -138,6 +163,7 @@ pub mod perm;
 pub mod rng;
 pub mod search;
 pub mod sim;
+pub mod topk;
 
 pub use accumulator::BundleAccumulator;
 pub use binary::BinaryHv;
@@ -151,3 +177,4 @@ pub use perm::Permutation;
 pub use rng::HvRng;
 pub use search::{BatchSearchResult, ShardedClassMemory};
 pub use sim::{argmax, argmin, Similarity};
+pub use topk::{BatchTopKResult, ProbeConfig, TopKMatch};

@@ -184,10 +184,22 @@ impl ShardedClassMemory {
     pub fn from_rows(rows: &[BinaryHv]) -> Result<Self, HvError> {
         let first = rows.first().ok_or(HvError::EmptyInput)?;
         let mut mem = Self::new(first.dim());
+        mem.reserve(rows.len());
         for row in rows {
             mem.push(row)?;
         }
         Ok(mem)
+    }
+
+    /// Reserves plane capacity for `additional` more rows, so bulk
+    /// ingest (million-row corpora) appends without repeatedly
+    /// reallocating the per-block word vectors.
+    pub fn reserve(&mut self, additional: usize) {
+        for (b, block) in self.bin_blocks.iter_mut().enumerate() {
+            let start = b * BLOCK_WORDS;
+            let end = (start + BLOCK_WORDS).min(self.words_per_row);
+            block.reserve(additional * (end - start));
+        }
     }
 
     /// Appends a row.
@@ -323,7 +335,18 @@ impl ShardedClassMemory {
         !self.int_norms.is_empty()
     }
 
-    fn check_query_dim(&self, dim: usize) -> Result<(), HvError> {
+    /// The packed binary plane blocks (block-major; see the field docs).
+    /// Crate-internal: the top-k module scans these directly.
+    pub(crate) fn bin_blocks(&self) -> &[Vec<u64>] {
+        &self.bin_blocks
+    }
+
+    /// Packed words per row (`⌈dim / 64⌉`).
+    pub(crate) fn words_per_row(&self) -> usize {
+        self.words_per_row
+    }
+
+    pub(crate) fn check_query_dim(&self, dim: usize) -> Result<(), HvError> {
         if dim != self.dim {
             return Err(HvError::DimensionMismatch {
                 expected: self.dim,
@@ -336,7 +359,7 @@ impl ShardedClassMemory {
     /// Hamming distances from `q_words` to every row, accumulated into
     /// `dist` (must be zeroed, length `n_rows`) via `k`'s row-scan
     /// kernel.
-    fn hamming_into(&self, k: &Kernel, q_words: &[u64], dist: &mut [u32]) {
+    pub(crate) fn hamming_into(&self, k: &Kernel, q_words: &[u64], dist: &mut [u32]) {
         for (b, block) in self.bin_blocks.iter().enumerate() {
             let start = b * BLOCK_WORDS;
             let end = (start + BLOCK_WORDS).min(self.words_per_row);
@@ -347,7 +370,7 @@ impl ShardedClassMemory {
     /// Bipolar-cosine score of a Hamming distance — identical floating-
     /// point sequence to [`BinaryHv::cosine`] (`dot / D` with
     /// `dot = D − 2·h`).
-    fn binary_score(&self, hamming: u32) -> f64 {
+    pub(crate) fn binary_score(&self, hamming: u32) -> f64 {
         (self.dim as i64 - 2 * i64::from(hamming)) as f64 / self.dim as f64
     }
 
@@ -470,7 +493,7 @@ impl ShardedClassMemory {
     /// Cosine score of integer row `r` against a query — identical
     /// floating-point sequence to `row.cosine(query)` (the dot is an
     /// exact integer regardless of backend).
-    fn int_score(&self, k: &Kernel, r: usize, query: &IntHv, q_norm: f64) -> f64 {
+    pub(crate) fn int_score(&self, k: &Kernel, r: usize, query: &IntHv, q_norm: f64) -> f64 {
         let row = &self.int_rows[r * self.dim..(r + 1) * self.dim];
         let dot = (k.dot_i32)(row, query.values());
         let denom = self.int_norms[r] * q_norm;

@@ -1,0 +1,690 @@
+//! Heap-based top-k search and coarse-quantized multi-probe pruning
+//! over a [`ShardedClassMemory`].
+//!
+//! The batch kernels in [`search`](crate::search) return the top-1 row
+//! plus a full score vector — the right shape for classification over
+//! tens of class rows, and the wrong one for similarity search over
+//! millions of user rows, where materializing `queries × rows` scores
+//! is the bottleneck. This module adds:
+//!
+//! * **Exact top-k** ([`ShardedClassMemory::search_topk_binary`] /
+//!   [`ShardedClassMemory::search_topk_int`]) — rows are sharded across
+//!   [`par`](crate::par) workers; each worker streams its row range
+//!   tile by tile through the block-major planes and keeps a *bounded
+//!   heap* of the k best `(distance, row)` (binary) or `(score, row)`
+//!   (integer) candidates; the per-shard heaps merge deterministically
+//!   at the end. Memory per worker is `O(tile + k)` regardless of the
+//!   row count.
+//! * **Pruned top-k** ([`ShardedClassMemory::search_topk_binary_pruned`])
+//!   — a coarse pass scans only the leading `probe_words` packed words
+//!   of every row (free in the block-major layout: the same rows at a
+//!   shorter stride), keeps `probe_factor · k` candidates per query,
+//!   then rescores the survivors with *exact* full-width distances.
+//!   Below [`ProbeConfig::exact_threshold`] rows the coarse pass cannot
+//!   pay for itself and the call falls back to the exact scan.
+//!
+//! ## Exactness
+//!
+//! Exact top-k is **bit-identical** to sorting the full scalar score
+//! vector: the candidate order is `(hamming asc, row asc)` / `(score
+//! desc, row asc)`, the k smallest elements of a total order do not
+//! depend on shard boundaries, and scores reproduce the same float
+//! expressions as the top-1 kernels. Pruned top-k at **full probe
+//! width** (`probe_words ≥ ⌈D/64⌉`) is bit-identical to exact top-k —
+//! argmax, tie order and score sequence — because the coarse distances
+//! *are* the exact distances and the candidate multiple is ≥ k
+//! (property-tested in `tests/topk_equivalence.rs`). Narrower probes
+//! trade recall for throughput; `probe_factor` is the recall knob.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::binary::BinaryHv;
+use crate::dense::IntHv;
+use crate::error::HvError;
+use crate::kernel::{self, Kernel};
+use crate::par;
+use crate::search::{ShardedClassMemory, BLOCK_WORDS};
+
+/// Rows per scan tile inside one worker: the per-tile distance strip
+/// (`queries × TILE` u32) stays L2-resident.
+const TOPK_ROW_TILE: usize = 1024;
+
+/// Minimum rows per worker chunk when sharding a top-k scan.
+const TOPK_ROW_CHUNK: usize = 4096;
+
+/// One top-k hit: a row index and its similarity score (higher is more
+/// similar; same float expressions as [`BatchSearchResult`]
+/// [`scores`](crate::BatchSearchResult::scores)).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TopKMatch {
+    /// Row index in the memory.
+    pub row: usize,
+    /// Similarity score (bipolar cosine for binary, cosine for int).
+    pub score: f64,
+}
+
+/// Result of a batch top-k search: per query, up to `k` matches ordered
+/// best-first with ties resolved to the lowest row index — exactly the
+/// order a stable sort of the full score vector would produce.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchTopKResult {
+    k: usize,
+    hits: Vec<Vec<TopKMatch>>,
+}
+
+impl BatchTopKResult {
+    /// Number of queries searched.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.hits.len()
+    }
+
+    /// Whether the batch was empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.hits.is_empty()
+    }
+
+    /// The `k` the search was asked for (matches may be fewer when the
+    /// memory has fewer rows).
+    #[must_use]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Matches for query `q`, best first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range.
+    #[must_use]
+    pub fn matches(&self, q: usize) -> &[TopKMatch] {
+        &self.hits[q]
+    }
+
+    /// Consumes the result into the per-query match lists.
+    #[must_use]
+    pub fn into_matches(self) -> Vec<Vec<TopKMatch>> {
+        self.hits
+    }
+}
+
+/// Tuning of the pruned (coarse-quantized multi-probe) top-k scan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProbeConfig {
+    /// Packed words sampled per row in the coarse pass, taken from the
+    /// leading words (64 dimensions per word) so the subsample is one
+    /// contiguous strided pass — hypervector dimensions are i.i.d., so
+    /// any fixed word subset is equally informative. Clamped to
+    /// `1..=⌈D/64⌉`; at `⌈D/64⌉` the coarse pass is the exact scan and
+    /// the result is bit-identical to exact top-k.
+    pub probe_words: usize,
+    /// Candidate multiple: the coarse pass keeps `probe_factor · k`
+    /// rows per query for exact rescoring (clamped to ≥ 1). The recall
+    /// knob — recall@k rises toward 1 as the candidate set grows past
+    /// the size of the query's true neighborhood.
+    pub probe_factor: usize,
+    /// Row count below which pruning cannot pay for itself and the
+    /// call falls back to the exact scan.
+    pub exact_threshold: usize,
+}
+
+impl Default for ProbeConfig {
+    fn default() -> Self {
+        ProbeConfig {
+            probe_words: 16,
+            probe_factor: 32,
+            exact_threshold: 32_768,
+        }
+    }
+}
+
+/// `f64` key ordered *descending* under `Ord` (via `total_cmp`), so a
+/// lexicographic `(Desc(score), row)` ascending sort is best-first with
+/// lowest-index tie order. Scores never produce NaN (norms are finite
+/// and zero denominators map to a 0.0 score), so `total_cmp` agrees
+/// with the strict `>` comparisons of the top-1 kernels.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Desc(f64);
+
+impl Eq for Desc {}
+
+impl PartialOrd for Desc {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Desc {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other.0.total_cmp(&self.0)
+    }
+}
+
+/// Bounded max-heap keeping the `k` smallest items seen (smaller is
+/// better for both candidate keys: `(hamming, row)` ascending and
+/// `(Desc(score), row)` ascending). The retained set is the k smallest
+/// elements of a total order, so it is independent of push order.
+struct BoundedTopK<T: Ord> {
+    k: usize,
+    heap: BinaryHeap<T>,
+}
+
+impl<T: Ord> BoundedTopK<T> {
+    fn new(k: usize) -> Self {
+        BoundedTopK {
+            k,
+            heap: BinaryHeap::with_capacity(k + 1),
+        }
+    }
+
+    fn push(&mut self, item: T) {
+        if self.k == 0 {
+            return;
+        }
+        if self.heap.len() < self.k {
+            self.heap.push(item);
+        } else if let Some(mut worst) = self.heap.peek_mut() {
+            if item < *worst {
+                *worst = item;
+            }
+        }
+    }
+
+    /// Contents best (smallest) first.
+    fn into_sorted(self) -> Vec<T> {
+        self.heap.into_sorted_vec()
+    }
+}
+
+/// Merges per-shard sorted candidate lists into the global best-first
+/// top-k (concatenate, sort by the total candidate order, truncate).
+fn merge_shards<T: Ord + Copy>(shards: &[Vec<Vec<T>>], q: usize, k: usize) -> Vec<T> {
+    let mut all: Vec<T> = shards.iter().flat_map(|s| s[q].iter().copied()).collect();
+    all.sort_unstable();
+    all.truncate(k);
+    all
+}
+
+impl ShardedClassMemory {
+    /// Exact top-k Hamming search for a batch of binary queries,
+    /// sharded across rows with per-shard bounded heaps.
+    ///
+    /// Matches are best-first with ties to the lowest row index —
+    /// bit-identical (rows, score bits) to stably sorting the full
+    /// score vector of [`Self::search_batch_binary`]. `k` is clamped to
+    /// the row count; `k == 0` yields empty match lists.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HvError::EmptyInput`] when the memory has no rows, or
+    /// [`HvError::DimensionMismatch`] if any query disagrees on
+    /// dimension.
+    pub fn search_topk_binary(
+        &self,
+        queries: &[&BinaryHv],
+        k: usize,
+    ) -> Result<BatchTopKResult, HvError> {
+        self.search_topk_binary_with(kernel::active(), queries, k)
+    }
+
+    /// [`Self::search_topk_binary`] on an explicit kernel backend —
+    /// bit-identical results for every backend.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Self::search_topk_binary`].
+    pub fn search_topk_binary_with(
+        &self,
+        kern: &Kernel,
+        queries: &[&BinaryHv],
+        k: usize,
+    ) -> Result<BatchTopKResult, HvError> {
+        if self.n_rows() == 0 {
+            return Err(HvError::EmptyInput);
+        }
+        for q in queries {
+            self.check_query_dim(q.dim())?;
+        }
+        let kept = k.min(self.n_rows());
+        let shards = self.coarse_candidates(kern, queries, kept, self.words_per_row());
+        let hits = (0..queries.len())
+            .map(|q| {
+                merge_shards(&shards, q, kept)
+                    .into_iter()
+                    .map(|(d, row)| TopKMatch {
+                        row,
+                        score: self.binary_score(d),
+                    })
+                    .collect()
+            })
+            .collect();
+        Ok(BatchTopKResult { k, hits })
+    }
+
+    /// Pruned top-k Hamming search: a coarse pass over the leading
+    /// [`ProbeConfig::probe_words`] packed words of each row keeps
+    /// `probe_factor · k` candidates per query, which are then rescored
+    /// with exact full-width distances. At full probe width (`probe_words ≥
+    /// ⌈D/64⌉`) the result is bit-identical to
+    /// [`Self::search_topk_binary`]; narrower probes trade recall for
+    /// throughput. Falls back to the exact scan below
+    /// [`ProbeConfig::exact_threshold`] rows.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Self::search_topk_binary`].
+    pub fn search_topk_binary_pruned(
+        &self,
+        queries: &[&BinaryHv],
+        k: usize,
+        probe: &ProbeConfig,
+    ) -> Result<BatchTopKResult, HvError> {
+        self.search_topk_binary_pruned_with(kernel::active(), queries, k, probe)
+    }
+
+    /// [`Self::search_topk_binary_pruned`] on an explicit kernel
+    /// backend.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Self::search_topk_binary`].
+    pub fn search_topk_binary_pruned_with(
+        &self,
+        kern: &Kernel,
+        queries: &[&BinaryHv],
+        k: usize,
+        probe: &ProbeConfig,
+    ) -> Result<BatchTopKResult, HvError> {
+        if self.n_rows() <= probe.exact_threshold {
+            return self.search_topk_binary_with(kern, queries, k);
+        }
+        if self.n_rows() == 0 {
+            return Err(HvError::EmptyInput);
+        }
+        for q in queries {
+            self.check_query_dim(q.dim())?;
+        }
+        let kept = k.min(self.n_rows());
+        let probe_words = probe.probe_words.clamp(1, self.words_per_row());
+        let n_candidates = probe.probe_factor.max(1).saturating_mul(kept);
+        let n_candidates = n_candidates.clamp(kept, self.n_rows());
+        // Coarse pass: partial distances over the sampled word prefixes,
+        // bounded heaps of size `n_candidates`.
+        let shards = self.coarse_candidates(kern, queries, n_candidates, probe_words);
+        // Rescore pass: exact full-width distance for every survivor,
+        // then the final (distance, row) order — identical float
+        // expressions to the exact scan.
+        let hits = (0..queries.len())
+            .map(|q| {
+                let q_words = queries[q].bits().words();
+                let mut exact: Vec<(u32, usize)> = merge_shards(&shards, q, n_candidates)
+                    .into_iter()
+                    .map(|(_, row)| (self.row_hamming(kern, q_words, row), row))
+                    .collect();
+                exact.sort_unstable();
+                exact.truncate(kept);
+                exact
+                    .into_iter()
+                    .map(|(d, row)| TopKMatch {
+                        row,
+                        score: self.binary_score(d),
+                    })
+                    .collect()
+            })
+            .collect();
+        Ok(BatchTopKResult { k, hits })
+    }
+
+    /// Exact top-k cosine search over the attached integer rows,
+    /// sharded across rows with per-shard bounded heaps. Matches are
+    /// best-first, ties to the lowest row index — bit-identical to
+    /// stably sorting the full score vector of
+    /// [`Self::search_batch_int`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HvError::EmptyInput`] when no integer rows are
+    /// attached, or [`HvError::DimensionMismatch`] if any query
+    /// disagrees on dimension.
+    pub fn search_topk_int(
+        &self,
+        queries: &[&IntHv],
+        k: usize,
+    ) -> Result<BatchTopKResult, HvError> {
+        self.search_topk_int_with(kernel::active(), queries, k)
+    }
+
+    /// [`Self::search_topk_int`] on an explicit kernel backend —
+    /// bit-identical results for every backend.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Self::search_topk_int`].
+    pub fn search_topk_int_with(
+        &self,
+        kern: &Kernel,
+        queries: &[&IntHv],
+        k: usize,
+    ) -> Result<BatchTopKResult, HvError> {
+        if !self.has_int_rows() {
+            return Err(HvError::EmptyInput);
+        }
+        for q in queries {
+            self.check_query_dim(q.dim())?;
+        }
+        let kept = k.min(self.n_rows());
+        let q_norms: Vec<f64> = queries.iter().map(|q| q.norm()).collect();
+        let shards: Vec<Vec<Vec<(Desc, usize)>>> =
+            par::par_chunk_map(self.n_rows(), TOPK_ROW_CHUNK, |range| {
+                let mut heaps: Vec<BoundedTopK<(Desc, usize)>> =
+                    (0..queries.len()).map(|_| BoundedTopK::new(kept)).collect();
+                for r in range {
+                    for (qi, q) in queries.iter().enumerate() {
+                        let s = self.int_score(kern, r, q, q_norms[qi]);
+                        heaps[qi].push((Desc(s), r));
+                    }
+                }
+                vec![heaps.into_iter().map(BoundedTopK::into_sorted).collect()]
+            });
+        let hits = (0..queries.len())
+            .map(|q| {
+                merge_shards(&shards, q, kept)
+                    .into_iter()
+                    .map(|(s, row)| TopKMatch { row, score: s.0 })
+                    .collect()
+            })
+            .collect();
+        Ok(BatchTopKResult { k, hits })
+    }
+
+    /// Exact full-width Hamming distance of one row against a query —
+    /// the same per-block u32 accumulation as the batch kernels.
+    fn row_hamming(&self, kern: &Kernel, q_words: &[u64], row: usize) -> u32 {
+        let mut d = 0u32;
+        for (b, block) in self.bin_blocks().iter().enumerate() {
+            let start = b * BLOCK_WORDS;
+            let end = (start + BLOCK_WORDS).min(self.words_per_row());
+            let len = end - start;
+            d += (kern.hamming)(&q_words[start..end], &block[row * len..(row + 1) * len]) as u32;
+        }
+        d
+    }
+
+    /// Row-sharded bounded-heap scan shared by exact top-k
+    /// (`probe_words == words_per_row`) and the coarse pass of the
+    /// pruned scan (shorter prefixes, strided row reads). Returns one
+    /// entry per worker shard: per-query candidate lists sorted best
+    /// first by `(distance, row)`.
+    fn coarse_candidates(
+        &self,
+        kern: &Kernel,
+        queries: &[&BinaryHv],
+        keep: usize,
+        probe_words: usize,
+    ) -> Vec<Vec<Vec<(u32, usize)>>> {
+        let words_per_row = self.words_per_row();
+        let nq = queries.len();
+        par::par_chunk_map(self.n_rows(), TOPK_ROW_CHUNK, |range| {
+            let mut heaps: Vec<BoundedTopK<(u32, usize)>> =
+                (0..nq).map(|_| BoundedTopK::new(keep)).collect();
+            let mut dist = vec![0u32; nq * TOPK_ROW_TILE];
+            let mut tile_start = range.start;
+            while tile_start < range.end {
+                let tile_end = (tile_start + TOPK_ROW_TILE).min(range.end);
+                let tile = tile_end - tile_start;
+                dist[..nq * tile].fill(0);
+                // The probe budget is consumed from the leading blocks:
+                // a narrow probe then costs one strided pass over a
+                // contiguous word prefix instead of several tiny
+                // per-block passes whose per-row reduction overhead
+                // would eat the sampling win. At `probe_words ==
+                // words_per_row` every block is scanned whole and the
+                // pass is exact.
+                let mut remaining = probe_words;
+                for (b, block) in self.bin_blocks().iter().enumerate() {
+                    let start = b * BLOCK_WORDS;
+                    let end = (start + BLOCK_WORDS).min(words_per_row);
+                    let len = end - start;
+                    let prefix = remaining.min(len);
+                    remaining -= prefix;
+                    if prefix == 0 {
+                        break;
+                    }
+                    let rows = &block[tile_start * len..tile_end * len];
+                    for (qi, q) in queries.iter().enumerate() {
+                        let q_block = &q.bits().words()[start..start + prefix];
+                        let drow = &mut dist[qi * tile..(qi + 1) * tile];
+                        if prefix == len {
+                            (kern.hamming_rows)(q_block, rows, drow);
+                        } else {
+                            (kern.hamming_rows_stride)(q_block, rows, len, drow);
+                        }
+                    }
+                }
+                for (qi, heap) in heaps.iter_mut().enumerate() {
+                    for (i, &d) in dist[qi * tile..(qi + 1) * tile].iter().enumerate() {
+                        heap.push((d, tile_start + i));
+                    }
+                }
+                tile_start = tile_end;
+            }
+            vec![heaps.into_iter().map(BoundedTopK::into_sorted).collect()]
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::HvRng;
+
+    #[test]
+    fn bounded_heap_keeps_k_smallest_in_order() {
+        let mut h = BoundedTopK::new(3);
+        for v in [9u32, 1, 7, 3, 5, 2, 8] {
+            h.push((v, 0usize));
+        }
+        assert_eq!(h.into_sorted(), vec![(1, 0), (2, 0), (3, 0)]);
+        let mut empty = BoundedTopK::<(u32, usize)>::new(0);
+        empty.push((1, 0));
+        assert_eq!(empty.into_sorted(), vec![]);
+    }
+
+    #[test]
+    fn desc_orders_scores_best_first() {
+        let mut v = [(Desc(0.1), 4usize), (Desc(0.9), 2), (Desc(0.9), 1)];
+        v.sort_unstable();
+        assert_eq!(v.iter().map(|&(_, r)| r).collect::<Vec<_>>(), vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn topk_binary_matches_full_sort_reference() {
+        let dim = 130;
+        let mut rng = HvRng::from_seed(21);
+        let rows: Vec<BinaryHv> = (0..37).map(|_| rng.binary_hv(dim)).collect();
+        let mem = ShardedClassMemory::from_rows(&rows).unwrap();
+        let queries: Vec<BinaryHv> = (0..5).map(|_| rng.binary_hv(dim)).collect();
+        let refs: Vec<&BinaryHv> = queries.iter().collect();
+        let k = 7;
+        let got = mem.search_topk_binary(&refs, k).unwrap();
+        let full = mem.search_batch_binary(&refs).unwrap();
+        for (q, query) in queries.iter().enumerate() {
+            let mut order: Vec<(usize, usize)> = rows
+                .iter()
+                .enumerate()
+                .map(|(r, row)| (row.hamming(query), r))
+                .collect();
+            order.sort_unstable();
+            let matches = got.matches(q);
+            assert_eq!(matches.len(), k);
+            for (m, &(_, want_row)) in matches.iter().zip(order.iter()) {
+                assert_eq!(m.row, want_row);
+                assert_eq!(m.score.to_bits(), full.scores(q)[want_row].to_bits());
+            }
+            // Top-1 agrees with the argmax kernel.
+            assert_eq!(matches[0].row, full.best(q));
+        }
+    }
+
+    #[test]
+    fn topk_handles_k_edge_cases() {
+        let mut rng = HvRng::from_seed(22);
+        let rows: Vec<BinaryHv> = (0..4).map(|_| rng.binary_hv(256)).collect();
+        let mem = ShardedClassMemory::from_rows(&rows).unwrap();
+        let q = rng.binary_hv(256);
+        let zero = mem.search_topk_binary(&[&q], 0).unwrap();
+        assert_eq!(zero.matches(0).len(), 0);
+        let over = mem.search_topk_binary(&[&q], 100).unwrap();
+        assert_eq!(over.matches(0).len(), 4);
+        assert_eq!(over.k(), 100);
+        // All four rows present, best-first.
+        let rows_seen: Vec<usize> = over.matches(0).iter().map(|m| m.row).collect();
+        let mut sorted = rows_seen.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2, 3]);
+        for w in over.matches(0).windows(2) {
+            assert!(w[0].score >= w[1].score);
+        }
+    }
+
+    #[test]
+    fn topk_empty_memory_and_bad_dims_error() {
+        let mem = ShardedClassMemory::new(64);
+        let mut rng = HvRng::from_seed(23);
+        let q = rng.binary_hv(64);
+        assert_eq!(
+            mem.search_topk_binary(&[&q], 3).unwrap_err(),
+            HvError::EmptyInput
+        );
+        let mem = ShardedClassMemory::from_rows(&[rng.binary_hv(64)]).unwrap();
+        let bad = rng.binary_hv(65);
+        assert_eq!(
+            mem.search_topk_binary(&[&bad], 1).unwrap_err(),
+            HvError::DimensionMismatch {
+                expected: 64,
+                found: 65
+            }
+        );
+        assert_eq!(
+            mem.search_topk_int(&[&bad.to_int()], 1).unwrap_err(),
+            HvError::EmptyInput
+        );
+    }
+
+    #[test]
+    fn topk_duplicate_rows_keep_lowest_indices() {
+        let mut rng = HvRng::from_seed(24);
+        let base = rng.binary_hv(192);
+        let rows = vec![base.clone(), base.clone(), base.clone(), base.clone()];
+        let mem = ShardedClassMemory::from_rows(&rows).unwrap();
+        let q = rng.binary_hv(192);
+        let got = mem.search_topk_binary(&[&q], 2).unwrap();
+        let picked: Vec<usize> = got.matches(0).iter().map(|m| m.row).collect();
+        assert_eq!(picked, vec![0, 1]);
+    }
+
+    #[test]
+    fn topk_int_matches_full_sort_reference() {
+        let dim = 257;
+        let mut rng = HvRng::from_seed(25);
+        let bins: Vec<BinaryHv> = (0..9).map(|_| rng.binary_hv(dim)).collect();
+        let ints: Vec<IntHv> = bins
+            .iter()
+            .map(|b| {
+                let mut acc = b.to_int();
+                acc.add_binary(&rng.binary_hv(dim));
+                acc
+            })
+            .collect();
+        let mut mem = ShardedClassMemory::from_rows(&bins).unwrap();
+        mem.set_int_rows(&ints).unwrap();
+        let queries: Vec<IntHv> = (0..4).map(|_| rng.binary_hv(dim).to_int()).collect();
+        let refs: Vec<&IntHv> = queries.iter().collect();
+        let k = 3;
+        let got = mem.search_topk_int(&refs, k).unwrap();
+        let full = mem.search_batch_int(&refs).unwrap();
+        for q in 0..queries.len() {
+            let mut order: Vec<(Desc, usize)> = full
+                .scores(q)
+                .iter()
+                .enumerate()
+                .map(|(r, &s)| (Desc(s), r))
+                .collect();
+            order.sort_unstable();
+            for (m, &(want_s, want_row)) in got.matches(q).iter().zip(order.iter()) {
+                assert_eq!(m.row, want_row);
+                assert_eq!(m.score.to_bits(), want_s.0.to_bits());
+            }
+            assert_eq!(got.matches(q)[0].row, full.best(q));
+        }
+    }
+
+    #[test]
+    fn pruned_full_width_is_bit_identical_to_exact() {
+        let dim = 1030;
+        let mut rng = HvRng::from_seed(26);
+        let rows: Vec<BinaryHv> = (0..300).map(|_| rng.binary_hv(dim)).collect();
+        let mem = ShardedClassMemory::from_rows(&rows).unwrap();
+        let queries: Vec<BinaryHv> = (0..4).map(|_| rng.binary_hv(dim)).collect();
+        let refs: Vec<&BinaryHv> = queries.iter().collect();
+        // exact_threshold 0 forces the two-phase machinery.
+        let probe = ProbeConfig {
+            probe_words: mem.words_per_row(),
+            probe_factor: 2,
+            exact_threshold: 0,
+        };
+        let exact = mem.search_topk_binary(&refs, 5).unwrap();
+        let pruned = mem.search_topk_binary_pruned(&refs, 5, &probe).unwrap();
+        assert_eq!(exact, pruned);
+    }
+
+    #[test]
+    fn pruned_below_threshold_falls_back_to_exact() {
+        let mut rng = HvRng::from_seed(27);
+        let rows: Vec<BinaryHv> = (0..50).map(|_| rng.binary_hv(256)).collect();
+        let mem = ShardedClassMemory::from_rows(&rows).unwrap();
+        let q = rng.binary_hv(256);
+        let probe = ProbeConfig::default(); // exact_threshold ≫ 50 rows
+        let exact = mem.search_topk_binary(&[&q], 4).unwrap();
+        let pruned = mem.search_topk_binary_pruned(&[&q], 4, &probe).unwrap();
+        assert_eq!(exact, pruned);
+    }
+
+    /// Copy of `base` with roughly `rate · D` random bit flips.
+    fn noisy(base: &BinaryHv, rng: &mut HvRng, rate: f64) -> BinaryHv {
+        let mut v = base.clone();
+        let flips = (base.dim() as f64 * rate) as usize;
+        for _ in 0..flips {
+            v.flip(rng.index(base.dim()));
+        }
+        v
+    }
+
+    #[test]
+    fn narrow_probe_recalls_planted_neighbors() {
+        // A planted cluster well below the random-distance band: even a
+        // few-word probe must recover it, because the coarse distances
+        // separate cluster from background by many sigma.
+        let dim = 4096;
+        let mut rng = HvRng::from_seed(28);
+        let center = rng.binary_hv(dim);
+        let mut rows: Vec<BinaryHv> = (0..400).map(|_| rng.binary_hv(dim)).collect();
+        for slot in [17usize, 101, 333] {
+            rows[slot] = noisy(&center, &mut rng, 0.05);
+        }
+        let mem = ShardedClassMemory::from_rows(&rows).unwrap();
+        let probe = ProbeConfig {
+            probe_words: 4,
+            probe_factor: 8,
+            exact_threshold: 0,
+        };
+        let pruned = mem
+            .search_topk_binary_pruned(&[&center], 3, &probe)
+            .unwrap();
+        let mut found: Vec<usize> = pruned.matches(0).iter().map(|m| m.row).collect();
+        found.sort_unstable();
+        assert_eq!(found, vec![17, 101, 333]);
+    }
+}

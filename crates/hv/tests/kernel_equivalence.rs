@@ -130,9 +130,41 @@ proptest! {
     }
 
     #[test]
-    fn dot_i32_matches_scalar(n in 0usize..=40, seed in any::<u64>()) {
+    fn hamming_rows_stride_matches_scalar(
+        len in 1usize..=48,
+        extra in 0usize..=16,
+        n_rows in 1usize..=12,
+        seed in any::<u64>(),
+    ) {
+        // The strided scan reads a `len`-word prefix of each
+        // `stride`-word row — the pruned top-k coarse pass.
+        let scalar = kernel::scalar();
+        let mut rng = HvRng::from_seed(seed);
+        let stride = len + extra;
+        let q = words(&mut rng, len);
+        let rows = words(&mut rng, stride * n_rows);
+        let dist0: Vec<u32> = (0..n_rows).map(|r| r as u32 * 5).collect();
+        let mut want = dist0.clone();
+        (scalar.hamming_rows_stride)(&q, &rows, stride, &mut want);
+        for k in non_scalar_backends() {
+            let mut got = dist0.clone();
+            (k.hamming_rows_stride)(&q, &rows, stride, &mut got);
+            prop_assert_eq!(&got, &want, "hamming_rows_stride: {}", k.name);
+        }
+        // Full-width stride degenerates to the contiguous row scan.
+        let mut contiguous = dist0.clone();
+        (scalar.hamming_rows)(&q, &rows[..len * n_rows], &mut contiguous);
+        let mut strided = dist0.clone();
+        (scalar.hamming_rows_stride)(&q, &rows[..len * n_rows], len, &mut strided);
+        prop_assert_eq!(&strided, &contiguous);
+    }
+
+    #[test]
+    fn dot_i32_matches_scalar(n in 0usize..=80, seed in any::<u64>()) {
         // Full-range i32 values: lane reassociation must agree even when
-        // partial sums sit near the extremes.
+        // partial sums sit near the extremes. The range covers the
+        // unrolled AVX2 accumulators (32 values per block), the single
+        // vector tail, and the scalar tail.
         let scalar = kernel::scalar();
         let mut rng = HvRng::from_seed(seed);
         let a = ints(&mut rng, n);

@@ -1,0 +1,217 @@
+//! Property tests for the top-k search paths: every backend is
+//! bit-identical to the scalar full-sort reference, and pruned top-k at
+//! full probe width is bit-identical to exact top-k — argmax, tie
+//! order, and score sequence (the ISSUE 6 acceptance property).
+
+use hypervec::kernel::{self, Kernel};
+use hypervec::{BinaryHv, HvRng, IntHv, ProbeConfig, ShardedClassMemory, TopKMatch};
+use proptest::prelude::*;
+
+fn dims() -> impl Strategy<Value = usize> {
+    prop_oneof![
+        Just(130),
+        60usize..=70,
+        Just(1000),
+        Just(4096),
+        Just(10_000)
+    ]
+}
+
+fn non_scalar_backends() -> Vec<&'static Kernel> {
+    kernel::available()
+        .into_iter()
+        .filter(|k| k.name != "scalar")
+        .collect()
+}
+
+/// Reference top-k: stable sort of the full per-row score vector by
+/// (score desc, row asc) — what the heap kernels must reproduce
+/// bit-for-bit.
+fn reference_topk(scores: &[f64], k: usize) -> Vec<(usize, u64)> {
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]).then(a.cmp(&b)));
+    order
+        .into_iter()
+        .take(k)
+        .map(|r| (r, scores[r].to_bits()))
+        .collect()
+}
+
+fn as_pairs(matches: &[TopKMatch]) -> Vec<(usize, u64)> {
+    matches.iter().map(|m| (m.row, m.score.to_bits())).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn topk_binary_matches_reference_on_every_backend(
+        dim in dims(),
+        n_rows in 1usize..=40,
+        n_queries in 1usize..=4,
+        k in 0usize..=12,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = HvRng::from_seed(seed);
+        let rows: Vec<BinaryHv> = (0..n_rows).map(|_| rng.binary_hv(dim)).collect();
+        let mem = ShardedClassMemory::from_rows(&rows).unwrap();
+        let queries: Vec<BinaryHv> = (0..n_queries).map(|_| rng.binary_hv(dim)).collect();
+        let refs: Vec<&BinaryHv> = queries.iter().collect();
+        let full = mem.search_batch_binary_with(kernel::scalar(), &refs).unwrap();
+        let want = mem.search_topk_binary_with(kernel::scalar(), &refs, k).unwrap();
+        for q in 0..n_queries {
+            prop_assert_eq!(
+                as_pairs(want.matches(q)),
+                reference_topk(full.scores(q), k),
+                "scalar topk vs full-sort reference, q {}", q
+            );
+        }
+        for kb in non_scalar_backends() {
+            let got = mem.search_topk_binary_with(kb, &refs, k).unwrap();
+            prop_assert_eq!(&got, &want, "topk_binary: {}", kb.name);
+        }
+    }
+
+    #[test]
+    fn topk_int_matches_reference_on_every_backend(
+        dim in dims(),
+        n_rows in 1usize..=20,
+        n_queries in 1usize..=3,
+        k in 0usize..=8,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = HvRng::from_seed(seed);
+        let bins: Vec<BinaryHv> = (0..n_rows).map(|_| rng.binary_hv(dim)).collect();
+        let ints: Vec<IntHv> = bins
+            .iter()
+            .map(|b| {
+                let mut acc = b.to_int();
+                acc.add_binary(&rng.binary_hv(dim));
+                acc
+            })
+            .collect();
+        let mut mem = ShardedClassMemory::from_rows(&bins).unwrap();
+        mem.set_int_rows(&ints).unwrap();
+        let queries: Vec<IntHv> = (0..n_queries).map(|_| rng.binary_hv(dim).to_int()).collect();
+        let refs: Vec<&IntHv> = queries.iter().collect();
+        let full = mem.search_batch_int_with(kernel::scalar(), &refs).unwrap();
+        let want = mem.search_topk_int_with(kernel::scalar(), &refs, k).unwrap();
+        for q in 0..n_queries {
+            prop_assert_eq!(
+                as_pairs(want.matches(q)),
+                reference_topk(full.scores(q), k),
+                "scalar int topk vs reference, q {}", q
+            );
+        }
+        for kb in non_scalar_backends() {
+            let got = mem.search_topk_int_with(kb, &refs, k).unwrap();
+            prop_assert_eq!(&got, &want, "topk_int: {}", kb.name);
+        }
+    }
+
+    /// The acceptance property: pruned top-k at full probe width is
+    /// bit-identical to exact top-k — argmax, tie order, score
+    /// sequence — on every backend, with `exact_threshold = 0` so the
+    /// two-phase coarse/rescore machinery actually runs.
+    #[test]
+    fn pruned_full_probe_width_is_bit_identical_to_exact(
+        dim in dims(),
+        n_rows in 1usize..=60,
+        n_queries in 1usize..=3,
+        k in 1usize..=10,
+        probe_factor in 1usize..=4,
+        dup in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let mut rng = HvRng::from_seed(seed);
+        let mut rows: Vec<BinaryHv> = (0..n_rows).map(|_| rng.binary_hv(dim)).collect();
+        if dup && n_rows >= 2 {
+            // Duplicated rows force exact ties; the pruned path must
+            // keep the same lowest-index order.
+            let base = rows[0].clone();
+            let mid = n_rows / 2;
+            rows[mid] = base.clone();
+            rows[n_rows - 1] = base;
+        }
+        let mem = ShardedClassMemory::from_rows(&rows).unwrap();
+        let queries: Vec<BinaryHv> = (0..n_queries).map(|_| rng.binary_hv(dim)).collect();
+        let refs: Vec<&BinaryHv> = queries.iter().collect();
+        let probe = ProbeConfig {
+            probe_words: mem.dim().div_ceil(64), // full width
+            probe_factor,
+            exact_threshold: 0,
+        };
+        for kb in kernel::available() {
+            let exact = mem.search_topk_binary_with(kb, &refs, k).unwrap();
+            let pruned = mem
+                .search_topk_binary_pruned_with(kb, &refs, k, &probe)
+                .unwrap();
+            prop_assert_eq!(&pruned, &exact, "pruned@full-width: {}", kb.name);
+        }
+    }
+
+    #[test]
+    fn narrow_pruned_is_valid_subset_with_exact_scores(
+        dim in prop_oneof![Just(1000), Just(4096)],
+        n_rows in 10usize..=80,
+        k in 1usize..=6,
+        seed in any::<u64>(),
+    ) {
+        // A narrow probe may miss neighbors (that is the recall trade),
+        // but every match it returns must carry the row's *exact* score
+        // and the list must be best-first among the returned rows.
+        let mut rng = HvRng::from_seed(seed);
+        let rows: Vec<BinaryHv> = (0..n_rows).map(|_| rng.binary_hv(dim)).collect();
+        let mem = ShardedClassMemory::from_rows(&rows).unwrap();
+        let q = rng.binary_hv(dim);
+        let probe = ProbeConfig {
+            probe_words: 2,
+            probe_factor: 2,
+            exact_threshold: 0,
+        };
+        let pruned = mem.search_topk_binary_pruned(&[&q], k, &probe).unwrap();
+        let full = mem.search_batch_binary(&[&q]).unwrap();
+        let matches = pruned.matches(0);
+        prop_assert_eq!(matches.len(), k.min(n_rows));
+        for m in matches {
+            prop_assert_eq!(m.score.to_bits(), full.scores(0)[m.row].to_bits());
+        }
+        for w in matches.windows(2) {
+            prop_assert!(
+                w[0].score > w[1].score || (w[0].score == w[1].score && w[0].row < w[1].row)
+            );
+        }
+    }
+}
+
+/// Row-sharded path (beyond the parallel chunk minimum) agrees with the
+/// reference at scale — pinned explicitly rather than sampled.
+#[test]
+fn row_sharded_topk_matches_reference() {
+    let dim = 256;
+    let n_rows = 9000; // > TOPK_ROW_CHUNK so multi-shard merge runs
+    let mut rng = HvRng::from_seed(2022);
+    let rows: Vec<BinaryHv> = (0..n_rows).map(|_| rng.binary_hv(dim)).collect();
+    let mem = ShardedClassMemory::from_rows(&rows).unwrap();
+    let queries: Vec<BinaryHv> = (0..3).map(|_| rng.binary_hv(dim)).collect();
+    let refs: Vec<&BinaryHv> = queries.iter().collect();
+    let k = 25;
+    let got = mem.search_topk_binary(&refs, k).unwrap();
+    let full = mem.search_batch_binary(&refs).unwrap();
+    for q in 0..refs.len() {
+        assert_eq!(as_pairs(got.matches(q)), reference_topk(full.scores(q), k));
+    }
+    // And the pruned path with a narrow probe still returns exact
+    // scores for whatever it surfaces.
+    let probe = ProbeConfig {
+        probe_words: 1,
+        probe_factor: 16,
+        exact_threshold: 0,
+    };
+    let pruned = mem.search_topk_binary_pruned(&refs, k, &probe).unwrap();
+    for q in 0..refs.len() {
+        for m in pruned.matches(q) {
+            assert_eq!(m.score.to_bits(), full.scores(q)[m.row].to_bits());
+        }
+    }
+}

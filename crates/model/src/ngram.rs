@@ -9,7 +9,17 @@
 //! encoding oracle leak the symbol mapping — which makes it a natural
 //! extension target for HDLock-style locking.
 
-use hypervec::{BinaryHv, HvError, HvRng, IntHv, ItemMemory};
+use hypervec::{par, BinaryHv, HvError, HvRng, IntHv, ItemMemory, ShardedClassMemory};
+
+/// Sequences encoded per worker chunk in the batch path — sequence
+/// encoding is expensive enough that small chunks still amortize the
+/// fork-join.
+const NGRAM_BATCH_CHUNK: usize = 8;
+
+/// Sequences encoded per block when ingesting a corpus into a
+/// [`ShardedClassMemory`]: bounds peak memory to one encoded block
+/// instead of the whole corpus.
+const NGRAM_INGEST_BLOCK: usize = 4096;
 
 /// Sliding-window n-gram encoder over a discrete alphabet.
 ///
@@ -134,6 +144,49 @@ impl NgramEncoder {
             acc.add_binary(&self.encode_gram(window)?);
         }
         Ok(acc)
+    }
+
+    /// Batch k-mer encoding: every sequence through
+    /// [`NgramEncoder::encode_sequence`], sharded across
+    /// [`par`](hypervec::par) workers. Bit-identical to the
+    /// single-record path sequence by sequence (the workers run the
+    /// same window loop; there is no cross-sequence state).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first error in sequence order ([`HvError::EmptyInput`]
+    /// for a sequence shorter than `n`, [`HvError::IndexOutOfRange`]
+    /// for unknown symbols).
+    pub fn encode_batch(&self, sequences: &[&[usize]]) -> Result<Vec<BinaryHv>, HvError> {
+        let encoded: Vec<Result<BinaryHv, HvError>> =
+            par::par_chunk_map(sequences.len(), NGRAM_BATCH_CHUNK, |range| {
+                range.map(|i| self.encode_sequence(sequences[i])).collect()
+            });
+        encoded.into_iter().collect()
+    }
+
+    /// Ingests a k-mer corpus into a row memory for top-k similarity
+    /// search: batch-encodes the sequences block by block (peak memory
+    /// is one 4096-sequence encoded block, not the whole
+    /// corpus) and appends each row in corpus order, with the plane
+    /// capacity reserved up front — the million-sequence load path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HvError::EmptyInput`] for an empty corpus, otherwise
+    /// the first encoding error in sequence order.
+    pub fn ingest(&self, sequences: &[&[usize]]) -> Result<ShardedClassMemory, HvError> {
+        if sequences.is_empty() {
+            return Err(HvError::EmptyInput);
+        }
+        let mut mem = ShardedClassMemory::new(self.dim());
+        mem.reserve(sequences.len());
+        for block in sequences.chunks(NGRAM_INGEST_BLOCK) {
+            for hv in self.encode_batch(block)? {
+                mem.push(&hv)?;
+            }
+        }
+        Ok(mem)
     }
 }
 

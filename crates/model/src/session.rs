@@ -34,7 +34,9 @@
 //! integration tests.
 
 use hdc_datasets::QuantizedDataset;
-use hypervec::{BatchSearchResult, BinaryHv, IntHv, ShardedClassMemory};
+use hypervec::{
+    BatchSearchResult, BatchTopKResult, BinaryHv, IntHv, ProbeConfig, ShardedClassMemory,
+};
 
 use crate::classhv::ClassMemory;
 use crate::config::ModelKind;
@@ -94,6 +96,23 @@ pub trait ClassifySession: Sync {
     ///
     /// Panics if the row width does not match the encoder.
     fn classify(&self, levels: &[u16]) -> usize;
+
+    /// Fused top-k similarity search of a batch of quantized rows: one
+    /// batch encode, one heap top-k search over the memory rows. With a
+    /// [`ProbeConfig`] (binary models only) the search runs the pruned
+    /// coarse/rescore path; `None` is the exact scan. Matches are
+    /// best-first with lowest-index tie order, bit-identical to sorting
+    /// the full [`ClassifySession::scores_batch`] score vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any row's width does not match the encoder.
+    fn search_topk_batch(
+        &self,
+        rows: &[&[u16]],
+        k: usize,
+        probe: Option<&ProbeConfig>,
+    ) -> BatchTopKResult;
 
     /// Name of the SIMD kernel backend every encode and search in this
     /// session runs on (`"scalar"`, `"avx2"`, or `"portable"`) —
@@ -155,6 +174,36 @@ fn scores_batch_impl<E: Encoder + Sync>(
             let refs: Vec<&IntHv> = encoded.iter().collect();
             sharded
                 .search_batch_int(&refs)
+                .expect("session dimensions are consistent by construction")
+        }
+    }
+}
+
+fn search_topk_impl<E: Encoder + Sync>(
+    encoder: &E,
+    kind: ModelKind,
+    sharded: &ShardedClassMemory,
+    rows: &[&[u16]],
+    k: usize,
+    probe: Option<&ProbeConfig>,
+) -> BatchTopKResult {
+    match kind {
+        ModelKind::Binary => {
+            let encoded = encoder.encode_batch_binary(rows);
+            let refs: Vec<&BinaryHv> = encoded.iter().collect();
+            match probe {
+                Some(p) => sharded.search_topk_binary_pruned(&refs, k, p),
+                None => sharded.search_topk_binary(&refs, k),
+            }
+            .expect("session dimensions are consistent by construction")
+        }
+        ModelKind::NonBinary => {
+            // Cosine rows have no packed-plane subsample to probe; the
+            // exact heap scan is the only integer path.
+            let encoded = encoder.encode_batch_int(rows);
+            let refs: Vec<&IntHv> = encoded.iter().collect();
+            sharded
+                .search_topk_int(&refs, k)
                 .expect("session dimensions are consistent by construction")
         }
     }
@@ -327,6 +376,22 @@ impl<'a, E: Encoder + Sync> InferenceSession<'a, E> {
         classify_one_impl(self.encoder, self.kind, &self.sharded, levels)
     }
 
+    /// Fused top-k similarity search (see
+    /// [`ClassifySession::search_topk_batch`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any row's width does not match the encoder.
+    #[must_use]
+    pub fn search_topk_batch(
+        &self,
+        rows: &[&[u16]],
+        k: usize,
+        probe: Option<&ProbeConfig>,
+    ) -> BatchTopKResult {
+        search_topk_impl(self.encoder, self.kind, &self.sharded, rows, k, probe)
+    }
+
     /// Evaluates the session over a quantized dataset, streaming it in
     /// [`SESSION_BLOCK`]-sized blocks through the fused batch path.
     ///
@@ -374,6 +439,15 @@ impl<E: Encoder + Sync> ClassifySession for InferenceSession<'_, E> {
 
     fn classify(&self, levels: &[u16]) -> usize {
         InferenceSession::classify(self, levels)
+    }
+
+    fn search_topk_batch(
+        &self,
+        rows: &[&[u16]],
+        k: usize,
+        probe: Option<&ProbeConfig>,
+    ) -> BatchTopKResult {
+        InferenceSession::search_topk_batch(self, rows, k, probe)
     }
 }
 
@@ -499,6 +573,94 @@ impl<E: Encoder + Sync> ClassifySession for OwnedSession<E> {
     fn classify(&self, levels: &[u16]) -> usize {
         classify_one_impl(&self.encoder, self.kind, &self.sharded, levels)
     }
+
+    fn search_topk_batch(
+        &self,
+        rows: &[&[u16]],
+        k: usize,
+        probe: Option<&ProbeConfig>,
+    ) -> BatchTopKResult {
+        search_topk_impl(&self.encoder, self.kind, &self.sharded, rows, k, probe)
+    }
+}
+
+/// A top-k query surface bound to a session: the `k` and probe tuning
+/// travel with the session reference, so callers (the serving batch
+/// workers, benchmarks) issue `search_batch(rows)` without re-threading
+/// search parameters through every call site.
+///
+/// # Examples
+///
+/// ```
+/// use hdc_datasets::Benchmark;
+/// use hdc_model::{HdcConfig, HdcModel, InferenceSession, TopKSession};
+///
+/// let (train, _) = Benchmark::Face.generate(0.05, 3)?;
+/// let config = HdcConfig::paper_default().with_dim(1024);
+/// let model = HdcModel::fit_standard(&config, &train)?;
+/// let session = InferenceSession::new(model.encoder(), model.memory());
+/// let topk = TopKSession::new(&session, 2);
+/// let query = vec![0u16; session.n_features()];
+/// let hits = topk.search_batch(&[&query[..]]);
+/// assert_eq!(hits.matches(0).len(), 2);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct TopKSession<'a, S: ?Sized> {
+    session: &'a S,
+    k: usize,
+    probe: Option<ProbeConfig>,
+}
+
+impl<'a, S: ClassifySession + ?Sized> TopKSession<'a, S> {
+    /// Binds an exact top-`k` search surface to `session`.
+    #[must_use]
+    pub fn new(session: &'a S, k: usize) -> Self {
+        TopKSession {
+            session,
+            k,
+            probe: None,
+        }
+    }
+
+    /// Switches the binary search path to the pruned coarse/rescore
+    /// scan (ignored by non-binary models, which have no packed planes
+    /// to subsample).
+    #[must_use]
+    pub fn with_probe(mut self, probe: ProbeConfig) -> Self {
+        self.probe = Some(probe);
+        self
+    }
+
+    /// The bound `k`.
+    #[must_use]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The bound probe tuning, if any.
+    #[must_use]
+    pub fn probe(&self) -> Option<&ProbeConfig> {
+        self.probe.as_ref()
+    }
+
+    /// The underlying session.
+    #[must_use]
+    pub fn session(&self) -> &S {
+        self.session
+    }
+
+    /// Top-k search of a batch of quantized rows with the bound
+    /// parameters (see [`ClassifySession::search_topk_batch`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any row's width does not match the encoder.
+    #[must_use]
+    pub fn search_batch(&self, rows: &[&[u16]]) -> BatchTopKResult {
+        self.session
+            .search_topk_batch(rows, self.k, self.probe.as_ref())
+    }
 }
 
 #[cfg(test)]
@@ -606,6 +768,51 @@ mod tests {
         .join()
         .unwrap();
         assert_eq!(got, want);
+    }
+
+    #[test]
+    fn topk_session_matches_sorted_scores() {
+        for kind in [ModelKind::Binary, ModelKind::NonBinary] {
+            let (enc, memory, rows) = setup(kind, 1030);
+            let session = InferenceSession::new(&enc, &memory);
+            let refs: Vec<&[u16]> = rows.iter().map(Vec::as_slice).collect();
+            let topk = TopKSession::new(&session, 2);
+            let hits = topk.search_batch(&refs);
+            let full = session.scores_batch(&refs);
+            for q in 0..refs.len() {
+                let scores = full.scores(q);
+                let mut order: Vec<usize> = (0..scores.len()).collect();
+                order.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]).then(a.cmp(&b)));
+                let matches = hits.matches(q);
+                assert_eq!(matches.len(), 2, "{kind:?} q {q}");
+                for (m, &want_row) in matches.iter().zip(order.iter()) {
+                    assert_eq!(m.row, want_row, "{kind:?} q {q}");
+                    assert_eq!(
+                        m.score.to_bits(),
+                        scores[want_row].to_bits(),
+                        "{kind:?} q {q}"
+                    );
+                }
+                assert_eq!(matches[0].row, full.best(q), "{kind:?} q {q}");
+            }
+        }
+    }
+
+    #[test]
+    fn topk_session_pruned_full_width_matches_exact_binary() {
+        let (enc, memory, rows) = setup(ModelKind::Binary, 1030);
+        let session = InferenceSession::new(&enc, &memory);
+        let refs: Vec<&[u16]> = rows.iter().map(Vec::as_slice).collect();
+        let exact = TopKSession::new(&session, 3).search_batch(&refs);
+        let probe = ProbeConfig {
+            probe_words: session.dim().div_ceil(64),
+            probe_factor: 2,
+            exact_threshold: 0,
+        };
+        let pruned = TopKSession::new(&session, 3)
+            .with_probe(probe)
+            .search_batch(&refs);
+        assert_eq!(exact, pruned);
     }
 
     #[test]

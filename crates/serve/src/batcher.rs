@@ -7,13 +7,16 @@
 //! throughput under heavy load approaches the batch kernel's, because
 //! the per-request protocol cost is the only per-request work left.
 
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::{Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use hdc_model::ClassifySession;
+use hypervec::ProbeConfig;
+
+use crate::protocol::SearchMatch;
 
 /// Batching and worker-pool parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -31,6 +34,11 @@ pub struct BatchConfig {
     /// Serial request/response clients never feel this — they have at
     /// most one request in flight.
     pub pipeline_window: usize,
+    /// Coarse-probe tuning for top-k search requests against binary
+    /// models: `Some` switches the workers to the pruned scan (subsample
+    /// first, rescore survivors exactly), `None` scans exactly. Non-
+    /// binary models always scan exactly.
+    pub search_probe: Option<ProbeConfig>,
 }
 
 impl Default for BatchConfig {
@@ -40,6 +48,7 @@ impl Default for BatchConfig {
             max_wait: Duration::from_micros(200),
             workers: 2,
             pipeline_window: 128,
+            search_probe: None,
         }
     }
 }
@@ -51,6 +60,8 @@ pub enum JobResult {
     Class(usize),
     /// Top-1 class plus the full per-class score vector.
     ClassWithScores(usize, Vec<f64>),
+    /// Top-k search hits, best-first.
+    Matches(Vec<SearchMatch>),
     /// The job could not run against the generation that served its
     /// batch (e.g. a hot swap changed the model shape mid-flight).
     Rejected(String),
@@ -89,6 +100,8 @@ pub struct Job {
     pub levels: Vec<u16>,
     /// Whether the full score vector was requested.
     pub want_scores: bool,
+    /// `Some(k)` makes this a top-k search job instead of a classify.
+    pub search_k: Option<usize>,
     /// Delivery channel to the connection's writer thread.
     pub tx: mpsc::Sender<Delivery>,
 }
@@ -187,6 +200,9 @@ pub fn worker_loop<S: ClassifySession>(
     served: &AtomicU64,
 ) {
     while let Some(batch) = queue.next_batch(config) {
+        let (search, batch): (Vec<Job>, Vec<Job>) =
+            batch.into_iter().partition(|j| j.search_k.is_some());
+        run_search_jobs(session, config, search, served);
         let rows: Vec<&[u16]> = batch.iter().map(|j| j.levels.as_slice()).collect();
         if batch.iter().any(|j| j.want_scores) {
             let hits = session.scores_batch(&rows);
@@ -200,12 +216,63 @@ pub fn worker_loop<S: ClassifySession>(
                 // A handler that hung up already is not an error.
                 let _ = job.tx.send(job.complete(result));
             }
-        } else {
+        } else if !batch.is_empty() {
             let classes = session.classify_batch(&rows);
             for (job, class) in batch.into_iter().zip(classes) {
                 served.fetch_add(1, Ordering::Relaxed);
                 let _ = job.tx.send(job.complete(JobResult::Class(class)));
             }
+        }
+    }
+}
+
+/// Runs one batch's search jobs: rows that no longer fit the session
+/// (a registry hot swap raced them) are rejected per-request, the rest
+/// run as one fused `search_topk_batch` per distinct `k` (in practice a
+/// batch almost always carries one `k`, so this is one call).
+pub fn run_search_jobs<S: ClassifySession>(
+    session: &S,
+    config: &BatchConfig,
+    jobs: Vec<Job>,
+    served: &AtomicU64,
+) {
+    if jobs.is_empty() {
+        return;
+    }
+    let mut by_k: BTreeMap<usize, Vec<Job>> = BTreeMap::new();
+    for job in jobs {
+        let fits = job.levels.len() == session.n_features()
+            && job
+                .levels
+                .iter()
+                .all(|&lv| usize::from(lv) < session.m_levels());
+        if fits {
+            let k = job.search_k.expect("search jobs carry k");
+            by_k.entry(k).or_default().push(job);
+        } else {
+            let result = JobResult::Rejected(format!(
+                "model swapped mid-flight: row no longer fits serving model \
+                 (N = {}, M = {})",
+                session.n_features(),
+                session.m_levels()
+            ));
+            let _ = job.tx.send(job.complete(result));
+        }
+    }
+    for (k, group) in by_k {
+        let rows: Vec<&[u16]> = group.iter().map(|j| j.levels.as_slice()).collect();
+        let hits = session.search_topk_batch(&rows, k, config.search_probe.as_ref());
+        for (i, job) in group.into_iter().enumerate() {
+            let matches: Vec<SearchMatch> = hits
+                .matches(i)
+                .iter()
+                .map(|m| SearchMatch {
+                    row: m.row as u32,
+                    score: m.score,
+                })
+                .collect();
+            served.fetch_add(1, Ordering::Relaxed);
+            let _ = job.tx.send(job.complete(JobResult::Matches(matches)));
         }
     }
 }
@@ -221,6 +288,7 @@ mod tests {
                 id: u64::from(level),
                 levels: vec![level],
                 want_scores: false,
+                search_k: None,
                 tx,
             },
             rx,

@@ -3,14 +3,16 @@
 //!
 //! Usage: `hdc_loadgen [--addr HOST:PORT] [--features N] [--levels M]
 //! [--connections C] [--requests R] [--seed S] [--wire json|binary]
-//! [--pipeline P] [--min-rps X]`
+//! [--pipeline P] [--search-k K] [--min-rps X]`
 //!
 //! `--features` / `--levels` must match the served model. `--wire`
 //! picks the protocol (line-JSON by default, length-prefixed binary
 //! frames with `binary`); `--pipeline P` keeps `P` requests in flight
-//! per connection (1 = serial round trips). `--min-rps X` exits
-//! non-zero when throughput lands below `X` or any request errors —
-//! the CI serving smoke test's assertion.
+//! per connection (1 = serial round trips). `--search-k K` switches
+//! every request from top-1 classification to top-`K` similarity
+//! search (a response without a match list counts as an error).
+//! `--min-rps X` exits non-zero when throughput lands below `X` or any
+//! request errors — the CI serving smoke test's assertion.
 
 use std::net::ToSocketAddrs;
 use std::process::ExitCode;
@@ -68,10 +70,18 @@ fn parse_options() -> Options {
             "--pipeline" => {
                 opts.config.pipeline = value(i).parse().expect("--pipeline needs an integer")
             }
+            "--search-k" => {
+                let k: usize = value(i).parse().expect("--search-k needs an integer");
+                assert!(
+                    (1..=usize::from(u16::MAX)).contains(&k),
+                    "--search-k must be in 1..=65535"
+                );
+                opts.config.search_k = Some(k);
+            }
             "--min-rps" => opts.min_rps = value(i).parse().expect("--min-rps needs a number"),
             other => panic!(
                 "unknown argument '{other}'; supported: --addr --features --levels \
-                 --connections --requests --seed --wire --pipeline --min-rps"
+                 --connections --requests --seed --wire --pipeline --search-k --min-rps"
             ),
         }
         i += 2;
@@ -86,11 +96,16 @@ fn main() -> std::io::Result<ExitCode> {
         .to_socket_addrs()?
         .next()
         .expect("address resolves");
+    let mode = match opts.config.search_k {
+        Some(k) => format!("search k={k}"),
+        None => "classify".to_owned(),
+    };
     println!(
-        "driving {} with {} connections × {} requests ({} wire, pipeline {}) …",
+        "driving {} with {} connections × {} {} requests ({} wire, pipeline {}) …",
         addr,
         opts.config.connections,
         opts.config.requests_per_connection,
+        mode,
         opts.config.wire.name(),
         opts.config.pipeline
     );

@@ -99,7 +99,7 @@ pub use admission::{AdmissionConfig, ConnectionAdmission, ThrottleReason};
 pub use batcher::{BatchConfig, BatchQueue};
 pub use loadgen::{LoadReport, LoadgenConfig};
 pub use protocol::{
-    AdminRequest, ClassifyRequest, ClassifyResponse, ServerInfo, StatsReport, SwapInfo,
+    AdminRequest, ClassifyRequest, ClassifyResponse, SearchMatch, ServerInfo, StatsReport, SwapInfo,
 };
 pub use server::{serve, serve_registry, RegistryServeConfig, ServeStats};
 pub use wire::WireMode;
@@ -625,6 +625,92 @@ mod tests {
         });
     }
 
+    /// The `search` request answers top-k hits bit-identical to a
+    /// direct [`hdc_model::TopKSession`] call, on both wire formats,
+    /// through the same batcher — and the loadgen's search mode drives
+    /// it with zero errors.
+    #[test]
+    fn search_requests_match_topk_session_on_both_wires() {
+        let model = demo::demo_model(&demo::DemoSpec {
+            dim: 512,
+            train_size: 128,
+            ..Default::default()
+        });
+        let session = model.session();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let shutdown = AtomicBool::new(false);
+
+        std::thread::scope(|s| {
+            let server = s.spawn(|| serve(listener, &session, &BatchConfig::default(), &shutdown));
+
+            let mut json = Client::connect(addr);
+            let mut bin = BinClient::connect(addr);
+            let k = 3;
+            let topk = hdc_model::TopKSession::new(&session, k);
+
+            for i in 0..6u16 {
+                let levels: Vec<u16> = (0..16).map(|f| ((usize::from(i) + f) % 8) as u16).collect();
+                let id = u64::from(i) + 1;
+                let want = topk.search_batch(&[levels.as_slice()]);
+                let want = want.matches(0);
+
+                let jr = json.roundtrip(&protocol::search_request_line(id, &levels, k));
+                let br = bin.roundtrip(&wire::search_frame(id, &levels, k));
+                assert_eq!((jr.id, br.id), (id, id));
+                let jm = jr.matches.unwrap();
+                let bm = br.matches.unwrap();
+                assert_eq!(jm.len(), want.len());
+                assert_eq!(bm.len(), want.len());
+                for ((j, b), w) in jm.iter().zip(&bm).zip(want) {
+                    assert_eq!(usize::try_from(j.row).unwrap(), w.row, "row {i}");
+                    assert_eq!(usize::try_from(b.row).unwrap(), w.row, "row {i}");
+                    // Scores bit-identical across wire formats and
+                    // against the direct session call.
+                    assert_eq!(j.score.to_bits(), w.score.to_bits(), "row {i}");
+                    assert_eq!(b.score.to_bits(), w.score.to_bits(), "row {i}");
+                }
+            }
+
+            // k larger than the row count returns every row, and a
+            // malformed search (wrong row shape) answers a structured
+            // error without killing the connection.
+            let levels: Vec<u16> = (0..16).map(|f| (f % 8) as u16).collect();
+            let resp = json.roundtrip(&protocol::search_request_line(50, &levels, 100));
+            assert_eq!(resp.matches.unwrap().len(), session.n_classes());
+            let resp = bin.roundtrip(&wire::search_frame(51, &[1, 2], 3));
+            assert!(resp.error.unwrap().contains("model expects 16"));
+            let resp = bin.roundtrip(&wire::search_frame(52, &levels, 2));
+            assert_eq!(resp.matches.unwrap().len(), 2);
+
+            // Loadgen search mode, both wires: every response carried a
+            // match list (anything else counts as an error).
+            for wire_mode in [WireMode::Json, WireMode::Binary] {
+                let report = loadgen::run(
+                    addr,
+                    session.n_features(),
+                    session.m_levels(),
+                    &LoadgenConfig {
+                        connections: 2,
+                        requests_per_connection: 50,
+                        seed: 29,
+                        wire: wire_mode,
+                        pipeline: 4,
+                        search_k: Some(k),
+                    },
+                )
+                .unwrap();
+                assert_eq!(report.total_requests, 100, "{wire_mode:?}");
+                assert_eq!(report.errors, 0, "{wire_mode:?}");
+            }
+
+            drop(json);
+            drop(bin);
+            shutdown.store(true, Ordering::SeqCst);
+            server.join().unwrap().unwrap();
+        });
+    }
+
     /// Pipelined requests complete out of order and are matched by id;
     /// the loadgen's pipelined binary client sees zero errors.
     #[test]
@@ -673,6 +759,7 @@ mod tests {
                         seed: 13,
                         wire: wire_mode,
                         pipeline: 8,
+                        search_k: None,
                     },
                 )
                 .unwrap();
@@ -818,6 +905,7 @@ mod tests {
             max_wait: std::time::Duration::from_millis(40),
             workers: 1,
             pipeline_window: 2,
+            search_probe: None,
         };
         let levels: Vec<u16> = (0..16).map(|f| (f % 8) as u16).collect();
 

@@ -38,6 +38,10 @@ pub struct LoadgenConfig {
     pub wire: WireMode,
     /// In-flight requests per connection (1 = serial request/response).
     pub pipeline: usize,
+    /// `Some(k)` switches every request to a top-k search (`search`
+    /// JSON requests / `SEARCH` frames); a response without a match
+    /// list counts as an error.
+    pub search_k: Option<usize>,
 }
 
 impl Default for LoadgenConfig {
@@ -48,6 +52,7 @@ impl Default for LoadgenConfig {
             seed: 2022,
             wire: WireMode::Json,
             pipeline: 1,
+            search_k: None,
         }
     }
 }
@@ -161,15 +166,22 @@ impl Transport {
         })
     }
 
-    /// Buffers one classify request (call [`Transport::flush`] before
-    /// blocking on responses).
-    fn send(&mut self, id: u64, levels: &[u16]) -> std::io::Result<()> {
-        match self {
-            Transport::Json { writer, .. } => {
+    /// Buffers one classify — or, with `search_k`, top-k search —
+    /// request (call [`Transport::flush`] before blocking on
+    /// responses).
+    fn send(&mut self, id: u64, levels: &[u16], search_k: Option<usize>) -> std::io::Result<()> {
+        match (self, search_k) {
+            (Transport::Json { writer, .. }, None) => {
                 writer.write_all(protocol::request_line(id, levels, false).as_bytes())
             }
-            Transport::Binary { writer, .. } => {
+            (Transport::Json { writer, .. }, Some(k)) => {
+                writer.write_all(protocol::search_request_line(id, levels, k).as_bytes())
+            }
+            (Transport::Binary { writer, .. }, None) => {
                 writer.write_all(&wire::classify_frame(id, levels, false))
+            }
+            (Transport::Binary { writer, .. }, Some(k)) => {
+                writer.write_all(&wire::search_frame(id, levels, k))
             }
         }
     }
@@ -182,8 +194,13 @@ impl Transport {
 
     /// Blocks for the next response; returns `(id, ok)` — `id` is
     /// `None` when the response was unparseable and carries no usable
-    /// id (a sentinel value would collide with real request ids).
-    fn recv(&mut self) -> std::io::Result<(Option<u64>, bool)> {
+    /// id (a sentinel value would collide with real request ids). With
+    /// `want_matches`, a response without a match list is not ok: the
+    /// server answered a search with something else.
+    fn recv(&mut self, want_matches: bool) -> std::io::Result<(Option<u64>, bool)> {
+        let ok_of = |resp: &protocol::ClassifyResponse| {
+            resp.error.is_none() && (!want_matches || resp.matches.is_some())
+        };
         match self {
             Transport::Json { reader, line, .. } => {
                 line.clear();
@@ -194,14 +211,14 @@ impl Transport {
                     ));
                 }
                 match protocol::parse_response(line) {
-                    Ok(resp) => Ok((Some(resp.id), resp.error.is_none())),
+                    Ok(resp) => Ok((Some(resp.id), ok_of(&resp))),
                     Err(_) => Ok((None, false)),
                 }
             }
             Transport::Binary { reader, .. } => {
                 let (header, payload) = wire::read_frame(reader)?;
                 match wire::decode_response(&header, &payload) {
-                    Ok(resp) => Ok((Some(resp.id), resp.error.is_none())),
+                    Ok(resp) => Ok((Some(resp.id), ok_of(&resp))),
                     Err(_) => Ok((Some(header.id), false)),
                 }
             }
@@ -243,12 +260,12 @@ fn connection_loop(
             let id = id_base.wrapping_mul(1_000_000_007) + sent as u64;
             sent += 1;
             sent_at.insert(id, Instant::now());
-            transport.send(id, &levels)?;
+            transport.send(id, &levels, config.search_k)?;
         }
         // …then drain one response (more arrive opportunistically on
         // the next loop iterations).
         transport.flush()?;
-        let (id, ok) = transport.recv()?;
+        let (id, ok) = transport.recv(config.search_k.is_some())?;
         received += 1;
         match id.and_then(|id| sent_at.remove(&id)) {
             Some(at) if ok => {

@@ -14,7 +14,15 @@
 //! → {"id":4,"info":true}
 //! ← {"id":4,"info":{"backend":"avx2","dim":10000,"features":64,"levels":16,
 //!    "classes":8,"generation":3,"checksum":"a1b2c3d4e5f60789"}}
+//! → {"id":5,"levels":[0,3,2,1],"search":{"k":3}}
+//! ← {"id":5,"matches":[{"row":41,"score":0.93},{"row":7,"score":0.41},
+//!    {"row":1003,"score":0.40}]}
 //! ```
+//!
+//! A `search` request runs top-k similarity search over the serving
+//! model's row memory instead of top-1 classification: the response
+//! carries the best `k` rows, best-first (ties broken toward the lowest
+//! row id), with their exact similarity scores.
 //!
 //! The `info` request reports the serving model's shape, the active
 //! SIMD kernel backend, and — on a registry-backed server — the active
@@ -78,8 +86,21 @@ pub struct ClassifyRequest {
     pub want_scores: bool,
     /// Whether this is a server-info request instead of a classify.
     pub want_info: bool,
+    /// `Some(k)` turns the request into a top-k similarity search over
+    /// the row memory instead of a top-1 classification.
+    pub search_k: Option<usize>,
     /// Administrative operation, when this is an admin request.
     pub admin: Option<AdminRequest>,
+}
+
+/// One top-k search hit: a row memory index and its exact similarity
+/// score.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SearchMatch {
+    /// Row index in the serving model's row memory.
+    pub row: u32,
+    /// Exact similarity score of that row against the query.
+    pub score: f64,
 }
 
 /// Server shape and runtime facts reported by an info response.
@@ -141,6 +162,8 @@ pub struct ClassifyResponse {
     pub class: Option<usize>,
     /// Per-class scores, when requested.
     pub scores: Option<Vec<f64>>,
+    /// Top-k hits, when this answers a search request (best-first).
+    pub matches: Option<Vec<SearchMatch>>,
     /// Server info, when this answers an info request.
     pub info: Option<ServerInfo>,
     /// New generation identity, when this answers a reload/rekey.
@@ -204,6 +227,7 @@ pub fn parse_request(line: &str) -> Result<ClassifyRequest, (u64, String)> {
         levels: Vec::new(),
         want_scores: false,
         want_info,
+        search_k: None,
         admin,
     };
     if matches!(value.get("info"), Some(Value::Bool(true))) {
@@ -240,11 +264,25 @@ pub fn parse_request(line: &str) -> Result<ClassifyRequest, (u64, String)> {
         levels.push(n);
     }
     let want_scores = matches!(value.get("scores"), Some(Value::Bool(true)));
+    let search_k = match value.get("search") {
+        Some(search) => {
+            let k = search
+                .get("k")
+                .and_then(Value::as_u64)
+                .ok_or((id, "`search` needs a numeric `k`".to_owned()))?;
+            if k == 0 || k > u64::from(u16::MAX) {
+                return Err((id, format!("search k {k} out of range (1..=65535)")));
+            }
+            Some(k as usize)
+        }
+        None => None,
+    };
     Ok(ClassifyRequest {
         id,
         levels,
         want_scores,
         want_info: false,
+        search_k,
         admin: None,
     })
 }
@@ -341,6 +379,38 @@ pub fn request_line(id: u64, levels: &[u16], want_scores: bool) -> String {
         out.push_str(",\"scores\":true");
     }
     out.push_str("}\n");
+    out
+}
+
+/// Renders a top-k search request line (client side), with trailing
+/// newline.
+#[must_use]
+pub fn search_request_line(id: u64, levels: &[u16], k: usize) -> String {
+    let mut out = format!("{{\"id\":{id},\"levels\":[");
+    for (i, lv) in levels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&lv.to_string());
+    }
+    out.push_str(&format!("],\"search\":{{\"k\":{k}}}}}\n"));
+    out
+}
+
+/// Renders a top-k search response line (with trailing newline), hits
+/// best-first.
+#[must_use]
+pub fn matches_response(id: u64, matches: &[SearchMatch]) -> String {
+    let mut out = format!("{{\"id\":{id},\"matches\":[");
+    for (i, m) in matches.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        // `{:?}` keeps a decimal point / exponent, so the score reads
+        // back as a float.
+        out.push_str(&format!("{{\"row\":{},\"score\":{:?}}}", m.row, m.score));
+    }
+    out.push_str("]}\n");
     out
 }
 
@@ -480,22 +550,48 @@ pub fn parse_response(line: &str) -> Result<ClassifyResponse, String> {
         }),
         None => None,
     };
+    let matches = match value.get("matches").and_then(Value::as_array) {
+        Some(arr) => {
+            let mut out = Vec::with_capacity(arr.len());
+            for m in arr {
+                let row = m
+                    .get("row")
+                    .and_then(Value::as_u64)
+                    .and_then(|r| u32::try_from(r).ok())
+                    .ok_or_else(|| "match without numeric `row`".to_owned())?;
+                let score = m
+                    .get("score")
+                    .and_then(Value::as_f64)
+                    .ok_or_else(|| "match without numeric `score`".to_owned())?;
+                out.push(SearchMatch { row, score });
+            }
+            Some(out)
+        }
+        None => None,
+    };
     let error = value
         .get("error")
         .and_then(Value::as_str)
         .map(str::to_owned);
     let throttled = matches!(value.get("throttled"), Some(Value::Bool(true)));
     let overloaded = matches!(value.get("overloaded"), Some(Value::Bool(true)));
-    if class.is_none() && error.is_none() && info.is_none() && swapped.is_none() && stats.is_none()
+    if class.is_none()
+        && matches.is_none()
+        && error.is_none()
+        && info.is_none()
+        && swapped.is_none()
+        && stats.is_none()
     {
         return Err(
-            "response carries neither `class`, `info`, `swapped`, `stats` nor `error`".to_owned(),
+            "response carries neither `class`, `matches`, `info`, `swapped`, `stats` nor `error`"
+                .to_owned(),
         );
     }
     Ok(ClassifyResponse {
         id,
         class,
         scores,
+        matches,
         info,
         swapped,
         stats,
@@ -535,11 +631,53 @@ mod tests {
                 levels: vec![0, 3, 65535],
                 want_scores: true,
                 want_info: false,
+                search_k: None,
                 admin: None,
             }
         );
         let plain = parse_request(&request_line(7, &[1], false)).unwrap();
         assert!(!plain.want_scores);
+    }
+
+    #[test]
+    fn search_roundtrip() {
+        let req = parse_request(&search_request_line(13, &[0, 2, 1], 5)).unwrap();
+        assert_eq!(req.id, 13);
+        assert_eq!(req.levels, vec![0, 2, 1]);
+        assert_eq!(req.search_k, Some(5));
+        assert!(req.admin.is_none() && !req.want_info && !req.want_scores);
+
+        let hits = [
+            SearchMatch {
+                row: 41,
+                score: 0.9375,
+            },
+            SearchMatch {
+                row: 7,
+                score: -0.125,
+            },
+        ];
+        let resp = parse_response(&matches_response(13, &hits)).unwrap();
+        assert_eq!(resp.id, 13);
+        assert_eq!(resp.matches, Some(hits.to_vec()));
+        assert!(resp.class.is_none() && resp.error.is_none());
+
+        // Empty hit lists are a valid payload (k = 0 never reaches the
+        // wire, but an empty memory could produce this).
+        let resp = parse_response(&matches_response(14, &[])).unwrap();
+        assert_eq!(resp.matches, Some(Vec::new()));
+
+        // k bounds are enforced at parse time, with the id kept.
+        let (id, msg) =
+            parse_request("{\"id\":9,\"levels\":[1],\"search\":{\"k\":0}}").unwrap_err();
+        assert_eq!(id, 9);
+        assert!(msg.contains("out of range"));
+        let (id, _) =
+            parse_request("{\"id\":8,\"levels\":[1],\"search\":{\"k\":70000}}").unwrap_err();
+        assert_eq!(id, 8);
+        let (id, msg) = parse_request("{\"id\":7,\"levels\":[1],\"search\":{}}").unwrap_err();
+        assert_eq!(id, 7);
+        assert!(msg.contains('k'));
     }
 
     #[test]

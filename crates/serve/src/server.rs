@@ -240,6 +240,10 @@ fn render_completion(mode: WireMode, done: &Completion) -> Vec<u8> {
         (JobResult::ClassWithScores(class, scores), WireMode::Binary) => {
             wire::scores_frame(done.id, *class, scores)
         }
+        (JobResult::Matches(matches), WireMode::Json) => {
+            protocol::matches_response(done.id, matches).into_bytes()
+        }
+        (JobResult::Matches(matches), WireMode::Binary) => wire::matches_frame(done.id, matches),
         (JobResult::Rejected(msg), _) => render_error(mode, done.id, msg, false, false),
     }
 }
@@ -254,6 +258,9 @@ enum Incoming {
         id: u64,
         levels: Vec<u16>,
         want_scores: bool,
+        /// `Some(k)` routes the row to top-k search instead of
+        /// classification (same validation, window and admission path).
+        search_k: Option<usize>,
     },
     Info {
         id: u64,
@@ -334,6 +341,7 @@ impl ConnIo<'_> {
                 id,
                 levels,
                 want_scores,
+                search_k,
             } => {
                 if let Some(msg) = brain.validate_levels(&levels) {
                     self.send_raw(render_error(self.mode, id, &msg, false, false));
@@ -389,6 +397,7 @@ impl ConnIo<'_> {
                     id,
                     levels,
                     want_scores,
+                    search_k,
                     tx: self.tx.clone(),
                 });
             }
@@ -576,6 +585,7 @@ fn read_json_loop<B: RequestBrain>(
                                     id: request.id,
                                     levels: request.levels,
                                     want_scores: request.want_scores,
+                                    search_k: request.search_k,
                                 }
                             }
                         }
@@ -647,7 +657,16 @@ fn read_binary_loop<B: RequestBrain>(
                                     id,
                                     levels,
                                     want_scores,
+                                    search_k: None,
                                 },
+                                Ok(wire::ServerFrame::Search { id, levels, k }) => {
+                                    Incoming::Classify {
+                                        id,
+                                        levels,
+                                        want_scores: false,
+                                        search_k: Some(k),
+                                    }
+                                }
                                 Ok(wire::ServerFrame::Info { id }) => Incoming::Info { id },
                                 Err((id, message)) => Incoming::Bad {
                                     id,
@@ -916,6 +935,14 @@ fn registry_worker_loop(
     while let Some(batch) = queue.next_batch(config) {
         let generation = registry.current();
         let session = generation.session();
+        let (search, batch): (Vec<Job>, Vec<Job>) =
+            batch.into_iter().partition(|j| j.search_k.is_some());
+        // Search jobs re-validate against the popped generation inside
+        // `run_search_jobs` — same mid-flight-swap guarantee as below.
+        crate::batcher::run_search_jobs(session, config, search, served);
+        if batch.is_empty() {
+            continue;
+        }
         let mut results: Vec<Option<JobResult>> = Vec::with_capacity(batch.len());
         let mut valid = Vec::new();
         let mut rows: Vec<&[u16]> = Vec::new();

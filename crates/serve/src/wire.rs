@@ -32,16 +32,18 @@
 //! |--------|-----|---------|
 //! | `0x01` `CLASSIFY` | → | flags `u8` (bit 0 = want scores) · `n` `u16` · `n × u16` levels |
 //! | `0x02` `INFO`     | → | empty |
+//! | `0x03` `SEARCH`   | → | k `u16` · `n` `u16` · `n × u16` levels |
 //! | `0x81` `CLASS`    | ← | class `u32` |
 //! | `0x82` `SCORES`   | ← | class `u32` · count `u32` · `count × f64` score bits |
 //! | `0x83` `INFO`     | ← | dim/features/levels/classes `u32` · generation `u64` · checksum `u64` · backend len `u8` + UTF-8 |
+//! | `0x84` `MATCHES`  | ← | count `u32` · `count ×` (row `u32` · `f64` score bits) |
 //! | `0xEF` `ERROR`    | ← | flags `u8` (bit 0 = throttled, bit 1 = overloaded) · len `u16` + UTF-8 message |
 //!
-//! Classify payloads carry the quantized feature row as packed `u16`
-//! level indices — no float text round trip anywhere on the hot path;
-//! score vectors travel as raw `f64` bit patterns, so binary responses
-//! are **bit-identical** to what the session computed (and to what the
-//! JSON path serializes via `{:?}`).
+//! Classify and search payloads carry the quantized feature row as
+//! packed `u16` level indices — no float text round trip anywhere on
+//! the hot path; score vectors and top-k hits travel as raw `f64` bit
+//! patterns, so binary responses are **bit-identical** to what the
+//! session computed (and to what the JSON path serializes via `{:?}`).
 //!
 //! Admin operations (`reload`/`rekey`/`stats`) are deliberately
 //! JSON-only: they are rare operator-plane calls, and keeping them off
@@ -68,7 +70,7 @@ use std::io::Read;
 
 use hdc_store::wire::{ByteReader, ByteWriter};
 
-use crate::protocol::{checksum_hex, ClassifyResponse, ServerInfo};
+use crate::protocol::{checksum_hex, ClassifyResponse, SearchMatch, ServerInfo};
 
 /// First magic byte; distinguishes binary connections from JSON ones
 /// (never `{`, never ASCII whitespace, not valid UTF-8 lead byte).
@@ -88,12 +90,16 @@ pub const MAX_PAYLOAD: usize = 1 << 20;
 pub const OP_CLASSIFY: u8 = 0x01;
 /// Request opcode: server info.
 pub const OP_INFO: u8 = 0x02;
+/// Request opcode: top-k similarity search of one quantized row.
+pub const OP_SEARCH: u8 = 0x03;
 /// Response opcode: top-1 class.
 pub const OP_CLASS: u8 = 0x81;
 /// Response opcode: top-1 class plus the full score vector.
 pub const OP_SCORES: u8 = 0x82;
 /// Response opcode: server info.
 pub const OP_INFO_RESP: u8 = 0x83;
+/// Response opcode: top-k search hits, best-first.
+pub const OP_MATCHES: u8 = 0x84;
 /// Response opcode: structured error.
 pub const OP_ERROR: u8 = 0xEF;
 
@@ -157,6 +163,16 @@ pub enum ServerFrame {
     Info {
         /// Request id.
         id: u64,
+    },
+    /// Top-k similarity search of one quantized row.
+    Search {
+        /// Request id.
+        id: u64,
+        /// Quantized feature row.
+        levels: Vec<u16>,
+        /// How many best rows to return (1..=65535, enforced by the
+        /// `u16` wire field being nonzero).
+        k: usize,
     },
 }
 
@@ -223,6 +239,32 @@ pub fn info_frame(id: u64) -> Vec<u8> {
     frame(OP_INFO, id, &[])
 }
 
+/// Encodes a top-k search request frame (client side).
+///
+/// # Panics
+///
+/// Panics when the row has more than `u16::MAX` levels or `k` does not
+/// fit `1..=u16::MAX` — both fields are `u16` on the wire, and silent
+/// truncation would misparse (or silently shrink) the request.
+#[must_use]
+pub fn search_frame(id: u64, levels: &[u16], k: usize) -> Vec<u8> {
+    assert!(
+        levels.len() <= usize::from(u16::MAX),
+        "search rows are capped at {} levels (got {})",
+        u16::MAX,
+        levels.len()
+    );
+    assert!(
+        (1..=usize::from(u16::MAX)).contains(&k),
+        "search k must be in 1..=65535 (got {k})"
+    );
+    let mut w = ByteWriter::new();
+    w.put_u16(k as u16);
+    w.put_u16(levels.len() as u16);
+    w.put_u16s(levels);
+    frame(OP_SEARCH, id, &w.into_bytes())
+}
+
 /// Encodes a top-1 class response frame.
 #[must_use]
 pub fn class_frame(id: u64, class: usize) -> Vec<u8> {
@@ -242,6 +284,20 @@ pub fn scores_frame(id: u64, class: usize, scores: &[f64]) -> Vec<u8> {
         w.put_u64(s.to_bits());
     }
     frame(OP_SCORES, id, &w.into_bytes())
+}
+
+/// Encodes a top-k search response frame, hits best-first. Scores
+/// travel as raw `f64` bit patterns — bit-identical to the session's
+/// output.
+#[must_use]
+pub fn matches_frame(id: u64, matches: &[SearchMatch]) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.put_u32(matches.len() as u32);
+    for m in matches {
+        w.put_u32(m.row);
+        w.put_u64(m.score.to_bits());
+    }
+    frame(OP_MATCHES, id, &w.into_bytes())
 }
 
 /// Encodes a server-info response frame.
@@ -380,6 +436,27 @@ pub fn decode_request(header: &FrameHeader, payload: &[u8]) -> Result<ServerFram
             })
         }
         OP_INFO => Ok(ServerFrame::Info { id: header.id }),
+        OP_SEARCH => {
+            let mut r = ByteReader::new(payload);
+            let parse = |e| (header.id, format!("malformed search payload: {e}"));
+            let k = r.get_u16().map_err(parse)? as usize;
+            if k == 0 {
+                return Err((header.id, "search k must be nonzero".to_owned()));
+            }
+            let n = r.get_u16().map_err(parse)? as usize;
+            let levels = r.get_u16s(n).map_err(parse)?;
+            if r.remaining() != 0 {
+                return Err((
+                    header.id,
+                    format!("{} trailing bytes after search payload", r.remaining()),
+                ));
+            }
+            Ok(ServerFrame::Search {
+                id: header.id,
+                levels,
+                k,
+            })
+        }
         op => Err((header.id, format!("unknown opcode 0x{op:02x}"))),
     }
 }
@@ -396,6 +473,7 @@ pub fn decode_response(header: &FrameHeader, payload: &[u8]) -> Result<ClassifyR
         id: header.id,
         class: None,
         scores: None,
+        matches: None,
         info: None,
         swapped: None,
         stats: None,
@@ -436,6 +514,17 @@ pub fn decode_response(header: &FrameHeader, payload: &[u8]) -> Result<ClassifyR
                 generation,
                 checksum: checksum_hex(checksum),
             });
+        }
+        OP_MATCHES => {
+            let err = |e| format!("malformed matches frame: {e}");
+            let n = r.get_u32().map_err(err)? as usize;
+            let mut matches = Vec::with_capacity(n);
+            for _ in 0..n {
+                let row = r.get_u32().map_err(err)?;
+                let score = f64::from_bits(r.get_u64().map_err(err)?);
+                matches.push(SearchMatch { row, score });
+            }
+            resp.matches = Some(matches);
         }
         OP_ERROR => {
             let err = |e| format!("malformed error frame: {e}");
@@ -569,6 +658,54 @@ mod tests {
         let (h, p) = fb.next_frame().unwrap().unwrap();
         let resp = decode_response(&h, &p).unwrap();
         assert!(resp.overloaded && !resp.throttled);
+    }
+
+    #[test]
+    fn search_roundtrip_bit_identical() {
+        let bytes = search_frame(21, &[0, 3, 65535], 10);
+        let mut fb = feed(&bytes);
+        let (header, payload) = fb.next_frame().unwrap().unwrap();
+        assert_eq!(
+            decode_request(&header, &payload),
+            Ok(ServerFrame::Search {
+                id: 21,
+                levels: vec![0, 3, 65535],
+                k: 10,
+            })
+        );
+
+        // Hits round-trip bit-for-bit (raw f64 bits on the wire).
+        let hits = [
+            SearchMatch {
+                row: 1_000_003,
+                score: f64::from_bits(0x3FF0_0000_0000_0001),
+            },
+            SearchMatch {
+                row: 7,
+                score: -0.125,
+            },
+        ];
+        let mut fb = feed(&matches_frame(21, &hits));
+        let (h, p) = fb.next_frame().unwrap().unwrap();
+        let resp = decode_response(&h, &p).unwrap();
+        assert_eq!(resp.id, 21);
+        let got = resp.matches.unwrap();
+        assert_eq!(got.len(), 2);
+        for (g, w) in got.iter().zip(&hits) {
+            assert_eq!(g.row, w.row);
+            assert_eq!(g.score.to_bits(), w.score.to_bits());
+        }
+
+        // k = 0 is rejected with the id intact.
+        let mut w = ByteWriter::new();
+        w.put_u16(0);
+        w.put_u16(1);
+        w.put_u16s(&[1]);
+        let mut fb = feed(&frame(OP_SEARCH, 6, &w.into_bytes()));
+        let (h, p) = fb.next_frame().unwrap().unwrap();
+        let (id, msg) = decode_request(&h, &p).unwrap_err();
+        assert_eq!(id, 6);
+        assert!(msg.contains("nonzero"));
     }
 
     #[test]

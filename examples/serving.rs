@@ -107,6 +107,7 @@ fn main() -> std::io::Result<()> {
                     seed: 1,
                     wire: wire_mode,
                     pipeline,
+                    search_k: None,
                 },
             )?;
             println!(
