@@ -23,10 +23,19 @@
 //! and asserting in-bench that the pruned scan at full probe width is
 //! bit-identical to the exact one.
 //!
+//! A third section measures *connection-count scalability*: a
+//! threaded-core binary+pipelined baseline (the PR 5 shape — a handful
+//! of sockets, deep pipelines) against the epoll event core under an
+//! open-loop fan-in of thousands of concurrent pipelined sockets
+//! ([`loadgen::run_fan_in`]), recording sustained connections,
+//! requests/s, tail latency, and the event-vs-threaded throughput
+//! ratio gated in `ci/bench_gates.json`.
+//!
 //! Usage: `bench_search [--dim D] [--classes C] [--queries Q]
 //! [--connections K] [--requests R] [--topk-rows N] [--topk-k K]
-//! [--topk-queries Q] [--out PATH]` — defaults reproduce the
-//! acceptance configuration `D = 10 000, C ≥ 8, N = 1 000 000`.
+//! [--topk-queries Q] [--fan-connections F] [--fan-requests R]
+//! [--out PATH]` — defaults reproduce the acceptance configuration
+//! `D = 10 000, C ≥ 8, N = 1 000 000, F = 10 000`.
 
 use std::collections::{HashMap, HashSet};
 use std::fmt::Write as _;
@@ -36,7 +45,9 @@ use std::time::Instant;
 
 use hdc_model::{infer, ClassMemory, ModelKind};
 use hdc_serve::demo::{demo_model, DemoSpec};
-use hdc_serve::{loadgen, protocol, server, wire, BatchConfig, LoadgenConfig, WireMode};
+use hdc_serve::{
+    loadgen, protocol, server, wire, BatchConfig, CoreKind, FanInConfig, LoadgenConfig, WireMode,
+};
 use hypervec::{kernel, BinaryHv, HvRng, IntHv, ProbeConfig, ShardedClassMemory};
 
 struct Options {
@@ -48,6 +59,8 @@ struct Options {
     topk_rows: usize,
     topk_k: usize,
     topk_queries: usize,
+    fan_connections: usize,
+    fan_requests: usize,
     out: String,
 }
 
@@ -62,6 +75,8 @@ impl Default for Options {
             topk_rows: 1_000_000,
             topk_k: 10,
             topk_queries: 8,
+            fan_connections: 10_000,
+            fan_requests: 100,
             out: "BENCH_search.json".to_owned(),
         }
     }
@@ -92,10 +107,19 @@ fn parse_options() -> Options {
             "--topk-queries" => {
                 opts.topk_queries = value(i).parse().expect("--topk-queries needs an integer")
             }
+            "--fan-connections" => {
+                opts.fan_connections = value(i)
+                    .parse()
+                    .expect("--fan-connections needs an integer")
+            }
+            "--fan-requests" => {
+                opts.fan_requests = value(i).parse().expect("--fan-requests needs an integer")
+            }
             "--out" => opts.out = value(i),
             other => panic!(
                 "unknown argument '{other}'; supported: --dim --classes --queries \
-                 --connections --requests --topk-rows --topk-k --topk-queries --out"
+                 --connections --requests --topk-rows --topk-k --topk-queries \
+                 --fan-connections --fan-requests --out"
             ),
         }
         i += 2;
@@ -622,6 +646,115 @@ fn main() {
          (batch results bit-identical across wires: {wire_bit_identical})"
     );
 
+    // Concurrency: the event core's reason to exist. First a
+    // threaded-core binary+pipelined baseline (the PR 5 shape — a
+    // handful of sockets, deep pipelines), then the epoll core under
+    // an open-loop fan-in of thousands of concurrent pipelined
+    // sockets. The bench holds BOTH ends of every fan-in socket in
+    // one process, so the fd budget is two descriptors per connection;
+    // clamp loudly rather than die on EMFILE where the hard limit is
+    // low.
+    let fan_target = opts.fan_connections;
+    let fd_limits = hdc_serve::epoll::raise_nofile_limit(fan_target as u64 * 2 + 128);
+    let fan_connections = match fd_limits {
+        Some((soft, _)) => fan_target.min((soft.saturating_sub(128) / 2) as usize),
+        None => fan_target,
+    };
+    if fan_connections < fan_target {
+        println!(
+            "  (fd soft limit {} clamps fan-in from {fan_target} to {fan_connections} \
+             connections)",
+            fd_limits.map_or(0, |(soft, _)| soft),
+        );
+    }
+    let threaded_baseline = {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+        let addr = listener.local_addr().expect("local addr");
+        let shutdown = AtomicBool::new(false);
+        std::thread::scope(|s| {
+            let server_thread = s.spawn(|| {
+                server::serve_with_core(
+                    CoreKind::Threaded,
+                    listener,
+                    &session,
+                    &batch_config,
+                    &shutdown,
+                )
+            });
+            let report = loadgen::run(
+                addr,
+                session.n_features(),
+                session.m_levels(),
+                &LoadgenConfig {
+                    wire: WireMode::Binary,
+                    pipeline: WIRE_PIPELINE,
+                    ..load_config
+                },
+            )
+            .expect("threaded baseline load generation");
+            shutdown.store(true, Ordering::SeqCst);
+            server_thread
+                .join()
+                .expect("server thread")
+                .expect("server ran");
+            report
+        })
+    };
+    // Deep pipelines and big batches are the event core's levers at
+    // 10k-connection fan-in: per-connection windows keep the loop fed
+    // between readiness events, and wide batches amortize the
+    // per-batch queue/wakeup overhead across thousands of sockets.
+    const FAN_PIPELINE: usize = 64;
+    const FAN_MAX_BATCH: usize = 512;
+    let fan_config = FanInConfig {
+        connections: fan_connections,
+        requests_per_connection: opts.fan_requests,
+        pipeline: FAN_PIPELINE,
+        wire: WireMode::Binary,
+        seed: 2022,
+        churn_every: None,
+        search_k: None,
+    };
+    let fan_report = {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+        let addr = listener.local_addr().expect("local addr");
+        let shutdown = AtomicBool::new(false);
+        let fan_batch = BatchConfig {
+            max_batch: FAN_MAX_BATCH,
+            max_connections: fan_connections + 16,
+            ..batch_config
+        };
+        std::thread::scope(|s| {
+            let server_thread =
+                s.spawn(|| server::serve(listener, &session, &fan_batch, &shutdown));
+            let report =
+                loadgen::run_fan_in(addr, session.n_features(), session.m_levels(), &fan_config)
+                    .expect("fan-in load generation");
+            shutdown.store(true, Ordering::SeqCst);
+            server_thread
+                .join()
+                .expect("server thread")
+                .expect("server ran");
+            report
+        })
+    };
+    let vs_threaded_binary_pipelined =
+        fan_report.requests_per_sec / threaded_baseline.requests_per_sec;
+    println!(
+        "serving concurrency: {fan_connections} connections open-loop (pipeline {}): \
+         {:.0} requests/s, p50 {} µs, p99 {} µs ({} errors)",
+        fan_config.pipeline,
+        fan_report.requests_per_sec,
+        fan_report.latency.p50_micros,
+        fan_report.latency.p99_micros,
+        fan_report.errors
+    );
+    println!(
+        "  vs threaded-core binary+pipelined ({:.0} requests/s): \
+         {vs_threaded_binary_pipelined:.2}x",
+        threaded_baseline.requests_per_sec
+    );
+
     let mut json = String::new();
     let _ = writeln!(json, "{{");
     let _ = writeln!(
@@ -753,6 +886,46 @@ fn main() {
     let _ = writeln!(
         json,
         "      \"batch_bit_identical_across_wires\": {wire_bit_identical}"
+    );
+    let _ = writeln!(json, "    }},");
+    let _ = writeln!(json, "    \"concurrency\": {{");
+    let _ = writeln!(
+        json,
+        "      \"config\": {{ \"connections_target\": {fan_target}, \
+         \"requests_per_connection\": {}, \"pipeline\": {}, \"wire\": \"binary\", \
+         \"max_batch\": {FAN_MAX_BATCH}, \"fd_soft_limit\": {} }},",
+        fan_config.requests_per_connection,
+        fan_config.pipeline,
+        fd_limits.map_or(0, |(soft, _)| soft)
+    );
+    let _ = writeln!(json, "      \"connections\": {fan_connections},");
+    let _ = writeln!(
+        json,
+        "      \"requests_per_sec\": {:.1},",
+        fan_report.requests_per_sec
+    );
+    let _ = writeln!(json, "      \"errors\": {},", fan_report.errors);
+    let _ = writeln!(
+        json,
+        "      \"error_free\": {},",
+        u64::from(fan_report.errors == 0)
+    );
+    let _ = writeln!(
+        json,
+        "      \"latency_us\": {{ \"p50\": {}, \"p95\": {}, \"p99\": {}, \"max\": {} }},",
+        fan_report.latency.p50_micros,
+        fan_report.latency.p95_micros,
+        fan_report.latency.p99_micros,
+        fan_report.latency.max_micros
+    );
+    let _ = writeln!(
+        json,
+        "      \"threaded_binary_pipelined_requests_per_sec\": {:.1},",
+        threaded_baseline.requests_per_sec
+    );
+    let _ = writeln!(
+        json,
+        "      \"vs_threaded_binary_pipelined\": {vs_threaded_binary_pipelined:.2}"
     );
     let _ = writeln!(json, "    }}");
     let _ = writeln!(json, "  }}");

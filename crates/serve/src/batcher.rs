@@ -6,16 +6,27 @@
 //! call per batch. Latency under light load is bounded by `max_wait`;
 //! throughput under heavy load approaches the batch kernel's, because
 //! the per-request protocol cost is the only per-request work left.
+//!
+//! A job is either a single row ([`JobKind::Single`]) or a packed
+//! BULK_CLASSIFY frame ([`JobKind::Bulk`]) whose rows are fused into
+//! the same batch call as everything else — a bulk frame is just a
+//! client that pre-batched its own traffic.
+//!
+//! Completions flow back through a [`CompletionSink`]: the threaded
+//! core hands each connection's writer an mpsc channel, the event-loop
+//! core funnels every connection into one channel tagged with the
+//! connection token and nudges the loop through its wakeup pipe.
 
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::mpsc;
+use std::sync::{mpsc, Arc};
 use std::sync::{Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use hdc_model::ClassifySession;
 use hypervec::ProbeConfig;
 
+use crate::epoll::Waker;
 use crate::protocol::SearchMatch;
 
 /// Batching and worker-pool parameters.
@@ -39,6 +50,11 @@ pub struct BatchConfig {
     /// first, rescore survivors exactly), `None` scans exactly. Non-
     /// binary models always scan exactly.
     pub search_probe: Option<ProbeConfig>,
+    /// Concurrent-connection ceiling of the event-loop core. Accepts
+    /// past the ceiling are answered with a structured `"overloaded"`
+    /// error and closed instead of being silently dropped. The threaded
+    /// core ignores this (its ceiling is thread exhaustion).
+    pub max_connections: usize,
 }
 
 impl Default for BatchConfig {
@@ -49,11 +65,36 @@ impl Default for BatchConfig {
             workers: 2,
             pipeline_window: 128,
             search_probe: None,
+            max_connections: 16_384,
         }
     }
 }
 
-/// Outcome of one classify job, sent back to its connection handler.
+/// One classified row of a bulk frame's response.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BulkItem {
+    /// Top-1 class for this row.
+    Class(usize),
+    /// Top-1 class plus the full per-class score vector.
+    ClassWithScores(usize, Vec<f64>),
+    /// This row was rejected (validation, admission, or a mid-flight
+    /// swap); the message mirrors the single-request error text.
+    Rejected(String),
+}
+
+/// One row of an enqueued bulk job: either a validated, admitted row
+/// awaiting the kernel, or a pre-rejected slot whose error is echoed
+/// back in position.
+#[derive(Debug, Clone)]
+pub enum BulkSlot {
+    /// A quantized feature row to classify.
+    Row(Vec<u16>),
+    /// Rejected before enqueue; carried so the response keeps one item
+    /// per request row, in order.
+    Rejected(String),
+}
+
+/// Outcome of one job, sent back to its connection handler.
 #[derive(Debug, Clone)]
 pub enum JobResult {
     /// Top-1 class.
@@ -62,13 +103,15 @@ pub enum JobResult {
     ClassWithScores(usize, Vec<f64>),
     /// Top-k search hits, best-first.
     Matches(Vec<SearchMatch>),
+    /// Per-row outcomes of a bulk frame, in request order.
+    Bulk(Vec<BulkItem>),
     /// The job could not run against the generation that served its
     /// batch (e.g. a hot swap changed the model shape mid-flight).
     Rejected(String),
 }
 
-/// A completed classify job, tagged with the request id it answers so
-/// the connection's writer can interleave out-of-order completions.
+/// A completed job, tagged with the request id it answers so the
+/// connection's writer can interleave out-of-order completions.
 /// Whether scores were requested is carried by the [`JobResult`]
 /// variant itself.
 #[derive(Debug, Clone)]
@@ -79,31 +122,91 @@ pub struct Completion {
     pub result: JobResult,
 }
 
-/// One message to a connection's writer thread.
+/// One message to a connection's write side.
 #[derive(Debug)]
 pub enum Delivery {
     /// A batch-worker completion: the writer renders it in the
     /// connection's negotiated wire format.
     Done(Completion),
     /// A pre-rendered response produced on the connection's read side
-    /// (protocol errors, info, admin, throttles) — the writer sends it
-    /// verbatim, interleaved in channel order with completions.
+    /// or by the admin executor (protocol errors, info, admin,
+    /// throttles) — sent verbatim, interleaved in arrival order with
+    /// completions.
     Raw(Vec<u8>),
 }
 
-/// One enqueued classify request.
+/// Where a finished job's [`Delivery`] goes.
+///
+/// The threaded core gives every connection its own channel (drained by
+/// that connection's writer thread). The event-loop core shares one
+/// channel across all connections, tags each delivery with the
+/// connection's token, and wakes the loop through the self-pipe.
+#[derive(Debug, Clone)]
+pub enum CompletionSink {
+    /// Per-connection channel to a dedicated writer thread.
+    Channel(mpsc::Sender<Delivery>),
+    /// Shared event-loop channel plus the wakeup pipe.
+    EventLoop {
+        /// The loop's completion channel; deliveries are tagged with
+        /// the connection token.
+        tx: mpsc::Sender<(u64, Delivery)>,
+        /// Token of the connection this job belongs to.
+        token: u64,
+        /// The loop's wakeup pipe.
+        waker: Arc<Waker>,
+    },
+}
+
+impl CompletionSink {
+    /// Delivers one message. A receiver that hung up already is not an
+    /// error — the connection is tearing down and the delivery is moot.
+    pub fn send(&self, delivery: Delivery) {
+        match self {
+            CompletionSink::Channel(tx) => {
+                let _ = tx.send(delivery);
+            }
+            CompletionSink::EventLoop { tx, token, waker } => {
+                let _ = tx.send((*token, delivery));
+                waker.wake();
+            }
+        }
+    }
+}
+
+/// What an enqueued job asks of the worker pool.
+#[derive(Debug, Clone)]
+pub enum JobKind {
+    /// One row: classify (optionally with scores) or top-k search.
+    Single {
+        /// Quantized feature row (validated by the handler before
+        /// enqueue).
+        levels: Vec<u16>,
+        /// Whether the full score vector was requested.
+        want_scores: bool,
+        /// `Some(k)` makes this a top-k search job instead of a
+        /// classify.
+        search_k: Option<usize>,
+    },
+    /// Many rows from one BULK_CLASSIFY frame, answered as one
+    /// multi-result response.
+    Bulk {
+        /// Per-row slots, in request order; pre-rejected rows ride
+        /// along so the response stays positional.
+        slots: Vec<BulkSlot>,
+        /// Whether every row's score vector was requested.
+        want_scores: bool,
+    },
+}
+
+/// One enqueued request.
 #[derive(Debug)]
 pub struct Job {
     /// Request id (echoed into the completion).
     pub id: u64,
-    /// Quantized feature row (validated by the handler before enqueue).
-    pub levels: Vec<u16>,
-    /// Whether the full score vector was requested.
-    pub want_scores: bool,
-    /// `Some(k)` makes this a top-k search job instead of a classify.
-    pub search_k: Option<usize>,
-    /// Delivery channel to the connection's writer thread.
-    pub tx: mpsc::Sender<Delivery>,
+    /// The work: one row or a packed bulk frame.
+    pub kind: JobKind,
+    /// Where the completion goes.
+    pub tx: CompletionSink,
 }
 
 impl Job {
@@ -114,6 +217,26 @@ impl Job {
             id: self.id,
             result,
         })
+    }
+
+    /// True for top-k search jobs.
+    #[must_use]
+    pub fn is_search(&self) -> bool {
+        matches!(
+            self.kind,
+            JobKind::Single {
+                search_k: Some(_),
+                ..
+            }
+        )
+    }
+
+    /// True when any row of this job asked for the score vector.
+    #[must_use]
+    pub fn wants_scores(&self) -> bool {
+        match &self.kind {
+            JobKind::Single { want_scores, .. } | JobKind::Bulk { want_scores, .. } => *want_scores,
+        }
     }
 }
 
@@ -190,7 +313,7 @@ impl BatchQueue {
 
 /// Worker loop: pop batches, run one fused session call per batch,
 /// deliver per-job results. Returns once the queue is closed and
-/// drained; `served` counts completed requests. Generic over the
+/// drained; `served` counts completed classifications. Generic over the
 /// session shape ([`ClassifySession`]), so the same loop serves a
 /// borrowed single-model session and a registry generation.
 pub fn worker_loop<S: ClassifySession>(
@@ -200,29 +323,167 @@ pub fn worker_loop<S: ClassifySession>(
     served: &AtomicU64,
 ) {
     while let Some(batch) = queue.next_batch(config) {
-        let (search, batch): (Vec<Job>, Vec<Job>) =
-            batch.into_iter().partition(|j| j.search_k.is_some());
-        run_search_jobs(session, config, search, served);
-        let rows: Vec<&[u16]> = batch.iter().map(|j| j.levels.as_slice()).collect();
-        if batch.iter().any(|j| j.want_scores) {
-            let hits = session.scores_batch(&rows);
-            for (i, job) in batch.into_iter().enumerate() {
-                let result = if job.want_scores {
-                    JobResult::ClassWithScores(hits.best(i), hits.scores(i).to_vec())
-                } else {
-                    JobResult::Class(hits.best(i))
-                };
-                served.fetch_add(1, Ordering::Relaxed);
-                // A handler that hung up already is not an error.
-                let _ = job.tx.send(job.complete(result));
-            }
-        } else if !batch.is_empty() {
-            let classes = session.classify_batch(&rows);
-            for (job, class) in batch.into_iter().zip(classes) {
-                served.fetch_add(1, Ordering::Relaxed);
-                let _ = job.tx.send(job.complete(JobResult::Class(class)));
+        run_batch(session, config, batch, served, None);
+    }
+}
+
+/// Executes one popped batch against `session`: search jobs run as
+/// fused `search_topk_batch` calls, classify rows (single and bulk,
+/// fused together) as one `scores_batch`/`classify_batch` call.
+///
+/// `generation` is `Some(id)` when a registry generation is serving:
+/// every row is then re-validated against the session this batch
+/// actually runs on, and rows that no longer fit (a shape-changing hot
+/// swap raced the queue) are answered with a per-request error instead
+/// of being dropped. A fixed session (`None`) cannot change shape, so
+/// no re-validation happens and results stay bit-identical to the
+/// pre-registry server.
+pub fn run_batch<S: ClassifySession>(
+    session: &S,
+    config: &BatchConfig,
+    batch: Vec<Job>,
+    served: &AtomicU64,
+    generation: Option<u64>,
+) {
+    let (search, mut classify): (Vec<Job>, Vec<Job>) = batch.into_iter().partition(Job::is_search);
+    // Search jobs re-validate against the serving session inside
+    // `run_search_jobs` — same mid-flight-swap guarantee as below.
+    run_search_jobs(session, config, search, served);
+    if classify.is_empty() {
+        return;
+    }
+
+    let n_features = session.n_features();
+    let m_levels = session.m_levels();
+    let fits =
+        |row: &[u16]| row.len() == n_features && row.iter().all(|&lv| usize::from(lv) < m_levels);
+
+    // Pre-rejections, aligned with `classify`: only `Single` jobs land
+    // here — misfit bulk rows are rejected slot-by-slot in place so the
+    // response stays positional.
+    let mut results: Vec<Option<JobResult>> = vec![None; classify.len()];
+    if let Some(generation_id) = generation {
+        let misfit = || {
+            format!(
+                "model swapped mid-flight: row no longer fits generation {} \
+                 (N = {}, M = {})",
+                generation_id, n_features, m_levels
+            )
+        };
+        for (i, job) in classify.iter_mut().enumerate() {
+            match &mut job.kind {
+                JobKind::Single { levels, .. } => {
+                    if !fits(levels) {
+                        results[i] = Some(JobResult::Rejected(misfit()));
+                    }
+                }
+                JobKind::Bulk { slots, .. } => {
+                    for slot in slots.iter_mut() {
+                        if let BulkSlot::Row(row) = slot {
+                            if !fits(row) {
+                                *slot = BulkSlot::Rejected(misfit());
+                            }
+                        }
+                    }
+                }
             }
         }
+    }
+
+    // Fuse every surviving row — singles and bulk rows alike — into one
+    // kernel call.
+    let mut rows: Vec<&[u16]> = Vec::new();
+    for (i, job) in classify.iter().enumerate() {
+        if results[i].is_some() {
+            continue;
+        }
+        match &job.kind {
+            JobKind::Single { levels, .. } => rows.push(levels.as_slice()),
+            JobKind::Bulk { slots, .. } => rows.extend(slots.iter().filter_map(|s| match s {
+                BulkSlot::Row(row) => Some(row.as_slice()),
+                BulkSlot::Rejected(_) => None,
+            })),
+        }
+    }
+    let any_scores = classify.iter().any(Job::wants_scores);
+    let mut score_hits = None;
+    let mut classes = None;
+    if !rows.is_empty() {
+        if any_scores {
+            score_hits = Some(session.scores_batch(&rows));
+        } else {
+            classes = Some(session.classify_batch(&rows));
+        }
+    }
+
+    let mut slot = 0usize;
+    for (job, pre) in classify.iter().zip(results) {
+        let result = match pre {
+            Some(rejection) => rejection,
+            None => match &job.kind {
+                JobKind::Single { want_scores, .. } => {
+                    let result = if let Some(hits) = &score_hits {
+                        if *want_scores {
+                            JobResult::ClassWithScores(hits.best(slot), hits.scores(slot).to_vec())
+                        } else {
+                            JobResult::Class(hits.best(slot))
+                        }
+                    } else {
+                        let classes = classes.as_ref().expect("kernel ran: rows were nonempty");
+                        JobResult::Class(classes[slot])
+                    };
+                    slot += 1;
+                    result
+                }
+                JobKind::Bulk { slots, want_scores } => {
+                    let mut items = Vec::with_capacity(slots.len());
+                    for s in slots {
+                        match s {
+                            BulkSlot::Rejected(msg) => items.push(BulkItem::Rejected(msg.clone())),
+                            BulkSlot::Row(_) => {
+                                let item = if let Some(hits) = &score_hits {
+                                    if *want_scores {
+                                        BulkItem::ClassWithScores(
+                                            hits.best(slot),
+                                            hits.scores(slot).to_vec(),
+                                        )
+                                    } else {
+                                        BulkItem::Class(hits.best(slot))
+                                    }
+                                } else {
+                                    let classes =
+                                        classes.as_ref().expect("kernel ran: rows were nonempty");
+                                    BulkItem::Class(classes[slot])
+                                };
+                                slot += 1;
+                                items.push(item);
+                            }
+                        }
+                    }
+                    JobResult::Bulk(items)
+                }
+            },
+        };
+        // `classified` counts answered classifications only — swap-
+        // rejected jobs and rejected bulk rows are protocol rejections,
+        // not results.
+        match &result {
+            JobResult::Rejected(_) => {}
+            JobResult::Bulk(items) => {
+                let answered = items
+                    .iter()
+                    .filter(|item| !matches!(item, BulkItem::Rejected(_)))
+                    .count() as u64;
+                if answered > 0 {
+                    served.fetch_add(answered, Ordering::Relaxed);
+                }
+            }
+            _ => {
+                served.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        // A handler that hung up already is not an error.
+        job.tx.send(job.complete(result));
     }
 }
 
@@ -239,16 +500,22 @@ pub fn run_search_jobs<S: ClassifySession>(
     if jobs.is_empty() {
         return;
     }
-    let mut by_k: BTreeMap<usize, Vec<Job>> = BTreeMap::new();
-    for job in jobs {
-        let fits = job.levels.len() == session.n_features()
-            && job
-                .levels
+    let mut by_k: BTreeMap<usize, Vec<(Vec<u16>, Job)>> = BTreeMap::new();
+    for mut job in jobs {
+        let JobKind::Single {
+            levels, search_k, ..
+        } = &mut job.kind
+        else {
+            unreachable!("search jobs are Single");
+        };
+        let fits = levels.len() == session.n_features()
+            && levels
                 .iter()
                 .all(|&lv| usize::from(lv) < session.m_levels());
         if fits {
-            let k = job.search_k.expect("search jobs carry k");
-            by_k.entry(k).or_default().push(job);
+            let k = search_k.expect("search jobs carry k");
+            let row = std::mem::take(levels);
+            by_k.entry(k).or_default().push((row, job));
         } else {
             let result = JobResult::Rejected(format!(
                 "model swapped mid-flight: row no longer fits serving model \
@@ -256,13 +523,13 @@ pub fn run_search_jobs<S: ClassifySession>(
                 session.n_features(),
                 session.m_levels()
             ));
-            let _ = job.tx.send(job.complete(result));
+            job.tx.send(job.complete(result));
         }
     }
     for (k, group) in by_k {
-        let rows: Vec<&[u16]> = group.iter().map(|j| j.levels.as_slice()).collect();
+        let rows: Vec<&[u16]> = group.iter().map(|(row, _)| row.as_slice()).collect();
         let hits = session.search_topk_batch(&rows, k, config.search_probe.as_ref());
-        for (i, job) in group.into_iter().enumerate() {
+        for (i, (_, job)) in group.into_iter().enumerate() {
             let matches: Vec<SearchMatch> = hits
                 .matches(i)
                 .iter()
@@ -272,7 +539,7 @@ pub fn run_search_jobs<S: ClassifySession>(
                 })
                 .collect();
             served.fetch_add(1, Ordering::Relaxed);
-            let _ = job.tx.send(job.complete(JobResult::Matches(matches)));
+            job.tx.send(job.complete(JobResult::Matches(matches)));
         }
     }
 }
@@ -286,13 +553,22 @@ mod tests {
         (
             Job {
                 id: u64::from(level),
-                levels: vec![level],
-                want_scores: false,
-                search_k: None,
-                tx,
+                kind: JobKind::Single {
+                    levels: vec![level],
+                    want_scores: false,
+                    search_k: None,
+                },
+                tx: CompletionSink::Channel(tx),
             },
             rx,
         )
+    }
+
+    fn levels_of(job: &Job) -> &[u16] {
+        match &job.kind {
+            JobKind::Single { levels, .. } => levels,
+            JobKind::Bulk { .. } => panic!("test jobs are Single"),
+        }
     }
 
     #[test]
@@ -312,7 +588,7 @@ mod tests {
         };
         let first = queue.next_batch(&config).unwrap();
         assert_eq!(first.len(), 3);
-        assert_eq!(first[0].levels, vec![0]);
+        assert_eq!(levels_of(&first[0]), &[0]);
         let second = queue.next_batch(&config).unwrap();
         assert_eq!(second.len(), 2);
     }
@@ -344,7 +620,7 @@ mod tests {
             queue.push(j);
             let batch = popper.join().unwrap().unwrap();
             assert_eq!(batch.len(), 1);
-            assert_eq!(batch[0].levels, vec![7]);
+            assert_eq!(levels_of(&batch[0]), &[7]);
         });
     }
 }

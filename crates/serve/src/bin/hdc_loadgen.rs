@@ -3,7 +3,8 @@
 //!
 //! Usage: `hdc_loadgen [--addr HOST:PORT] [--features N] [--levels M]
 //! [--connections C] [--requests R] [--seed S] [--wire json|binary]
-//! [--pipeline P] [--search-k K] [--min-rps X]`
+//! [--pipeline P] [--search-k K] [--min-rps X] [--open-loop]
+//! [--churn N] [--min-connections C]`
 //!
 //! `--features` / `--levels` must match the served model. `--wire`
 //! picks the protocol (line-JSON by default, length-prefixed binary
@@ -13,11 +14,20 @@
 //! search (a response without a match list counts as an error).
 //! `--min-rps X` exits non-zero when throughput lands below `X` or any
 //! request errors — the CI serving smoke test's assertion.
+//!
+//! `--open-loop` switches from one-thread-per-connection closed loops
+//! to the epoll fan-in client (Linux only): every connection is a
+//! nonblocking socket multiplexed from one thread, so `--connections
+//! 10000` is practical. `--churn N` (open-loop only) makes each
+//! connection disconnect and reconnect every `N` responses, exercising
+//! the server's accept path under load. `--min-connections C` exits
+//! non-zero unless at least `C` connections were driven — the 10k
+//! concurrency smoke assertion.
 
 use std::net::ToSocketAddrs;
 use std::process::ExitCode;
 
-use hdc_serve::{loadgen, LoadgenConfig, WireMode};
+use hdc_serve::{loadgen, FanInConfig, LoadgenConfig, WireMode};
 
 struct Options {
     addr: String,
@@ -25,6 +35,9 @@ struct Options {
     m_levels: usize,
     config: LoadgenConfig,
     min_rps: f64,
+    open_loop: bool,
+    churn_every: Option<usize>,
+    min_connections: usize,
 }
 
 impl Default for Options {
@@ -35,6 +48,9 @@ impl Default for Options {
             m_levels: 8,
             config: LoadgenConfig::default(),
             min_rps: 0.0,
+            open_loop: false,
+            churn_every: None,
+            min_connections: 0,
         }
     }
 }
@@ -79,9 +95,23 @@ fn parse_options() -> Options {
                 opts.config.search_k = Some(k);
             }
             "--min-rps" => opts.min_rps = value(i).parse().expect("--min-rps needs a number"),
+            "--open-loop" => {
+                opts.open_loop = true;
+                i += 1;
+                continue;
+            }
+            "--churn" => {
+                opts.churn_every = Some(value(i).parse().expect("--churn needs an integer"))
+            }
+            "--min-connections" => {
+                opts.min_connections = value(i)
+                    .parse()
+                    .expect("--min-connections needs an integer")
+            }
             other => panic!(
                 "unknown argument '{other}'; supported: --addr --features --levels \
-                 --connections --requests --seed --wire --pipeline --search-k --min-rps"
+                 --connections --requests --seed --wire --pipeline --search-k --min-rps \
+                 --open-loop --churn --min-connections"
             ),
         }
         i += 2;
@@ -101,15 +131,45 @@ fn main() -> std::io::Result<ExitCode> {
         None => "classify".to_owned(),
     };
     println!(
-        "driving {} with {} connections × {} {} requests ({} wire, pipeline {}) …",
+        "driving {} with {} connections × {} {} requests ({} wire, pipeline {}, {}{}) …",
         addr,
         opts.config.connections,
         opts.config.requests_per_connection,
         mode,
         opts.config.wire.name(),
-        opts.config.pipeline
+        opts.config.pipeline,
+        if opts.open_loop {
+            "open-loop fan-in"
+        } else {
+            "closed loop"
+        },
+        match opts.churn_every {
+            Some(n) => format!(", churn every {n}"),
+            None => String::new(),
+        }
     );
-    let report = loadgen::run(addr, opts.n_features, opts.m_levels, &opts.config)?;
+    let report = if opts.open_loop {
+        loadgen::run_fan_in(
+            addr,
+            opts.n_features,
+            opts.m_levels,
+            &FanInConfig {
+                connections: opts.config.connections,
+                requests_per_connection: opts.config.requests_per_connection,
+                pipeline: opts.config.pipeline,
+                wire: opts.config.wire,
+                seed: opts.config.seed,
+                churn_every: opts.churn_every,
+                search_k: opts.config.search_k,
+            },
+        )?
+    } else {
+        assert!(
+            opts.churn_every.is_none(),
+            "--churn needs --open-loop (the closed loop never disconnects)"
+        );
+        loadgen::run(addr, opts.n_features, opts.m_levels, &opts.config)?
+    };
     println!(
         "  {:.0} requests/s  ({} ok, {} errors, {:.2} s)",
         report.requests_per_sec, report.total_requests, report.errors, report.elapsed_secs
@@ -126,6 +186,13 @@ fn main() -> std::io::Result<ExitCode> {
         eprintln!(
             "FAIL: {} errors, {:.0} requests/s (floor {:.0})",
             report.errors, report.requests_per_sec, opts.min_rps
+        );
+        return Ok(ExitCode::FAILURE);
+    }
+    if opts.min_connections > 0 && opts.config.connections < opts.min_connections {
+        eprintln!(
+            "FAIL: drove {} connections (floor {})",
+            opts.config.connections, opts.min_connections
         );
         return Ok(ExitCode::FAILURE);
     }

@@ -4,7 +4,8 @@
 //! Usage: `hdc_serve [--addr HOST:PORT] [--dim D] [--features N]
 //! [--levels M] [--classes C] [--batch B] [--wait-us T] [--workers W]
 //! [--pipeline P] [--duration SECS] [--locked L] [--budget Q]
-//! [--rate R] [--burst B] [--sweep S]`
+//! [--rate R] [--burst B] [--sweep S] [--max-connections C]
+//! [--core event|threaded]`
 //!
 //! `--locked L` serves an HDLock-locked demo model with key depth `L`
 //! (enabling the `{"rekey":…}` admin request); the default is the
@@ -15,6 +16,14 @@
 //! frames) are always served — each connection picks its own by what
 //! it sends first. `--duration 0` (the default) serves until the
 //! process is killed.
+//!
+//! `--core` picks the connection core: `event` (the epoll loop —
+//! Linux default, 10k+ concurrent connections) or `threaded` (two
+//! blocking threads per connection; the only core off Linux).
+//! `--max-connections C` caps concurrent connections on the event
+//! core — accepts beyond it are answered with a structured
+//! `"overloaded"` error instead of a silent close. The process file
+//! descriptor limit is raised (best effort) to fit the cap at startup.
 
 use std::net::TcpListener;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -22,7 +31,7 @@ use std::time::Duration;
 
 use hdc_model::ClassifySession;
 use hdc_serve::demo::{self, DemoSpec};
-use hdc_serve::{server, AdmissionConfig, BatchConfig, RegistryServeConfig};
+use hdc_serve::{server, AdmissionConfig, BatchConfig, CoreKind, RegistryServeConfig};
 use hdc_store::{ModelRegistry, ModelSnapshot};
 
 struct Options {
@@ -32,6 +41,7 @@ struct Options {
     admission: AdmissionConfig,
     locked_layers: usize,
     duration_secs: u64,
+    core: CoreKind,
 }
 
 impl Default for Options {
@@ -43,6 +53,7 @@ impl Default for Options {
             admission: AdmissionConfig::default(),
             locked_layers: 0,
             duration_secs: 0,
+            core: CoreKind::default(),
         }
     }
 }
@@ -94,10 +105,22 @@ fn parse_options() -> Options {
             "--sweep" => {
                 opts.admission.sweep_budget = value(i).parse().expect("--sweep needs an integer")
             }
+            "--max-connections" => {
+                opts.batch.max_connections = value(i)
+                    .parse()
+                    .expect("--max-connections needs an integer")
+            }
+            "--core" => {
+                opts.core = match value(i).as_str() {
+                    "event" => CoreKind::Event,
+                    "threaded" => CoreKind::Threaded,
+                    other => panic!("--core needs `event` or `threaded`, got '{other}'"),
+                }
+            }
             other => panic!(
                 "unknown argument '{other}'; supported: --addr --dim --features --levels \
                  --classes --batch --wait-us --workers --pipeline --duration --locked \
-                 --budget --rate --burst --sweep"
+                 --budget --rate --burst --sweep --max-connections --core"
             ),
         }
         i += 2;
@@ -128,18 +151,29 @@ fn main() -> std::io::Result<()> {
     };
     let boot = registry.current();
     let listener = TcpListener::bind(&opts.addr)?;
+    match hdc_serve::epoll::raise_nofile_limit(opts.batch.max_connections as u64 * 2 + 64) {
+        Some((soft, hard)) => println!(
+            "file descriptor limit: soft {soft} / hard {hard} \
+             (fits {} connections)",
+            opts.batch.max_connections
+        ),
+        None => println!("file descriptor limit: left unchanged (raise unsupported or denied)"),
+    }
     println!(
-        "serving on {} (batch ≤ {}, wait ≤ {:?}, {} workers, pipeline window {}, \
-         kernel backend: {}, generation {}, checksum {:016x}); protocols: line-JSON \
+        "serving on {} ({:?} core, batch ≤ {}, wait ≤ {:?}, {} workers, pipeline window {}, \
+         ≤ {} connections, kernel backend: {}, generation {}, checksum {:016x}); \
+         protocols: line-JSON \
          (one {{\"id\":…,\"levels\":[…]}} per line; {{\"id\":…,\"info\":true}}, \
          {{\"id\":…,\"stats\":true}}, {{\"id\":…,\"reload\":{{…}}}}, \
          {{\"id\":…,\"rekey\":SEED}}) and binary frames (first byte 0xB1; see \
          hdc_serve::wire), sniffed per connection",
         listener.local_addr()?,
+        opts.core,
         opts.batch.max_batch,
         opts.batch.max_wait,
         opts.batch.workers,
         opts.batch.pipeline_window,
+        opts.batch.max_connections,
         boot.session().kernel_backend(),
         boot.id(),
         boot.checksum()
@@ -152,7 +186,9 @@ fn main() -> std::io::Result<()> {
     };
     let shutdown = AtomicBool::new(false);
     let stats = std::thread::scope(|s| {
-        let server = s.spawn(|| server::serve_registry(listener, &registry, &config, &shutdown));
+        let server = s.spawn(|| {
+            server::serve_registry_with_core(opts.core, listener, &registry, &config, &shutdown)
+        });
         if opts.duration_secs > 0 {
             std::thread::sleep(Duration::from_secs(opts.duration_secs));
             shutdown.store(true, Ordering::SeqCst);

@@ -21,20 +21,21 @@
 //!   arrived within `max_wait`) and answer them with a *single* fused
 //!   `encode_batch → search_batch` call, so heavy concurrent traffic
 //!   runs at batch-kernel throughput.
-//! * **Server** ([`server`]) — scoped-thread accept loop, multiplexed
-//!   per-connection handlers, graceful drain on shutdown. No async
-//!   runtime, no external crates. Every connection is a pipeline:
-//!   up to `pipeline_window` in-flight requests, answered out of order
-//!   by a per-connection writer as batch workers finish (clients match
-//!   responses by id); a full window is answered with a structured
-//!   *overload* error. [`server::serve`] drives one fixed session;
+//! * **Server** ([`server`]) — two interchangeable connection cores
+//!   behind one request-policy layer (see *Serving architecture*
+//!   below). No async runtime, no external crates. Every connection is
+//!   a pipeline: up to `pipeline_window` in-flight requests, answered
+//!   out of order as batch workers finish (clients match responses by
+//!   id); a full window is answered with a structured *overload*
+//!   error. [`server::serve`] drives one fixed session;
 //!   [`server::serve_registry`] drives a
 //!   [`ModelRegistry`](hdc_store::ModelRegistry), so snapshots can be
-//!   hot-reloaded and locked models re-keyed *behind* the running
-//!   server — in-flight traffic finishes on the generation its batch
-//!   grabbed, and the `info` response carries the generation id +
-//!   snapshot checksum so clients can detect the swap. Admission
-//!   control meters JSON and binary clients identically.
+//!   hot-reloaded (including streamed over the wire in chunks),
+//!   locked models re-keyed *behind* the running server — in-flight
+//!   traffic finishes on the generation its batch grabbed, and the
+//!   `info` response carries the generation id + snapshot checksum so
+//!   clients can detect the swap. Admission control meters JSON and
+//!   binary clients identically.
 //! * **Admission** ([`admission`]) — per-connection query budgets
 //!   (the attack crate's [`QueryBudget`](hdc_attack::QueryBudget)
 //!   semantics), token-bucket rate limits and lock-probe
@@ -43,8 +44,50 @@
 //! * **Load generator** ([`loadgen`]) — closed-loop clients reporting
 //!   requests/sec and latency percentiles
 //!   ([`hdc_model::LatencyStats`]), in either wire format and at any
-//!   pipeline depth; the numbers behind `BENCH_search.json`'s serving
-//!   and wire sections.
+//!   pipeline depth — plus an open-loop fan-in mode
+//!   ([`loadgen::run_fan_in`]) that multiplexes thousands of
+//!   concurrent pipelined connections from one thread; the numbers
+//!   behind `BENCH_search.json`'s serving, wire and concurrency
+//!   sections.
+//!
+//! ## Serving architecture
+//!
+//! Request *policy* — wire negotiation, frame/line parsing decisions,
+//! validation, admission metering, the pipeline window, bulk
+//! preparation, admin routing — lives once, in [`server`], behind two
+//! small traits ([`server::RequestBrain`] for what a request *means*,
+//! [`server::ConnOutbox`] for where its effects *land*). Two
+//! connection cores plug into that seam and are byte-for-byte
+//! identical on the wire:
+//!
+//! ```text
+//!              ┌──────────────────── policy (server.rs) ───────────────────┐
+//!              │ sniff · parse · validate · admit · window · admin routing │
+//!              └──────┬──────────────────────────────────────┬─────────────┘
+//!   CoreKind::Event   │                  CoreKind::Threaded  │
+//!   (Linux default)   ▼                  (portable fallback) ▼
+//!   ┌─────────────────────────────┐   ┌──────────────────────────────────┐
+//!   │ one epoll loop thread       │   │ accept loop                      │
+//!   │  · nonblocking sockets      │   │  └ per connection:               │
+//!   │  · per-conn state machines  │   │     reader thread + writer thread│
+//!   │  · bounded write backlogs   │   │     (blocking I/O, mpsc channel) │
+//!   │  · waker pipe for results   │   │                                  │
+//!   └───────┬─────────────────────┘   └───────┬──────────────────────────┘
+//!           │ jobs                            │ jobs
+//!           ▼                                 ▼
+//!   ┌────────────────────────────────────────────────────────────┐
+//!   │ shared batch queue → worker pool (fused classify/search)   │
+//!   │ + admin executor (reload / rekey / snapshot-xfer commit)   │
+//!   └────────────────────────────────────────────────────────────┘
+//! ```
+//!
+//! The event core ([`event_loop`], Linux only) multiplexes 10k+
+//! concurrent connections on one thread and is the default there; the
+//! threaded core ([`threaded`]) spends two threads per connection,
+//! works everywhere `std::net` does, and doubles as the differential
+//! baseline the event core is pinned against in tests. Pick explicitly
+//! with [`serve_with_core`] / [`serve_registry_with_core`] and
+//! [`CoreKind`].
 //!
 //! ## Quickstart
 //!
@@ -90,18 +133,25 @@
 pub mod admission;
 pub mod batcher;
 pub mod demo;
+pub mod epoll;
+#[cfg(target_os = "linux")]
+pub mod event_loop;
 pub mod loadgen;
 pub mod protocol;
 pub mod server;
+pub mod threaded;
 pub mod wire;
 
 pub use admission::{AdmissionConfig, ConnectionAdmission, ThrottleReason};
 pub use batcher::{BatchConfig, BatchQueue};
-pub use loadgen::{LoadReport, LoadgenConfig};
+pub use loadgen::{FanInConfig, LoadReport, LoadgenConfig};
 pub use protocol::{
     AdminRequest, ClassifyRequest, ClassifyResponse, SearchMatch, ServerInfo, StatsReport, SwapInfo,
 };
-pub use server::{serve, serve_registry, RegistryServeConfig, ServeStats};
+pub use server::{
+    serve, serve_registry, serve_registry_with_core, serve_with_core, CoreKind,
+    RegistryServeConfig, ServeStats,
+};
 pub use wire::WireMode;
 
 #[cfg(test)]
@@ -905,7 +955,7 @@ mod tests {
             max_wait: std::time::Duration::from_millis(40),
             workers: 1,
             pipeline_window: 2,
-            search_probe: None,
+            ..BatchConfig::default()
         };
         let levels: Vec<u16> = (0..16).map(|f| (f % 8) as u16).collect();
 

@@ -13,6 +13,15 @@
 //! With `connections × pipeline` in the same ballpark as the server's
 //! `max_batch`, the batching queue fuses the concurrent requests into
 //! full batch-kernel calls.
+//!
+//! The closed-loop [`run`] spends one thread per connection, which
+//! tops out around a thousand sockets. [`run_fan_in`] is the
+//! high-concurrency mode: one epoll-driven thread (Linux only)
+//! multiplexes *all* connections nonblockingly — thousands of
+//! pipelined sockets, optional connect/disconnect churn — and reports
+//! the same [`LoadReport`]. It is the client half of the 10k-connection
+//! acceptance run in `BENCH_search.json`'s `serving.concurrency`
+//! section.
 
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, BufWriter, Write};
@@ -279,4 +288,414 @@ fn connection_loop(
         }
     }
     Ok((latencies, errors))
+}
+
+/// Parameters for the open-loop fan-in mode ([`run_fan_in`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FanInConfig {
+    /// Concurrent connections, all multiplexed from one thread.
+    pub connections: usize,
+    /// Requests issued per connection (across churn reconnects).
+    /// Must stay below `2^20` — ids pack as `conn << 20 | seq`.
+    pub requests_per_connection: usize,
+    /// In-flight requests per connection.
+    pub pipeline: usize,
+    /// Wire format to speak.
+    pub wire: WireMode,
+    /// Seed for the per-connection row generators.
+    pub seed: u64,
+    /// `Some(n)`: every `n` responses a connection drains its window,
+    /// disconnects and reconnects — steady accept-path churn while the
+    /// rest of the fleet keeps serving.
+    pub churn_every: Option<usize>,
+    /// `Some(k)` switches every request to a top-k search.
+    pub search_k: Option<usize>,
+}
+
+impl Default for FanInConfig {
+    fn default() -> Self {
+        FanInConfig {
+            connections: 1000,
+            requests_per_connection: 20,
+            pipeline: 8,
+            wire: WireMode::Binary,
+            seed: 2022,
+            churn_every: None,
+            search_k: None,
+        }
+    }
+}
+
+/// Runs the open-loop fan-in load generator: every connection is a
+/// nonblocking socket on one epoll loop, so one client thread can hold
+/// 10k+ concurrent pipelined connections against the server.
+///
+/// # Errors
+///
+/// Propagates connection failures and servers that close or stall
+/// mid-run (no progress for 30 s); per-request protocol errors are
+/// counted in [`LoadReport::errors`]. On non-Linux platforms, returns
+/// [`std::io::ErrorKind::Unsupported`].
+///
+/// # Panics
+///
+/// Panics if `connections == 0`, `pipeline == 0`,
+/// `requests_per_connection ≥ 2^20`, or no request ever succeeds.
+pub fn run_fan_in(
+    addr: SocketAddr,
+    n_features: usize,
+    m_levels: usize,
+    config: &FanInConfig,
+) -> std::io::Result<LoadReport> {
+    assert!(config.connections > 0, "need at least one connection");
+    assert!(config.pipeline > 0, "pipeline depth must be at least 1");
+    assert!(
+        config.requests_per_connection < (1 << 20),
+        "per-connection request count must fit the id packing"
+    );
+    #[cfg(target_os = "linux")]
+    {
+        fan_in::run(addr, n_features, m_levels, config)
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        let _ = (addr, n_features, m_levels);
+        Err(std::io::Error::new(
+            std::io::ErrorKind::Unsupported,
+            "fan-in load generation needs the Linux epoll client",
+        ))
+    }
+}
+
+#[cfg(target_os = "linux")]
+mod fan_in {
+    use super::{FanInConfig, LoadReport};
+    use crate::epoll::{raise_nofile_limit, PollEvent, Poller, EV_READ, EV_WRITE};
+    use crate::protocol;
+    use crate::wire::{self, WireMode};
+    use hdc_model::LatencyStats;
+    use hypervec::HvRng;
+    use std::collections::HashMap;
+    use std::io::{self, Read, Write};
+    use std::net::{SocketAddr, TcpStream};
+    use std::os::unix::io::AsRawFd;
+    use std::time::{Duration, Instant};
+
+    /// Abort when the server makes no progress for this long.
+    const STALL_DEADLINE: Duration = Duration::from_secs(30);
+    const POLL_TICK_MS: i32 = 100;
+    const READ_CHUNK: usize = 64 * 1024;
+
+    /// One multiplexed client connection.
+    struct FanConn {
+        stream: TcpStream,
+        fd: i32,
+        rng: HvRng,
+        sent: usize,
+        received: usize,
+        frames: wire::FrameBuffer,
+        line: Vec<u8>,
+        out: Vec<u8>,
+        out_pos: usize,
+        interest: u32,
+        /// Response count that triggers the next churn reconnect.
+        next_churn: usize,
+        /// Window draining ahead of a churn reconnect: no new sends.
+        reconnecting: bool,
+    }
+
+    impl FanConn {
+        fn connect(addr: SocketAddr, seed: u64, next_churn: usize) -> io::Result<FanConn> {
+            let stream = TcpStream::connect(addr)?;
+            stream.set_nodelay(true)?;
+            stream.set_nonblocking(true)?;
+            let fd = stream.as_raw_fd();
+            Ok(FanConn {
+                stream,
+                fd,
+                rng: HvRng::from_seed(seed),
+                sent: 0,
+                received: 0,
+                frames: wire::FrameBuffer::new(),
+                line: Vec::new(),
+                out: Vec::new(),
+                out_pos: 0,
+                interest: EV_READ,
+                next_churn,
+                reconnecting: false,
+            })
+        }
+
+        fn backlog(&self) -> usize {
+            self.out.len() - self.out_pos
+        }
+    }
+
+    /// Per-run bookkeeping shared by both wire formats.
+    struct Tally {
+        sent_at: HashMap<u64, Instant>,
+        latencies: Vec<u64>,
+        errors: u64,
+    }
+
+    impl Tally {
+        /// Accounts one response; `id: None` means unparseable.
+        fn response(&mut self, id: Option<u64>, ok: bool) {
+            match id.and_then(|id| self.sent_at.remove(&id)) {
+                Some(at) if ok => self
+                    .latencies
+                    .push(u64::try_from(at.elapsed().as_micros()).unwrap_or(u64::MAX)),
+                Some(_) | None => self.errors += 1,
+            }
+        }
+    }
+
+    /// Queues requests until the pipeline window or request budget is
+    /// full.
+    fn fill_window(
+        conn: &mut FanConn,
+        c: usize,
+        n_features: usize,
+        m_levels: usize,
+        config: &FanInConfig,
+        tally: &mut Tally,
+    ) {
+        while !conn.reconnecting
+            && conn.sent < config.requests_per_connection
+            && conn.sent - conn.received < config.pipeline
+        {
+            let levels: Vec<u16> = (0..n_features)
+                .map(|_| conn.rng.index(m_levels) as u16)
+                .collect();
+            let id = (c as u64) << 20 | conn.sent as u64;
+            conn.sent += 1;
+            tally.sent_at.insert(id, Instant::now());
+            match (config.wire, config.search_k) {
+                (WireMode::Json, None) => conn
+                    .out
+                    .extend_from_slice(protocol::request_line(id, &levels, false).as_bytes()),
+                (WireMode::Json, Some(k)) => conn
+                    .out
+                    .extend_from_slice(protocol::search_request_line(id, &levels, k).as_bytes()),
+                (WireMode::Binary, None) => conn
+                    .out
+                    .extend_from_slice(&wire::classify_frame(id, &levels, false)),
+                (WireMode::Binary, Some(k)) => conn
+                    .out
+                    .extend_from_slice(&wire::search_frame(id, &levels, k)),
+            }
+        }
+    }
+
+    /// Writes whatever the socket accepts. Errors are fatal for the run
+    /// (the server should never drop a loadgen connection).
+    fn flush(conn: &mut FanConn) -> io::Result<()> {
+        while conn.out_pos < conn.out.len() {
+            match conn.stream.write(&conn.out[conn.out_pos..]) {
+                Ok(0) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::WriteZero,
+                        "server stopped accepting bytes mid-run",
+                    ))
+                }
+                Ok(n) => conn.out_pos += n,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        if conn.out_pos == conn.out.len() {
+            conn.out.clear();
+            conn.out_pos = 0;
+        }
+        Ok(())
+    }
+
+    /// Reads and accounts every complete response currently available.
+    fn drain_responses(
+        conn: &mut FanConn,
+        config: &FanInConfig,
+        tally: &mut Tally,
+        buf: &mut [u8],
+    ) -> io::Result<()> {
+        let want_matches = config.search_k.is_some();
+        loop {
+            let n = match conn.stream.read(buf) {
+                Ok(0) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "server closed mid-run",
+                    ))
+                }
+                Ok(n) => n,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(()),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            };
+            match config.wire {
+                WireMode::Binary => {
+                    conn.frames.extend(&buf[..n]);
+                    loop {
+                        match conn.frames.next_frame() {
+                            Ok(Some((header, payload))) => {
+                                conn.received += 1;
+                                match wire::decode_response(&header, &payload) {
+                                    Ok(resp) => tally.response(
+                                        Some(resp.id),
+                                        resp.error.is_none()
+                                            && (!want_matches || resp.matches.is_some()),
+                                    ),
+                                    Err(_) => tally.response(Some(header.id), false),
+                                }
+                            }
+                            Ok(None) => break,
+                            Err(_) => {
+                                return Err(io::Error::new(
+                                    io::ErrorKind::InvalidData,
+                                    "server sent an unframeable response",
+                                ))
+                            }
+                        }
+                    }
+                }
+                WireMode::Json => {
+                    conn.line.extend_from_slice(&buf[..n]);
+                    while let Some(pos) = conn.line.iter().position(|&b| b == b'\n') {
+                        let line_bytes: Vec<u8> = conn.line.drain(..=pos).collect();
+                        conn.received += 1;
+                        let parsed = std::str::from_utf8(&line_bytes)
+                            .ok()
+                            .and_then(|text| protocol::parse_response(text).ok());
+                        match parsed {
+                            Some(resp) => tally.response(
+                                Some(resp.id),
+                                resp.error.is_none() && (!want_matches || resp.matches.is_some()),
+                            ),
+                            None => tally.response(None, false),
+                        }
+                    }
+                }
+            }
+            if n < buf.len() {
+                return Ok(());
+            }
+        }
+    }
+
+    pub(super) fn run(
+        addr: SocketAddr,
+        n_features: usize,
+        m_levels: usize,
+        config: &FanInConfig,
+    ) -> io::Result<LoadReport> {
+        let _ = raise_nofile_limit(config.connections as u64 * 2 + 64);
+        let poller = Poller::new()?;
+        let start = Instant::now();
+        let seed_of = |c: usize| config.seed ^ (c as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let first_churn = config.churn_every.unwrap_or(usize::MAX);
+        let mut tally = Tally {
+            sent_at: HashMap::with_capacity(config.connections * config.pipeline),
+            latencies: Vec::with_capacity(config.connections * config.requests_per_connection),
+            errors: 0,
+        };
+
+        // Serial blocking connects (loopback-fast), then nonblocking.
+        let mut conns: Vec<Option<FanConn>> = Vec::with_capacity(config.connections);
+        for c in 0..config.connections {
+            let mut conn = FanConn::connect(addr, seed_of(c), first_churn)?;
+            fill_window(&mut conn, c, n_features, m_levels, config, &mut tally);
+            poller.add(conn.fd, c as u64, EV_READ)?;
+            conns.push(Some(conn));
+        }
+
+        let mut done = 0usize;
+        let mut events: Vec<PollEvent> = Vec::new();
+        let mut buf = vec![0u8; READ_CHUNK];
+        let mut last_progress = Instant::now();
+        let mut total_received = 0u64;
+
+        // Initial flush after registration so nothing is lost if a
+        // socket would have been writable before its poller add.
+        for conn in conns.iter_mut().flatten() {
+            flush(conn)?;
+        }
+
+        while done < config.connections {
+            events.clear();
+            poller.wait(&mut events, POLL_TICK_MS)?;
+            for event in &events {
+                let c = event.token as usize;
+                let Some(conn) = conns.get_mut(c).and_then(Option::as_mut) else {
+                    continue;
+                };
+                if event.writable() {
+                    flush(conn)?;
+                }
+                if event.readable() {
+                    drain_responses(conn, config, &mut tally, &mut buf)?;
+                }
+
+                // Schedule churn: stop sending, drain the window, then
+                // reconnect with the remaining request budget.
+                if conn.received >= conn.next_churn && conn.sent < config.requests_per_connection {
+                    conn.reconnecting = true;
+                }
+                if conn.reconnecting && conn.sent == conn.received && conn.backlog() == 0 {
+                    poller.remove(conn.fd);
+                    let (sent, received, next_churn) = (
+                        conn.sent,
+                        conn.received,
+                        conn.received + config.churn_every.unwrap_or(usize::MAX),
+                    );
+                    let mut fresh = FanConn::connect(addr, seed_of(c) ^ sent as u64, next_churn)?;
+                    fresh.sent = sent;
+                    fresh.received = received;
+                    poller.add(fresh.fd, c as u64, EV_READ)?;
+                    *conn = fresh;
+                }
+
+                fill_window(conn, c, n_features, m_levels, config, &mut tally);
+                flush(conn)?;
+
+                if conn.received == config.requests_per_connection {
+                    poller.remove(conn.fd);
+                    conns[c] = None;
+                    done += 1;
+                    continue;
+                }
+                let want = EV_READ | if conn.backlog() > 0 { EV_WRITE } else { 0 };
+                if want != conn.interest {
+                    poller.modify(conn.fd, c as u64, want)?;
+                    conn.interest = want;
+                }
+            }
+
+            let received_now: u64 = tally.latencies.len() as u64 + tally.errors;
+            if received_now > total_received {
+                total_received = received_now;
+                last_progress = Instant::now();
+            } else if last_progress.elapsed() > STALL_DEADLINE {
+                return Err(io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    format!(
+                        "fan-in stalled: {done}/{} connections finished, \
+                         {received_now} responses, none for {STALL_DEADLINE:?}",
+                        config.connections
+                    ),
+                ));
+            }
+        }
+
+        let elapsed_secs = start.elapsed().as_secs_f64();
+        let total_requests = tally.latencies.len() as u64;
+        let latency = LatencyStats::from_micros(tally.latencies)
+            .expect("fan-in produced at least one successful request");
+        Ok(LoadReport {
+            total_requests,
+            errors: tally.errors,
+            elapsed_secs,
+            requests_per_sec: total_requests as f64 / elapsed_secs,
+            latency,
+        })
+    }
 }

@@ -41,6 +41,21 @@
 //! ← {"id":7,"swapped":{"generation":5,"checksum":"…"}}
 //! ```
 //!
+//! ## Streamed snapshot transfer
+//!
+//! Snapshots too large to pre-place on the server's filesystem stream
+//! over the wire in base64 chunks, staged server-side and committed as
+//! a hot swap (each chunk is acked with the cumulative byte count):
+//!
+//! ```text
+//! → {"id":8,"xfer":{"begin":1048576}}
+//! ← {"id":8,"xfer":{"received":0}}
+//! → {"id":9,"xfer":{"chunk":"SERTTg…"}}
+//! ← {"id":9,"xfer":{"received":65536}}
+//! → {"id":10,"xfer":{"commit":{"key":"/keys/v7.hdky"}}}
+//! ← {"id":10,"swapped":{"generation":4,"checksum":"…"}}
+//! ```
+//!
 //! ## Throttling
 //!
 //! A client over its admission budget receives a **structured**
@@ -72,6 +87,24 @@ pub enum AdminRequest {
     },
     /// Report registry + serving counters.
     Stats,
+    /// Begin a streamed snapshot transfer of `len` bytes (discards any
+    /// transfer already in progress on this connection).
+    XferBegin {
+        /// Declared total snapshot length in bytes.
+        len: u64,
+    },
+    /// Append a chunk of bytes to the in-progress snapshot transfer.
+    XferChunk {
+        /// Raw chunk bytes (base64-decoded from the wire).
+        data: Vec<u8>,
+    },
+    /// Verify the completed transfer and hot-swap it in.
+    XferCommit {
+        /// Path of the sealed key segment, for locked snapshots.
+        key: Option<String>,
+    },
+    /// Abort and discard the in-progress transfer.
+    XferAbort,
 }
 
 /// A parsed classify request.
@@ -153,6 +186,17 @@ pub struct StatsReport {
     pub throttled: u64,
 }
 
+/// Outcome of one row of a bulk classify (client side).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BulkOutcome {
+    /// Predicted class, when the row succeeded.
+    pub class: Option<usize>,
+    /// Per-class scores, when requested and the row succeeded.
+    pub scores: Option<Vec<f64>>,
+    /// Error message, when the row was rejected.
+    pub error: Option<String>,
+}
+
 /// A parsed classify response (client side).
 #[derive(Debug, Clone, PartialEq)]
 pub struct ClassifyResponse {
@@ -170,6 +214,12 @@ pub struct ClassifyResponse {
     pub swapped: Option<SwapInfo>,
     /// Counters, when this answers a stats request.
     pub stats: Option<StatsReport>,
+    /// Per-row outcomes, in request order, when this answers a bulk
+    /// classify frame.
+    pub bulk: Option<Vec<BulkOutcome>>,
+    /// Cumulative bytes staged so far, when this acks a snapshot
+    /// transfer request.
+    pub xfer_received: Option<u64>,
     /// Error message, when the request failed.
     pub error: Option<String>,
     /// Whether the error is an admission throttle (back off and retry
@@ -251,6 +301,9 @@ pub fn parse_request(line: &str) -> Result<ClassifyRequest, (u64, String)> {
             .ok_or((id, "`rekey` needs a numeric seed".to_owned()))?;
         return Ok(bare(Some(AdminRequest::Rekey { seed }), false));
     }
+    if let Some(xfer) = value.get("xfer") {
+        return parse_xfer(id, xfer).map(|admin| bare(Some(admin), false));
+    }
     let levels_value = value
         .get("levels")
         .and_then(Value::as_array)
@@ -285,6 +338,120 @@ pub fn parse_request(line: &str) -> Result<ClassifyRequest, (u64, String)> {
         search_k,
         admin: None,
     })
+}
+
+/// Parses the body of an `xfer` request object.
+fn parse_xfer(id: u64, xfer: &Value) -> Result<AdminRequest, (u64, String)> {
+    if let Some(len) = xfer.get("begin") {
+        let len = len
+            .as_u64()
+            .ok_or((id, "`xfer.begin` needs a numeric byte length".to_owned()))?;
+        return Ok(AdminRequest::XferBegin { len });
+    }
+    if let Some(chunk) = xfer.get("chunk") {
+        let encoded = chunk
+            .as_str()
+            .ok_or((id, "`xfer.chunk` needs a base64 string".to_owned()))?;
+        let data =
+            base64_decode(encoded).map_err(|e| (id, format!("bad `xfer.chunk` base64: {e}")))?;
+        return Ok(AdminRequest::XferChunk { data });
+    }
+    if let Some(commit) = xfer.get("commit") {
+        let key = commit.get("key").and_then(Value::as_str).map(str::to_owned);
+        return Ok(AdminRequest::XferCommit { key });
+    }
+    if matches!(xfer.get("abort"), Some(Value::Bool(true))) {
+        return Ok(AdminRequest::XferAbort);
+    }
+    Err((
+        id,
+        "`xfer` needs one of `begin`, `chunk`, `commit` or `abort`".to_owned(),
+    ))
+}
+
+const BASE64_ALPHABET: &[u8; 64] =
+    b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+/// Encodes bytes as standard padded base64 (RFC 4648) for `xfer.chunk`
+/// payloads. Hand-rolled: the wire must not depend on crates the build
+/// environment cannot fetch.
+#[must_use]
+pub fn base64_encode(data: &[u8]) -> String {
+    let mut out = String::with_capacity(data.len().div_ceil(3) * 4);
+    for chunk in data.chunks(3) {
+        let b0 = u32::from(chunk[0]);
+        let b1 = u32::from(chunk.get(1).copied().unwrap_or(0));
+        let b2 = u32::from(chunk.get(2).copied().unwrap_or(0));
+        let triple = (b0 << 16) | (b1 << 8) | b2;
+        out.push(BASE64_ALPHABET[(triple >> 18) as usize & 63] as char);
+        out.push(BASE64_ALPHABET[(triple >> 12) as usize & 63] as char);
+        out.push(if chunk.len() > 1 {
+            BASE64_ALPHABET[(triple >> 6) as usize & 63] as char
+        } else {
+            '='
+        });
+        out.push(if chunk.len() > 2 {
+            BASE64_ALPHABET[triple as usize & 63] as char
+        } else {
+            '='
+        });
+    }
+    out
+}
+
+/// Decodes standard padded base64.
+///
+/// # Errors
+///
+/// Returns a message on stray characters, bad length, or misplaced
+/// padding.
+pub fn base64_decode(text: &str) -> Result<Vec<u8>, String> {
+    fn val(b: u8) -> Result<u32, String> {
+        match b {
+            b'A'..=b'Z' => Ok(u32::from(b - b'A')),
+            b'a'..=b'z' => Ok(u32::from(b - b'a') + 26),
+            b'0'..=b'9' => Ok(u32::from(b - b'0') + 52),
+            b'+' => Ok(62),
+            b'/' => Ok(63),
+            _ => Err(format!("stray byte 0x{b:02x}")),
+        }
+    }
+    let bytes = text.as_bytes();
+    if !bytes.len().is_multiple_of(4) {
+        return Err(format!("length {} is not a multiple of 4", bytes.len()));
+    }
+    let quads = bytes.len() / 4;
+    let mut out = Vec::with_capacity(quads * 3);
+    for (i, quad) in bytes.chunks(4).enumerate() {
+        let pad = if quad[3] == b'=' {
+            if quad[2] == b'=' {
+                2
+            } else {
+                1
+            }
+        } else {
+            0
+        };
+        if pad > 0 && i + 1 != quads {
+            return Err("`=` padding before the final group".to_owned());
+        }
+        if quad[..4 - pad].contains(&b'=') {
+            return Err("`=` inside a group".to_owned());
+        }
+        let mut triple = 0u32;
+        for &b in &quad[..4 - pad] {
+            triple = (triple << 6) | val(b)?;
+        }
+        triple <<= 6 * pad as u32;
+        out.push((triple >> 16) as u8);
+        if pad < 2 {
+            out.push((triple >> 8) as u8);
+        }
+        if pad == 0 {
+            out.push(triple as u8);
+        }
+    }
+    Ok(out)
 }
 
 /// Renders an info request line (client side), with trailing newline.
@@ -363,6 +530,56 @@ pub fn stats_response(id: u64, stats: &StatsReport) -> String {
     )
 }
 
+/// Renders an xfer-begin request line (client side), with trailing
+/// newline.
+#[must_use]
+pub fn xfer_begin_line(id: u64, len: u64) -> String {
+    format!("{{\"id\":{id},\"xfer\":{{\"begin\":{len}}}}}\n")
+}
+
+/// Renders an xfer-chunk request line (client side), with trailing
+/// newline. The chunk bytes are base64-encoded.
+#[must_use]
+pub fn xfer_chunk_line(id: u64, data: &[u8]) -> String {
+    format!(
+        "{{\"id\":{id},\"xfer\":{{\"chunk\":\"{}\"}}}}\n",
+        base64_encode(data)
+    )
+}
+
+/// Renders an xfer-commit request line (client side), with trailing
+/// newline. The key path is JSON-escaped.
+#[must_use]
+pub fn xfer_commit_line(id: u64, key: Option<&str>) -> String {
+    match key {
+        Some(key) => format!(
+            "{{\"id\":{id},\"xfer\":{{\"commit\":{{\"key\":\"{}\"}}}}}}\n",
+            escape(key)
+        ),
+        None => format!("{{\"id\":{id},\"xfer\":{{\"commit\":{{}}}}}}\n"),
+    }
+}
+
+/// Renders an xfer-abort request line (client side), with trailing
+/// newline.
+#[must_use]
+pub fn xfer_abort_line(id: u64) -> String {
+    format!("{{\"id\":{id},\"xfer\":{{\"abort\":true}}}}\n")
+}
+
+/// Renders a snapshot-transfer ack line: the cumulative bytes staged so
+/// far on this connection's transfer.
+#[must_use]
+pub fn xfer_response(id: u64, received: u64) -> String {
+    format!("{{\"id\":{id},\"xfer\":{{\"received\":{received}}}}}\n")
+}
+
+/// Renders a snapshot-transfer abort ack line (bytes discarded).
+#[must_use]
+pub fn xfer_abort_response(id: u64, received: u64) -> String {
+    format!("{{\"id\":{id},\"xfer\":{{\"received\":{received},\"aborted\":true}}}}\n")
+}
+
 /// Renders a request line (client side). The line includes the trailing
 /// newline.
 #[must_use]
@@ -431,6 +648,41 @@ pub fn ok_response(id: u64, class: usize, scores: Option<&[f64]>) -> String {
         out.push(']');
     }
     out.push_str("}\n");
+    out
+}
+
+/// Renders a bulk-classify response line: one outcome object per row,
+/// in request order. The JSON wire never carries bulk requests (they
+/// are a binary-frame optimization), but rendering keeps the completion
+/// path wire-agnostic.
+#[must_use]
+pub fn bulk_response(id: u64, items: &[crate::batcher::BulkItem]) -> String {
+    use crate::batcher::BulkItem;
+    let mut out = format!("{{\"id\":{id},\"bulk\":[");
+    for (i, item) in items.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        match item {
+            BulkItem::Class(class) => out.push_str(&format!("{{\"class\":{class}}}")),
+            BulkItem::ClassWithScores(class, scores) => {
+                out.push_str(&format!("{{\"class\":{class},\"scores\":["));
+                for (j, s) in scores.iter().enumerate() {
+                    if j > 0 {
+                        out.push(',');
+                    }
+                    // `{s:?}` keeps a decimal point / exponent, so the
+                    // value reads back as a float.
+                    out.push_str(&format!("{s:?}"));
+                }
+                out.push_str("]}");
+            }
+            BulkItem::Rejected(msg) => {
+                out.push_str(&format!("{{\"error\":\"{}\"}}", escape(msg)));
+            }
+        }
+    }
+    out.push_str("]}\n");
     out
 }
 
@@ -569,6 +821,45 @@ pub fn parse_response(line: &str) -> Result<ClassifyResponse, String> {
         }
         None => None,
     };
+    let bulk = match value.get("bulk").and_then(Value::as_array) {
+        Some(arr) => {
+            let mut out = Vec::with_capacity(arr.len());
+            for item in arr {
+                let class = item
+                    .get("class")
+                    .and_then(Value::as_u64)
+                    .map(|c| c as usize);
+                let scores = match item.get("scores").and_then(Value::as_array) {
+                    Some(sarr) => {
+                        let mut s = Vec::with_capacity(sarr.len());
+                        for v in sarr {
+                            s.push(
+                                v.as_f64()
+                                    .ok_or_else(|| "non-numeric bulk score".to_owned())?,
+                            );
+                        }
+                        Some(s)
+                    }
+                    None => None,
+                };
+                let error = item.get("error").and_then(Value::as_str).map(str::to_owned);
+                if class.is_none() && error.is_none() {
+                    return Err("bulk item carries neither `class` nor `error`".to_owned());
+                }
+                out.push(BulkOutcome {
+                    class,
+                    scores,
+                    error,
+                });
+            }
+            Some(out)
+        }
+        None => None,
+    };
+    let xfer_received = value
+        .get("xfer")
+        .and_then(|x| x.get("received"))
+        .and_then(Value::as_u64);
     let error = value
         .get("error")
         .and_then(Value::as_str)
@@ -577,13 +868,16 @@ pub fn parse_response(line: &str) -> Result<ClassifyResponse, String> {
     let overloaded = matches!(value.get("overloaded"), Some(Value::Bool(true)));
     if class.is_none()
         && matches.is_none()
+        && bulk.is_none()
         && error.is_none()
         && info.is_none()
         && swapped.is_none()
         && stats.is_none()
+        && xfer_received.is_none()
     {
         return Err(
-            "response carries neither `class`, `matches`, `info`, `swapped`, `stats` nor `error`"
+            "response carries neither `class`, `matches`, `bulk`, `info`, `swapped`, `stats`, \
+             `xfer` nor `error`"
                 .to_owned(),
         );
     }
@@ -595,6 +889,8 @@ pub fn parse_response(line: &str) -> Result<ClassifyResponse, String> {
         info,
         swapped,
         stats,
+        bulk,
+        xfer_received,
         error,
         throttled,
         overloaded,
@@ -842,6 +1138,93 @@ mod tests {
     #[test]
     fn response_without_payload_is_rejected() {
         assert!(parse_response("{\"id\":1}").is_err());
+    }
+
+    #[test]
+    fn base64_roundtrips_all_lengths() {
+        let data: Vec<u8> = (0u16..=255).map(|b| b as u8).collect();
+        for take in 0..data.len() {
+            let encoded = base64_encode(&data[..take]);
+            assert_eq!(base64_decode(&encoded).unwrap(), &data[..take]);
+        }
+        assert_eq!(base64_encode(b"HDSN"), "SERTTg==");
+        assert_eq!(base64_decode("SERTTg==").unwrap(), b"HDSN");
+        // Malformed inputs are rejected, never panic.
+        assert!(base64_decode("abc").is_err());
+        assert!(base64_decode("ab=c").is_err());
+        assert!(base64_decode("====").is_err());
+        assert!(base64_decode("ab==cdef").is_err());
+        assert!(base64_decode("ab~d").is_err());
+    }
+
+    #[test]
+    fn xfer_request_roundtrips() {
+        let req = parse_request(&xfer_begin_line(1, 1 << 20)).unwrap();
+        assert_eq!(req.admin, Some(AdminRequest::XferBegin { len: 1 << 20 }));
+
+        let req = parse_request(&xfer_chunk_line(2, &[0, 1, 2, 0xFF])).unwrap();
+        assert_eq!(
+            req.admin,
+            Some(AdminRequest::XferChunk {
+                data: vec![0, 1, 2, 0xFF],
+            })
+        );
+
+        let req = parse_request(&xfer_commit_line(3, Some("/k/v7.hdky"))).unwrap();
+        assert_eq!(
+            req.admin,
+            Some(AdminRequest::XferCommit {
+                key: Some("/k/v7.hdky".to_owned()),
+            })
+        );
+        let req = parse_request(&xfer_commit_line(4, None)).unwrap();
+        assert_eq!(req.admin, Some(AdminRequest::XferCommit { key: None }));
+
+        let req = parse_request(&xfer_abort_line(5)).unwrap();
+        assert_eq!(req.admin, Some(AdminRequest::XferAbort));
+
+        // Malformed xfer requests keep the id.
+        let (id, msg) = parse_request("{\"id\":9,\"xfer\":{}}").unwrap_err();
+        assert_eq!(id, 9);
+        assert!(msg.contains("begin"));
+        let (id, msg) = parse_request("{\"id\":8,\"xfer\":{\"chunk\":\"a\"}}").unwrap_err();
+        assert_eq!(id, 8);
+        assert!(msg.contains("base64"));
+        let (id, _) = parse_request("{\"id\":7,\"xfer\":{\"begin\":\"big\"}}").unwrap_err();
+        assert_eq!(id, 7);
+    }
+
+    #[test]
+    fn xfer_ack_roundtrips() {
+        let resp = parse_response(&xfer_response(6, 65_536)).unwrap();
+        assert_eq!(resp.id, 6);
+        assert_eq!(resp.xfer_received, Some(65_536));
+        assert!(resp.error.is_none());
+        let resp = parse_response(&xfer_abort_response(7, 128)).unwrap();
+        assert_eq!(resp.xfer_received, Some(128));
+    }
+
+    #[test]
+    fn bulk_response_roundtrips() {
+        use crate::batcher::BulkItem;
+        let items = [
+            BulkItem::Class(4),
+            BulkItem::ClassWithScores(1, vec![0.5, -0.25]),
+            BulkItem::Rejected("row has 2 levels, model expects 4".to_owned()),
+        ];
+        let resp = parse_response(&bulk_response(21, &items)).unwrap();
+        assert_eq!(resp.id, 21);
+        let got = resp.bulk.unwrap();
+        assert_eq!(got.len(), 3);
+        assert_eq!(got[0].class, Some(4));
+        assert!(got[0].scores.is_none() && got[0].error.is_none());
+        assert_eq!(got[1].class, Some(1));
+        assert_eq!(got[1].scores, Some(vec![0.5, -0.25]));
+        assert_eq!(
+            got[2].error.as_deref(),
+            Some("row has 2 levels, model expects 4")
+        );
+        assert!(got[2].class.is_none());
     }
 
     #[test]

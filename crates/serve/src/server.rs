@@ -1,60 +1,46 @@
-//! The TCP front end: accept loop, multiplexed per-connection
-//! handlers, graceful shutdown — in two flavors.
+//! Per-request serving policy and the server front door.
 //!
-//! [`serve`] drives one fixed session (generic over
-//! [`ClassifySession`], so borrowed and owned sessions both work).
-//! [`serve_registry`] drives a [`ModelRegistry`]: every batch grabs the
-//! current generation with one refcount bump, admin requests
-//! (`reload` / `rekey` / `stats`) swap generations *behind* the running
-//! server, and a per-connection [`ConnectionAdmission`] enforces query
-//! budgets, rate limits and feature-sweep detection with structured
-//! throttle errors.
+//! This module holds everything about answering a request that does
+//! *not* depend on how sockets are driven: validation, admission,
+//! pipeline windowing, admin handling, bulk-frame preparation and
+//! response rendering. Two interchangeable connection cores consume it:
 //!
-//! ## Connection multiplexing
+//! * [`crate::event_loop`] (Linux, the default) — one nonblocking
+//!   epoll-driven thread multiplexes every connection; scales to tens
+//!   of thousands of concurrent sockets.
+//! * [`crate::threaded`] — one reader + one writer thread per
+//!   connection; portable, and the differential baseline the event
+//!   core is pinned against.
 //!
-//! Every connection is a **pipeline**: the read side parses requests
-//! (line-JSON or binary frames, negotiated by first-byte sniffing — see
-//! [`wire`]) and enqueues them without waiting for answers; a dedicated
-//! per-connection writer thread interleaves responses as batch workers
-//! finish, matched to requests by id, possibly out of order. A client
-//! may keep up to `pipeline_window` classify requests in flight; the
-//! window is enforced with a structured *overload* error
-//! (`"overloaded":true` / error-frame flag bit 1), so well-behaved
-//! clients drain responses instead of stalling the server. Serial
-//! request/response clients are a degenerate pipeline of depth 1 and
-//! behave exactly as they did before multiplexing.
+//! The seam between policy and core is two small traits:
+//! [`RequestBrain`] (what the server flavor — fixed session vs.
+//! registry — decides per request) and [`ConnOutbox`] (what the core
+//! provides per connection: a write path, the in-flight set, the job
+//! queue). [`dispatch_incoming`] composes them, so both cores answer
+//! every request byte-for-byte identically.
 //!
-//! Both servers block the calling thread until `shutdown` is raised:
-//! connection handlers, writers and batch workers run on
-//! `std::thread::scope` threads, so the server needs no `'static` state
-//! and no external runtime. Shutdown is graceful — the accept loop
-//! stops, readers notice within their read-timeout tick and stop
-//! accepting new requests, in-flight requests are answered, writers
-//! drain, the queue closes, workers exit.
-//!
-//! During a swap, in-flight requests finish on the generation their
-//! batch grabbed; requests that raced a *shape-changing* reload are
-//! answered with a per-request error instead of being dropped (the
-//! worker re-validates every row against the generation it actually
-//! runs).
+//! [`serve`] and [`serve_registry`] pick the platform default core;
+//! [`serve_with_core`] / [`serve_registry_with_core`] pin one
+//! explicitly (tests pin both and diff the bytes).
 
 use std::collections::HashSet;
-use std::io::{BufRead, BufReader, BufWriter, Read, Write};
-use std::net::{TcpListener, TcpStream};
+use std::net::TcpListener;
+use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{mpsc, Mutex};
 use std::time::Duration;
 
 use hdc_model::ClassifySession;
-use hdc_store::ModelRegistry;
+use hdc_store::{ModelRegistry, SnapshotStage};
 
 use crate::admission::{AdmissionConfig, ConnectionAdmission};
-use crate::batcher::{worker_loop, BatchConfig, BatchQueue, Completion, Delivery, Job, JobResult};
+use crate::batcher::{
+    run_batch, BatchConfig, BatchQueue, BulkSlot, Completion, JobKind, JobResult,
+};
 use crate::protocol;
 use crate::wire::{self, WireMode};
 
 /// How often blocked I/O re-checks the shutdown flag.
-const POLL_TICK: Duration = Duration::from_millis(20);
+pub(crate) const POLL_TICK: Duration = Duration::from_millis(20);
 
 /// Counters reported when the server exits.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -80,15 +66,52 @@ pub struct RegistryServeConfig {
     pub admission: AdmissionConfig,
 }
 
+/// Which connection core drives the sockets. Both cores answer every
+/// request with identical bytes; they differ in how far they scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CoreKind {
+    /// Nonblocking epoll event loop: one thread multiplexes all
+    /// connections (Linux; falls back to [`CoreKind::Threaded`]
+    /// elsewhere).
+    Event,
+    /// Two threads (reader + writer) per connection.
+    Threaded,
+}
+
+impl Default for CoreKind {
+    fn default() -> Self {
+        if cfg!(target_os = "linux") {
+            CoreKind::Event
+        } else {
+            CoreKind::Threaded
+        }
+    }
+}
+
 // ---------------------------------------------------------------------
-// Per-request policy (shared by both server flavors)
+// Per-request policy (shared by both server flavors and both cores)
 // ---------------------------------------------------------------------
+
+/// How an admin request is executed.
+///
+/// Cheap admin operations (stats, transfer chunks) answer inline on the
+/// dispatching thread. Slow ones (reload, rekey, transfer commit —
+/// anything that builds a model generation) are handed back as a
+/// closure so the event-loop core can run them off-loop; the threaded
+/// core just runs the closure on the connection's reader thread, which
+/// is the pre-event-loop behavior.
+pub(crate) enum AdminOutcome<'env> {
+    /// The rendered JSON response line, produced inline.
+    Done(String),
+    /// Deferred work; returns the rendered JSON response line.
+    Offload(Box<dyn FnOnce() -> String + Send + 'env>),
+}
 
 /// What a connection needs from its server flavor to answer requests:
 /// the model shape, per-row validation, admission and admin handling.
-/// The connection machinery (sniffing, framing, pipelining, the writer)
-/// is identical for both flavors.
-trait RequestBrain {
+/// The connection machinery (sniffing, framing, pipelining, writes) is
+/// the core's business and identical for both flavors.
+pub(crate) trait RequestBrain<'env> {
     /// Shape/runtime facts for an `info` response.
     fn server_info(&mut self) -> protocol::ServerInfo;
     /// Row validation against the currently served model; `Some` is the
@@ -96,18 +119,17 @@ trait RequestBrain {
     fn validate_levels(&mut self, levels: &[u16]) -> Option<String>;
     /// Admission check; `Err` is the throttle message.
     fn admit(&mut self, levels: &[u16]) -> Result<(), String>;
-    /// Executes one admin operation, returning the rendered JSON
-    /// response line (admin is deliberately JSON-only; binary
-    /// connections cannot express it).
-    fn admin(&mut self, id: u64, admin: &protocol::AdminRequest) -> String;
+    /// Executes one admin operation (admin is deliberately JSON-only;
+    /// binary connections cannot express it).
+    fn admin(&mut self, id: u64, admin: protocol::AdminRequest) -> AdminOutcome<'env>;
 }
 
 /// Brain of the fixed-session server.
-struct SessionBrain<'a, S: ClassifySession> {
-    session: &'a S,
+pub(crate) struct SessionBrain<'a, S: ClassifySession> {
+    pub(crate) session: &'a S,
 }
 
-impl<S: ClassifySession> RequestBrain for SessionBrain<'_, S> {
+impl<'a, S: ClassifySession> RequestBrain<'a> for SessionBrain<'a, S> {
     fn server_info(&mut self) -> protocol::ServerInfo {
         protocol::ServerInfo {
             backend: self.session.kernel_backend().to_owned(),
@@ -128,19 +150,61 @@ impl<S: ClassifySession> RequestBrain for SessionBrain<'_, S> {
         Ok(())
     }
 
-    fn admin(&mut self, id: u64, _admin: &protocol::AdminRequest) -> String {
-        protocol::error_response(id, "admin requests need a registry-backed server")
+    fn admin(&mut self, id: u64, _admin: protocol::AdminRequest) -> AdminOutcome<'a> {
+        AdminOutcome::Done(protocol::error_response(
+            id,
+            "admin requests need a registry-backed server",
+        ))
     }
 }
 
-/// Brain of the registry-backed server: one admission state per
-/// connection, every check against the *current* generation.
-struct RegistryBrain<'a, 'ctx> {
-    ctx: &'ctx RegistryCtx<'a>,
-    admission: ConnectionAdmission,
+/// Shared context of the registry server's connection handlers.
+pub(crate) struct RegistryCtx<'a> {
+    pub(crate) registry: &'a ModelRegistry,
+    pub(crate) admission: &'a AdmissionConfig,
+    pub(crate) requests: &'a AtomicU64,
+    pub(crate) throttled: &'a AtomicU64,
 }
 
-impl RequestBrain for RegistryBrain<'_, '_> {
+/// Brain of the registry-backed server: one admission state (and at
+/// most one in-progress snapshot transfer) per connection, every check
+/// against the *current* generation.
+pub(crate) struct RegistryBrain<'a, 'ctx> {
+    ctx: &'ctx RegistryCtx<'a>,
+    admission: ConnectionAdmission,
+    /// The connection's in-progress streamed snapshot transfer, if any.
+    stage: Option<SnapshotStage>,
+}
+
+impl<'a, 'ctx> RegistryBrain<'a, 'ctx> {
+    pub(crate) fn new(ctx: &'ctx RegistryCtx<'a>) -> Self {
+        RegistryBrain {
+            ctx,
+            admission: ConnectionAdmission::new(ctx.admission),
+            stage: None,
+        }
+    }
+}
+
+/// Renders a generation swap (or its failure) as the response line.
+fn render_swap(
+    id: u64,
+    verb: &str,
+    result: Result<std::sync::Arc<hdc_store::Generation>, hdc_store::StoreError>,
+) -> String {
+    match result {
+        Ok(generation) => protocol::swap_response(
+            id,
+            &protocol::SwapInfo {
+                generation: generation.id(),
+                checksum: protocol::checksum_hex(generation.checksum()),
+            },
+        ),
+        Err(e) => protocol::error_response(id, &format!("{verb} failed: {e}")),
+    }
+}
+
+impl<'a: 'ctx, 'ctx> RequestBrain<'ctx> for RegistryBrain<'a, 'ctx> {
     fn server_info(&mut self) -> protocol::ServerInfo {
         let generation = self.ctx.registry.current();
         let session = generation.session();
@@ -164,8 +228,100 @@ impl RequestBrain for RegistryBrain<'_, '_> {
         self.admission.admit(levels).map_err(|r| r.to_string())
     }
 
-    fn admin(&mut self, id: u64, admin: &protocol::AdminRequest) -> String {
-        answer_admin(id, admin, self.ctx)
+    fn admin(&mut self, id: u64, admin: protocol::AdminRequest) -> AdminOutcome<'ctx> {
+        // Copy the context reference out so offloaded closures capture
+        // it by value (they must not borrow `self`).
+        let ctx: &'ctx RegistryCtx<'a> = self.ctx;
+        match admin {
+            protocol::AdminRequest::Stats => {
+                let s = ctx.registry.stats();
+                AdminOutcome::Done(protocol::stats_response(
+                    id,
+                    &protocol::StatsReport {
+                        generation: s.generation,
+                        checksum: protocol::checksum_hex(s.checksum),
+                        locked: s.locked,
+                        reloads: s.reloads,
+                        rekeys: s.rekeys,
+                        rollbacks: s.rollbacks,
+                        requests: ctx.requests.load(Ordering::Relaxed),
+                        throttled: ctx.throttled.load(Ordering::Relaxed),
+                    },
+                ))
+            }
+            protocol::AdminRequest::Reload { snapshot, key } => {
+                AdminOutcome::Offload(Box::new(move || {
+                    let result = ctx
+                        .registry
+                        .reload_files(Path::new(&snapshot), key.as_deref().map(Path::new));
+                    render_swap(id, "reload", result)
+                }))
+            }
+            protocol::AdminRequest::Rekey { seed } => AdminOutcome::Offload(Box::new(move || {
+                render_swap(id, "rekey", ctx.registry.rekey(seed))
+            })),
+            protocol::AdminRequest::XferBegin { len } => {
+                // A new `begin` implicitly aborts any prior transfer on
+                // this connection (its staged file is removed on drop).
+                self.stage = None;
+                match SnapshotStage::begin(&std::env::temp_dir(), len) {
+                    Ok(stage) => {
+                        self.stage = Some(stage);
+                        AdminOutcome::Done(protocol::xfer_response(id, 0))
+                    }
+                    Err(e) => AdminOutcome::Done(protocol::error_response(
+                        id,
+                        &format!("snapshot transfer rejected: {e}"),
+                    )),
+                }
+            }
+            protocol::AdminRequest::XferChunk { data } => match self.stage.as_mut() {
+                None => AdminOutcome::Done(protocol::error_response(
+                    id,
+                    "no snapshot transfer in progress",
+                )),
+                Some(stage) => match stage.write_chunk(&data) {
+                    Ok(received) => AdminOutcome::Done(protocol::xfer_response(id, received)),
+                    Err(e) => {
+                        // A poisoned stage cannot be resumed; drop it so
+                        // the staged file is cleaned up immediately.
+                        self.stage = None;
+                        AdminOutcome::Done(protocol::error_response(
+                            id,
+                            &format!("snapshot transfer invalid: {e}"),
+                        ))
+                    }
+                },
+            },
+            protocol::AdminRequest::XferCommit { key } => match self.stage.take() {
+                None => AdminOutcome::Done(protocol::error_response(
+                    id,
+                    "no snapshot transfer in progress",
+                )),
+                Some(stage) => AdminOutcome::Offload(Box::new(move || match stage.finish() {
+                    Ok(staged) => {
+                        let result = ctx
+                            .registry
+                            .reload_files(staged.path(), key.as_deref().map(Path::new));
+                        render_swap(id, "reload", result)
+                    }
+                    Err(e) => {
+                        protocol::error_response(id, &format!("snapshot transfer invalid: {e}"))
+                    }
+                })),
+            },
+            protocol::AdminRequest::XferAbort => match self.stage.take() {
+                None => AdminOutcome::Done(protocol::error_response(
+                    id,
+                    "no snapshot transfer in progress",
+                )),
+                Some(stage) => {
+                    let received = stage.received();
+                    drop(stage); // removes the staged file
+                    AdminOutcome::Done(protocol::xfer_abort_response(id, received))
+                }
+            },
+        }
     }
 }
 
@@ -197,7 +353,7 @@ fn validate_against<S: ClassifySession>(levels: &[u16], session: &S) -> Option<S
 // ---------------------------------------------------------------------
 
 /// Renders an error response in the connection's wire format.
-fn render_error(
+pub(crate) fn render_error(
     mode: WireMode,
     id: u64,
     message: &str,
@@ -220,7 +376,7 @@ fn render_error(
 }
 
 /// Renders an info response in the connection's wire format.
-fn render_info(mode: WireMode, id: u64, info: &protocol::ServerInfo) -> Vec<u8> {
+pub(crate) fn render_info(mode: WireMode, id: u64, info: &protocol::ServerInfo) -> Vec<u8> {
     match mode {
         WireMode::Json => protocol::info_response(id, info).into_bytes(),
         WireMode::Binary => wire::info_response_frame(id, info),
@@ -228,7 +384,7 @@ fn render_info(mode: WireMode, id: u64, info: &protocol::ServerInfo) -> Vec<u8> 
 }
 
 /// Renders a batch-worker completion in the connection's wire format.
-fn render_completion(mode: WireMode, done: &Completion) -> Vec<u8> {
+pub(crate) fn render_completion(mode: WireMode, done: &Completion) -> Vec<u8> {
     match (&done.result, mode) {
         (JobResult::Class(class), WireMode::Json) => {
             protocol::ok_response(done.id, *class, None).into_bytes()
@@ -244,16 +400,20 @@ fn render_completion(mode: WireMode, done: &Completion) -> Vec<u8> {
             protocol::matches_response(done.id, matches).into_bytes()
         }
         (JobResult::Matches(matches), WireMode::Binary) => wire::matches_frame(done.id, matches),
+        (JobResult::Bulk(items), WireMode::Json) => {
+            protocol::bulk_response(done.id, items).into_bytes()
+        }
+        (JobResult::Bulk(items), WireMode::Binary) => wire::bulk_response_frame(done.id, items),
         (JobResult::Rejected(msg), _) => render_error(mode, done.id, msg, false, false),
     }
 }
 
 // ---------------------------------------------------------------------
-// The multiplexed connection
+// Request dispatch (the policy seam both cores share)
 // ---------------------------------------------------------------------
 
 /// One parsed request, wire-format agnostic.
-enum Incoming {
+pub(crate) enum Incoming {
     Classify {
         id: u64,
         levels: Vec<u16>,
@@ -261,6 +421,13 @@ enum Incoming {
         /// `Some(k)` routes the row to top-k search instead of
         /// classification (same validation, window and admission path).
         search_k: Option<usize>,
+    },
+    /// Many rows under one id, from a binary BULK_CLASSIFY frame
+    /// (JSON never produces this variant).
+    Bulk {
+        id: u64,
+        rows: Vec<Vec<u16>>,
+        want_scores: bool,
     },
     Info {
         id: u64,
@@ -278,453 +445,350 @@ enum Incoming {
     },
 }
 
-/// Responses (beyond the classify window itself) the writer may have
-/// pending before the read side stops pulling bytes off the socket.
-/// Inline responses — errors, info, overload notices — are not metered
-/// by the pipeline window, so without this cap a client that floods
-/// requests and never reads responses would grow the writer's queue
-/// without bound; at the cap, the reader pauses and ordinary TCP
-/// back-pressure reaches the client.
-const WRITER_BACKLOG_SLACK: usize = 256;
-
-/// Shared per-connection I/O state handed to the dispatcher.
-struct ConnIo<'a> {
-    mode: WireMode,
-    queue: &'a BatchQueue,
-    tx: &'a mpsc::Sender<Delivery>,
-    /// Ids of classify requests currently queued or running. The read
-    /// side inserts before enqueue; the writer removes as it renders
-    /// the completion — its size is the pipeline depth.
-    inflight: &'a Mutex<HashSet<u64>>,
-    /// Deliveries handed to the writer but not yet written: the read
-    /// side increments per send (inline response or enqueued job), the
-    /// writer decrements per delivery processed.
-    pending: &'a AtomicU64,
-    window: usize,
-    requests: &'a AtomicU64,
-    throttled: &'a AtomicU64,
+/// Maps one parsed JSON request line to an [`Incoming`].
+pub(crate) fn incoming_from_json(line: &str) -> Incoming {
+    match protocol::parse_request(line) {
+        Ok(request) => {
+            if request.want_info {
+                Incoming::Info { id: request.id }
+            } else if let Some(admin) = request.admin {
+                Incoming::Admin {
+                    id: request.id,
+                    admin,
+                }
+            } else {
+                Incoming::Classify {
+                    id: request.id,
+                    levels: request.levels,
+                    want_scores: request.want_scores,
+                    search_k: request.search_k,
+                }
+            }
+        }
+        Err((id, message)) => Incoming::Bad {
+            id,
+            message,
+            fatal: false,
+        },
+    }
 }
 
-impl ConnIo<'_> {
-    /// The writer-backlog ceiling: the full pipeline window plus slack
-    /// for unmetered inline responses.
-    fn backlog_cap(&self) -> u64 {
-        (self.window + WRITER_BACKLOG_SLACK) as u64
+/// Maps one complete binary frame to an [`Incoming`].
+pub(crate) fn incoming_from_frame(header: &wire::FrameHeader, payload: &[u8]) -> Incoming {
+    match wire::decode_request(header, payload) {
+        Ok(wire::ServerFrame::Classify {
+            id,
+            levels,
+            want_scores,
+        }) => Incoming::Classify {
+            id,
+            levels,
+            want_scores,
+            search_k: None,
+        },
+        Ok(wire::ServerFrame::Search { id, levels, k }) => Incoming::Classify {
+            id,
+            levels,
+            want_scores: false,
+            search_k: Some(k),
+        },
+        Ok(wire::ServerFrame::BulkClassify {
+            id,
+            rows,
+            want_scores,
+        }) => Incoming::Bulk {
+            id,
+            rows,
+            want_scores,
+        },
+        Ok(wire::ServerFrame::Info { id }) => Incoming::Info { id },
+        Err((id, message)) => Incoming::Bad {
+            id,
+            message,
+            fatal: false,
+        },
     }
+}
 
-    fn send_raw(&self, bytes: Vec<u8>) {
-        self.pending.fetch_add(1, Ordering::SeqCst);
-        // The writer only exits once every sender is gone; a failed
-        // send means the connection is already tearing down.
-        let _ = self.tx.send(Delivery::Raw(bytes));
+/// What a connection core provides per connection so the shared
+/// dispatcher can answer requests: the negotiated wire mode, a write
+/// path, the in-flight id set, and routes into the batch queue and the
+/// admin executor.
+pub(crate) trait ConnOutbox<'env> {
+    /// Negotiated wire format.
+    fn mode(&self) -> WireMode;
+    /// Pipeline-window depth (≥ 1).
+    fn window(&self) -> usize;
+    /// `(requests, throttled)` server counters.
+    fn counters(&self) -> (&AtomicU64, &AtomicU64);
+    /// Sends pre-rendered bytes (inline responses: errors, info,
+    /// admin), ordered with respect to earlier sends.
+    fn send_inline(&mut self, bytes: Vec<u8>);
+    /// Whether `id` is currently in flight on this connection.
+    fn inflight_contains(&self, id: u64) -> bool;
+    /// Current pipeline depth.
+    fn inflight_len(&self) -> usize;
+    /// Marks `id` in flight.
+    fn inflight_insert(&mut self, id: u64);
+    /// Unmarks `id` (admission rejected it after the window check).
+    fn inflight_remove(&mut self, id: u64);
+    /// Hands one job (already validated/admitted) to the batch queue.
+    fn enqueue(&mut self, id: u64, kind: JobKind);
+    /// Runs a slow admin operation; its rendered response line must be
+    /// delivered to this connection when it completes.
+    fn offload_admin(&mut self, run: Box<dyn FnOnce() -> String + Send + 'env>);
+}
+
+/// Outcome of preparing a bulk frame for enqueue.
+pub(crate) enum BulkPrep {
+    /// The whole frame is rejected with one error (response would not
+    /// fit a frame).
+    Reject(String),
+    /// Per-row slots in request order (valid rows plus in-place
+    /// rejections), and how many rows admission throttled.
+    Slots {
+        slots: Vec<BulkSlot>,
+        throttled_rows: u64,
+    },
+}
+
+/// Validates and admits every row of a bulk frame, preserving request
+/// order: invalid rows become in-place rejections (no admission budget
+/// burned), throttled rows in-place throttle messages. The frame-level
+/// guard rejects score requests whose response could not fit the wire's
+/// frame cap no matter what the rows contain.
+pub(crate) fn prepare_bulk<'env, B: RequestBrain<'env>>(
+    brain: &mut B,
+    rows: Vec<Vec<u16>>,
+    want_scores: bool,
+) -> BulkPrep {
+    if want_scores {
+        let classes = brain.server_info().classes;
+        // Response-size bound: 4-byte count plus per row a 1-byte tag,
+        // 4-byte class, 4-byte score count and 8 bytes per class score.
+        let worst = 4 + rows.len() * (9 + 8 * classes);
+        if worst > wire::MAX_PAYLOAD {
+            return BulkPrep::Reject(format!(
+                "bulk scores response for {} rows of {} classes would exceed the {} byte frame cap",
+                rows.len(),
+                classes,
+                wire::MAX_PAYLOAD
+            ));
+        }
     }
+    let mut slots = Vec::with_capacity(rows.len());
+    let mut throttled_rows = 0u64;
+    for row in rows {
+        if let Some(msg) = brain.validate_levels(&row) {
+            slots.push(BulkSlot::Rejected(msg));
+        } else if let Err(msg) = brain.admit(&row) {
+            throttled_rows += 1;
+            slots.push(BulkSlot::Rejected(msg));
+        } else {
+            slots.push(BulkSlot::Row(row));
+        }
+    }
+    BulkPrep::Slots {
+        slots,
+        throttled_rows,
+    }
+}
 
-    /// Handles one parsed request. Returns `false` when the connection
-    /// must close (fatal framing fault).
-    fn dispatch<B: RequestBrain>(&self, incoming: Incoming, brain: &mut B) -> bool {
-        self.requests.fetch_add(1, Ordering::Relaxed);
-        match incoming {
-            Incoming::Info { id } => {
-                let info = brain.server_info();
-                self.send_raw(render_info(self.mode, id, &info));
+/// Handles one parsed request: the exact validation → duplicate-id →
+/// window → admission → enqueue ordering both cores share. Returns
+/// `false` when the connection must close (fatal framing fault).
+pub(crate) fn dispatch_incoming<'env, B, O>(out: &mut O, brain: &mut B, incoming: Incoming) -> bool
+where
+    B: RequestBrain<'env>,
+    O: ConnOutbox<'env>,
+{
+    out.counters().0.fetch_add(1, Ordering::Relaxed);
+    match incoming {
+        Incoming::Info { id } => {
+            let info = brain.server_info();
+            let bytes = render_info(out.mode(), id, &info);
+            out.send_inline(bytes);
+        }
+        Incoming::Admin { id, admin } => match brain.admin(id, admin) {
+            AdminOutcome::Done(line) => out.send_inline(line.into_bytes()),
+            AdminOutcome::Offload(run) => out.offload_admin(run),
+        },
+        Incoming::Bad { id, message, fatal } => {
+            let bytes = render_error(out.mode(), id, &message, false, false);
+            out.send_inline(bytes);
+            return !fatal;
+        }
+        Incoming::Classify {
+            id,
+            levels,
+            want_scores,
+            search_k,
+        } => {
+            if let Some(msg) = brain.validate_levels(&levels) {
+                let bytes = render_error(out.mode(), id, &msg, false, false);
+                out.send_inline(bytes);
+                return true;
             }
-            Incoming::Admin { id, admin } => {
-                // Admin stays JSON-only; the binary decoder never
-                // produces this variant.
-                self.send_raw(brain.admin(id, &admin).into_bytes());
+            if !check_window(out, id) {
+                return true;
             }
-            Incoming::Bad { id, message, fatal } => {
-                self.send_raw(render_error(self.mode, id, &message, false, false));
-                return !fatal;
+            out.inflight_insert(id);
+            // Admission runs last, after validation and windowing, so
+            // malformed or back-pressured requests never consume the
+            // connection's query budget.
+            if let Err(msg) = brain.admit(&levels) {
+                out.inflight_remove(id);
+                out.counters().1.fetch_add(1, Ordering::Relaxed);
+                let bytes = render_error(out.mode(), id, &msg, true, false);
+                out.send_inline(bytes);
+                return true;
             }
-            Incoming::Classify {
+            out.enqueue(
                 id,
-                levels,
-                want_scores,
-                search_k,
-            } => {
-                if let Some(msg) = brain.validate_levels(&levels) {
-                    self.send_raw(render_error(self.mode, id, &msg, false, false));
-                    return true;
-                }
-                {
-                    let mut inflight = self
-                        .inflight
-                        .lock()
-                        .expect("in-flight set lock never poisoned");
-                    if inflight.contains(&id) {
-                        drop(inflight);
-                        self.send_raw(render_error(
-                            self.mode,
-                            id,
-                            &format!("request id {id} already in flight on this connection"),
-                            false,
-                            false,
-                        ));
-                        return true;
-                    }
-                    if inflight.len() >= self.window {
-                        drop(inflight);
-                        self.send_raw(render_error(
-                            self.mode,
-                            id,
-                            &format!(
-                                "pipeline window full ({} requests in flight); \
-                                 drain responses before sending more",
-                                self.window
-                            ),
-                            false,
-                            true,
-                        ));
-                        return true;
-                    }
-                    inflight.insert(id);
-                }
-                // Admission runs last, after validation and windowing,
-                // so malformed or back-pressured requests never consume
-                // the connection's query budget.
-                if let Err(msg) = brain.admit(&levels) {
-                    self.inflight
-                        .lock()
-                        .expect("in-flight set lock never poisoned")
-                        .remove(&id);
-                    self.throttled.fetch_add(1, Ordering::Relaxed);
-                    self.send_raw(render_error(self.mode, id, &msg, true, false));
-                    return true;
-                }
-                self.pending.fetch_add(1, Ordering::SeqCst);
-                self.queue.push(Job {
-                    id,
+                JobKind::Single {
                     levels,
                     want_scores,
                     search_k,
-                    tx: self.tx.clone(),
-                });
-            }
+                },
+            );
         }
-        true
-    }
-
-    /// Blocks while the writer's backlog is at the cap (a client
-    /// sending without reading). Returns `false` when shutdown was
-    /// raised while waiting.
-    fn wait_for_backlog_room(&self, shutdown: &AtomicBool) -> bool {
-        while self.pending.load(Ordering::SeqCst) >= self.backlog_cap() {
-            if shutdown.load(Ordering::SeqCst) {
-                return false;
+        Incoming::Bulk {
+            id,
+            rows,
+            want_scores,
+        } => {
+            // A bulk frame occupies ONE pipeline-window slot and counts
+            // as one request; its rows meter admission individually.
+            if !check_window(out, id) {
+                return true;
             }
-            std::thread::sleep(Duration::from_millis(1));
-        }
-        true
-    }
-}
-
-/// The per-connection writer: receives deliveries (batch completions,
-/// pre-rendered inline responses) and writes them in arrival order —
-/// which for pipelined completions is *completion* order, not request
-/// order; clients match on the echoed id. Exits when every sender
-/// (reader + all queued jobs) is gone.
-fn writer_loop(
-    stream: TcpStream,
-    rx: mpsc::Receiver<Delivery>,
-    mode: WireMode,
-    inflight: &Mutex<HashSet<u64>>,
-    pending: &AtomicU64,
-) {
-    let mut writer = BufWriter::new(stream);
-    let mut dead = false;
-    while let Ok(first) = rx.recv() {
-        let mut next = Some(first);
-        // Greedily drain whatever has completed, then flush once: under
-        // pipelined load this coalesces many small responses into one
-        // syscall.
-        while let Some(delivery) = next {
-            let bytes = match delivery {
-                Delivery::Raw(bytes) => bytes,
-                Delivery::Done(done) => {
-                    inflight
-                        .lock()
-                        .expect("in-flight set lock never poisoned")
-                        .remove(&done.id);
-                    render_completion(mode, &done)
+            match prepare_bulk(brain, rows, want_scores) {
+                BulkPrep::Reject(msg) => {
+                    let bytes = render_error(out.mode(), id, &msg, false, false);
+                    out.send_inline(bytes);
                 }
-            };
-            if !dead && writer.write_all(&bytes).is_err() {
-                // Client hung up (or stalled past the write timeout)
-                // mid-pipeline: keep draining so the in-flight and
-                // backlog bookkeeping finishes, skip the writes — and
-                // shut the socket down so the read side sees EOF and
-                // closes the connection instead of silently accepting
-                // requests that will never be answered.
-                dead = true;
-                let _ = writer.get_ref().shutdown(std::net::Shutdown::Both);
-            }
-            pending.fetch_sub(1, Ordering::SeqCst);
-            next = rx.try_recv().ok();
-        }
-        if !dead && writer.flush().is_err() {
-            dead = true;
-            let _ = writer.get_ref().shutdown(std::net::Shutdown::Both);
-        }
-    }
-}
-
-/// One connection: sniff the wire format, then run the read loop on
-/// this thread and the writer on a scoped sibling. Returns when the
-/// client hangs up, a fatal framing fault closes the stream, or
-/// shutdown is raised (after in-flight requests are answered).
-fn handle_connection<B: RequestBrain>(
-    stream: TcpStream,
-    mut brain: B,
-    queue: &BatchQueue,
-    shutdown: &AtomicBool,
-    requests: &AtomicU64,
-    throttled: &AtomicU64,
-    window: usize,
-) -> std::io::Result<()> {
-    stream.set_nodelay(true)?;
-    stream.set_read_timeout(Some(POLL_TICK))?;
-
-    // Negotiate the wire format without consuming anything: the first
-    // byte of a binary connection is the magic 0xB1, which no JSON line
-    // starts with.
-    let mode = loop {
-        let mut first = [0u8; 1];
-        match stream.peek(&mut first) {
-            Ok(0) => return Ok(()), // connected, sent nothing, left
-            Ok(_) => {
-                break if first[0] == wire::MAGIC0 {
-                    WireMode::Binary
-                } else {
-                    WireMode::Json
-                }
-            }
-            Err(e)
-                if e.kind() == std::io::ErrorKind::WouldBlock
-                    || e.kind() == std::io::ErrorKind::TimedOut =>
-            {
-                if shutdown.load(Ordering::SeqCst) {
-                    return Ok(());
-                }
-            }
-            Err(e) => return Err(e),
-        }
-    };
-
-    let write_stream = stream.try_clone()?;
-    // A generous write timeout keeps a stalled (never-reading) client
-    // from pinning the writer — and with it, graceful shutdown —
-    // forever once the kernel send buffer fills.
-    write_stream.set_write_timeout(Some(Duration::from_secs(5)))?;
-    let (tx, rx) = mpsc::channel::<Delivery>();
-    let inflight = Mutex::new(HashSet::new());
-    let pending = AtomicU64::new(0);
-
-    std::thread::scope(|scope| {
-        let writer = scope.spawn({
-            let inflight = &inflight;
-            let pending = &pending;
-            move || writer_loop(write_stream, rx, mode, inflight, pending)
-        });
-        let io = ConnIo {
-            mode,
-            queue,
-            tx: &tx,
-            inflight: &inflight,
-            pending: &pending,
-            window: window.max(1),
-            requests,
-            throttled,
-        };
-        let result = match mode {
-            WireMode::Json => read_json_loop(&stream, &io, &mut brain, shutdown),
-            WireMode::Binary => read_binary_loop(&stream, &io, &mut brain, shutdown),
-        };
-        // Dropping the reader's sender lets the writer exit once the
-        // last in-flight job has delivered its completion.
-        drop(tx);
-        let _ = writer.join();
-        result
-    })
-}
-
-/// Read loop, line-JSON flavor.
-fn read_json_loop<B: RequestBrain>(
-    stream: &TcpStream,
-    io: &ConnIo<'_>,
-    brain: &mut B,
-    shutdown: &AtomicBool,
-) -> std::io::Result<()> {
-    let mut reader = BufReader::new(stream);
-    let mut line = String::new();
-    loop {
-        // Stop pulling bytes while the writer backlog is at its cap
-        // (client sends but does not read) — TCP back-pressure takes
-        // over from here.
-        if !io.wait_for_backlog_room(shutdown) {
-            break;
-        }
-        // `line` is NOT cleared at the top: a read timeout may leave a
-        // partially received request in it, and the next tick must
-        // append the rest instead of dropping the fragment.
-        match reader.read_line(&mut line) {
-            Ok(0) => break, // client hung up (any partial line is theirs)
-            Ok(_) => {
-                if !line.trim().is_empty() {
-                    let incoming = match protocol::parse_request(&line) {
-                        Ok(request) => {
-                            if request.want_info {
-                                Incoming::Info { id: request.id }
-                            } else if let Some(admin) = request.admin {
-                                Incoming::Admin {
-                                    id: request.id,
-                                    admin,
-                                }
-                            } else {
-                                Incoming::Classify {
-                                    id: request.id,
-                                    levels: request.levels,
-                                    want_scores: request.want_scores,
-                                    search_k: request.search_k,
-                                }
-                            }
-                        }
-                        Err((id, message)) => Incoming::Bad {
-                            id,
-                            message,
-                            fatal: false,
-                        },
-                    };
-                    if !io.dispatch(incoming, brain) {
-                        break;
+                BulkPrep::Slots {
+                    slots,
+                    throttled_rows,
+                } => {
+                    if throttled_rows > 0 {
+                        out.counters()
+                            .1
+                            .fetch_add(throttled_rows, Ordering::Relaxed);
                     }
-                }
-                line.clear();
-                // A client that never pauses must not be able to pin
-                // this reader past shutdown: in-flight requests are
-                // answered by the writer, then the connection closes.
-                if shutdown.load(Ordering::SeqCst) {
-                    break;
+                    out.inflight_insert(id);
+                    out.enqueue(id, JobKind::Bulk { slots, want_scores });
                 }
             }
-            Err(e)
-                if e.kind() == std::io::ErrorKind::WouldBlock
-                    || e.kind() == std::io::ErrorKind::TimedOut =>
-            {
-                if shutdown.load(Ordering::SeqCst) {
-                    break;
-                }
-            }
-            Err(_) => break,
         }
     }
-    Ok(())
+    true
 }
 
-/// Read loop, binary-frame flavor: accumulate bytes, peel off complete
-/// frames, dispatch each. Framed-but-malformed requests (unknown
-/// opcode, newer version, bad payload) answer a structured error and
-/// keep the connection — and its sibling in-flight requests — alive;
-/// only an untrustworthy stream (bad magic, oversized length prefix)
-/// closes it.
-fn read_binary_loop<B: RequestBrain>(
-    mut stream: &TcpStream,
-    io: &ConnIo<'_>,
-    brain: &mut B,
-    shutdown: &AtomicBool,
-) -> std::io::Result<()> {
-    let mut frames = wire::FrameBuffer::new();
-    let mut chunk = vec![0u8; 64 * 1024];
-    'conn: loop {
-        // Same writer-backlog pause as the JSON loop (frames already
-        // buffered still dispatch — bounded by one read chunk).
-        if !io.wait_for_backlog_room(shutdown) {
-            break;
+/// Duplicate-id and pipeline-window checks shared by classify and bulk;
+/// `false` means the request was answered inline and must not enqueue.
+fn check_window<'env, O: ConnOutbox<'env>>(out: &mut O, id: u64) -> bool {
+    if out.inflight_contains(id) {
+        let bytes = render_error(
+            out.mode(),
+            id,
+            &format!("request id {id} already in flight on this connection"),
+            false,
+            false,
+        );
+        out.send_inline(bytes);
+        return false;
+    }
+    if out.inflight_len() >= out.window() {
+        let bytes = render_error(
+            out.mode(),
+            id,
+            &format!(
+                "pipeline window full ({} requests in flight); \
+                 drain responses before sending more",
+                out.window()
+            ),
+            false,
+            true,
+        );
+        out.send_inline(bytes);
+        return false;
+    }
+    true
+}
+
+/// Tracks whether a binary read stream is still trustworthy after a
+/// framing decision; shared by both cores' binary read paths.
+pub(crate) enum FrameStep {
+    /// One frame decoded (or answerable error) — keep going.
+    Dispatch(Incoming),
+    /// Buffer holds no complete frame yet.
+    NeedMore,
+    /// Stream desynchronized (bad magic): close silently.
+    CloseSilent,
+    /// Oversized length prefix: answer `Incoming::Bad { fatal }`, then
+    /// close.
+    CloseAfter(Incoming),
+}
+
+/// Pulls the next framing decision out of a frame buffer.
+pub(crate) fn next_frame_step(frames: &mut wire::FrameBuffer) -> FrameStep {
+    match frames.next_frame() {
+        Ok(Some((header, payload))) => FrameStep::Dispatch(incoming_from_frame(&header, &payload)),
+        Ok(None) => FrameStep::NeedMore,
+        Err(wire::FatalFrameError::BadMagic(_)) => {
+            // Desynchronized or not our protocol: no trustworthy id to
+            // answer — close cleanly.
+            FrameStep::CloseSilent
         }
-        match stream.read(&mut chunk) {
-            Ok(0) => break, // client hung up (any partial frame is theirs)
-            Ok(n) => {
-                frames.extend(&chunk[..n]);
-                loop {
-                    match frames.next_frame() {
-                        Ok(Some((header, payload))) => {
-                            let incoming = match wire::decode_request(&header, &payload) {
-                                Ok(wire::ServerFrame::Classify {
-                                    id,
-                                    levels,
-                                    want_scores,
-                                }) => Incoming::Classify {
-                                    id,
-                                    levels,
-                                    want_scores,
-                                    search_k: None,
-                                },
-                                Ok(wire::ServerFrame::Search { id, levels, k }) => {
-                                    Incoming::Classify {
-                                        id,
-                                        levels,
-                                        want_scores: false,
-                                        search_k: Some(k),
-                                    }
-                                }
-                                Ok(wire::ServerFrame::Info { id }) => Incoming::Info { id },
-                                Err((id, message)) => Incoming::Bad {
-                                    id,
-                                    message,
-                                    fatal: false,
-                                },
-                            };
-                            if !io.dispatch(incoming, brain) {
-                                break 'conn;
-                            }
-                        }
-                        Ok(None) => break, // need more bytes
-                        Err(wire::FatalFrameError::BadMagic(_)) => {
-                            // Desynchronized or not our protocol: no
-                            // trustworthy id to answer — close cleanly.
-                            break 'conn;
-                        }
-                        Err(wire::FatalFrameError::Oversized { id, len }) => {
-                            // The id sits before the length prefix, so
-                            // it is still trustworthy: answer, then
-                            // close (the payload cannot be skipped).
-                            let fatal = Incoming::Bad {
-                                id,
-                                message: format!(
-                                    "frame payload of {len} bytes exceeds the {} byte cap",
-                                    wire::MAX_PAYLOAD
-                                ),
-                                fatal: true,
-                            };
-                            let _ = io.dispatch(fatal, brain);
-                            break 'conn;
-                        }
-                    }
-                }
-                if shutdown.load(Ordering::SeqCst) {
-                    break;
-                }
-            }
-            Err(e)
-                if e.kind() == std::io::ErrorKind::WouldBlock
-                    || e.kind() == std::io::ErrorKind::TimedOut =>
-            {
-                if shutdown.load(Ordering::SeqCst) {
-                    break;
-                }
-            }
-            Err(_) => break,
+        Err(wire::FatalFrameError::Oversized { id, len }) => {
+            // The id sits before the length prefix, so it is still
+            // trustworthy: answer, then close (the payload cannot be
+            // skipped).
+            FrameStep::CloseAfter(Incoming::Bad {
+                id,
+                message: format!(
+                    "frame payload of {len} bytes exceeds the {} byte cap",
+                    wire::MAX_PAYLOAD
+                ),
+                fatal: true,
+            })
         }
     }
-    Ok(())
 }
 
 // ---------------------------------------------------------------------
-// The two server flavors
+// Shared registry worker loop
+// ---------------------------------------------------------------------
+
+/// Registry batch worker: every batch runs against the generation
+/// current at pop time; rows that no longer fit that generation (a
+/// shape-changing swap raced them) are answered with per-request
+/// errors, never dropped.
+pub(crate) fn registry_worker_loop(
+    queue: &BatchQueue,
+    registry: &ModelRegistry,
+    config: &BatchConfig,
+    served: &AtomicU64,
+) {
+    while let Some(batch) = queue.next_batch(config) {
+        let generation = registry.current();
+        run_batch(
+            generation.session(),
+            config,
+            batch,
+            served,
+            Some(generation.id()),
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// The front door: core selection
 // ---------------------------------------------------------------------
 
 /// Serves classify traffic for one fixed session on `listener` until
-/// `shutdown` is raised.
+/// `shutdown` is raised, on the platform-default core ([`CoreKind`]).
 ///
 /// Every connection speaks either the line-JSON protocol ([`protocol`])
 /// or the binary frame protocol ([`wire`]), negotiated by first-byte
@@ -742,107 +806,63 @@ pub fn serve<S: ClassifySession>(
     config: &BatchConfig,
     shutdown: &AtomicBool,
 ) -> std::io::Result<ServeStats> {
-    listener.set_nonblocking(true)?;
-    let queue = BatchQueue::new();
-    let requests = AtomicU64::new(0);
-    let served = AtomicU64::new(0);
-    let throttled = AtomicU64::new(0);
-    let mut connections = 0u64;
-
-    std::thread::scope(|scope| {
-        let worker_handles: Vec<_> = (0..config.workers.max(1))
-            .map(|_| scope.spawn(|| worker_loop(&queue, session, config, &served)))
-            .collect();
-
-        let mut handler_handles = Vec::new();
-        while !shutdown.load(Ordering::SeqCst) {
-            // Reap handlers whose connections already closed, so a
-            // long-running server does not accumulate one JoinHandle
-            // per connection it ever accepted.
-            handler_handles.retain(|h: &std::thread::ScopedJoinHandle<'_, ()>| !h.is_finished());
-            match listener.accept() {
-                Ok((stream, _peer)) => {
-                    connections += 1;
-                    let queue = &queue;
-                    let requests = &requests;
-                    let throttled = &throttled;
-                    handler_handles.push(scope.spawn(move || {
-                        let _ = handle_connection(
-                            stream,
-                            SessionBrain { session },
-                            queue,
-                            shutdown,
-                            requests,
-                            throttled,
-                            config.pipeline_window,
-                        );
-                    }));
-                }
-                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                    std::thread::sleep(Duration::from_micros(500));
-                }
-                Err(_) => break,
-            }
-        }
-
-        // Graceful shutdown: stop accepting, let handlers drain their
-        // in-flight requests (readers exit within a read-timeout tick,
-        // writers once the last completion lands — the workers are
-        // still popping batches at this point), then close the queue so
-        // workers finish the backlog and exit.
-        for h in handler_handles {
-            let _ = h.join();
-        }
-        queue.close();
-        for h in worker_handles {
-            let _ = h.join();
-        }
-    });
-
-    Ok(ServeStats {
-        requests: requests.load(Ordering::Relaxed),
-        classified: served.load(Ordering::Relaxed),
-        connections,
-        throttled: throttled.load(Ordering::Relaxed),
-    })
+    serve_with_core(CoreKind::default(), listener, session, config, shutdown)
 }
 
-// ---------------------------------------------------------------------
-// Registry-backed serving
-// ---------------------------------------------------------------------
-
-/// Shared context of the registry server's connection handlers.
-struct RegistryCtx<'a> {
-    registry: &'a ModelRegistry,
-    admission: &'a AdmissionConfig,
-    requests: &'a AtomicU64,
-    throttled: &'a AtomicU64,
+/// [`serve`], pinned to an explicit connection core.
+///
+/// # Errors
+///
+/// Propagates listener configuration errors; per-connection I/O errors
+/// only terminate that connection.
+pub fn serve_with_core<S: ClassifySession>(
+    core: CoreKind,
+    listener: TcpListener,
+    session: &S,
+    config: &BatchConfig,
+    shutdown: &AtomicBool,
+) -> std::io::Result<ServeStats> {
+    match core {
+        CoreKind::Threaded => crate::threaded::serve(listener, session, config, shutdown),
+        CoreKind::Event => {
+            #[cfg(target_os = "linux")]
+            {
+                crate::event_loop::serve(listener, session, config, shutdown)
+            }
+            #[cfg(not(target_os = "linux"))]
+            {
+                crate::threaded::serve(listener, session, config, shutdown)
+            }
+        }
+    }
 }
 
 /// Serves classify traffic from a [`ModelRegistry`] on `listener` until
 /// `shutdown` is raised, honoring admin requests and enforcing
-/// per-connection admission control. Connections are multiplexed
-/// exactly like [`serve`]'s: JSON or binary by first-byte sniffing,
-/// pipelined up to `config.batch.pipeline_window` in-flight requests,
-/// admission metering every classify request identically in both
-/// formats.
+/// per-connection admission control, on the platform-default core.
+/// Connections are multiplexed exactly like [`serve`]'s: JSON or binary
+/// by first-byte sniffing, pipelined up to
+/// `config.batch.pipeline_window` in-flight requests, admission
+/// metering every classify request identically in both formats.
 ///
 /// Hot swaps are wait-free for traffic: a reload/rekey builds the new
 /// generation entirely off the serving path, batches in flight finish
 /// on the generation they grabbed, and the next batch picks up the new
-/// one.
+/// one. Snapshots too big for one request body stream in over the wire
+/// (`{"xfer":…}` — see [`protocol`]) into a checksummed staging file
+/// and commit through the same reload path.
 ///
 /// # Trust boundary
 ///
-/// Admin requests (`reload` / `rekey` / `stats`) are an **operator
-/// plane** carried on the same port for protocol simplicity — they are
-/// not authenticated and are deliberately exempt from admission
-/// budgets. In particular, `rekey` is seed-deterministic by design (so
-/// rotation is reproducible and auditable), which means whoever can
-/// send it can also derive the new key from the public pool. Do not
-/// expose this listener to untrusted clients: bind it to loopback /
-/// an internal network and front it with an authenticating proxy, as
-/// you would any database admin port.
+/// Admin requests (`reload` / `rekey` / `stats` / `xfer`) are an
+/// **operator plane** carried on the same port for protocol simplicity
+/// — they are not authenticated and are deliberately exempt from
+/// admission budgets. In particular, `rekey` is seed-deterministic by
+/// design (so rotation is reproducible and auditable), which means
+/// whoever can send it can also derive the new key from the public
+/// pool. Do not expose this listener to untrusted clients: bind it to
+/// loopback / an internal network and front it with an authenticating
+/// proxy, as you would any database admin port.
 ///
 /// # Errors
 ///
@@ -854,193 +874,38 @@ pub fn serve_registry(
     config: &RegistryServeConfig,
     shutdown: &AtomicBool,
 ) -> std::io::Result<ServeStats> {
-    listener.set_nonblocking(true)?;
-    let queue = BatchQueue::new();
-    let requests = AtomicU64::new(0);
-    let served = AtomicU64::new(0);
-    let throttled = AtomicU64::new(0);
-    let mut connections = 0u64;
-    let ctx = RegistryCtx {
-        registry,
-        admission: &config.admission,
-        requests: &requests,
-        throttled: &throttled,
-    };
-
-    std::thread::scope(|scope| {
-        let worker_handles: Vec<_> = (0..config.batch.workers.max(1))
-            .map(|_| scope.spawn(|| registry_worker_loop(&queue, registry, &config.batch, &served)))
-            .collect();
-
-        let mut handler_handles = Vec::new();
-        while !shutdown.load(Ordering::SeqCst) {
-            // Same handle reaping as `serve`: the registry server is
-            // the long-running default, so this matters even more here.
-            handler_handles.retain(|h: &std::thread::ScopedJoinHandle<'_, ()>| !h.is_finished());
-            match listener.accept() {
-                Ok((stream, _peer)) => {
-                    connections += 1;
-                    let ctx = &ctx;
-                    let queue = &queue;
-                    handler_handles.push(scope.spawn(move || {
-                        let brain = RegistryBrain {
-                            ctx,
-                            admission: ConnectionAdmission::new(ctx.admission),
-                        };
-                        let _ = handle_connection(
-                            stream,
-                            brain,
-                            queue,
-                            shutdown,
-                            ctx.requests,
-                            ctx.throttled,
-                            config.batch.pipeline_window,
-                        );
-                    }));
-                }
-                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                    std::thread::sleep(Duration::from_micros(500));
-                }
-                Err(_) => break,
-            }
-        }
-
-        for h in handler_handles {
-            let _ = h.join();
-        }
-        queue.close();
-        for h in worker_handles {
-            let _ = h.join();
-        }
-    });
-
-    Ok(ServeStats {
-        requests: requests.load(Ordering::Relaxed),
-        classified: served.load(Ordering::Relaxed),
-        connections,
-        throttled: throttled.load(Ordering::Relaxed),
-    })
+    serve_registry_with_core(CoreKind::default(), listener, registry, config, shutdown)
 }
 
-/// Registry batch worker: every batch runs against the generation
-/// current at pop time; rows that no longer fit that generation (a
-/// shape-changing swap raced them) are answered with per-request
-/// errors, never dropped.
-fn registry_worker_loop(
-    queue: &BatchQueue,
+/// [`serve_registry`], pinned to an explicit connection core.
+///
+/// # Errors
+///
+/// Propagates listener configuration errors; per-connection I/O errors
+/// only terminate that connection.
+pub fn serve_registry_with_core(
+    core: CoreKind,
+    listener: TcpListener,
     registry: &ModelRegistry,
-    config: &BatchConfig,
-    served: &AtomicU64,
-) {
-    while let Some(batch) = queue.next_batch(config) {
-        let generation = registry.current();
-        let session = generation.session();
-        let (search, batch): (Vec<Job>, Vec<Job>) =
-            batch.into_iter().partition(|j| j.search_k.is_some());
-        // Search jobs re-validate against the popped generation inside
-        // `run_search_jobs` — same mid-flight-swap guarantee as below.
-        crate::batcher::run_search_jobs(session, config, search, served);
-        if batch.is_empty() {
-            continue;
-        }
-        let mut results: Vec<Option<JobResult>> = Vec::with_capacity(batch.len());
-        let mut valid = Vec::new();
-        let mut rows: Vec<&[u16]> = Vec::new();
-        for (i, job) in batch.iter().enumerate() {
-            let fits = job.levels.len() == session.n_features()
-                && job
-                    .levels
-                    .iter()
-                    .all(|&lv| usize::from(lv) < session.m_levels());
-            if fits {
-                results.push(None);
-                valid.push(i);
-                rows.push(job.levels.as_slice());
-            } else {
-                results.push(Some(JobResult::Rejected(format!(
-                    "model swapped mid-flight: row no longer fits generation {} \
-                     (N = {}, M = {})",
-                    generation.id(),
-                    session.n_features(),
-                    session.m_levels()
-                ))));
+    config: &RegistryServeConfig,
+    shutdown: &AtomicBool,
+) -> std::io::Result<ServeStats> {
+    match core {
+        CoreKind::Threaded => crate::threaded::serve_registry(listener, registry, config, shutdown),
+        CoreKind::Event => {
+            #[cfg(target_os = "linux")]
+            {
+                crate::event_loop::serve_registry(listener, registry, config, shutdown)
             }
-        }
-        if batch.iter().any(|j| j.want_scores) {
-            let hits = session.scores_batch(&rows);
-            for (slot, &i) in valid.iter().enumerate() {
-                results[i] = Some(if batch[i].want_scores {
-                    JobResult::ClassWithScores(hits.best(slot), hits.scores(slot).to_vec())
-                } else {
-                    JobResult::Class(hits.best(slot))
-                });
+            #[cfg(not(target_os = "linux"))]
+            {
+                crate::threaded::serve_registry(listener, registry, config, shutdown)
             }
-        } else {
-            let classes = session.classify_batch(&rows);
-            for (slot, &i) in valid.iter().enumerate() {
-                results[i] = Some(JobResult::Class(classes[slot]));
-            }
-        }
-        for (job, result) in batch.into_iter().zip(results) {
-            let result = result.expect("every job got a result");
-            // `classified` counts answered classifications only —
-            // swap-rejected jobs are protocol rejections, not results.
-            if !matches!(result, JobResult::Rejected(_)) {
-                served.fetch_add(1, Ordering::Relaxed);
-            }
-            // A handler that hung up already is not an error.
-            let _ = job.tx.send(job.complete(result));
         }
     }
 }
 
-/// Executes one admin operation synchronously on the handler thread
-/// (swaps are rare; blocking this one connection while the new
-/// generation builds is the intended behavior — classify traffic on
-/// other connections keeps flowing on the old generation).
-fn answer_admin(id: u64, admin: &protocol::AdminRequest, ctx: &RegistryCtx<'_>) -> String {
-    match admin {
-        protocol::AdminRequest::Stats => {
-            let s = ctx.registry.stats();
-            protocol::stats_response(
-                id,
-                &protocol::StatsReport {
-                    generation: s.generation,
-                    checksum: protocol::checksum_hex(s.checksum),
-                    locked: s.locked,
-                    reloads: s.reloads,
-                    rekeys: s.rekeys,
-                    rollbacks: s.rollbacks,
-                    requests: ctx.requests.load(Ordering::Relaxed),
-                    throttled: ctx.throttled.load(Ordering::Relaxed),
-                },
-            )
-        }
-        protocol::AdminRequest::Reload { snapshot, key } => {
-            let result = ctx.registry.reload_files(
-                std::path::Path::new(snapshot),
-                key.as_deref().map(std::path::Path::new),
-            );
-            match result {
-                Ok(generation) => protocol::swap_response(
-                    id,
-                    &protocol::SwapInfo {
-                        generation: generation.id(),
-                        checksum: protocol::checksum_hex(generation.checksum()),
-                    },
-                ),
-                Err(e) => protocol::error_response(id, &format!("reload failed: {e}")),
-            }
-        }
-        protocol::AdminRequest::Rekey { seed } => match ctx.registry.rekey(*seed) {
-            Ok(generation) => protocol::swap_response(
-                id,
-                &protocol::SwapInfo {
-                    generation: generation.id(),
-                    checksum: protocol::checksum_hex(generation.checksum()),
-                },
-            ),
-            Err(e) => protocol::error_response(id, &format!("rekey failed: {e}")),
-        },
-    }
-}
+/// Ids of classify requests currently queued or running on one
+/// connection; its size is the pipeline depth. (A shared alias so both
+/// cores use the same structure.)
+pub(crate) type InflightSet = HashSet<u64>;

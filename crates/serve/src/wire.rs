@@ -33,11 +33,22 @@
 //! | `0x01` `CLASSIFY` | → | flags `u8` (bit 0 = want scores) · `n` `u16` · `n × u16` levels |
 //! | `0x02` `INFO`     | → | empty |
 //! | `0x03` `SEARCH`   | → | k `u16` · `n` `u16` · `n × u16` levels |
+//! | `0x04` `BULK`     | → | flags `u8` (bit 0 = want scores) · count `u32` · `n` `u16` · `count × n × u16` levels |
 //! | `0x81` `CLASS`    | ← | class `u32` |
 //! | `0x82` `SCORES`   | ← | class `u32` · count `u32` · `count × f64` score bits |
 //! | `0x83` `INFO`     | ← | dim/features/levels/classes `u32` · generation `u64` · checksum `u64` · backend len `u8` + UTF-8 |
 //! | `0x84` `MATCHES`  | ← | count `u32` · `count ×` (row `u32` · `f64` score bits) |
+//! | `0x85` `BULK`     | ← | count `u32` · `count ×` (tag `u8`: 0 = class `u32`, 1 = class `u32` · n `u32` · `n × f64` score bits, 2 = len `u16` + UTF-8 error) |
 //! | `0xEF` `ERROR`    | ← | flags `u8` (bit 0 = throttled, bit 1 = overloaded) · len `u16` + UTF-8 message |
+//!
+//! A `BULK` request packs many rows of one uniform width `n` into a
+//! single frame, amortizing the 16-byte header and the per-request
+//! dispatch cost; the batcher fuses the rows into the same kernel
+//! batches as single-row traffic, so per-row results are bit-identical
+//! to `count` individual `CLASSIFY` frames. The response carries one
+//! positional item per request row — rejected rows (validation,
+//! admission, mid-flight swap) ride along as tagged errors instead of
+//! failing the whole frame.
 //!
 //! Classify and search payloads carry the quantized feature row as
 //! packed `u16` level indices — no float text round trip anywhere on
@@ -70,7 +81,7 @@ use std::io::Read;
 
 use hdc_store::wire::{ByteReader, ByteWriter};
 
-use crate::protocol::{checksum_hex, ClassifyResponse, SearchMatch, ServerInfo};
+use crate::protocol::{checksum_hex, BulkOutcome, ClassifyResponse, SearchMatch, ServerInfo};
 
 /// First magic byte; distinguishes binary connections from JSON ones
 /// (never `{`, never ASCII whitespace, not valid UTF-8 lead byte).
@@ -85,6 +96,10 @@ pub const HEADER_LEN: usize = 16;
 /// or a 100k-class score vector; anything bigger is a desynchronized or
 /// hostile stream.
 pub const MAX_PAYLOAD: usize = 1 << 20;
+/// Upper bound on rows per bulk-classify frame. Keeps the response —
+/// including worst-case per-row rejection messages — under
+/// [`MAX_PAYLOAD`] and bounds the queue memory one frame can pin.
+pub const MAX_BULK_ROWS: usize = 4096;
 
 /// Request opcode: classify one quantized row.
 pub const OP_CLASSIFY: u8 = 0x01;
@@ -92,6 +107,8 @@ pub const OP_CLASSIFY: u8 = 0x01;
 pub const OP_INFO: u8 = 0x02;
 /// Request opcode: top-k similarity search of one quantized row.
 pub const OP_SEARCH: u8 = 0x03;
+/// Request opcode: bulk-classify many packed rows in one frame.
+pub const OP_BULK: u8 = 0x04;
 /// Response opcode: top-1 class.
 pub const OP_CLASS: u8 = 0x81;
 /// Response opcode: top-1 class plus the full score vector.
@@ -100,6 +117,8 @@ pub const OP_SCORES: u8 = 0x82;
 pub const OP_INFO_RESP: u8 = 0x83;
 /// Response opcode: top-k search hits, best-first.
 pub const OP_MATCHES: u8 = 0x84;
+/// Response opcode: per-row outcomes of a bulk-classify frame.
+pub const OP_BULK_RESP: u8 = 0x85;
 /// Response opcode: structured error.
 pub const OP_ERROR: u8 = 0xEF;
 
@@ -174,6 +193,15 @@ pub enum ServerFrame {
         /// `u16` wire field being nonzero).
         k: usize,
     },
+    /// Bulk-classify many packed rows of one uniform width.
+    BulkClassify {
+        /// Request id (one id covers the whole frame).
+        id: u64,
+        /// Quantized feature rows, in request order.
+        rows: Vec<Vec<u16>>,
+        /// Whether every row's score vector was requested.
+        want_scores: bool,
+    },
 }
 
 /// A framing fault that cannot be answered in-stream: the connection
@@ -239,6 +267,49 @@ pub fn info_frame(id: u64) -> Vec<u8> {
     frame(OP_INFO, id, &[])
 }
 
+/// Encodes a bulk-classify request frame (client side): `rows` packed
+/// rows of one uniform width, answered as one positional multi-result
+/// frame.
+///
+/// # Panics
+///
+/// Panics when `rows` is empty, exceeds [`MAX_BULK_ROWS`], mixes row
+/// widths, has rows wider than `u16::MAX`, or the packed payload would
+/// exceed [`MAX_PAYLOAD`] — each would misparse (or be rejected)
+/// server-side.
+#[must_use]
+pub fn bulk_classify_frame(id: u64, rows: &[&[u16]], want_scores: bool) -> Vec<u8> {
+    assert!(!rows.is_empty(), "bulk frames carry at least one row");
+    assert!(
+        rows.len() <= MAX_BULK_ROWS,
+        "bulk frames are capped at {MAX_BULK_ROWS} rows (got {})",
+        rows.len()
+    );
+    let width = rows[0].len();
+    assert!(
+        width <= usize::from(u16::MAX),
+        "bulk rows are capped at {} levels (got {width})",
+        u16::MAX
+    );
+    assert!(
+        rows.iter().all(|row| row.len() == width),
+        "bulk frames carry rows of one uniform width"
+    );
+    let payload_len = 1 + 4 + 2 + 2 * rows.len() * width;
+    assert!(
+        payload_len <= MAX_PAYLOAD,
+        "bulk payload of {payload_len} bytes exceeds the {MAX_PAYLOAD} byte cap"
+    );
+    let mut w = ByteWriter::new();
+    w.put_u8(u8::from(want_scores));
+    w.put_u32(rows.len() as u32);
+    w.put_u16(width as u16);
+    for row in rows {
+        w.put_u16s(row);
+    }
+    frame(OP_BULK, id, &w.into_bytes())
+}
+
 /// Encodes a top-k search request frame (client side).
 ///
 /// # Panics
@@ -298,6 +369,40 @@ pub fn matches_frame(id: u64, matches: &[SearchMatch]) -> Vec<u8> {
         w.put_u64(m.score.to_bits());
     }
     frame(OP_MATCHES, id, &w.into_bytes())
+}
+
+/// Encodes a bulk-classify response frame: one positional item per
+/// request row. Scores travel as raw `f64` bit patterns — bit-identical
+/// to the session's output.
+#[must_use]
+pub fn bulk_response_frame(id: u64, items: &[crate::batcher::BulkItem]) -> Vec<u8> {
+    use crate::batcher::BulkItem;
+    let mut w = ByteWriter::new();
+    w.put_u32(items.len() as u32);
+    for item in items {
+        match item {
+            BulkItem::Class(class) => {
+                w.put_u8(0);
+                w.put_u32(*class as u32);
+            }
+            BulkItem::ClassWithScores(class, scores) => {
+                w.put_u8(1);
+                w.put_u32(*class as u32);
+                w.put_u32(scores.len() as u32);
+                for &s in scores {
+                    w.put_u64(s.to_bits());
+                }
+            }
+            BulkItem::Rejected(message) => {
+                let msg = message.as_bytes();
+                let take = msg.len().min(u16::MAX as usize);
+                w.put_u8(2);
+                w.put_u16(take as u16);
+                w.put_bytes(&msg[..take]);
+            }
+        }
+    }
+    frame(OP_BULK_RESP, id, &w.into_bytes())
 }
 
 /// Encodes a server-info response frame.
@@ -457,6 +562,37 @@ pub fn decode_request(header: &FrameHeader, payload: &[u8]) -> Result<ServerFram
                 k,
             })
         }
+        OP_BULK => {
+            let mut r = ByteReader::new(payload);
+            let parse = |e| (header.id, format!("malformed bulk payload: {e}"));
+            let flags = r.get_u8().map_err(parse)?;
+            let count = r.get_u32().map_err(parse)? as usize;
+            if count == 0 {
+                return Err((header.id, "bulk frame carries no rows".to_owned()));
+            }
+            if count > MAX_BULK_ROWS {
+                return Err((
+                    header.id,
+                    format!("bulk frame carries {count} rows; cap is {MAX_BULK_ROWS}"),
+                ));
+            }
+            let width = r.get_u16().map_err(parse)? as usize;
+            let mut rows = Vec::with_capacity(count);
+            for _ in 0..count {
+                rows.push(r.get_u16s(width).map_err(parse)?);
+            }
+            if r.remaining() != 0 {
+                return Err((
+                    header.id,
+                    format!("{} trailing bytes after bulk payload", r.remaining()),
+                ));
+            }
+            Ok(ServerFrame::BulkClassify {
+                id: header.id,
+                rows,
+                want_scores: flags & 1 != 0,
+            })
+        }
         op => Err((header.id, format!("unknown opcode 0x{op:02x}"))),
     }
 }
@@ -474,10 +610,12 @@ pub fn decode_response(header: &FrameHeader, payload: &[u8]) -> Result<ClassifyR
         class: None,
         scores: None,
         matches: None,
+        bulk: None,
         info: None,
         swapped: None,
         stats: None,
         error: None,
+        xfer_received: None,
         throttled: false,
         overloaded: false,
     };
@@ -525,6 +663,45 @@ pub fn decode_response(header: &FrameHeader, payload: &[u8]) -> Result<ClassifyR
                 matches.push(SearchMatch { row, score });
             }
             resp.matches = Some(matches);
+        }
+        OP_BULK_RESP => {
+            let err = |e| format!("malformed bulk response frame: {e}");
+            let n = r.get_u32().map_err(err)? as usize;
+            let mut items = Vec::with_capacity(n);
+            for _ in 0..n {
+                let tag = r.get_u8().map_err(err)?;
+                items.push(match tag {
+                    0 => BulkOutcome {
+                        class: Some(r.get_u32().map_err(err)? as usize),
+                        scores: None,
+                        error: None,
+                    },
+                    1 => {
+                        let class = r.get_u32().map_err(err)? as usize;
+                        let count = r.get_u32().map_err(err)? as usize;
+                        let mut scores = Vec::with_capacity(count);
+                        for _ in 0..count {
+                            scores.push(f64::from_bits(r.get_u64().map_err(err)?));
+                        }
+                        BulkOutcome {
+                            class: Some(class),
+                            scores: Some(scores),
+                            error: None,
+                        }
+                    }
+                    2 => {
+                        let mlen = r.get_u16().map_err(err)? as usize;
+                        let msg = r.get_bytes(mlen).map_err(err)?;
+                        BulkOutcome {
+                            class: None,
+                            scores: None,
+                            error: Some(String::from_utf8_lossy(msg).into_owned()),
+                        }
+                    }
+                    tag => return Err(format!("unknown bulk item tag {tag}")),
+                });
+            }
+            resp.bulk = Some(items);
         }
         OP_ERROR => {
             let err = |e| format!("malformed error frame: {e}");
@@ -706,6 +883,64 @@ mod tests {
         let (id, msg) = decode_request(&h, &p).unwrap_err();
         assert_eq!(id, 6);
         assert!(msg.contains("nonzero"));
+    }
+
+    #[test]
+    fn bulk_roundtrip_bit_identical() {
+        use crate::batcher::BulkItem;
+
+        let rows: Vec<&[u16]> = vec![&[0, 3, 7], &[1, 1, 1], &[65535, 0, 2]];
+        let bytes = bulk_classify_frame(13, &rows, true);
+        let mut fb = feed(&bytes);
+        let (h, p) = fb.next_frame().unwrap().unwrap();
+        let req = decode_request(&h, &p).unwrap();
+        assert_eq!(
+            req,
+            ServerFrame::BulkClassify {
+                id: 13,
+                rows: rows.iter().map(|r| r.to_vec()).collect(),
+                want_scores: true,
+            }
+        );
+
+        let items = vec![
+            BulkItem::Class(4),
+            BulkItem::ClassWithScores(1, vec![0.5, f64::from_bits(0x3FF0_0000_0000_0001)]),
+            BulkItem::Rejected("level 9 at feature 0 out of range (M = 8)".to_owned()),
+        ];
+        let mut fb = feed(&bulk_response_frame(13, &items));
+        let (h, p) = fb.next_frame().unwrap().unwrap();
+        let resp = decode_response(&h, &p).unwrap();
+        assert_eq!(resp.id, 13);
+        let got = resp.bulk.unwrap();
+        assert_eq!(got.len(), 3);
+        assert_eq!(got[0].class, Some(4));
+        assert!(got[0].scores.is_none() && got[0].error.is_none());
+        assert_eq!(got[1].class, Some(1));
+        let scores = got[1].scores.as_ref().unwrap();
+        assert_eq!(scores[1].to_bits(), 0x3FF0_0000_0000_0001);
+        assert!(got[2].error.as_deref().unwrap().contains("out of range"));
+
+        // Zero rows and over-cap row counts are answerable errors.
+        let mut w = ByteWriter::new();
+        w.put_u8(0);
+        w.put_u32(0);
+        w.put_u16(1);
+        let mut fb = feed(&frame(OP_BULK, 9, &w.into_bytes()));
+        let (h, p) = fb.next_frame().unwrap().unwrap();
+        let (id, msg) = decode_request(&h, &p).unwrap_err();
+        assert_eq!(id, 9);
+        assert!(msg.contains("no rows"));
+
+        let mut w = ByteWriter::new();
+        w.put_u8(0);
+        w.put_u32(MAX_BULK_ROWS as u32 + 1);
+        w.put_u16(1);
+        let mut fb = feed(&frame(OP_BULK, 10, &w.into_bytes()));
+        let (h, p) = fb.next_frame().unwrap().unwrap();
+        let (id, msg) = decode_request(&h, &p).unwrap_err();
+        assert_eq!(id, 10);
+        assert!(msg.contains("cap is"));
     }
 
     #[test]

@@ -88,10 +88,12 @@ pub mod error;
 pub mod registry;
 pub mod serving;
 pub mod snapshot;
+pub mod stage;
 pub mod wire;
 
 pub use error::StoreError;
 pub use registry::{Generation, ModelRegistry, RegistryStats, RekeySource};
 pub use serving::{AnyEncoder, ServingSession};
 pub use snapshot::{EncoderParts, KeySegment, ModelSnapshot, KEY_SECTION, SNAPSHOT_SECTION};
-pub use wire::fnv1a64;
+pub use stage::{SnapshotStage, StagedSnapshot};
+pub use wire::{fnv1a64, fnv1a64_update};

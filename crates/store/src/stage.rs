@@ -1,0 +1,334 @@
+//! Server-side staging of streamed snapshot transfers.
+//!
+//! A snapshot too large to buffer in one request body arrives over the
+//! wire in chunks. [`SnapshotStage`] accumulates those chunks in a
+//! uniquely named temporary file next to nothing the registry serves
+//! from, enforcing the declared length, a staging cap, and an eager
+//! first-chunk magic check (so a client streaming garbage is rejected
+//! on chunk one, not after a gigabyte). [`SnapshotStage::finish`]
+//! verifies the full `magic | version | length | payload | fnv1a64`
+//! envelope by streaming the staged file back in fixed-size chunks —
+//! the checksum is computed incrementally ([`fnv1a64_update`]), so the
+//! whole artifact is never resident — and hands back a
+//! [`StagedSnapshot`] whose path can be fed straight into
+//! [`ModelRegistry::reload_files`](crate::ModelRegistry::reload_files).
+//!
+//! Both types clean their temporary file up on drop: an aborted or
+//! abandoned transfer leaves nothing behind, and a committed one is
+//! removed as soon as the reload has consumed it.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::error::StoreError;
+use crate::snapshot::SNAPSHOT_SECTION;
+use crate::wire::fnv1a64_update;
+
+/// Hard ceiling on a staged transfer, independent of the declared
+/// length: a client cannot reserve more than this much disk.
+pub const MAX_STAGED_BYTES: u64 = 1 << 30;
+
+/// Envelope overhead: 16-byte header (magic, version, reserved,
+/// payload length) plus the trailing 8-byte checksum.
+const ENVELOPE_BYTES: u64 = 24;
+
+/// FNV-1a 64 offset basis (the seed for [`fnv1a64_update`]).
+const FNV_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// Distinguishes concurrent stages within one process.
+static STAGE_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// An in-progress chunked snapshot transfer, staged to a temporary
+/// file. Dropped without [`SnapshotStage::finish`], the file is
+/// removed.
+#[derive(Debug)]
+pub struct SnapshotStage {
+    file: Option<File>,
+    path: PathBuf,
+    declared: u64,
+    received: u64,
+    committed: bool,
+}
+
+impl SnapshotStage {
+    /// Opens a fresh stage in `dir` for a transfer of exactly
+    /// `declared_len` bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Malformed`] when the declared length is shorter
+    /// than the snapshot envelope or over [`MAX_STAGED_BYTES`];
+    /// [`StoreError::Io`] when the temporary file cannot be created.
+    pub fn begin(dir: &Path, declared_len: u64) -> Result<SnapshotStage, StoreError> {
+        if declared_len < ENVELOPE_BYTES {
+            return Err(StoreError::Malformed(format!(
+                "declared snapshot length {declared_len} is shorter than the \
+                 {ENVELOPE_BYTES} byte envelope"
+            )));
+        }
+        if declared_len > MAX_STAGED_BYTES {
+            return Err(StoreError::Malformed(format!(
+                "declared snapshot length {declared_len} exceeds the \
+                 {MAX_STAGED_BYTES} byte staging cap"
+            )));
+        }
+        let name = format!(
+            ".hdc-xfer-{}-{}.hdsn.part",
+            std::process::id(),
+            STAGE_COUNTER.fetch_add(1, Ordering::Relaxed)
+        );
+        let path = dir.join(name);
+        let file = OpenOptions::new()
+            .write(true)
+            .create_new(true)
+            .open(&path)
+            .map_err(StoreError::Io)?;
+        Ok(SnapshotStage {
+            file: Some(file),
+            path,
+            declared: declared_len,
+            received: 0,
+            committed: false,
+        })
+    }
+
+    /// Bytes staged so far.
+    #[must_use]
+    pub fn received(&self) -> u64 {
+        self.received
+    }
+
+    /// Appends one chunk, returning the cumulative byte count.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Malformed`] when the first bytes do not open with
+    /// the snapshot magic or the transfer overruns its declared length;
+    /// [`StoreError::Io`] on write failure. Either way the stage is
+    /// poisoned — callers should drop it.
+    pub fn write_chunk(&mut self, chunk: &[u8]) -> Result<u64, StoreError> {
+        // Eager magic check over however much of the 4-byte prefix this
+        // chunk covers: garbage is rejected on chunk one.
+        let magic = SNAPSHOT_SECTION.magic;
+        if (self.received as usize) < magic.len() {
+            let have = self.received as usize;
+            let want = &magic[have..(have + chunk.len()).min(magic.len())];
+            if !chunk.starts_with(want) {
+                return Err(StoreError::Malformed(
+                    "transfer does not start with the snapshot magic".to_owned(),
+                ));
+            }
+        }
+        let total = self.received + chunk.len() as u64;
+        if total > self.declared {
+            return Err(StoreError::Malformed(format!(
+                "transfer overruns its declared length: {} received + {} new > {} declared",
+                self.received,
+                chunk.len(),
+                self.declared
+            )));
+        }
+        self.file
+            .as_mut()
+            .expect("stage file open until finish")
+            .write_all(chunk)
+            .map_err(StoreError::Io)?;
+        self.received = total;
+        Ok(self.received)
+    }
+
+    /// Completes the transfer: checks the byte count, then streams the
+    /// staged file back through an incremental checksum to verify the
+    /// full snapshot envelope before anyone parses a payload byte.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Malformed`] on short transfers or length
+    /// disagreements, [`StoreError::BadMagic`] /
+    /// [`StoreError::UnsupportedVersion`] /
+    /// [`StoreError::ChecksumMismatch`] from the envelope, and
+    /// [`StoreError::Io`] on read failure. The temporary file is
+    /// removed on any error.
+    pub fn finish(mut self) -> Result<StagedSnapshot, StoreError> {
+        drop(self.file.take()); // flush + close before re-reading
+        if self.received != self.declared {
+            return Err(StoreError::Malformed(format!(
+                "transfer incomplete: {} of {} declared bytes received",
+                self.received, self.declared
+            )));
+        }
+        self.verify_envelope()?;
+        self.committed = true;
+        Ok(StagedSnapshot {
+            path: self.path.clone(),
+        })
+    }
+
+    /// Streaming envelope verification: header fields first, then the
+    /// payload in fixed chunks through [`fnv1a64_update`], then the
+    /// recorded checksum — constant memory at any snapshot size.
+    fn verify_envelope(&self) -> Result<(), StoreError> {
+        let mut reader = File::open(&self.path).map_err(StoreError::Io)?;
+        let mut header = [0u8; 16];
+        reader.read_exact(&mut header).map_err(StoreError::Io)?;
+        let magic: [u8; 4] = header[..4].try_into().expect("len 4");
+        if magic != SNAPSHOT_SECTION.magic {
+            return Err(StoreError::BadMagic {
+                expected: SNAPSHOT_SECTION.magic,
+                found: magic,
+            });
+        }
+        let version = u16::from_le_bytes(header[4..6].try_into().expect("len 2"));
+        if version > SNAPSHOT_SECTION.version {
+            return Err(StoreError::UnsupportedVersion {
+                found: version,
+                supported: SNAPSHOT_SECTION.version,
+            });
+        }
+        let payload_len = u64::from_le_bytes(header[8..16].try_into().expect("len 8"));
+        if ENVELOPE_BYTES + payload_len != self.declared {
+            return Err(StoreError::Malformed(format!(
+                "envelope declares a {payload_len} byte payload; the transfer \
+                 declared {} total bytes",
+                self.declared
+            )));
+        }
+        let mut h = fnv1a64_update(FNV_BASIS, &header);
+        let mut remaining = payload_len;
+        let mut chunk = vec![0u8; 64 * 1024];
+        while remaining > 0 {
+            let take = chunk.len().min(remaining as usize);
+            reader
+                .read_exact(&mut chunk[..take])
+                .map_err(StoreError::Io)?;
+            h = fnv1a64_update(h, &chunk[..take]);
+            remaining -= take as u64;
+        }
+        let mut tail = [0u8; 8];
+        reader.read_exact(&mut tail).map_err(StoreError::Io)?;
+        let recorded = u64::from_le_bytes(tail);
+        if recorded != h {
+            return Err(StoreError::ChecksumMismatch {
+                expected: recorded,
+                found: h,
+            });
+        }
+        Ok(())
+    }
+}
+
+impl Drop for SnapshotStage {
+    fn drop(&mut self) {
+        drop(self.file.take());
+        if !self.committed {
+            let _ = std::fs::remove_file(&self.path);
+        }
+    }
+}
+
+/// A fully received, envelope-verified snapshot file, ready to reload.
+/// The file is removed when this is dropped.
+#[derive(Debug)]
+pub struct StagedSnapshot {
+    path: PathBuf,
+}
+
+impl StagedSnapshot {
+    /// Path of the verified snapshot file.
+    #[must_use]
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Drop for StagedSnapshot {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn framed(payload: &[u8]) -> Vec<u8> {
+        SNAPSHOT_SECTION.frame(payload)
+    }
+
+    fn temp_dir() -> PathBuf {
+        let dir = std::env::temp_dir().join("hdc_store_stage_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn chunked_transfer_roundtrips_and_cleans_up() {
+        let bytes = framed(b"stage me in little pieces");
+        let dir = temp_dir();
+        let mut stage = SnapshotStage::begin(&dir, bytes.len() as u64).unwrap();
+        for chunk in bytes.chunks(7) {
+            stage.write_chunk(chunk).unwrap();
+        }
+        assert_eq!(stage.received(), bytes.len() as u64);
+        let staged = stage.finish().unwrap();
+        assert_eq!(std::fs::read(staged.path()).unwrap(), bytes);
+        let path = staged.path().to_path_buf();
+        drop(staged);
+        assert!(!path.exists(), "staged file removed on drop");
+    }
+
+    #[test]
+    fn corruption_and_length_lies_are_rejected() {
+        let dir = temp_dir();
+        let bytes = framed(&[7u8; 128]);
+
+        // A flipped payload byte fails the streamed checksum.
+        let mut corrupt = bytes.clone();
+        corrupt[40] ^= 0x01;
+        let mut stage = SnapshotStage::begin(&dir, corrupt.len() as u64).unwrap();
+        stage.write_chunk(&corrupt).unwrap();
+        assert!(matches!(
+            stage.finish(),
+            Err(StoreError::ChecksumMismatch { .. })
+        ));
+
+        // Wrong magic dies on the very first chunk.
+        let mut stage = SnapshotStage::begin(&dir, 64).unwrap();
+        assert!(stage.write_chunk(b"NOPE").is_err());
+        drop(stage);
+
+        // Overrunning the declared length is an error, not a bigger file.
+        let mut stage = SnapshotStage::begin(&dir, 30).unwrap();
+        assert!(stage.write_chunk(&bytes).is_err());
+        drop(stage);
+
+        // A short transfer cannot commit.
+        let mut stage = SnapshotStage::begin(&dir, bytes.len() as u64).unwrap();
+        stage.write_chunk(&bytes[..10]).unwrap();
+        let path = {
+            let err = stage.finish().unwrap_err();
+            assert!(err.to_string().contains("incomplete"), "{err}");
+            // finish consumed the stage; its temp file is gone.
+            true
+        };
+        assert!(path);
+
+        // Absurd declarations are rejected up front.
+        assert!(SnapshotStage::begin(&dir, 3).is_err());
+        assert!(SnapshotStage::begin(&dir, MAX_STAGED_BYTES + 1).is_err());
+    }
+
+    #[test]
+    fn abandoned_stage_removes_its_file() {
+        let dir = temp_dir();
+        let bytes = framed(b"abandoned");
+        let mut stage = SnapshotStage::begin(&dir, bytes.len() as u64).unwrap();
+        stage.write_chunk(&bytes[..8]).unwrap();
+        let path = stage.path.clone();
+        assert!(path.exists());
+        drop(stage);
+        assert!(!path.exists(), "aborted transfer leaves nothing behind");
+    }
+}

@@ -19,7 +19,16 @@ use crate::error::StoreError;
 /// plane word cannot slip through unnoticed.
 #[must_use]
 pub fn fnv1a64(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    fnv1a64_update(0xcbf2_9ce4_8422_2325, bytes)
+}
+
+/// Incremental FNV-1a 64: folds `bytes` into a running hash state, so
+/// checksums can be computed over streamed data (chunked snapshot
+/// transfers) without buffering the whole artifact. Seed the state with
+/// the FNV offset basis — [`fnv1a64`] is exactly
+/// `fnv1a64_update(0xcbf2_9ce4_8422_2325, bytes)`.
+#[must_use]
+pub fn fnv1a64_update(mut h: u64, bytes: &[u8]) -> u64 {
     for &b in bytes {
         h ^= u64::from(b);
         h = h.wrapping_mul(0x0000_0100_0000_01b3);
