@@ -21,7 +21,13 @@
 //! coarse-probe pruned scan — over a corpus with planted near-duplicate
 //! families, recording q/s, the pruned-vs-exact speedup, and recall@k,
 //! and asserting in-bench that the pruned scan at full probe width is
-//! bit-identical to the exact one.
+//! bit-identical to the exact one. The same corpus shape is then
+//! rebuilt at `--int-dim` with `to_int` bipolar rows and run through
+//! the *int* (cosine) twins `search_topk_int` /
+//! `search_topk_int_pruned`, so the quantized-coarse-pass recall
+//! contract is measured on both metrics; the `int` JSON section also
+//! rolls up the blocked int batch kernel against the per-row cosine
+//! scan and against the PR 7 recorded baseline.
 //!
 //! A third section measures *connection-count scalability*: a
 //! threaded-core binary+pipelined baseline (the PR 5 shape — a handful
@@ -33,9 +39,10 @@
 //!
 //! Usage: `bench_search [--dim D] [--classes C] [--queries Q]
 //! [--connections K] [--requests R] [--topk-rows N] [--topk-k K]
-//! [--topk-queries Q] [--fan-connections F] [--fan-requests R]
-//! [--out PATH]` — defaults reproduce the acceptance configuration
-//! `D = 10 000, C ≥ 8, N = 1 000 000, F = 10 000`.
+//! [--topk-queries Q] [--int-dim D] [--fan-connections F]
+//! [--fan-requests R] [--out PATH]` — defaults reproduce the
+//! acceptance configuration `D = 10 000, C ≥ 8, N = 1 000 000,
+//! F = 10 000`.
 
 use std::collections::{HashMap, HashSet};
 use std::fmt::Write as _;
@@ -59,6 +66,7 @@ struct Options {
     topk_rows: usize,
     topk_k: usize,
     topk_queries: usize,
+    int_dim: usize,
     fan_connections: usize,
     fan_requests: usize,
     out: String,
@@ -75,6 +83,7 @@ impl Default for Options {
             topk_rows: 1_000_000,
             topk_k: 10,
             topk_queries: 8,
+            int_dim: 2048,
             fan_connections: 10_000,
             fan_requests: 100,
             out: "BENCH_search.json".to_owned(),
@@ -107,6 +116,7 @@ fn parse_options() -> Options {
             "--topk-queries" => {
                 opts.topk_queries = value(i).parse().expect("--topk-queries needs an integer")
             }
+            "--int-dim" => opts.int_dim = value(i).parse().expect("--int-dim needs an integer"),
             "--fan-connections" => {
                 opts.fan_connections = value(i)
                     .parse()
@@ -119,7 +129,7 @@ fn parse_options() -> Options {
             other => panic!(
                 "unknown argument '{other}'; supported: --dim --classes --queries \
                  --connections --requests --topk-rows --topk-k --topk-queries \
-                 --fan-connections --fan-requests --out"
+                 --int-dim --fan-connections --fan-requests --out"
             ),
         }
         i += 2;
@@ -295,6 +305,125 @@ fn run_topk_section(opts: &Options, rng: &mut HvRng, min_secs: f64) -> TopKSecti
         std::hint::black_box(
             corpus
                 .search_topk_binary_pruned(&query_refs, opts.topk_k, &probe)
+                .unwrap(),
+        );
+    });
+
+    TopKSection {
+        exact_qps,
+        pruned_qps,
+        recall_at_k,
+        full_width_bit_identical,
+        probe,
+    }
+}
+
+/// Coarse probe width of the pruned *int* top-k rung: 4 × 64 = 256
+/// leading dimensions of the first 1024-dim int plane block — an 8×
+/// reduction at the default `--int-dim 2048`, sharing `probe_words`
+/// semantics with the binary probe. (`ProbeConfig::default()`'s 16
+/// words would cover half of a 2048-dim row: real work, no pruning.)
+const INT_TOPK_PROBE_WORDS: usize = 4;
+
+/// `int_batch_backend_avx2` as recorded by PR 7's `BENCH_search.json` —
+/// the per-row `dot_i32` int batch path that the blocked planes +
+/// strided kernels replace. Kept as a constant so the recorded speedup
+/// is against the figure the optimization targeted, not a moving
+/// re-measurement of code that no longer exists.
+const INT_PR7_BASELINE_QPS: f64 = 41_835.6;
+
+/// Int (cosine) twin of [`run_topk_section`]: the same planted-family
+/// corpus shape at `--int-dim`, searched through `search_topk_int` /
+/// `search_topk_int_pruned`. Rows are `to_int` bipolar images of the
+/// binary corpus rows — the i16 sidecar planes engage (values ±1) and
+/// cosine similarity orders families the way Hamming distance does, so
+/// recall@k measures the same planted neighborhoods.
+fn run_int_topk_section(opts: &Options, rng: &mut HvRng, min_secs: f64) -> TopKSection {
+    assert!(
+        opts.topk_rows >= opts.topk_queries * TOPK_FAMILY,
+        "--topk-rows must fit {} planted families of {TOPK_FAMILY}",
+        opts.topk_queries
+    );
+    let probe = ProbeConfig {
+        probe_words: INT_TOPK_PROBE_WORDS,
+        ..ProbeConfig::default()
+    };
+
+    let stride = (opts.topk_rows / (opts.topk_queries * TOPK_FAMILY)).max(1);
+    let mut planted: HashMap<usize, BinaryHv> = HashMap::new();
+    let mut queries: Vec<IntHv> = Vec::with_capacity(opts.topk_queries);
+    for qi in 0..opts.topk_queries {
+        let proto = rng.binary_hv(opts.int_dim);
+        for f in 0..TOPK_FAMILY {
+            planted.insert(
+                (qi * TOPK_FAMILY + f) * stride,
+                noisy(&proto, rng, TOPK_NOISE),
+            );
+        }
+        queries.push(noisy(&proto, rng, TOPK_NOISE).to_int());
+    }
+    let mut corpus = ShardedClassMemory::new(opts.int_dim);
+    corpus.reserve(opts.topk_rows);
+    let mut int_rows: Vec<IntHv> = Vec::with_capacity(opts.topk_rows);
+    for r in 0..opts.topk_rows {
+        let row = planted
+            .remove(&r)
+            .unwrap_or_else(|| rng.binary_hv(opts.int_dim));
+        corpus.push(&row).expect("corpus rows share the dimension");
+        int_rows.push(row.to_int());
+    }
+    corpus
+        .set_int_rows(&int_rows)
+        .expect("int rows mirror the binary corpus");
+    drop(int_rows);
+    let query_refs: Vec<&IntHv> = queries.iter().collect();
+
+    // Ground truth once, then the two correctness checks.
+    let exact = corpus
+        .search_topk_int(&query_refs, opts.topk_k)
+        .expect("exact int top-k over the corpus");
+    let full_width = ProbeConfig {
+        probe_words: usize::MAX, // clamped to ⌈D/64⌉: coarse pass = exact scan
+        exact_threshold: 0,      // force the pruned code path
+        ..probe
+    };
+    let full = corpus
+        .search_topk_int_pruned(&query_refs, opts.topk_k, &full_width)
+        .expect("full-width pruned int top-k over the corpus");
+    let full_width_bit_identical = (0..query_refs.len()).all(|q| {
+        let (e, f) = (exact.matches(q), full.matches(q));
+        e.len() == f.len()
+            && e.iter()
+                .zip(f)
+                .all(|(a, b)| a.row == b.row && a.score.to_bits() == b.score.to_bits())
+    });
+    assert!(
+        full_width_bit_identical,
+        "pruned int top-k at full probe width diverged from the exact scan"
+    );
+    let pruned = corpus
+        .search_topk_int_pruned(&query_refs, opts.topk_k, &probe)
+        .expect("pruned int top-k over the corpus");
+    let recall_at_k = (0..query_refs.len())
+        .map(|q| {
+            let truth: HashSet<usize> = exact.matches(q).iter().map(|m| m.row).collect();
+            let hit = pruned
+                .matches(q)
+                .iter()
+                .filter(|m| truth.contains(&m.row))
+                .count();
+            hit as f64 / truth.len() as f64
+        })
+        .sum::<f64>()
+        / query_refs.len() as f64;
+
+    let exact_qps = throughput(query_refs.len(), min_secs, || {
+        std::hint::black_box(corpus.search_topk_int(&query_refs, opts.topk_k).unwrap());
+    });
+    let pruned_qps = throughput(query_refs.len(), min_secs, || {
+        std::hint::black_box(
+            corpus
+                .search_topk_int_pruned(&query_refs, opts.topk_k, &probe)
                 .unwrap(),
         );
     });
@@ -553,6 +682,64 @@ fn main() {
         "  pruned vs exact: {speedup_pruned_vs_exact:.2}x at recall@{} = {:.4} \
          (full-width probe bit-identical to exact: {})",
         opts.topk_k, topk.recall_at_k, topk.full_width_bit_identical
+    );
+
+    // Int metric rollups: the blocked batch kernel vs the per-row
+    // cosine scan measured in the same run (the int twin of
+    // `speedup_batch_vs_scalar`), plus the single-thread active-backend
+    // number against the PR 7 recorded baseline. The absolute-baseline
+    // ratio is informational-floor-gated only — it compares across
+    // machine states — while the in-run per-row ratio is what the
+    // acceptance gate enforces.
+    let rung = |name: &str| {
+        results
+            .iter()
+            .find(|m| m.name == name)
+            .map(|m| m.queries_per_sec)
+            .expect("rung measured above")
+    };
+    let int_batch_qps = rung("int_batch_all_threads");
+    let int_per_row_qps = rung("int_per_row_per_query");
+    let speedup_int_batch_vs_per_row = int_batch_qps / int_per_row_qps;
+    let int_backend_qps = results
+        .iter()
+        .find(|m| m.name == format!("int_batch_backend_{}", kernel::name()))
+        .map_or(int_batch_qps, |m| m.queries_per_sec);
+    let speedup_int_batch_vs_pr7_baseline = int_backend_qps / INT_PR7_BASELINE_QPS;
+    println!(
+        "  int batch vs per-row cosine scan: {speedup_int_batch_vs_per_row:.2}x \
+         (vs PR 7 baseline {INT_PR7_BASELINE_QPS:.0} q/s: \
+         {speedup_int_batch_vs_pr7_baseline:.2}x)"
+    );
+
+    // Million-row *int* top-k: exact strided scan vs quantized coarse
+    // probe with exact rescore.
+    println!(
+        "building int top-k corpus ({} rows × D = {}, {} planted families of {TOPK_FAMILY}) …",
+        opts.topk_rows, opts.int_dim, opts.topk_queries
+    );
+    let int_topk = run_int_topk_section(&opts, &mut rng, min_secs);
+    let speedup_int_pruned_vs_exact = int_topk.pruned_qps / int_topk.exact_qps;
+    println!(
+        "int top-k search (rows = {}, k = {}, batch = {}, probe {} words × factor {})",
+        opts.topk_rows,
+        opts.topk_k,
+        opts.topk_queries,
+        int_topk.probe.probe_words,
+        int_topk.probe.probe_factor
+    );
+    println!(
+        "  {:<32} {:>14.1} queries/s",
+        "int_topk_exact", int_topk.exact_qps
+    );
+    println!(
+        "  {:<32} {:>14.1} queries/s",
+        "int_topk_pruned", int_topk.pruned_qps
+    );
+    println!(
+        "  pruned vs exact: {speedup_int_pruned_vs_exact:.2}x at recall@{} = {:.4} \
+         (full-width probe bit-identical to exact: {})",
+        opts.topk_k, int_topk.recall_at_k, int_topk.full_width_bit_identical
     );
 
     // Serving: boot the batching server on a loopback port and measure
@@ -821,6 +1008,56 @@ fn main() {
         "    \"pruned_full_width_bit_identical\": {}",
         topk.full_width_bit_identical
     );
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"int\": {{");
+    let _ = writeln!(json, "    \"batch_queries_per_sec\": {int_batch_qps:.1},");
+    let _ = writeln!(
+        json,
+        "    \"per_row_queries_per_sec\": {int_per_row_qps:.1},"
+    );
+    let _ = writeln!(
+        json,
+        "    \"speedup_int_batch_vs_per_row\": {speedup_int_batch_vs_per_row:.2},"
+    );
+    let _ = writeln!(
+        json,
+        "    \"speedup_int_batch_vs_pr7_baseline\": {speedup_int_batch_vs_pr7_baseline:.2},"
+    );
+    let _ = writeln!(json, "    \"topk\": {{");
+    let _ = writeln!(
+        json,
+        "      \"config\": {{ \"rows\": {}, \"dim\": {}, \"k\": {}, \"queries\": {}, \
+         \"family\": {TOPK_FAMILY}, \"noise\": {TOPK_NOISE}, \"probe_words\": {}, \
+         \"probe_factor\": {}, \"exact_threshold\": {} }},",
+        opts.topk_rows,
+        opts.int_dim,
+        opts.topk_k,
+        opts.topk_queries,
+        int_topk.probe.probe_words,
+        int_topk.probe.probe_factor,
+        int_topk.probe.exact_threshold
+    );
+    let _ = writeln!(
+        json,
+        "      \"exact_queries_per_sec\": {:.1},",
+        int_topk.exact_qps
+    );
+    let _ = writeln!(
+        json,
+        "      \"pruned_queries_per_sec\": {:.1},",
+        int_topk.pruned_qps
+    );
+    let _ = writeln!(
+        json,
+        "      \"speedup_pruned_vs_exact\": {speedup_int_pruned_vs_exact:.2},"
+    );
+    let _ = writeln!(json, "      \"recall_at_k\": {:.4},", int_topk.recall_at_k);
+    let _ = writeln!(
+        json,
+        "      \"pruned_full_width_bit_identical\": {}",
+        int_topk.full_width_bit_identical
+    );
+    let _ = writeln!(json, "    }}");
     let _ = writeln!(json, "  }},");
     let _ = writeln!(json, "  \"serving\": {{");
     let _ = writeln!(

@@ -99,6 +99,20 @@ pub struct Kernel {
     pub hamming_rows_stride: fn(q_block: &[u64], rows: &[u64], stride: usize, dist: &mut [u32]),
     /// Wrapping `i64` dot product of two `i32` slices (cosine search).
     pub dot_i32: fn(a: &[i32], b: &[i32]) -> i64,
+    /// Dot-product row scan, the integer twin of `hamming_rows_stride`:
+    /// row `r` occupies `rows[r * stride ..]` and its first
+    /// `q_block.len()` values are multiplied against the query block,
+    /// accumulating `dots[r] += Σ q_block[i] · rows[r*stride + i]` with
+    /// wrapping `i64` arithmetic (so any lane reassociation is exact).
+    /// `stride == q_block.len()` scans contiguous rows. Requires
+    /// `stride >= q_block.len()`.
+    pub dot_rows_stride: fn(q_block: &[i32], rows: &[i32], stride: usize, dots: &mut [i64]),
+    /// `i16` narrow variant of `dot_rows_stride` for rows whose values
+    /// fit `[-32767, 32767]` (note: **not** −32768 — the AVX2 vpmaddwd
+    /// pairwise i32 sums must not overflow). Used both by the lossless
+    /// i16 sidecar fast path (exact when every value fits the range)
+    /// and by the saturating quantized coarse pass of pruned int top-k.
+    pub dot_i16_rows_stride: fn(q_block: &[i16], rows: &[i16], stride: usize, dots: &mut [i64]),
 }
 
 /// The selected process-wide kernel (see module docs for the rules).

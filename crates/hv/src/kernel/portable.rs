@@ -28,6 +28,8 @@ pub(super) static KERNEL: Kernel = Kernel {
     hamming_rows,
     hamming_rows_stride,
     dot_i32,
+    dot_rows_stride,
+    dot_i16_rows_stride,
 };
 
 fn xor_into(a: &[u64], b: &[u64], out: &mut [u64]) {
@@ -194,4 +196,37 @@ fn dot_i32(a: &[i32], b: &[i32]) -> i64 {
         dot = dot.wrapping_add(i64::from(x) * i64::from(y));
     }
     dot
+}
+
+fn dot_rows_stride(q_block: &[i32], rows: &[i32], stride: usize, dots: &mut [i64]) {
+    let len = q_block.len();
+    for (r, d) in dots.iter_mut().enumerate() {
+        *d = d.wrapping_add(dot_i32(q_block, &rows[r * stride..r * stride + len]));
+    }
+}
+
+fn dot_i16_row(a: &[i16], b: &[i16]) -> i64 {
+    let n = a.len().min(b.len());
+    let mut lanes = [0i64; LANES];
+    let a_blocks = a[..n].chunks_exact(LANES);
+    let b_blocks = b[..n].chunks_exact(LANES);
+    let a_tail = a_blocks.remainder();
+    let b_tail = b_blocks.remainder();
+    for (x, y) in a_blocks.zip(b_blocks) {
+        for l in 0..LANES {
+            lanes[l] = lanes[l].wrapping_add(i64::from(x[l]) * i64::from(y[l]));
+        }
+    }
+    let mut dot = lanes.iter().fold(0i64, |acc, &l| acc.wrapping_add(l));
+    for (&x, &y) in a_tail.iter().zip(b_tail) {
+        dot = dot.wrapping_add(i64::from(x) * i64::from(y));
+    }
+    dot
+}
+
+fn dot_i16_rows_stride(q_block: &[i16], rows: &[i16], stride: usize, dots: &mut [i64]) {
+    let len = q_block.len();
+    for (r, d) in dots.iter_mut().enumerate() {
+        *d = d.wrapping_add(dot_i16_row(q_block, &rows[r * stride..r * stride + len]));
+    }
 }

@@ -18,6 +18,8 @@ pub(super) static KERNEL: Kernel = Kernel {
     hamming_rows,
     hamming_rows_stride,
     dot_i32,
+    dot_rows_stride,
+    dot_i16_rows_stride,
 };
 
 fn xor_into(a: &[u64], b: &[u64], out: &mut [u64]) {
@@ -100,4 +102,28 @@ fn dot_i32(a: &[i32], b: &[i32]) -> i64 {
         dot = dot.wrapping_add(i64::from(x) * i64::from(y));
     }
     dot
+}
+
+fn dot_rows_stride(q_block: &[i32], rows: &[i32], stride: usize, dots: &mut [i64]) {
+    let len = q_block.len();
+    for (r, d) in dots.iter_mut().enumerate() {
+        let row = &rows[r * stride..r * stride + len];
+        let mut acc = 0i64;
+        for (&a, &w) in q_block.iter().zip(row) {
+            acc = acc.wrapping_add(i64::from(a) * i64::from(w));
+        }
+        *d = d.wrapping_add(acc);
+    }
+}
+
+fn dot_i16_rows_stride(q_block: &[i16], rows: &[i16], stride: usize, dots: &mut [i64]) {
+    let len = q_block.len();
+    for (r, d) in dots.iter_mut().enumerate() {
+        let row = &rows[r * stride..r * stride + len];
+        let mut acc = 0i64;
+        for (&a, &w) in q_block.iter().zip(row) {
+            acc = acc.wrapping_add(i64::from(a) * i64::from(w));
+        }
+        *d = d.wrapping_add(acc);
+    }
 }

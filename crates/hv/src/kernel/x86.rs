@@ -18,11 +18,13 @@
 #![allow(unsafe_code)]
 
 use std::arch::x86_64::{
-    __m256i, _mm256_add_epi64, _mm256_add_epi8, _mm256_and_si256, _mm256_extract_epi64,
-    _mm256_loadu_si256, _mm256_mul_epi32, _mm256_or_si256, _mm256_permute2x128_si256,
+    __m256i, _mm256_abs_epi16, _mm256_add_epi32, _mm256_add_epi64, _mm256_add_epi8,
+    _mm256_and_si256, _mm256_extract_epi64, _mm256_loadu_si256, _mm256_madd_epi16,
+    _mm256_max_epu16, _mm256_mul_epi32, _mm256_or_si256, _mm256_permute2x128_si256,
     _mm256_sad_epu8, _mm256_set1_epi8, _mm256_setr_epi8, _mm256_setzero_si256, _mm256_shuffle_epi8,
-    _mm256_srli_epi16, _mm256_srli_epi64, _mm256_storeu_si256, _mm256_testz_si256,
-    _mm256_unpackhi_epi64, _mm256_unpacklo_epi64, _mm256_xor_si256,
+    _mm256_srai_epi32, _mm256_srli_epi16, _mm256_srli_epi64, _mm256_storeu_si256,
+    _mm256_testz_si256, _mm256_unpackhi_epi32, _mm256_unpackhi_epi64, _mm256_unpacklo_epi32,
+    _mm256_unpacklo_epi64, _mm256_xor_si256,
 };
 
 use super::Kernel;
@@ -31,6 +33,8 @@ use super::Kernel;
 const WORDS: usize = 4;
 /// `i32` values per 256-bit vector.
 const INTS: usize = 8;
+/// `i16` values per 256-bit vector.
+const SHORTS: usize = 16;
 
 /// The AVX2 backend. Only reachable through [`super::available`], which
 /// performs the CPU-feature check this table's functions require.
@@ -45,6 +49,8 @@ pub(super) static KERNEL: Kernel = Kernel {
     hamming_rows,
     hamming_rows_stride,
     dot_i32,
+    dot_rows_stride,
+    dot_i16_rows_stride,
 };
 
 fn xor_into(a: &[u64], b: &[u64], out: &mut [u64]) {
@@ -90,6 +96,16 @@ fn hamming_rows_stride(q_block: &[u64], rows: &[u64], stride: usize, dist: &mut 
 fn dot_i32(a: &[i32], b: &[i32]) -> i64 {
     // SAFETY: AVX2 availability is guaranteed by the dispatch layer.
     unsafe { dot_i32_avx2(a, b) }
+}
+
+fn dot_rows_stride(q_block: &[i32], rows: &[i32], stride: usize, dots: &mut [i64]) {
+    // SAFETY: AVX2 availability is guaranteed by the dispatch layer.
+    unsafe { dot_rows_stride_avx2(q_block, rows, stride, dots) }
+}
+
+fn dot_i16_rows_stride(q_block: &[i16], rows: &[i16], stride: usize, dots: &mut [i64]) {
+    // SAFETY: AVX2 availability is guaranteed by the dispatch layer.
+    unsafe { dot_i16_rows_stride_avx2(q_block, rows, stride, dots) }
 }
 
 /// Per-byte popcount of a 256-bit vector via the nibble lookup table,
@@ -356,4 +372,180 @@ unsafe fn dot_i32_avx2(a: &[i32], b: &[i32]) -> i64 {
         dot = dot.wrapping_add(i64::from(a[i]) * i64::from(b[i]));
     }
     dot
+}
+
+#[target_feature(enable = "avx2")]
+unsafe fn dot_rows_stride_avx2(q_block: &[i32], rows: &[i32], stride: usize, dots: &mut [i64]) {
+    // The int twin of `hamming_rows_stride_avx2`: rows go four at a
+    // time so each query-vector load (and its odd-lane shift) is shared
+    // across the four vpmuldq even/odd widening multiply chains.
+    // Wrapping i64 addition commutes, so the reassociated per-row sums
+    // are bit-identical to the scalar reference.
+    let len = q_block.len();
+    let blocks = len / INTS;
+    let n = dots.len();
+    let mut r = 0usize;
+    while r + 4 <= n {
+        let bases = [
+            r * stride,
+            (r + 1) * stride,
+            (r + 2) * stride,
+            (r + 3) * stride,
+        ];
+        let mut acc = [_mm256_setzero_si256(); 4];
+        for i in 0..blocks {
+            let q = _mm256_loadu_si256(q_block.as_ptr().add(i * INTS).cast());
+            let q_odd = _mm256_srli_epi64::<32>(q);
+            for (lane, &base) in acc.iter_mut().zip(&bases) {
+                let x = _mm256_loadu_si256(rows.as_ptr().add(base + i * INTS).cast());
+                let even = _mm256_mul_epi32(q, x);
+                let odd = _mm256_mul_epi32(q_odd, _mm256_srli_epi64::<32>(x));
+                *lane = _mm256_add_epi64(*lane, _mm256_add_epi64(even, odd));
+            }
+        }
+        let sums = hsum4_u64(acc[0], acc[1], acc[2], acc[3]);
+        let mut s = [0u64; 4];
+        _mm256_storeu_si256(s.as_mut_ptr().cast(), sums);
+        for i in blocks * INTS..len {
+            let qv = i64::from(q_block[i]);
+            for (sum, &base) in s.iter_mut().zip(&bases) {
+                *sum = sum.wrapping_add((qv * i64::from(rows[base + i])) as u64);
+            }
+        }
+        for (d, &sum) in dots[r..r + 4].iter_mut().zip(&s) {
+            *d = d.wrapping_add(sum as i64);
+        }
+        r += 4;
+    }
+    while r < n {
+        let dot = dot_i32_avx2(q_block, &rows[r * stride..r * stride + len]);
+        dots[r] = dots[r].wrapping_add(dot);
+        r += 1;
+    }
+}
+
+/// Sign-extends the eight `i32` lanes of a vpmaddwd result into two
+/// 4×`i64` vectors and adds both into the accumulator. The unpack
+/// interleaving permutes which lane each value lands in, but wrapping
+/// addition commutes, so the total is unaffected.
+#[target_feature(enable = "avx2")]
+unsafe fn add_widened_i32x8(acc: __m256i, m: __m256i) -> __m256i {
+    let sign = _mm256_srai_epi32::<31>(m);
+    let lo = _mm256_unpacklo_epi32(m, sign);
+    let hi = _mm256_unpackhi_epi32(m, sign);
+    _mm256_add_epi64(acc, _mm256_add_epi64(lo, hi))
+}
+
+/// Dimensions (multiple of [`SHORTS`]) whose vpmaddwd results can
+/// accumulate in i32 lanes before one widening into i64, given the
+/// query side `q`: every madd lane is bounded by `2 · max|q| · 32767`
+/// (the other operand honors the documented ±32767 kernel contract).
+/// Bipolar and small-valued queries — the common HDC case — widen once
+/// per row instead of once per madd. The group sums never overflow, so
+/// the reassociated total stays bit-identical to the scalar reference.
+#[target_feature(enable = "avx2")]
+unsafe fn madd_group_dims(q: &[i16]) -> usize {
+    let blocks = q.len() / SHORTS;
+    let mut m = _mm256_setzero_si256();
+    for i in 0..blocks {
+        let x = _mm256_loadu_si256(q.as_ptr().add(i * SHORTS).cast());
+        // abs_epi16(-32768) wraps to 0x8000, but max_epu16 reads that
+        // bit pattern as 32768 — exactly the magnitude we want.
+        m = _mm256_max_epu16(m, _mm256_abs_epi16(x));
+    }
+    let mut lanes = [0u16; SHORTS];
+    _mm256_storeu_si256(lanes.as_mut_ptr().cast(), m);
+    let mut max_q = 1i64;
+    for &v in &lanes {
+        max_q = max_q.max(i64::from(v));
+    }
+    for &v in &q[blocks * SHORTS..] {
+        max_q = max_q.max(i64::from(v).abs());
+    }
+    (i64::from(i32::MAX) / (2 * max_q * 32767)).max(1) as usize * SHORTS
+}
+
+#[target_feature(enable = "avx2")]
+unsafe fn dot_i16_avx2(a: &[i16], b: &[i16]) -> i64 {
+    let n = a.len().min(b.len());
+    let len_simd = n - n % SHORTS;
+    let group = madd_group_dims(&a[..len_simd]);
+    let mut acc = _mm256_setzero_si256();
+    let mut i = 0usize;
+    while i < len_simd {
+        let group_end = (i + group).min(len_simd);
+        let mut acc32 = _mm256_setzero_si256();
+        while i < group_end {
+            let x = _mm256_loadu_si256(a.as_ptr().add(i).cast());
+            let y = _mm256_loadu_si256(b.as_ptr().add(i).cast());
+            acc32 = _mm256_add_epi32(acc32, _mm256_madd_epi16(x, y));
+            i += SHORTS;
+        }
+        acc = add_widened_i32x8(acc, acc32);
+    }
+    let mut dot = sum_lanes_u64(acc) as i64;
+    for i in len_simd..n {
+        dot = dot.wrapping_add(i64::from(a[i]) * i64::from(b[i]));
+    }
+    dot
+}
+
+#[target_feature(enable = "avx2")]
+unsafe fn dot_i16_rows_stride_avx2(q_block: &[i16], rows: &[i16], stride: usize, dots: &mut [i64]) {
+    // vpmaddwd multiplies 16 i16 pairs and sums adjacent products into
+    // eight i32 lanes per instruction — the reason the i16 sidecar path
+    // exists. The kernel contract bounds inputs to [-32767, 32767], so
+    // each pairwise sum is at most 2·32767² < 2³¹ and the i32 lanes
+    // cannot overflow; [`madd_group_dims`] chooses how many of those
+    // results accumulate in i32 before each sign-extension into the i64
+    // accumulators. Four rows share each query load, as in the other
+    // strided scans.
+    let len = q_block.len();
+    let len_simd = len - len % SHORTS;
+    let group = madd_group_dims(q_block);
+    let n = dots.len();
+    let mut r = 0usize;
+    while r + 4 <= n {
+        let bases = [
+            r * stride,
+            (r + 1) * stride,
+            (r + 2) * stride,
+            (r + 3) * stride,
+        ];
+        let mut acc = [_mm256_setzero_si256(); 4];
+        let mut i = 0usize;
+        while i < len_simd {
+            let group_end = (i + group).min(len_simd);
+            let mut acc32 = [_mm256_setzero_si256(); 4];
+            while i < group_end {
+                let q = _mm256_loadu_si256(q_block.as_ptr().add(i).cast());
+                for (lane, &base) in acc32.iter_mut().zip(&bases) {
+                    let x = _mm256_loadu_si256(rows.as_ptr().add(base + i).cast());
+                    *lane = _mm256_add_epi32(*lane, _mm256_madd_epi16(q, x));
+                }
+                i += SHORTS;
+            }
+            for (wide, narrow) in acc.iter_mut().zip(&acc32) {
+                *wide = add_widened_i32x8(*wide, *narrow);
+            }
+        }
+        let sums = hsum4_u64(acc[0], acc[1], acc[2], acc[3]);
+        let mut s = [0u64; 4];
+        _mm256_storeu_si256(s.as_mut_ptr().cast(), sums);
+        for i in len_simd..len {
+            let qv = i64::from(q_block[i]);
+            for (sum, &base) in s.iter_mut().zip(&bases) {
+                *sum = sum.wrapping_add((qv * i64::from(rows[base + i])) as u64);
+            }
+        }
+        for (d, &sum) in dots[r..r + 4].iter_mut().zip(&s) {
+            *d = d.wrapping_add(sum as i64);
+        }
+        r += 4;
+    }
+    while r < n {
+        let dot = dot_i16_avx2(q_block, &rows[r * stride..r * stride + len]);
+        dots[r] = dots[r].wrapping_add(dot);
+        r += 1;
+    }
 }

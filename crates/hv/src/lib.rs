@@ -60,12 +60,21 @@
 //!   ([`search::BLOCK_WORDS`] words) the rows are laid out back to
 //!   back, so comparing every class against a query inside one block is
 //!   a linear walk over a few KiB that stays cache-resident while a
-//!   whole chunk of queries streams over it.
+//!   whole chunk of queries streams over it. Integer rows mirror the
+//!   same shape: row-interleaved i32 planes in
+//!   [`search::INT_BLOCK_DIMS`]-dimension blocks, plus an i16 *sidecar*
+//!   plane (values saturated to ±32767) that drives the `vpmaddwd`
+//!   fast path — a memory whose values never hit the clamp records
+//!   that fact, and queries that narrow losslessly take the half-width
+//!   plane with bit-identical dots.
 //! * **Batch kernels** — `search_batch_binary` / `search_batch_int`
 //!   compute the top-1 row *and* the full score vector for N queries
-//!   at once via word-parallel popcount (binary) or i64 dot products
-//!   (integer), sharding across queries on [`par`] scoped threads with
-//!   one distance matrix per worker.
+//!   at once via word-parallel popcount (binary) or strided multi-row
+//!   dot products (integer), sharding across queries on [`par`] scoped
+//!   threads with one distance matrix per worker. The int path tiles
+//!   queries so each 4-byte-per-dimension query streams from memory
+//!   once — norm, lossless narrowing and the blocked sweep all consume
+//!   it cache-hot.
 //! * **Bit-exactness** — distances are exact popcounts and the float
 //!   score sequences reproduce [`BinaryHv::cosine`] /
 //!   [`IntHv::cosine`] operation-for-operation, so batch results are
@@ -92,24 +101,35 @@
 //! ([`ProbeConfig::probe_words`] of `⌈D/64⌉`, free in the block-major
 //! layout), keeps `probe_factor · k` candidates per query, and
 //! rescores the survivors with exact full-width distances.
-//! The semantics are pinned at the extremes: at **full probe width**
-//! the result is *bit-identical* to exact top-k (argmax, tie order,
-//! score sequence — property-tested), and below
-//! [`ProbeConfig::exact_threshold`] rows the call falls back to the
-//! exact scan. In between, `probe_factor` is the recall knob: recall@k
-//! approaches 1 as the candidate multiple grows past the size of the
-//! query's true neighborhood, at the cost of rescoring more survivors.
+//! `search_topk_int_pruned` is the cosine twin under the same
+//! [`ProbeConfig`] semantics: its coarse pass runs the i16-quantized
+//! strided kernel over the leading `probe_words · 64` dimensions of
+//! the blocked int planes (saturating quantization — coarse scores
+//! order candidates, they are never returned), then rescores survivors
+//! with exact full-width i32 dots. The semantics are pinned at the
+//! extremes for both metrics: at **full probe width** the result is
+//! *bit-identical* to exact top-k (argmax, tie order, score sequence —
+//! property-tested), and below [`ProbeConfig::exact_threshold`] rows
+//! the call falls back to the exact scan. In between, `probe_factor`
+//! is the recall knob: recall@k approaches 1 as the candidate multiple
+//! grows past the size of the query's true neighborhood, at the cost
+//! of rescoring more survivors.
 //!
 //! ## Kernel backends
 //!
 //! All of the loops above — XOR-accumulate, popcount reduction, the
 //! ripple-carry increment, the threshold comparison, the
-//! Hamming-distance row scan, and the integer dot product — execute
-//! through the [`kernel`] dispatch table rather than per-file `u64`
-//! loops. Three backends implement it: `scalar` (the reference, always
-//! available), `avx2` (`std::arch` x86_64 intrinsics, installed when
-//! `is_x86_feature_detected!("avx2")` confirms support), and `portable`
-//! (a chunked, autovectorizable variant for other ISAs).
+//! Hamming-distance row scans, and the integer dot products (the
+//! one-pair `dot_i32` plus the strided multi-row `dot_rows_stride` /
+//! `dot_i16_rows_stride` primitives that sweep a query block over
+//! row-interleaved planes) — execute through the [`kernel`] dispatch
+//! table rather than per-file `u64` loops. Three backends implement
+//! it: `scalar` (the reference, always available), `avx2` (`std::arch`
+//! x86_64 intrinsics, installed when
+//! `is_x86_feature_detected!("avx2")` confirms support — the strided
+//! int kernels unroll four rows sharing each query load, `vpmuldq` for
+//! i32 and `vpmaddwd` with group-deferred i64 widening for i16), and
+//! `portable` (a chunked, autovectorizable variant for other ISAs).
 //!
 //! * **Dispatch rules** — selected once at first use: `avx2` when the
 //!   CPU has it, else `scalar`. Every consumer ([`BitSliceAccumulator`],

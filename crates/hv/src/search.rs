@@ -37,11 +37,43 @@ use crate::par;
 /// row per block, so even ~100 classes stay L2-resident per block.
 pub const BLOCK_WORDS: usize = 64;
 
+/// Dimensions per integer plane block: 1024 × 4 B = 4 KiB per row per
+/// block in the i32 planes (2 KiB in the i16 sidecar), the int twin of
+/// [`BLOCK_WORDS`]. The pruned coarse pass consumes whole leading
+/// blocks, so this is also the granularity of probe truncation.
+pub const INT_BLOCK_DIMS: usize = 1024;
+
+/// Largest magnitude representable in the i16 sidecar planes. One short
+/// of `i16::MIN` on the negative side: the AVX2 `vpmaddwd` kernel sums
+/// two products into an i32 lane, and `2 · 32767²` fits i32 while
+/// `2 · 32768²` does not.
+pub(crate) const I16_LIMIT: i32 = 32767;
+
 /// Row count above which a single-query search shards across rows.
 const ROW_SHARD_MIN: usize = 4096;
 
 /// Minimum queries per worker chunk in the batch kernels.
 const QUERY_CHUNK: usize = 4;
+
+/// Queries per cache tile in the int batch kernel. The int path is
+/// memory-bound on query bytes (a 10k-dim i32 query is 40 KiB); tiling
+/// lets the norm dot pull each query from RAM once and the narrowing +
+/// strided sweep consume it while still cached, instead of streaming
+/// the whole chunk's queries through three separate phases.
+const INT_QUERY_TILE: usize = 8;
+
+/// Truncates `values` into the i16 sidecar domain, reporting whether
+/// the narrowing was lossless (every value within `±I16_LIMIT`). The
+/// clamp round-trip compiles to pminsd/pmaxsd + a flat OR reduction, so
+/// the check vectorizes alongside the truncating store.
+fn narrow_into(values: &[i32], out: &mut [i16]) -> bool {
+    let mut escaped = 0i32;
+    for (o, &v) in out.iter_mut().zip(values) {
+        escaped |= v ^ v.clamp(-I16_LIMIT, I16_LIMIT);
+        *o = v as i16;
+    }
+    escaped == 0
+}
 
 /// A class memory packed for batched associative search.
 ///
@@ -72,9 +104,19 @@ pub struct ShardedClassMemory {
     /// Block `b` covers words `[b·BLOCK_WORDS, …)` of every row; within
     /// a block the words are row-major (`row · block_len + word`).
     bin_blocks: Vec<Vec<u64>>,
-    /// Integer rows, row-major `n_rows × dim`; empty until
-    /// [`Self::set_int_rows`].
-    int_rows: Vec<i32>,
+    /// Integer rows as dimension-blocked planes mirroring `bin_blocks`:
+    /// block `b` covers dimensions `[b·INT_BLOCK_DIMS, …)` of every row,
+    /// row-major within the block (`row · block_len + offset`). Empty
+    /// until [`Self::set_int_rows`].
+    int_blocks: Vec<Vec<i32>>,
+    /// i16 sidecar of `int_blocks` (same layout), every value clamped to
+    /// `[-I16_LIMIT, I16_LIMIT]`. When `int_fits_i16` the clamp never
+    /// fired and this plane is a lossless narrowing; it always serves as
+    /// the saturating quantized coarse plane of pruned top-k.
+    int_i16_blocks: Vec<Vec<i16>>,
+    /// Whether every stored integer value fits the i16 sidecar exactly
+    /// (monotone false under in-place row updates).
+    int_fits_i16: bool,
     /// Euclidean norm of each integer row, precomputed for cosine.
     int_norms: Vec<f64>,
 }
@@ -88,7 +130,10 @@ pub struct ShardedClassMemory {
 #[derive(Debug, Clone, PartialEq)]
 pub struct BatchSearchResult {
     best: Vec<usize>,
-    scores: Vec<Vec<f64>>,
+    /// Flattened query-major `len × n_rows` score matrix — one
+    /// allocation for the whole batch instead of one `Vec` per query.
+    scores: Vec<f64>,
+    n_rows: usize,
 }
 
 impl BatchSearchResult {
@@ -127,7 +172,7 @@ impl BatchSearchResult {
     /// Panics if `q` is out of range.
     #[must_use]
     pub fn scores(&self, q: usize) -> &[f64] {
-        &self.scores[q]
+        &self.scores[q * self.n_rows..(q + 1) * self.n_rows]
     }
 
     /// Consumes the result, keeping only the top-1 row per query.
@@ -137,20 +182,25 @@ impl BatchSearchResult {
     }
 }
 
-/// Per-query intermediate produced by the kernels.
-struct QueryHit {
-    best: usize,
+/// Per-worker-chunk intermediate produced by the kernels: top-1 rows
+/// and the flattened score rows for a contiguous query range.
+struct ChunkHits {
+    best: Vec<usize>,
     scores: Vec<f64>,
 }
 
-fn assemble(hits: Vec<QueryHit>) -> BatchSearchResult {
-    let mut best = Vec::with_capacity(hits.len());
-    let mut scores = Vec::with_capacity(hits.len());
-    for h in hits {
-        best.push(h.best);
-        scores.push(h.scores);
+fn assemble(chunks: Vec<ChunkHits>, n_rows: usize, n_queries: usize) -> BatchSearchResult {
+    let mut best = Vec::with_capacity(n_queries);
+    let mut scores = Vec::with_capacity(n_queries * n_rows);
+    for c in chunks {
+        best.extend(c.best);
+        scores.extend(c.scores);
     }
-    BatchSearchResult { best, scores }
+    BatchSearchResult {
+        best,
+        scores,
+        n_rows,
+    }
 }
 
 impl ShardedClassMemory {
@@ -169,7 +219,9 @@ impl ShardedClassMemory {
             words_per_row,
             n_rows: 0,
             bin_blocks: vec![Vec::new(); n_blocks],
-            int_rows: Vec::new(),
+            int_blocks: Vec::new(),
+            int_i16_blocks: Vec::new(),
+            int_fits_i16: false,
             int_norms: Vec::new(),
         }
     }
@@ -282,12 +334,31 @@ impl ShardedClassMemory {
                 });
             }
         }
-        self.int_rows.clear();
-        self.int_norms.clear();
-        for row in rows {
-            self.int_rows.extend_from_slice(row.values());
-            self.int_norms.push(row.norm());
+        let n_blocks = self.dim.div_ceil(INT_BLOCK_DIMS);
+        self.int_blocks = vec![Vec::new(); n_blocks];
+        self.int_i16_blocks = vec![Vec::new(); n_blocks];
+        self.int_fits_i16 = true;
+        for (b, (block, narrow)) in self
+            .int_blocks
+            .iter_mut()
+            .zip(self.int_i16_blocks.iter_mut())
+            .enumerate()
+        {
+            let start = b * INT_BLOCK_DIMS;
+            let end = (start + INT_BLOCK_DIMS).min(self.dim);
+            block.reserve(rows.len() * (end - start));
+            narrow.reserve(rows.len() * (end - start));
+            for row in rows {
+                let vals = &row.values()[start..end];
+                block.extend_from_slice(vals);
+                for &v in vals {
+                    self.int_fits_i16 &= (-I16_LIMIT..=I16_LIMIT).contains(&v);
+                    narrow.push(v.clamp(-I16_LIMIT, I16_LIMIT) as i16);
+                }
+            }
         }
+        self.int_norms.clear();
+        self.int_norms.extend(rows.iter().map(IntHv::norm));
         Ok(())
     }
 
@@ -312,7 +383,22 @@ impl ShardedClassMemory {
                 found: row.dim(),
             });
         }
-        self.int_rows[j * self.dim..(j + 1) * self.dim].copy_from_slice(row.values());
+        for (b, (block, narrow)) in self
+            .int_blocks
+            .iter_mut()
+            .zip(self.int_i16_blocks.iter_mut())
+            .enumerate()
+        {
+            let start = b * INT_BLOCK_DIMS;
+            let end = (start + INT_BLOCK_DIMS).min(self.dim);
+            let len = end - start;
+            let vals = &row.values()[start..end];
+            block[j * len..(j + 1) * len].copy_from_slice(vals);
+            for (n, &v) in narrow[j * len..(j + 1) * len].iter_mut().zip(vals) {
+                self.int_fits_i16 &= (-I16_LIMIT..=I16_LIMIT).contains(&v);
+                *n = v.clamp(-I16_LIMIT, I16_LIMIT) as i16;
+            }
+        }
         self.int_norms[j] = row.norm();
         Ok(())
     }
@@ -344,6 +430,37 @@ impl ShardedClassMemory {
     /// Packed words per row (`⌈dim / 64⌉`).
     pub(crate) fn words_per_row(&self) -> usize {
         self.words_per_row
+    }
+
+    /// The blocked integer planes (block-major; see the field docs).
+    /// Crate-internal: the top-k module scans these directly.
+    pub(crate) fn int_blocks(&self) -> &[Vec<i32>] {
+        &self.int_blocks
+    }
+
+    /// The i16 sidecar planes (same layout as [`Self::int_blocks`]).
+    pub(crate) fn int_i16_blocks(&self) -> &[Vec<i16>] {
+        &self.int_i16_blocks
+    }
+
+    /// Whether the i16 sidecar is a lossless narrowing of the i32
+    /// planes (no clamp fired).
+    pub(crate) fn int_fits_i16(&self) -> bool {
+        self.int_fits_i16
+    }
+
+    /// `(start_dim, block_len)` of integer plane block `b`.
+    pub(crate) fn int_block_range(&self, b: usize) -> (usize, usize) {
+        let start = b * INT_BLOCK_DIMS;
+        let end = (start + INT_BLOCK_DIMS).min(self.dim);
+        (start, end - start)
+    }
+
+    /// Narrows a query to the i16 sidecar domain when that narrowing is
+    /// lossless (every value within `±I16_LIMIT`); `None` otherwise.
+    pub(crate) fn narrow_query_i16(values: &[i32]) -> Option<Vec<i16>> {
+        let mut narrowed = vec![0i16; values.len()];
+        narrow_into(values, &mut narrowed).then_some(narrowed)
     }
 
     pub(crate) fn check_query_dim(&self, dim: usize) -> Result<(), HvError> {
@@ -471,37 +588,59 @@ impl ShardedClassMemory {
                     (k.hamming_rows)(q_block, block, drow);
                 }
             }
-            (0..chunk)
-                .map(|qi| {
-                    let drow = &dist[qi * n_rows..(qi + 1) * n_rows];
-                    let mut best = (0usize, u32::MAX);
-                    for (r, &d) in drow.iter().enumerate() {
-                        if d < best.1 {
-                            best = (r, d);
-                        }
+            let mut best_rows = Vec::with_capacity(chunk);
+            let mut scores = Vec::with_capacity(chunk * n_rows);
+            for qi in 0..chunk {
+                let drow = &dist[qi * n_rows..(qi + 1) * n_rows];
+                let mut best = (0usize, u32::MAX);
+                for (r, &d) in drow.iter().enumerate() {
+                    if d < best.1 {
+                        best = (r, d);
                     }
-                    QueryHit {
-                        best: best.0,
-                        scores: drow.iter().map(|&d| self.binary_score(d)).collect(),
-                    }
-                })
-                .collect()
+                }
+                best_rows.push(best.0);
+                scores.extend(drow.iter().map(|&d| self.binary_score(d)));
+            }
+            vec![ChunkHits {
+                best: best_rows,
+                scores,
+            }]
         });
-        Ok(assemble(hits))
+        Ok(assemble(hits, n_rows, queries.len()))
     }
 
-    /// Cosine score of integer row `r` against a query — identical
-    /// floating-point sequence to `row.cosine(query)` (the dot is an
-    /// exact integer regardless of backend).
-    pub(crate) fn int_score(&self, k: &Kernel, r: usize, query: &IntHv, q_norm: f64) -> f64 {
-        let row = &self.int_rows[r * self.dim..(r + 1) * self.dim];
-        let dot = (k.dot_i32)(row, query.values());
+    /// Exact i64 dot of integer row `r` against query values,
+    /// accumulated block by block over the blocked planes. Wrapping
+    /// integer addition commutes, so the blocked sum is bit-identical
+    /// to the contiguous-row reduction.
+    pub(crate) fn int_row_dot(&self, k: &Kernel, r: usize, q_values: &[i32]) -> i64 {
+        let mut dot = 0i64;
+        for (b, block) in self.int_blocks.iter().enumerate() {
+            let (start, len) = self.int_block_range(b);
+            let row = &block[r * len..(r + 1) * len];
+            dot = dot.wrapping_add((k.dot_i32)(row, &q_values[start..start + len]));
+        }
+        dot
+    }
+
+    /// Cosine score from a precomputed exact dot — identical floating-
+    /// point sequence to [`IntHv::cosine`] (`dot / (‖row‖·‖q‖)`, 0.0 on
+    /// a zero denominator).
+    pub(crate) fn int_score_of_dot(&self, r: usize, dot: i64, q_norm: f64) -> f64 {
         let denom = self.int_norms[r] * q_norm;
         if denom == 0.0 {
             0.0
         } else {
             dot as f64 / denom
         }
+    }
+
+    /// Cosine score of integer row `r` against a query — identical
+    /// floating-point sequence to `row.cosine(query)` (the dot is an
+    /// exact integer regardless of backend).
+    pub(crate) fn int_score(&self, k: &Kernel, r: usize, query: &IntHv, q_norm: f64) -> f64 {
+        let dot = self.int_row_dot(k, r, query.values());
+        self.int_score_of_dot(r, dot, q_norm)
     }
 
     /// Top-1 cosine search for one integer query: `(row, score)` with
@@ -558,28 +697,83 @@ impl ShardedClassMemory {
         for q in queries {
             self.check_query_dim(q.dim())?;
         }
+        let n_rows = self.n_rows;
         let hits = par::par_chunk_map(queries.len(), QUERY_CHUNK, |range| {
-            range
-                .map(|q| {
-                    let query = queries[q];
-                    let q_norm = query.norm();
+            // Queries go through in tiles of [`INT_QUERY_TILE`]: a 40 KiB
+            // i32 query is streamed from memory exactly once (the norm
+            // dot), then its lossless i16 narrowing — when the memory's
+            // clamp never fired and the query fits — is written and
+            // consumed while the data is still cache-hot. The vpmaddwd
+            // sidecar products are identical to the i32 ones, so the
+            // dots (and every float score derived from them) are
+            // bit-for-bit the same on either plane. Within a tile the
+            // sweep is block-major, keeping each row block hot across
+            // the tile's queries.
+            let chunk = range.len();
+            let tile_cap = chunk.min(INT_QUERY_TILE);
+            let mut best_rows = Vec::with_capacity(chunk);
+            let mut scores = Vec::with_capacity(chunk * n_rows);
+            let mut dots = vec![0i64; tile_cap * n_rows];
+            let mut narrowed = vec![0i16; tile_cap * self.dim];
+            let mut fits = vec![false; tile_cap];
+            let mut q_norms = vec![0f64; tile_cap];
+            let mut tile_start = range.start;
+            while tile_start < range.end {
+                let tile = (range.end - tile_start).min(INT_QUERY_TILE);
+                for ti in 0..tile {
+                    let vals = queries[tile_start + ti].values();
+                    let fit = self.int_fits_i16
+                        && narrow_into(vals, &mut narrowed[ti * self.dim..(ti + 1) * self.dim]);
+                    fits[ti] = fit;
+                    // The narrowing pass just streamed the query in, so
+                    // the norm dot runs over whichever copy is cache-hot.
+                    // A lossless i16 self-dot is the same exact integer
+                    // as the i32 one — the same float sequence as
+                    // `IntHv::norm` either way.
+                    q_norms[ti] = if fit {
+                        let nq = &narrowed[ti * self.dim..(ti + 1) * self.dim];
+                        let mut self_dot = [0i64];
+                        (k.dot_i16_rows_stride)(nq, nq, self.dim, &mut self_dot);
+                        (self_dot[0] as f64).sqrt()
+                    } else {
+                        ((k.dot_i32)(vals, vals) as f64).sqrt()
+                    };
+                }
+                dots[..tile * n_rows].fill(0);
+                for (b, block) in self.int_blocks.iter().enumerate() {
+                    let (start, len) = self.int_block_range(b);
+                    for ti in 0..tile {
+                        let drow = &mut dots[ti * n_rows..(ti + 1) * n_rows];
+                        if fits[ti] {
+                            let q_block =
+                                &narrowed[ti * self.dim + start..ti * self.dim + start + len];
+                            (k.dot_i16_rows_stride)(q_block, &self.int_i16_blocks[b], len, drow);
+                        } else {
+                            let q_block = &queries[tile_start + ti].values()[start..start + len];
+                            (k.dot_rows_stride)(q_block, block, len, drow);
+                        }
+                    }
+                }
+                for ti in 0..tile {
+                    let drow = &dots[ti * n_rows..(ti + 1) * n_rows];
                     let mut best = (0usize, f64::NEG_INFINITY);
-                    let mut scores = Vec::with_capacity(self.n_rows);
-                    for r in 0..self.n_rows {
-                        let s = self.int_score(k, r, query, q_norm);
+                    for (r, &dot) in drow.iter().enumerate() {
+                        let s = self.int_score_of_dot(r, dot, q_norms[ti]);
                         if s > best.1 {
                             best = (r, s);
                         }
                         scores.push(s);
                     }
-                    QueryHit {
-                        best: best.0,
-                        scores,
-                    }
-                })
-                .collect()
+                    best_rows.push(best.0);
+                }
+                tile_start += tile;
+            }
+            vec![ChunkHits {
+                best: best_rows,
+                scores,
+            }]
         });
-        Ok(assemble(hits))
+        Ok(assemble(hits, n_rows, queries.len()))
     }
 }
 

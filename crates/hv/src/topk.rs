@@ -15,13 +15,18 @@
 //!   (integer) candidates; the per-shard heaps merge deterministically
 //!   at the end. Memory per worker is `O(tile + k)` regardless of the
 //!   row count.
-//! * **Pruned top-k** ([`ShardedClassMemory::search_topk_binary_pruned`])
-//!   — a coarse pass scans only the leading `probe_words` packed words
-//!   of every row (free in the block-major layout: the same rows at a
-//!   shorter stride), keeps `probe_factor · k` candidates per query,
-//!   then rescores the survivors with *exact* full-width distances.
-//!   Below [`ProbeConfig::exact_threshold`] rows the coarse pass cannot
-//!   pay for itself and the call falls back to the exact scan.
+//! * **Pruned top-k** ([`ShardedClassMemory::search_topk_binary_pruned`]
+//!   / [`ShardedClassMemory::search_topk_int_pruned`]) — a coarse pass
+//!   scans only the leading `probe_words` packed words (binary) or
+//!   `probe_words · 64` dimensions (int) of every row — free in the
+//!   block-major layouts: the same rows at a shorter stride — keeps
+//!   `probe_factor · k` candidates per query, then rescores the
+//!   survivors exactly at full width. The int coarse pass runs on the
+//!   i16-saturating quantized sidecar planes (Prive-HD-style quantized
+//!   coarse scoring), ranking by *normalized* partial scores so rows of
+//!   different norms compare fairly under the cosine metric. Below
+//!   [`ProbeConfig::exact_threshold`] rows the coarse pass cannot pay
+//!   for itself and the call falls back to the exact scan.
 //!
 //! ## Exactness
 //!
@@ -31,10 +36,13 @@
 //! depend on shard boundaries, and scores reproduce the same float
 //! expressions as the top-1 kernels. Pruned top-k at **full probe
 //! width** (`probe_words ≥ ⌈D/64⌉`) is bit-identical to exact top-k —
-//! argmax, tie order and score sequence — because the coarse distances
-//! *are* the exact distances and the candidate multiple is ≥ k
-//! (property-tested in `tests/topk_equivalence.rs`). Narrower probes
-//! trade recall for throughput; `probe_factor` is the recall knob.
+//! argmax, tie order and score sequence — because the coarse keys *are*
+//! the exact distances (binary) or exact normalized scores (int: the
+//! full-width dot is exact, via the lossless i16 sidecar when every
+//! value fits `±32767` and the i32 planes otherwise) and the candidate
+//! multiple is ≥ k (property-tested in `tests/topk_equivalence.rs`).
+//! Narrower probes trade recall for throughput; `probe_factor` is the
+//! recall knob.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -44,7 +52,7 @@ use crate::dense::IntHv;
 use crate::error::HvError;
 use crate::kernel::{self, Kernel};
 use crate::par;
-use crate::search::{ShardedClassMemory, BLOCK_WORDS};
+use crate::search::{ShardedClassMemory, BLOCK_WORDS, I16_LIMIT};
 
 /// Rows per scan tile inside one worker: the per-tile distance strip
 /// (`queries × TILE` u32) stays L2-resident.
@@ -376,21 +384,86 @@ impl ShardedClassMemory {
         }
         let kept = k.min(self.n_rows());
         let q_norms: Vec<f64> = queries.iter().map(|q| q.norm()).collect();
-        let shards: Vec<Vec<Vec<(Desc, usize)>>> =
-            par::par_chunk_map(self.n_rows(), TOPK_ROW_CHUNK, |range| {
-                let mut heaps: Vec<BoundedTopK<(Desc, usize)>> =
-                    (0..queries.len()).map(|_| BoundedTopK::new(kept)).collect();
-                for r in range {
-                    for (qi, q) in queries.iter().enumerate() {
-                        let s = self.int_score(kern, r, q, q_norms[qi]);
-                        heaps[qi].push((Desc(s), r));
-                    }
-                }
-                vec![heaps.into_iter().map(BoundedTopK::into_sorted).collect()]
-            });
+        let shards = self.int_coarse_candidates(kern, queries, &q_norms, kept, self.dim());
         let hits = (0..queries.len())
             .map(|q| {
                 merge_shards(&shards, q, kept)
+                    .into_iter()
+                    .map(|(s, row)| TopKMatch { row, score: s.0 })
+                    .collect()
+            })
+            .collect();
+        Ok(BatchTopKResult { k, hits })
+    }
+
+    /// Pruned top-k cosine search over the attached integer rows: a
+    /// coarse pass over the leading `probe_words · 64` dimensions of
+    /// the i16-saturating quantized sidecar planes keeps
+    /// `probe_factor · k` candidates per query, which are then rescored
+    /// with exact full-width i32 dots. The [`ProbeConfig`] semantics
+    /// are shared with the binary path (`probe_words` stays in units of
+    /// 64 dimensions). At full probe width (`probe_words ≥ ⌈D/64⌉`) the
+    /// coarse pass runs exact dots and the result is bit-identical to
+    /// [`Self::search_topk_int`]; narrower probes trade recall for
+    /// throughput. Falls back to the exact scan below
+    /// [`ProbeConfig::exact_threshold`] rows.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Self::search_topk_int`].
+    pub fn search_topk_int_pruned(
+        &self,
+        queries: &[&IntHv],
+        k: usize,
+        probe: &ProbeConfig,
+    ) -> Result<BatchTopKResult, HvError> {
+        self.search_topk_int_pruned_with(kernel::active(), queries, k, probe)
+    }
+
+    /// [`Self::search_topk_int_pruned`] on an explicit kernel backend.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Self::search_topk_int`].
+    pub fn search_topk_int_pruned_with(
+        &self,
+        kern: &Kernel,
+        queries: &[&IntHv],
+        k: usize,
+        probe: &ProbeConfig,
+    ) -> Result<BatchTopKResult, HvError> {
+        if self.n_rows() <= probe.exact_threshold {
+            return self.search_topk_int_with(kern, queries, k);
+        }
+        if !self.has_int_rows() {
+            return Err(HvError::EmptyInput);
+        }
+        for q in queries {
+            self.check_query_dim(q.dim())?;
+        }
+        let kept = k.min(self.n_rows());
+        let probe_dims = probe.probe_words.max(1).saturating_mul(64).min(self.dim());
+        let n_candidates = probe.probe_factor.max(1).saturating_mul(kept);
+        let n_candidates = n_candidates.clamp(kept, self.n_rows());
+        let q_norms: Vec<f64> = queries.iter().map(|q| q.norm()).collect();
+        // Coarse pass: normalized partial scores over the leading
+        // dimension blocks, bounded heaps of size `n_candidates`.
+        let shards = self.int_coarse_candidates(kern, queries, &q_norms, n_candidates, probe_dims);
+        // Rescore pass: exact full-width i32 dot for every survivor,
+        // then the final (score desc, row asc) order — identical float
+        // expressions to the exact scan.
+        let hits = (0..queries.len())
+            .map(|q| {
+                let mut exact: Vec<(Desc, usize)> = merge_shards(&shards, q, n_candidates)
+                    .into_iter()
+                    .map(|(_, row)| {
+                        let dot = self.int_row_dot(kern, row, queries[q].values());
+                        (Desc(self.int_score_of_dot(row, dot, q_norms[q])), row)
+                    })
+                    .collect();
+                exact.sort_unstable();
+                exact.truncate(kept);
+                exact
                     .into_iter()
                     .map(|(s, row)| TopKMatch { row, score: s.0 })
                     .collect()
@@ -466,6 +539,96 @@ impl ShardedClassMemory {
                 for (qi, heap) in heaps.iter_mut().enumerate() {
                     for (i, &d) in dist[qi * tile..(qi + 1) * tile].iter().enumerate() {
                         heap.push((d, tile_start + i));
+                    }
+                }
+                tile_start = tile_end;
+            }
+            vec![heaps.into_iter().map(BoundedTopK::into_sorted).collect()]
+        })
+    }
+
+    /// Row-sharded bounded-heap scan over the blocked integer planes,
+    /// shared by exact int top-k (`probe_dims == D`) and the coarse
+    /// pass of the pruned int scan (a leading-dimension prefix).
+    ///
+    /// Candidate keys are *normalized* partial scores
+    /// (`partial_dot / (‖row‖·‖q‖)`, the same float expression as the
+    /// exact kernels) rather than raw dots — rows differ in norm under
+    /// the cosine metric, so a raw partial dot would not rank
+    /// order-equivalently even at full width. At `probe_dims == D` the
+    /// dots are exact (the lossless i16 sidecar when every value fits,
+    /// the i32 planes otherwise), making the coarse key *equal* to the
+    /// exact score; narrower prefixes run the i16-saturating quantized
+    /// sidecar with a saturating-narrowed query — the approximate pass
+    /// whose recall `probe_factor` buys back.
+    fn int_coarse_candidates(
+        &self,
+        kern: &Kernel,
+        queries: &[&IntHv],
+        q_norms: &[f64],
+        keep: usize,
+        probe_dims: usize,
+    ) -> Vec<Vec<Vec<(Desc, usize)>>> {
+        let nq = queries.len();
+        let exact = probe_dims >= self.dim();
+        // Per-query i16 view of the query: lossless-only when the pass
+        // must stay exact, saturating otherwise.
+        let narrowed: Vec<Option<Vec<i16>>> = queries
+            .iter()
+            .map(|q| {
+                if exact {
+                    if self.int_fits_i16() {
+                        ShardedClassMemory::narrow_query_i16(q.values())
+                    } else {
+                        None
+                    }
+                } else {
+                    Some(
+                        q.values()
+                            .iter()
+                            .map(|&v| v.clamp(-I16_LIMIT, I16_LIMIT) as i16)
+                            .collect(),
+                    )
+                }
+            })
+            .collect();
+        par::par_chunk_map(self.n_rows(), TOPK_ROW_CHUNK, |range| {
+            let mut heaps: Vec<BoundedTopK<(Desc, usize)>> =
+                (0..nq).map(|_| BoundedTopK::new(keep)).collect();
+            let mut dots = vec![0i64; nq * TOPK_ROW_TILE];
+            let mut tile_start = range.start;
+            while tile_start < range.end {
+                let tile_end = (tile_start + TOPK_ROW_TILE).min(range.end);
+                let tile = tile_end - tile_start;
+                dots[..nq * tile].fill(0);
+                // The probe budget is consumed from the leading blocks,
+                // exactly like the binary coarse pass: one strided
+                // prefix scan per block instead of scattered samples.
+                let mut remaining = probe_dims;
+                for (b, block) in self.int_blocks().iter().enumerate() {
+                    let (start, len) = self.int_block_range(b);
+                    let prefix = remaining.min(len);
+                    remaining -= prefix;
+                    if prefix == 0 {
+                        break;
+                    }
+                    for (qi, q) in queries.iter().enumerate() {
+                        let drow = &mut dots[qi * tile..(qi + 1) * tile];
+                        if let Some(nq_vals) = &narrowed[qi] {
+                            let rows = &self.int_i16_blocks()[b][tile_start * len..tile_end * len];
+                            let q_block = &nq_vals[start..start + prefix];
+                            (kern.dot_i16_rows_stride)(q_block, rows, len, drow);
+                        } else {
+                            let rows = &block[tile_start * len..tile_end * len];
+                            let q_block = &q.values()[start..start + prefix];
+                            (kern.dot_rows_stride)(q_block, rows, len, drow);
+                        }
+                    }
+                }
+                for (qi, heap) in heaps.iter_mut().enumerate() {
+                    for (i, &dot) in dots[qi * tile..(qi + 1) * tile].iter().enumerate() {
+                        let row = tile_start + i;
+                        heap.push((Desc(self.int_score_of_dot(row, dot, q_norms[qi])), row));
                     }
                 }
                 tile_start = tile_end;

@@ -175,6 +175,83 @@ proptest! {
     }
 
     #[test]
+    fn dot_rows_stride_matches_scalar(
+        len in 1usize..=70,
+        extra in 0usize..=16,
+        n_rows in 1usize..=12,
+        seed in any::<u64>(),
+    ) {
+        // The strided multi-row dot reads a `len`-value prefix of each
+        // `stride`-value row — the blocked int batch/coarse scan. Full-
+        // range i32 values exercise the widening accumulation; non-zero
+        // starting dots check the += contract.
+        let scalar = kernel::scalar();
+        let mut rng = HvRng::from_seed(seed);
+        let stride = len + extra;
+        let q = ints(&mut rng, len);
+        let rows = ints(&mut rng, stride * n_rows);
+        let dots0: Vec<i64> = (0..n_rows).map(|r| r as i64 * 7 - 3).collect();
+        let mut want = dots0.clone();
+        (scalar.dot_rows_stride)(&q, &rows, stride, &mut want);
+        for k in non_scalar_backends() {
+            let mut got = dots0.clone();
+            (k.dot_rows_stride)(&q, &rows, stride, &mut got);
+            prop_assert_eq!(&got, &want, "dot_rows_stride: {}", k.name);
+        }
+        // Full-width stride agrees with the single-row dot kernel.
+        let mut strided = vec![0i64; n_rows];
+        (scalar.dot_rows_stride)(&q, &rows, stride, &mut strided);
+        for r in 0..n_rows {
+            let row = &rows[r * stride..r * stride + len];
+            prop_assert_eq!(strided[r], (scalar.dot_i32)(&q, row), "row {}", r);
+        }
+    }
+
+    #[test]
+    fn dot_i16_rows_stride_matches_scalar(
+        len in 1usize..=70,
+        extra in 0usize..=16,
+        n_rows in 1usize..=12,
+        seed in any::<u64>(),
+    ) {
+        // The i16 kernel contract bounds inputs to [-32767, 32767]
+        // (the vpmaddwd pairwise i32 sums must not overflow), so the
+        // generator stays in that range — including both extremes.
+        let scalar = kernel::scalar();
+        let mut rng = HvRng::from_seed(seed);
+        let stride = len + extra;
+        let shorts = |rng: &mut HvRng, n: usize| -> Vec<i16> {
+            (0..n)
+                .map(|_| ((rng.next_u64() % 65535) as i64 - 32767) as i16)
+                .collect()
+        };
+        let q = shorts(&mut rng, len);
+        let rows = shorts(&mut rng, stride * n_rows);
+        let dots0: Vec<i64> = (0..n_rows).map(|r| r as i64 * 11 - 5).collect();
+        let mut want = dots0.clone();
+        (scalar.dot_i16_rows_stride)(&q, &rows, stride, &mut want);
+        for k in non_scalar_backends() {
+            let mut got = dots0.clone();
+            (k.dot_i16_rows_stride)(&q, &rows, stride, &mut got);
+            prop_assert_eq!(&got, &want, "dot_i16_rows_stride: {}", k.name);
+        }
+        // The i16 dot equals the widened i32 dot of the same values —
+        // the lossless-sidecar property the int batch path relies on.
+        let qi: Vec<i32> = q.iter().map(|&v| i32::from(v)).collect();
+        for r in 0..n_rows {
+            let row: Vec<i32> = rows[r * stride..r * stride + len]
+                .iter()
+                .map(|&v| i32::from(v))
+                .collect();
+            prop_assert_eq!(
+                want[r] - dots0[r],
+                (scalar.dot_i32)(&qi, &row),
+                "i16 vs widened i32, row {}", r
+            );
+        }
+    }
+
+    #[test]
     fn batch_binary_search_is_bit_identical_across_backends(
         dim in dims(),
         n_rows in 1usize..=9,

@@ -150,6 +150,99 @@ proptest! {
         }
     }
 
+    /// The int acceptance property: pruned int top-k at full probe
+    /// width is bit-identical to exact int top-k on every backend, for
+    /// rows that fit the lossless i16 sidecar *and* rows that overflow
+    /// it (forcing the exact i32 coarse path).
+    #[test]
+    fn pruned_int_full_probe_width_is_bit_identical_to_exact(
+        dim in dims(),
+        n_rows in 1usize..=40,
+        n_queries in 1usize..=3,
+        k in 1usize..=8,
+        probe_factor in 1usize..=4,
+        big in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let mut rng = HvRng::from_seed(seed);
+        let scale = if big { 50_000 } else { 1 };
+        let bins: Vec<BinaryHv> = (0..n_rows).map(|_| rng.binary_hv(dim)).collect();
+        let ints: Vec<IntHv> = bins
+            .iter()
+            .map(|b| {
+                let mut acc = b.to_int();
+                acc.add_binary(&rng.binary_hv(dim));
+                if big {
+                    // Values far outside ±32767: the i16 sidecar clamp
+                    // fires and the exact coarse pass must take the i32
+                    // planes instead.
+                    IntHv::from_fn(dim, |i| acc.get(i) * scale)
+                } else {
+                    acc
+                }
+            })
+            .collect();
+        let mut mem = ShardedClassMemory::from_rows(&bins).unwrap();
+        mem.set_int_rows(&ints).unwrap();
+        let queries: Vec<IntHv> = (0..n_queries).map(|_| rng.binary_hv(dim).to_int()).collect();
+        let refs: Vec<&IntHv> = queries.iter().collect();
+        let probe = ProbeConfig {
+            probe_words: mem.dim().div_ceil(64), // full width
+            probe_factor,
+            exact_threshold: 0,
+        };
+        for kb in kernel::available() {
+            let exact = mem.search_topk_int_with(kb, &refs, k).unwrap();
+            let pruned = mem
+                .search_topk_int_pruned_with(kb, &refs, k, &probe)
+                .unwrap();
+            prop_assert_eq!(&pruned, &exact, "pruned int@full-width: {}", kb.name);
+        }
+    }
+
+    #[test]
+    fn narrow_pruned_int_is_valid_subset_with_exact_scores(
+        dim in prop_oneof![Just(1000), Just(4096)],
+        n_rows in 10usize..=60,
+        k in 1usize..=5,
+        seed in any::<u64>(),
+    ) {
+        // A narrow int probe may miss neighbors, but every match it
+        // returns must carry the row's *exact* cosine score (the
+        // rescore is always full-width i32) and the list must be
+        // best-first among the returned rows.
+        let mut rng = HvRng::from_seed(seed);
+        let bins: Vec<BinaryHv> = (0..n_rows).map(|_| rng.binary_hv(dim)).collect();
+        let ints: Vec<IntHv> = bins
+            .iter()
+            .map(|b| {
+                let mut acc = b.to_int();
+                acc.add_binary(&rng.binary_hv(dim));
+                acc
+            })
+            .collect();
+        let mut mem = ShardedClassMemory::from_rows(&bins).unwrap();
+        mem.set_int_rows(&ints).unwrap();
+        let q = rng.binary_hv(dim).to_int();
+        let probe = ProbeConfig {
+            probe_words: 2,
+            probe_factor: 2,
+            exact_threshold: 0,
+        };
+        let pruned = mem.search_topk_int_pruned(&[&q], k, &probe).unwrap();
+        let full = mem.search_batch_int(&[&q]).unwrap();
+        let matches = pruned.matches(0);
+        prop_assert_eq!(matches.len(), k.min(n_rows));
+        for m in matches {
+            prop_assert_eq!(m.score.to_bits(), full.scores(0)[m.row].to_bits());
+        }
+        for w in matches.windows(2) {
+            prop_assert!(
+                w[0].score > w[1].score || (w[0].score == w[1].score && w[0].row < w[1].row)
+            );
+        }
+    }
+
     #[test]
     fn narrow_pruned_is_valid_subset_with_exact_scores(
         dim in prop_oneof![Just(1000), Just(4096)],

@@ -99,10 +99,12 @@ pub trait ClassifySession: Sync {
 
     /// Fused top-k similarity search of a batch of quantized rows: one
     /// batch encode, one heap top-k search over the memory rows. With a
-    /// [`ProbeConfig`] (binary models only) the search runs the pruned
-    /// coarse/rescore path; `None` is the exact scan. Matches are
-    /// best-first with lowest-index tie order, bit-identical to sorting
-    /// the full [`ClassifySession::scores_batch`] score vector.
+    /// [`ProbeConfig`] the search runs the pruned coarse/rescore path —
+    /// leading packed words for binary models, the i16-quantized
+    /// leading dimension blocks for non-binary (cosine) models; `None`
+    /// is the exact scan. Matches are best-first with lowest-index tie
+    /// order, bit-identical to sorting the full
+    /// [`ClassifySession::scores_batch`] score vector.
     ///
     /// # Panics
     ///
@@ -198,13 +200,13 @@ fn search_topk_impl<E: Encoder + Sync>(
             .expect("session dimensions are consistent by construction")
         }
         ModelKind::NonBinary => {
-            // Cosine rows have no packed-plane subsample to probe; the
-            // exact heap scan is the only integer path.
             let encoded = encoder.encode_batch_int(rows);
             let refs: Vec<&IntHv> = encoded.iter().collect();
-            sharded
-                .search_topk_int(&refs, k)
-                .expect("session dimensions are consistent by construction")
+            match probe {
+                Some(p) => sharded.search_topk_int_pruned(&refs, k, p),
+                None => sharded.search_topk_int(&refs, k),
+            }
+            .expect("session dimensions are consistent by construction")
         }
     }
 }
@@ -623,9 +625,10 @@ impl<'a, S: ClassifySession + ?Sized> TopKSession<'a, S> {
         }
     }
 
-    /// Switches the binary search path to the pruned coarse/rescore
-    /// scan (ignored by non-binary models, which have no packed planes
-    /// to subsample).
+    /// Switches the search path to the pruned coarse/rescore scan:
+    /// leading packed words for binary models, the i16-quantized
+    /// leading dimension blocks for non-binary (cosine) models. At
+    /// full probe width both are bit-identical to the exact scan.
     #[must_use]
     pub fn with_probe(mut self, probe: ProbeConfig) -> Self {
         self.probe = Some(probe);
@@ -813,6 +816,46 @@ mod tests {
             .with_probe(probe)
             .search_batch(&refs);
         assert_eq!(exact, pruned);
+    }
+
+    #[test]
+    fn topk_session_pruned_full_width_matches_exact_nonbinary() {
+        let (enc, memory, rows) = setup(ModelKind::NonBinary, 1030);
+        let session = InferenceSession::new(&enc, &memory);
+        let refs: Vec<&[u16]> = rows.iter().map(Vec::as_slice).collect();
+        let exact = TopKSession::new(&session, 3).search_batch(&refs);
+        let probe = ProbeConfig {
+            probe_words: session.dim().div_ceil(64),
+            probe_factor: 2,
+            exact_threshold: 0,
+        };
+        let pruned = TopKSession::new(&session, 3)
+            .with_probe(probe)
+            .search_batch(&refs);
+        assert_eq!(exact, pruned);
+    }
+
+    #[test]
+    fn topk_session_narrow_probe_nonbinary_returns_exact_scores() {
+        // A narrow int probe routes through the quantized coarse pass;
+        // whatever it returns must carry exact cosine scores.
+        let (enc, memory, rows) = setup(ModelKind::NonBinary, 2048);
+        let session = InferenceSession::new(&enc, &memory);
+        let refs: Vec<&[u16]> = rows.iter().map(Vec::as_slice).collect();
+        let probe = ProbeConfig {
+            probe_words: 1,
+            probe_factor: 1,
+            exact_threshold: 0,
+        };
+        let hits = TopKSession::new(&session, 2)
+            .with_probe(probe)
+            .search_batch(&refs);
+        let full = session.scores_batch(&refs);
+        for q in 0..refs.len() {
+            for m in hits.matches(q) {
+                assert_eq!(m.score.to_bits(), full.scores(q)[m.row].to_bits(), "q {q}");
+            }
+        }
     }
 
     #[test]

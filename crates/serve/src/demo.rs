@@ -50,6 +50,23 @@ pub fn demo_model(spec: &DemoSpec) -> HdcModel<RecordEncoder> {
     HdcModel::fit_standard(&demo_config(spec), &train).expect("synthetic training succeeds")
 }
 
+/// Trains a non-binary (integer class memory, cosine metric) demo model
+/// on the same synthetic task — the serving-layer fixture for the int
+/// search and classification paths.
+///
+/// # Panics
+///
+/// Panics on an internally inconsistent spec (zero sizes).
+#[must_use]
+pub fn demo_nonbinary_model(spec: &DemoSpec) -> HdcModel<RecordEncoder> {
+    let (train, _) = demo_dataset(spec);
+    let config = HdcConfig {
+        kind: ModelKind::NonBinary,
+        ..demo_config(spec)
+    };
+    HdcModel::fit_standard(&config, &train).expect("synthetic training succeeds")
+}
+
 /// The synthetic train/test datasets behind the demo models.
 ///
 /// # Panics

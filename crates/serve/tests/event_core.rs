@@ -239,6 +239,113 @@ fn event_core_responses_are_bit_identical_to_threaded_core() {
     let _ = std::fs::remove_file(&snap_path);
 }
 
+/// The int-metric twin of the differential pin: SEARCH against a
+/// non-binary (integer class memory, cosine) model answers
+/// byte-identical MATCHES frames on both cores, on both wires — the
+/// blocked int planes and strided dot kernels behind the int search
+/// path must not perturb a single serialized bit.
+#[test]
+fn int_search_responses_are_bit_identical_across_cores() {
+    let spec = DemoSpec {
+        dim: 2048,
+        train_size: 64,
+        ..Default::default()
+    };
+    let model = demo::demo_nonbinary_model(&spec);
+    let session = model.session();
+
+    let mut transcripts = Vec::new();
+    for core in [CoreKind::Threaded, CoreKind::Event] {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let shutdown = AtomicBool::new(false);
+        let transcript = std::thread::scope(|s| {
+            let server = s.spawn(|| {
+                serve_with_core(core, listener, &session, &BatchConfig::default(), &shutdown)
+            });
+            let _guard = ShutdownGuard(&shutdown);
+
+            let mut out: Vec<Vec<u8>> = Vec::new();
+            // JSON wire: SEARCH lines with varying k.
+            let stream = TcpStream::connect(addr).unwrap();
+            let mut reader = BufReader::new(stream.try_clone().unwrap());
+            let mut writer = stream;
+            for i in 0..6usize {
+                out.push(
+                    json_roundtrip(
+                        &mut reader,
+                        &mut writer,
+                        &protocol::search_request_line(
+                            i as u64 + 1,
+                            &demo_row(&spec, i),
+                            1 + i % 4,
+                        ),
+                    )
+                    .into_bytes(),
+                );
+            }
+            drop(reader);
+            drop(writer);
+
+            // Binary wire: SEARCH frames over the same rows.
+            let bstream = TcpStream::connect(addr).unwrap();
+            bstream.set_nodelay(true).unwrap();
+            let mut breader = BufReader::new(bstream.try_clone().unwrap());
+            let mut bwriter = bstream;
+            for i in 0..6usize {
+                bwriter
+                    .write_all(&wire::search_frame(
+                        100 + i as u64,
+                        &demo_row(&spec, i),
+                        1 + i % 4,
+                    ))
+                    .unwrap();
+                out.push(read_raw_frame(&mut breader));
+            }
+            drop(breader);
+            drop(bwriter);
+
+            shutdown.store(true, Ordering::SeqCst);
+            server.join().unwrap().unwrap();
+            out
+        });
+        transcripts.push(transcript);
+    }
+
+    let (threaded, event) = (&transcripts[0], &transcripts[1]);
+    assert_eq!(threaded.len(), event.len());
+    for (i, (t, e)) in threaded.iter().zip(event).enumerate() {
+        assert_eq!(
+            t,
+            e,
+            "int SEARCH response {i} diverged between cores:\n  threaded: {:?}\n  event:    {:?}",
+            String::from_utf8_lossy(t),
+            String::from_utf8_lossy(e)
+        );
+    }
+
+    // Sanity: the transcript really carries MATCHES payloads with the
+    // session's own exact scores, on both wires.
+    let resp = protocol::parse_response(&String::from_utf8(threaded[2].clone()).unwrap()).unwrap();
+    let hits = resp.matches.expect("JSON search answered with matches");
+    assert_eq!(hits.len(), 3);
+    let buf = &mut wire::FrameBuffer::new();
+    buf.extend(&threaded[8]);
+    let (header, payload) = buf.next_frame().unwrap().unwrap();
+    let decoded = wire::decode_response(&header, &payload).unwrap();
+    let bhits = decoded
+        .matches
+        .expect("binary search answered with matches");
+    assert_eq!(bhits.len(), 3);
+    let row = demo_row(&spec, 2);
+    let refs: Vec<&[u16]> = vec![&row];
+    let want = session.search_topk_batch(&refs, 3, None);
+    for (got, exact) in bhits.iter().zip(want.matches(0)) {
+        assert_eq!(got.row as usize, exact.row);
+        assert_eq!(got.score.to_bits(), exact.score.to_bits());
+    }
+}
+
 /// The BULK_CLASSIFY opcode answers every row bit-identical to the same
 /// rows sent as N single CLASSIFY frames, through the same validation,
 /// admission and batch fusion.
