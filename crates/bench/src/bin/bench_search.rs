@@ -942,6 +942,59 @@ fn main() {
         threaded_baseline.requests_per_sec
     );
 
+    // Telemetry overhead: identical binary+pipelined runs against a
+    // metrics-off and a metrics-on server on the default core, best of
+    // 3 each. The gate (`serving.telemetry.on_vs_off`) requires the
+    // metrics-on throughput to stay within 3% of off.
+    let telemetry_run = |metrics: Option<&hdc_serve::ServeMetrics>| -> f64 {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+        let addr = listener.local_addr().expect("local addr");
+        let shutdown = AtomicBool::new(false);
+        std::thread::scope(|s| {
+            let server_thread = s.spawn(|| {
+                server::serve_with_core_metrics(
+                    CoreKind::default(),
+                    listener,
+                    &session,
+                    &batch_config,
+                    &shutdown,
+                    metrics,
+                )
+            });
+            let best = (0..3)
+                .map(|_| {
+                    loadgen::run(
+                        addr,
+                        session.n_features(),
+                        session.m_levels(),
+                        &LoadgenConfig {
+                            wire: WireMode::Binary,
+                            pipeline: WIRE_PIPELINE,
+                            ..load_config
+                        },
+                    )
+                    .expect("telemetry load generation")
+                    .requests_per_sec
+                })
+                .fold(0.0f64, f64::max);
+            shutdown.store(true, Ordering::SeqCst);
+            server_thread
+                .join()
+                .expect("server thread")
+                .expect("server ran");
+            best
+        })
+    };
+    let telemetry_metrics = hdc_serve::ServeMetrics::new();
+    let telemetry_off_rps = telemetry_run(None);
+    let telemetry_on_rps = telemetry_run(Some(&telemetry_metrics));
+    let telemetry_on_vs_off = telemetry_on_rps / telemetry_off_rps;
+    println!(
+        "serving telemetry overhead (binary+pipelined, best of 3): \
+         off {telemetry_off_rps:.0} requests/s, on {telemetry_on_rps:.0} requests/s \
+         ({telemetry_on_vs_off:.3}x)"
+    );
+
     let mut json = String::new();
     let _ = writeln!(json, "{{");
     let _ = writeln!(
@@ -1124,6 +1177,17 @@ fn main() {
         json,
         "      \"batch_bit_identical_across_wires\": {wire_bit_identical}"
     );
+    let _ = writeln!(json, "    }},");
+    let _ = writeln!(json, "    \"telemetry\": {{");
+    let _ = writeln!(
+        json,
+        "      \"off_requests_per_sec\": {telemetry_off_rps:.1},"
+    );
+    let _ = writeln!(
+        json,
+        "      \"on_requests_per_sec\": {telemetry_on_rps:.1},"
+    );
+    let _ = writeln!(json, "      \"on_vs_off\": {telemetry_on_vs_off:.3}");
     let _ = writeln!(json, "    }},");
     let _ = writeln!(json, "    \"concurrency\": {{");
     let _ = writeln!(

@@ -39,6 +39,10 @@ pub struct KeyVault {
     /// `Relaxed` counter may, from another thread's perspective) is
     /// worthless. The cost is irrelevant next to a key derivation.
     reads: AtomicU64,
+    /// Reads refused because the vault was destroyed — the audit
+    /// signal an operator watches for after a revocation (probes
+    /// against a dead vault are attack traffic by definition).
+    denied: AtomicU64,
 }
 
 impl KeyVault {
@@ -49,6 +53,7 @@ impl KeyVault {
         KeyVault {
             key: Mutex::new(Some(key)),
             reads: AtomicU64::new(0),
+            denied: AtomicU64::new(0),
         }
     }
 
@@ -67,7 +72,10 @@ impl KeyVault {
         self.reads.fetch_add(1, Ordering::SeqCst);
         match guard.as_ref() {
             Some(key) => Ok(f(key)),
-            None => Err(LockError::VaultSealed),
+            None => {
+                self.denied.fetch_add(1, Ordering::SeqCst);
+                Err(LockError::VaultSealed)
+            }
         }
     }
 
@@ -75,6 +83,13 @@ impl KeyVault {
     #[must_use]
     pub fn reads(&self) -> u64 {
         self.reads.load(Ordering::SeqCst)
+    }
+
+    /// Number of reads refused because the vault was destroyed. Always
+    /// ≤ [`KeyVault::reads`] — denied attempts count in both.
+    #[must_use]
+    pub fn denied_reads(&self) -> u64 {
+        self.denied.load(Ordering::SeqCst)
     }
 
     /// Destroys the key material (models revoking the device key). All
@@ -191,6 +206,18 @@ mod tests {
         // Probes against a revoked vault are exactly what an audit trail
         // must not lose.
         assert_eq!(v.reads(), 2);
+    }
+
+    #[test]
+    fn denied_reads_are_counted_separately() {
+        let v = vault();
+        v.with_key(|_| ()).unwrap();
+        assert_eq!(v.denied_reads(), 0);
+        v.destroy();
+        let _ = v.with_key(|_| ());
+        let _ = v.with_key(|_| ());
+        assert_eq!(v.denied_reads(), 2);
+        assert_eq!(v.reads(), 3);
     }
 
     #[test]

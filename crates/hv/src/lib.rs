@@ -183,6 +183,7 @@ pub mod perm;
 pub mod rng;
 pub mod search;
 pub mod sim;
+pub mod stats;
 pub mod topk;
 
 pub use accumulator::BundleAccumulator;

@@ -482,6 +482,7 @@ impl ShardedClassMemory {
             let end = (start + BLOCK_WORDS).min(self.words_per_row);
             (k.hamming_rows)(&q_words[start..end], block, dist);
         }
+        crate::stats::record_hamming_rows(dist.len() as u64);
     }
 
     /// Bipolar-cosine score of a Hamming distance — identical floating-
@@ -588,6 +589,7 @@ impl ShardedClassMemory {
                     (k.hamming_rows)(q_block, block, drow);
                 }
             }
+            crate::stats::record_hamming_rows((chunk * n_rows) as u64);
             let mut best_rows = Vec::with_capacity(chunk);
             let mut scores = Vec::with_capacity(chunk * n_rows);
             for qi in 0..chunk {
@@ -754,6 +756,7 @@ impl ShardedClassMemory {
                         }
                     }
                 }
+                crate::stats::record_dot_rows((tile * n_rows) as u64);
                 for ti in 0..tile {
                     let drow = &dots[ti * n_rows..(ti + 1) * n_rows];
                     let mut best = (0usize, f64::NEG_INFINITY);

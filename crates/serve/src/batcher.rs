@@ -27,6 +27,7 @@ use hdc_model::ClassifySession;
 use hypervec::ProbeConfig;
 
 use crate::epoll::Waker;
+use crate::metrics::{elapsed_us, ServeMetrics};
 use crate::protocol::SearchMatch;
 
 /// Batching and worker-pool parameters.
@@ -207,6 +208,10 @@ pub struct Job {
     pub kind: JobKind,
     /// Where the completion goes.
     pub tx: CompletionSink,
+    /// When telemetry is on, the instant this job entered the queue
+    /// (drives the queue-wait stage histogram); `None` with telemetry
+    /// off, so the off path never reads a clock.
+    pub enqueued_at: Option<Instant>,
 }
 
 impl Job {
@@ -321,9 +326,10 @@ pub fn worker_loop<S: ClassifySession>(
     session: &S,
     config: &BatchConfig,
     served: &AtomicU64,
+    metrics: Option<&ServeMetrics>,
 ) {
     while let Some(batch) = queue.next_batch(config) {
-        run_batch(session, config, batch, served, None);
+        run_batch(session, config, batch, served, None, metrics);
     }
 }
 
@@ -344,11 +350,23 @@ pub fn run_batch<S: ClassifySession>(
     batch: Vec<Job>,
     served: &AtomicU64,
     generation: Option<u64>,
+    metrics: Option<&ServeMetrics>,
 ) {
+    if let Some(m) = metrics {
+        m.batch_size.record(batch.len() as u64);
+        let popped = Instant::now();
+        for job in &batch {
+            if let Some(enqueued) = job.enqueued_at {
+                let waited = popped.saturating_duration_since(enqueued);
+                m.queue_wait_us
+                    .record(u64::try_from(waited.as_micros()).unwrap_or(u64::MAX));
+            }
+        }
+    }
     let (search, mut classify): (Vec<Job>, Vec<Job>) = batch.into_iter().partition(Job::is_search);
     // Search jobs re-validate against the serving session inside
     // `run_search_jobs` — same mid-flight-swap guarantee as below.
-    run_search_jobs(session, config, search, served);
+    run_search_jobs(session, config, search, served, metrics);
     if classify.is_empty() {
         return;
     }
@@ -409,10 +427,14 @@ pub fn run_batch<S: ClassifySession>(
     let mut score_hits = None;
     let mut classes = None;
     if !rows.is_empty() {
+        let start = metrics.map(|_| Instant::now());
         if any_scores {
             score_hits = Some(session.scores_batch(&rows));
         } else {
             classes = Some(session.classify_batch(&rows));
+        }
+        if let (Some(m), Some(start)) = (metrics, start) {
+            m.execute_classify_us.record(elapsed_us(start));
         }
     }
 
@@ -496,6 +518,7 @@ pub fn run_search_jobs<S: ClassifySession>(
     config: &BatchConfig,
     jobs: Vec<Job>,
     served: &AtomicU64,
+    metrics: Option<&ServeMetrics>,
 ) {
     if jobs.is_empty() {
         return;
@@ -528,7 +551,11 @@ pub fn run_search_jobs<S: ClassifySession>(
     }
     for (k, group) in by_k {
         let rows: Vec<&[u16]> = group.iter().map(|(row, _)| row.as_slice()).collect();
+        let start = metrics.map(|_| Instant::now());
         let hits = session.search_topk_batch(&rows, k, config.search_probe.as_ref());
+        if let (Some(m), Some(start)) = (metrics, start) {
+            m.execute_search_us.record(elapsed_us(start));
+        }
         for (i, (_, job)) in group.into_iter().enumerate() {
             let matches: Vec<SearchMatch> = hits
                 .matches(i)
@@ -559,6 +586,7 @@ mod tests {
                     search_k: None,
                 },
                 tx: CompletionSink::Channel(tx),
+                enqueued_at: None,
             },
             rx,
         )

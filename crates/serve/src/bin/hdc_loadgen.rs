@@ -4,7 +4,7 @@
 //! Usage: `hdc_loadgen [--addr HOST:PORT] [--features N] [--levels M]
 //! [--connections C] [--requests R] [--seed S] [--wire json|binary]
 //! [--pipeline P] [--search-k K] [--min-rps X] [--open-loop]
-//! [--churn N] [--min-connections C]`
+//! [--churn N] [--min-connections C] [--metrics-delta]`
 //!
 //! `--features` / `--levels` must match the served model. `--wire`
 //! picks the protocol (line-JSON by default, length-prefixed binary
@@ -23,11 +23,18 @@
 //! the server's accept path under load. `--min-connections C` exits
 //! non-zero unless at least `C` connections were driven — the 10k
 //! concurrency smoke assertion.
+//!
+//! `--metrics-delta` queries the server's telemetry plane (the
+//! `{"metrics":true}` admin request) before and after the run and
+//! prints server-side request-count deltas and stage latency
+//! percentiles next to the client-observed histogram. Needs a server
+//! started with `--metrics-addr`; degrades to a notice otherwise.
 
-use std::net::ToSocketAddrs;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::process::ExitCode;
 
-use hdc_serve::{loadgen, FanInConfig, LoadgenConfig, WireMode};
+use hdc_serve::{loadgen, protocol, FanInConfig, LoadgenConfig, WireMode};
 
 struct Options {
     addr: String,
@@ -38,6 +45,7 @@ struct Options {
     open_loop: bool,
     churn_every: Option<usize>,
     min_connections: usize,
+    metrics_delta: bool,
 }
 
 impl Default for Options {
@@ -51,6 +59,72 @@ impl Default for Options {
             open_loop: false,
             churn_every: None,
             min_connections: 0,
+            metrics_delta: false,
+        }
+    }
+}
+
+/// One `{"metrics":true}` round trip on a throwaway JSON connection.
+/// `None` when the server has telemetry off (or is unreachable).
+fn fetch_metrics(addr: SocketAddr) -> Option<String> {
+    let stream = TcpStream::connect(addr).ok()?;
+    let mut reader = BufReader::new(stream.try_clone().ok()?);
+    let mut writer = stream;
+    writer
+        .write_all(protocol::metrics_request_line(0).as_bytes())
+        .ok()?;
+    let mut line = String::new();
+    reader.read_line(&mut line).ok()?;
+    line.contains("\"metrics\":{").then_some(line)
+}
+
+/// The integer following `"key":` in a metrics JSON line.
+fn field_u64(s: &str, key: &str) -> Option<u64> {
+    let pat = format!("\"{key}\":");
+    let rest = &s[s.find(&pat)? + pat.len()..];
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// One stage's `{"count":…,"p50":…,…}` summary from a metrics line.
+fn stage(s: &str, key: &str) -> Option<[u64; 5]> {
+    let obj = &s[s.find(&format!("\"{key}\":{{"))?..];
+    Some([
+        field_u64(obj, "count")?,
+        field_u64(obj, "p50")?,
+        field_u64(obj, "p90")?,
+        field_u64(obj, "p99")?,
+        field_u64(obj, "p999")?,
+    ])
+}
+
+/// Prints the server-side view of the run: request-count deltas
+/// against the pre-run snapshot, then the (cumulative) stage latency
+/// percentiles.
+fn print_metrics_delta(before: Option<&str>, after: &str) {
+    let delta = |key: &str| -> u64 {
+        let b = before.and_then(|b| field_u64(b, key)).unwrap_or(0);
+        field_u64(after, key).unwrap_or(0).saturating_sub(b)
+    };
+    println!(
+        "  server metrics: +{} json / +{} binary requests, +{} throttled (budget)",
+        delta("json"),
+        delta("binary"),
+        delta("budget"),
+    );
+    println!("  server stages µs (cumulative since server start):");
+    for key in [
+        "sniff",
+        "dispatch",
+        "queue_wait",
+        "execute_classify",
+        "execute_search",
+        "drain",
+    ] {
+        if let Some([count, p50, p90, p99, p999]) = stage(after, key) {
+            println!("    {key:16} count {count}  p50 {p50}  p90 {p90}  p99 {p99}  p999 {p999}");
         }
     }
 }
@@ -108,10 +182,15 @@ fn parse_options() -> Options {
                     .parse()
                     .expect("--min-connections needs an integer")
             }
+            "--metrics-delta" => {
+                opts.metrics_delta = true;
+                i += 1;
+                continue;
+            }
             other => panic!(
                 "unknown argument '{other}'; supported: --addr --features --levels \
                  --connections --requests --seed --wire --pipeline --search-k --min-rps \
-                 --open-loop --churn --min-connections"
+                 --open-loop --churn --min-connections --metrics-delta"
             ),
         }
         i += 2;
@@ -148,6 +227,11 @@ fn main() -> std::io::Result<ExitCode> {
             None => String::new(),
         }
     );
+    let before = if opts.metrics_delta {
+        fetch_metrics(addr)
+    } else {
+        None
+    };
     let report = if opts.open_loop {
         loadgen::run_fan_in(
             addr,
@@ -182,6 +266,12 @@ fn main() -> std::io::Result<ExitCode> {
         report.latency.max_micros,
         report.latency.mean_micros
     );
+    if opts.metrics_delta {
+        match fetch_metrics(addr) {
+            Some(after) => print_metrics_delta(before.as_deref(), &after),
+            None => println!("  server metrics: unavailable (start hdc_serve with --metrics-addr)"),
+        }
+    }
     if opts.min_rps > 0.0 && (report.errors > 0 || report.requests_per_sec < opts.min_rps) {
         eprintln!(
             "FAIL: {} errors, {:.0} requests/s (floor {:.0})",

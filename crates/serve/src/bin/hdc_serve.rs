@@ -5,7 +5,7 @@
 //! [--levels M] [--classes C] [--batch B] [--wait-us T] [--workers W]
 //! [--pipeline P] [--duration SECS] [--locked L] [--budget Q]
 //! [--rate R] [--burst B] [--sweep S] [--max-connections C]
-//! [--core event|threaded]`
+//! [--core event|threaded] [--metrics-addr HOST:PORT]`
 //!
 //! `--locked L` serves an HDLock-locked demo model with key depth `L`
 //! (enabling the `{"rekey":…}` admin request); the default is the
@@ -24,6 +24,13 @@
 //! core — accepts beyond it are answered with a structured
 //! `"overloaded"` error instead of a silent close. The process file
 //! descriptor limit is raised (best effort) to fit the cap at startup.
+//!
+//! `--metrics-addr HOST:PORT` turns on the telemetry plane: every
+//! request stage records into the `hdc_serve::metrics` catalog, swap
+//! events log structured lines, a Prometheus text-format scrape
+//! listener answers on the given address, and the `{"metrics":true}`
+//! admin request answers in-band. Without the flag telemetry is fully
+//! off (no clocks are read; responses are byte-identical either way).
 
 use std::net::TcpListener;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -31,7 +38,9 @@ use std::time::Duration;
 
 use hdc_model::ClassifySession;
 use hdc_serve::demo::{self, DemoSpec};
-use hdc_serve::{server, AdmissionConfig, BatchConfig, CoreKind, RegistryServeConfig};
+use hdc_serve::{
+    server, AdmissionConfig, BatchConfig, CoreKind, RegistryServeConfig, ServeMetrics,
+};
 use hdc_store::{ModelRegistry, ModelSnapshot};
 
 struct Options {
@@ -42,6 +51,7 @@ struct Options {
     locked_layers: usize,
     duration_secs: u64,
     core: CoreKind,
+    metrics_addr: Option<String>,
 }
 
 impl Default for Options {
@@ -54,6 +64,7 @@ impl Default for Options {
             locked_layers: 0,
             duration_secs: 0,
             core: CoreKind::default(),
+            metrics_addr: None,
         }
     }
 }
@@ -117,10 +128,11 @@ fn parse_options() -> Options {
                     other => panic!("--core needs `event` or `threaded`, got '{other}'"),
                 }
             }
+            "--metrics-addr" => opts.metrics_addr = Some(value(i)),
             other => panic!(
                 "unknown argument '{other}'; supported: --addr --dim --features --levels \
                  --classes --batch --wait-us --workers --pipeline --duration --locked \
-                 --budget --rate --burst --sweep --max-connections --core"
+                 --budget --rate --burst --sweep --max-connections --core --metrics-addr"
             ),
         }
         i += 2;
@@ -184,11 +196,40 @@ fn main() -> std::io::Result<()> {
         batch: opts.batch,
         admission: opts.admission,
     };
+    let metrics = opts.metrics_addr.as_ref().map(|_| ServeMetrics::new());
+    let scrape_listener = match &opts.metrics_addr {
+        Some(addr) => {
+            let scrape = TcpListener::bind(addr)?;
+            println!(
+                "metrics: Prometheus scrapes on http://{}/metrics, \
+                 {{\"metrics\":true}} admin enabled",
+                scrape.local_addr()?
+            );
+            Some(scrape)
+        }
+        None => None,
+    };
     let shutdown = AtomicBool::new(false);
     let stats = std::thread::scope(|s| {
         let server = s.spawn(|| {
-            server::serve_registry_with_core(opts.core, listener, &registry, &config, &shutdown)
+            server::serve_registry_with_core_metrics(
+                opts.core,
+                listener,
+                &registry,
+                &config,
+                &shutdown,
+                metrics.as_ref(),
+            )
         });
+        if let (Some(scrape), Some(metrics)) = (&scrape_listener, &metrics) {
+            s.spawn(|| {
+                if let Err(e) =
+                    hdc_serve::serve_scrapes(scrape, metrics, Some(&registry), &shutdown)
+                {
+                    eprintln!("metrics listener failed: {e}");
+                }
+            });
+        }
         if opts.duration_secs > 0 {
             std::thread::sleep(Duration::from_secs(opts.duration_secs));
             shutdown.store(true, Ordering::SeqCst);

@@ -64,11 +64,12 @@ use crate::batcher::{
     worker_loop, BatchConfig, BatchQueue, CompletionSink, Delivery, Job, JobKind,
 };
 use crate::epoll::{raise_nofile_limit, PollEvent, Poller, Waker, EV_READ, EV_WRITE};
+use crate::metrics::{elapsed_us, ServeMetrics};
 use crate::protocol;
 use crate::server::{
     dispatch_incoming, incoming_from_json, next_frame_step, registry_worker_loop,
-    render_completion, render_error, ConnOutbox, FrameStep, Incoming, InflightSet, RegistryBrain,
-    RegistryCtx, RegistryServeConfig, RequestBrain, ServeStats, SessionBrain,
+    render_completion, render_error, ConnOutbox, CoreStats, FrameStep, Incoming, InflightSet,
+    RegistryBrain, RegistryCtx, RegistryServeConfig, RequestBrain, ServeStats, SessionBrain,
 };
 use crate::wire::{self, WireMode};
 
@@ -112,8 +113,7 @@ struct LoopEnv<'l, 'env> {
     done_tx: mpsc::Sender<(u64, Delivery)>,
     admin_tx: mpsc::Sender<AdminTask<'env>>,
     waker: Arc<Waker>,
-    requests: &'l AtomicU64,
-    throttled: &'l AtomicU64,
+    stats: &'l CoreStats<'env>,
 }
 
 /// One multiplexed connection's state machine.
@@ -141,10 +141,14 @@ struct Conn<B> {
     read_closed: bool,
     /// Write side failed; the connection is removed immediately.
     dead: bool,
+    /// With telemetry on, when the connection was accepted — consumed
+    /// by the sniff-stage histogram once the first byte negotiates the
+    /// wire mode.
+    accepted_at: Option<Instant>,
 }
 
 impl<B> Conn<B> {
-    fn new(stream: TcpStream, fd: i32, brain: B) -> Self {
+    fn new(stream: TcpStream, fd: i32, brain: B, accepted_at: Option<Instant>) -> Self {
         Conn {
             stream,
             fd,
@@ -159,6 +163,7 @@ impl<B> Conn<B> {
             interest: EV_READ,
             read_closed: false,
             dead: false,
+            accepted_at,
         }
     }
 
@@ -180,8 +185,7 @@ struct EventOutbox<'c, 'env> {
     token: u64,
     admin_tx: &'c mpsc::Sender<AdminTask<'env>>,
     window: usize,
-    requests: &'c AtomicU64,
-    throttled: &'c AtomicU64,
+    stats: &'c CoreStats<'env>,
 }
 
 impl<'env> ConnOutbox<'env> for EventOutbox<'_, 'env> {
@@ -193,8 +197,8 @@ impl<'env> ConnOutbox<'env> for EventOutbox<'_, 'env> {
         self.window
     }
 
-    fn counters(&self) -> (&AtomicU64, &AtomicU64) {
-        (self.requests, self.throttled)
+    fn stats(&self) -> &CoreStats<'env> {
+        self.stats
     }
 
     fn send_inline(&mut self, bytes: Vec<u8>) {
@@ -226,6 +230,7 @@ impl<'env> ConnOutbox<'env> for EventOutbox<'_, 'env> {
                 token: self.token,
                 waker: Arc::clone(self.waker),
             },
+            enqueued_at: self.stats.metrics.is_some().then(Instant::now),
         });
     }
 
@@ -259,8 +264,7 @@ fn dispatch_on<'env, B: RequestBrain<'env>>(
         token,
         admin_tx: &env.admin_tx,
         window: env.window,
-        requests: env.requests,
-        throttled: env.throttled,
+        stats: env.stats,
     };
     dispatch_incoming(&mut outbox, &mut conn.brain, incoming)
 }
@@ -372,6 +376,9 @@ fn handle_readable<'env, B: RequestBrain<'env>>(
             } else {
                 WireMode::Json
             });
+            if let (Some(m), Some(accepted)) = (env.stats.metrics, conn.accepted_at.take()) {
+                m.sniff_us.record(elapsed_us(accepted));
+            }
         }
         match conn.mode.expect("mode set above") {
             WireMode::Binary => feed_binary(conn, token, env, &buf[..n]),
@@ -435,9 +442,21 @@ fn apply_delivery<B>(conn: &mut Conn<B>, delivery: Delivery) {
 /// Flushes, re-arms interest (with read-pause hysteresis between the
 /// watermarks), and decides whether the connection is finished.
 /// Returns `true` when the connection must be removed.
-fn settle<B>(conn: &mut Conn<B>, poller: &Poller, token: u64) -> bool {
+fn settle<B>(
+    conn: &mut Conn<B>,
+    poller: &Poller,
+    token: u64,
+    metrics: Option<&ServeMetrics>,
+) -> bool {
     if !conn.dead {
+        let start = match metrics {
+            Some(_) if conn.backlog() > 0 => Some(Instant::now()),
+            _ => None,
+        };
         flush_out(conn);
+        if let (Some(m), Some(start)) = (metrics, start) {
+            m.drain_us.record(elapsed_us(start));
+        }
     }
     let backlog = conn.backlog();
     let finished =
@@ -453,6 +472,13 @@ fn settle<B>(conn: &mut Conn<B>, poller: &Poller, token: u64) -> bool {
         } else {
             backlog < LOW_WATERMARK
         };
+    if let Some(m) = metrics {
+        // A still-open read side losing EV_READ means the backlog just
+        // crossed the high watermark.
+        if was_reading && !read_ok && !conn.read_closed {
+            m.backlog_high_watermark.inc();
+        }
+    }
     let mut want = 0u32;
     if read_ok {
         want |= EV_READ;
@@ -531,13 +557,20 @@ where
         }
 
         events.clear();
+        let wait_start = env.stats.metrics.map(|_| Instant::now());
         poller.wait(&mut events, POLL_TICK_MS)?;
+        if let (Some(m), Some(start)) = (env.stats.metrics, wait_start) {
+            m.epoll_wait_us.record(elapsed_us(start));
+        }
         for event in &events {
             match event.token {
                 TOKEN_LISTENER => loop {
                     match listener.accept() {
                         Ok((stream, _peer)) => {
                             if draining || conns.len() >= env.max_connections {
+                                if let Some(m) = env.stats.metrics {
+                                    m.overload_rejects.inc();
+                                }
                                 reject_connection(&stream, draining, env.max_connections);
                                 continue;
                             }
@@ -552,7 +585,9 @@ where
                                 continue; // drop; client sees a close
                             }
                             accepted += 1;
-                            conns.insert(token, Conn::new(stream, fd, make_brain()));
+                            env.stats.enter_connection();
+                            let accepted_at = env.stats.metrics.map(|_| Instant::now());
+                            conns.insert(token, Conn::new(stream, fd, make_brain(), accepted_at));
                         }
                         Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
                         // Transient accept failures (EMFILE, aborted
@@ -565,13 +600,18 @@ where
                     // Pipe first, then the channel — the ordering that
                     // makes the waker's dedup flag race-free.
                     env.waker.drain();
+                    let mut drained = 0u64;
                     while let Ok((token, delivery)) = done_rx.try_recv() {
+                        drained += 1;
                         // Completions for connections that died
                         // mid-flight are discarded.
                         if let Some(conn) = conns.get_mut(&token) {
                             apply_delivery(conn, delivery);
                             touched.push(token);
                         }
+                    }
+                    if let Some(m) = env.stats.metrics {
+                        m.wakeup_batch.record(drained);
                     }
                 }
                 token => {
@@ -589,13 +629,18 @@ where
         }
         for token in touched.drain(..) {
             let remove = match conns.get_mut(&token) {
-                Some(conn) => settle(conn, &poller, token),
+                Some(conn) => settle(conn, &poller, token, env.stats.metrics),
                 None => false, // settled (and removed) earlier this tick
             };
             if remove {
                 conns.remove(&token);
+                env.stats.leave_connection();
             }
         }
+    }
+    // Connections cut off by the drain deadline still count as closed.
+    for _ in conns.drain() {
+        env.stats.leave_connection();
     }
     Ok(accepted)
 }
@@ -628,18 +673,18 @@ pub fn serve<S: ClassifySession>(
     session: &S,
     config: &BatchConfig,
     shutdown: &AtomicBool,
+    metrics: Option<&ServeMetrics>,
 ) -> io::Result<ServeStats> {
     let queue = BatchQueue::new();
-    let requests = AtomicU64::new(0);
+    let stats = CoreStats::new(metrics);
     let served = AtomicU64::new(0);
-    let throttled = AtomicU64::new(0);
 
     let connections = std::thread::scope(|scope| -> io::Result<u64> {
         let waker = Arc::new(Waker::new()?);
         let (done_tx, done_rx) = mpsc::channel::<(u64, Delivery)>();
         let (admin_tx, admin_rx) = mpsc::channel::<AdminTask<'_>>();
         let workers: Vec<_> = (0..config.workers.max(1))
-            .map(|_| scope.spawn(|| worker_loop(&queue, session, config, &served)))
+            .map(|_| scope.spawn(|| worker_loop(&queue, session, config, &served, metrics)))
             .collect();
         let admin_worker = scope.spawn({
             let done_tx = done_tx.clone();
@@ -653,12 +698,14 @@ pub fn serve<S: ClassifySession>(
             done_tx,
             admin_tx,
             waker,
-            requests: &requests,
-            throttled: &throttled,
+            stats: &stats,
         };
         let outcome = run_event_loop(
             &listener,
-            || SessionBrain { session },
+            || SessionBrain {
+                session,
+                metrics: stats.metrics,
+            },
             &env,
             &done_rx,
             shutdown,
@@ -675,10 +722,10 @@ pub fn serve<S: ClassifySession>(
     })?;
 
     Ok(ServeStats {
-        requests: requests.load(Ordering::Relaxed),
+        requests: stats.requests.load(Ordering::Relaxed),
         classified: served.load(Ordering::Relaxed),
         connections,
-        throttled: throttled.load(Ordering::Relaxed),
+        throttled: stats.throttled.load(Ordering::Relaxed),
     })
 }
 
@@ -697,16 +744,15 @@ pub fn serve_registry(
     registry: &ModelRegistry,
     config: &RegistryServeConfig,
     shutdown: &AtomicBool,
+    metrics: Option<&ServeMetrics>,
 ) -> io::Result<ServeStats> {
     let queue = BatchQueue::new();
-    let requests = AtomicU64::new(0);
+    let stats = CoreStats::new(metrics);
     let served = AtomicU64::new(0);
-    let throttled = AtomicU64::new(0);
     let ctx = RegistryCtx {
         registry,
         admission: &config.admission,
-        requests: &requests,
-        throttled: &throttled,
+        stats: &stats,
     };
 
     let connections = std::thread::scope(|scope| -> io::Result<u64> {
@@ -714,7 +760,11 @@ pub fn serve_registry(
         let (done_tx, done_rx) = mpsc::channel::<(u64, Delivery)>();
         let (admin_tx, admin_rx) = mpsc::channel::<AdminTask<'_>>();
         let workers: Vec<_> = (0..config.batch.workers.max(1))
-            .map(|_| scope.spawn(|| registry_worker_loop(&queue, registry, &config.batch, &served)))
+            .map(|_| {
+                scope.spawn(|| {
+                    registry_worker_loop(&queue, registry, &config.batch, &served, metrics)
+                })
+            })
             .collect();
         let admin_worker = scope.spawn({
             let done_tx = done_tx.clone();
@@ -728,8 +778,7 @@ pub fn serve_registry(
             done_tx,
             admin_tx,
             waker,
-            requests: &requests,
-            throttled: &throttled,
+            stats: &stats,
         };
         let outcome = run_event_loop(
             &listener,
@@ -748,9 +797,9 @@ pub fn serve_registry(
     })?;
 
     Ok(ServeStats {
-        requests: requests.load(Ordering::Relaxed),
+        requests: stats.requests.load(Ordering::Relaxed),
         classified: served.load(Ordering::Relaxed),
         connections,
-        throttled: throttled.load(Ordering::Relaxed),
+        throttled: stats.throttled.load(Ordering::Relaxed),
     })
 }

@@ -89,6 +89,53 @@
 //! with [`serve_with_core`] / [`serve_registry_with_core`] and
 //! [`CoreKind`].
 //!
+//! ## Observability
+//!
+//! The telemetry plane ([`metrics`]) is strictly opt-in: pass
+//! `Some(&ServeMetrics)` to [`serve_with_core_metrics`] /
+//! [`serve_registry_with_core_metrics`] and every stage of every
+//! request records into lock-free counters, gauges and log-scaled
+//! histograms (the zero-dependency `hdc_obs` crate); pass `None` and
+//! no clock is read anywhere — responses are byte-identical either way
+//! (pinned by a differential test) and the measured cost of turning
+//! telemetry on is within the 3% `ci/bench_gates.json` gate
+//! (`serving.telemetry.on_vs_off ≥ 0.97` on binary pipelined
+//! classify).
+//!
+//! The series catalog, by plane:
+//!
+//! * **Requests** — `hdc_requests_total{wire=json|binary}`; stage
+//!   histograms (µs) `hdc_stage_sniff_us` (first byte → wire mode),
+//!   `hdc_stage_dispatch_us` (parse/validate/admit/enqueue),
+//!   `hdc_stage_queue_wait_us` (enqueue → worker pop),
+//!   `hdc_stage_execute_classify_us` / `hdc_stage_execute_search_us`
+//!   (fused kernel calls), `hdc_stage_drain_us` (write-backlog drain);
+//!   `hdc_batch_size` (jobs per popped batch).
+//! * **Admission** — `hdc_throttled_total{reason=budget|rate|sweep}`,
+//!   recorded from the typed [`ThrottleReason`] before stringification.
+//! * **Event-loop internals** — `hdc_epoll_wait_us`,
+//!   `hdc_wakeup_batch` (completions per waker event),
+//!   `hdc_backlog_high_watermark_total`, `hdc_overload_rejects_total`,
+//!   `hdc_connections_opened_total` / `hdc_connections_closed_total`,
+//!   `hdc_active_connections`.
+//! * **Registry lifecycle** — `hdc_swaps_total{kind=reload|rekey|rollback}`,
+//!   `hdc_swapped_generation_age_secs`, `hdc_generation`,
+//!   `hdc_generation_age_secs`; each swap also emits one structured
+//!   `event=swap …` log line.
+//! * **HDLock audit** — `hdc_vault_reads` / `hdc_vault_denied_reads`
+//!   (privileged key-vault accesses of the serving generation) and the
+//!   process-wide kernel row counters `hdc_kernel_hamming_rows` /
+//!   `hdc_kernel_dot_rows`.
+//!
+//! Three exposition paths: the `{"metrics":true}` admin request
+//! returns a structured one-line JSON summary (counts + p50/p90/p99/
+//! p999 per stage); [`serve_scrapes`] (wired to `hdc_serve
+//! --metrics-addr`) answers Prometheus text-format scrapes on a
+//! separate listener; and swap events log structured lines to stderr.
+//! `hdc_loadgen --metrics-delta` diffs two scrapes of the admin
+//! request around a run to print server-side stage percentiles next to
+//! the client-observed latency histogram.
+//!
 //! ## Quickstart
 //!
 //! ```
@@ -137,6 +184,7 @@ pub mod epoll;
 #[cfg(target_os = "linux")]
 pub mod event_loop;
 pub mod loadgen;
+pub mod metrics;
 pub mod protocol;
 pub mod server;
 pub mod threaded;
@@ -145,12 +193,13 @@ pub mod wire;
 pub use admission::{AdmissionConfig, ConnectionAdmission, ThrottleReason};
 pub use batcher::{BatchConfig, BatchQueue};
 pub use loadgen::{FanInConfig, LoadReport, LoadgenConfig};
+pub use metrics::{serve_scrapes, ServeMetrics, SwapKind};
 pub use protocol::{
     AdminRequest, ClassifyRequest, ClassifyResponse, SearchMatch, ServerInfo, StatsReport, SwapInfo,
 };
 pub use server::{
-    serve, serve_registry, serve_registry_with_core, serve_with_core, CoreKind,
-    RegistryServeConfig, ServeStats,
+    serve, serve_registry, serve_registry_with_core, serve_registry_with_core_metrics,
+    serve_with_core, serve_with_core_metrics, CoreKind, RegistryServeConfig, ServeStats,
 };
 pub use wire::WireMode;
 
@@ -1123,6 +1172,260 @@ mod tests {
             shutdown.store(true, Ordering::SeqCst);
             let stats = server.join().unwrap().unwrap();
             assert_eq!(stats.throttled, 3);
+        });
+    }
+
+    /// A stream reader that records every byte it hands out — the raw
+    /// wire capture the telemetry differential test compares.
+    struct Recorder {
+        inner: TcpStream,
+        captured: Vec<u8>,
+    }
+
+    impl Read for Recorder {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            let n = self.inner.read(buf)?;
+            self.captured.extend_from_slice(&buf[..n]);
+            Ok(n)
+        }
+    }
+
+    /// Runs a fixed traffic script (classify with scores, search, a
+    /// shape error, a malformed line, info — strictly serial so the
+    /// response byte order is deterministic) against one server and
+    /// returns the raw response bytes per wire.
+    fn telemetry_traffic(core: CoreKind, metrics: Option<&ServeMetrics>) -> (Vec<u8>, Vec<u8>) {
+        let model = demo::demo_model(&demo::DemoSpec {
+            dim: 512,
+            train_size: 128,
+            ..Default::default()
+        });
+        let session = model.session();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let shutdown = AtomicBool::new(false);
+        let levels =
+            |i: u16| -> Vec<u16> { (0..16).map(|f| ((usize::from(i) + f) % 8) as u16).collect() };
+
+        std::thread::scope(|s| {
+            let server = s.spawn(|| {
+                serve_with_core_metrics(
+                    core,
+                    listener,
+                    &session,
+                    &BatchConfig::default(),
+                    &shutdown,
+                    metrics,
+                )
+            });
+
+            // JSON wire.
+            let stream = TcpStream::connect(addr).unwrap();
+            let mut reader = BufReader::new(Recorder {
+                inner: stream.try_clone().unwrap(),
+                captured: Vec::new(),
+            });
+            let mut writer = stream;
+            let mut script = Vec::new();
+            for i in 0..4u16 {
+                script.push(protocol::request_line(u64::from(i) + 1, &levels(i), true));
+            }
+            for i in 0..2u16 {
+                script.push(protocol::search_request_line(
+                    u64::from(i) + 10,
+                    &levels(i),
+                    3,
+                ));
+            }
+            script.push(protocol::request_line(20, &[1, 2], false));
+            script.push("{oops\n".to_string());
+            script.push(protocol::info_request_line(21));
+            let mut line = String::new();
+            for req in &script {
+                writer.write_all(req.as_bytes()).unwrap();
+                line.clear();
+                reader.read_line(&mut line).unwrap();
+            }
+            drop(writer);
+            let json_bytes = reader.into_inner().captured;
+
+            // Binary wire.
+            let stream = TcpStream::connect(addr).unwrap();
+            stream.set_nodelay(true).unwrap();
+            let mut reader = BufReader::new(Recorder {
+                inner: stream.try_clone().unwrap(),
+                captured: Vec::new(),
+            });
+            let mut writer = stream;
+            let mut frames = Vec::new();
+            for i in 0..4u16 {
+                frames.push(wire::classify_frame(u64::from(i) + 1, &levels(i), true));
+            }
+            for i in 0..2u16 {
+                frames.push(wire::search_frame(u64::from(i) + 10, &levels(i), 3));
+            }
+            frames.push(wire::info_frame(21));
+            for frame in &frames {
+                writer.write_all(frame).unwrap();
+                let _ = wire::read_frame(&mut reader).unwrap();
+            }
+            drop(writer);
+            let bin_bytes = reader.into_inner().captured;
+
+            shutdown.store(true, Ordering::SeqCst);
+            server.join().unwrap().unwrap();
+            (json_bytes, bin_bytes)
+        })
+    }
+
+    /// Telemetry is observational only: with metrics on, every response
+    /// byte on both wires is identical to a metrics-off server, on both
+    /// cores — and the plane actually observed the run.
+    #[test]
+    fn telemetry_on_responses_are_byte_identical_to_off() {
+        for core in [CoreKind::Threaded, CoreKind::Event] {
+            let off = telemetry_traffic(core, None);
+            let metrics = ServeMetrics::new();
+            let on = telemetry_traffic(core, Some(&metrics));
+            assert_eq!(off.0, on.0, "JSON wire bytes differ on {core:?}");
+            assert_eq!(off.1, on.1, "binary wire bytes differ on {core:?}");
+            // 4 classify + 2 search + shape error + malformed + info
+            // per wire; every dispatch and kernel call timed.
+            assert_eq!(metrics.requests_json.get(), 9);
+            assert_eq!(metrics.requests_binary.get(), 7);
+            assert!(metrics.dispatch_us.snapshot().count() >= 16);
+            assert!(metrics.execute_classify_us.snapshot().count() >= 1);
+            assert!(metrics.execute_search_us.snapshot().count() >= 1);
+            assert!(metrics.queue_wait_us.snapshot().count() >= 12);
+            assert_eq!(metrics.conns_opened.get(), 2);
+            assert_eq!(metrics.conns_closed.get(), 2);
+            assert_eq!(metrics.active_connections.get(), 0);
+        }
+    }
+
+    /// The registry server exposes the metrics plane three ways: the
+    /// `{"metrics":true}` admin request (one JSON line), the Prometheus
+    /// scrape listener, and the extended stats report — and a
+    /// metrics-off server answers the admin request with a structured
+    /// error instead.
+    #[test]
+    fn metrics_admin_and_scrape_expose_the_catalog() {
+        let spec = demo::DemoSpec {
+            dim: 256,
+            train_size: 64,
+            ..Default::default()
+        };
+        let registry = demo::demo_locked_registry(&spec, 2);
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let scrape_listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let scrape_addr = scrape_listener.local_addr().unwrap();
+        let shutdown = AtomicBool::new(false);
+        let config = RegistryServeConfig::default();
+        let metrics = ServeMetrics::new();
+        let row = |i: u16| -> Vec<u16> {
+            (0..spec.n_features)
+                .map(|f| ((usize::from(i) + f) % spec.m_levels) as u16)
+                .collect()
+        };
+
+        std::thread::scope(|s| {
+            let server = s.spawn(|| {
+                serve_registry_with_core_metrics(
+                    CoreKind::default(),
+                    listener,
+                    &registry,
+                    &config,
+                    &shutdown,
+                    Some(&metrics),
+                )
+            });
+            let scraper =
+                s.spawn(|| serve_scrapes(&scrape_listener, &metrics, Some(&registry), &shutdown));
+
+            let mut client = Client::connect(addr);
+            for i in 0..4u16 {
+                let resp = client.roundtrip(&protocol::request_line(u64::from(i), &row(i), false));
+                assert!(resp.class.is_some());
+            }
+
+            // The stats report carries the new uptime / per-wire /
+            // connection fields (the stats request itself is counted
+            // before it is answered).
+            let resp = client.roundtrip(&protocol::stats_request_line(50));
+            let stats = resp.stats.unwrap();
+            assert_eq!(stats.requests_json, 5);
+            assert_eq!(stats.requests_binary, 0);
+            assert_eq!(stats.active_connections, 1);
+            assert!(stats.uptime_secs < 3600);
+
+            // `{"metrics":true}` answers the full JSON summary in one
+            // line (not a ClassifyResponse — read it raw).
+            client
+                .writer
+                .write_all(protocol::metrics_request_line(60).as_bytes())
+                .unwrap();
+            client.line.clear();
+            client.reader.read_line(&mut client.line).unwrap();
+            let line = client.line.clone();
+            assert!(
+                line.starts_with("{\"id\":60,\"metrics\":{\"uptime_secs\":"),
+                "{line}"
+            );
+            for key in [
+                "\"requests\":{\"json\":6,\"binary\":0}",
+                "\"active_connections\":1",
+                "\"stages_us\":{",
+                "\"queue_wait\":{\"count\":",
+                "\"throttled\":{\"budget\":0",
+                "\"swaps\":{\"reload\":0,\"rekey\":0,\"rollback\":0}",
+                "\"generation\":1",
+                "\"vault\":{\"reads\":",
+            ] {
+                assert!(line.contains(key), "missing `{key}` in:\n{line}");
+            }
+
+            // The scrape listener answers Prometheus text format with
+            // the same counters.
+            let mut scrape = TcpStream::connect(scrape_addr).unwrap();
+            scrape
+                .write_all(b"GET /metrics HTTP/1.1\r\nHost: test\r\n\r\n")
+                .unwrap();
+            let mut payload = String::new();
+            scrape.read_to_string(&mut payload).unwrap();
+            assert!(payload.starts_with("HTTP/1.1 200 OK"), "{payload}");
+            for series in [
+                "hdc_requests_total{wire=\"json\"} 6",
+                "hdc_stage_dispatch_us_count 6",
+                "hdc_active_connections 1",
+                "hdc_generation 1",
+                "hdc_vault_reads",
+                "hdc_throttled_total{reason=\"budget\"} 0",
+            ] {
+                assert!(
+                    payload.contains(series),
+                    "missing `{series}` in:\n{payload}"
+                );
+            }
+
+            drop(client);
+            shutdown.store(true, Ordering::SeqCst);
+            server.join().unwrap().unwrap();
+            scraper.join().unwrap().unwrap();
+        });
+
+        // Metrics off: the admin request degrades to a structured error.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let shutdown = AtomicBool::new(false);
+        std::thread::scope(|s| {
+            let server = s.spawn(|| serve_registry(listener, &registry, &config, &shutdown));
+            let mut client = Client::connect(addr);
+            let resp = client.roundtrip(&protocol::metrics_request_line(1));
+            assert!(resp.error.unwrap().contains("not enabled"));
+            drop(client);
+            shutdown.store(true, Ordering::SeqCst);
+            server.join().unwrap().unwrap();
         });
     }
 }

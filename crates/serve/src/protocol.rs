@@ -87,6 +87,9 @@ pub enum AdminRequest {
     },
     /// Report registry + serving counters.
     Stats,
+    /// Report the full telemetry snapshot (requires a server started
+    /// with metrics enabled).
+    Metrics,
     /// Begin a streamed snapshot transfer of `len` bytes (discards any
     /// transfer already in progress on this connection).
     XferBegin {
@@ -184,6 +187,14 @@ pub struct StatsReport {
     pub requests: u64,
     /// Requests rejected by admission control since boot.
     pub throttled: u64,
+    /// Seconds this server core has been running.
+    pub uptime_secs: u64,
+    /// Requests that arrived on the JSON wire.
+    pub requests_json: u64,
+    /// Requests that arrived on the binary wire.
+    pub requests_binary: u64,
+    /// Connections currently open.
+    pub active_connections: u64,
 }
 
 /// Outcome of one row of a bulk classify (client side).
@@ -285,6 +296,9 @@ pub fn parse_request(line: &str) -> Result<ClassifyRequest, (u64, String)> {
     }
     if matches!(value.get("stats"), Some(Value::Bool(true))) {
         return Ok(bare(Some(AdminRequest::Stats), false));
+    }
+    if matches!(value.get("metrics"), Some(Value::Bool(true))) {
+        return Ok(bare(Some(AdminRequest::Metrics), false));
     }
     if let Some(reload) = value.get("reload") {
         let snapshot = reload
@@ -466,6 +480,12 @@ pub fn stats_request_line(id: u64) -> String {
     format!("{{\"id\":{id},\"stats\":true}}\n")
 }
 
+/// Renders a metrics request line (client side), with trailing newline.
+#[must_use]
+pub fn metrics_request_line(id: u64) -> String {
+    format!("{{\"id\":{id},\"metrics\":true}}\n")
+}
+
 /// Renders a reload request line (client side), with trailing newline.
 /// Paths are JSON-escaped.
 #[must_use]
@@ -518,7 +538,9 @@ pub fn swap_response(id: u64, swap: &SwapInfo) -> String {
 pub fn stats_response(id: u64, stats: &StatsReport) -> String {
     format!(
         "{{\"id\":{id},\"stats\":{{\"generation\":{},\"checksum\":\"{}\",\"locked\":{},\
-         \"reloads\":{},\"rekeys\":{},\"rollbacks\":{},\"requests\":{},\"throttled\":{}}}}}\n",
+         \"reloads\":{},\"rekeys\":{},\"rollbacks\":{},\"requests\":{},\"throttled\":{},\
+         \"uptime_secs\":{},\"requests_json\":{},\"requests_binary\":{},\
+         \"active_connections\":{}}}}}\n",
         stats.generation,
         stats.checksum,
         stats.locked,
@@ -526,7 +548,11 @@ pub fn stats_response(id: u64, stats: &StatsReport) -> String {
         stats.rekeys,
         stats.rollbacks,
         stats.requests,
-        stats.throttled
+        stats.throttled,
+        stats.uptime_secs,
+        stats.requests_json,
+        stats.requests_binary,
+        stats.active_connections
     )
 }
 
@@ -799,6 +825,12 @@ pub fn parse_response(line: &str) -> Result<ClassifyResponse, String> {
             rollbacks: stat_field(obj, "rollbacks")?,
             requests: stat_field(obj, "requests")?,
             throttled: stat_field(obj, "throttled")?,
+            // Absent on pre-telemetry servers; default 0 keeps old
+            // responses parseable.
+            uptime_secs: opt_stat_field(obj, "uptime_secs"),
+            requests_json: opt_stat_field(obj, "requests_json"),
+            requests_binary: opt_stat_field(obj, "requests_binary"),
+            active_connections: opt_stat_field(obj, "active_connections"),
         }),
         None => None,
     };
@@ -910,6 +942,11 @@ fn stat_field(obj: &Value, key: &str) -> Result<u64, String> {
     obj.get(key)
         .and_then(Value::as_u64)
         .ok_or_else(|| format!("stats without numeric `{key}`"))
+}
+
+/// Extracts an optional numeric stats field (0 when absent).
+fn opt_stat_field(obj: &Value, key: &str) -> u64 {
+    obj.get(key).and_then(Value::as_u64).unwrap_or(0)
 }
 
 #[cfg(test)]
@@ -1047,9 +1084,31 @@ mod tests {
             rollbacks: 0,
             requests: 9000,
             throttled: 12,
+            uptime_secs: 3600,
+            requests_json: 8000,
+            requests_binary: 1000,
+            active_connections: 7,
         };
         let resp = parse_response(&stats_response(5, &stats)).unwrap();
         assert_eq!(resp.stats, Some(stats));
+
+        // Pre-telemetry stats lines (no uptime/wire/connection fields)
+        // still parse, defaulting the new fields to 0.
+        let legacy = "{\"id\":5,\"stats\":{\"generation\":4,\"checksum\":\"0000000000000007\",\
+                      \"locked\":true,\"reloads\":1,\"rekeys\":2,\"rollbacks\":0,\
+                      \"requests\":9000,\"throttled\":12}}\n";
+        let resp = parse_response(legacy).unwrap();
+        let got = resp.stats.unwrap();
+        assert_eq!(got.uptime_secs, 0);
+        assert_eq!(got.requests_json, 0);
+        assert_eq!(got.active_connections, 0);
+    }
+
+    #[test]
+    fn metrics_request_parses_as_admin() {
+        let req = parse_request(&metrics_request_line(6)).unwrap();
+        assert_eq!(req.admin, Some(AdminRequest::Metrics));
+        assert!(!req.want_info && req.levels.is_empty());
     }
 
     #[test]

@@ -27,7 +27,7 @@ use std::collections::HashSet;
 use std::net::TcpListener;
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use hdc_model::ClassifySession;
 use hdc_store::{ModelRegistry, SnapshotStage};
@@ -36,6 +36,7 @@ use crate::admission::{AdmissionConfig, ConnectionAdmission};
 use crate::batcher::{
     run_batch, BatchConfig, BatchQueue, BulkSlot, Completion, JobKind, JobResult,
 };
+use crate::metrics::{elapsed_us, ServeMetrics, SwapKind};
 use crate::protocol;
 use crate::wire::{self, WireMode};
 
@@ -55,6 +56,61 @@ pub struct ServeStats {
     /// Requests rejected by admission control (always 0 for the
     /// non-registry [`serve`]).
     pub throttled: u64,
+}
+
+/// Always-on per-server counters shared by both connection cores, plus
+/// the optional telemetry plane. The atomics cost one relaxed add per
+/// event whether telemetry is on or off — so the two configurations pay
+/// the same base price and stay byte-identical on the wire; everything
+/// richer (clocks, histograms, labeled series) hides behind `metrics`.
+pub(crate) struct CoreStats<'m> {
+    /// Requests answered (success or protocol error).
+    pub(crate) requests: AtomicU64,
+    /// Requests rejected by admission control.
+    pub(crate) throttled: AtomicU64,
+    /// Requests arriving on JSON connections.
+    pub(crate) requests_json: AtomicU64,
+    /// Requests arriving on binary connections.
+    pub(crate) requests_binary: AtomicU64,
+    /// Currently open connections.
+    pub(crate) active: AtomicU64,
+    /// When this server started (drives the stats uptime field).
+    pub(crate) started: Instant,
+    /// The opt-in telemetry plane; `None` keeps every recording site
+    /// clock-free.
+    pub(crate) metrics: Option<&'m ServeMetrics>,
+}
+
+impl<'m> CoreStats<'m> {
+    pub(crate) fn new(metrics: Option<&'m ServeMetrics>) -> Self {
+        CoreStats {
+            requests: AtomicU64::new(0),
+            throttled: AtomicU64::new(0),
+            requests_json: AtomicU64::new(0),
+            requests_binary: AtomicU64::new(0),
+            active: AtomicU64::new(0),
+            started: Instant::now(),
+            metrics,
+        }
+    }
+
+    /// One connection entered service.
+    pub(crate) fn enter_connection(&self) {
+        self.active.fetch_add(1, Ordering::Relaxed);
+        if let Some(m) = self.metrics {
+            m.conns_opened.inc();
+            m.active_connections.add(1);
+        }
+    }
+
+    /// One connection left service.
+    pub(crate) fn leave_connection(&self) {
+        self.active.fetch_sub(1, Ordering::Relaxed);
+        if let Some(m) = self.metrics {
+            m.conns_closed.inc();
+            m.active_connections.sub(1);
+        }
+    }
 }
 
 /// Configuration of the registry-backed server.
@@ -127,6 +183,10 @@ pub(crate) trait RequestBrain<'env> {
 /// Brain of the fixed-session server.
 pub(crate) struct SessionBrain<'a, S: ClassifySession> {
     pub(crate) session: &'a S,
+    /// Lets the fixed-session server answer `{"metrics":true}` when the
+    /// telemetry plane is on (every other admin request still needs a
+    /// registry).
+    pub(crate) metrics: Option<&'a ServeMetrics>,
 }
 
 impl<'a, S: ClassifySession> RequestBrain<'a> for SessionBrain<'a, S> {
@@ -150,7 +210,10 @@ impl<'a, S: ClassifySession> RequestBrain<'a> for SessionBrain<'a, S> {
         Ok(())
     }
 
-    fn admin(&mut self, id: u64, _admin: protocol::AdminRequest) -> AdminOutcome<'a> {
+    fn admin(&mut self, id: u64, admin: protocol::AdminRequest) -> AdminOutcome<'a> {
+        if let (protocol::AdminRequest::Metrics, Some(m)) = (&admin, self.metrics) {
+            return AdminOutcome::Done(m.render_json(id, None));
+        }
         AdminOutcome::Done(protocol::error_response(
             id,
             "admin requests need a registry-backed server",
@@ -162,8 +225,7 @@ impl<'a, S: ClassifySession> RequestBrain<'a> for SessionBrain<'a, S> {
 pub(crate) struct RegistryCtx<'a> {
     pub(crate) registry: &'a ModelRegistry,
     pub(crate) admission: &'a AdmissionConfig,
-    pub(crate) requests: &'a AtomicU64,
-    pub(crate) throttled: &'a AtomicU64,
+    pub(crate) stats: &'a CoreStats<'a>,
 }
 
 /// Brain of the registry-backed server: one admission state (and at
@@ -204,6 +266,23 @@ fn render_swap(
     }
 }
 
+/// [`render_swap`] plus telemetry: a swap that landed ticks its
+/// per-kind counter and records the age of the generation it retired
+/// (captured by the caller *before* the swap ran).
+fn finish_swap(
+    id: u64,
+    verb: &str,
+    kind: SwapKind,
+    metrics: Option<&ServeMetrics>,
+    retired_age: Duration,
+    result: Result<std::sync::Arc<hdc_store::Generation>, hdc_store::StoreError>,
+) -> String {
+    if let (Some(m), Ok(generation)) = (metrics, result.as_ref()) {
+        m.record_swap(kind, generation.id(), retired_age);
+    }
+    render_swap(id, verb, result)
+}
+
 impl<'a: 'ctx, 'ctx> RequestBrain<'ctx> for RegistryBrain<'a, 'ctx> {
     fn server_info(&mut self) -> protocol::ServerInfo {
         let generation = self.ctx.registry.current();
@@ -225,13 +304,21 @@ impl<'a: 'ctx, 'ctx> RequestBrain<'ctx> for RegistryBrain<'a, 'ctx> {
     }
 
     fn admit(&mut self, levels: &[u16]) -> Result<(), String> {
-        self.admission.admit(levels).map_err(|r| r.to_string())
+        // The typed reason is recorded here, before stringification —
+        // the only place budget/rate/sweep are still distinguishable.
+        self.admission.admit(levels).map_err(|reason| {
+            if let Some(m) = self.ctx.stats.metrics {
+                m.record_throttle_reason(&reason);
+            }
+            reason.to_string()
+        })
     }
 
     fn admin(&mut self, id: u64, admin: protocol::AdminRequest) -> AdminOutcome<'ctx> {
         // Copy the context reference out so offloaded closures capture
         // it by value (they must not borrow `self`).
         let ctx: &'ctx RegistryCtx<'a> = self.ctx;
+        let metrics = ctx.stats.metrics;
         match admin {
             protocol::AdminRequest::Stats => {
                 let s = ctx.registry.stats();
@@ -244,21 +331,32 @@ impl<'a: 'ctx, 'ctx> RequestBrain<'ctx> for RegistryBrain<'a, 'ctx> {
                         reloads: s.reloads,
                         rekeys: s.rekeys,
                         rollbacks: s.rollbacks,
-                        requests: ctx.requests.load(Ordering::Relaxed),
-                        throttled: ctx.throttled.load(Ordering::Relaxed),
+                        requests: ctx.stats.requests.load(Ordering::Relaxed),
+                        throttled: ctx.stats.throttled.load(Ordering::Relaxed),
+                        uptime_secs: ctx.stats.started.elapsed().as_secs(),
+                        requests_json: ctx.stats.requests_json.load(Ordering::Relaxed),
+                        requests_binary: ctx.stats.requests_binary.load(Ordering::Relaxed),
+                        active_connections: ctx.stats.active.load(Ordering::Relaxed),
                     },
                 ))
             }
+            protocol::AdminRequest::Metrics => AdminOutcome::Done(match metrics {
+                Some(m) => m.render_json(id, Some(ctx.registry)),
+                None => protocol::error_response(id, "metrics are not enabled on this server"),
+            }),
             protocol::AdminRequest::Reload { snapshot, key } => {
                 AdminOutcome::Offload(Box::new(move || {
+                    let retired_age = ctx.registry.current().age();
                     let result = ctx
                         .registry
                         .reload_files(Path::new(&snapshot), key.as_deref().map(Path::new));
-                    render_swap(id, "reload", result)
+                    finish_swap(id, "reload", SwapKind::Reload, metrics, retired_age, result)
                 }))
             }
             protocol::AdminRequest::Rekey { seed } => AdminOutcome::Offload(Box::new(move || {
-                render_swap(id, "rekey", ctx.registry.rekey(seed))
+                let retired_age = ctx.registry.current().age();
+                let result = ctx.registry.rekey(seed);
+                finish_swap(id, "rekey", SwapKind::Rekey, metrics, retired_age, result)
             })),
             protocol::AdminRequest::XferBegin { len } => {
                 // A new `begin` implicitly aborts any prior transfer on
@@ -300,10 +398,11 @@ impl<'a: 'ctx, 'ctx> RequestBrain<'ctx> for RegistryBrain<'a, 'ctx> {
                 )),
                 Some(stage) => AdminOutcome::Offload(Box::new(move || match stage.finish() {
                     Ok(staged) => {
+                        let retired_age = ctx.registry.current().age();
                         let result = ctx
                             .registry
                             .reload_files(staged.path(), key.as_deref().map(Path::new));
-                        render_swap(id, "reload", result)
+                        finish_swap(id, "reload", SwapKind::Reload, metrics, retired_age, result)
                     }
                     Err(e) => {
                         protocol::error_response(id, &format!("snapshot transfer invalid: {e}"))
@@ -519,8 +618,10 @@ pub(crate) trait ConnOutbox<'env> {
     fn mode(&self) -> WireMode;
     /// Pipeline-window depth (≥ 1).
     fn window(&self) -> usize;
-    /// `(requests, throttled)` server counters.
-    fn counters(&self) -> (&AtomicU64, &AtomicU64);
+    /// Always-on server counters plus the optional telemetry plane.
+    /// The `'env` inner lifetime lets dispatch copy the metrics
+    /// reference out and keep it across `&mut self` calls.
+    fn stats(&self) -> &CoreStats<'env>;
     /// Sends pre-rendered bytes (inline responses: errors, info,
     /// admin), ordered with respect to earlier sends.
     fn send_inline(&mut self, bytes: Vec<u8>);
@@ -597,12 +698,47 @@ pub(crate) fn prepare_bulk<'env, B: RequestBrain<'env>>(
 /// Handles one parsed request: the exact validation → duplicate-id →
 /// window → admission → enqueue ordering both cores share. Returns
 /// `false` when the connection must close (fatal framing fault).
+///
+/// This wrapper owns the per-request accounting: the always-on request
+/// counters (total and per wire format) tick unconditionally, and with
+/// telemetry on the whole parse→validate→admit→enqueue turn lands in
+/// the dispatch-stage histogram. [`dispatch_inner`] does the actual
+/// policy work and is timing-free.
 pub(crate) fn dispatch_incoming<'env, B, O>(out: &mut O, brain: &mut B, incoming: Incoming) -> bool
 where
     B: RequestBrain<'env>,
     O: ConnOutbox<'env>,
 {
-    out.counters().0.fetch_add(1, Ordering::Relaxed);
+    let metrics = out.stats().metrics;
+    out.stats().requests.fetch_add(1, Ordering::Relaxed);
+    match out.mode() {
+        WireMode::Json => {
+            out.stats().requests_json.fetch_add(1, Ordering::Relaxed);
+            if let Some(m) = metrics {
+                m.requests_json.inc();
+            }
+        }
+        WireMode::Binary => {
+            out.stats().requests_binary.fetch_add(1, Ordering::Relaxed);
+            if let Some(m) = metrics {
+                m.requests_binary.inc();
+            }
+        }
+    }
+    let start = metrics.map(|_| Instant::now());
+    let keep_open = dispatch_inner(out, brain, incoming);
+    if let (Some(m), Some(start)) = (metrics, start) {
+        m.dispatch_us.record(elapsed_us(start));
+    }
+    keep_open
+}
+
+/// The policy body of [`dispatch_incoming`].
+fn dispatch_inner<'env, B, O>(out: &mut O, brain: &mut B, incoming: Incoming) -> bool
+where
+    B: RequestBrain<'env>,
+    O: ConnOutbox<'env>,
+{
     match incoming {
         Incoming::Info { id } => {
             let info = brain.server_info();
@@ -638,7 +774,7 @@ where
             // connection's query budget.
             if let Err(msg) = brain.admit(&levels) {
                 out.inflight_remove(id);
-                out.counters().1.fetch_add(1, Ordering::Relaxed);
+                out.stats().throttled.fetch_add(1, Ordering::Relaxed);
                 let bytes = render_error(out.mode(), id, &msg, true, false);
                 out.send_inline(bytes);
                 return true;
@@ -672,8 +808,8 @@ where
                     throttled_rows,
                 } => {
                     if throttled_rows > 0 {
-                        out.counters()
-                            .1
+                        out.stats()
+                            .throttled
                             .fetch_add(throttled_rows, Ordering::Relaxed);
                     }
                     out.inflight_insert(id);
@@ -770,6 +906,7 @@ pub(crate) fn registry_worker_loop(
     registry: &ModelRegistry,
     config: &BatchConfig,
     served: &AtomicU64,
+    metrics: Option<&ServeMetrics>,
 ) {
     while let Some(batch) = queue.next_batch(config) {
         let generation = registry.current();
@@ -779,6 +916,7 @@ pub(crate) fn registry_worker_loop(
             batch,
             served,
             Some(generation.id()),
+            metrics,
         );
     }
 }
@@ -822,16 +960,36 @@ pub fn serve_with_core<S: ClassifySession>(
     config: &BatchConfig,
     shutdown: &AtomicBool,
 ) -> std::io::Result<ServeStats> {
+    serve_with_core_metrics(core, listener, session, config, shutdown, None)
+}
+
+/// [`serve_with_core`] with the telemetry plane attached: every stage
+/// of every request records into `metrics` (see [`ServeMetrics`]).
+/// `None` is exactly [`serve_with_core`] — no clock reads, responses
+/// byte-identical.
+///
+/// # Errors
+///
+/// Propagates listener configuration errors; per-connection I/O errors
+/// only terminate that connection.
+pub fn serve_with_core_metrics<S: ClassifySession>(
+    core: CoreKind,
+    listener: TcpListener,
+    session: &S,
+    config: &BatchConfig,
+    shutdown: &AtomicBool,
+    metrics: Option<&ServeMetrics>,
+) -> std::io::Result<ServeStats> {
     match core {
-        CoreKind::Threaded => crate::threaded::serve(listener, session, config, shutdown),
+        CoreKind::Threaded => crate::threaded::serve(listener, session, config, shutdown, metrics),
         CoreKind::Event => {
             #[cfg(target_os = "linux")]
             {
-                crate::event_loop::serve(listener, session, config, shutdown)
+                crate::event_loop::serve(listener, session, config, shutdown, metrics)
             }
             #[cfg(not(target_os = "linux"))]
             {
-                crate::threaded::serve(listener, session, config, shutdown)
+                crate::threaded::serve(listener, session, config, shutdown, metrics)
             }
         }
     }
@@ -890,16 +1048,39 @@ pub fn serve_registry_with_core(
     config: &RegistryServeConfig,
     shutdown: &AtomicBool,
 ) -> std::io::Result<ServeStats> {
+    serve_registry_with_core_metrics(core, listener, registry, config, shutdown, None)
+}
+
+/// [`serve_registry_with_core`] with the telemetry plane attached:
+/// request stages, admission refusals by reason, generation swaps and
+/// connection churn all record into `metrics` (see [`ServeMetrics`]),
+/// and `{"metrics":true}` is answered with the structured JSON catalog.
+/// `None` is exactly [`serve_registry_with_core`].
+///
+/// # Errors
+///
+/// Propagates listener configuration errors; per-connection I/O errors
+/// only terminate that connection.
+pub fn serve_registry_with_core_metrics(
+    core: CoreKind,
+    listener: TcpListener,
+    registry: &ModelRegistry,
+    config: &RegistryServeConfig,
+    shutdown: &AtomicBool,
+    metrics: Option<&ServeMetrics>,
+) -> std::io::Result<ServeStats> {
     match core {
-        CoreKind::Threaded => crate::threaded::serve_registry(listener, registry, config, shutdown),
+        CoreKind::Threaded => {
+            crate::threaded::serve_registry(listener, registry, config, shutdown, metrics)
+        }
         CoreKind::Event => {
             #[cfg(target_os = "linux")]
             {
-                crate::event_loop::serve_registry(listener, registry, config, shutdown)
+                crate::event_loop::serve_registry(listener, registry, config, shutdown, metrics)
             }
             #[cfg(not(target_os = "linux"))]
             {
-                crate::threaded::serve_registry(listener, registry, config, shutdown)
+                crate::threaded::serve_registry(listener, registry, config, shutdown, metrics)
             }
         }
     }

@@ -35,7 +35,7 @@ use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use hdc_model::ClassifySession;
 use hdc_store::ModelRegistry;
@@ -43,9 +43,10 @@ use hdc_store::ModelRegistry;
 use crate::batcher::{
     worker_loop, BatchConfig, BatchQueue, CompletionSink, Delivery, Job, JobKind,
 };
+use crate::metrics::{elapsed_us, ServeMetrics};
 use crate::server::{
     dispatch_incoming, incoming_from_json, next_frame_step, registry_worker_loop,
-    render_completion, ConnOutbox, FrameStep, InflightSet, RegistryBrain, RegistryCtx,
+    render_completion, ConnOutbox, CoreStats, FrameStep, InflightSet, RegistryBrain, RegistryCtx,
     RegistryServeConfig, RequestBrain, ServeStats, SessionBrain, POLL_TICK,
 };
 use crate::wire::{self, WireMode};
@@ -60,7 +61,7 @@ use crate::wire::{self, WireMode};
 const WRITER_BACKLOG_SLACK: usize = 256;
 
 /// Shared per-connection I/O state handed to the dispatcher.
-struct ConnIo<'a> {
+struct ConnIo<'a, 'env> {
     mode: WireMode,
     queue: &'a BatchQueue,
     tx: &'a mpsc::Sender<Delivery>,
@@ -73,11 +74,10 @@ struct ConnIo<'a> {
     /// writer decrements per delivery processed.
     pending: &'a AtomicU64,
     window: usize,
-    requests: &'a AtomicU64,
-    throttled: &'a AtomicU64,
+    stats: &'a CoreStats<'env>,
 }
 
-impl ConnIo<'_> {
+impl ConnIo<'_, '_> {
     /// The writer-backlog ceiling: the full pipeline window plus slack
     /// for unmetered inline responses.
     fn backlog_cap(&self) -> u64 {
@@ -105,7 +105,7 @@ impl ConnIo<'_> {
     }
 }
 
-impl<'env> ConnOutbox<'env> for ConnIo<'_> {
+impl<'env> ConnOutbox<'env> for ConnIo<'_, 'env> {
     fn mode(&self) -> WireMode {
         self.mode
     }
@@ -114,8 +114,8 @@ impl<'env> ConnOutbox<'env> for ConnIo<'_> {
         self.window
     }
 
-    fn counters(&self) -> (&AtomicU64, &AtomicU64) {
-        (self.requests, self.throttled)
+    fn stats(&self) -> &CoreStats<'env> {
+        self.stats
     }
 
     fn send_inline(&mut self, bytes: Vec<u8>) {
@@ -156,6 +156,7 @@ impl<'env> ConnOutbox<'env> for ConnIo<'_> {
             id,
             kind,
             tx: CompletionSink::Channel(self.tx.clone()),
+            enqueued_at: self.stats.metrics.is_some().then(Instant::now),
         });
     }
 
@@ -179,10 +180,15 @@ fn writer_loop(
     mode: WireMode,
     inflight: &Mutex<InflightSet>,
     pending: &AtomicU64,
+    metrics: Option<&ServeMetrics>,
 ) {
     let mut writer = BufWriter::new(stream);
     let mut dead = false;
     while let Ok(first) = rx.recv() {
+        // One drain+flush cycle is this core's write-backlog drain
+        // stage (the event loop's counterpart is its nonblocking
+        // flush).
+        let drain_start = metrics.map(|_| Instant::now());
         let mut next = Some(first);
         // Greedily drain whatever has completed, then flush once: under
         // pipelined load this coalesces many small responses into one
@@ -215,6 +221,9 @@ fn writer_loop(
             dead = true;
             let _ = writer.get_ref().shutdown(std::net::Shutdown::Both);
         }
+        if let (Some(m), Some(start)) = (metrics, drain_start) {
+            m.drain_us.record(elapsed_us(start));
+        }
     }
 }
 
@@ -227,8 +236,7 @@ fn handle_connection<'env, B: RequestBrain<'env>>(
     mut brain: B,
     queue: &BatchQueue,
     shutdown: &AtomicBool,
-    requests: &AtomicU64,
-    throttled: &AtomicU64,
+    stats: &CoreStats<'env>,
     window: usize,
 ) -> std::io::Result<()> {
     stream.set_nodelay(true)?;
@@ -237,6 +245,7 @@ fn handle_connection<'env, B: RequestBrain<'env>>(
     // Negotiate the wire format without consuming anything: the first
     // byte of a binary connection is the magic 0xB1, which no JSON line
     // starts with.
+    let sniff_start = stats.metrics.map(|_| Instant::now());
     let mode = loop {
         let mut first = [0u8; 1];
         match stream.peek(&mut first) {
@@ -259,6 +268,9 @@ fn handle_connection<'env, B: RequestBrain<'env>>(
             Err(e) => return Err(e),
         }
     };
+    if let (Some(m), Some(start)) = (stats.metrics, sniff_start) {
+        m.sniff_us.record(elapsed_us(start));
+    }
 
     let write_stream = stream.try_clone()?;
     // A generous write timeout keeps a stalled (never-reading) client
@@ -273,7 +285,8 @@ fn handle_connection<'env, B: RequestBrain<'env>>(
         let writer = scope.spawn({
             let inflight = &inflight;
             let pending = &pending;
-            move || writer_loop(write_stream, rx, mode, inflight, pending)
+            let metrics = stats.metrics;
+            move || writer_loop(write_stream, rx, mode, inflight, pending, metrics)
         });
         let mut io = ConnIo {
             mode,
@@ -282,8 +295,7 @@ fn handle_connection<'env, B: RequestBrain<'env>>(
             inflight: &inflight,
             pending: &pending,
             window: window.max(1),
-            requests,
-            throttled,
+            stats,
         };
         let result = match mode {
             WireMode::Json => read_json_loop(&stream, &mut io, &mut brain, shutdown),
@@ -300,7 +312,7 @@ fn handle_connection<'env, B: RequestBrain<'env>>(
 /// Read loop, line-JSON flavor.
 fn read_json_loop<'env, B: RequestBrain<'env>>(
     stream: &TcpStream,
-    io: &mut ConnIo<'_>,
+    io: &mut ConnIo<'_, 'env>,
     brain: &mut B,
     shutdown: &AtomicBool,
 ) -> std::io::Result<()> {
@@ -355,7 +367,7 @@ fn read_json_loop<'env, B: RequestBrain<'env>>(
 /// closes it.
 fn read_binary_loop<'env, B: RequestBrain<'env>>(
     mut stream: &TcpStream,
-    io: &mut ConnIo<'_>,
+    io: &mut ConnIo<'_, 'env>,
     brain: &mut B,
     shutdown: &AtomicBool,
 ) -> std::io::Result<()> {
@@ -423,17 +435,17 @@ pub fn serve<S: ClassifySession>(
     session: &S,
     config: &BatchConfig,
     shutdown: &AtomicBool,
+    metrics: Option<&ServeMetrics>,
 ) -> std::io::Result<ServeStats> {
     listener.set_nonblocking(true)?;
     let queue = BatchQueue::new();
-    let requests = AtomicU64::new(0);
+    let stats = CoreStats::new(metrics);
     let served = AtomicU64::new(0);
-    let throttled = AtomicU64::new(0);
     let mut connections = 0u64;
 
     std::thread::scope(|scope| {
         let worker_handles: Vec<_> = (0..config.workers.max(1))
-            .map(|_| scope.spawn(|| worker_loop(&queue, session, config, &served)))
+            .map(|_| scope.spawn(|| worker_loop(&queue, session, config, &served, metrics)))
             .collect();
 
         let mut handler_handles = Vec::new();
@@ -446,18 +458,21 @@ pub fn serve<S: ClassifySession>(
                 Ok((stream, _peer)) => {
                     connections += 1;
                     let queue = &queue;
-                    let requests = &requests;
-                    let throttled = &throttled;
+                    let stats = &stats;
                     handler_handles.push(scope.spawn(move || {
+                        stats.enter_connection();
                         let _ = handle_connection(
                             stream,
-                            SessionBrain { session },
+                            SessionBrain {
+                                session,
+                                metrics: stats.metrics,
+                            },
                             queue,
                             shutdown,
-                            requests,
-                            throttled,
+                            stats,
                             config.pipeline_window,
                         );
+                        stats.leave_connection();
                     }));
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
@@ -482,10 +497,10 @@ pub fn serve<S: ClassifySession>(
     });
 
     Ok(ServeStats {
-        requests: requests.load(Ordering::Relaxed),
+        requests: stats.requests.load(Ordering::Relaxed),
         classified: served.load(Ordering::Relaxed),
         connections,
-        throttled: throttled.load(Ordering::Relaxed),
+        throttled: stats.throttled.load(Ordering::Relaxed),
     })
 }
 
@@ -505,23 +520,26 @@ pub fn serve_registry(
     registry: &ModelRegistry,
     config: &RegistryServeConfig,
     shutdown: &AtomicBool,
+    metrics: Option<&ServeMetrics>,
 ) -> std::io::Result<ServeStats> {
     listener.set_nonblocking(true)?;
     let queue = BatchQueue::new();
-    let requests = AtomicU64::new(0);
+    let stats = CoreStats::new(metrics);
     let served = AtomicU64::new(0);
-    let throttled = AtomicU64::new(0);
     let mut connections = 0u64;
     let ctx = RegistryCtx {
         registry,
         admission: &config.admission,
-        requests: &requests,
-        throttled: &throttled,
+        stats: &stats,
     };
 
     std::thread::scope(|scope| {
         let worker_handles: Vec<_> = (0..config.batch.workers.max(1))
-            .map(|_| scope.spawn(|| registry_worker_loop(&queue, registry, &config.batch, &served)))
+            .map(|_| {
+                scope.spawn(|| {
+                    registry_worker_loop(&queue, registry, &config.batch, &served, metrics)
+                })
+            })
             .collect();
 
         let mut handler_handles = Vec::new();
@@ -535,15 +553,16 @@ pub fn serve_registry(
                     let ctx = &ctx;
                     let queue = &queue;
                     handler_handles.push(scope.spawn(move || {
+                        ctx.stats.enter_connection();
                         let _ = handle_connection(
                             stream,
                             RegistryBrain::new(ctx),
                             queue,
                             shutdown,
-                            ctx.requests,
-                            ctx.throttled,
+                            ctx.stats,
                             config.batch.pipeline_window,
                         );
+                        ctx.stats.leave_connection();
                     }));
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
@@ -563,9 +582,9 @@ pub fn serve_registry(
     });
 
     Ok(ServeStats {
-        requests: requests.load(Ordering::Relaxed),
+        requests: stats.requests.load(Ordering::Relaxed),
         classified: served.load(Ordering::Relaxed),
         connections,
-        throttled: throttled.load(Ordering::Relaxed),
+        throttled: stats.throttled.load(Ordering::Relaxed),
     })
 }

@@ -43,6 +43,7 @@ const ROLLBACK_DEPTH: usize = 4;
 pub struct Generation {
     id: u64,
     checksum: u64,
+    created: std::time::Instant,
     session: ServingSession,
 }
 
@@ -70,6 +71,14 @@ impl Generation {
     #[must_use]
     pub fn is_locked(&self) -> bool {
         self.session.encoder().is_locked()
+    }
+
+    /// Time since this generation was installed — how long the model
+    /// has been serving (telemetry reports it on swap events, where a
+    /// short-lived generation flags swap churn).
+    #[must_use]
+    pub fn age(&self) -> std::time::Duration {
+        self.created.elapsed()
     }
 }
 
@@ -122,6 +131,7 @@ impl ModelRegistry {
             current: Mutex::new(Arc::new(Generation {
                 id: 1,
                 checksum,
+                created: std::time::Instant::now(),
                 session,
             })),
             previous: Mutex::new(Vec::new()),
@@ -175,6 +185,7 @@ impl ModelRegistry {
         let generation = Arc::new(Generation {
             id: self.next_id.fetch_add(1, Ordering::SeqCst),
             checksum,
+            created: std::time::Instant::now(),
             session,
         });
         let replaced = {
