@@ -16,6 +16,11 @@
 //!    encoder, the same style of chosen-input probing needs every one
 //!    of the `2L` key parameters of a feature to be simultaneously
 //!    correct — a `(D·P)^L` search (Figs. 5/6).
+//! 5. **Timing-oracle probe** ([`warmth_distinguisher`]): times
+//!    chosen-input encodes and applies Welch's t-test ([`welch_t`]) to
+//!    read the victim's bound-pair cache state — the side channel that
+//!    `DeriveMode::Hardened` closes (threat model in the repository's
+//!    `SECURITY.md`).
 //!
 //! ## Example: stealing an unprotected model
 //!
@@ -67,5 +72,8 @@ pub use reconstruct::{
     duplicate_model, mapping_accuracy, reason_encoding, rebuild_encoder, RecoveredEncoding,
 };
 pub use robust::{NoisyOracle, QueryBudget, ThrottledOracle};
-pub use timing::AttackStats;
+pub use timing::{
+    checked_welch_t, warmth_distinguisher, welch_t, AttackStats, TimingReport, MIN_RELATIVE_GAP,
+    MIN_TIMING_SAMPLES, T_THRESHOLD,
+};
 pub use value_extract::{extract_values, value_mapping_accuracy, ValueMapping};

@@ -16,8 +16,8 @@
 //! speedups against `ci/bench_gates.json`.
 //!
 //! A second, million-row section measures *top-k* similarity search —
-//! the exact heap scan ([`search_topk_binary`]
-//! [`hypervec::ShardedClassMemory::search_topk_binary`]) against the
+//! the exact heap scan
+//! ([`hypervec::ShardedClassMemory::search_topk_binary`]) against the
 //! coarse-probe pruned scan — over a corpus with planted near-duplicate
 //! families, recording q/s, the pruned-vs-exact speedup, and recall@k,
 //! and asserting in-bench that the pruned scan at full probe width is
@@ -50,7 +50,7 @@ use std::net::TcpListener;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Instant;
 
-use hdc_model::{infer, ClassMemory, ModelKind};
+use hdc_model::{infer, ClassMemory, Encoder as _, ModelKind};
 use hdc_serve::demo::{demo_model, DemoSpec};
 use hdc_serve::{
     loadgen, protocol, server, wire, BatchConfig, CoreKind, FanInConfig, LoadgenConfig, WireMode,
@@ -995,6 +995,67 @@ fn main() {
          ({telemetry_on_vs_off:.3}x)"
     );
 
+    // The hardening tax: encode throughput of one locked encoder in the
+    // default cached mode (bound-pair table warm) vs the constant-time
+    // hardened mode, single-row and batch, with the same encoder
+    // switched between modes so the recorded `bit_identical` covers the
+    // exact keys being timed. The gates pin bit_identical = 1 and a
+    // floor on the throughput ratio; the tax is bounded by ~M× by
+    // construction, so the ratio clears its floor with a wide margin.
+    let lock_config = hdlock::LockConfig {
+        n_features: 16,
+        m_levels: 8,
+        dim: opts.int_dim,
+        pool_size: 16,
+        n_layers: 2,
+    };
+    let mut lock_rng = HvRng::from_seed(0xD0C5);
+    let mut hardened_victim =
+        hdlock::LockedEncoder::generate(&mut lock_rng, &lock_config).expect("valid lock config");
+    let lock_rows: Vec<Vec<u16>> = (0..64)
+        .map(|r| {
+            (0..lock_config.n_features)
+                .map(|f| ((r + f) % lock_config.m_levels) as u16)
+                .collect()
+        })
+        .collect();
+    let lock_refs: Vec<&[u16]> = lock_rows.iter().map(Vec::as_slice).collect();
+    let cached_encodes = hardened_victim.encode_batch_binary(&lock_refs); // warms the table
+    let cached_eps = throughput(lock_refs.len(), min_secs, || {
+        for r in &lock_refs {
+            std::hint::black_box(hardened_victim.encode_binary(r));
+        }
+    });
+    let cached_batch_rps = throughput(lock_refs.len(), min_secs, || {
+        std::hint::black_box(hardened_victim.encode_batch_binary(&lock_refs));
+    });
+    hardened_victim.set_mode(hdlock::DeriveMode::Hardened);
+    let hardened_bit_identical = u64::from(
+        hardened_victim.encode_batch_binary(&lock_refs) == cached_encodes
+            && lock_refs
+                .iter()
+                .map(|r| hardened_victim.encode_binary(r))
+                .collect::<Vec<_>>()
+                == cached_encodes,
+    );
+    let hardened_eps = throughput(lock_refs.len(), min_secs, || {
+        for r in &lock_refs {
+            std::hint::black_box(hardened_victim.encode_binary(r));
+        }
+    });
+    let hardened_batch_rps = throughput(lock_refs.len(), min_secs, || {
+        std::hint::black_box(hardened_victim.encode_batch_binary(&lock_refs));
+    });
+    let hardened_vs_cached_encode = hardened_eps / cached_eps;
+    let hardened_vs_cached_batch = hardened_batch_rps / cached_batch_rps;
+    println!(
+        "hardened-mode tax (N = {}, M = {}, D = {}): single-row {cached_eps:.0} -> \
+         {hardened_eps:.0} encodes/s ({hardened_vs_cached_encode:.3}x), batch \
+         {cached_batch_rps:.0} -> {hardened_batch_rps:.0} rows/s \
+         ({hardened_vs_cached_batch:.3}x), bit_identical = {hardened_bit_identical}",
+        lock_config.n_features, lock_config.m_levels, lock_config.dim
+    );
+
     let mut json = String::new();
     let _ = writeln!(json, "{{");
     let _ = writeln!(
@@ -1228,6 +1289,42 @@ fn main() {
         json,
         "      \"vs_threaded_binary_pipelined\": {vs_threaded_binary_pipelined:.2}"
     );
+    let _ = writeln!(json, "    }}");
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"security\": {{");
+    let _ = writeln!(json, "    \"hardened\": {{");
+    let _ = writeln!(
+        json,
+        "      \"config\": {{ \"n_features\": {}, \"m_levels\": {}, \"dim\": {}, \
+         \"pool_size\": {}, \"n_layers\": {} }},",
+        lock_config.n_features,
+        lock_config.m_levels,
+        lock_config.dim,
+        lock_config.pool_size,
+        lock_config.n_layers
+    );
+    let _ = writeln!(json, "      \"cached_encodes_per_sec\": {cached_eps:.1},");
+    let _ = writeln!(
+        json,
+        "      \"hardened_encodes_per_sec\": {hardened_eps:.1},"
+    );
+    let _ = writeln!(
+        json,
+        "      \"hardened_vs_cached_encode\": {hardened_vs_cached_encode:.4},"
+    );
+    let _ = writeln!(
+        json,
+        "      \"cached_batch_rows_per_sec\": {cached_batch_rps:.1},"
+    );
+    let _ = writeln!(
+        json,
+        "      \"hardened_batch_rows_per_sec\": {hardened_batch_rps:.1},"
+    );
+    let _ = writeln!(
+        json,
+        "      \"hardened_vs_cached_batch\": {hardened_vs_cached_batch:.4},"
+    );
+    let _ = writeln!(json, "      \"bit_identical\": {hardened_bit_identical}");
     let _ = writeln!(json, "    }}");
     let _ = writeln!(json, "  }}");
     let _ = writeln!(json, "}}");

@@ -2,7 +2,7 @@
 //!
 //! The build environment has no access to crates.io, so the workspace
 //! vendors a minimal serde data model (see the sibling `serde` crate):
-//! `Serialize` lowers a value to a JSON-like [`Value`] tree and
+//! `Serialize` lowers a value to a JSON-like `Value` tree and
 //! `Deserialize` rebuilds it. This proc-macro derives both traits for
 //! the shapes the workspace actually uses:
 //!

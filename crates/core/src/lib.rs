@@ -21,6 +21,15 @@
 //! `L = 2`, while the encoding output distribution (and therefore model
 //! accuracy) is unchanged ([`equivalence`]).
 //!
+//! Beyond the paper's defense, [`DeriveMode::Hardened`] puts the
+//! locked encoder in a constant-time mode for serving deployments:
+//! fixed input-independent work per encode and oblivious key-vault
+//! reads ([`KeyVault::with_key_oblivious`]), bit-identical outputs,
+//! closing the bound-pair cache-warmth timing side channel (the
+//! repository's `SECURITY.md` states the full threat model; the
+//! companion `hdc-attack` crate's `warmth_distinguisher` demonstrates
+//! the channel).
+//!
 //! ## Example
 //!
 //! ```

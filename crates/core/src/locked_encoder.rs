@@ -102,6 +102,16 @@ pub enum DeriveMode {
     /// per sample), mirroring a hardware pipeline that never leaves key
     ///-derived state in observable memory.
     OnTheFly,
+    /// Constant-time serving mode: fixed work per encoded sample
+    /// regardless of query content or cache state. Every encode strides
+    /// the **whole** `N × M` bound-pair table with branchless selection
+    /// ([`BoundPairCache::accumulate_row_oblivious`]) and performs one
+    /// cache-oblivious vault read ([`KeyVault::with_key_oblivious`])
+    /// per sample, so neither encode latency nor the secure-memory
+    /// access pattern depends on which `(feature, level)` pairs the
+    /// query touches. Bit-identical to [`DeriveMode::Cached`] by
+    /// construction; costs roughly `M×` the cached encode.
+    Hardened,
 }
 
 /// The locked encoder: drop-in [`Encoder`] replacement whose feature
@@ -264,10 +274,14 @@ impl LockedEncoder {
             self.pool.len(),
             self.pool.dim(),
         )?;
-        Self::from_parts(self.pool.clone(), self.values.clone(), key)
+        let mut rekeyed = Self::from_parts(self.pool.clone(), self.values.clone(), key)?;
+        // A re-key is a recovery action, not a policy change: a hardened
+        // deployment must stay hardened across generations.
+        rekeyed.mode = self.mode;
+        Ok(rekeyed)
     }
 
-    /// Switches between cached and on-the-fly derivation.
+    /// Switches between cached, on-the-fly and hardened derivation.
     pub fn set_mode(&mut self, mode: DeriveMode) {
         self.mode = mode;
     }
@@ -332,6 +346,21 @@ impl LockedEncoder {
                     })
                     .expect("vault alive while encoder exists");
             }
+            DeriveMode::Hardened => {
+                // Same arithmetic as the cached arm, but under one
+                // oblivious vault read so the scalar reference keeps the
+                // hardened mode's audit accounting.
+                self.vault
+                    .with_key_oblivious(|_| {
+                        for (i, &lv) in levels.iter().enumerate() {
+                            acc.add_bound_pair(
+                                self.values.level(usize::from(lv)),
+                                &self.derived[i],
+                            );
+                        }
+                    })
+                    .expect("vault alive while encoder exists");
+            }
         }
         acc
     }
@@ -344,6 +373,20 @@ impl LockedEncoder {
                 .with_key(|key| derive_feature(&self.pool, key.feature(i), i))
                 .expect("vault alive while encoder exists")
                 .expect("sealed key was validated at construction"),
+            // Sweep every cached feature and pick `i` with a branchless
+            // mask, so introspection reads look the same for any index.
+            DeriveMode::Hardened => {
+                let n_words = self.dim().div_ceil(64);
+                let mut words = vec![0u64; n_words];
+                for (j, fea) in self.derived.iter().enumerate() {
+                    let eq = (j as u64) ^ (i as u64);
+                    let mask = ((eq | eq.wrapping_neg()) >> 63).wrapping_sub(1);
+                    for (w, &fw) in words.iter_mut().zip(fea.bits().words()) {
+                        *w |= fw & mask;
+                    }
+                }
+                BinaryHv::from_bits(hypervec::bitvec::BitWords::from_words(words, self.dim()))
+            }
         }
     }
 
@@ -370,6 +413,28 @@ impl LockedEncoder {
                         .expect("sealed key was validated at construction");
                     acc.add_bound_pair(self.values.level(usize::from(lv)), fea);
                 }
+            })
+            .expect("vault alive while encoder exists");
+    }
+
+    /// Accumulates one row in fixed time: strides the full bound-pair
+    /// table with branchless selection under a single cache-oblivious
+    /// vault read. `select` is per-worker scratch (`⌈D/64⌉` words).
+    fn accumulate_row_hardened(
+        &self,
+        acc: &mut BitSliceAccumulator,
+        levels: &[u16],
+        select: &mut Vec<u64>,
+    ) {
+        self.vault
+            .with_key_oblivious(|_| {
+                self.bound_cache.accumulate_row_oblivious(
+                    acc,
+                    &self.derived,
+                    &self.values,
+                    levels,
+                    select,
+                );
             })
             .expect("vault alive while encoder exists");
     }
@@ -412,6 +477,22 @@ impl LockedEncoder {
                 }
                 out
             }),
+            DeriveMode::Hardened => {
+                // Warm unconditionally — no batch-length branch, so the
+                // first query after a swap costs the same as the last.
+                self.bound_cache.warm(&self.derived, &self.values);
+                par::par_chunk_map(rows.len(), 4, |range| {
+                    let mut acc = BitSliceAccumulator::new(self.dim());
+                    let mut select = Vec::new();
+                    let mut out = Vec::with_capacity(range.len());
+                    for r in range {
+                        acc.clear();
+                        self.accumulate_row_hardened(&mut acc, rows[r], &mut select);
+                        out.push(finish(&acc));
+                    }
+                    out
+                })
+            }
         }
     }
 
@@ -449,6 +530,9 @@ impl Encoder for LockedEncoder {
                 let mut scratch = BinaryHv::ones(self.dim());
                 self.accumulate_row_on_the_fly(&mut acc, levels, &mut fea, &mut scratch);
             }
+            DeriveMode::Hardened => {
+                self.accumulate_row_hardened(&mut acc, levels, &mut Vec::new());
+            }
         }
         acc.to_int()
     }
@@ -462,6 +546,9 @@ impl Encoder for LockedEncoder {
                 let mut fea = BinaryHv::ones(self.dim());
                 let mut scratch = BinaryHv::ones(self.dim());
                 self.accumulate_row_on_the_fly(&mut acc, levels, &mut fea, &mut scratch);
+            }
+            DeriveMode::Hardened => {
+                self.accumulate_row_hardened(&mut acc, levels, &mut Vec::new());
             }
         }
         acc.majority_ties_positive()
@@ -481,6 +568,10 @@ impl Encoder for LockedEncoder {
 
     fn value_hv(&self, v: usize) -> BinaryHv {
         self.values.level(v).clone()
+    }
+
+    fn is_hardened(&self) -> bool {
+        self.mode == DeriveMode::Hardened
     }
 }
 
@@ -584,9 +675,18 @@ mod tests {
         let mut rng = HvRng::from_seed(12);
         let mut enc = LockedEncoder::generate(&mut rng, &config()).unwrap();
         let row: Vec<u16> = (0..9).map(|i| ((i * 5) % 4) as u16).collect();
-        assert_eq!(enc.encode_int(&row), enc.encode_int_scalar(&row));
-        enc.set_mode(DeriveMode::OnTheFly);
-        assert_eq!(enc.encode_int(&row), enc.encode_int_scalar(&row));
+        for mode in [
+            DeriveMode::Cached,
+            DeriveMode::OnTheFly,
+            DeriveMode::Hardened,
+        ] {
+            enc.set_mode(mode);
+            assert_eq!(
+                enc.encode_int(&row),
+                enc.encode_int_scalar(&row),
+                "{mode:?}"
+            );
+        }
     }
 
     #[test]
@@ -597,7 +697,11 @@ mod tests {
             .map(|s| (0..9).map(|i| ((s + 2 * i) % 4) as u16).collect())
             .collect();
         let refs: Vec<&[u16]> = rows.iter().map(Vec::as_slice).collect();
-        for mode in [DeriveMode::Cached, DeriveMode::OnTheFly] {
+        for mode in [
+            DeriveMode::Cached,
+            DeriveMode::OnTheFly,
+            DeriveMode::Hardened,
+        ] {
             enc.set_mode(mode);
             let batch = enc.encode_batch_binary(&refs);
             let batch_int = enc.encode_batch_int(&refs);
@@ -617,6 +721,46 @@ mod tests {
         enc.set_mode(DeriveMode::OnTheFly);
         let otf = enc.encode_binary(&row);
         assert_eq!(cached, otf);
+        enc.set_mode(DeriveMode::Hardened);
+        assert_eq!(cached, enc.encode_binary(&row));
+    }
+
+    #[test]
+    fn hardened_mode_reads_vault_per_sample() {
+        let mut rng = HvRng::from_seed(15);
+        let mut enc = LockedEncoder::generate(&mut rng, &config()).unwrap();
+        enc.set_mode(DeriveMode::Hardened);
+        assert!(Encoder::is_hardened(&enc));
+        let base_reads = enc.vault().reads();
+        let row = vec![0u16; 9];
+        let _ = enc.encode_binary(&row);
+        let _ = enc.encode_int(&row);
+        assert_eq!(enc.vault().reads(), base_reads + 2);
+        let rows: Vec<Vec<u16>> = (0..7).map(|_| vec![0u16; 9]).collect();
+        let refs: Vec<&[u16]> = rows.iter().map(Vec::as_slice).collect();
+        let _ = enc.encode_batch_binary(&refs);
+        assert_eq!(enc.vault().reads(), base_reads + 9);
+    }
+
+    #[test]
+    fn hardened_feature_hv_matches_cached() {
+        let mut rng = HvRng::from_seed(16);
+        let mut enc = LockedEncoder::generate(&mut rng, &config()).unwrap();
+        let cached: Vec<BinaryHv> = (0..9).map(|i| enc.feature_hv(i)).collect();
+        enc.set_mode(DeriveMode::Hardened);
+        for (i, fea) in cached.iter().enumerate() {
+            assert_eq!(&enc.feature_hv(i), fea, "feature {i}");
+        }
+    }
+
+    #[test]
+    fn rekeyed_preserves_mode() {
+        let mut rng = HvRng::from_seed(17);
+        let mut enc = LockedEncoder::generate(&mut rng, &config()).unwrap();
+        enc.set_mode(DeriveMode::Hardened);
+        let rekeyed = enc.rekeyed(&mut rng).unwrap();
+        assert_eq!(rekeyed.mode(), DeriveMode::Hardened);
+        assert!(Encoder::is_hardened(&rekeyed));
     }
 
     #[test]
@@ -665,7 +809,11 @@ mod tests {
                 memory.acc_mut(j).add(&enc.encode_binary(row));
             }
             memory.rebinarize();
-            for mode in [DeriveMode::Cached, DeriveMode::OnTheFly] {
+            for mode in [
+                DeriveMode::Cached,
+                DeriveMode::OnTheFly,
+                DeriveMode::Hardened,
+            ] {
                 enc.set_mode(mode);
                 let session = InferenceSession::new(&enc, &memory);
                 let fused = session.classify_batch(&refs);

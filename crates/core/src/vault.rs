@@ -79,6 +79,36 @@ impl KeyVault {
         }
     }
 
+    /// Privileged read whose *access pattern* inside the secure memory
+    /// is independent of which feature the caller is interested in: the
+    /// whole key — every feature's layer keys — is swept in fixed order
+    /// and folded into a checksum that is pinned live with
+    /// [`std::hint::black_box`] before `f` runs. A data-dependent read
+    /// (`key.feature(i)`) touches only feature `i`'s layer storage,
+    /// which on real secure memories leaks `i` through bank/row
+    /// activity; the hardened encode mode uses this sweep instead, so
+    /// one vault read looks the same regardless of the query.
+    ///
+    /// Audit accounting is identical to [`KeyVault::with_key`]: one
+    /// read per call, counted under the key lock.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LockError::VaultSealed`] after [`KeyVault::destroy`].
+    pub fn with_key_oblivious<R>(&self, f: impl FnOnce(&EncodingKey) -> R) -> Result<R, LockError> {
+        self.with_key(|key| {
+            let mut sweep = 0u64;
+            for fk in key.features() {
+                for lk in fk.layers() {
+                    sweep = sweep.wrapping_add(lk.base_index as u64).rotate_left(7)
+                        ^ (lk.rotation as u64);
+                }
+            }
+            std::hint::black_box(sweep);
+            f(key)
+        })
+    }
+
     /// Number of privileged reads performed so far.
     #[must_use]
     pub fn reads(&self) -> u64 {
@@ -184,6 +214,21 @@ mod tests {
             }
         });
         assert_eq!(v.reads(), (THREADS * READS_PER_THREAD) as u64);
+    }
+
+    #[test]
+    fn oblivious_reads_audit_like_plain_reads() {
+        let v = vault();
+        let n = v.with_key_oblivious(EncodingKey::n_features).unwrap();
+        assert_eq!(n, 4);
+        assert_eq!(v.reads(), 1);
+        v.destroy();
+        assert_eq!(
+            v.with_key_oblivious(|_| ()).unwrap_err(),
+            LockError::VaultSealed
+        );
+        assert_eq!(v.reads(), 2);
+        assert_eq!(v.denied_reads(), 1);
     }
 
     #[test]

@@ -23,7 +23,7 @@
 //!
 //! ## Tie policy
 //!
-//! Exactly mirrors [`IntHv`](crate::IntHv) binarization:
+//! Exactly mirrors [`IntHv`] binarization:
 //! [`BitSliceAccumulator::majority_ties_positive`] maps a zero sum to
 //! +1, and [`BitSliceAccumulator::majority_with`] consumes one
 //! `rng.coin()` per tied dimension **in ascending dimension order**, so
@@ -125,6 +125,31 @@ impl BitSliceAccumulator {
     pub fn add(&mut self, hv: &BinaryHv) {
         assert_eq!(self.dim, hv.dim(), "dimension mismatch in bit-sliced add");
         self.scratch.copy_from_slice(hv.bits().words());
+        self.ripple_scratch();
+    }
+
+    /// Adds a hypervector given as raw packed words — the entry point
+    /// for callers that assembled the vector word-by-word (the
+    /// cache-oblivious hardened encode path builds its branchless
+    /// masked selection in a scratch buffer and feeds it here). Bits at
+    /// positions ≥ `dim` in the last word are ignored.
+    ///
+    /// Bit-exact with [`BitSliceAccumulator::add`] of the same bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words.len()` differs from `⌈dim/64⌉`.
+    pub fn add_words(&mut self, words: &[u64]) {
+        assert_eq!(
+            self.n_words,
+            words.len(),
+            "word-count mismatch in bit-sliced add"
+        );
+        self.scratch.copy_from_slice(words);
+        let tail = self.dim % 64;
+        if tail != 0 {
+            self.scratch[self.n_words - 1] &= (1u64 << tail) - 1;
+        }
         self.ripple_scratch();
     }
 
@@ -329,6 +354,35 @@ mod tests {
             explicit.add(&a.bind(&b));
         }
         assert_eq!(fused.to_int(), explicit.to_int());
+    }
+
+    #[test]
+    fn add_words_matches_add_and_masks_the_tail() {
+        let mut rng = HvRng::from_seed(11);
+        let mut via_hv = BitSliceAccumulator::new(130);
+        let mut via_words = BitSliceAccumulator::new(130);
+        for i in 0..5 {
+            let hv = rng.binary_hv(130);
+            via_hv.add(&hv);
+            let mut words = hv.bits().words().to_vec();
+            if i == 2 {
+                // Garbage past `dim` must be ignored.
+                *words.last_mut().unwrap() |= !((1u64 << (130 % 64)) - 1);
+            }
+            via_words.add_words(&words);
+        }
+        assert_eq!(via_hv.to_int(), via_words.to_int());
+        assert_eq!(
+            via_hv.majority_ties_positive(),
+            via_words.majority_ties_positive()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "word-count mismatch")]
+    fn add_words_rejects_wrong_word_count() {
+        let mut acc = BitSliceAccumulator::new(64);
+        acc.add_words(&[0, 0]);
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! needs to be fast: word-wise XOR, popcount, and circular rotation of an
 //! arbitrary (not necessarily word-aligned) bit length. The bulk
 //! operations (XOR, popcount, Hamming) dispatch through
-//! [`kernel`](crate::kernel), so they run on the active SIMD backend.
+//! [`kernel`], so they run on the active SIMD backend.
 
 use serde::{Deserialize, Serialize};
 

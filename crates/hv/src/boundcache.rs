@@ -95,6 +95,59 @@ impl BoundPairCache {
             }
         }
     }
+
+    /// Cache-oblivious variant of [`BoundPairCache::accumulate_row`]:
+    /// for every feature it strides through **all** `M` cached bound
+    /// pairs in fixed order and selects the requested level with a
+    /// branchless all-ones/all-zeros mask, so the memory access pattern
+    /// — which cache lines are touched, in which order — is independent
+    /// of the query's level values. This is the fixed-work hot path of
+    /// the hardened serving mode: an attacker timing encodes can no
+    /// longer learn which `(feature, level)` pairs were recently used.
+    ///
+    /// Warms the table eagerly (idempotent) so there is never a
+    /// warm/cold branch, and is bit-exact with the data-dependent path:
+    /// OR-ing the masked entries reproduces `cache[i·M + lv]` exactly.
+    ///
+    /// `select` is a caller-owned scratch buffer (resized to `⌈D/64⌉`)
+    /// so per-worker encode loops stay zero-alloc across rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a level index is out of range or dimensions disagree.
+    pub fn accumulate_row_oblivious(
+        &self,
+        acc: &mut BitSliceAccumulator,
+        features: &[BinaryHv],
+        values: &LevelHvs,
+        levels: &[u16],
+        select: &mut Vec<u64>,
+    ) {
+        self.warm(features, values);
+        let cache = self.cache.get().expect("warm() built the table");
+        let m = values.m();
+        let n_words = acc.dim().div_ceil(64);
+        select.resize(n_words, 0);
+        for (i, &lv) in levels.iter().enumerate() {
+            assert!(
+                usize::from(lv) < m,
+                "level index {lv} out of range (M = {m})"
+            );
+            select.iter_mut().for_each(|w| *w = 0);
+            for v in 0..m {
+                // All-ones iff v == lv: `x | -x` has its top bit set for
+                // every nonzero x, so the shifted bit is 1 exactly when
+                // the XOR difference is nonzero — no data-dependent
+                // branch anywhere in the selection.
+                let eq = (v as u64) ^ u64::from(lv);
+                let mask = ((eq | eq.wrapping_neg()) >> 63).wrapping_sub(1);
+                for (s, &w) in select.iter_mut().zip(cache[i * m + v].bits().words()) {
+                    *s |= w & mask;
+                }
+            }
+            acc.add_words(select);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -133,6 +186,49 @@ mod tests {
         assert!(!cache.is_warm(), "3 rows < M = 4 should stay cold");
         cache.warm_for_batch(&features, &values, 4);
         assert!(cache.is_warm());
+    }
+
+    #[test]
+    fn oblivious_accumulate_is_bit_identical_and_warms() {
+        let mut rng = HvRng::from_seed(4);
+        let features = rng.orthogonal_pool(300, 5);
+        let values = LevelHvs::generate(&mut rng, 300, 4).unwrap();
+
+        let data_dependent = BoundPairCache::new();
+        data_dependent.warm(&features, &values);
+        let oblivious = BoundPairCache::new();
+        assert!(!oblivious.is_warm());
+
+        let mut select = Vec::new();
+        for levels in [[0u16, 3, 1, 2, 3], [3, 3, 3, 3, 3], [0, 0, 0, 0, 0]] {
+            let mut acc_dd = BitSliceAccumulator::new(300);
+            data_dependent.accumulate_row(&mut acc_dd, &features, &values, &levels);
+            let mut acc_ob = BitSliceAccumulator::new(300);
+            oblivious.accumulate_row_oblivious(
+                &mut acc_ob,
+                &features,
+                &values,
+                &levels,
+                &mut select,
+            );
+            assert_eq!(acc_dd.to_int(), acc_ob.to_int(), "levels {levels:?}");
+            assert_eq!(
+                acc_dd.majority_ties_positive(),
+                acc_ob.majority_ties_positive()
+            );
+        }
+        assert!(oblivious.is_warm(), "oblivious path warms eagerly");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn oblivious_accumulate_rejects_bad_level() {
+        let mut rng = HvRng::from_seed(5);
+        let features = rng.orthogonal_pool(64, 2);
+        let values = LevelHvs::generate(&mut rng, 64, 4).unwrap();
+        let cache = BoundPairCache::new();
+        let mut acc = BitSliceAccumulator::new(64);
+        cache.accumulate_row_oblivious(&mut acc, &features, &values, &[0, 4], &mut Vec::new());
     }
 
     #[test]

@@ -115,6 +115,11 @@
 //! grows past the size of the query's true neighborhood, at the cost
 //! of rescoring more survivors.
 //!
+//! Because the survivor set — and therefore the rescoring work — is
+//! data-dependent, the pruned scans are bypassed by the serving
+//! layer's constant-time hardened mode in favor of the fixed-shape
+//! exact scan (threat model in the repository's `SECURITY.md`).
+//!
 //! ## Kernel backends
 //!
 //! All of the loops above — XOR-accumulate, popcount reduction, the

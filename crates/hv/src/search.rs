@@ -17,7 +17,7 @@
 //!   queries streams over it; distances accumulate in a per-worker
 //!   `queries × rows` matrix.
 //! * **Sharding** — batches shard across queries on
-//!   [`par`](crate::par) scoped threads (each worker owns its distance
+//!   [`par`] scoped threads (each worker owns its distance
 //!   matrix); single-query searches over very large row counts shard
 //!   across rows instead and merge deterministically.
 //!

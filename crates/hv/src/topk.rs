@@ -9,7 +9,7 @@
 //!
 //! * **Exact top-k** ([`ShardedClassMemory::search_topk_binary`] /
 //!   [`ShardedClassMemory::search_topk_int`]) — rows are sharded across
-//!   [`par`](crate::par) workers; each worker streams its row range
+//!   [`par`] workers; each worker streams its row range
 //!   tile by tile through the block-major planes and keeps a *bounded
 //!   heap* of the k best `(distance, row)` (binary) or `(score, row)`
 //!   (integer) candidates; the per-shard heaps merge deterministically
@@ -62,8 +62,8 @@ const TOPK_ROW_TILE: usize = 1024;
 const TOPK_ROW_CHUNK: usize = 4096;
 
 /// One top-k hit: a row index and its similarity score (higher is more
-/// similar; same float expressions as [`BatchSearchResult`]
-/// [`scores`](crate::BatchSearchResult::scores)).
+/// similar; same float expressions as
+/// [`crate::BatchSearchResult::scores`]).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TopKMatch {
     /// Row index in the memory.

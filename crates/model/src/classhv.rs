@@ -118,13 +118,13 @@ impl ClassMemory {
     /// dimension — the deserialization guard: derived decoding cannot
     /// check cross-field invariants, so untrusted snapshots are
     /// re-checked here, naming the offending class index in the
-    /// [`HvError::RowDimensionMismatch`] style.
+    /// [`hypervec::HvError::RowDimensionMismatch`] style.
     ///
     /// # Errors
     ///
-    /// Returns [`HvError::EmptyInput`] for a class-less memory,
-    /// [`HvError::DimensionMismatch`] when accumulator and binarized row
-    /// *counts* disagree, and [`HvError::RowDimensionMismatch`] naming
+    /// Returns [`hypervec::HvError::EmptyInput`] for a class-less memory,
+    /// [`hypervec::HvError::DimensionMismatch`] when accumulator and binarized row
+    /// *counts* disagree, and [`hypervec::HvError::RowDimensionMismatch`] naming
     /// the first class whose accumulator or binarized row has the wrong
     /// dimension.
     pub fn check_consistent(&self, expected_dim: usize) -> Result<(), hypervec::HvError> {

@@ -96,6 +96,17 @@ pub trait Encoder {
 
     /// The value hypervector for level `v`.
     fn value_hv(&self, v: usize) -> BinaryHv;
+
+    /// Whether this encoder runs in a constant-time hardened mode
+    /// (fixed work per query, cache-oblivious memory access). Sessions
+    /// consult this to disable score-dependent early exits — e.g.
+    /// pruned top-k search falls back to the exact fixed-shape scan —
+    /// so the whole query pipeline stays timing-neutral, not just the
+    /// encode. Defaults to `false`; HDLock's locked encoder overrides
+    /// it for `DeriveMode::Hardened` (see the repo's `SECURITY.md`).
+    fn is_hardened(&self) -> bool {
+        false
+    }
 }
 
 /// The standard record-based encoder: `N` orthogonal feature

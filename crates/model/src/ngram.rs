@@ -148,7 +148,7 @@ impl NgramEncoder {
 
     /// Batch k-mer encoding: every sequence through
     /// [`NgramEncoder::encode_sequence`], sharded across
-    /// [`par`](hypervec::par) workers. Bit-identical to the
+    /// [`hypervec::par`] workers. Bit-identical to the
     /// single-record path sequence by sequence (the workers run the
     /// same window loop; there is no cross-sequence state).
     ///

@@ -122,6 +122,14 @@ pub trait ClassifySession: Sync {
     fn kernel_backend(&self) -> &'static str {
         hypervec::kernel::name()
     }
+
+    /// Whether this session serves in constant-time hardened mode (see
+    /// [`Encoder::is_hardened`]). Surfaced through `info`/`stats` and
+    /// the `hdc_hardened` metrics gauge so operators can audit what a
+    /// deployment actually runs.
+    fn hardened(&self) -> bool {
+        false
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -189,6 +197,11 @@ fn search_topk_impl<E: Encoder + Sync>(
     k: usize,
     probe: Option<&ProbeConfig>,
 ) -> BatchTopKResult {
+    // A hardened encoder promises fixed work per query; the pruned
+    // coarse/rescore scan's candidate set (and thus its latency) is
+    // score-dependent, so hardened sessions always take the exact
+    // fixed-shape scan regardless of the caller's probe tuning.
+    let probe = if encoder.is_hardened() { None } else { probe };
     match kind {
         ModelKind::Binary => {
             let encoded = encoder.encode_batch_binary(rows);
@@ -451,6 +464,10 @@ impl<E: Encoder + Sync> ClassifySession for InferenceSession<'_, E> {
     ) -> BatchTopKResult {
         InferenceSession::search_topk_batch(self, rows, k, probe)
     }
+
+    fn hardened(&self) -> bool {
+        self.encoder.is_hardened()
+    }
 }
 
 /// A self-contained inference pipeline: the session *owns* its encoder.
@@ -583,6 +600,10 @@ impl<E: Encoder + Sync> ClassifySession for OwnedSession<E> {
         probe: Option<&ProbeConfig>,
     ) -> BatchTopKResult {
         search_topk_impl(&self.encoder, self.kind, &self.sharded, rows, k, probe)
+    }
+
+    fn hardened(&self) -> bool {
+        self.encoder.is_hardened()
     }
 }
 

@@ -9,7 +9,7 @@
 //! semantics per connection:
 //!
 //! * **Cumulative query budget** — a
-//!   [`QueryBudget`](hdc_attack::QueryBudget), the same counter
+//!   [`hdc_attack::QueryBudget`], the same counter
 //!   `ThrottledOracle` uses in the attack experiments, so "budget `B`
 //!   stops the `N + 1`-query probe" transfers verbatim from the attack
 //!   crate's tests to the server. Unlike `ThrottledOracle` (which

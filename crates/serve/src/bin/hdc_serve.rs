@@ -3,13 +3,20 @@
 //!
 //! Usage: `hdc_serve [--addr HOST:PORT] [--dim D] [--features N]
 //! [--levels M] [--classes C] [--batch B] [--wait-us T] [--workers W]
-//! [--pipeline P] [--duration SECS] [--locked L] [--budget Q]
-//! [--rate R] [--burst B] [--sweep S] [--max-connections C]
-//! [--core event|threaded] [--metrics-addr HOST:PORT]`
+//! [--pipeline P] [--duration SECS] [--locked L] [--hardened]
+//! [--budget Q] [--rate R] [--burst B] [--sweep S]
+//! [--max-connections C] [--core event|threaded]
+//! [--metrics-addr HOST:PORT]`
 //!
 //! `--locked L` serves an HDLock-locked demo model with key depth `L`
 //! (enabling the `{"rekey":…}` admin request); the default is the
-//! standard demo model. `--budget`/`--rate`/`--burst`/`--sweep` arm the
+//! standard demo model. `--hardened` (requires `--locked`) serves the
+//! locked model in constant-time hardened mode: every encode performs
+//! the same vault and bound-pair work regardless of input, and pruned
+//! top-k search falls back to the exact scan — the timing-oracle
+//! defense described in `SECURITY.md`. The flag is surfaced in
+//! `{"info":true}` / `{"stats":true}` responses and the `hdc_hardened`
+//! metrics gauge. `--budget`/`--rate`/`--burst`/`--sweep` arm the
 //! per-connection admission controller. `--pipeline P` caps the
 //! per-connection in-flight window (pipelined requests beyond it get a
 //! structured overload error). Both wire formats (line-JSON and binary
@@ -49,6 +56,7 @@ struct Options {
     batch: BatchConfig,
     admission: AdmissionConfig,
     locked_layers: usize,
+    hardened: bool,
     duration_secs: u64,
     core: CoreKind,
     metrics_addr: Option<String>,
@@ -62,6 +70,7 @@ impl Default for Options {
             batch: BatchConfig::default(),
             admission: AdmissionConfig::default(),
             locked_layers: 0,
+            hardened: false,
             duration_secs: 0,
             core: CoreKind::default(),
             metrics_addr: None,
@@ -106,6 +115,12 @@ fn parse_options() -> Options {
             "--locked" => {
                 opts.locked_layers = value(i).parse().expect("--locked needs a layer count")
             }
+            // Boolean flag: consumes one argument, not two.
+            "--hardened" => {
+                opts.hardened = true;
+                i += 1;
+                continue;
+            }
             "--budget" => {
                 opts.admission.query_budget = value(i).parse().expect("--budget needs an integer")
             }
@@ -132,7 +147,8 @@ fn parse_options() -> Options {
             other => panic!(
                 "unknown argument '{other}'; supported: --addr --dim --features --levels \
                  --classes --batch --wait-us --workers --pipeline --duration --locked \
-                 --budget --rate --burst --sweep --max-connections --core --metrics-addr"
+                 --hardened --budget --rate --burst --sweep --max-connections --core \
+                 --metrics-addr"
             ),
         }
         i += 2;
@@ -142,19 +158,27 @@ fn parse_options() -> Options {
 
 fn main() -> std::io::Result<()> {
     let opts = parse_options();
+    assert!(
+        !opts.hardened || opts.locked_layers > 0,
+        "--hardened needs --locked L: hardening is a property of the HDLock locked encoder"
+    );
     println!(
         "training demo model (N = {}, C = {}, D = {}, M = {}, {}) …",
         opts.spec.n_features,
         opts.spec.n_classes,
         opts.spec.dim,
         opts.spec.m_levels,
-        if opts.locked_layers > 0 {
+        if opts.hardened {
+            format!("hardened locked L = {}", opts.locked_layers)
+        } else if opts.locked_layers > 0 {
             format!("locked L = {}", opts.locked_layers)
         } else {
             "standard".to_owned()
         }
     );
-    let registry: ModelRegistry = if opts.locked_layers > 0 {
+    let registry: ModelRegistry = if opts.hardened {
+        demo::demo_hardened_registry(&opts.spec, opts.locked_layers)
+    } else if opts.locked_layers > 0 {
         demo::demo_locked_registry(&opts.spec, opts.locked_layers)
     } else {
         let model = demo::demo_model(&opts.spec);

@@ -2,9 +2,9 @@
 //! benchmark and the quickstart example.
 
 use hdc_datasets::{Dataset, SynthSpec};
-use hdc_model::{HdcConfig, HdcModel, ModelKind, RecordEncoder};
-use hdc_store::{KeySegment, ModelRegistry, ModelSnapshot, RekeySource};
-use hdlock::{LockConfig, LockedEncoder};
+use hdc_model::{HdcConfig, HdcModel, ModelKind, OwnedSession, RecordEncoder};
+use hdc_store::{AnyEncoder, KeySegment, ModelRegistry, ModelSnapshot, RekeySource};
+use hdlock::{DeriveMode, LockConfig, LockedEncoder};
 use hypervec::HvRng;
 
 /// Shape of a synthetic serving demo model.
@@ -146,6 +146,31 @@ pub fn demo_locked_registry(spec: &DemoSpec, n_layers: usize) -> ModelRegistry {
             config: demo_config(spec),
             train,
         })
+}
+
+/// Boots a [`ModelRegistry`] serving the locked demo model in
+/// constant-time *hardened* mode ([`DeriveMode::Hardened`]) — the
+/// fixture behind `hdc_serve --hardened`.
+///
+/// Snapshots do not carry a derive mode, so the hardened registry is
+/// built by constructing the serving session directly instead of going
+/// through [`ModelSnapshot`]. The rekey source still rides along, and
+/// rekeyed generations stay hardened (`LockedEncoder::rekeyed`
+/// preserves the mode). See `SECURITY.md` for what hardened mode does
+/// and does not defend against.
+///
+/// # Panics
+///
+/// Panics on an internally inconsistent spec (zero sizes).
+#[must_use]
+pub fn demo_hardened_registry(spec: &DemoSpec, n_layers: usize) -> ModelRegistry {
+    let (model, train) = demo_locked_model(spec, n_layers);
+    let checksum = ModelSnapshot::from_locked_model(&model).checksum();
+    let config = demo_config(spec);
+    let (_, mut encoder, _, memory) = model.into_parts();
+    encoder.set_mode(DeriveMode::Hardened);
+    let session = OwnedSession::new(AnyEncoder::Locked(encoder), &memory);
+    ModelRegistry::new(session, checksum).with_rekey_source(RekeySource { config, train })
 }
 
 #[cfg(test)]

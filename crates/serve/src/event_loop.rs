@@ -25,7 +25,7 @@
 //! client stalls only itself — TCP back-pressure reaches it, siblings
 //! keep flowing) and resume at the low watermark; `EPOLLOUT` is armed
 //! only while unflushed bytes remain. A read-fairness cap (at most
-//! [`READ_ROUNDS`] chunks per readiness event) keeps one firehose
+//! `READ_ROUNDS` chunks per readiness event) keeps one firehose
 //! connection from starving the rest; level-triggered epoll re-reports
 //! whatever remains.
 //!
@@ -34,12 +34,12 @@
 //! connection token, then nudge the loop through the self-pipe
 //! [`Waker`]. Request policy — validation, admission, pipeline window,
 //! bulk preparation, admin routing — is the same
-//! [`dispatch_incoming`] the threaded core uses, so both cores answer
+//! `dispatch_incoming` the threaded core uses, so both cores answer
 //! byte-for-byte identically.
 //!
 //! ## Divergences from the threaded core (hardening, not semantics)
 //!
-//! * A JSON line longer than [`MAX_JSON_LINE`] is answered with an
+//! * A JSON line longer than `MAX_JSON_LINE` is answered with an
 //!   error and the connection closed (the threaded core would buffer it
 //!   without bound).
 //! * Accepts past `max_connections`, and accepts during drain, are

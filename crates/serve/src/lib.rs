@@ -15,7 +15,8 @@
 //!   vectors are raw `f64` bits — no float/text round trip anywhere.
 //!   Negotiated per connection by first-byte sniffing (JSON stays the
 //!   default), so every existing client keeps working. See the module
-//!   docs for the frame-layout and opcode tables.
+//!   docs for the frame-layout and opcode tables, or the standalone
+//!   spec at `docs/wire.md` in the repository.
 //! * **Batching** ([`batcher`]) — requests from all connections funnel
 //!   into one queue; workers pop up to `max_batch` jobs (or whatever
 //!   arrived within `max_wait`) and answer them with a *single* fused
@@ -55,8 +56,8 @@
 //! Request *policy* — wire negotiation, frame/line parsing decisions,
 //! validation, admission metering, the pipeline window, bulk
 //! preparation, admin routing — lives once, in [`server`], behind two
-//! small traits ([`server::RequestBrain`] for what a request *means*,
-//! [`server::ConnOutbox`] for where its effects *land*). Two
+//! small traits (`server::RequestBrain` for what a request *means*,
+//! `server::ConnOutbox` for where its effects *land*). Two
 //! connection cores plug into that seam and are byte-for-byte
 //! identical on the wire:
 //!
@@ -120,8 +121,9 @@
 //!   `hdc_active_connections`.
 //! * **Registry lifecycle** — `hdc_swaps_total{kind=reload|rekey|rollback}`,
 //!   `hdc_swapped_generation_age_secs`, `hdc_generation`,
-//!   `hdc_generation_age_secs`; each swap also emits one structured
-//!   `event=swap …` log line.
+//!   `hdc_generation_age_secs`, and `hdc_hardened` (1 when the serving
+//!   generation encodes in constant-time hardened mode); each swap
+//!   also emits one structured `event=swap …` log line.
 //! * **HDLock audit** — `hdc_vault_reads` / `hdc_vault_denied_reads`
 //!   (privileged key-vault accesses of the serving generation) and the
 //!   process-wide kernel row counters `hdc_kernel_hamming_rows` /
@@ -134,7 +136,21 @@
 //! separate listener; and swap events log structured lines to stderr.
 //! `hdc_loadgen --metrics-delta` diffs two scrapes of the admin
 //! request around a run to print server-side stage percentiles next to
-//! the client-observed latency histogram.
+//! the client-observed latency histogram. The full series catalog with
+//! per-series semantics lives at `docs/metrics.md` in the repository.
+//!
+//! ## Hardened serving mode
+//!
+//! `hdc_serve --locked L --hardened` serves a locked generation whose
+//! encoder runs in `hdlock::DeriveMode::Hardened`: every encode does
+//! fixed, input-independent work (full bound-pair table stride with a
+//! branchless select, oblivious key-vault reads, pruned top-k replaced
+//! by the fixed-shape exact scan), closing the cache-warmth timing
+//! side channel demonstrated by `hdc_attack::warmth_distinguisher`.
+//! Responses stay bit-identical to the unhardened server (pinned by an
+//! integration test); the mode is reported by the `info`/`stats` admin
+//! responses and the `hdc_hardened` gauge, and survives live rekeys.
+//! Threat model and residual risks: `SECURITY.md` in the repository.
 //!
 //! ## Quickstart
 //!
@@ -1400,6 +1416,7 @@ mod tests {
                 "hdc_active_connections 1",
                 "hdc_generation 1",
                 "hdc_vault_reads",
+                "hdc_hardened 0",
                 "hdc_throttled_total{reason=\"budget\"} 0",
             ] {
                 assert!(
@@ -1427,5 +1444,86 @@ mod tests {
             shutdown.store(true, Ordering::SeqCst);
             server.join().unwrap().unwrap();
         });
+    }
+
+    /// Serves the same locked demo model hardened and unhardened:
+    /// classify response bytes are identical (constant-time encoding
+    /// changes *when* work happens, never *what* comes out), and only
+    /// the hardened server reports the flag through `info`, `stats` and
+    /// the `hdc_hardened` gauge.
+    #[test]
+    fn hardened_server_answers_match_unhardened_and_report_the_flag() {
+        let spec = demo::DemoSpec {
+            dim: 256,
+            train_size: 64,
+            ..Default::default()
+        };
+        let config = RegistryServeConfig::default();
+        let row = |i: u16| -> Vec<u16> {
+            (0..spec.n_features)
+                .map(|f| ((usize::from(i) + f) % spec.m_levels) as u16)
+                .collect()
+        };
+
+        let mut transcripts: Vec<Vec<String>> = Vec::new();
+        for hardened in [false, true] {
+            let registry = if hardened {
+                demo::demo_hardened_registry(&spec, 2)
+            } else {
+                demo::demo_locked_registry(&spec, 2)
+            };
+            let metrics = ServeMetrics::new();
+            let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+            let addr = listener.local_addr().unwrap();
+            let shutdown = AtomicBool::new(false);
+            std::thread::scope(|s| {
+                let server = s.spawn(|| {
+                    serve_registry_with_core_metrics(
+                        CoreKind::default(),
+                        listener,
+                        &registry,
+                        &config,
+                        &shutdown,
+                        Some(&metrics),
+                    )
+                });
+                let mut client = Client::connect(addr);
+
+                // Same traffic against both servers; keep the raw lines.
+                let mut lines = Vec::new();
+                for i in 0..6u16 {
+                    let request = protocol::request_line(u64::from(i), &row(i), i % 2 == 0);
+                    client.writer.write_all(request.as_bytes()).unwrap();
+                    client.line.clear();
+                    client.reader.read_line(&mut client.line).unwrap();
+                    lines.push(client.line.clone());
+                }
+                transcripts.push(lines);
+
+                // The flag is visible on every admin surface.
+                let info = client
+                    .roundtrip(&protocol::info_request_line(90))
+                    .info
+                    .unwrap();
+                assert_eq!(info.hardened, hardened, "info.hardened");
+                let stats = client
+                    .roundtrip(&protocol::stats_request_line(91))
+                    .stats
+                    .unwrap();
+                assert_eq!(stats.hardened, hardened, "stats.hardened");
+                assert!(stats.locked);
+                let scrape = metrics.render_prometheus(Some(&registry));
+                let want = format!("hdc_hardened {}", i32::from(hardened));
+                assert!(scrape.contains(&want), "missing `{want}` in:\n{scrape}");
+
+                drop(client);
+                shutdown.store(true, Ordering::SeqCst);
+                server.join().unwrap().unwrap();
+            });
+        }
+        assert_eq!(
+            transcripts[0], transcripts[1],
+            "hardened classify responses must be byte-identical to unhardened"
+        );
     }
 }

@@ -116,6 +116,7 @@ pub struct ServeMetrics {
     vault_denied: Arc<Gauge>,
     generation: Arc<Gauge>,
     generation_age_secs: Arc<Gauge>,
+    hardened: Arc<Gauge>,
     kernel_hamming_rows: Arc<Gauge>,
     kernel_dot_rows: Arc<Gauge>,
 }
@@ -238,6 +239,10 @@ impl ServeMetrics {
                 "hdc_generation_age_secs",
                 "Seconds the current generation has been serving.",
             ),
+            hardened: r.gauge(
+                "hdc_hardened",
+                "1 when the serving generation encodes in constant-time hardened mode.",
+            ),
             kernel_hamming_rows: r.gauge(
                 "hdc_kernel_hamming_rows",
                 "Class-memory rows scanned by binary Hamming kernels (process-wide).",
@@ -302,6 +307,7 @@ impl ServeMetrics {
             self.generation.set(as_i64(current.id()));
             self.generation_age_secs
                 .set(as_i64(current.age().as_secs()));
+            self.hardened.set(i64::from(current.is_hardened()));
             let (reads, denied) = match current.session().encoder().vault() {
                 Some(vault) => (vault.reads(), vault.denied_reads()),
                 None => (0, 0),
@@ -369,7 +375,8 @@ impl ServeMetrics {
         hist(&mut out, "epoll_wait_us", &self.epoll_wait_us);
         out.push_str(&format!(
             ",\"backlog_high_watermark\":{},\"swaps\":{{\"reload\":{},\"rekey\":{},\"rollback\":{}}},\
-             \"generation\":{},\"generation_age_secs\":{},\"vault\":{{\"reads\":{},\"denied\":{}}},\
+             \"generation\":{},\"generation_age_secs\":{},\"hardened\":{},\
+             \"vault\":{{\"reads\":{},\"denied\":{}}},\
              \"kernel_rows\":{{\"hamming\":{},\"dot\":{}}}}}}}\n",
             self.backlog_high_watermark.get(),
             self.swap_reload.get(),
@@ -377,6 +384,7 @@ impl ServeMetrics {
             self.swap_rollback.get(),
             self.generation.get(),
             self.generation_age_secs.get(),
+            self.hardened.get(),
             self.vault_reads.get(),
             self.vault_denied.get(),
             self.kernel_hamming_rows.get(),
@@ -460,6 +468,7 @@ mod tests {
             "hdc_swaps_total{kind=\"rekey\"} 0",
             "hdc_uptime_secs",
             "hdc_kernel_hamming_rows",
+            "hdc_hardened 0",
         ] {
             assert!(text.contains(series), "missing `{series}` in:\n{text}");
         }

@@ -13,7 +13,7 @@
 //! ← {"id":3,"error":"row has 1 levels, model expects 4"}
 //! → {"id":4,"info":true}
 //! ← {"id":4,"info":{"backend":"avx2","dim":10000,"features":64,"levels":16,
-//!    "classes":8,"generation":3,"checksum":"a1b2c3d4e5f60789"}}
+//!    "classes":8,"generation":3,"checksum":"a1b2c3d4e5f60789","hardened":false}}
 //! → {"id":5,"levels":[0,3,2,1],"search":{"k":3}}
 //! ← {"id":5,"matches":[{"row":41,"score":0.93},{"row":7,"score":0.41},
 //!    {"row":1003,"score":0.40}]}
@@ -33,7 +33,7 @@
 //!
 //! ```text
 //! → {"id":5,"stats":true}
-//! ← {"id":5,"stats":{"generation":3,"checksum":"…","locked":true,
+//! ← {"id":5,"stats":{"generation":3,"checksum":"…","locked":true,"hardened":false,
 //!    "reloads":1,"rekeys":1,"rollbacks":0,"requests":9041,"throttled":12}}
 //! → {"id":6,"reload":{"snapshot":"/models/v7.hdsn","key":"/keys/v7.hdky"}}
 //! ← {"id":6,"swapped":{"generation":4,"checksum":"…"}}
@@ -157,6 +157,8 @@ pub struct ServerInfo {
     /// Active snapshot checksum, 16 hex digits (all zeros on a
     /// non-registry server).
     pub checksum: String,
+    /// Whether the serving model runs in constant-time hardened mode.
+    pub hardened: bool,
 }
 
 /// Identity of a freshly swapped-in generation (reload/rekey response).
@@ -177,6 +179,8 @@ pub struct StatsReport {
     pub checksum: String,
     /// Whether the serving model is locked.
     pub locked: bool,
+    /// Whether the serving model runs in constant-time hardened mode.
+    pub hardened: bool,
     /// Completed reload swaps.
     pub reloads: u64,
     /// Completed rekey swaps.
@@ -513,14 +517,16 @@ pub fn rekey_request_line(id: u64, seed: u64) -> String {
 pub fn info_response(id: u64, info: &ServerInfo) -> String {
     format!(
         "{{\"id\":{id},\"info\":{{\"backend\":\"{}\",\"dim\":{},\"features\":{},\
-         \"levels\":{},\"classes\":{},\"generation\":{},\"checksum\":\"{}\"}}}}\n",
+         \"levels\":{},\"classes\":{},\"generation\":{},\"checksum\":\"{}\",\
+         \"hardened\":{}}}}}\n",
         info.backend,
         info.dim,
         info.features,
         info.levels,
         info.classes,
         info.generation,
-        info.checksum
+        info.checksum,
+        info.hardened
     )
 }
 
@@ -538,12 +544,13 @@ pub fn swap_response(id: u64, swap: &SwapInfo) -> String {
 pub fn stats_response(id: u64, stats: &StatsReport) -> String {
     format!(
         "{{\"id\":{id},\"stats\":{{\"generation\":{},\"checksum\":\"{}\",\"locked\":{},\
-         \"reloads\":{},\"rekeys\":{},\"rollbacks\":{},\"requests\":{},\"throttled\":{},\
-         \"uptime_secs\":{},\"requests_json\":{},\"requests_binary\":{},\
+         \"hardened\":{},\"reloads\":{},\"rekeys\":{},\"rollbacks\":{},\"requests\":{},\
+         \"throttled\":{},\"uptime_secs\":{},\"requests_json\":{},\"requests_binary\":{},\
          \"active_connections\":{}}}}}\n",
         stats.generation,
         stats.checksum,
         stats.locked,
+        stats.hardened,
         stats.reloads,
         stats.rekeys,
         stats.rollbacks,
@@ -794,6 +801,9 @@ pub fn parse_response(line: &str) -> Result<ClassifyResponse, String> {
                 .and_then(Value::as_str)
                 .unwrap_or("0000000000000000")
                 .to_owned(),
+            // Absent on pre-hardening servers; false keeps old
+            // responses parseable.
+            hardened: matches!(obj.get("hardened"), Some(Value::Bool(true))),
         }),
         None => None,
     };
@@ -820,6 +830,7 @@ pub fn parse_response(line: &str) -> Result<ClassifyResponse, String> {
                 .ok_or_else(|| "stats without `checksum`".to_owned())?
                 .to_owned(),
             locked: matches!(obj.get("locked"), Some(Value::Bool(true))),
+            hardened: matches!(obj.get("hardened"), Some(Value::Bool(true))),
             reloads: stat_field(obj, "reloads")?,
             rekeys: stat_field(obj, "rekeys")?,
             rollbacks: stat_field(obj, "rollbacks")?,
@@ -1026,6 +1037,7 @@ mod tests {
             classes: 8,
             generation: 3,
             checksum: checksum_hex(0xDEAD_BEEF),
+            hardened: true,
         };
         let resp = parse_response(&info_response(11, &info)).unwrap();
         assert_eq!(resp.id, 11);
@@ -1079,6 +1091,7 @@ mod tests {
             generation: 4,
             checksum: checksum_hex(7),
             locked: true,
+            hardened: true,
             reloads: 1,
             rekeys: 2,
             rollbacks: 0,
@@ -1102,6 +1115,7 @@ mod tests {
         assert_eq!(got.uptime_secs, 0);
         assert_eq!(got.requests_json, 0);
         assert_eq!(got.active_connections, 0);
+        assert!(!got.hardened, "pre-hardening stats default to false");
     }
 
     #[test]

@@ -13,10 +13,10 @@
 //!   core is pinned against.
 //!
 //! The seam between policy and core is two small traits:
-//! [`RequestBrain`] (what the server flavor — fixed session vs.
-//! registry — decides per request) and [`ConnOutbox`] (what the core
+//! `RequestBrain` (what the server flavor — fixed session vs.
+//! registry — decides per request) and `ConnOutbox` (what the core
 //! provides per connection: a write path, the in-flight set, the job
-//! queue). [`dispatch_incoming`] composes them, so both cores answer
+//! queue). `dispatch_incoming` composes them, so both cores answer
 //! every request byte-for-byte identically.
 //!
 //! [`serve`] and [`serve_registry`] pick the platform default core;
@@ -199,6 +199,7 @@ impl<'a, S: ClassifySession> RequestBrain<'a> for SessionBrain<'a, S> {
             classes: self.session.n_classes(),
             generation: 0,
             checksum: protocol::checksum_hex(0),
+            hardened: self.session.hardened(),
         }
     }
 
@@ -295,6 +296,7 @@ impl<'a: 'ctx, 'ctx> RequestBrain<'ctx> for RegistryBrain<'a, 'ctx> {
             classes: session.n_classes(),
             generation: generation.id(),
             checksum: protocol::checksum_hex(generation.checksum()),
+            hardened: generation.is_hardened(),
         }
     }
 
@@ -328,6 +330,7 @@ impl<'a: 'ctx, 'ctx> RequestBrain<'ctx> for RegistryBrain<'a, 'ctx> {
                         generation: s.generation,
                         checksum: protocol::checksum_hex(s.checksum),
                         locked: s.locked,
+                        hardened: s.hardened,
                         reloads: s.reloads,
                         rekeys: s.rekeys,
                         rollbacks: s.rollbacks,

@@ -4,7 +4,7 @@
 //! This is the original serving core, kept as the portable fallback and
 //! as the differential baseline the epoll core is pinned against: both
 //! cores share every byte of request policy
-//! ([`dispatch_incoming`](crate::server::dispatch_incoming)), so their
+//! (`dispatch_incoming` in `crate::server`), so their
 //! responses are identical — they differ only in how sockets are
 //! driven and how far they scale (this core spends two OS threads per
 //! connection; the event loop multiplexes thousands on one).

@@ -651,6 +651,10 @@ pub fn decode_response(header: &FrameHeader, payload: &[u8]) -> Result<ClassifyR
                 classes,
                 generation,
                 checksum: checksum_hex(checksum),
+                // The v1 binary info frame predates hardened mode and
+                // does not carry the flag; binary clients query the
+                // JSON `info` request for it (see docs/wire.md).
+                hardened: false,
             });
         }
         OP_MATCHES => {
@@ -800,6 +804,9 @@ mod tests {
             classes: 8,
             generation: 3,
             checksum: checksum_hex(0xDEAD_BEEF),
+            // The v1 binary frame carries no hardened flag; the decoded
+            // struct always reports false.
+            hardened: false,
         };
         let bytes = info_response_frame(7, &info);
         let mut fb = feed(&bytes);

@@ -73,6 +73,14 @@ impl Generation {
         self.session.encoder().is_locked()
     }
 
+    /// Whether this generation serves in constant-time hardened mode
+    /// (see [`hdc_model::Encoder::is_hardened`]).
+    #[must_use]
+    pub fn is_hardened(&self) -> bool {
+        use hdc_model::Encoder as _;
+        self.session.encoder().is_hardened()
+    }
+
     /// Time since this generation was installed — how long the model
     /// has been serving (telemetry reports it on swap events, where a
     /// short-lived generation flags swap churn).
@@ -102,6 +110,9 @@ pub struct RegistryStats {
     pub checksum: u64,
     /// Whether the current generation is a locked model.
     pub locked: bool,
+    /// Whether the current generation serves in constant-time hardened
+    /// mode.
+    pub hardened: bool,
     /// Completed `reload` swaps.
     pub reloads: u64,
     /// Completed `rekey` swaps.
@@ -336,6 +347,7 @@ impl ModelRegistry {
             generation: current.id(),
             checksum: current.checksum(),
             locked: current.is_locked(),
+            hardened: current.is_hardened(),
             reloads: self.reloads.load(Ordering::Relaxed),
             rekeys: self.rekeys.load(Ordering::Relaxed),
             rollbacks: self.rollbacks.load(Ordering::Relaxed),
@@ -506,6 +518,39 @@ mod tests {
             );
         }
         assert_eq!(registry.stats().rekeys, 2);
+    }
+
+    #[test]
+    fn rekey_preserves_hardened_mode() {
+        let train = train_set();
+        let config = HdcConfig::paper_default().with_dim(256).with_seed(53);
+        let mut rng = HvRng::from_seed(53);
+        let enc = LockedEncoder::generate(
+            &mut rng,
+            &LockConfig {
+                n_features: train.n_features(),
+                m_levels: config.m_levels,
+                dim: 256,
+                pool_size: train.n_features(),
+                n_layers: 2,
+            },
+        )
+        .unwrap();
+        let model = HdcModel::fit_with_encoder(&config, enc, &train).unwrap();
+        let checksum = ModelSnapshot::from_locked_model(&model).checksum();
+        let (_, mut encoder, _, memory) = model.into_parts();
+        encoder.set_mode(hdlock::DeriveMode::Hardened);
+        let session = OwnedSession::new(AnyEncoder::Locked(encoder), &memory);
+        let registry =
+            ModelRegistry::new(session, checksum).with_rekey_source(RekeySource { config, train });
+        assert!(registry.current().is_hardened());
+        assert!(registry.stats().hardened);
+        // A rekey is a security recovery action — it must not silently
+        // drop the constant-time policy of the generation it replaces.
+        let gen2 = registry.rekey(99).unwrap();
+        assert!(gen2.is_hardened());
+        assert!(registry.stats().hardened);
+        assert!(registry.stats().locked);
     }
 
     #[test]

@@ -115,6 +115,13 @@ impl Encoder for AnyEncoder {
             AnyEncoder::Locked(e) => e.value_hv(v),
         }
     }
+
+    fn is_hardened(&self) -> bool {
+        match self {
+            AnyEncoder::Standard(_) => false,
+            AnyEncoder::Locked(e) => e.is_hardened(),
+        }
+    }
 }
 
 /// The session type a registry generation owns: either deployed encoder

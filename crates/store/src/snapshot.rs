@@ -15,7 +15,7 @@
 //!   snapshot is exactly the public dump the HDLock paper's attacker
 //!   already has.
 //!
-//! Every artifact wears the [`wire::Section`] envelope (magic, version,
+//! Every artifact wears the [`crate::wire::Section`] envelope (magic, version,
 //! length, FNV-1a64 checksum); a corrupt or truncated file fails fast
 //! before any field is interpreted, and [`ModelSnapshot::save`] is
 //! atomic (write-then-rename), so a crash never leaves a torn snapshot

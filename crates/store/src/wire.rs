@@ -8,7 +8,7 @@
 //! every on-disk artifact uses, and [`Section::open`] verifies the
 //! envelope *before* any field of the payload is interpreted — a
 //! corrupt file fails fast with
-//! [`StoreError::ChecksumMismatch`](crate::StoreError::ChecksumMismatch),
+//! [`crate::StoreError::ChecksumMismatch`],
 //! never with a half-loaded model.
 
 use crate::error::StoreError;
